@@ -1,0 +1,47 @@
+//! Criterion benches for the remaining workload kernels: multi-precision
+//! decimal printing (§8), calendar conversion (§6 floor divisions) and
+//! the graphics blend/project kernels (§1's "graphics codes").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use magicdiv_workloads::{bignum_kernel, calendar_kernel, graphics_kernel};
+
+fn bench_bignum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bignum_to_decimal");
+    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    for limbs in [4usize, 16, 64] {
+        group.bench_function(format!("{limbs}limbs_hardware"), |b| {
+            b.iter(|| bignum_kernel(black_box(limbs), false))
+        });
+        group.bench_function(format!("{limbs}limbs_fig8_1"), |b| {
+            b.iter(|| bignum_kernel(black_box(limbs), true))
+        });
+    }
+    group.finish();
+}
+
+fn bench_calendar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calendar");
+    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("civil_from_days_hardware", |b| {
+        b.iter(|| calendar_kernel(black_box(-1_000_000), 2_000, false))
+    });
+    group.bench_function("civil_from_days_magic", |b| {
+        b.iter(|| calendar_kernel(black_box(-1_000_000), 2_000, true))
+    });
+    group.finish();
+}
+
+fn bench_graphics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphics");
+    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("blend_project_hardware", |b| {
+        b.iter(|| graphics_kernel(black_box(10_000), false))
+    });
+    group.bench_function("blend_project_magic", |b| {
+        b.iter(|| graphics_kernel(black_box(10_000), true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bignum, bench_calendar, bench_graphics);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! `magic` — the magic-constant calculator.
+//!
+//! Prints the reciprocal constants of Figures 4.1/4.2/5.2/6.2/8.1/§9 for
+//! any divisor, at any machine width, in a form you can paste into a code
+//! generator (the classic companion tool to this paper — compare
+//! "Hacker's Delight" magic(), or libdivide's generators).
+//!
+//! Usage: `cargo run -p magicdiv-bench --bin magic -- <divisor> [width]`
+
+use magicdiv_bench::render_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let d: i128 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("usage: magic <divisor> [width=32]");
+            std::process::exit(2)
+        });
+    let width: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
+    if d == 0 {
+        eprintln!("divisor must be nonzero");
+        std::process::exit(1);
+    }
+    if ![8, 16, 32, 64, 128].contains(&width) {
+        eprintln!("width must be one of 8/16/32/64/128");
+        std::process::exit(1);
+    }
+    match width {
+        8 => report::<u8>(d),
+        16 => report::<u16>(d),
+        32 => report::<u32>(d),
+        64 => report::<u64>(d),
+        _ => report::<u128>(d),
+    }
+}
+
+fn report<T: magicdiv::UWord>(d: i128)
+where
+    T::Signed: magicdiv::SWord<Unsigned = T>,
+{
+    use magicdiv::{
+        choose_multiplier, DwordDivisor, ExactSignedDivisor, InvariantUnsignedDivisor,
+        SignedDivisor, UnsignedDivisor,
+    };
+
+    let n = T::BITS;
+    println!("== magic constants for d = {d} at N = {n} ==\n");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    if d > 0 {
+        let du = T::from_u128_truncate(d as u128);
+        if du.to_u128() != d as u128 {
+            eprintln!("divisor does not fit in {n} bits");
+            std::process::exit(1);
+        }
+        let ud = UnsignedDivisor::new(du).expect("nonzero");
+        rows.push(vec![
+            "unsigned (Fig 4.2)".into(),
+            format!("{:?}", ud.strategy()),
+        ]);
+        let inv = InvariantUnsignedDivisor::new(du).expect("nonzero");
+        let (m, sh1, sh2) = inv.constants();
+        rows.push(vec![
+            "unsigned invariant (Fig 4.1)".into(),
+            format!("m' = {m:#x}, sh1 = {sh1}, sh2 = {sh2}"),
+        ]);
+        let c = choose_multiplier(du, n);
+        rows.push(vec![
+            "CHOOSE_MULTIPLIER(d, N)".into(),
+            format!("m = {:#x}, sh_post = {}, l = {}", c.multiplier, c.sh_post, c.l),
+        ]);
+        let dd = DwordDivisor::new(du).expect("nonzero");
+        rows.push(vec![
+            "udword/uword (Fig 8.1)".into(),
+            format!("{dd:?}"),
+        ]);
+    }
+    let ds = <T::Signed as magicdiv::SWord>::from_i128_truncate(d);
+    if <T::Signed as magicdiv::SWord>::to_i128(ds) == d {
+        let sd = SignedDivisor::new(ds).expect("nonzero");
+        rows.push(vec![
+            "signed trunc (Fig 5.2)".into(),
+            format!("{:?}", sd.strategy()),
+        ]);
+        let ed = ExactSignedDivisor::new(ds).expect("nonzero");
+        rows.push(vec!["exact / divisibility (§9)".into(), format!("{ed:?}")]);
+    } else {
+        eprintln!("(signed forms skipped: divisor does not fit in i{n})");
+    }
+
+    println!("{}", render_table(&["algorithm", "constants"], &rows));
+}

@@ -1,0 +1,115 @@
+//! Regenerates the **§11 SPEC92 note**: "The improvement was negligible
+//! for most of the programs... Some benchmarks that involve hashing show
+//! improvements up to about 30%. We anticipate significant improvements
+//! on some number theoretic codes."
+//!
+//! SPEC92 sources are proprietary; per the substitution policy we run the
+//! division-heavy kernels the paper attributes its gains to (hashing,
+//! number theory, radix conversion, pointer subtraction, divisibility
+//! scanning) on the host, with and without division elimination.
+//!
+//! NOTE: modern compilers already apply this paper to *constant* divisors,
+//! so the baseline only pays a real divide where the divisor is a run-time
+//! invariant (hash-table primes, moduli) — exactly the case the paper's
+//! run-time-invariant algorithms (Figs 4.1/5.1/8.1) target.
+
+use magicdiv_bench::{measure_ns, render_table};
+use magicdiv_workloads::{
+    count_multiples, count_multiples_baseline, count_primes, gcd,
+    gcd_with_per_iteration_reciprocal, hashing_kernel, mod_pow, mod_pow_baseline,
+    bignum_kernel, calendar_kernel, graphics_kernel, pointer_diff_kernel, radix_checksum,
+    Reduction,
+};
+
+fn main() {
+    println!("== SPEC-like kernels: division performed vs eliminated (host) ==\n");
+    let mut rows = Vec::new();
+
+    // Hashing: run-time-invariant prime modulus. A cache-resident table
+    // keeps the kernel reduction-bound (as 1992 SPEC tables were —
+    // whole-machine caches were tiny); a large table is memory-bound and
+    // hides the divide, which we also report.
+    let hw = measure_ns(200, |_| {
+        hashing_kernel(1009, 600, 50_000, Reduction::HardwareRemainder)
+    });
+    let magic = measure_ns(200, |_| {
+        hashing_kernel(1009, 600, 50_000, Reduction::MagicRemainder)
+    });
+    rows.push(row("hashing (prime 1009, in-cache)", hw, magic));
+    let hw = measure_ns(20, |_| {
+        hashing_kernel(1_000_003, 400_000, 50_000, Reduction::HardwareRemainder)
+    });
+    let magic = measure_ns(20, |_| {
+        hashing_kernel(1_000_003, 400_000, 50_000, Reduction::MagicRemainder)
+    });
+    rows.push(row("hashing (prime 1000003, memory-bound)", hw, magic));
+
+    // Number theory: modular exponentiation (invariant modulus).
+    let hw = measure_ns(2_000, |i| {
+        mod_pow_baseline(i | 3, 65_537, 0xffff_ffff_ffff_ffc5).unwrap()
+    });
+    let magic = measure_ns(2_000, |i| mod_pow(i | 3, 65_537, 0xffff_ffff_ffff_ffc5).unwrap());
+    rows.push(row("mod_pow (64-bit prime)", hw, magic));
+
+    // Trial-division prime counting.
+    let hw = measure_ns(10, |_| count_primes(60_000, false) as u64);
+    let magic = measure_ns(10, |_| count_primes(60_000, true) as u64);
+    rows.push(row("count_primes(60k)", hw, magic));
+
+    // Radix conversion (constant divisor — compilers already optimize the
+    // baseline, so expect ~1.0x here on modern hosts).
+    let hw = measure_ns(500, |i| radix_checksum(i as u32, 200, false));
+    let magic = measure_ns(500, |i| radix_checksum(i as u32, 200, true));
+    rows.push(row("radix conversion", hw, magic));
+
+    // Pointer subtraction (§9 exact division by 24).
+    let hw = measure_ns(2_000, |_| pointer_diff_kernel(24, 2_000, false) as u64);
+    let magic = measure_ns(2_000, |_| pointer_diff_kernel(24, 2_000, true) as u64);
+    rows.push(row("pointer diff (size 24)", hw, magic));
+
+    // Calendar: civil-date conversion (floor divisions, Hinnant's algorithm).
+    let hw = measure_ns(500, |_| calendar_kernel(-1_000_000, 3_000, false) as u64);
+    let magic = measure_ns(500, |_| calendar_kernel(-1_000_000, 3_000, true) as u64);
+    rows.push(row("calendar (civil_from_days)", hw, magic));
+
+    // Multiple precision: 64-limb bignum to decimal (the §8 primitive).
+    let hw = measure_ns(200, |_| bignum_kernel(64, false));
+    let magic = measure_ns(200, |_| bignum_kernel(64, true));
+    rows.push(row("bignum -> decimal (64 limbs)", hw, magic));
+
+    // Graphics: /255 alpha blend + perspective divide.
+    let hw = measure_ns(500, |_| graphics_kernel(5_000, false));
+    let magic = measure_ns(500, |_| graphics_kernel(5_000, true));
+    rows.push(row("graphics (blend /255 + project)", hw, magic));
+
+    // §9 strength-reduced divisibility scan.
+    let hw = measure_ns(2_000, |_| count_multiples_baseline(100_000, 100));
+    let magic = measure_ns(2_000, |_| count_multiples(100_000, 100).unwrap());
+    rows.push(row("divisibility scan d=100", hw, magic));
+
+    // The counterexample: Euclidean GCD (divisor varies per iteration).
+    let hw = measure_ns(20_000, |i| gcd(0x9e37_79b9_7f4a_7c15 ^ i, 0x517c_c1b7_2722_0a95 | 1));
+    let magic = measure_ns(20_000, |i| {
+        gcd_with_per_iteration_reciprocal(0x9e37_79b9_7f4a_7c15 ^ i, 0x517c_c1b7_2722_0a95 | 1)
+    });
+    rows.push(row("GCD (divisor NOT invariant)", hw, magic));
+
+    println!(
+        "{}",
+        render_table(
+            &["kernel", "with div (ns)", "div eliminated (ns)", "speedup"],
+            &rows
+        )
+    );
+    println!("Expected shape (paper §11): hashing/number-theory kernels improve");
+    println!("materially; the GCD counterexample *slows down* (divisor not invariant).");
+}
+
+fn row(name: &str, hw: f64, magic: f64) -> Vec<String> {
+    vec![
+        name.to_string(),
+        format!("{hw:.1}"),
+        format!("{magic:.1}"),
+        format!("{:.2}x", hw / magic),
+    ]
+}

@@ -1,0 +1,181 @@
+//! `verify` — large-scale randomized differential testing across every
+//! algorithm, width and layer: the reproduction's fuzzer-lite.
+//!
+//! For each random `(n, d)` it checks that native division, the `magicdiv`
+//! divisor types, and the `magicdiv-codegen` generated programs (run
+//! through the IR interpreter) all agree, across unsigned/signed/floor/
+//! exact/divisibility at widths 8/16/32/64 (library types also at 128).
+//!
+//! Usage: `cargo run --release -p magicdiv-bench --bin verify -- [iterations] [seed]`
+//! Exits nonzero on the first mismatch, printing a reproduction line.
+
+#![allow(clippy::manual_is_multiple_of)]
+use magicdiv::{
+    ExactSignedDivisor, ExactUnsignedDivisor, FloorDivisor, InvariantSignedDivisor,
+    InvariantUnsignedDivisor, SignedDivisor, UnsignedDivisor,
+};
+use magicdiv_codegen::{
+    gen_divisibility_test, gen_floor_div, gen_signed_div, gen_signed_div_invariant,
+    gen_unsigned_div, gen_unsigned_div_invariant,
+};
+use magicdiv_ir::{mask, sign_extend};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        // splitmix64
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+macro_rules! check {
+    ($cond:expr, $($why:tt)*) => {
+        if !$cond {
+            eprintln!("MISMATCH: {}", format!($($why)*));
+            std::process::exit(1);
+        }
+    };
+}
+
+fn main() {
+    let iterations: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5eed);
+    let mut rng = Rng(seed);
+    let mut checks = 0u64;
+
+    // Library layer: fast per-iteration divisor construction.
+    for i in 0..iterations {
+        let n = rng.next();
+        let d = rng.next();
+        // --- unsigned, per width ---
+        macro_rules! unsigned_at {
+            ($t:ty) => {{
+                let (nw, dw) = (n as $t, (d as $t).max(1));
+                let cd = UnsignedDivisor::new(dw).expect("nonzero");
+                let id = InvariantUnsignedDivisor::new(dw).expect("nonzero");
+                check!(cd.divide(nw) == nw / dw, "u{} Fig4.2 {nw}/{dw}", <$t>::BITS);
+                check!(id.divide(nw) == nw / dw, "u{} Fig4.1 {nw}/{dw}", <$t>::BITS);
+                check!(cd.remainder(nw) == nw % dw, "u{} rem {nw}%{dw}", <$t>::BITS);
+                checks += 3;
+            }};
+        }
+        unsigned_at!(u8);
+        unsigned_at!(u16);
+        unsigned_at!(u32);
+        unsigned_at!(u64);
+        let n128 = (rng.next() as u128) << 64 | n as u128;
+        let d128 = ((rng.next() as u128) << 64 | d as u128).max(1);
+        let cd = UnsignedDivisor::new(d128).expect("nonzero");
+        check!(cd.divide(n128) == n128 / d128, "u128 {n128}/{d128}");
+        checks += 1;
+
+        // --- signed, per width ---
+        macro_rules! signed_at {
+            ($t:ty) => {{
+                let (nw, dw) = (n as $t, d as $t);
+                if dw != 0 {
+                    let cd = SignedDivisor::new(dw).expect("nonzero");
+                    let id = InvariantSignedDivisor::new(dw).expect("nonzero");
+                    check!(cd.divide(nw) == nw.wrapping_div(dw), "i{} Fig5.2 {nw}/{dw}", <$t>::BITS);
+                    check!(id.divide(nw) == nw.wrapping_div(dw), "i{} Fig5.1 {nw}/{dw}", <$t>::BITS);
+                    if !(nw == <$t>::MIN && dw == -1) {
+                        let fd = FloorDivisor::new(dw).expect("nonzero");
+                        let expect = nw.div_euclid(dw)
+                            - (((dw < 0) && nw.rem_euclid(dw) != 0) as $t);
+                        check!(fd.divide(nw) == expect, "i{} floor {nw}/{dw}", <$t>::BITS);
+                        check!(cd.div_euclid(nw) == nw.div_euclid(dw), "i{} euclid {nw}/{dw}", <$t>::BITS);
+                    }
+                    let ed = ExactSignedDivisor::new(dw).expect("nonzero");
+                    check!(ed.divides(nw) == (nw.wrapping_rem(dw) == 0), "i{} divides {nw}|{dw}", <$t>::BITS);
+                    checks += 5;
+                }
+            }};
+        }
+        signed_at!(i8);
+        signed_at!(i16);
+        signed_at!(i32);
+        signed_at!(i64);
+
+        // --- exact unsigned via constructed multiples ---
+        let dq = (d | 1).max(3);
+        let q = n % (u64::MAX / dq);
+        let ed = ExactUnsignedDivisor::new(dq).expect("nonzero");
+        check!(ed.divide_exact(q * dq) == q, "exact {q}*{dq}");
+        checks += 1;
+
+        if i % 50_000 == 0 && i > 0 {
+            eprintln!("... {i} iterations, {checks} checks");
+        }
+    }
+
+    // Codegen layer: fewer iterations (program generation dominates).
+    let gen_iters = (iterations / 200).max(50);
+    for _ in 0..gen_iters {
+        let d = rng.next();
+        let width = [8u32, 16, 24, 32, 48, 57, 64][rng.next() as usize % 7];
+        let m = mask(width);
+        let dw = (d & m).max(1);
+        let prog = gen_unsigned_div(dw, width);
+        let fprog = gen_floor_div(sign_extend(dw, width), width);
+        let sprog = gen_signed_div(sign_extend(dw, width), width);
+        let tprog = gen_divisibility_test(dw, width);
+        for _ in 0..32 {
+            let nraw = rng.next() & m;
+            check!(
+                prog.eval1(&[nraw]).expect("no traps") == nraw / dw,
+                "codegen u{width} {nraw}/{dw}"
+            );
+            check!(
+                tprog.eval1(&[nraw]).expect("no traps") == u64::from(nraw % dw == 0),
+                "codegen divis u{width} {nraw}|{dw}"
+            );
+            let ns = sign_extend(nraw, width);
+            let ds = sign_extend(dw, width);
+            if ds != 0 {
+                check!(
+                    sprog.eval1(&[nraw]).expect("no traps") == ns.wrapping_div(ds) as u64 & m,
+                    "codegen i{width} {ns}/{ds}"
+                );
+                if !(ns == sign_extend(1 << (width - 1), width) && ds == -1) {
+                    let floor = ns.div_euclid(ds) - i64::from(ds < 0 && ns.rem_euclid(ds) != 0);
+                    check!(
+                        fprog.eval1(&[nraw]).expect("no traps") == floor as u64 & m,
+                        "codegen floor{width} {ns}/{ds}"
+                    );
+                }
+            }
+            checks += 4;
+        }
+        if [8, 16, 32, 64].contains(&width) {
+            let iprog = gen_unsigned_div_invariant(dw, width);
+            let siprog = gen_signed_div_invariant(sign_extend(dw, width), width);
+            for _ in 0..8 {
+                let nraw = rng.next() & m;
+                check!(
+                    iprog.eval1(&[nraw]).expect("no traps") == nraw / dw,
+                    "codegen inv u{width} {nraw}/{dw}"
+                );
+                let ns = sign_extend(nraw, width);
+                let ds = sign_extend(dw, width);
+                check!(
+                    siprog.eval1(&[nraw]).expect("no traps") == ns.wrapping_div(ds) as u64 & m,
+                    "codegen inv i{width} {ns}/{ds}"
+                );
+                checks += 2;
+            }
+        }
+    }
+
+    println!("verify: OK — {checks} checks across library + codegen layers (seed {seed})");
+}

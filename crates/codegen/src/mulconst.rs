@@ -1,0 +1,421 @@
+//! Multiplication by integer constants via shifts, adds and subtracts
+//! (Bernstein, *Multiplication by integer constants*, S:P&E 1986 — the
+//! paper's reference [5]).
+//!
+//! The Alpha column of Table 11.1 multiplies by `(2^34 + 1)/5` without a
+//! `mulq`: "multipliers for small constant divisors have regular binary
+//! patterns" — the paper's generated code uses the factorization
+//! `4*[(2^16+1)*(2^8+1)*(4*[4*(4*0-x)+x]-x)]+x`. This module implements
+//! that expansion: a planner that combines the non-adjacent form (NAF,
+//! the canonical signed-digit decomposition) with Bernstein-style
+//! factoring by `2^k ± 1`, picking whichever costs fewer operations.
+
+use std::collections::HashMap;
+
+use magicdiv_ir::{mask, Builder, Op, Reg};
+
+/// A single step in a multiply-by-constant plan. `x` is the multiplicand,
+/// `acc` the running product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MulStep {
+    /// `acc = x << shift` (always the first step).
+    Init {
+        /// Shift applied to the multiplicand.
+        shift: u32,
+    },
+    /// `acc = acc + (x << shift)`.
+    AddShifted {
+        /// Shift applied to the multiplicand.
+        shift: u32,
+    },
+    /// `acc = acc - (x << shift)`.
+    SubShifted {
+        /// Shift applied to the multiplicand.
+        shift: u32,
+    },
+    /// `acc = (acc << k) + acc`, i.e. `acc *= 2^k + 1` (factor step).
+    AccMulPow2Plus1 {
+        /// The factor's exponent.
+        k: u32,
+    },
+    /// `acc = (acc << k) - acc`, i.e. `acc *= 2^k - 1` (factor step).
+    AccMulPow2Minus1 {
+        /// The factor's exponent.
+        k: u32,
+    },
+    /// `acc = (acc << shift) + x` (Bernstein's add-one step after shifting
+    /// out trailing zeros of `c - 1`).
+    AccShiftAddX {
+        /// Shift applied to the accumulator.
+        shift: u32,
+    },
+    /// `acc = (acc << shift) - x` (the subtract-one counterpart).
+    AccShiftSubX {
+        /// Shift applied to the accumulator.
+        shift: u32,
+    },
+    /// `acc = acc << shift` (factored-out trailing zeros, applied last).
+    FinalShift {
+        /// Shift applied to the accumulator.
+        shift: u32,
+    },
+}
+
+fn step_cost(step: &MulStep) -> u32 {
+    match step {
+        MulStep::Init { shift } => u32::from(*shift > 0),
+        MulStep::AddShifted { shift } | MulStep::SubShifted { shift } => 1 + u32::from(*shift > 0),
+        // A factor step is one shift plus one add/sub (one instruction on
+        // machines with scaled adds, but plan conservatively).
+        MulStep::AccMulPow2Plus1 { .. } | MulStep::AccMulPow2Minus1 { .. } => 2,
+        MulStep::AccShiftAddX { shift } | MulStep::AccShiftSubX { shift } => {
+            1 + u32::from(*shift > 0)
+        }
+        MulStep::FinalShift { .. } => 1,
+    }
+}
+
+/// Total add/sub/shift operations a plan costs (three-address machine, no
+/// scaled-add folding — backends that have `s4addq`-style instructions
+/// count lower).
+pub fn plan_op_count(plan: &[MulStep]) -> u32 {
+    plan.iter().map(step_cost).sum()
+}
+
+/// NAF (non-adjacent form) plan for an odd constant: one `Init` plus one
+/// shifted add/sub per nonzero signed digit.
+fn naf_plan(odd: u64) -> Vec<MulStep> {
+    debug_assert!(odd & 1 == 1);
+    let mut digits: Vec<i8> = Vec::new();
+    let mut k = odd as u128;
+    while k > 0 {
+        if k & 1 == 1 {
+            let d: i8 = if k & 3 == 3 { -1 } else { 1 };
+            digits.push(d);
+            k = (k as i128 - d as i128) as u128;
+        } else {
+            digits.push(0);
+        }
+        k >>= 1;
+    }
+    let mut steps: Vec<MulStep> = Vec::new();
+    // Build from the most significant digit down: the top NAF digit of a
+    // positive value is always +1, so `Init` is always a plain shift.
+    for (i, &d) in digits.iter().enumerate().rev() {
+        let shift = i as u32;
+        match (d, steps.is_empty()) {
+            (0, _) => {}
+            (1, true) => steps.push(MulStep::Init { shift }),
+            (1, false) => steps.push(MulStep::AddShifted { shift }),
+            (_, empty) => {
+                debug_assert!(!empty, "NAF of a positive value starts with +1");
+                steps.push(MulStep::SubShifted { shift });
+            }
+        }
+    }
+    steps
+}
+
+/// Stop exploring once this many subproblems have been planned; the NAF
+/// baseline bounds the result quality, so the budget only limits search
+/// effort on adversarial constants.
+const PLAN_NODE_BUDGET: usize = 8192;
+
+fn plan_odd(odd: u64, memo: &mut HashMap<u64, Vec<MulStep>>) -> Vec<MulStep> {
+    debug_assert!(odd & 1 == 1);
+    if let Some(p) = memo.get(&odd) {
+        return p.clone();
+    }
+    if odd == 1 {
+        let p = vec![MulStep::Init { shift: 0 }];
+        memo.insert(odd, p.clone());
+        return p;
+    }
+    let mut best = naf_plan(odd);
+    if memo.len() < PLAN_NODE_BUDGET {
+        // Bernstein factoring: odd = (2^k ± 1) * rest.
+        for k in 2..=63u32 {
+            for (factor, step) in [
+                ((1u64 << k) + 1, MulStep::AccMulPow2Plus1 { k }),
+                ((1u64 << k) - 1, MulStep::AccMulPow2Minus1 { k }),
+            ] {
+                if factor > 1 && factor < odd && odd % factor == 0 {
+                    let mut cand = plan_odd(odd / factor, memo);
+                    cand.push(step);
+                    if plan_op_count(&cand) < plan_op_count(&best) {
+                        best = cand;
+                    }
+                }
+            }
+        }
+        // Bernstein add/sub-one: odd = (rest << tz) ± 1.
+        let down = odd - 1; // even, nonzero
+        let tz = down.trailing_zeros();
+        {
+            let mut cand = plan_odd(down >> tz, memo);
+            cand.push(MulStep::AccShiftAddX { shift: tz });
+            if plan_op_count(&cand) < plan_op_count(&best) {
+                best = cand;
+            }
+        }
+        if let Some(up) = odd.checked_add(1) {
+            let tz = up.trailing_zeros();
+            let rest = up >> tz;
+            if rest < odd && rest & 1 == 1 {
+                let mut cand = plan_odd(rest, memo);
+                cand.push(MulStep::AccShiftSubX { shift: tz });
+                if plan_op_count(&cand) < plan_op_count(&best) {
+                    best = cand;
+                }
+            }
+        }
+    }
+    memo.insert(odd, best.clone());
+    best
+}
+
+/// Plans `x * c` as shifts/adds/subs.
+///
+/// Returns an empty plan for `c == 0` (the product is zero) — callers
+/// handle that case directly.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_codegen::{plan_mul_const, plan_op_count};
+///
+/// // The Alpha multiplier (2^34 + 1)/5: the paper expands it into a
+/// // handful of shifted adds via (2^16+1)(2^8+1) factors.
+/// let c = ((1u64 << 34) + 1) / 5;
+/// let plan = plan_mul_const(c);
+/// assert!(plan_op_count(&plan) <= 10, "cost {} plan {plan:?}", plan_op_count(&plan));
+/// ```
+pub fn plan_mul_const(c: u64) -> Vec<MulStep> {
+    if c == 0 {
+        return Vec::new();
+    }
+    let tz = c.trailing_zeros();
+    let mut memo = HashMap::new();
+    let mut steps = plan_odd(c >> tz, &mut memo);
+    if tz > 0 {
+        steps.push(MulStep::FinalShift { shift: tz });
+    }
+    steps
+}
+
+/// Emits `x * c mod 2^N` into `b` as shifts/adds/subs (no multiply
+/// instruction), returning the product register.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_codegen::emit_mul_const;
+/// use magicdiv_ir::Builder;
+///
+/// let mut b = Builder::new(64, 1);
+/// let x = b.arg(0);
+/// let m = ((1u64 << 34) + 1) / 5;
+/// let p = emit_mul_const(&mut b, x, m);
+/// let prog = b.finish([p]);
+/// assert_eq!(prog.eval1(&[123]).unwrap(), 123u64.wrapping_mul(m));
+/// assert!(!prog.op_counts().uses_multiply());
+/// ```
+pub fn emit_mul_const(b: &mut Builder, x: Reg, c: u64) -> Reg {
+    let width = b.width();
+    let c = c & mask(width);
+    if c == 0 {
+        return b.constant(0);
+    }
+    let plan = plan_mul_const(c);
+    let shifted_x = |b: &mut Builder, shift: u32| -> Reg {
+        if shift == 0 {
+            x
+        } else if shift < width {
+            b.push(Op::Sll(x, shift))
+        } else {
+            b.constant(0)
+        }
+    };
+    let mut acc: Option<Reg> = None;
+    for step in &plan {
+        acc = Some(match *step {
+            MulStep::Init { shift } => shifted_x(b, shift),
+            MulStep::AddShifted { shift } => {
+                let term = shifted_x(b, shift);
+                b.push(Op::Add(acc.expect("init first"), term))
+            }
+            MulStep::SubShifted { shift } => {
+                let term = shifted_x(b, shift);
+                b.push(Op::Sub(acc.expect("init first"), term))
+            }
+            MulStep::AccMulPow2Plus1 { k } => {
+                let a = acc.expect("init first");
+                let s = if k < width { b.push(Op::Sll(a, k)) } else { b.constant(0) };
+                b.push(Op::Add(s, a))
+            }
+            MulStep::AccMulPow2Minus1 { k } => {
+                let a = acc.expect("init first");
+                let s = if k < width { b.push(Op::Sll(a, k)) } else { b.constant(0) };
+                b.push(Op::Sub(s, a))
+            }
+            MulStep::AccShiftAddX { shift } => {
+                let a = acc.expect("init first");
+                let s = if shift == 0 {
+                    a
+                } else if shift < width {
+                    b.push(Op::Sll(a, shift))
+                } else {
+                    b.constant(0)
+                };
+                b.push(Op::Add(s, x))
+            }
+            MulStep::AccShiftSubX { shift } => {
+                let a = acc.expect("init first");
+                let s = if shift == 0 {
+                    a
+                } else if shift < width {
+                    b.push(Op::Sll(a, shift))
+                } else {
+                    b.constant(0)
+                };
+                b.push(Op::Sub(s, x))
+            }
+            MulStep::FinalShift { shift } => {
+                let a = acc.expect("init first");
+                if shift < width {
+                    b.push(Op::Sll(a, shift))
+                } else {
+                    b.constant(0)
+                }
+            }
+        });
+    }
+    acc.expect("nonzero constant yields a nonempty plan")
+}
+
+/// Whether expanding `x * c` into shifts/adds beats a multiply costing
+/// `mul_cycles` (adds/shifts priced at one cycle) — §10's "on other
+/// architectures, the multiplication can be performed faster using a
+/// sequence of additions, subtractions, and shifts".
+pub fn expansion_profitable(c: u64, mul_cycles: u32) -> bool {
+    plan_op_count(&plan_mul_const(c)) < mul_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magicdiv_ir::Builder;
+
+    fn eval_mul(c: u64, x: u64, width: u32) -> u64 {
+        let mut b = Builder::new(width, 1);
+        let arg = b.arg(0);
+        let p = emit_mul_const(&mut b, arg, c);
+        b.finish([p]).eval1(&[x]).unwrap()
+    }
+
+    #[test]
+    fn exhaustive_small_constants_width8() {
+        for c in 0u64..=255 {
+            for x in (0u64..=255).step_by(5) {
+                assert_eq!(eval_mul(c, x, 8), (x * c) & 0xff, "c={c} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_constants_width64() {
+        let cs = [
+            1u64,
+            2,
+            3,
+            10,
+            0xcccc_cccd,
+            ((1u128 << 34) / 5 + 1) as u64,
+            0x5555_5555_5555_5555,
+            u64::MAX,
+            0x8000_0000_0000_0001,
+            1442695040888963407,
+            67280421310721,
+        ];
+        let xs = [0u64, 1, 2, 123456789, u64::MAX, 0xdead_beef];
+        for &c in &cs {
+            for &x in &xs {
+                assert_eq!(eval_mul(c, x, 64), x.wrapping_mul(c), "c={c:#x} x={x:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn never_emits_multiply() {
+        for c in [3u64, 10, 0xcccc_cccd, u64::MAX] {
+            let mut b = Builder::new(64, 1);
+            let x = b.arg(0);
+            let p = emit_mul_const(&mut b, x, c);
+            let prog = b.finish([p]);
+            assert!(!prog.op_counts().uses_multiply(), "c={c}");
+        }
+    }
+
+    #[test]
+    fn alpha_multiplier_factors_compactly() {
+        // (2^34+1)/5 = 3435973837: binary has 17 one-bits, but the
+        // factor planner should find the (2^16+1)(2^8+1)-style chain the
+        // paper's Alpha backend uses (< 10 ops, vs 23 cycles for mulq).
+        let c = ((1u64 << 34) + 1) / 5;
+        let cost = plan_op_count(&plan_mul_const(c));
+        assert!(cost <= 10, "cost {cost}");
+        assert!(expansion_profitable(c, 23));
+    }
+
+    #[test]
+    fn factor_steps_verified_against_mul() {
+        // Constants engineered to exercise the factor paths.
+        for c in [
+            (1u64 << 16) + 1,
+            ((1u64 << 16) + 1) * ((1 << 8) + 1),
+            ((1u64 << 12) - 1) * 3,
+            0xffff,          // 2^16 - 1
+            0xffff * 0x101,  // (2^16-1)(2^8+1)
+        ] {
+            for x in [0u64, 1, 0xdead_beef, u64::MAX] {
+                assert_eq!(eval_mul(c, x, 64), x.wrapping_mul(c), "c={c:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_zeros_factored() {
+        let plan = plan_mul_const(40); // 5 << 3
+        assert!(matches!(plan.last(), Some(MulStep::FinalShift { shift: 3 })));
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(plan_mul_const(0).is_empty());
+        let plan = plan_mul_const(1);
+        assert_eq!(plan, vec![MulStep::Init { shift: 0 }]);
+        assert_eq!(eval_mul(0, 123, 32), 0);
+        assert_eq!(eval_mul(1, 123, 32), 123);
+    }
+
+    #[test]
+    fn profitability_threshold() {
+        assert!(expansion_profitable(3, 3));
+        assert!(!expansion_profitable(0x9e3779b97f4a7c15, 5));
+        assert!(expansion_profitable(0xcccc_cccd, 23));
+    }
+
+    #[test]
+    fn plans_stay_reasonable_for_random_constants() {
+        let mut state = 42u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let c = state;
+            let cost = plan_op_count(&plan_mul_const(c));
+            // NAF bound: at most ~N/2 nonzero digits, each <= 2 ops.
+            assert!(cost <= 68, "c={c:#x} cost={cost}");
+            assert_eq!(eval_mul(c, 0x1234_5678_9abc_def0, 64),
+                0x1234_5678_9abc_def0u64.wrapping_mul(c));
+        }
+    }
+}

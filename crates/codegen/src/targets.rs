@@ -1,0 +1,1026 @@
+//! Assembly emission for the four architectures of Table 11.1: DEC Alpha,
+//! MIPS, POWER and SPARC.
+//!
+//! The goal is to reproduce the *shape* of the paper's generated code —
+//! the instruction kinds and counts, the absence of any divide
+//! instruction, MIPS's `multu`/`mfhi` pair, SPARC's `umul`/`rd %y`, and
+//! Alpha's scaled-add (`s4addq`/`s8addq`) expansion of the magic-constant
+//! multiply — not 1994 GCC's exact register choices.
+//!
+//! Emission is a linear scan over the (already optimized) IR with
+//! last-use register recycling; the straight-line programs the paper
+//! generates never exceed a RISC temp pool.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use magicdiv_ir::{mask, Op, Program, Reg};
+
+/// One of the paper's four evaluation architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Target {
+    /// DEC Alpha 21064: 64-bit, no integer divide instruction, scaled adds.
+    Alpha,
+    /// MIPS R3000/R4000: `multu` + `mfhi`, HI/LO registers.
+    Mips,
+    /// IBM POWER / PowerPC: `mulhwu`-style high multiply.
+    Power,
+    /// SPARC V8: `umul` + `rd %y`.
+    Sparc,
+    /// Intel x86 (386/486/Pentium — the Table 1.1 CISC rows): two-address
+    /// code, multiply/divide through the implicit `EDX:EAX` pair.
+    X86,
+}
+
+impl Target {
+    /// All four targets, in the paper's column order.
+    pub const ALL: [Target; 4] = [Target::Alpha, Target::Mips, Target::Power, Target::Sparc];
+
+    /// Human-readable architecture name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::Alpha => "Alpha",
+            Target::Mips => "MIPS",
+            Target::Power => "POWER",
+            Target::Sparc => "SPARC",
+            Target::X86 => "x86",
+        }
+    }
+
+    fn temp_registers(self) -> Vec<String> {
+        match self {
+            Target::Alpha => (1..=8).chain(22..=25).map(|i| format!("${i}")).collect(),
+            Target::Mips => [4, 5, 6, 7]
+                .into_iter()
+                .chain(8..=15)
+                .chain([24, 25, 2, 3])
+                .map(|i| format!("${i}"))
+                .collect(),
+            Target::Power => (3..=12).map(|i| format!("{i}")).collect(),
+            Target::Sparc => ["%o0", "%o1", "%o2", "%o3", "%o4", "%o5", "%g1", "%g2", "%g3", "%g4", "%l0", "%l1"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            // eax/edx are reserved: one-operand mul/div clobber them.
+            Target::X86 => ["ecx", "ebx", "edi", "ebp"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+
+    /// The register holding argument `i` under the target's calling
+    /// convention.
+    pub fn arg_register(self, i: u32) -> String {
+        match self {
+            Target::Alpha => format!("${}", 16 + i),
+            Target::Mips => format!("${}", 4 + i),
+            Target::Power => format!("{}", 3 + i),
+            Target::Sparc => format!("%o{i}"),
+            Target::X86 => ["eax", "edx"][i as usize].to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An emitted assembly listing.
+#[derive(Debug, Clone)]
+pub struct Assembly {
+    /// Which architecture the listing targets.
+    pub target: Target,
+    /// The instruction lines (tab-indented mnemonics, label lines flush).
+    pub lines: Vec<String>,
+}
+
+impl Assembly {
+    /// Number of machine instructions (label and comment lines excluded).
+    pub fn instruction_count(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| !l.trim_start().starts_with('#') && !l.trim_end().ends_with(':') && !l.trim().is_empty())
+            .count()
+    }
+
+    /// `true` if any instruction uses a divide (or divide-subroutine)
+    /// mnemonic. Labels (flush-left lines) and comments are ignored.
+    pub fn uses_divide(&self) -> bool {
+        self.lines.iter().any(|l| {
+            if !l.starts_with('\t') {
+                return false; // label line
+            }
+            let t = l.trim_start();
+            if t.starts_with('#') {
+                return false;
+            }
+            t.starts_with("div")
+                || t.starts_with("udiv")
+                || t.starts_with("sdiv")
+                || t.contains("__div")
+                || t.contains("__rem")
+        })
+    }
+}
+
+impl fmt::Display for Assembly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for line in &self.lines {
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+struct Emitter {
+    target: Target,
+    lines: Vec<String>,
+    /// Constant materializations, kept separate so loop emitters can hoist
+    /// them out of the loop body (as the paper's listings do).
+    const_lines: Vec<String>,
+    emit_to_consts: bool,
+    /// Free temp registers (reverse-ordered stack).
+    free: Vec<String>,
+    /// value index -> currently assigned register.
+    loc: HashMap<usize, String>,
+    /// value index -> index of its last use.
+    last_use: Vec<usize>,
+    use_count: Vec<usize>,
+}
+
+impl Emitter {
+    fn new(target: Target, prog: &Program) -> Self {
+        let n = prog.insts().len();
+        let mut last_use = vec![usize::MAX; n];
+        let mut use_count = vec![0usize; n];
+        for (i, op) in prog.insts().iter().enumerate() {
+            for r in op.operands() {
+                last_use[r.index()] = i;
+                use_count[r.index()] += 1;
+            }
+        }
+        for r in prog.results() {
+            last_use[r.index()] = n; // live out
+            use_count[r.index()] += 1;
+        }
+        // Constants are hoisted out of loop kernels, so their registers
+        // must never be recycled mid-body (iteration 2 would read a
+        // clobbered register otherwise).
+        for (i, op) in prog.insts().iter().enumerate() {
+            if matches!(op, Op::Const(_)) {
+                last_use[i] = n;
+            }
+        }
+        let mut free = target.temp_registers();
+        free.reverse();
+        Emitter {
+            target,
+            lines: Vec::new(),
+            const_lines: Vec::new(),
+            emit_to_consts: false,
+            free,
+            loc: HashMap::new(),
+            last_use,
+            use_count,
+        }
+    }
+
+    fn emit(&mut self, line: String) {
+        if self.emit_to_consts {
+            self.const_lines.push(format!("\t{line}"));
+        } else {
+            self.lines.push(format!("\t{line}"));
+        }
+    }
+
+    fn comment(&mut self, text: &str) {
+        self.lines.push(format!("\t# {text}"));
+    }
+
+    fn alloc(&mut self, value: usize) -> String {
+        let reg = self
+            .free
+            .pop()
+            .expect("register pool exhausted (program too large for straight-line allocation)");
+        self.loc.insert(value, reg.clone());
+        reg
+    }
+
+    /// Claims a specific register from the pool for `value`; returns
+    /// `false` when the register is not in the pool.
+    fn alloc_specific(&mut self, value: usize, name: &str) -> bool {
+        match self.free.iter().position(|r| r == name) {
+            Some(pos) => {
+                let reg = self.free.remove(pos);
+                self.loc.insert(value, reg);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn reg(&self, r: Reg) -> String {
+        self.loc
+            .get(&r.index())
+            .unwrap_or_else(|| panic!("value v{} has no register", r.index()))
+            .clone()
+    }
+
+    fn release_dead(&mut self, at: usize, op: &Op) {
+        for r in op.operands() {
+            if self.last_use[r.index()] == at {
+                if let Some(reg) = self.loc.remove(&r.index()) {
+                    self.free.push(reg);
+                }
+            }
+        }
+    }
+}
+
+/// Emits `prog` as an assembly listing for `target`.
+///
+/// The 32-bit operation set is mapped per architecture; on Alpha (a 64-bit
+/// machine) 32-bit programs are computed in 64-bit registers exactly as
+/// the paper's Table 11.1 does, including expanding `MULUH` by a magic
+/// constant into scaled adds when profitable.
+///
+/// # Panics
+///
+/// Panics if the program needs more simultaneously-live values than the
+/// target's temp pool (never the case for the paper's sequences).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_codegen::{gen_unsigned_div, emit_assembly, Target};
+///
+/// let prog = gen_unsigned_div(10, 32);
+/// let asm = emit_assembly(&prog, Target::Mips, "udiv10");
+/// assert!(asm.to_string().contains("multu"));
+/// assert!(!asm.uses_divide());
+/// ```
+pub fn emit_assembly(prog: &Program, target: Target, name: &str) -> Assembly {
+    let body = emit_body(prog, target);
+    let mut lines = vec![format!("{name}:")];
+    lines.extend(body.const_lines.iter().cloned());
+    lines.extend(body.lines.iter().cloned());
+    // Move results to return registers.
+    let ret_names: Vec<&str> = match target {
+        Target::Alpha => vec!["$0", "$1"],
+        Target::Mips => vec!["$2", "$3"],
+        Target::Power => vec!["3", "4"],
+        Target::Sparc => vec!["%o0", "%o1"],
+        Target::X86 => vec!["eax", "edx"],
+    };
+    for (src, dstn) in body.result_regs.iter().zip(&ret_names) {
+        if src != dstn {
+            lines.push(match target {
+                Target::Alpha => format!("\tbis {src},{src},{dstn}"),
+                Target::Mips => format!("\tmove {dstn},{src}"),
+                Target::Power => format!("\tmr {dstn},{src}"),
+                Target::Sparc => format!("\tmov {src},{dstn}"),
+                Target::X86 => format!("\tmov {dstn},{src}"),
+            });
+        }
+    }
+    match target {
+        Target::Alpha => lines.push("\tret $31,($26),1".into()),
+        Target::Mips => lines.push("\tj $31".into()),
+        Target::Power => lines.push("\tbr".into()),
+        Target::Sparc => {
+            lines.push("\tretl".into());
+            lines.push("\tnop".into());
+        }
+        Target::X86 => lines.push("\tret".into()),
+    }
+    Assembly { target, lines }
+}
+
+/// A function body without prologue/epilogue: the instruction lines plus
+/// the registers holding each result (used by the loop-kernel emitters).
+#[derive(Debug, Clone)]
+pub struct EmittedBody {
+    /// Constant materializations (loop-invariant; emit before any loop).
+    pub const_lines: Vec<String>,
+    /// Tab-indented instruction lines.
+    pub lines: Vec<String>,
+    /// Register names holding each program result, in order.
+    pub result_regs: Vec<String>,
+}
+
+/// Emits just the body of `prog` for `target` (no label, no return),
+/// reporting where the results live.
+pub fn emit_body(prog: &Program, target: Target) -> EmittedBody {
+    let mut e = Emitter::new(target, prog);
+    let w = prog.width();
+
+    // Alpha fold map: values whose Sll is folded into a scaled add.
+    // value index -> (base reg value, shift) for shift in {2,3}.
+    let mut alpha_fold: HashMap<usize, (Reg, u32)> = HashMap::new();
+    if target == Target::Alpha {
+        for (i, op) in prog.insts().iter().enumerate() {
+            if let Op::Sll(a, sh @ (2 | 3)) = op {
+                if e.use_count[i] == 1 {
+                    // Only fold when the single use is an Add (either
+                    // operand) or the *scaled* (first) operand of a Sub —
+                    // s4subq computes 4*a - b, not a - 4*b.
+                    let foldable = prog.insts().iter().any(|o| {
+                        matches!(o, Op::Add(x, y) if x.index() == i || y.index() == i)
+                            || matches!(o, Op::Sub(x, _) if x.index() == i)
+                    });
+                    if foldable {
+                        alpha_fold.insert(i, (*a, *sh));
+                    }
+                }
+            }
+        }
+    }
+
+    // Pre-pass A: pin arguments to their calling-convention registers
+    // when those registers are in the temp pool (MIPS/POWER/SPARC keep x
+    // in the incoming register, as the paper's listings do).
+    for (i, op) in prog.insts().iter().enumerate() {
+        if let Op::Arg(k) = op {
+            let conv = target.arg_register(*k);
+            e.alloc_specific(i, &conv);
+        }
+    }
+    // Pre-pass B: materialize every constant, so constant registers are
+    // claimed before any body instruction and (being live-out) are never
+    // recycled — the loop emitters hoist these loads out of the loop,
+    // which is only sound if no body instruction touches them. (x86 folds
+    // constants as immediate operands instead — it has imm32 forms and
+    // only four free registers.)
+    for (i, op) in prog.insts().iter().enumerate() {
+        if target == Target::X86 {
+            break;
+        }
+        if let Op::Const(c) = op {
+            e.emit_to_consts = true;
+            let dst = e.alloc(i);
+            load_const(&mut e, &dst, *c, w);
+            e.emit_to_consts = false;
+        }
+    }
+
+    for (i, op) in prog.insts().iter().enumerate() {
+        if matches!(op, Op::Const(_)) && target != Target::X86 {
+            continue; // materialized in the pre-pass
+        }
+        if matches!(op, Op::Arg(_)) && e.loc.contains_key(&i) {
+            continue; // pinned to its incoming register in pre-pass A
+        }
+        if alpha_fold.contains_key(&i) {
+            // Folded into the consuming scaled add; emit nothing, but the
+            // base must stay live until the consumer — conservatively keep
+            // our own last_use bookkeeping: extend base's last use.
+            let (base, _) = alpha_fold[&i];
+            let consumer = e.last_use[i];
+            if e.last_use[base.index()] < consumer {
+                e.last_use[base.index()] = consumer;
+            }
+            continue;
+        }
+        emit_one(&mut e, prog, i, op, w, &alpha_fold);
+        e.release_dead(i, op);
+    }
+
+    let result_regs = prog.results().iter().map(|r| e.reg(*r)).collect();
+    EmittedBody {
+        const_lines: e.const_lines,
+        lines: e.lines,
+        result_regs,
+    }
+}
+
+fn load_const(e: &mut Emitter, dst: &str, c: u64, width: u32) {
+    let c = c & mask(width);
+    match e.target {
+        Target::Alpha => {
+            // lda/ldah build 32-bit constants; wider ones via shifts. For
+            // listing purposes emit the canonical pair (or one lda).
+            if c <= 0x7fff {
+                e.emit(format!("lda {dst},{c}"));
+            } else if c <= 0xffff_ffff {
+                let hi = (c >> 16) & 0xffff;
+                let lo = c & 0xffff;
+                e.emit(format!("ldah {dst},{hi}($31)"));
+                if lo != 0 {
+                    e.emit(format!("lda {dst},{lo}({dst})"));
+                }
+            } else {
+                e.emit(format!("ldiq {dst},{c:#x}")); // assembler macro
+            }
+        }
+        Target::Mips => {
+            let hi = (c >> 16) & 0xffff;
+            let lo = c & 0xffff;
+            if hi != 0 {
+                e.emit(format!("lui {dst},0x{hi:x}"));
+                if lo != 0 {
+                    e.emit(format!("ori {dst},{dst},0x{lo:x}"));
+                }
+            } else {
+                e.emit(format!("li {dst},0x{lo:x}"));
+            }
+        }
+        Target::Power => {
+            let hi = (c >> 16) & 0xffff;
+            let lo = c & 0xffff;
+            if hi != 0 {
+                e.emit(format!("cau {dst},0,0x{hi:x}"));
+                if lo != 0 {
+                    e.emit(format!("oril {dst},{dst},0x{lo:x}"));
+                }
+            } else {
+                e.emit(format!("cal {dst},0x{lo:x}(0)"));
+            }
+        }
+        Target::Sparc => {
+            if c < 0x1000 {
+                e.emit(format!("mov {c},{dst}"));
+            } else {
+                e.emit(format!("sethi %hi(0x{c:x}),{dst}"));
+                if c & 0x3ff != 0 {
+                    e.emit(format!("or {dst},%lo(0x{c:x}),{dst}"));
+                }
+            }
+        }
+        Target::X86 => {
+            e.emit(format!("mov {dst},0x{c:x}"));
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn emit_one(
+    e: &mut Emitter,
+    prog: &Program,
+    i: usize,
+    op: &Op,
+    w: u32,
+    alpha_fold: &HashMap<usize, (Reg, u32)>,
+) {
+    if e.target == Target::X86 {
+        emit_one_x86(e, prog, i, op);
+        return;
+    }
+    // Resolve an operand that may be a folded Alpha scaled shift.
+    let scaled = |e: &Emitter, r: Reg| -> Option<(String, u32)> {
+        alpha_fold
+            .get(&r.index())
+            .map(|(base, sh)| (e.reg(*base), *sh))
+    };
+    match *op {
+        Op::Arg(k) => {
+            let argreg = e.target.arg_register(k);
+            let dst = e.alloc(i);
+            if dst != argreg {
+                match e.target {
+                    Target::Alpha => {
+                        if w == 32 {
+                            // zapnot zero-extends the 32-bit argument into
+                            // the 64-bit working register (Table 11.1's
+                            // `zapnot $16,15,$3`).
+                            e.emit(format!("zapnot {argreg},15,{dst}"));
+                        } else {
+                            e.emit(format!("bis {argreg},{argreg},{dst}"));
+                        }
+                    }
+                    Target::Mips => e.emit(format!("move {dst},{argreg}")),
+                    Target::Power => e.emit(format!("mr {dst},{argreg}")),
+                    Target::Sparc => e.emit(format!("mov {argreg},{dst}")),
+                                Target::X86 => unreachable!("x86 uses emit_one_x86"),
+            }
+            }
+        }
+        Op::Const(c) => {
+            let dst = e.alloc(i);
+            load_const(e, &dst, c, w);
+        }
+        Op::Add(a, b) => {
+            // Alpha scaled-add folding: 4*x + y / 8*x + y.
+            if e.target == Target::Alpha {
+                if let Some((base, sh)) = scaled(e, a) {
+                    let yb = e.reg(b);
+                    let dst = e.alloc(i);
+                    let mn = if sh == 2 { "s4addq" } else { "s8addq" };
+                    e.emit(format!("{mn} {base},{yb},{dst}"));
+                    return;
+                }
+                if let Some((base, sh)) = scaled(e, b) {
+                    let ya = e.reg(a);
+                    let dst = e.alloc(i);
+                    let mn = if sh == 2 { "s4addq" } else { "s8addq" };
+                    e.emit(format!("{mn} {base},{ya},{dst}"));
+                    return;
+                }
+            }
+            let (ra, rb) = (e.reg(a), e.reg(b));
+            let dst = e.alloc(i);
+            match e.target {
+                Target::Alpha => e.emit(format!("addq {ra},{rb},{dst}")),
+                Target::Mips => e.emit(format!("addu {dst},{ra},{rb}")),
+                Target::Power => e.emit(format!("a {dst},{ra},{rb}")),
+                Target::Sparc => e.emit(format!("add {ra},{rb},{dst}")),
+                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+            }
+        }
+        Op::Sub(a, b) => {
+            if e.target == Target::Alpha {
+                if let Some((base, sh)) = scaled(e, a) {
+                    let yb = e.reg(b);
+                    let dst = e.alloc(i);
+                    let mn = if sh == 2 { "s4subq" } else { "s8subq" };
+                    e.emit(format!("{mn} {base},{yb},{dst}"));
+                    return;
+                }
+            }
+            let (ra, rb) = (e.reg(a), e.reg(b));
+            let dst = e.alloc(i);
+            match e.target {
+                Target::Alpha => e.emit(format!("subq {ra},{rb},{dst}")),
+                Target::Mips => e.emit(format!("subu {dst},{ra},{rb}")),
+                Target::Power => e.emit(format!("sf {dst},{rb},{ra}")),
+                Target::Sparc => e.emit(format!("sub {ra},{rb},{dst}")),
+                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+            }
+        }
+        Op::Neg(a) => {
+            let ra = e.reg(a);
+            let dst = e.alloc(i);
+            match e.target {
+                Target::Alpha => e.emit(format!("subq $31,{ra},{dst}")),
+                Target::Mips => e.emit(format!("negu {dst},{ra}")),
+                Target::Power => e.emit(format!("neg {dst},{ra}")),
+                Target::Sparc => e.emit(format!("sub %g0,{ra},{dst}")),
+                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+            }
+        }
+        Op::MulL(a, b) => {
+            let (ra, rb) = (e.reg(a), e.reg(b));
+            let dst = e.alloc(i);
+            match e.target {
+                Target::Alpha => e.emit(format!("mulq {ra},{rb},{dst}")),
+                Target::Mips => {
+                    e.emit(format!("multu {ra},{rb}"));
+                    e.emit(format!("mflo {dst}"));
+                }
+                Target::Power => e.emit(format!("muls {dst},{ra},{rb}")),
+                Target::Sparc => e.emit(format!("umul {ra},{rb},{dst}")),
+                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+            }
+        }
+        Op::MulUH(a, b) => {
+            let (ra, rb) = (e.reg(a), e.reg(b));
+            let dst = e.alloc(i);
+            match e.target {
+                Target::Alpha => {
+                    if w == 32 {
+                        // 64-bit full product then a 32-bit shift down.
+                        e.emit(format!("mulq {ra},{rb},{dst}"));
+                        e.emit(format!("srl {dst},32,{dst}"));
+                    } else {
+                        e.emit(format!("umulh {ra},{rb},{dst}"));
+                    }
+                }
+                Target::Mips => {
+                    e.emit(format!("multu {ra},{rb}"));
+                    e.emit(format!("mfhi {dst}"));
+                }
+                Target::Power => e.emit(format!("mulhwu {dst},{ra},{rb}")),
+                Target::Sparc => {
+                    e.emit(format!("umul {ra},{rb},%g0"));
+                    e.emit(format!("rd %y,{dst}"));
+                }
+                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+            }
+        }
+        Op::MulSH(a, b) => {
+            let (ra, rb) = (e.reg(a), e.reg(b));
+            let dst = e.alloc(i);
+            match e.target {
+                Target::Alpha => {
+                    if w == 32 {
+                        e.emit(format!("mulq {ra},{rb},{dst}"));
+                        e.emit(format!("sra {dst},32,{dst}"));
+                    } else {
+                        // No mulsh on Alpha: umulh + the §3 correction.
+                        e.emit(format!("umulh {ra},{rb},{dst}"));
+                        e.comment("mulsh correction: dst -= (a<0 ? b : 0) + (b<0 ? a : 0)");
+                        e.emit(format!("sra {ra},63,$28"));
+                        e.emit(format!("and $28,{rb},$28"));
+                        e.emit(format!("subq {dst},$28,{dst}"));
+                        e.emit(format!("sra {rb},63,$28"));
+                        e.emit(format!("and $28,{ra},$28"));
+                        e.emit(format!("subq {dst},$28,{dst}"));
+                    }
+                }
+                Target::Mips => {
+                    e.emit(format!("mult {ra},{rb}"));
+                    e.emit(format!("mfhi {dst}"));
+                }
+                Target::Power => e.emit(format!("mulhw {dst},{ra},{rb}")),
+                Target::Sparc => {
+                    e.emit(format!("smul {ra},{rb},%g0"));
+                    e.emit(format!("rd %y,{dst}"));
+                }
+                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+            }
+        }
+        Op::And(a, b) | Op::Or(a, b) | Op::Eor(a, b) => {
+            let (ra, rb) = (e.reg(a), e.reg(b));
+            let dst = e.alloc(i);
+            let (alpha, mips, power, sparc) = match op {
+                Op::And(..) => ("and", "and", "and", "and"),
+                Op::Or(..) => ("bis", "or", "or", "or"),
+                _ => ("xor", "xor", "xor", "xor"),
+            };
+            match e.target {
+                Target::Alpha => e.emit(format!("{alpha} {ra},{rb},{dst}")),
+                Target::Mips => e.emit(format!("{mips} {dst},{ra},{rb}")),
+                Target::Power => e.emit(format!("{power} {dst},{ra},{rb}")),
+                Target::Sparc => e.emit(format!("{sparc} {ra},{rb},{dst}")),
+                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+            }
+        }
+        Op::Not(a) => {
+            let ra = e.reg(a);
+            let dst = e.alloc(i);
+            match e.target {
+                Target::Alpha => e.emit(format!("ornot $31,{ra},{dst}")),
+                Target::Mips => e.emit(format!("nor {dst},{ra},$0")),
+                Target::Power => e.emit(format!("sfi {dst},{ra},-1")),
+                Target::Sparc => e.emit(format!("xnor {ra},%g0,{dst}")),
+                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+            }
+        }
+        Op::Sll(a, n) | Op::Srl(a, n) | Op::Sra(a, n) => {
+            let ra = e.reg(a);
+            let dst = e.alloc(i);
+            let kind = match op {
+                Op::Sll(..) => 0,
+                Op::Srl(..) => 1,
+                _ => 2,
+            };
+            match e.target {
+                Target::Alpha => {
+                    // 32-bit programs run zero-extended in 64-bit regs:
+                    // logical shifts need the 64-bit counts adjusted only
+                    // for SRA (sign lives at bit 31). Keep it simple: for
+                    // w == 32 sra first sign-extends with addl.
+                    match kind {
+                        0 => {
+                            e.emit(format!("sll {ra},{n},{dst}"));
+                            if w == 32 {
+                                e.emit(format!("zapnot {dst},15,{dst}"));
+                            }
+                        }
+                        1 => e.emit(format!("srl {ra},{n},{dst}")),
+                        _ => {
+                            if w == 32 {
+                                e.emit(format!("addl {ra},0,{dst}")); // sign-extend
+                                e.emit(format!("sra {dst},{n},{dst}"));
+                                e.emit(format!("zapnot {dst},15,{dst}"));
+                            } else {
+                                e.emit(format!("sra {ra},{n},{dst}"));
+                            }
+                        }
+                    }
+                }
+                Target::Mips => {
+                    let mn = ["sll", "srl", "sra"][kind];
+                    e.emit(format!("{mn} {dst},{ra},{n}"));
+                }
+                Target::Power => {
+                    let mn = ["sli", "sri", "srai"][kind];
+                    e.emit(format!("{mn} {dst},{ra},{n}"));
+                }
+                Target::Sparc => {
+                    let mn = ["sll", "srl", "sra"][kind];
+                    e.emit(format!("{mn} {ra},{n},{dst}"));
+                }
+                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+            }
+        }
+        Op::Xsign(a) => {
+            let ra = e.reg(a);
+            let dst = e.alloc(i);
+            let n = w - 1;
+            match e.target {
+                Target::Alpha => {
+                    if w == 32 {
+                        e.emit(format!("addl {ra},0,{dst}"));
+                        e.emit(format!("sra {dst},31,{dst}"));
+                        e.emit(format!("zapnot {dst},15,{dst}"));
+                    } else {
+                        e.emit(format!("sra {ra},63,{dst}"));
+                    }
+                }
+                Target::Mips => e.emit(format!("sra {dst},{ra},{n}")),
+                Target::Power => e.emit(format!("srai {dst},{ra},{n}")),
+                Target::Sparc => e.emit(format!("sra {ra},{n},{dst}")),
+                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+            }
+        }
+        Op::SltS(a, b) | Op::SltU(a, b) => {
+            let (ra, rb) = (e.reg(a), e.reg(b));
+            let dst = e.alloc(i);
+            let signed = matches!(op, Op::SltS(..));
+            match e.target {
+                Target::Alpha => {
+                    let mn = if signed { "cmplt" } else { "cmpult" };
+                    e.emit(format!("{mn} {ra},{rb},{dst}"));
+                }
+                Target::Mips => {
+                    let mn = if signed { "slt" } else { "sltu" };
+                    e.emit(format!("{mn} {dst},{ra},{rb}"));
+                }
+                Target::Power => {
+                    // POWER lacks set-less-than; the classic expansion.
+                    e.comment("slt via subfc/subfe carry sequence");
+                    e.emit(format!("{} {dst},{ra},{rb}", if signed { "slt.pseudo" } else { "sltu.pseudo" }));
+                }
+                Target::Sparc => {
+                    e.emit(format!("cmp {ra},{rb}"));
+                    e.emit(format!("addx %g0,0,{dst}"));
+                    if signed {
+                        e.comment("signed variant uses bl/set sequence on V8");
+                    }
+                }
+                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+            }
+        }
+        Op::DivU(a, b) | Op::DivS(a, b) | Op::RemU(a, b) | Op::RemS(a, b) => {
+            let (ra, rb) = (e.reg(a), e.reg(b));
+            let dst = e.alloc(i);
+            let (unsigned, rem) = match op {
+                Op::DivU(..) => (true, false),
+                Op::DivS(..) => (false, false),
+                Op::RemU(..) => (true, true),
+                _ => (false, true),
+            };
+            match e.target {
+                Target::Alpha => {
+                    // No divide instruction: a library call (the paper's
+                    // Table 11.2 footnote).
+                    let f = match (unsigned, rem) {
+                        (true, false) => "__divqu",
+                        (false, false) => "__divq",
+                        (true, true) => "__remqu",
+                        (false, true) => "__remq",
+                    };
+                    e.emit(format!("bis {ra},{ra},$24"));
+                    e.emit(format!("bis {rb},{rb},$25"));
+                    e.emit(format!("jsr $23,{f}"));
+                    e.emit(format!("bis $27,$27,{dst}"));
+                }
+                Target::Mips => {
+                    let mn = if unsigned { "divu" } else { "div" };
+                    e.emit(format!("{mn} $0,{ra},{rb}"));
+                    e.emit(format!("{} {dst}", if rem { "mfhi" } else { "mflo" }));
+                }
+                Target::Power => {
+                    let mn = if unsigned { "divwu" } else { "divw" };
+                    if rem {
+                        e.emit(format!("{mn} {dst},{ra},{rb}"));
+                        e.emit(format!("muls {dst},{dst},{rb}"));
+                        e.emit(format!("sf {dst},{dst},{ra}"));
+                    } else {
+                        e.emit(format!("{mn} {dst},{ra},{rb}"));
+                    }
+                }
+                Target::Sparc => {
+                    let mn = if unsigned { "udiv" } else { "sdiv" };
+                    e.emit("wr %g0,%g0,%y".into());
+                    if rem {
+                        e.emit(format!("{mn} {ra},{rb},{dst}"));
+                        e.emit(format!("smul {dst},{rb},{dst}"));
+                        e.emit(format!("sub {ra},{dst},{dst}"));
+                    } else {
+                        e.emit(format!("{mn} {ra},{rb},{dst}"));
+                    }
+                }
+                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+            }
+        }
+    }
+    let _ = prog;
+}
+
+/// Two-address x86 emission: every value-producing op starts with a
+/// `mov dst, src1`, multiplies and divides go through `EDX:EAX`,
+/// constants fold as `imm32` operands (x86 has them; the pool only has
+/// four registers once `eax`/`edx` are reserved for `mul`/`div`).
+fn emit_one_x86(e: &mut Emitter, prog: &Program, i: usize, op: &Op) {
+    // Resolve an operand to either its register name or an immediate.
+    let rm = |e: &Emitter, r: Reg| -> (String, bool) {
+        match prog.insts()[r.index()] {
+            Op::Const(c) => (format!("0x{c:x}"), true),
+            _ => (e.reg(r), false),
+        }
+    };
+    let two_addr = |e: &mut Emitter, i: usize, mn: &str, a: Reg, b: Reg| {
+        let (ra, a_imm) = rm(e, a);
+        let (rb, _) = rm(e, b);
+        let dst = e.alloc(i);
+        // An immediate first operand always needs staging; a register one
+        // only when allocation picked a different destination.
+        if a_imm || dst != ra {
+            e.emit(format!("mov {dst},{ra}"));
+        }
+        e.emit(format!("{mn} {dst},{rb}"));
+    };
+    let unary = |e: &mut Emitter, i: usize, mn: &str, a: Reg| {
+        let (ra, _) = rm(e, a);
+        let dst = e.alloc(i);
+        if dst != ra {
+            e.emit(format!("mov {dst},{ra}"));
+        }
+        e.emit(format!("{mn} {dst}"));
+    };
+    let shift = |e: &mut Emitter, i: usize, mn: &str, a: Reg, n: u32| {
+        let (ra, _) = rm(e, a);
+        let dst = e.alloc(i);
+        if dst != ra {
+            e.emit(format!("mov {dst},{ra}"));
+        }
+        e.emit(format!("{mn} {dst},{n}"));
+    };
+    match *op {
+        Op::Arg(k) => {
+            let argreg = e.target.arg_register(k);
+            let dst = e.alloc(i);
+            // eax is not in the pool, so this always moves the argument
+            // into a callee-chosen register (eax stays free for mul/div).
+            e.emit(format!("mov {dst},{argreg}"));
+        }
+        Op::Const(_) => {
+            // Folded as an immediate at each use; nothing to emit.
+        }
+        Op::Add(a, b) => two_addr(e, i, "add", a, b),
+        Op::Sub(a, b) => two_addr(e, i, "sub", a, b),
+        Op::And(a, b) => two_addr(e, i, "and", a, b),
+        Op::Or(a, b) => two_addr(e, i, "or", a, b),
+        Op::Eor(a, b) => two_addr(e, i, "xor", a, b),
+        Op::MulL(a, b) => two_addr(e, i, "imul", a, b), // imul r32, r/m32/imm32
+        Op::Neg(a) => unary(e, i, "neg", a),
+        Op::Not(a) => unary(e, i, "not", a),
+        Op::Sll(a, n) => shift(e, i, "shl", a, n),
+        Op::Srl(a, n) => shift(e, i, "shr", a, n),
+        Op::Sra(a, n) => shift(e, i, "sar", a, n),
+        Op::Xsign(a) => shift(e, i, "sar", a, 31),
+        Op::MulUH(a, b) | Op::MulSH(a, b) => {
+            // One-operand mul/imul: EDX:EAX = EAX * r/m32. The r/m operand
+            // must be a register, so when one side is a constant put it in
+            // EAX (multiplication commutes).
+            let mn = if matches!(op, Op::MulUH(..)) { "mul" } else { "imul" };
+            let (ra, a_imm) = rm(e, a);
+            let (rb, b_imm) = rm(e, b);
+            let dst = e.alloc(i);
+            match (a_imm, b_imm) {
+                (false, false) | (true, false) => {
+                    e.emit(format!("mov eax,{ra}"));
+                    e.emit(format!("{mn} {rb}"));
+                }
+                (false, true) => {
+                    e.emit(format!("mov eax,{rb}"));
+                    e.emit(format!("{mn} {ra}"));
+                }
+                (true, true) => unreachable!("const*const folds in the optimizer"),
+            }
+            e.emit(format!("mov {dst},edx"));
+        }
+        Op::SltU(a, b) | Op::SltS(a, b) => {
+            let set = if matches!(op, Op::SltU(..)) { "setb" } else { "setl" };
+            let (ra, a_imm) = rm(e, a);
+            let (rb, _) = rm(e, b);
+            let dst = e.alloc(i);
+            if a_imm {
+                // cmp's first operand must be r/m: stage the immediate.
+                e.emit(format!("mov {dst},{ra}"));
+                e.emit(format!("cmp {dst},{rb}"));
+            } else {
+                e.emit(format!("cmp {ra},{rb}"));
+            }
+            e.emit(format!("{set} dl"));
+            e.emit(format!("movzx {dst},dl"));
+        }
+        Op::DivU(a, b) | Op::DivS(a, b) | Op::RemU(a, b) | Op::RemS(a, b) => {
+            let (unsigned, rem) = match op {
+                Op::DivU(..) => (true, false),
+                Op::DivS(..) => (false, false),
+                Op::RemU(..) => (true, true),
+                _ => (false, true),
+            };
+            let (ra, _) = rm(e, a);
+            let (rb, b_imm) = rm(e, b);
+            let dst = e.alloc(i);
+            e.emit(format!("mov eax,{ra}"));
+            let divisor = if b_imm {
+                // The divisor must be r/m: stage it in dst (read before
+                // dst is overwritten with the result).
+                e.emit(format!("mov {dst},{rb}"));
+                dst.clone()
+            } else {
+                rb
+            };
+            if unsigned {
+                e.emit("xor edx,edx".into());
+                e.emit(format!("div {divisor}"));
+            } else {
+                e.emit("cdq".into());
+                e.emit(format!("idiv {divisor}"));
+            }
+            e.emit(format!("mov {dst},{}", if rem { "edx" } else { "eax" }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::divgen::{gen_signed_div, gen_unsigned_div, gen_unsigned_divrem};
+
+    #[test]
+    fn all_targets_emit_divide_free_magic_code() {
+        for &t in &Target::ALL {
+            let prog = gen_unsigned_div(10, 32);
+            let asm = emit_assembly(&prog, t, "udiv10");
+            assert!(!asm.uses_divide(), "{t}: {asm}");
+            assert!(asm.instruction_count() >= 3, "{t}: {asm}");
+        }
+    }
+
+    #[test]
+    fn mips_uses_multu_mfhi() {
+        let asm = emit_assembly(&gen_unsigned_div(10, 32), Target::Mips, "f");
+        let text = asm.to_string();
+        assert!(text.contains("multu"), "{text}");
+        assert!(text.contains("mfhi"), "{text}");
+    }
+
+    #[test]
+    fn sparc_reads_y_register() {
+        let asm = emit_assembly(&gen_unsigned_div(10, 32), Target::Sparc, "f");
+        let text = asm.to_string();
+        assert!(text.contains("umul"), "{text}");
+        assert!(text.contains("rd %y"), "{text}");
+        assert!(text.contains("sethi"), "{text}");
+    }
+
+    #[test]
+    fn power_uses_mulhwu() {
+        let asm = emit_assembly(&gen_unsigned_div(10, 32), Target::Power, "f");
+        assert!(asm.to_string().contains("mulhwu"), "{asm}");
+    }
+
+    #[test]
+    fn alpha_32bit_uses_full_product() {
+        let asm = emit_assembly(&gen_unsigned_div(10, 32), Target::Alpha, "f");
+        let text = asm.to_string();
+        assert!(text.contains("mulq"), "{text}");
+        assert!(text.contains("srl"), "{text}");
+        assert!(!asm.uses_divide());
+    }
+
+    #[test]
+    fn alpha_hw_division_calls_library() {
+        let prog = crate::divgen::gen_unsigned_div_hw(32);
+        let asm = emit_assembly(&prog, Target::Alpha, "f");
+        assert!(asm.uses_divide(), "{asm}");
+        assert!(asm.to_string().contains("__divqu"), "{asm}");
+    }
+
+    #[test]
+    fn signed_division_emits_everywhere() {
+        for &t in &Target::ALL {
+            for d in [3i64, -7, 16, -100] {
+                let asm = emit_assembly(&gen_signed_div(d, 32), t, "sdiv");
+                assert!(!asm.uses_divide(), "{t} d={d}: {asm}");
+            }
+        }
+    }
+
+    #[test]
+    fn divrem_emits_both_results() {
+        let asm = emit_assembly(&gen_unsigned_divrem(10, 32), Target::Mips, "dr");
+        let text = asm.to_string();
+        // Two results moved into $2/$3 (or already there).
+        assert!(text.contains("mfhi") || text.contains("mflo"), "{text}");
+    }
+
+    #[test]
+    fn register_pools_survive_long_programs() {
+        // The d = 7 long sequence plus remainder on every target.
+        for &t in &Target::ALL {
+            let prog = gen_unsigned_divrem(7, 32);
+            let asm = emit_assembly(&prog, t, "dr7");
+            assert!(asm.instruction_count() > 0, "{t}");
+        }
+    }
+}

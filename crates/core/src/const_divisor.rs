@@ -1,0 +1,368 @@
+//! Const-evaluated divisors: the paper's *compile-time constant* case,
+//! expressed as Rust `const fn`.
+//!
+//! When the divisor is a literal in the source, the reciprocal can be
+//! computed during compilation — exactly what §10 does inside GCC. These
+//! types run the Figure 6.2/4.2/5.2 arithmetic in `const` context, so
+//! `CONST_BY10.divide(x)` has *zero* runtime setup and the constants can
+//! live in `static`s without `OnceLock`.
+//!
+//! (The generic [`UnsignedDivisor`](crate::UnsignedDivisor) cannot be
+//! `const fn` on stable Rust — trait methods aren't callable in `const`
+//! contexts — so these concrete 32/64-bit variants exist alongside it.)
+
+/// A `const`-constructible unsigned 32-bit divisor (Fig 4.2 strategy).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::ConstU32Divisor;
+///
+/// // Evaluated entirely at compile time:
+/// const BY10: ConstU32Divisor = ConstU32Divisor::new(10);
+/// static BY7: ConstU32Divisor = ConstU32Divisor::new(7);
+///
+/// assert_eq!(BY10.divide(1994), 199);
+/// assert_eq!(BY7.divide(u32::MAX), u32::MAX / 7);
+/// assert_eq!(BY10.div_rem(1234), (123, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstU32Divisor {
+    d: u32,
+    /// Encoded strategy: 0 = shift, 1 = mul+shift (m < 2^32),
+    /// 2 = add-fixup (m - 2^32 stored).
+    kind: u8,
+    m: u32,
+    sh_pre: u32,
+    sh_post: u32,
+}
+
+/// Fig 6.2 in const u128 arithmetic for N = 32.
+const fn choose_u32(d: u32, prec: u32) -> (u128, u32) {
+    let l = if d == 1 {
+        0
+    } else {
+        32 - ((d - 1).leading_zeros())
+    };
+    let mut sh_post = l;
+    let mut m_low = (1u128 << (32 + l)) / d as u128;
+    let mut m_high = ((1u128 << (32 + l)) + (1u128 << (32 + l - prec))) / d as u128;
+    while m_low / 2 < m_high / 2 && sh_post > 0 {
+        m_low /= 2;
+        m_high /= 2;
+        sh_post -= 1;
+    }
+    (m_high, sh_post)
+}
+
+impl ConstU32Divisor {
+    /// Computes the reciprocal constants at compile time.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at compile time, when used in `const` position) if
+    /// `d == 0`.
+    pub const fn new(d: u32) -> Self {
+        assert!(d != 0, "divisor is zero");
+        if d.is_power_of_two() {
+            return ConstU32Divisor {
+                d,
+                kind: 0,
+                m: 0,
+                sh_pre: 0,
+                sh_post: d.trailing_zeros(),
+            };
+        }
+        let (m, sh_post) = choose_u32(d, 32);
+        if m < 1 << 32 {
+            return ConstU32Divisor {
+                d,
+                kind: 1,
+                m: m as u32,
+                sh_pre: 0,
+                sh_post,
+            };
+        }
+        // Even divisor: pre-shift and re-choose (Fig 4.2).
+        if d & 1 == 0 {
+            let e = d.trailing_zeros();
+            let (m2, sp) = choose_u32(d >> e, 32 - e);
+            return ConstU32Divisor {
+                d,
+                kind: 1,
+                m: m2 as u32,
+                sh_pre: e,
+                sh_post: sp,
+            };
+        }
+        // Odd divisor with an oversized multiplier: the add-fixup path.
+        ConstU32Divisor {
+            d,
+            kind: 2,
+            m: (m - (1 << 32)) as u32,
+            sh_pre: 0,
+            sh_post,
+        }
+    }
+
+    /// The divisor this reciprocal was computed for.
+    pub const fn divisor(self) -> u32 {
+        self.d
+    }
+
+    /// Computes `n / d` without a division instruction; usable in `const`
+    /// contexts itself.
+    pub const fn divide(self, n: u32) -> u32 {
+        match self.kind {
+            0 => n >> self.sh_post,
+            1 => {
+                let hi = ((self.m as u64 * (n >> self.sh_pre) as u64) >> 32) as u32;
+                hi >> self.sh_post
+            }
+            _ => {
+                let t = ((self.m as u64 * n as u64) >> 32) as u32;
+                let q = t.wrapping_add(n.wrapping_sub(t) >> 1);
+                q >> (self.sh_post - 1)
+            }
+        }
+    }
+
+    /// Computes `n % d`.
+    pub const fn remainder(self, n: u32) -> u32 {
+        n.wrapping_sub(self.divide(n).wrapping_mul(self.d))
+    }
+
+    /// Computes quotient and remainder together.
+    pub const fn div_rem(self, n: u32) -> (u32, u32) {
+        let q = self.divide(n);
+        (q, n.wrapping_sub(q.wrapping_mul(self.d)))
+    }
+}
+
+/// A `const`-constructible unsigned 64-bit divisor.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::ConstU64Divisor;
+///
+/// const BY1E9_7: ConstU64Divisor = ConstU64Divisor::new(1_000_000_007);
+/// assert_eq!(BY1E9_7.divide(u64::MAX), u64::MAX / 1_000_000_007);
+/// // Even in const position:
+/// const Q: u64 = BY1E9_7.divide(123_456_789_012_345);
+/// assert_eq!(Q, 123_456_789_012_345 / 1_000_000_007);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstU64Divisor {
+    d: u64,
+    kind: u8,
+    m: u64,
+    sh_pre: u32,
+    sh_post: u32,
+}
+
+/// Fig 6.2 in const arithmetic for N = 64: numerators up to `2^(64+l)`
+/// need careful u128 handling when `l = 64` (the `2^128` case), using the
+/// same `(2^(2N) - 1)` trick as the runtime implementation.
+const fn choose_u64(d: u64, prec: u32) -> (u128, u32) {
+    let l = if d == 1 {
+        0
+    } else {
+        64 - ((d - 1).leading_zeros())
+    };
+    let mut sh_post = l;
+    // ⌊2^(64+l)/d⌋ with the overflow-free trick for l = 64.
+    let mut m_low = if 64 + l == 128 {
+        // d is not a power of two here (handled by the caller), so
+        // ⌊(2^128 - 1)/d⌋ == ⌊2^128/d⌋.
+        u128::MAX / d as u128
+    } else {
+        (1u128 << (64 + l)) / d as u128
+    };
+    let mut m_high = if 64 + l == 128 {
+        // (2^128 + 2^(128-prec))/d = m_low + (2^(128-prec) + r)/d where
+        // 2^128 = m_low*d + (r+1), computed without overflow.
+        let r_low = (u128::MAX % d as u128) + 1; // == 2^128 mod d (d not pow2)
+        let b = 1u128 << (128 - prec);
+        m_low + (b + r_low) / d as u128
+    } else {
+        ((1u128 << (64 + l)) + (1u128 << (64 + l - prec))) / d as u128
+    };
+    while m_low / 2 < m_high / 2 && sh_post > 0 {
+        m_low /= 2;
+        m_high /= 2;
+        sh_post -= 1;
+    }
+    (m_high, sh_post)
+}
+
+impl ConstU64Divisor {
+    /// Computes the reciprocal constants at compile time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub const fn new(d: u64) -> Self {
+        assert!(d != 0, "divisor is zero");
+        if d.is_power_of_two() {
+            return ConstU64Divisor {
+                d,
+                kind: 0,
+                m: 0,
+                sh_pre: 0,
+                sh_post: d.trailing_zeros(),
+            };
+        }
+        let (m, sh_post) = choose_u64(d, 64);
+        if m < 1 << 64 {
+            return ConstU64Divisor {
+                d,
+                kind: 1,
+                m: m as u64,
+                sh_pre: 0,
+                sh_post,
+            };
+        }
+        if d & 1 == 0 {
+            let e = d.trailing_zeros();
+            let (m2, sp) = choose_u64(d >> e, 64 - e);
+            return ConstU64Divisor {
+                d,
+                kind: 1,
+                m: m2 as u64,
+                sh_pre: e,
+                sh_post: sp,
+            };
+        }
+        ConstU64Divisor {
+            d,
+            kind: 2,
+            m: (m - (1 << 64)) as u64,
+            sh_pre: 0,
+            sh_post,
+        }
+    }
+
+    /// The divisor this reciprocal was computed for.
+    pub const fn divisor(self) -> u64 {
+        self.d
+    }
+
+    /// Computes `n / d` without a division instruction.
+    pub const fn divide(self, n: u64) -> u64 {
+        match self.kind {
+            0 => n >> self.sh_post,
+            1 => {
+                let hi = ((self.m as u128 * (n >> self.sh_pre) as u128) >> 64) as u64;
+                hi >> self.sh_post
+            }
+            _ => {
+                let t = ((self.m as u128 * n as u128) >> 64) as u64;
+                let q = t.wrapping_add(n.wrapping_sub(t) >> 1);
+                q >> (self.sh_post - 1)
+            }
+        }
+    }
+
+    /// Computes `n % d`.
+    pub const fn remainder(self, n: u64) -> u64 {
+        n.wrapping_sub(self.divide(n).wrapping_mul(self.d))
+    }
+
+    /// Computes quotient and remainder together.
+    pub const fn div_rem(self, n: u64) -> (u64, u64) {
+        let q = self.divide(n);
+        (q, n.wrapping_sub(q.wrapping_mul(self.d)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnsignedDivisor;
+
+    #[test]
+    fn const_u32_matches_runtime_exhaustive_divisor_sweep() {
+        let mut d = 1u32;
+        while d < 100_000 {
+            let cd = ConstU32Divisor::new(d);
+            let rd = UnsignedDivisor::<u32>::new(d).unwrap();
+            for n in [0u32, 1, d - 1, d, d + 1, u32::MAX / 2, u32::MAX - 1, u32::MAX] {
+                assert_eq!(cd.divide(n), rd.divide(n), "n={n} d={d}");
+                assert_eq!(cd.remainder(n), n % d, "n={n} d={d}");
+            }
+            d = d.wrapping_mul(3).wrapping_add(1);
+        }
+    }
+
+    #[test]
+    fn const_u32_exhaustive_u8_range() {
+        for d in 1u32..=1024 {
+            let cd = ConstU32Divisor::new(d);
+            for n in (0u32..=66_000).step_by(7) {
+                assert_eq!(cd.divide(n), n / d, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn const_u64_matches_runtime() {
+        for d in [
+            1u64,
+            2,
+            3,
+            7,
+            10,
+            14,
+            641,
+            274177,
+            1_000_000_007,
+            u64::MAX / 3,
+            u64::MAX - 1,
+            u64::MAX,
+            1 << 63,
+            (1 << 63) + 1,
+        ] {
+            let cd = ConstU64Divisor::new(d);
+            let rd = UnsignedDivisor::<u64>::new(d).unwrap();
+            for n in [
+                0u64,
+                1,
+                d.wrapping_sub(1),
+                d,
+                d.wrapping_add(1),
+                u64::MAX / 2,
+                u64::MAX - 1,
+                u64::MAX,
+            ] {
+                assert_eq!(cd.divide(n), rd.divide(n), "n={n} d={d}");
+                assert_eq!(cd.divide(n), n / d, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn usable_in_const_context() {
+        const BY10: ConstU32Divisor = ConstU32Divisor::new(10);
+        const Q: u32 = BY10.divide(1994);
+        const R: u32 = BY10.remainder(1994);
+        assert_eq!((Q, R), (199, 4));
+        static BY3: ConstU64Divisor = ConstU64Divisor::new(3);
+        assert_eq!(BY3.divide(u64::MAX), u64::MAX / 3);
+    }
+
+    #[test]
+    fn const_u64_randomized() {
+        let mut state = 0xfeed_f00du64;
+        for _ in 0..2_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let d = state | 1;
+            let n = state.rotate_left(17);
+            let cd = ConstU64Divisor::new(d);
+            assert_eq!(cd.divide(n), n / d, "n={n} d={d}");
+            let d_even = state.max(2) & !1;
+            let cd = ConstU64Divisor::new(d_even);
+            assert_eq!(cd.divide(n), n / d_even, "n={n} d={d_even}");
+        }
+    }
+}

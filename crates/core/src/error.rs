@@ -1,0 +1,62 @@
+//! Error types for divisor construction and doubleword division.
+
+use core::fmt;
+
+/// Error building a precomputed divisor.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::{DivisorError, UnsignedDivisor};
+///
+/// assert_eq!(UnsignedDivisor::<u32>::new(0).unwrap_err(), DivisorError::Zero);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DivisorError {
+    /// The divisor was zero; no reciprocal exists.
+    Zero,
+}
+
+impl fmt::Display for DivisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DivisorError::Zero => write!(f, "divisor is zero"),
+        }
+    }
+}
+
+impl core::error::Error for DivisorError {}
+
+/// Error dividing a doubleword dividend (§8).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::{DwordDivisor, DwordDivError};
+/// use magicdiv_dword::DWord;
+///
+/// let d = DwordDivisor::<u32>::new(10).unwrap();
+/// // Quotient of 2^40 / 10 exceeds 32 bits? No — but (10 * 2^32) / 10 == 2^32 does.
+/// let n = DWord::from_parts(10, 0);
+/// assert_eq!(d.div_rem(n).unwrap_err(), DwordDivError::QuotientOverflow);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DwordDivError {
+    /// The quotient does not fit in a single word; the §8 algorithm
+    /// requires `n < d * 2^N`.
+    QuotientOverflow,
+}
+
+impl fmt::Display for DwordDivError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DwordDivError::QuotientOverflow => {
+                write!(f, "quotient does not fit in a single word")
+            }
+        }
+    }
+}
+
+impl core::error::Error for DwordDivError {}

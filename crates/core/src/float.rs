@@ -1,0 +1,154 @@
+//! Exact integer division through floating point (§7).
+//!
+//! If the floating-point mantissa has `F` bits and `F >= N + 3`, then
+//! `TRUNC(n/d) == TRUNC(float(n) / float(d))` for all N-bit `n` and
+//! nonzero `d`, *regardless of rounding mode* — the relative error of one
+//! conversion and one division is too small to cross an integer boundary.
+//! With IEEE double precision (`F = 53`) this covers all widths up to
+//! `N = 50`.
+//!
+//! This is the paper's alternative for machines whose `MULUH`/`MULSH` is
+//! slow but whose FP divider is decent.
+
+use crate::word::{SWord, UWord};
+
+/// The widest word (in bits) for which [`trunc_div_f64`] is exact:
+/// `F - 3 = 50` for IEEE double precision.
+pub const MAX_EXACT_BITS_F64: u32 = 50;
+
+/// Computes `TRUNC(n / d)` through `f64` arithmetic (§7).
+///
+/// Exact for every word type of at most [`MAX_EXACT_BITS_F64`] bits
+/// (`i8`, `i16`, `i32`); wider types return `None` when the operands fall
+/// outside the provably-exact ±2^50 range.
+///
+/// Returns `None` when `d == 0` or exactness cannot be guaranteed.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::trunc_div_f64;
+///
+/// assert_eq!(trunc_div_f64(-7i32, 2), Some(-3)); // rounds toward zero
+/// assert_eq!(trunc_div_f64(i32::MIN, -1), Some(i32::MIN)); // wraps like hardware
+/// assert_eq!(trunc_div_f64(1i32, 0), None);
+/// ```
+pub fn trunc_div_f64<S: SWord>(n: S, d: S) -> Option<S> {
+    if d == S::ZERO {
+        return None;
+    }
+    if S::BITS > MAX_EXACT_BITS_F64 {
+        let bound = 1u128 << MAX_EXACT_BITS_F64;
+        // unsigned_abs avoids the i128::MIN.abs() panic.
+        if n.to_i128().unsigned_abs() >= bound || d.to_i128().unsigned_abs() >= bound {
+            return None;
+        }
+    }
+    let q = (n.to_i128() as f64) / (d.to_i128() as f64);
+    // trunc() rounds toward zero — exactly the required TRUNC.
+    Some(S::from_i128_truncate(q.trunc() as i128))
+}
+
+/// Computes `⌊n / d⌋` (unsigned) through `f64` arithmetic.
+///
+/// Exact for word types of at most [`MAX_EXACT_BITS_F64`] bits; wider
+/// types return `None` outside the exact range. Returns `None` when
+/// `d == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::unsigned_div_f64;
+///
+/// assert_eq!(unsigned_div_f64(u32::MAX, 10), Some(429_496_729));
+/// assert_eq!(unsigned_div_f64(1u64 << 60, 3), None); // beyond 2^50
+/// ```
+pub fn unsigned_div_f64<T: UWord>(n: T, d: T) -> Option<T> {
+    if d == T::ZERO {
+        return None;
+    }
+    if T::BITS > MAX_EXACT_BITS_F64 {
+        let bound = 1u128 << MAX_EXACT_BITS_F64;
+        if n.to_u128() >= bound || d.to_u128() >= bound {
+            return None;
+        }
+    }
+    let q = (n.to_u128() as f64) / (d.to_u128() as f64);
+    Some(T::from_u128_truncate(q.trunc() as u128))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_i16() {
+        for d in i16::MIN..=i16::MAX {
+            if d == 0 {
+                assert_eq!(trunc_div_f64(1i16, 0), None);
+                continue;
+            }
+            for n in (i16::MIN..=i16::MAX).step_by(17) {
+                assert_eq!(
+                    trunc_div_f64(n, d),
+                    Some(n.wrapping_div(d)),
+                    "n={n} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_i8_all_pairs() {
+        for d in i8::MIN..=i8::MAX {
+            for n in i8::MIN..=i8::MAX {
+                let expect = if d == 0 { None } else { Some(n.wrapping_div(d)) };
+                assert_eq!(trunc_div_f64(n, d), expect, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn i32_boundaries() {
+        let vals = [i32::MIN, i32::MIN + 1, -2, -1, 1, 2, i32::MAX - 1, i32::MAX];
+        for &n in &vals {
+            for &d in &vals {
+                assert_eq!(trunc_div_f64(n, d), Some(n.wrapping_div(d)), "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn u32_exhaustive_divisor_sweep() {
+        for d in (1u32..=u32::MAX).step_by(65537) {
+            for n in [0u32, 1, d, d.wrapping_mul(3), u32::MAX] {
+                assert_eq!(unsigned_div_f64(n, d), Some(n / d), "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_types_guard_their_range() {
+        // Inside ±2^50: exact.
+        assert_eq!(trunc_div_f64((1i64 << 49) - 1, 3), Some(((1i64 << 49) - 1) / 3));
+        // Outside: refused rather than silently inexact.
+        assert_eq!(trunc_div_f64(1i64 << 50, 3), None);
+        assert_eq!(trunc_div_f64(3i64, 1 << 50), None);
+        assert_eq!(unsigned_div_f64(1u128 << 100, 7), None);
+    }
+
+    #[test]
+    fn hard_cases_near_representability() {
+        // Quotients adjacent to integer boundaries at the widest exact
+        // width: n = q*d - 1 and q*d for large q, N = 50 bits.
+        let d = 3i64;
+        for q in [(1i64 << 48) / 3, (1i64 << 49) / 3 - 1] {
+            let n = q * d;
+            assert_eq!(trunc_div_f64(n, d), Some(q));
+            assert_eq!(trunc_div_f64(n - 1, d), Some(q - 1));
+            assert_eq!(trunc_div_f64(n + 1, d), Some(q));
+            assert_eq!(trunc_div_f64(-n, d), Some(-q));
+            assert_eq!(trunc_div_f64(-(n - 1), d), Some(-(q - 1)));
+        }
+    }
+}

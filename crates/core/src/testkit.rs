@@ -1,0 +1,168 @@
+//! Shared test utilities: edge-case catalogs and exhaustive checkers.
+//!
+//! Public so the codegen, simulator and integration-test crates can reuse
+//! one catalog of "interesting" operands — the boundary values where
+//! reciprocal algorithms historically break (powers of two and neighbors,
+//! the Fermat-factor divisors 641 and 274177, `MIN`/`MAX`, and the paper's
+//! worked examples).
+
+
+use crate::word::{SWord, UWord};
+
+/// Interesting unsigned divisors at width `T` (all nonzero).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::testkit::interesting_unsigned_divisors;
+///
+/// let ds = interesting_unsigned_divisors::<u32>();
+/// assert!(ds.contains(&7));
+/// assert!(ds.contains(&u32::MAX));
+/// assert!(!ds.contains(&0));
+/// ```
+pub fn interesting_unsigned_divisors<T: UWord>() -> Vec<T> {
+    let mut out: Vec<T> = Vec::new();
+    // Small divisors, incl. the paper's 3, 5, 7, 9, 10, 14, 25, 100, 125.
+    for small in 1u8..=127 {
+        out.push(T::from_u8(small));
+    }
+    // Powers of two and their neighbors.
+    for k in 0..T::BITS {
+        let p = T::ONE.shl_full(k);
+        out.push(p);
+        out.push(p.wrapping_add(T::ONE));
+        if p > T::ONE {
+            out.push(p.wrapping_sub(T::ONE));
+        }
+    }
+    // Fermat-number factors (zero-post-shift oddities) when they fit.
+    for special in [641u128, 274177, 6700417, 67280421310721] {
+        if special < (1u128 << T::BITS.min(127)) || T::BITS >= 128 {
+            out.push(T::from_u128_truncate(special));
+        }
+    }
+    // Top of the range.
+    out.push(T::MAX);
+    out.push(T::MAX.wrapping_sub(T::ONE));
+    out.sort_unstable();
+    out.dedup();
+    out.retain(|&d| d != T::ZERO);
+    out
+}
+
+/// Interesting unsigned dividends at width `T`, given a divisor `d`.
+pub fn interesting_unsigned_dividends<T: UWord>(d: T) -> Vec<T> {
+    let mut out: Vec<T> = vec![
+        T::ZERO,
+        T::ONE,
+        d.wrapping_sub(T::ONE),
+        d,
+        d.wrapping_add(T::ONE),
+        d.wrapping_mul(T::from_u8(2)),
+        d.wrapping_mul(T::from_u8(2)).wrapping_sub(T::ONE),
+        T::MAX,
+        T::MAX.wrapping_sub(T::ONE),
+        T::MAX.shr_full(1),
+        T::MAX.shr_full(1).wrapping_add(T::ONE),
+    ];
+    for k in (0..T::BITS).step_by(3) {
+        out.push(T::ONE.shl_full(k));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Interesting signed divisors at width `S` (all nonzero, both signs).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::testkit::interesting_signed_divisors;
+///
+/// let ds = interesting_signed_divisors::<i32>();
+/// assert!(ds.contains(&-7));
+/// assert!(ds.contains(&i32::MIN));
+/// ```
+pub fn interesting_signed_divisors<S: SWord>() -> Vec<S> {
+    let mut out: Vec<S> = Vec::new();
+    for small in 1i8..=125 {
+        out.push(S::from_i128_truncate(small as i128));
+        out.push(S::from_i128_truncate(-(small as i128)));
+    }
+    for k in 0..S::BITS - 1 {
+        let p = 1i128 << k;
+        out.push(S::from_i128_truncate(p));
+        out.push(S::from_i128_truncate(-p));
+        out.push(S::from_i128_truncate(p + 1));
+        out.push(S::from_i128_truncate(-p - 1));
+    }
+    out.push(S::MIN);
+    out.push(S::MIN.wrapping_add(S::ONE));
+    out.push(S::MAX);
+    out.push(S::MAX.wrapping_sub(S::ONE));
+    out.sort_unstable();
+    out.dedup();
+    out.retain(|&d| d != S::ZERO);
+    out
+}
+
+/// Interesting signed dividends at width `S`, given a divisor `d`.
+pub fn interesting_signed_dividends<S: SWord>(d: S) -> Vec<S> {
+    let mut out: Vec<S> = vec![
+        S::ZERO,
+        S::ONE,
+        S::MINUS_ONE,
+        d,
+        d.wrapping_neg(),
+        d.wrapping_add(S::ONE),
+        d.wrapping_sub(S::ONE),
+        S::MIN,
+        S::MIN.wrapping_add(S::ONE),
+        S::MAX,
+        S::MAX.wrapping_sub(S::ONE),
+    ];
+    for k in (0..S::BITS - 1).step_by(3) {
+        out.push(S::from_i128_truncate(1i128 << k));
+        out.push(S::from_i128_truncate(-(1i128 << k)));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogs_are_nonzero_and_deduped() {
+        let u = interesting_unsigned_divisors::<u16>();
+        assert!(u.windows(2).all(|w| w[0] < w[1]));
+        assert!(!u.contains(&0));
+        let s = interesting_signed_divisors::<i16>();
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(!s.contains(&0));
+        assert!(s.contains(&i16::MIN));
+    }
+
+    #[test]
+    fn fermat_factors_present_where_they_fit() {
+        assert!(interesting_unsigned_divisors::<u32>().contains(&641));
+        assert!(interesting_unsigned_divisors::<u64>().contains(&274177));
+        assert!(!interesting_unsigned_divisors::<u8>().contains(&0)); // truncation must not create zero
+    }
+
+    #[test]
+    fn dividends_include_boundaries() {
+        let ns = interesting_unsigned_dividends::<u32>(10);
+        for expect in [0, 1, 9, 10, 11, 19, 20, u32::MAX] {
+            assert!(ns.contains(&expect), "{expect}");
+        }
+        let ss = interesting_signed_dividends::<i32>(10);
+        for expect in [i32::MIN, -10, -1, 0, 1, 10, i32::MAX] {
+            assert!(ss.contains(&expect), "{expect}");
+        }
+    }
+}

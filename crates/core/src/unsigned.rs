@@ -1,0 +1,606 @@
+//! Unsigned division by a constant or run-time invariant divisor (§4).
+//!
+//! Two precomputed-divisor types are provided:
+//!
+//! * [`UnsignedDivisor`] follows Figure 4.2 — the *compiler* strategy for a
+//!   compile-time constant: it picks among a plain shift (powers of two), a
+//!   multiply-and-shift with an optional pre-shift (even divisors), and the
+//!   longer add-fixup sequence when the multiplier needs `N + 1` bits.
+//! * [`InvariantUnsignedDivisor`] follows Figure 4.1 — one branch-free code
+//!   shape that works for *every* divisor, suitable when the divisor is a
+//!   run-time invariant hoisted out of a loop (this is also what libdivide
+//!   calls the "branchfree" variant).
+//!
+//! Both guarantee `divide(n) == n / d` for all `n`, backed by Theorem 4.2.
+
+use core::fmt;
+use core::ops::{Div, Rem};
+
+use magicdiv_dword::DWord;
+
+use crate::choose_multiplier::choose_multiplier;
+use crate::error::DivisorError;
+use crate::word::UWord;
+
+/// The code shape Figure 4.2 selects for a given constant divisor.
+///
+/// Exposed so the code generator and the benchmarks can introspect which
+/// strategy a divisor got; constructing a variant directly is not possible
+/// outside the crate (all fields are crate-private behind accessors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum UnsignedStrategy<T> {
+    /// `d == 1`: the quotient is the dividend.
+    Identity,
+    /// `d == 2^sh`: a single logical right shift.
+    Shift {
+        /// The shift count `log2 d`.
+        sh: u32,
+    },
+    /// `m < 2^N`: `q = SRL(MULUH(m, SRL(n, sh_pre)), sh_post)`.
+    MulShift {
+        /// The magic multiplier, `m < 2^N`.
+        m: T,
+        /// Pre-shift (log2 of the even part of `d`), often 0.
+        sh_pre: u32,
+        /// Post-shift applied to the high product half.
+        sh_post: u32,
+    },
+    /// `m >= 2^N` (odd `d`): the Figure 4.1 long sequence
+    /// `t = MULUH(m - 2^N, n); q = SRL(t + SRL(n - t, 1), sh_post - 1)`.
+    MulAddShift {
+        /// The multiplier with its `2^N` bit removed.
+        m_minus_pow2n: T,
+        /// Post-shift (at least 1).
+        sh_post: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Variant<T> {
+    Identity,
+    Shift { sh: u32 },
+    MulShift { m: T, sh_pre: u32, sh_post: u32 },
+    MulAddShift { m_minus_pow2n: T, sh_post: u32 },
+}
+
+/// A precomputed unsigned divisor following the Figure 4.2 constant-divisor
+/// strategy.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::UnsignedDivisor;
+///
+/// let by10 = UnsignedDivisor::<u32>::new(10)?;
+/// assert_eq!(by10.divide(1_000_000_007), 100_000_000);
+/// assert_eq!(by10.remainder(1_000_000_007), 7);
+/// assert_eq!(12345u32 / &by10, 1234);
+/// # Ok::<(), magicdiv::DivisorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UnsignedDivisor<T> {
+    d: T,
+    variant: Variant<T>,
+}
+
+impl<T: UWord> UnsignedDivisor<T> {
+    /// Precomputes the reciprocal constants for dividing by `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    pub fn new(d: T) -> Result<Self, DivisorError> {
+        if d == T::ZERO {
+            return Err(DivisorError::Zero);
+        }
+        if d == T::ONE {
+            return Ok(UnsignedDivisor {
+                d,
+                variant: Variant::Identity,
+            });
+        }
+        let n = T::BITS;
+        let mut chosen = choose_multiplier(d, n);
+        let l = chosen.l;
+        if d.is_power_of_two() {
+            // Fig 4.2 checks `d == 2^l` before touching the multiplier —
+            // the shift path ignores m entirely (and for powers of two the
+            // even-divisor re-choose below would produce m == 2^N + 2^l,
+            // which never fits a word).
+            return Ok(UnsignedDivisor {
+                d,
+                variant: Variant::Shift { sh: l },
+            });
+        }
+        let mut sh_pre = 0;
+        if !chosen.multiplier_fits_word() && d & T::ONE == T::ZERO {
+            // Even divisor with an oversized multiplier: divide out the
+            // even part with a pre-shift and re-choose at reduced precision.
+            let e = d.trailing_zeros();
+            let d_odd = d.shr_full(e);
+            sh_pre = e;
+            chosen = choose_multiplier(d_odd, n - e);
+            debug_assert!(
+                chosen.multiplier_fits_word(),
+                "reduced multiplier must fit in a word"
+            );
+        }
+        let variant = if !chosen.multiplier_fits_word() {
+            debug_assert_eq!(sh_pre, 0);
+            debug_assert!(chosen.sh_post >= 1);
+            Variant::MulAddShift {
+                m_minus_pow2n: chosen.multiplier.lo(),
+                sh_post: chosen.sh_post,
+            }
+        } else {
+            Variant::MulShift {
+                m: chosen.multiplier.lo(),
+                sh_pre,
+                sh_post: chosen.sh_post,
+            }
+        };
+        Ok(UnsignedDivisor { d, variant })
+    }
+
+    /// The divisor this reciprocal was computed for.
+    #[inline]
+    pub fn divisor(&self) -> T {
+        self.d
+    }
+
+    /// Which Figure 4.2 code shape was selected.
+    pub fn strategy(&self) -> UnsignedStrategy<T> {
+        match self.variant {
+            Variant::Identity => UnsignedStrategy::Identity,
+            Variant::Shift { sh } => UnsignedStrategy::Shift { sh },
+            Variant::MulShift { m, sh_pre, sh_post } => {
+                UnsignedStrategy::MulShift { m, sh_pre, sh_post }
+            }
+            Variant::MulAddShift {
+                m_minus_pow2n,
+                sh_post,
+            } => UnsignedStrategy::MulAddShift {
+                m_minus_pow2n,
+                sh_post,
+            },
+        }
+    }
+
+    /// Computes `⌊n / d⌋` without a division instruction.
+    #[inline]
+    pub fn divide(&self, n: T) -> T {
+        match self.variant {
+            Variant::Identity => n,
+            Variant::Shift { sh } => n.shr_full(sh),
+            Variant::MulShift { m, sh_pre, sh_post } => {
+                m.muluh(n.shr_full(sh_pre)).shr_full(sh_post)
+            }
+            Variant::MulAddShift {
+                m_minus_pow2n,
+                sh_post,
+            } => {
+                // q = SRL(t1 + SRL(n - t1, 1), sh_post - 1); conceptually
+                // SRL(n + t1, sh_post) but n + t1 may overflow N bits.
+                let t1 = m_minus_pow2n.muluh(n);
+                t1.wrapping_add(n.wrapping_sub(t1).shr_full(1))
+                    .shr_full(sh_post - 1)
+            }
+        }
+    }
+
+    /// Computes `n mod d` by multiplying the quotient back
+    /// (`r = n - q * d`, one extra `MULL` and subtract as in §1).
+    #[inline]
+    pub fn remainder(&self, n: T) -> T {
+        n.wrapping_sub(self.divide(n).wrapping_mul(self.d))
+    }
+
+    /// Computes quotient and remainder together.
+    #[inline]
+    pub fn div_rem(&self, n: T) -> (T, T) {
+        let q = self.divide(n);
+        (q, n.wrapping_sub(q.wrapping_mul(self.d)))
+    }
+
+    /// Computes `⌈n / d⌉` (round up) — without the overflow-prone
+    /// `(n + d - 1) / d` idiom.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use magicdiv::UnsignedDivisor;
+    ///
+    /// let by10 = UnsignedDivisor::<u32>::new(10)?;
+    /// assert_eq!(by10.divide_ceil(21), 3);
+    /// assert_eq!(by10.divide_ceil(20), 2);
+    /// assert_eq!(by10.divide_ceil(u32::MAX), 429_496_730); // no overflow
+    /// # Ok::<(), magicdiv::DivisorError>(())
+    /// ```
+    #[inline]
+    pub fn divide_ceil(&self, n: T) -> T {
+        let (q, r) = self.div_rem(n);
+        if r == T::ZERO {
+            q
+        } else {
+            q.wrapping_add(T::ONE)
+        }
+    }
+
+    /// Divides every element of `values` in place — the batch form of the
+    /// loop the paper hoists the reciprocal out of.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use magicdiv::UnsignedDivisor;
+    ///
+    /// let by7 = UnsignedDivisor::<u64>::new(7)?;
+    /// let mut xs = [0u64, 6, 7, 8, 700];
+    /// by7.divide_slice_in_place(&mut xs);
+    /// assert_eq!(xs, [0, 0, 1, 1, 100]);
+    /// # Ok::<(), magicdiv::DivisorError>(())
+    /// ```
+    pub fn divide_slice_in_place(&self, values: &mut [T]) {
+        for v in values {
+            *v = self.divide(*v);
+        }
+    }
+}
+
+impl<T: UWord> fmt::Display for UnsignedDivisor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UnsignedDivisor(/{})", self.d)
+    }
+}
+
+/// A precomputed unsigned divisor following Figure 4.1: one branch-free
+/// code shape valid for every nonzero divisor.
+///
+/// Prefer this over [`UnsignedDivisor`] when the divisor is a run-time
+/// invariant (e.g. hoisted out of a loop): setup does no divisor-structure
+/// branching, and `divide` is straight-line code.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::InvariantUnsignedDivisor;
+///
+/// for d in 1u32..=20 {
+///     let inv = InvariantUnsignedDivisor::new(d)?;
+///     assert_eq!(inv.divide(1000), 1000 / d);
+/// }
+/// # Ok::<(), magicdiv::DivisorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InvariantUnsignedDivisor<T> {
+    d: T,
+    /// `m - 2^N` where `m = ⌊2^(N+l)/d⌋ + 1`.
+    m_prime: T,
+    sh1: u32,
+    sh2: u32,
+}
+
+impl<T: UWord> InvariantUnsignedDivisor<T> {
+    /// Precomputes the Figure 4.1 constants for dividing by `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    pub fn new(d: T) -> Result<Self, DivisorError> {
+        if d == T::ZERO {
+            return Err(DivisorError::Zero);
+        }
+        let n = T::BITS;
+        let l = d.ceil_log2();
+        // m' = ⌊2^N * (2^l - d) / d⌋ + 1 = ⌊2^(N+l)/d⌋ - 2^N + 1.
+        let two_nl = if n + l == 2 * n {
+            // d > 2^(N-1): ⌊2^(2N)/d⌋ = ⌊(2^(2N)-1)/d⌋ since d is not a
+            // power of two here (2^(N-1) is the largest power of two and
+            // has l = N - 1).
+            DWord::from_parts(T::MAX, T::MAX)
+                .div_rem_limb(d)
+                .expect("nonzero")
+                .0
+        } else {
+            DWord::pow2(n + l).div_rem_limb(d).expect("nonzero").0
+        };
+        let m_prime = two_nl
+            .wrapping_sub(DWord::from_hi(T::ONE))
+            .wrapping_add_limb(T::ONE)
+            .lo();
+        Ok(InvariantUnsignedDivisor {
+            d,
+            m_prime,
+            sh1: l.min(1),
+            sh2: l.saturating_sub(1),
+        })
+    }
+
+    /// The divisor this reciprocal was computed for.
+    #[inline]
+    pub fn divisor(&self) -> T {
+        self.d
+    }
+
+    /// The Figure 4.1 constants `(m - 2^N, sh1, sh2)`.
+    #[inline]
+    pub fn constants(&self) -> (T, u32, u32) {
+        (self.m_prime, self.sh1, self.sh2)
+    }
+
+    /// Computes `⌊n / d⌋` with one `MULUH`, two add/subtracts and two
+    /// shifts — branch-free.
+    #[inline]
+    pub fn divide(&self, n: T) -> T {
+        let t1 = self.m_prime.muluh(n);
+        t1.wrapping_add(n.wrapping_sub(t1).shr_full(self.sh1))
+            .shr_full(self.sh2)
+    }
+
+    /// Computes `n mod d` via multiply-back.
+    #[inline]
+    pub fn remainder(&self, n: T) -> T {
+        n.wrapping_sub(self.divide(n).wrapping_mul(self.d))
+    }
+
+    /// Computes quotient and remainder together.
+    #[inline]
+    pub fn div_rem(&self, n: T) -> (T, T) {
+        let q = self.divide(n);
+        (q, n.wrapping_sub(q.wrapping_mul(self.d)))
+    }
+}
+
+impl<T: UWord> fmt::Display for InvariantUnsignedDivisor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InvariantUnsignedDivisor(/{})", self.d)
+    }
+}
+
+macro_rules! impl_div_ops {
+    ($t:ty) => {
+        impl Div<&UnsignedDivisor<$t>> for $t {
+            type Output = $t;
+            #[inline]
+            fn div(self, rhs: &UnsignedDivisor<$t>) -> $t {
+                rhs.divide(self)
+            }
+        }
+        impl Rem<&UnsignedDivisor<$t>> for $t {
+            type Output = $t;
+            #[inline]
+            fn rem(self, rhs: &UnsignedDivisor<$t>) -> $t {
+                rhs.remainder(self)
+            }
+        }
+        impl Div<&InvariantUnsignedDivisor<$t>> for $t {
+            type Output = $t;
+            #[inline]
+            fn div(self, rhs: &InvariantUnsignedDivisor<$t>) -> $t {
+                rhs.divide(self)
+            }
+        }
+        impl Rem<&InvariantUnsignedDivisor<$t>> for $t {
+            type Output = $t;
+            #[inline]
+            fn rem(self, rhs: &InvariantUnsignedDivisor<$t>) -> $t {
+                rhs.remainder(self)
+            }
+        }
+    };
+}
+
+impl_div_ops!(u8);
+impl_div_ops!(u16);
+impl_div_ops!(u32);
+impl_div_ops!(u64);
+impl_div_ops!(u128);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_u8_both_types() {
+        for d in 1u8..=u8::MAX {
+            let cd = UnsignedDivisor::new(d).unwrap();
+            let id = InvariantUnsignedDivisor::new(d).unwrap();
+            for n in 0u8..=u8::MAX {
+                assert_eq!(cd.divide(n), n / d, "constant n={n} d={d}");
+                assert_eq!(id.divide(n), n / d, "invariant n={n} d={d}");
+                assert_eq!(cd.remainder(n), n % d, "rem n={n} d={d}");
+                assert_eq!(id.div_rem(n), (n / d, n % d), "divrem n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_divisors_u16_sampled_dividends() {
+        let ns: Vec<u16> = (0..=300)
+            .chain((0..16).map(|k| 1u16 << k))
+            .chain((1..16).map(|k| (1u16 << k) - 1))
+            .chain([u16::MAX, u16::MAX - 1, 32768, 32767])
+            .collect();
+        for d in 1u16..=u16::MAX {
+            let cd = UnsignedDivisor::new(d).unwrap();
+            for &n in &ns {
+                assert_eq!(cd.divide(n), n / d, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn invariant_all_divisors_u16_sampled_dividends() {
+        let ns = [0u16, 1, 2, 9, 10, 99, 100, 255, 256, 32767, 32768, 65534, 65535];
+        for d in 1u16..=u16::MAX {
+            let id = InvariantUnsignedDivisor::new(d).unwrap();
+            for &n in &ns {
+                assert_eq!(id.divide(n), n / d, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_strategy_d10() {
+        let d = UnsignedDivisor::<u32>::new(10).unwrap();
+        match d.strategy() {
+            UnsignedStrategy::MulShift { m, sh_pre, sh_post } => {
+                assert_eq!(m as u128, ((1u128 << 34) + 1) / 5);
+                assert_eq!(sh_pre, 0);
+                assert_eq!(sh_post, 3);
+            }
+            s => panic!("unexpected strategy {s:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_strategy_d7_long_sequence() {
+        let d = UnsignedDivisor::<u32>::new(7).unwrap();
+        match d.strategy() {
+            UnsignedStrategy::MulAddShift {
+                m_minus_pow2n,
+                sh_post,
+            } => {
+                let m = ((1u128 << 35) + 3) / 7;
+                assert_eq!(m_minus_pow2n as u128, m - (1 << 32));
+                assert_eq!(sh_post, 3);
+            }
+            s => panic!("unexpected strategy {s:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_strategy_d14_pre_shift() {
+        let d = UnsignedDivisor::<u32>::new(14).unwrap();
+        match d.strategy() {
+            UnsignedStrategy::MulShift { m, sh_pre, sh_post } => {
+                assert_eq!(m as u128, ((1u128 << 34) + 5) / 7);
+                assert_eq!(sh_pre, 1);
+                assert_eq!(sh_post, 2);
+            }
+            s => panic!("unexpected strategy {s:?}"),
+        }
+    }
+
+    #[test]
+    fn powers_of_two_use_shift() {
+        for k in 1..32 {
+            let d = UnsignedDivisor::<u32>::new(1 << k).unwrap();
+            assert_eq!(d.strategy(), UnsignedStrategy::Shift { sh: k });
+        }
+        assert_eq!(
+            UnsignedDivisor::<u32>::new(1).unwrap().strategy(),
+            UnsignedStrategy::Identity
+        );
+    }
+
+    #[test]
+    fn boundary_dividends_u32() {
+        let divisors = [
+            1u32,
+            2,
+            3,
+            7,
+            10,
+            14,
+            641,
+            274177,
+            0x7fff_ffff,
+            0x8000_0000,
+            0x8000_0001,
+            u32::MAX - 1,
+            u32::MAX,
+        ];
+        for &d in &divisors {
+            let cd = UnsignedDivisor::new(d).unwrap();
+            let id = InvariantUnsignedDivisor::new(d).unwrap();
+            let ns = [
+                0u32,
+                1,
+                d.wrapping_sub(1),
+                d,
+                d.wrapping_add(1),
+                d.wrapping_mul(2),
+                u32::MAX / 2,
+                u32::MAX / 2 + 1,
+                u32::MAX - 1,
+                u32::MAX,
+            ];
+            for &n in &ns {
+                assert_eq!(cd.divide(n), n / d, "constant n={n} d={d}");
+                assert_eq!(id.divide(n), n / d, "invariant n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_dividends_u64_and_u128() {
+        let d64s = [1u64, 3, 10, 274177, 1 << 33, u64::MAX, u64::MAX / 2];
+        for &d in &d64s {
+            let cd = UnsignedDivisor::new(d).unwrap();
+            for n in [0u64, 1, d, d.wrapping_add(1), u64::MAX, u64::MAX - 1, u64::MAX / 3] {
+                assert_eq!(cd.divide(n), n / d, "n={n} d={d}");
+            }
+        }
+        let d128s = [1u128, 3, 10, 274177, 1 << 100, u128::MAX, u128::MAX / 7];
+        for &d in &d128s {
+            let cd = UnsignedDivisor::new(d).unwrap();
+            let id = InvariantUnsignedDivisor::new(d).unwrap();
+            for n in [0u128, 1, d, d.wrapping_add(1), u128::MAX, u128::MAX - 1, u128::MAX / 3] {
+                assert_eq!(cd.divide(n), n / d, "n={n} d={d}");
+                assert_eq!(id.divide(n), n / d, "invariant n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn div_rem_operators() {
+        let d = UnsignedDivisor::<u64>::new(1000).unwrap();
+        assert_eq!(123_456u64 / &d, 123);
+        assert_eq!(123_456u64 % &d, 456);
+        let i = InvariantUnsignedDivisor::<u64>::new(1000).unwrap();
+        assert_eq!(123_456u64 / &i, 123);
+        assert_eq!(123_456u64 % &i, 456);
+    }
+
+    #[test]
+    fn zero_divisor_rejected() {
+        assert_eq!(UnsignedDivisor::<u32>::new(0).unwrap_err(), DivisorError::Zero);
+        assert_eq!(
+            InvariantUnsignedDivisor::<u32>::new(0).unwrap_err(),
+            DivisorError::Zero
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let d = UnsignedDivisor::<u32>::new(7).unwrap();
+        assert_eq!(format!("{d}"), "UnsignedDivisor(/7)");
+    }
+}
+
+#[cfg(test)]
+mod rounding_tests {
+    use super::*;
+
+    #[test]
+    fn divide_ceil_exhaustive_u8() {
+        for d in 1u8..=u8::MAX {
+            let cd = UnsignedDivisor::new(d).unwrap();
+            for n in 0u8..=u8::MAX {
+                let expect = (n as u16).div_ceil(d as u16) as u8;
+                assert_eq!(cd.divide_ceil(n), expect, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_division_u64() {
+        let cd = UnsignedDivisor::<u64>::new(1_000_000_007).unwrap();
+        let mut xs: Vec<u64> = (0..100).map(|i| i * 987_654_321_987).collect();
+        let expect: Vec<u64> = xs.iter().map(|&x| x / 1_000_000_007).collect();
+        cd.divide_slice_in_place(&mut xs);
+        assert_eq!(xs, expect);
+    }
+}

@@ -1,0 +1,38 @@
+//! Portable doubleword integer arithmetic.
+//!
+//! Granlund & Montgomery's algorithms (PLDI 1994) need *doubleword*
+//! arithmetic in two places:
+//!
+//! * the compile-time multiplier selection `CHOOSE_MULTIPLIER` (Fig 6.2)
+//!   computes `⌊2^(N+l)/d⌋`, whose numerator needs up to `2N` bits, and the
+//!   multiplier itself can be `N + 1` bits wide;
+//! * the §8 algorithm divides a `udword` (a `2N`-bit value) by a `uword`.
+//!
+//! For `N = 32` one can lean on `u64`, and for `N = 64` on `u128`, but for
+//! `N = 128` no wider native type exists. This crate provides [`DWord<T>`],
+//! a `(hi, lo)` pair over any machine word implementing [`Limb`], with
+//! add/sub/shift/compare, widening multiplication, and division — enough to
+//! run every paper algorithm at any width, and to cross-check the
+//! `u128`-based fast paths used by `magicdiv` proper.
+//!
+//! # Examples
+//!
+//! ```
+//! use magicdiv_dword::DWord;
+//!
+//! // 2^40 / 10 with 32-bit limbs: numerator does not fit in one limb.
+//! let n = DWord::<u32>::from_parts(1 << 8, 0); // 2^40
+//! let (q, r) = n.div_rem_limb(10).unwrap();
+//! assert_eq!(q.to_u128(), (1u128 << 40) / 10);
+//! assert_eq!(r, ((1u128 << 40) % 10) as u32);
+//! ```
+
+#![no_std]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dword;
+mod limb;
+
+pub use crate::dword::DWord;
+pub use crate::limb::Limb;

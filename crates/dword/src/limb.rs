@@ -1,0 +1,472 @@
+//! The [`Limb`] trait: the unsigned machine word a [`DWord`] is built from.
+//!
+//! [`DWord`]: crate::DWord
+
+use core::fmt;
+use core::hash::Hash;
+use core::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// An unsigned machine word usable as half of a [`DWord`](crate::DWord).
+///
+/// This is deliberately a *narrow* interface: exactly the operations the
+/// paper's compile-time arithmetic needs, implemented for `u8`, `u16`,
+/// `u32`, `u64` and `u128`. The trait is sealed — the algorithms in the
+/// workspace are only proved (and tested) for two's-complement words of
+/// power-of-two width.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_dword::Limb;
+///
+/// fn is_pow2<T: Limb>(x: T) -> bool {
+///     x != T::ZERO && x.bitand(x.wrapping_sub(T::ONE)) == T::ZERO
+/// }
+/// assert!(is_pow2(64u32));
+/// assert!(!is_pow2(100u64));
+/// ```
+pub trait Limb:
+    Copy
+    + Eq
+    + Ord
+    + Hash
+    + Default
+    + fmt::Debug
+    + fmt::Display
+    + fmt::LowerHex
+    + fmt::UpperHex
+    + fmt::Binary
+    + fmt::Octal
+    + BitAnd<Output = Self>
+    + BitOr<Output = Self>
+    + BitXor<Output = Self>
+    + Not<Output = Self>
+    + Send
+    + Sync
+    + sealed::Sealed
+    + 'static
+{
+    /// Number of bits in the word (the paper's `N`).
+    const BITS: u32;
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// The all-ones word, `2^N - 1`.
+    const MAX: Self;
+
+    /// Addition modulo `2^N`.
+    fn wrapping_add(self, rhs: Self) -> Self;
+    /// Subtraction modulo `2^N`.
+    fn wrapping_sub(self, rhs: Self) -> Self;
+    /// Multiplication modulo `2^N` (the paper's `MULL`).
+    fn wrapping_mul(self, rhs: Self) -> Self;
+    /// Two's-complement negation.
+    fn wrapping_neg(self) -> Self;
+    /// Addition with carry-out.
+    fn overflowing_add(self, rhs: Self) -> (Self, bool);
+    /// Subtraction with borrow-out.
+    fn overflowing_sub(self, rhs: Self) -> (Self, bool);
+    /// Native truncating division, `None` when `rhs == 0`.
+    fn checked_div(self, rhs: Self) -> Option<Self>;
+    /// Native remainder, `None` when `rhs == 0`.
+    fn checked_rem(self, rhs: Self) -> Option<Self>;
+
+    /// Logical left shift by `n` bits; returns zero when `n >= BITS`.
+    fn shl_full(self, n: u32) -> Self;
+    /// Logical right shift by `n` bits; returns zero when `n >= BITS`.
+    fn shr_full(self, n: u32) -> Self;
+
+    /// Number of leading zero bits.
+    fn leading_zeros(self) -> u32;
+    /// Number of trailing zero bits.
+    fn trailing_zeros(self) -> u32;
+    /// Population count.
+    fn count_ones(self) -> u32;
+
+    /// Converts from a small constant.
+    fn from_u8(x: u8) -> Self;
+    /// Widens into `u128`, zero-extending. Lossless for all implementors.
+    fn to_u128(self) -> u128;
+    /// Truncates a `u128` into this word, keeping the low `BITS` bits.
+    fn from_u128_truncate(x: u128) -> Self;
+
+    /// Full `N x N -> 2N` multiplication; returns `(hi, lo)`.
+    ///
+    /// `hi` is the paper's `MULUH(self, rhs)` and `lo` is
+    /// `MULL(self, rhs)`.
+    fn widening_mul(self, rhs: Self) -> (Self, Self);
+
+    /// The most significant bit, i.e. the sign bit under a signed reading.
+    #[inline]
+    fn msb(self) -> bool {
+        self.shr_full(Self::BITS - 1) == Self::ONE
+    }
+
+    /// Value of bit `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `i >= BITS`.
+    #[inline]
+    fn bit(self, i: u32) -> bool {
+        debug_assert!(i < Self::BITS);
+        self.shr_full(i) & Self::ONE == Self::ONE
+    }
+
+    /// `true` when the word is an exact power of two.
+    #[inline]
+    fn is_power_of_two(self) -> bool {
+        self != Self::ZERO && self & self.wrapping_sub(Self::ONE) == Self::ZERO
+    }
+
+    /// `⌈log2 x⌉` for `x > 0`, via the paper's leading-zero-count identity
+    /// `⌈log2 x⌉ = N - LDZ(x - 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x == 0`.
+    #[inline]
+    fn ceil_log2(self) -> u32 {
+        assert!(self != Self::ZERO, "ceil_log2 of zero");
+        Self::BITS - self.wrapping_sub(Self::ONE).leading_zeros()
+    }
+
+    /// `⌊log2 x⌋` for `x > 0`, via `⌊log2 x⌋ = N - 1 - LDZ(x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x == 0`.
+    #[inline]
+    fn floor_log2(self) -> u32 {
+        assert!(self != Self::ZERO, "floor_log2 of zero");
+        Self::BITS - 1 - self.leading_zeros()
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for u16 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for u128 {}
+}
+
+/// Schoolbook `N x N -> 2N` multiplication using only `N`-bit arithmetic.
+///
+/// Used directly for `u128` (which has no wider native type) and as the
+/// test oracle for the native fast paths of the narrower limbs.
+pub(crate) fn widening_mul_schoolbook<T: Limb>(a: T, b: T) -> (T, T) {
+    let h = T::BITS / 2;
+    let mask = T::MAX.shr_full(h);
+    let (a0, a1) = (a & mask, a.shr_full(h));
+    let (b0, b1) = (b & mask, b.shr_full(h));
+
+    let ll = a0.wrapping_mul(b0);
+    let lh = a0.wrapping_mul(b1);
+    let hl = a1.wrapping_mul(b0);
+    let hh = a1.wrapping_mul(b1);
+
+    // Accumulate the two middle partial products into the halves.
+    let (mid, carry_mid) = lh.overflowing_add(hl);
+    let mid_lo = mid.shl_full(h);
+    let mid_hi = mid.shr_full(h) | if carry_mid { T::ONE.shl_full(h) } else { T::ZERO };
+
+    let (lo, carry_lo) = ll.overflowing_add(mid_lo);
+    let hi = hh
+        .wrapping_add(mid_hi)
+        .wrapping_add(if carry_lo { T::ONE } else { T::ZERO });
+    (hi, lo)
+}
+
+macro_rules! impl_limb_narrow {
+    ($t:ty, $wide:ty) => {
+        impl Limb for $t {
+            const BITS: u32 = <$t>::BITS;
+            const ZERO: Self = 0;
+            const ONE: Self = 1;
+            const MAX: Self = <$t>::MAX;
+
+            #[inline]
+            fn wrapping_add(self, rhs: Self) -> Self {
+                <$t>::wrapping_add(self, rhs)
+            }
+            #[inline]
+            fn wrapping_sub(self, rhs: Self) -> Self {
+                <$t>::wrapping_sub(self, rhs)
+            }
+            #[inline]
+            fn wrapping_mul(self, rhs: Self) -> Self {
+                <$t>::wrapping_mul(self, rhs)
+            }
+            #[inline]
+            fn wrapping_neg(self) -> Self {
+                <$t>::wrapping_neg(self)
+            }
+            #[inline]
+            fn overflowing_add(self, rhs: Self) -> (Self, bool) {
+                <$t>::overflowing_add(self, rhs)
+            }
+            #[inline]
+            fn overflowing_sub(self, rhs: Self) -> (Self, bool) {
+                <$t>::overflowing_sub(self, rhs)
+            }
+            #[inline]
+            fn checked_div(self, rhs: Self) -> Option<Self> {
+                <$t>::checked_div(self, rhs)
+            }
+            #[inline]
+            fn checked_rem(self, rhs: Self) -> Option<Self> {
+                <$t>::checked_rem(self, rhs)
+            }
+            #[inline]
+            fn shl_full(self, n: u32) -> Self {
+                if n >= Self::BITS {
+                    0
+                } else {
+                    self << n
+                }
+            }
+            #[inline]
+            fn shr_full(self, n: u32) -> Self {
+                if n >= Self::BITS {
+                    0
+                } else {
+                    self >> n
+                }
+            }
+            #[inline]
+            fn leading_zeros(self) -> u32 {
+                <$t>::leading_zeros(self)
+            }
+            #[inline]
+            fn trailing_zeros(self) -> u32 {
+                <$t>::trailing_zeros(self)
+            }
+            #[inline]
+            fn count_ones(self) -> u32 {
+                <$t>::count_ones(self)
+            }
+            #[inline]
+            fn from_u8(x: u8) -> Self {
+                x as $t
+            }
+            #[inline]
+            fn to_u128(self) -> u128 {
+                self as u128
+            }
+            #[inline]
+            fn from_u128_truncate(x: u128) -> Self {
+                x as $t
+            }
+            #[inline]
+            fn widening_mul(self, rhs: Self) -> (Self, Self) {
+                let wide = (self as $wide) * (rhs as $wide);
+                ((wide >> Self::BITS) as $t, wide as $t)
+            }
+        }
+    };
+}
+
+impl_limb_narrow!(u8, u16);
+impl_limb_narrow!(u16, u32);
+impl_limb_narrow!(u32, u64);
+impl_limb_narrow!(u64, u128);
+
+impl Limb for u128 {
+    const BITS: u32 = u128::BITS;
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+    const MAX: Self = u128::MAX;
+
+    #[inline]
+    fn wrapping_add(self, rhs: Self) -> Self {
+        u128::wrapping_add(self, rhs)
+    }
+    #[inline]
+    fn wrapping_sub(self, rhs: Self) -> Self {
+        u128::wrapping_sub(self, rhs)
+    }
+    #[inline]
+    fn wrapping_mul(self, rhs: Self) -> Self {
+        u128::wrapping_mul(self, rhs)
+    }
+    #[inline]
+    fn wrapping_neg(self) -> Self {
+        u128::wrapping_neg(self)
+    }
+    #[inline]
+    fn overflowing_add(self, rhs: Self) -> (Self, bool) {
+        u128::overflowing_add(self, rhs)
+    }
+    #[inline]
+    fn overflowing_sub(self, rhs: Self) -> (Self, bool) {
+        u128::overflowing_sub(self, rhs)
+    }
+    #[inline]
+    fn checked_div(self, rhs: Self) -> Option<Self> {
+        u128::checked_div(self, rhs)
+    }
+    #[inline]
+    fn checked_rem(self, rhs: Self) -> Option<Self> {
+        u128::checked_rem(self, rhs)
+    }
+    #[inline]
+    fn shl_full(self, n: u32) -> Self {
+        if n >= Self::BITS {
+            0
+        } else {
+            self << n
+        }
+    }
+    #[inline]
+    fn shr_full(self, n: u32) -> Self {
+        if n >= Self::BITS {
+            0
+        } else {
+            self >> n
+        }
+    }
+    #[inline]
+    fn leading_zeros(self) -> u32 {
+        u128::leading_zeros(self)
+    }
+    #[inline]
+    fn trailing_zeros(self) -> u32 {
+        u128::trailing_zeros(self)
+    }
+    #[inline]
+    fn count_ones(self) -> u32 {
+        u128::count_ones(self)
+    }
+    #[inline]
+    fn from_u8(x: u8) -> Self {
+        x as u128
+    }
+    #[inline]
+    fn to_u128(self) -> u128 {
+        self
+    }
+    #[inline]
+    fn from_u128_truncate(x: u128) -> Self {
+        x
+    }
+    #[inline]
+    fn widening_mul(self, rhs: Self) -> (Self, Self) {
+        widening_mul_schoolbook(self, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logs_match_float_reference() {
+        for x in 1u32..=4096 {
+            assert_eq!(x.ceil_log2(), (x as f64).log2().ceil() as u32, "ceil {x}");
+            assert_eq!(x.floor_log2(), (x as f64).log2().floor() as u32, "floor {x}");
+        }
+        assert_eq!(u32::MAX.ceil_log2(), 32);
+        assert_eq!(u32::MAX.floor_log2(), 31);
+        assert_eq!(1u32.ceil_log2(), 0);
+        assert_eq!(1u32.floor_log2(), 0);
+    }
+
+    #[test]
+    fn shl_shr_full_saturate() {
+        assert_eq!(1u8.shl_full(8), 0);
+        assert_eq!(0x80u8.shr_full(8), 0);
+        assert_eq!(1u8.shl_full(7), 0x80);
+        assert_eq!(0x80u8.shr_full(7), 1);
+        assert_eq!(1u128.shl_full(127), 1 << 127);
+        assert_eq!(1u128.shl_full(128), 0);
+    }
+
+    #[test]
+    fn msb_and_bit() {
+        assert!(0x80u8.msb());
+        assert!(!0x7fu8.msb());
+        assert!(5u32.bit(0));
+        assert!(!5u32.bit(1));
+        assert!(5u32.bit(2));
+        assert!((1u128 << 127).msb());
+    }
+
+    #[test]
+    fn is_power_of_two_matches_std() {
+        for x in 0u16..=u16::MAX {
+            assert_eq!(Limb::is_power_of_two(x), x.is_power_of_two(), "{x}");
+        }
+    }
+
+    #[test]
+    fn widening_mul_u8_exhaustive_vs_schoolbook() {
+        for a in 0u8..=u8::MAX {
+            for b in 0u8..=u8::MAX {
+                let native = Limb::widening_mul(a, b);
+                let school = widening_mul_schoolbook(a, b);
+                let wide = (a as u16) * (b as u16);
+                assert_eq!(native, ((wide >> 8) as u8, wide as u8));
+                assert_eq!(native, school, "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn widening_mul_u64_spot_vs_schoolbook() {
+        let samples = [
+            0u64,
+            1,
+            2,
+            3,
+            10,
+            0xffff_ffff,
+            0x1_0000_0001,
+            u64::MAX,
+            u64::MAX - 1,
+            0x8000_0000_0000_0000,
+            0xdead_beef_cafe_babe,
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(Limb::widening_mul(a, b), widening_mul_schoolbook(a, b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn widening_mul_u128_matches_split_oracle() {
+        // Oracle: compute via 64-bit limbs using u128 intermediate products.
+        fn oracle(a: u128, b: u128) -> (u128, u128) {
+            let (a0, a1) = (a as u64 as u128, a >> 64);
+            let (b0, b1) = (b as u64 as u128, b >> 64);
+            let ll = a0 * b0;
+            let lh = a0 * b1;
+            let hl = a1 * b0;
+            let hh = a1 * b1;
+            let mid = (ll >> 64) + (lh & u64::MAX as u128) + (hl & u64::MAX as u128);
+            let lo = (mid << 64) | (ll & u64::MAX as u128);
+            let hi = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+            (hi, lo)
+        }
+        let samples = [
+            0u128,
+            1,
+            3,
+            10,
+            u64::MAX as u128,
+            (u64::MAX as u128) + 1,
+            u128::MAX,
+            u128::MAX - 1,
+            1 << 127,
+            0xdead_beef_cafe_babe_0123_4567_89ab_cdef,
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(Limb::widening_mul(a, b), oracle(a, b), "{a} * {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the doubleword substrate, with special attention to
+//! `u128` limbs — the configuration with no native oracle, checked through
+//! algebraic laws instead.
+
+use magicdiv_dword::DWord;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // ---- u64 limbs: u128 oracle available ----
+
+    #[test]
+    fn mul_limb_matches_oracle(a in any::<u128>(), m in any::<u64>()) {
+        let (lo, carry) = DWord::<u64>::from_u128_truncate(a).mul_limb(m);
+        // a*m as a 192-bit value: low 128 bits + carry * 2^128.
+        let expect_lo = a.wrapping_mul(m as u128);
+        prop_assert_eq!(lo.to_u128(), expect_lo);
+        // carry = floor(a*m / 2^128), computed via the high halves.
+        let ah = a >> 64;
+        let al = a & u64::MAX as u128;
+        let full_hi = ah * m as u128 + ((al * m as u128) >> 64);
+        prop_assert_eq!(carry as u128, full_hi >> 64);
+    }
+
+    #[test]
+    fn full_div_rem_matches_oracle(a in any::<u128>(), d in 1u128..) {
+        let da = DWord::<u64>::from_u128_truncate(a);
+        let dd = DWord::<u64>::from_u128_truncate(d);
+        let (q, r) = da.div_rem(dd).unwrap();
+        prop_assert_eq!(q.to_u128(), a / d);
+        prop_assert_eq!(r.to_u128(), a % d);
+    }
+
+    #[test]
+    fn carries_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+        let da = DWord::<u64>::from_u128_truncate(a);
+        let db = DWord::<u64>::from_u128_truncate(b);
+        let (sum, carry) = da.overflowing_add(db);
+        prop_assert_eq!(carry, a.checked_add(b).is_none());
+        let (back, borrow) = sum.overflowing_sub(db);
+        prop_assert_eq!(back, da);
+        prop_assert_eq!(borrow, carry); // wrapped sums borrow on the way back
+    }
+
+    // ---- u128 limbs: algebraic laws only ----
+
+    #[test]
+    fn u128_div_rem_reconstructs(hi in any::<u128>(), lo in any::<u128>(), d in 1u128..) {
+        let a = DWord::<u128>::from_parts(hi, lo);
+        let (q, r) = a.div_rem_limb(d).unwrap();
+        prop_assert!(r < d);
+        // q*d + r == a, via mul_limb (checked not to overflow 2 limbs).
+        let (prod, carry) = q.mul_limb(d);
+        prop_assert_eq!(carry, 0);
+        let (sum, overflow) = prod.overflowing_add(DWord::from_lo(r));
+        prop_assert!(!overflow);
+        prop_assert_eq!(sum, a);
+    }
+
+    #[test]
+    fn u128_widening_mul_distributes(a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
+        // (a + c) * b == a*b + c*b over the doubleword ring (wrapping at 256).
+        let ab = DWord::<u128>::widening_mul(a, b);
+        let cb = DWord::<u128>::widening_mul(c, b);
+        let acb = DWord::<u128>::widening_mul(a.wrapping_add(c), b);
+        // a + c may wrap: compensate with the carry term 2^128 * b.
+        let mut expect = ab.wrapping_add(cb);
+        if a.checked_add(c).is_none() {
+            expect = expect.wrapping_sub(DWord::from_hi(b));
+        }
+        prop_assert_eq!(acb, expect);
+    }
+
+    #[test]
+    fn u128_shifts_compose(hi in any::<u128>(), lo in any::<u128>(), s1 in 0u32..256, s2 in 0u32..256) {
+        let a = DWord::<u128>::from_parts(hi, lo);
+        let total = s1.saturating_add(s2).min(256);
+        let two_step = a.shr_full(s1).shr_full(s2);
+        let one_step = a.shr_full(total);
+        prop_assert_eq!(two_step, one_step);
+        let two_step = a.shl_full(s1).shl_full(s2);
+        let one_step = a.shl_full(total);
+        prop_assert_eq!(two_step, one_step);
+    }
+
+    #[test]
+    fn u128_leading_zeros_brackets_value(hi in any::<u128>(), lo in any::<u128>()) {
+        let a = DWord::<u128>::from_parts(hi, lo);
+        let lz = a.leading_zeros();
+        prop_assert!(lz <= 256);
+        if lz < 256 {
+            // Bit (255 - lz) is the highest set bit: pow2(255-lz) <= a,
+            // and (for lz > 0) a < pow2(256-lz).
+            let probe = DWord::<u128>::pow2(255 - lz);
+            prop_assert!(a >= probe);
+            if lz > 0 {
+                prop_assert!(a < probe.shl_full(1));
+            }
+        } else {
+            prop_assert!(a.is_zero());
+        }
+    }
+
+    #[test]
+    fn u128_ordering_consistent_with_subtraction(a1 in any::<u128>(), a0 in any::<u128>(), b1 in any::<u128>(), b0 in any::<u128>()) {
+        let a = DWord::<u128>::from_parts(a1, a0);
+        let b = DWord::<u128>::from_parts(b1, b0);
+        let (_, borrow) = a.overflowing_sub(b);
+        prop_assert_eq!(borrow, a < b);
+    }
+
+    #[test]
+    fn sar_matches_shr_for_nonnegative(hi in any::<u64>(), lo in any::<u64>(), s in 0u32..128) {
+        let a = DWord::<u64>::from_parts(hi >> 1, lo); // clear the sign bit
+        prop_assert_eq!(a.sar_full(s), a.shr_full(s));
+    }
+}

@@ -1,0 +1,209 @@
+//! Operation-count accounting.
+//!
+//! The paper reports its code sequences' costs as operation counts ("1
+//! multiply, 2 adds/subtracts, and 2 shifts per quotient" for Fig 4.1);
+//! [`OpCounts`] tallies a program the same way so tests can assert the
+//! counts match, and the CPU simulator can price a program against a
+//! timing model.
+
+use core::fmt;
+use core::ops::Add;
+
+use crate::program::{Op, Program};
+
+/// The cost class of an operation, mirroring how the paper (and Table 1.1)
+/// prices instructions.
+// Exhaustive on purpose: simulators must price every class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Constant/argument materialization (usually folded into other ops;
+    /// the paper excludes these from its counts too).
+    Nop,
+    /// Add, subtract, negate.
+    AddSub,
+    /// Constant shifts and `XSIGN`.
+    Shift,
+    /// AND/OR/EOR/NOT.
+    BitOp,
+    /// Compare (set-less-than).
+    Cmp,
+    /// Low product half (`MULL`).
+    MulLow,
+    /// Upper product half (`MULUH`/`MULSH`).
+    MulHigh,
+    /// Hardware divide or remainder.
+    Div,
+}
+
+impl Op {
+    /// The cost class of this operation.
+    pub fn class(&self) -> OpClass {
+        use Op::*;
+        match self {
+            Arg(_) | Const(_) => OpClass::Nop,
+            Add(..) | Sub(..) | Neg(..) => OpClass::AddSub,
+            Sll(..) | Srl(..) | Sra(..) | Xsign(..) => OpClass::Shift,
+            And(..) | Or(..) | Eor(..) | Not(..) => OpClass::BitOp,
+            SltS(..) | SltU(..) => OpClass::Cmp,
+            MulL(..) => OpClass::MulLow,
+            MulUH(..) | MulSH(..) => OpClass::MulHigh,
+            DivU(..) | DivS(..) | RemU(..) | RemS(..) => OpClass::Div,
+        }
+    }
+}
+
+/// Operation counts for a program, grouped by [`OpClass`].
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_ir::{Builder, Op};
+///
+/// let mut b = Builder::new(32, 1);
+/// let n = b.arg(0);
+/// let m = b.constant(0xcccc_cccd);
+/// let h = b.push(Op::MulUH(m, n));
+/// let q = b.push(Op::Srl(h, 3));
+/// let counts = b.finish([q]).op_counts();
+/// assert_eq!(counts.mul_high, 1);
+/// assert_eq!(counts.shift, 1);
+/// assert_eq!(counts.total_executed(), 2); // constants aren't counted
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct OpCounts {
+    /// Adds, subtracts, negates.
+    pub add_sub: u32,
+    /// Shifts (incl. `XSIGN`).
+    pub shift: u32,
+    /// Bitwise operations.
+    pub bit_op: u32,
+    /// Compares.
+    pub cmp: u32,
+    /// `MULL` instructions.
+    pub mul_low: u32,
+    /// `MULUH`/`MULSH` instructions.
+    pub mul_high: u32,
+    /// Hardware divides/remainders.
+    pub div: u32,
+    /// Constants and arguments (not counted as executed work).
+    pub nop: u32,
+}
+
+impl OpCounts {
+    /// Total *executed* operations — everything except constants and
+    /// arguments, matching the paper's per-quotient counts.
+    pub fn total_executed(&self) -> u32 {
+        self.add_sub + self.shift + self.bit_op + self.cmp + self.mul_low + self.mul_high
+            + self.div
+    }
+
+    /// `true` when the program uses any multiply (either half).
+    pub fn uses_multiply(&self) -> bool {
+        self.mul_low + self.mul_high > 0
+    }
+
+    /// `true` when the program uses a hardware divide.
+    pub fn uses_divide(&self) -> bool {
+        self.div > 0
+    }
+}
+
+impl Add for OpCounts {
+    type Output = OpCounts;
+    fn add(self, o: OpCounts) -> OpCounts {
+        OpCounts {
+            add_sub: self.add_sub + o.add_sub,
+            shift: self.shift + o.shift,
+            bit_op: self.bit_op + o.bit_op,
+            cmp: self.cmp + o.cmp,
+            mul_low: self.mul_low + o.mul_low,
+            mul_high: self.mul_high + o.mul_high,
+            div: self.div + o.div,
+            nop: self.nop + o.nop,
+        }
+    }
+}
+
+impl fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} mul-high, {} mul-low, {} add/sub, {} shift, {} bit-op, {} cmp, {} div",
+            self.mul_high, self.mul_low, self.add_sub, self.shift, self.bit_op, self.cmp, self.div
+        )
+    }
+}
+
+impl Program {
+    /// Tallies operation counts by class.
+    pub fn op_counts(&self) -> OpCounts {
+        let mut c = OpCounts::default();
+        for op in self.insts() {
+            match op.class() {
+                OpClass::Nop => c.nop += 1,
+                OpClass::AddSub => c.add_sub += 1,
+                OpClass::Shift => c.shift += 1,
+                OpClass::BitOp => c.bit_op += 1,
+                OpClass::Cmp => c.cmp += 1,
+                OpClass::MulLow => c.mul_low += 1,
+                OpClass::MulHigh => c.mul_high += 1,
+                OpClass::Div => c.div += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Builder;
+
+    #[test]
+    fn counts_figure_4_1_shape() {
+        // Fig 4.1: t1 = MULUH(m', n); q = SRL(t1 + SRL(n - t1, sh1), sh2)
+        // = 1 multiply, 2 adds/subtracts, 2 shifts.
+        let mut b = Builder::new(32, 1);
+        let n = b.arg(0);
+        let m = b.constant(0x5555_5556);
+        let t1 = b.push(Op::MulUH(m, n));
+        let diff = b.push(Op::Sub(n, t1));
+        let s1 = b.push(Op::Srl(diff, 1));
+        let sum = b.push(Op::Add(t1, s1));
+        let q = b.push(Op::Srl(sum, 1));
+        let c = b.finish([q]).op_counts();
+        assert_eq!(c.mul_high, 1);
+        assert_eq!(c.add_sub, 2);
+        assert_eq!(c.shift, 2);
+        assert_eq!(c.total_executed(), 5);
+        assert!(c.uses_multiply());
+        assert!(!c.uses_divide());
+    }
+
+    #[test]
+    fn add_combines() {
+        let a = OpCounts {
+            add_sub: 1,
+            shift: 2,
+            ..OpCounts::default()
+        };
+        let b = OpCounts {
+            mul_high: 1,
+            shift: 1,
+            ..OpCounts::default()
+        };
+        let s = a + b;
+        assert_eq!(s.shift, 3);
+        assert_eq!(s.add_sub, 1);
+        assert_eq!(s.mul_high, 1);
+    }
+
+    #[test]
+    fn display_mentions_every_class() {
+        let c = OpCounts::default();
+        let s = c.to_string();
+        for key in ["mul-high", "mul-low", "add/sub", "shift", "bit-op", "cmp", "div"] {
+            assert!(s.contains(key), "{s}");
+        }
+    }
+}

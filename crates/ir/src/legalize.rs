@@ -1,0 +1,319 @@
+//! Legalization: rewriting operations a target lacks using the §3
+//! identities.
+//!
+//! The paper's assumed-instructions section gives substitutions for
+//! machines missing part of Table 3.1:
+//!
+//! * no arithmetic right shift:
+//!   `SRA(x, e) = SRL(x + 2^(N-1), e) - 2^(N-1-e)` for `0 < e <= N-1`;
+//! * only one of `MULSH`/`MULUH`:
+//!   `MULUH(x, y) = MULSH(x, y) + AND(x, XSIGN(y)) + AND(y, XSIGN(x))`
+//!   (and the same identity solved the other way).
+//!
+//! [`legalize`] applies these so any program runs on a machine described
+//! by [`TargetCaps`] — e.g. POWER/RIOS I, which Table 1.1 footnotes as
+//! "signed only" (no unsigned multiply-high).
+
+use crate::program::{Builder, Op, Program, Reg};
+
+/// Which Table 3.1 operations a machine provides directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TargetCaps {
+    /// Has `MULUH` (unsigned multiply-high).
+    pub has_muluh: bool,
+    /// Has `MULSH` (signed multiply-high).
+    pub has_mulsh: bool,
+    /// Has `SRA` (arithmetic right shift).
+    pub has_sra: bool,
+}
+
+impl TargetCaps {
+    /// A machine with the full Table 3.1 set.
+    pub const FULL: TargetCaps = TargetCaps {
+        has_muluh: true,
+        has_mulsh: true,
+        has_sra: true,
+    };
+
+    /// POWER/RIOS I per the Table 1.1 footnote: signed multiply-high
+    /// only.
+    pub const POWER_RIOS: TargetCaps = TargetCaps {
+        has_muluh: false,
+        has_mulsh: true,
+        has_sra: true,
+    };
+}
+
+impl Default for TargetCaps {
+    fn default() -> Self {
+        TargetCaps::FULL
+    }
+}
+
+/// Rewrites `prog` so it only uses operations `caps` provides, preserving
+/// semantics exactly (verified exhaustively in the tests).
+///
+/// # Panics
+///
+/// Panics when `caps` has neither multiply-high (there is nothing to
+/// synthesize the product's upper half from — the paper's fallback there
+/// is §7's floating point, which is out of scope for an integer IR).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_ir::{legalize, Builder, Op, TargetCaps};
+///
+/// let mut b = Builder::new(32, 2);
+/// let h = b.push(Op::MulUH(b.arg(0), b.arg(1)));
+/// let p = b.finish([h]);
+/// let legal = legalize(&p, TargetCaps::POWER_RIOS);
+/// assert!(legal.insts().iter().all(|o| !matches!(o, Op::MulUH(..))));
+/// assert_eq!(legal.eval(&[7, 9]).unwrap(), p.eval(&[7, 9]).unwrap());
+/// ```
+pub fn legalize(prog: &Program, caps: TargetCaps) -> Program {
+    assert!(
+        caps.has_muluh || caps.has_mulsh,
+        "a machine without any multiply-high cannot be legalized"
+    );
+    let w = prog.width();
+    let mut b = Builder::new(w, prog.arg_count());
+    let mut remap: Vec<Reg> = Vec::with_capacity(prog.insts().len());
+
+    // XSIGN must itself be legal: it is short for SRA(x, N-1); without
+    // SRA use the identity with e = N-1, or simply SRL + negate:
+    // XSIGN(x) = -(SRL(x, N-1)) = 0 - (x >> (N-1)).
+    let emit_xsign = |b: &mut Builder, x: Reg| -> Reg {
+        if caps.has_sra {
+            b.push(Op::Xsign(x))
+        } else {
+            let top = b.push(Op::Srl(x, w - 1));
+            b.push(Op::Neg(top))
+        }
+    };
+    let emit_sra = |b: &mut Builder, x: Reg, n: u32| -> Reg {
+        if caps.has_sra || n == 0 {
+            if n == 0 {
+                return x;
+            }
+            b.push(Op::Sra(x, n))
+        } else {
+            // SRA(x, n) = SRL(x + 2^(N-1), n) - 2^(N-1-n).
+            let bias = b.constant(1u64 << (w - 1));
+            let biased = b.push(Op::Add(x, bias));
+            let shifted = b.push(Op::Srl(biased, n));
+            let unbias = b.constant(1u64 << (w - 1 - n));
+            b.push(Op::Sub(shifted, unbias))
+        }
+    };
+    // The §3 multiply-high bridge: high = other_high ± AND(x, XSIGN(y))
+    // ± AND(y, XSIGN(x)).
+    let emit_mul_fixups = |b: &mut Builder, x: Reg, y: Reg| -> (Reg, Reg) {
+        let sx = if caps.has_sra {
+            b.push(Op::Xsign(x))
+        } else {
+            let t = b.push(Op::Srl(x, w - 1));
+            b.push(Op::Neg(t))
+        };
+        let sy = if caps.has_sra {
+            b.push(Op::Xsign(y))
+        } else {
+            let t = b.push(Op::Srl(y, w - 1));
+            b.push(Op::Neg(t))
+        };
+        let fx = b.push(Op::And(x, sy));
+        let fy = b.push(Op::And(y, sx));
+        (fx, fy)
+    };
+
+    for op in prog.insts() {
+        let mapped = op.map_operands(|r| remap[r.index()]);
+        let new_reg = match mapped {
+            // The builder pre-declares argument instructions; map instead
+            // of duplicating.
+            Op::Arg(k) => b.arg(k),
+            Op::MulUH(x, y) if !caps.has_muluh => {
+                let sh = b.push(Op::MulSH(x, y));
+                let (fx, fy) = emit_mul_fixups(&mut b, x, y);
+                let t = b.push(Op::Add(sh, fx));
+                b.push(Op::Add(t, fy))
+            }
+            Op::MulSH(x, y) if !caps.has_mulsh => {
+                let uh = b.push(Op::MulUH(x, y));
+                let (fx, fy) = emit_mul_fixups(&mut b, x, y);
+                let t = b.push(Op::Sub(uh, fx));
+                b.push(Op::Sub(t, fy))
+            }
+            Op::Sra(x, n) if !caps.has_sra => emit_sra(&mut b, x, n),
+            Op::Xsign(x) if !caps.has_sra => emit_xsign(&mut b, x),
+            other => b.push(other),
+        };
+        remap.push(new_reg);
+    }
+    b.finish(prog.results().iter().map(|r| remap[r.index()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimize;
+
+    const NO_MULUH: TargetCaps = TargetCaps {
+        has_muluh: false,
+        has_mulsh: true,
+        has_sra: true,
+    };
+    const NO_MULSH: TargetCaps = TargetCaps {
+        has_muluh: true,
+        has_mulsh: false,
+        has_sra: true,
+    };
+    const NO_SRA: TargetCaps = TargetCaps {
+        has_muluh: true,
+        has_mulsh: true,
+        has_sra: false,
+    };
+    const MINIMAL: TargetCaps = TargetCaps {
+        has_muluh: true,
+        has_mulsh: false,
+        has_sra: false,
+    };
+
+    fn single_op_program(op_of: impl Fn(Reg, Reg) -> Op, w: u32) -> Program {
+        let mut b = Builder::new(w, 2);
+        let r = b.push(op_of(b.arg(0), b.arg(1)));
+        b.finish([r])
+    }
+
+    fn assert_no_op(prog: &Program, pred: impl Fn(&Op) -> bool) {
+        assert!(
+            prog.insts().iter().all(|o| !pred(o)),
+            "illegal op survived: {prog}"
+        );
+    }
+
+    #[test]
+    fn legalized_programs_validate() {
+        let prog = single_op_program(Op::MulUH, 32);
+        for caps in [NO_MULUH, NO_MULSH, NO_SRA, MINIMAL, TargetCaps::FULL] {
+            if caps.has_muluh || caps.has_mulsh {
+                legalize(&prog, caps).validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn muluh_via_mulsh_exhaustive_w8() {
+        let prog = single_op_program(Op::MulUH, 8);
+        let legal = legalize(&prog, NO_MULUH);
+        assert_no_op(&legal, |o| matches!(o, Op::MulUH(..)));
+        for x in 0u64..=255 {
+            for y in 0u64..=255 {
+                assert_eq!(
+                    legal.eval(&[x, y]).unwrap(),
+                    prog.eval(&[x, y]).unwrap(),
+                    "{x} {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mulsh_via_muluh_exhaustive_w8() {
+        let prog = single_op_program(Op::MulSH, 8);
+        let legal = legalize(&prog, NO_MULSH);
+        assert_no_op(&legal, |o| matches!(o, Op::MulSH(..)));
+        for x in 0u64..=255 {
+            for y in 0u64..=255 {
+                assert_eq!(
+                    legal.eval(&[x, y]).unwrap(),
+                    prog.eval(&[x, y]).unwrap(),
+                    "{x} {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sra_via_srl_exhaustive_w8() {
+        for n in 0..8u32 {
+            let mut b = Builder::new(8, 1);
+            let r = b.push(Op::Sra(b.arg(0), n));
+            let prog = b.finish([r]);
+            let legal = legalize(&prog, NO_SRA);
+            assert_no_op(&legal, |o| matches!(o, Op::Sra(..) | Op::Xsign(..)));
+            for x in 0u64..=255 {
+                assert_eq!(
+                    legal.eval(&[x]).unwrap(),
+                    prog.eval(&[x]).unwrap(),
+                    "x={x} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xsign_without_sra_exhaustive_w8() {
+        let mut b = Builder::new(8, 1);
+        let r = b.push(Op::Xsign(b.arg(0)));
+        let prog = b.finish([r]);
+        let legal = legalize(&prog, NO_SRA);
+        assert_no_op(&legal, |o| matches!(o, Op::Sra(..) | Op::Xsign(..)));
+        for x in 0u64..=255 {
+            assert_eq!(legal.eval(&[x]).unwrap(), prog.eval(&[x]).unwrap(), "{x}");
+        }
+    }
+
+    #[test]
+    fn minimal_machine_runs_signed_division_shape() {
+        // A signed magic division needs MULSH + SRA + XSIGN; legalize to a
+        // machine with neither and check numerically at width 8.
+        let mut b = Builder::new(8, 1);
+        let n = b.arg(0);
+        let m = b.constant(0x56); // (2^8+2)/3 = 86: signed /3 multiplier
+        let hi = b.push(Op::MulSH(m, n));
+        let sign = b.push(Op::Xsign(n));
+        let q = b.push(Op::Sub(hi, sign));
+        let prog = b.finish([q]);
+        let legal = legalize(&prog, MINIMAL);
+        assert_no_op(&legal, |o| {
+            matches!(o, Op::MulSH(..) | Op::Sra(..) | Op::Xsign(..))
+        });
+        for x in 0u64..=255 {
+            let expect = ((x as u8 as i8).wrapping_div(3)) as u8 as u64;
+            assert_eq!(legal.eval1(&[x]).unwrap(), expect, "x={x}");
+        }
+    }
+
+    #[test]
+    fn full_caps_is_identity_modulo_regnames() {
+        let prog = single_op_program(Op::MulUH, 32);
+        let legal = legalize(&prog, TargetCaps::FULL);
+        assert_eq!(legal.insts(), prog.insts());
+    }
+
+    #[test]
+    fn legalized_then_optimized_still_correct() {
+        let prog = single_op_program(Op::MulSH, 8);
+        let opt = optimize(&legalize(&prog, NO_MULSH));
+        for x in (0u64..=255).step_by(3) {
+            for y in (0u64..=255).step_by(5) {
+                assert_eq!(opt.eval(&[x, y]).unwrap(), prog.eval(&[x, y]).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be legalized")]
+    fn no_multiply_high_at_all_panics() {
+        let prog = single_op_program(Op::MulUH, 8);
+        let _ = legalize(
+            &prog,
+            TargetCaps {
+                has_muluh: false,
+                has_mulsh: false,
+                has_sra: true,
+            },
+        );
+    }
+}

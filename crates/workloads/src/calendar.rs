@@ -1,0 +1,207 @@
+//! Calendar and time-of-day conversions — everyday division-by-constant
+//! code (`/60`, `/3600`, `/86400`, and the Gregorian `/146097`, `/1461`),
+//! including *floor* divisions on dates before the epoch, exercising the
+//! §6 machinery on a real algorithm.
+//!
+//! The civil-date conversion is Howard Hinnant's `civil_from_days`
+//! (public-domain algorithm), written once with hardware division and
+//! once with precomputed divisors.
+
+use magicdiv::{FloorDivisor, UnsignedDivisor};
+
+/// A civil (proleptic Gregorian) date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CivilDate {
+    /// Year (can be negative).
+    pub year: i64,
+    /// Month, 1..=12.
+    pub month: u8,
+    /// Day of month, 1..=31.
+    pub day: u8,
+}
+
+/// Splits a second count into `(hours, minutes, seconds)` with magic
+/// divisors.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_workloads::hms;
+///
+/// assert_eq!(hms(3_661), (1, 1, 1));
+/// assert_eq!(hms(86_399), (23, 59, 59));
+/// ```
+pub fn hms(seconds_of_day: u32) -> (u32, u32, u32) {
+    static BY60: std::sync::OnceLock<UnsignedDivisor<u32>> = std::sync::OnceLock::new();
+    static BY3600: std::sync::OnceLock<UnsignedDivisor<u32>> = std::sync::OnceLock::new();
+    let by60 = BY60.get_or_init(|| UnsignedDivisor::new(60).expect("60 != 0"));
+    let by3600 = BY3600.get_or_init(|| UnsignedDivisor::new(3600).expect("3600 != 0"));
+    let (h, rem) = by3600.div_rem(seconds_of_day);
+    let (m, s) = by60.div_rem(rem);
+    (h, m, s)
+}
+
+/// Baseline `hms` with hardware division.
+pub fn hms_baseline(seconds_of_day: u32) -> (u32, u32, u32) {
+    (
+        seconds_of_day / 3600,
+        seconds_of_day % 3600 / 60,
+        seconds_of_day % 60,
+    )
+}
+
+/// Converts days since 1970-01-01 to a civil date, all divisions done
+/// with precomputed divisors ([`FloorDivisor`] for the pre-epoch floor
+/// divisions, [`UnsignedDivisor`] for the rest).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_workloads::{civil_from_days, CivilDate};
+///
+/// assert_eq!(civil_from_days(0), CivilDate { year: 1970, month: 1, day: 1 });
+/// assert_eq!(civil_from_days(19_723), CivilDate { year: 2024, month: 1, day: 1 });
+/// assert_eq!(civil_from_days(-1), CivilDate { year: 1969, month: 12, day: 31 });
+/// ```
+pub fn civil_from_days(days_since_epoch: i64) -> CivilDate {
+    struct Divs {
+        by146097_floor: FloorDivisor<i64>,
+        by1460: UnsignedDivisor<u64>,
+        by36524: UnsignedDivisor<u64>,
+        by146096: UnsignedDivisor<u64>,
+        by365: UnsignedDivisor<u64>,
+        by153: UnsignedDivisor<u64>,
+        by5: UnsignedDivisor<u64>,
+        by4: UnsignedDivisor<u64>,
+        by100: UnsignedDivisor<u64>,
+    }
+    static DIVS: std::sync::OnceLock<Divs> = std::sync::OnceLock::new();
+    let dv = DIVS.get_or_init(|| Divs {
+        by146097_floor: FloorDivisor::new(146_097).expect("nonzero"),
+        by1460: UnsignedDivisor::new(1460).expect("nonzero"),
+        by36524: UnsignedDivisor::new(36_524).expect("nonzero"),
+        by146096: UnsignedDivisor::new(146_096).expect("nonzero"),
+        by365: UnsignedDivisor::new(365).expect("nonzero"),
+        by153: UnsignedDivisor::new(153).expect("nonzero"),
+        by5: UnsignedDivisor::new(5).expect("nonzero"),
+        by4: UnsignedDivisor::new(4).expect("nonzero"),
+        by100: UnsignedDivisor::new(100).expect("nonzero"),
+    });
+
+    let z = days_since_epoch + 719_468;
+    // era = floor(z / 146097): a *floor* division — dates before 0000-03-01
+    // have negative z.
+    let era = dv.by146097_floor.divide(z);
+    let doe = (z - era * 146_097) as u64; // day of era, 0..=146096
+    // yoe = (doe - doe/1460 + doe/36524 - doe/146096) / 365
+    let yoe = dv.by365.divide(
+        doe - dv.by1460.divide(doe) + dv.by36524.divide(doe) - dv.by146096.divide(doe),
+    );
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + dv.by4.divide(yoe) - dv.by100.divide(yoe));
+    let mp = dv.by153.divide(5 * doy + 2);
+    let d = (doy - dv.by5.divide(153 * mp + 2) + 1) as u8;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
+    let year = if m <= 2 { y + 1 } else { y };
+    CivilDate {
+        year,
+        month: m,
+        day: d,
+    }
+}
+
+/// Baseline `civil_from_days` with hardware division (Hinnant's original
+/// formulation).
+pub fn civil_from_days_baseline(days_since_epoch: i64) -> CivilDate {
+    let z = days_since_epoch + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
+    CivilDate {
+        year: if m <= 2 { y + 1 } else { y },
+        month: m,
+        day: d,
+    }
+}
+
+/// Bench kernel: converts `count` consecutive days, returning a checksum.
+pub fn calendar_kernel(start_day: i64, count: i64, magic: bool) -> i64 {
+    let mut sum = 0i64;
+    for i in 0..count {
+        let d = if magic {
+            civil_from_days(start_day + i)
+        } else {
+            civil_from_days_baseline(start_day + i)
+        };
+        sum = sum
+            .wrapping_add(d.year)
+            .wrapping_add(d.month as i64)
+            .wrapping_mul(31)
+            .wrapping_add(d.day as i64);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hms_matches_baseline_exhaustively() {
+        for s in 0..86_400 {
+            assert_eq!(hms(s), hms_baseline(s), "{s}");
+        }
+    }
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(civil_from_days(0), CivilDate { year: 1970, month: 1, day: 1 });
+        assert_eq!(civil_from_days(11_016), CivilDate { year: 2000, month: 2, day: 29 });
+        assert_eq!(civil_from_days(-719_468), CivilDate { year: 0, month: 3, day: 1 });
+        assert_eq!(civil_from_days(20_270), CivilDate { year: 2025, month: 7, day: 1 });
+    }
+
+    #[test]
+    fn magic_matches_baseline_over_forty_thousand_years() {
+        // Every day from ~year -400 to ~year 2400 in big strides, plus a
+        // dense window around the epoch and around era boundaries.
+        let mut day = -870_000i64;
+        while day < 160_000 {
+            assert_eq!(civil_from_days(day), civil_from_days_baseline(day), "{day}");
+            day += 97;
+        }
+        for day in -1500..1500 {
+            assert_eq!(civil_from_days(day), civil_from_days_baseline(day), "{day}");
+        }
+        for base in [-146_097i64 - 719_468, -719_468, 146_097 - 719_468] {
+            for delta in -3..3 {
+                let day = base + delta;
+                assert_eq!(civil_from_days(day), civil_from_days_baseline(day), "{day}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_through_day_counting() {
+        // Dates advance by exactly one day per day.
+        let mut prev = civil_from_days(-1000);
+        for day in -999..1000 {
+            let cur = civil_from_days(day);
+            assert_ne!(cur, prev, "{day}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn kernel_checksums_agree() {
+        assert_eq!(
+            calendar_kernel(-10_000, 5_000, true),
+            calendar_kernel(-10_000, 5_000, false)
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Graphics kernels — §1: "integer division is used heavily in ...
+//! graphics codes."
+//!
+//! Two classics whose inner loops divide by invariants:
+//!
+//! * **alpha blending**: `out = (src*a + dst*(255-a)) / 255` — dividing by
+//!   255 (not 256!) per channel per pixel;
+//! * **fixed-point perspective projection**: screen coordinates divide by
+//!   a per-scanline-invariant depth, `x' = x * scale / z`.
+
+use magicdiv::{DivisorError, InvariantUnsignedDivisor, UnsignedDivisor};
+
+/// Blends two 8-bit channels with alpha `a` (0..=255), rounding as
+/// `(src*a + dst*(255-a) + 127) / 255` — the division-by-255 done with a
+/// magic multiplier.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_workloads::blend_channel;
+///
+/// assert_eq!(blend_channel(200, 100, 255), 200); // fully src
+/// assert_eq!(blend_channel(200, 100, 0), 100);   // fully dst
+/// ```
+pub fn blend_channel(src: u8, dst: u8, a: u8) -> u8 {
+    static BY255: std::sync::OnceLock<UnsignedDivisor<u32>> = std::sync::OnceLock::new();
+    let by255 = BY255.get_or_init(|| UnsignedDivisor::new(255).expect("255 != 0"));
+    let num = src as u32 * a as u32 + dst as u32 * (255 - a as u32) + 127;
+    by255.divide(num) as u8
+}
+
+/// The same blend with hardware `%`-family division (baseline).
+pub fn blend_channel_baseline(src: u8, dst: u8, a: u8) -> u8 {
+    let num = src as u32 * a as u32 + dst as u32 * (255 - a as u32) + 127;
+    (num / 255) as u8
+}
+
+/// Blends two RGBA8888 pixel buffers in place (`dst = blend(src, dst)`),
+/// with the `/255` either via the reciprocal or via hardware division.
+///
+/// # Panics
+///
+/// Panics when the buffers' lengths differ or are not multiples of 4.
+pub fn blend_buffers(src: &[u8], dst: &mut [u8], a: u8, magic: bool) {
+    assert_eq!(src.len(), dst.len(), "buffer length mismatch");
+    assert_eq!(src.len() % 4, 0, "RGBA buffers are multiples of 4 bytes");
+    if magic {
+        // Hoist the divisor out of the pixel loop (the whole point).
+        let by255 = UnsignedDivisor::<u32>::new(255).expect("255 != 0");
+        for (s, d) in src.iter().zip(dst.iter_mut()) {
+            let num = *s as u32 * a as u32 + *d as u32 * (255 - a as u32) + 127;
+            *d = by255.divide(num) as u8;
+        }
+    } else {
+        for (s, d) in src.iter().zip(dst.iter_mut()) {
+            *d = blend_channel_baseline(*s, *d, a);
+        }
+    }
+}
+
+/// Perspective projection of fixed-point points: `(x, y)` each scaled by
+/// `focal / z`, where `z` is invariant for a batch (a scanline or a
+/// z-sorted mesh strip) — the run-time-invariant case of §4.
+#[derive(Debug, Clone, Copy)]
+pub struct PerspectiveDivider {
+    focal: u64,
+    z: InvariantUnsignedDivisor<u64>,
+}
+
+impl PerspectiveDivider {
+    /// Builds the projector for depth `z` and focal length `focal`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `z == 0` (a point on the
+    /// camera plane has no projection).
+    pub fn new(focal: u64, z: u64) -> Result<Self, DivisorError> {
+        Ok(PerspectiveDivider {
+            focal,
+            z: InvariantUnsignedDivisor::new(z)?,
+        })
+    }
+
+    /// Projects one coordinate: `x * focal / z`.
+    #[inline]
+    pub fn project(&self, x: u64) -> u64 {
+        self.z.divide(x.wrapping_mul(self.focal))
+    }
+
+    /// Baseline with hardware division.
+    #[inline]
+    pub fn project_baseline(&self, x: u64) -> u64 {
+        x.wrapping_mul(self.focal) / self.z.divisor()
+    }
+}
+
+/// Bench kernel: blends `pixels` RGBA pixels and projects them, returning
+/// a checksum.
+pub fn graphics_kernel(pixels: usize, magic: bool) -> u64 {
+    let src: Vec<u8> = (0..pixels * 4).map(|i| (i * 31 + 7) as u8).collect();
+    let mut dst: Vec<u8> = (0..pixels * 4).map(|i| (i * 17 + 3) as u8).collect();
+    blend_buffers(&src, &mut dst, 170, magic);
+    let proj = PerspectiveDivider::new(256, 37).expect("z > 0");
+    let mut sum = 0u64;
+    for (i, &b) in dst.iter().enumerate() {
+        let p = if magic {
+            proj.project(b as u64 + i as u64)
+        } else {
+            proj.project_baseline(b as u64 + i as u64)
+        };
+        sum = sum.wrapping_add(p);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blend_matches_baseline_exhaustively() {
+        for src in (0u16..=255).step_by(5) {
+            for dst in (0u16..=255).step_by(7) {
+                for a in 0u16..=255 {
+                    assert_eq!(
+                        blend_channel(src as u8, dst as u8, a as u8),
+                        blend_channel_baseline(src as u8, dst as u8, a as u8),
+                        "src={src} dst={dst} a={a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blend_endpoints() {
+        for x in [0u8, 1, 127, 128, 254, 255] {
+            assert_eq!(blend_channel(x, 0, 255), x);
+            assert_eq!(blend_channel(0, x, 0), x);
+            assert_eq!(blend_channel(x, x, 128), x);
+        }
+    }
+
+    #[test]
+    fn projection_matches_baseline() {
+        for z in [1u64, 2, 37, 255, 1_000_003] {
+            let p = PerspectiveDivider::new(65_536, z).unwrap();
+            for x in [0u64, 1, 320, 479, 1_000_000, u32::MAX as u64] {
+                assert_eq!(p.project(x), p.project_baseline(x), "z={z} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_agree() {
+        assert_eq!(graphics_kernel(1000, true), graphics_kernel(1000, false));
+    }
+
+    #[test]
+    fn zero_depth_rejected() {
+        assert!(PerspectiveDivider::new(256, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_buffers_panic() {
+        let src = [0u8; 8];
+        let mut dst = [0u8; 4];
+        blend_buffers(&src, &mut dst, 128, true);
+    }
+}

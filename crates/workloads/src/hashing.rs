@@ -1,0 +1,202 @@
+//! Hash-table workloads with prime modulus — the §11 note that "some
+//! benchmarks that involve hashing show improvements up to about 30%".
+//!
+//! Classic hash tables size their bucket array to a prime and reduce the
+//! hash with `h % prime`; the prime is fixed at table-construction time —
+//! a textbook run-time invariant divisor. [`PrimeHashTable`] hoists the
+//! reciprocal into the table header.
+
+use magicdiv::{DivisorError, InvariantUnsignedDivisor};
+
+/// Reduction strategy for bucket indices (the benched design choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reduction {
+    /// Hardware `%` per probe (baseline).
+    HardwareRemainder,
+    /// Magic-multiplier remainder via the hoisted invariant divisor.
+    MagicRemainder,
+}
+
+/// An open-addressing (linear probing) hash table with a prime bucket
+/// count, parameterized over how `hash % prime` is computed.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_workloads::{PrimeHashTable, Reduction};
+///
+/// let mut t = PrimeHashTable::new(1009, Reduction::MagicRemainder)?;
+/// t.insert(42, 4200);
+/// t.insert(43, 4300);
+/// assert_eq!(t.get(42), Some(4200));
+/// assert_eq!(t.get(999_999), None);
+/// # Ok::<(), magicdiv::DivisorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrimeHashTable {
+    slots: Vec<Option<(u64, u64)>>,
+    prime: u64,
+    divisor: InvariantUnsignedDivisor<u64>,
+    reduction: Reduction,
+    len: usize,
+}
+
+impl PrimeHashTable {
+    /// Creates a table with `prime` buckets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `prime == 0`.
+    pub fn new(prime: u64, reduction: Reduction) -> Result<Self, DivisorError> {
+        Ok(PrimeHashTable {
+            slots: vec![None; prime as usize],
+            prime,
+            divisor: InvariantUnsignedDivisor::new(prime)?,
+            reduction,
+            len: 0,
+        })
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn mix(key: u64) -> u64 {
+        // Fibonacci hashing spread before the modulus.
+        key.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31)
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> usize {
+        let h = Self::mix(key);
+        let r = match self.reduction {
+            Reduction::HardwareRemainder => h % self.prime,
+            Reduction::MagicRemainder => self.divisor.remainder(h),
+        };
+        r as usize
+    }
+
+    /// Inserts (or overwrites) `key -> value`; returns the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table is full (the benchmarks keep load < 0.7).
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        assert!(self.len < self.slots.len(), "hash table full");
+        let mut i = self.bucket(key);
+        loop {
+            match self.slots[i] {
+                None => {
+                    self.slots[i] = Some((key, value));
+                    self.len += 1;
+                    return None;
+                }
+                Some((k, old)) if k == key => {
+                    self.slots[i] = Some((key, value));
+                    return Some(old);
+                }
+                _ => i = if i + 1 == self.slots.len() { 0 } else { i + 1 },
+            }
+        }
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mut i = self.bucket(key);
+        let mut probes = 0;
+        loop {
+            match self.slots[i] {
+                None => return None,
+                Some((k, v)) if k == key => return Some(v),
+                _ => {
+                    probes += 1;
+                    if probes > self.slots.len() {
+                        return None;
+                    }
+                    i = if i + 1 == self.slots.len() { 0 } else { i + 1 };
+                }
+            }
+        }
+    }
+}
+
+/// The bench kernel: builds a table of `n` entries and performs `lookups`
+/// queries (half hits, half misses), returning a checksum.
+pub fn hashing_kernel(prime: u64, n: u64, lookups: u64, reduction: Reduction) -> u64 {
+    let mut table = PrimeHashTable::new(prime, reduction).expect("prime > 0");
+    for k in 0..n {
+        table.insert(k.wrapping_mul(2_654_435_769), k);
+    }
+    let mut sum = 0u64;
+    for q in 0..lookups {
+        let key = if q % 2 == 0 {
+            (q % n).wrapping_mul(2_654_435_769) // hit
+        } else {
+            q.wrapping_mul(0xdead_beef).wrapping_add(1) // likely miss
+        };
+        sum = sum.wrapping_add(table.get(key).unwrap_or(0)).rotate_left(1);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_reductions_behave_identically() {
+        let mut magic = PrimeHashTable::new(257, Reduction::MagicRemainder).unwrap();
+        let mut hw = PrimeHashTable::new(257, Reduction::HardwareRemainder).unwrap();
+        for k in 0..150u64 {
+            assert_eq!(magic.insert(k * 7, k), hw.insert(k * 7, k));
+        }
+        for k in 0..300u64 {
+            assert_eq!(magic.get(k * 7), hw.get(k * 7), "k={k}");
+        }
+        assert_eq!(magic.len(), hw.len());
+    }
+
+    #[test]
+    fn insert_get_update() {
+        let mut t = PrimeHashTable::new(101, Reduction::MagicRemainder).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(1, 10), None);
+        assert_eq!(t.insert(1, 11), Some(10));
+        assert_eq!(t.get(1), Some(11));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn collisions_probe_linearly() {
+        // Keys engineered to collide modulo a tiny prime.
+        let mut t = PrimeHashTable::new(5, Reduction::MagicRemainder).unwrap();
+        for k in 0..4u64 {
+            t.insert(k, k + 100);
+        }
+        for k in 0..4u64 {
+            assert_eq!(t.get(k), Some(k + 100));
+        }
+    }
+
+    #[test]
+    fn kernel_checksums_match_across_reductions() {
+        let a = hashing_kernel(4093, 2000, 5000, Reduction::MagicRemainder);
+        let b = hashing_kernel(4093, 2000, 5000, Reduction::HardwareRemainder);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "hash table full")]
+    fn full_table_panics() {
+        let mut t = PrimeHashTable::new(3, Reduction::MagicRemainder).unwrap();
+        for k in 0..4u64 {
+            t.insert(k, k);
+        }
+    }
+}

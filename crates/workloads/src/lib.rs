@@ -1,0 +1,56 @@
+//! # magicdiv-workloads — the paper's motivating workloads
+//!
+//! §1 motivates the optimization with base conversions, number-theoretic
+//! codes, graphics/hashing codes, loop counts and pointer subtraction;
+//! §11 evaluates on the Figure 11.1 radix-conversion kernel and notes the
+//! hashing-heavy SPEC92 benchmarks improve up to ~30%. This crate
+//! implements each workload twice — hardware division vs. the paper's
+//! reciprocal sequences — with identical observable behaviour (asserted
+//! by tests) so the bench harness can time the difference.
+//!
+//! * [`decimal_baseline`] / [`decimal_magic`] / [`to_base`] — radix
+//!   conversion (Figure 11.1, Tables 11.1/11.2);
+//! * [`PrimeHashTable`] / [`hashing_kernel`] — prime-modulus hashing
+//!   (the SPEC92 note);
+//! * [`mod_pow`] / [`TrialDivider`] / [`count_primes`] — number theory
+//!   (using the §8 doubleword divider for 128-bit reductions);
+//! * [`gcd_with_per_iteration_reciprocal`] — the §1 *counterexample*
+//!   (varying divisor: the transformation hurts);
+//! * [`PointerDiff`] — §9 exact division for pointer subtraction;
+//! * [`trip_count`] / [`count_multiples`] — loop normalization and the
+//!   §9 strength-reduced divisibility loop;
+//! * [`blend_channel`] / [`PerspectiveDivider`] — the graphics kernels
+//!   (divide by 255, perspective divide by an invariant depth).
+
+// This repository *reimplements division*: clippy's suggestions to use the
+// standard division helpers (div_ceil, is_multiple_of, ...) would replace
+// the very algorithms under study.
+#![allow(clippy::manual_div_ceil, clippy::manual_is_multiple_of)]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bignum;
+mod calendar;
+mod graphics;
+mod hashing;
+mod loops;
+mod numtheory;
+mod pointers;
+mod radix;
+
+pub use crate::bignum::{bignum_kernel, BigUint};
+pub use crate::calendar::{
+    calendar_kernel, civil_from_days, civil_from_days_baseline, hms, hms_baseline, CivilDate,
+};
+pub use crate::graphics::{
+    blend_buffers, blend_channel, blend_channel_baseline, graphics_kernel, PerspectiveDivider,
+};
+pub use crate::hashing::{hashing_kernel, PrimeHashTable, Reduction};
+pub use crate::loops::{
+    count_multiples, count_multiples_baseline, trip_count, trip_count_signed,
+};
+pub use crate::numtheory::{
+    count_primes, gcd, gcd_with_per_iteration_reciprocal, mod_pow, mod_pow_baseline, TrialDivider,
+};
+pub use crate::pointers::{pointer_diff_kernel, PointerDiff};
+pub use crate::radix::{decimal_baseline, decimal_magic, radix_checksum, to_base};

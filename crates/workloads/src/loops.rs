@@ -1,0 +1,145 @@
+//! Loop-count computation — §1: "compilers generate integer divisions to
+//! compute loop counts", plus the §9 strength-reduced divisibility loop
+//! ("if ((i % 100) == 0)" with no multiply or divide).
+
+use magicdiv::{ceil_div_via_trunc, DivisibilityScanner, DivisorError, UnsignedDivisor};
+
+/// Trip count of `for (i = start; i < end; i += step)` for a run-time
+/// invariant `step` — the division a compiler emits for loop
+/// normalization: `ceil((end - start) / step)`.
+///
+/// # Errors
+///
+/// Returns [`DivisorError::Zero`] when `step == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_workloads::trip_count;
+///
+/// assert_eq!(trip_count(0, 10, 3)?, 4);  // 0, 3, 6, 9
+/// assert_eq!(trip_count(10, 10, 3)?, 0);
+/// assert_eq!(trip_count(5, 6, 100)?, 1);
+/// # Ok::<(), magicdiv::DivisorError>(())
+/// ```
+pub fn trip_count(start: u64, end: u64, step: u64) -> Result<u64, DivisorError> {
+    if step == 0 {
+        return Err(DivisorError::Zero);
+    }
+    if end <= start {
+        return Ok(0);
+    }
+    let span = end - start;
+    // ceil(span / step) = (span - 1) / step + 1 for span > 0.
+    let div = UnsignedDivisor::new(step)?;
+    Ok(div.divide(span - 1) + 1)
+}
+
+/// Signed trip count via the §6 ceiling identity (used when the compiler
+/// cannot prove the span nonnegative).
+///
+/// # Errors
+///
+/// Returns [`DivisorError::Zero`] when `step == 0`.
+pub fn trip_count_signed(start: i64, end: i64, step: i64) -> Result<i64, DivisorError> {
+    if step == 0 {
+        return Err(DivisorError::Zero);
+    }
+    let span = end.wrapping_sub(start);
+    if (step > 0 && span <= 0) || (step < 0 && span >= 0) {
+        return Ok(0);
+    }
+    Ok(ceil_div_via_trunc(span, step))
+}
+
+/// The paper's closing §9 example as a reusable kernel: counts `i` in
+/// `0..imax` with `i % d == 0`, using the strength-reduced
+/// `test += dinv` loop (no multiply or divide in the body).
+///
+/// # Errors
+///
+/// Returns [`DivisorError::Zero`] when `d <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_workloads::count_multiples;
+///
+/// assert_eq!(count_multiples(1000, 100)?, 10);
+/// # Ok::<(), magicdiv::DivisorError>(())
+/// ```
+pub fn count_multiples(imax: i32, d: i32) -> Result<u64, DivisorError> {
+    let scanner = DivisibilityScanner::new(d)?;
+    Ok(scanner
+        .take(imax.max(0) as usize)
+        .filter(|&divisible| divisible)
+        .count() as u64)
+}
+
+/// Baseline for [`count_multiples`] with hardware `%`.
+pub fn count_multiples_baseline(imax: i32, d: i32) -> u64 {
+    (0..imax.max(0)).filter(|i| i % d == 0).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trip_count_matches_simulation() {
+        for start in 0u64..20 {
+            for end in 0u64..25 {
+                for step in 1u64..8 {
+                    let mut n = 0u64;
+                    let mut i = start;
+                    while i < end {
+                        n += 1;
+                        i += step;
+                    }
+                    assert_eq!(trip_count(start, end, step).unwrap(), n, "{start}..{end} by {step}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trip_count_signed_matches_simulation() {
+        for start in -10i64..10 {
+            for end in -10i64..10 {
+                for step in [-3i64, -1, 1, 2, 5] {
+                    let mut n = 0i64;
+                    let mut i = start;
+                    while (step > 0 && i < end) || (step < 0 && i > end) {
+                        n += 1;
+                        i += step;
+                    }
+                    assert_eq!(
+                        trip_count_signed(start, end, step).unwrap(),
+                        n,
+                        "{start}..{end} by {step}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_multiples_matches_baseline() {
+        for d in [1i32, 2, 3, 7, 100, 127] {
+            for imax in [0i32, 1, 99, 100, 101, 10_000] {
+                assert_eq!(
+                    count_multiples(imax, d).unwrap(),
+                    count_multiples_baseline(imax, d),
+                    "imax={imax} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_step_rejected() {
+        assert!(trip_count(0, 10, 0).is_err());
+        assert!(trip_count_signed(0, 10, 0).is_err());
+        assert!(count_multiples(10, 0).is_err());
+    }
+}

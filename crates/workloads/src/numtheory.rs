@@ -1,0 +1,256 @@
+//! Number-theoretic kernels — §1: "integer division is used heavily in
+//! ... number theoretic codes", and §11: "we anticipate significant
+//! improvements on some number theoretic codes."
+//!
+//! The modulus of a modular-exponentiation or trial-division loop is a
+//! run-time invariant, so the reciprocal is computed once. The Euclidean
+//! GCD, by contrast, changes its divisor every iteration — the paper's
+//! §1 caveat ("ineffective when a divisor is not invariant") — and is
+//! included as the counterexample.
+
+use magicdiv::{DivisorError, DwordDivisor, InvariantUnsignedDivisor};
+use magicdiv::DWord;
+
+/// Modular exponentiation `base^exp mod m` with the modulus reciprocal
+/// hoisted; the 128-bit intermediate products are reduced with the §8
+/// doubleword divider.
+///
+/// # Errors
+///
+/// Returns [`DivisorError::Zero`] when `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_workloads::mod_pow;
+///
+/// assert_eq!(mod_pow(2, 10, 1000)?, 24);
+/// // Fermat's little theorem: a^(p-1) = 1 mod p.
+/// assert_eq!(mod_pow(123456789, 1_000_000_006, 1_000_000_007)?, 1);
+/// # Ok::<(), magicdiv::DivisorError>(())
+/// ```
+pub fn mod_pow(base: u64, mut exp: u64, m: u64) -> Result<u64, DivisorError> {
+    if m == 0 {
+        return Err(DivisorError::Zero);
+    }
+    if m == 1 {
+        return Ok(0);
+    }
+    let reducer = DwordDivisor::new(m)?;
+    let reduce = |x: u128| -> u64 {
+        let dw = DWord::from_parts((x >> 64) as u64, x as u64);
+        reducer
+            .div_rem(dw)
+            .expect("operands below m^2 keep the quotient in range")
+            .1
+    };
+    let mut result = 1u64;
+    let mut b = base % m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = reduce(result as u128 * b as u128);
+        }
+        b = reduce(b as u128 * b as u128);
+        exp >>= 1;
+    }
+    Ok(result)
+}
+
+/// Baseline modular exponentiation with hardware `%` on the wide products.
+pub fn mod_pow_baseline(base: u64, mut exp: u64, m: u64) -> Result<u64, DivisorError> {
+    if m == 0 {
+        return Err(DivisorError::Zero);
+    }
+    if m == 1 {
+        return Ok(0);
+    }
+    let mut result = 1u64;
+    let mut b = base % m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = ((result as u128 * b as u128) % m as u128) as u64;
+        }
+        b = ((b as u128 * b as u128) % m as u128) as u64;
+        exp >>= 1;
+    }
+    Ok(result)
+}
+
+/// Trial-division primality with the candidate hoisted as the *dividend*
+/// and each small divisor precomputed once across many candidates:
+/// [`TrialDivider`] holds reciprocals for all odd divisors up to a bound.
+#[derive(Debug, Clone)]
+pub struct TrialDivider {
+    divisors: Vec<InvariantUnsignedDivisor<u64>>,
+}
+
+impl TrialDivider {
+    /// Precomputes reciprocals for 2 and all odd numbers `3..=bound`.
+    pub fn new(bound: u64) -> Self {
+        let mut divisors = vec![InvariantUnsignedDivisor::new(2).expect("2 != 0")];
+        let mut d = 3u64;
+        while d <= bound {
+            divisors.push(InvariantUnsignedDivisor::new(d).expect("odd d != 0"));
+            d += 2;
+        }
+        TrialDivider { divisors }
+    }
+
+    /// Tests primality of `n` by trial division with magic reciprocals.
+    /// Exact for `n <= bound^2` (where `bound` was given to [`new`]);
+    /// larger `n` may get a false positive if no precomputed divisor
+    /// reaches `sqrt(n)`.
+    ///
+    /// [`new`]: TrialDivider::new
+    pub fn is_prime(&self, n: u64) -> bool {
+        if n < 2 {
+            return false;
+        }
+        for div in &self.divisors {
+            let d = div.divisor();
+            if d * d > n {
+                return true;
+            }
+            if div.remainder(n) == 0 {
+                return n == d;
+            }
+        }
+        true
+    }
+
+    /// Baseline: the same loop with hardware `%`.
+    pub fn is_prime_baseline(&self, n: u64) -> bool {
+        if n < 2 {
+            return false;
+        }
+        for div in &self.divisors {
+            let d = div.divisor();
+            if d * d > n {
+                return true;
+            }
+            if n % d == 0 {
+                return n == d;
+            }
+        }
+        true
+    }
+}
+
+/// Euclidean GCD — the paper's counterexample: "the algorithms are
+/// ineffective when a divisor is not invariant, such as in the Euclidean
+/// GCD algorithm." Building a reciprocal per iteration costs more than
+/// the division it replaces; this function (and its bench) quantifies
+/// that.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_workloads::{gcd, gcd_with_per_iteration_reciprocal};
+///
+/// assert_eq!(gcd(48, 18), 6);
+/// assert_eq!(gcd_with_per_iteration_reciprocal(48, 18), 6);
+/// ```
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// GCD computing each remainder through a freshly-built magic divisor —
+/// deliberately pessimal, to measure the §1 caveat.
+pub fn gcd_with_per_iteration_reciprocal(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let div = InvariantUnsignedDivisor::new(b).expect("b != 0 in loop");
+        let r = div.remainder(a);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Counts primes in `[2, limit)` — the number-theory bench kernel.
+pub fn count_primes(limit: u64, magic: bool) -> usize {
+    let bound = (limit as f64).sqrt() as u64 + 1;
+    let td = TrialDivider::new(bound);
+    (2..limit)
+        .filter(|&n| {
+            if magic {
+                td.is_prime(n)
+            } else {
+                td.is_prime_baseline(n)
+            }
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_pow_matches_baseline() {
+        let cases = [
+            (2u64, 10, 1000),
+            (3, 0, 7),
+            (0, 5, 7),
+            (123456789, 987654321, 1_000_000_007),
+            (u64::MAX, 3, u64::MAX - 1),
+            (5, 1, 1),
+        ];
+        for (b, e, m) in cases {
+            assert_eq!(mod_pow(b, e, m), mod_pow_baseline(b, e, m), "{b}^{e} mod {m}");
+        }
+        assert!(mod_pow(2, 2, 0).is_err());
+    }
+
+    #[test]
+    fn mod_pow_randomized() {
+        let mut s = 7u64;
+        for _ in 0..500 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = s;
+            let e = s.rotate_left(17) & 0xffff;
+            let m = (s.rotate_left(33) | 1).max(2);
+            assert_eq!(mod_pow(b, e, m), mod_pow_baseline(b, e, m));
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        for p in [97u64, 1009, 1_000_000_007] {
+            for a in [2u64, 3, 5, 123456] {
+                assert_eq!(mod_pow(a, p - 1, p).unwrap(), 1, "a={a} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn primality_first_thousand() {
+        let td = TrialDivider::new(40);
+        let known: Vec<u64> = vec![
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+            83, 89, 97,
+        ];
+        for n in 0..100u64 {
+            assert_eq!(td.is_prime(n), known.contains(&n), "n={n}");
+            assert_eq!(td.is_prime_baseline(n), known.contains(&n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn prime_counts_agree() {
+        assert_eq!(count_primes(10_000, true), count_primes(10_000, false));
+        assert_eq!(count_primes(10_000, true), 1229); // pi(10^4)
+    }
+
+    #[test]
+    fn gcd_variants_agree() {
+        let cases = [(48u64, 18u64), (0, 5), (5, 0), (17, 17), (u64::MAX, 2), (270, 192)];
+        for (a, b) in cases {
+            assert_eq!(gcd(a, b), gcd_with_per_iteration_reciprocal(a, b), "{a},{b}");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Radix conversion — the paper's Figure 11.1 kernel and its
+//! generalization to arbitrary bases.
+//!
+//! "The program converts a binary number to a decimal string. It
+//! calculates one quotient and one remainder per output digit." Base
+//! conversion is one of the §1 motivating workloads ("integer division is
+//! used heavily in base conversions").
+
+use magicdiv::{DivisorError, UnsignedDivisor};
+
+/// Converts `x` to decimal with hardware division (the baseline of
+/// Table 11.2's "time with division performed" column).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_workloads::decimal_baseline;
+///
+/// assert_eq!(decimal_baseline(0), "0");
+/// assert_eq!(decimal_baseline(1994), "1994");
+/// ```
+pub fn decimal_baseline(mut x: u32) -> String {
+    let mut buf = [0u8; 10];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (x % 10) as u8;
+        x /= 10;
+        if x == 0 {
+            break;
+        }
+    }
+    String::from_utf8_lossy(&buf[i..]).into_owned()
+}
+
+/// Converts `x` to decimal with the division eliminated (Table 11.2's
+/// "time with division eliminated" column): one magic multiply and one
+/// multiply-back per digit.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_workloads::decimal_magic;
+///
+/// assert_eq!(decimal_magic(u32::MAX), u32::MAX.to_string());
+/// ```
+pub fn decimal_magic(mut x: u32) -> String {
+    // The divisor is a compile-time constant here, exactly as in Fig 11.1.
+    static BY10: std::sync::OnceLock<UnsignedDivisor<u32>> = std::sync::OnceLock::new();
+    let by10 = BY10.get_or_init(|| UnsignedDivisor::new(10).expect("10 != 0"));
+    let mut buf = [0u8; 10];
+    let mut i = buf.len();
+    loop {
+        let (q, r) = by10.div_rem(x);
+        i -= 1;
+        buf[i] = b'0' + r as u8;
+        x = q;
+        if x == 0 {
+            break;
+        }
+    }
+    String::from_utf8_lossy(&buf[i..]).into_owned()
+}
+
+/// Converts `x` to an arbitrary base (2–36) with a run-time invariant
+/// divisor hoisted out of the digit loop — the §4 "run-time invariant"
+/// use case.
+///
+/// # Errors
+///
+/// Returns [`DivisorError::Zero`] when `base < 2` (a base below two has
+/// no positional representation; base 1's divisor would loop forever).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_workloads::to_base;
+///
+/// assert_eq!(to_base(255, 16)?, "ff");
+/// assert_eq!(to_base(255, 2)?, "11111111");
+/// assert_eq!(to_base(0, 7)?, "0");
+/// # Ok::<(), magicdiv::DivisorError>(())
+/// ```
+pub fn to_base(mut x: u64, base: u32) -> Result<String, DivisorError> {
+    if !(2..=36).contains(&base) {
+        return Err(DivisorError::Zero);
+    }
+    let div = magicdiv::InvariantUnsignedDivisor::new(base as u64)?;
+    const DIGITS: &[u8; 36] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    let mut out = Vec::new();
+    loop {
+        let (q, r) = div.div_rem(x);
+        out.push(DIGITS[r as usize]);
+        x = q;
+        if x == 0 {
+            break;
+        }
+    }
+    out.reverse();
+    Ok(String::from_utf8(out).expect("digits are ASCII"))
+}
+
+/// Sums the digits of `count` consecutive values starting at `start`,
+/// converting each with either path — the bench harness's inner loop
+/// (returns a checksum so the work cannot be optimized away).
+pub fn radix_checksum(start: u32, count: u32, magic: bool) -> u64 {
+    let mut sum = 0u64;
+    for i in 0..count {
+        let x = start.wrapping_add(i.wrapping_mul(2_654_435_769)); // golden-ratio stride
+        let s = if magic { decimal_magic(x) } else { decimal_baseline(x) };
+        sum += s.bytes().map(u64::from).sum::<u64>();
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_paths_agree_with_std() {
+        for x in [0u32, 1, 9, 10, 99, 100, 1994, 123456789, u32::MAX, u32::MAX - 1] {
+            assert_eq!(decimal_baseline(x), x.to_string());
+            assert_eq!(decimal_magic(x), x.to_string());
+        }
+        let mut state = 1u32;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            assert_eq!(decimal_magic(state), state.to_string());
+        }
+    }
+
+    #[test]
+    fn to_base_matches_format() {
+        for x in [0u64, 1, 255, 1994, u32::MAX as u64, u64::MAX] {
+            assert_eq!(to_base(x, 16).unwrap(), format!("{x:x}"));
+            assert_eq!(to_base(x, 2).unwrap(), format!("{x:b}"));
+            assert_eq!(to_base(x, 8).unwrap(), format!("{x:o}"));
+            assert_eq!(to_base(x, 10).unwrap(), format!("{x}"));
+        }
+    }
+
+    #[test]
+    fn to_base_36_roundtrip() {
+        for x in [0u64, 35, 36, 1295, 1296, u64::MAX] {
+            let s = to_base(x, 36).unwrap();
+            assert_eq!(u64::from_str_radix(&s, 36).unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn invalid_bases_rejected() {
+        assert!(to_base(5, 0).is_err());
+        assert!(to_base(5, 1).is_err());
+        assert!(to_base(5, 37).is_err());
+    }
+
+    #[test]
+    fn checksums_agree_between_paths() {
+        assert_eq!(
+            radix_checksum(12345, 500, true),
+            radix_checksum(12345, 500, false)
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Number-theoretic workloads (§1, §11): modular exponentiation with the
+//! §8 doubleword reduction, trial-division primality, the §9
+//! strength-reduced divisibility loop, and the GCD counterexample.
+//!
+//! Run with: `cargo run --release --example number_theory`
+
+use magicdiv_suite::magicdiv::DivisibilityScanner;
+use magicdiv_suite::magicdiv_workloads::{
+    count_primes, gcd, gcd_with_per_iteration_reciprocal, mod_pow, to_base, trip_count,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Modular exponentiation: the modulus is the invariant divisor; each
+    // square-and-multiply step reduces a 128-bit product with Fig 8.1.
+    let p = 0xffff_ffff_ffff_ffc5u64; // largest prime below 2^64
+    let a = 1_234_567_890_123_456_789u64;
+    let powered = mod_pow(a, p - 1, p)?;
+    println!("Fermat check: {a}^(p-1) mod p = {powered} (expect 1)");
+    assert_eq!(powered, 1);
+
+    // Primality by trial division with precomputed reciprocals.
+    let primes_below_100k = count_primes(100_000, true);
+    println!("pi(100000) = {primes_below_100k} (expect 9592)");
+    assert_eq!(primes_below_100k, 9592);
+
+    // The paper's closing example: which i in 0..imax satisfy i % 100 == 0,
+    // with no multiply or divide in the loop.
+    let hits: Vec<usize> = DivisibilityScanner::<i32>::new(100)?
+        .take(1000)
+        .enumerate()
+        .filter_map(|(i, yes)| yes.then_some(i))
+        .collect();
+    println!("multiples of 100 below 1000: {hits:?}");
+
+    // Loop-count computation (§1): how many iterations does
+    // `for (i = lo; i < hi; i += step)` run?
+    println!(
+        "trip_count(17, 1_000_000, 37) = {}",
+        trip_count(17, 1_000_000, 37)?
+    );
+
+    // Base conversion with an invariant base.
+    println!("2^61 - 1 in base 7 = {}", to_base((1 << 61) - 1, 7)?);
+
+    // The counterexample: Euclid's GCD changes its divisor each step, so
+    // per-iteration reciprocals are pure overhead (§1's caveat).
+    let (x, y) = (0x9e37_79b9_7f4a_7c15u64, 0x517c_c1b7_2722_0a95u64);
+    assert_eq!(gcd(x, y), gcd_with_per_iteration_reciprocal(x, y));
+    println!(
+        "gcd({x:#x}, {y:#x}) = {} — correct either way, but the reciprocal \
+         version is slower (see `cargo bench gcd_invariance_caveat`)",
+        gcd(x, y)
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: the five-minute tour of `magicdiv`.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use magicdiv_suite::magicdiv::{
+    DWord, DwordDivisor, ExactSignedDivisor, FloorDivisor, InvariantUnsignedDivisor,
+    SignedDivisor, UnsignedDivisor,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---------------------------------------------------------------
+    // 1. Unsigned division by a constant (§4, Fig 4.2).
+    // ---------------------------------------------------------------
+    let by10 = UnsignedDivisor::<u32>::new(10)?;
+    println!("strategy for /10: {:?}", by10.strategy());
+    assert_eq!(by10.divide(1_000_000_007), 100_000_000);
+    assert_eq!(by10.div_rem(1994), (199, 4));
+    // Operators work too (on a reference, since the divisor is reused):
+    assert_eq!(12345u32 / &by10, 1234);
+    assert_eq!(12345u32 % &by10, 5);
+
+    // ---------------------------------------------------------------
+    // 2. Run-time invariant divisors (§4, Fig 4.1) — the divisor is not
+    //    known until run time, but is fixed across a loop.
+    // ---------------------------------------------------------------
+    let divisor_from_input = 1994u64; // imagine this came from argv
+    let inv = InvariantUnsignedDivisor::new(divisor_from_input)?;
+    let total: u64 = (0..1_000u64).map(|i| inv.divide(i * 123_456_789)).sum();
+    println!("sum of 1000 quotients by {divisor_from_input}: {total}");
+
+    // ---------------------------------------------------------------
+    // 3. Signed division: trunc (§5) and floor (§6) rounding.
+    // ---------------------------------------------------------------
+    let trunc = SignedDivisor::<i32>::new(-7)?;
+    let floor = FloorDivisor::<i32>::new(7)?;
+    assert_eq!(trunc.divide(-100), 14); // C-style: rounds toward zero
+    assert_eq!(floor.divide(-100), -15); // Python-style: rounds down
+    assert_eq!(floor.modulus(-100), 5); // mod takes the divisor's sign
+    println!("trunc(-100 / -7) = {}, floor(-100 / 7) = {}", trunc.divide(-100), floor.divide(-100));
+
+    // ---------------------------------------------------------------
+    // 4. 128-by-64-bit division (§8) — the multi-precision primitive.
+    // ---------------------------------------------------------------
+    let modulus = 0xffff_ffff_ffff_ffc5u64; // largest 64-bit prime
+    let dd = DwordDivisor::new(modulus)?;
+    let wide = DWord::from_parts(0x1234_5678, 0x9abc_def0_1122_3344);
+    let (q, r) = dd.div_rem(wide)?;
+    println!("(2^64*0x12345678 + ...) / p: q={q:#x} r={r:#x}");
+
+    // ---------------------------------------------------------------
+    // 5. Exact division and divisibility without remainders (§9).
+    // ---------------------------------------------------------------
+    let size = ExactSignedDivisor::<i64>::new(24)?; // 24-byte records
+    assert_eq!(size.divide_exact(24 * 1000), 1000);
+    assert!(size.divides(4800));
+    assert!(!size.divides(4801));
+    println!("divisibility by 24 without a remainder: OK");
+
+    println!("\nAll quickstart checks passed.");
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Figure 11.1, live: binary-to-decimal conversion with the division
+//! eliminated, plus the generated code and its simulated cost on the
+//! paper's eight Table 11.2 machines.
+//!
+//! Run with: `cargo run --example radix_conversion [number]`
+
+use magicdiv_suite::magicdiv_codegen::{emit_radix_loop, radix_body, RadixStyle, Target};
+use magicdiv_suite::magicdiv_simcpu::{radix_conversion_timing, table_11_2_models};
+use magicdiv_suite::magicdiv_workloads::{decimal_baseline, decimal_magic};
+
+fn main() {
+    let x: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_718_281_828);
+
+    println!("== Figure 11.1: converting {x} to decimal ==\n");
+    println!("with division:    {}", decimal_baseline(x));
+    println!("division removed: {}", decimal_magic(x));
+    assert_eq!(decimal_baseline(x), decimal_magic(x));
+
+    println!("\n== The loop body as IR (division eliminated) ==\n");
+    let body = radix_body(32, RadixStyle::Magic);
+    println!("{body}\n");
+    println!("op counts: {}", body.op_counts());
+
+    println!("\n== As MIPS assembly (Table 11.1 shape) ==\n");
+    print!("{}", emit_radix_loop(Target::Mips, true));
+
+    println!("\n== Simulated on the paper's Table 11.2 machines ==\n");
+    for model in table_11_2_models() {
+        let t = radix_conversion_timing(&model);
+        println!(
+            "{:28} {:>7} cycles with div, {:>6} without -> {:>5.1}x",
+            model.name,
+            t.cycles_with_division,
+            t.cycles_without_division,
+            t.speedup()
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the `magicdiv` workspace.
+//!
+//! Re-exports every crate in the reproduction of Granlund & Montgomery,
+//! *Division by Invariant Integers using Multiplication* (PLDI 1994), so the
+//! top-level `examples/` and `tests/` can reach all of them through one
+//! dependency.
+//!
+//! # Examples
+//!
+//! ```
+//! use magicdiv_suite::magicdiv::UnsignedDivisor;
+//!
+//! let d = UnsignedDivisor::<u32>::new(10).unwrap();
+//! assert_eq!(d.divide(1234), 123);
+//! ```
+
+pub use magicdiv;
+pub use magicdiv_codegen;
+pub use magicdiv_dword;
+pub use magicdiv_ir;
+pub use magicdiv_simcpu;
+pub use magicdiv_workloads;
