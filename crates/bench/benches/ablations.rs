@@ -8,121 +8,151 @@
 //! * the §7 floating-point division path vs the integer sequences;
 //! * GCD with a per-iteration reciprocal (the §1 invariance caveat).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
 use magicdiv::{
     mod_inverse_bitwise, mod_inverse_newton, trunc_div_f64, InvariantUnsignedDivisor,
     SignedDivisor, UnsignedDivisor,
 };
+use magicdiv_bench::{measure_ns, render_table};
 use magicdiv_workloads::{gcd, gcd_with_per_iteration_reciprocal};
 
-fn bench_inverse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mod_inverse");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    let odds: Vec<u64> = (0..256u64).map(|i| i * 2 + 1).map(|x| x.wrapping_mul(0x2545F4914F6CDD1D) | 1).collect();
-    group.bench_function("newton", |b| {
-        b.iter(|| {
-            odds.iter()
-                .map(|&d| mod_inverse_newton(black_box(d)))
-                .fold(0u64, u64::wrapping_add)
-        })
+const ITERS: u64 = 1_000;
+
+fn bench_inverse(rows: &mut Vec<Vec<String>>) {
+    let odds: Vec<u64> = (0..256u64)
+        .map(|i| i * 2 + 1)
+        .map(|x| x.wrapping_mul(0x2545F4914F6CDD1D) | 1)
+        .collect();
+    let ns = measure_ns(ITERS, |_| {
+        odds.iter()
+            .map(|&d| mod_inverse_newton(black_box(d)))
+            .fold(0u64, u64::wrapping_add)
     });
-    group.bench_function("bitwise_hensel", |b| {
-        b.iter(|| {
-            odds.iter()
-                .map(|&d| mod_inverse_bitwise(black_box(d)))
-                .fold(0u64, u64::wrapping_add)
-        })
+    rows.push(vec!["mod_inverse/newton".into(), format!("{ns:.1}")]);
+    let ns = measure_ns(ITERS, |_| {
+        odds.iter()
+            .map(|&d| mod_inverse_bitwise(black_box(d)))
+            .fold(0u64, u64::wrapping_add)
     });
-    group.finish();
+    rows.push(vec![
+        "mod_inverse/bitwise_hensel".into(),
+        format!("{ns:.1}"),
+    ]);
 }
 
-fn bench_setup_amortization(c: &mut Criterion) {
-    let mut group = c.benchmark_group("setup_amortization");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+fn bench_setup_amortization(rows: &mut Vec<Vec<String>>) {
     // Total cost of (setup + k divisions) for growing k: where the
     // reciprocal overtakes repeated hardware divides.
     for &k in &[1u64, 4, 16, 64, 256] {
-        group.bench_with_input(BenchmarkId::new("hardware", k), &k, |b, &k| {
-            b.iter(|| {
-                let d = black_box(1_000_000_007u64);
-                (0..k).map(|i| black_box(u64::MAX - i) / d).fold(0, u64::wrapping_add)
-            })
+        let ns = measure_ns(ITERS, |_| {
+            let d = black_box(1_000_000_007u64);
+            (0..k)
+                .map(|i| black_box(u64::MAX - i) / d)
+                .fold(0, u64::wrapping_add)
         });
-        group.bench_with_input(BenchmarkId::new("setup_plus_magic", k), &k, |b, &k| {
-            b.iter(|| {
-                let div =
-                    InvariantUnsignedDivisor::<u64>::new(black_box(1_000_000_007)).expect("d > 0");
-                (0..k)
-                    .map(|i| div.divide(black_box(u64::MAX - i)))
-                    .fold(0, u64::wrapping_add)
-            })
+        rows.push(vec![
+            format!("setup_amortization/hardware/{k}"),
+            format!("{ns:.1}"),
+        ]);
+        let ns = measure_ns(ITERS, |_| {
+            let div =
+                InvariantUnsignedDivisor::<u64>::new(black_box(1_000_000_007)).expect("d > 0");
+            (0..k)
+                .map(|i| div.divide(black_box(u64::MAX - i)))
+                .fold(0, u64::wrapping_add)
         });
+        rows.push(vec![
+            format!("setup_amortization/setup_plus_magic/{k}"),
+            format!("{ns:.1}"),
+        ]);
     }
-    group.finish();
 }
 
-fn bench_setup_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("divisor_construction");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("unsigned_fig4_2", |b| {
-        b.iter(|| UnsignedDivisor::<u64>::new(black_box(1_000_000_007)).expect("d > 0"))
+fn bench_setup_cost(rows: &mut Vec<Vec<String>>) {
+    let ns = measure_ns(ITERS, |_| {
+        UnsignedDivisor::<u64>::new(black_box(1_000_000_007))
+            .expect("d > 0")
+            .divisor()
     });
-    group.bench_function("unsigned_fig4_1_invariant", |b| {
-        b.iter(|| InvariantUnsignedDivisor::<u64>::new(black_box(1_000_000_007)).expect("d > 0"))
+    rows.push(vec![
+        "divisor_construction/unsigned_fig4_2".into(),
+        format!("{ns:.1}"),
+    ]);
+    let ns = measure_ns(ITERS, |_| {
+        InvariantUnsignedDivisor::<u64>::new(black_box(1_000_000_007))
+            .expect("d > 0")
+            .divisor()
     });
-    group.bench_function("signed_fig5_2", |b| {
-        b.iter(|| SignedDivisor::<i64>::new(black_box(-1_000_000_007)).expect("d != 0"))
+    rows.push(vec![
+        "divisor_construction/unsigned_fig4_1_invariant".into(),
+        format!("{ns:.1}"),
+    ]);
+    let ns = measure_ns(ITERS, |_| {
+        SignedDivisor::<i64>::new(black_box(-1_000_000_007))
+            .expect("d != 0")
+            .divisor() as u64
     });
-    group.finish();
+    rows.push(vec![
+        "divisor_construction/signed_fig5_2".into(),
+        format!("{ns:.1}"),
+    ]);
 }
 
-fn bench_float_path(c: &mut Criterion) {
-    let mut group = c.benchmark_group("float_division_section7");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+fn bench_float_path(rows: &mut Vec<Vec<String>>) {
     let inputs: Vec<i32> = (0..1024).map(|i| i * 2_654_435 + 7).collect();
-    group.bench_function("integer_magic", |b| {
-        let d = SignedDivisor::<i32>::new(10).expect("d != 0");
-        b.iter(|| {
-            inputs
-                .iter()
-                .map(|&n| d.divide(black_box(n)))
-                .fold(0i32, i32::wrapping_add)
-        })
+    let d = SignedDivisor::<i32>::new(10).expect("d != 0");
+    let ns = measure_ns(ITERS, |_| {
+        inputs
+            .iter()
+            .map(|&n| d.divide(black_box(n)))
+            .fold(0i32, i32::wrapping_add) as u64
     });
-    group.bench_function("through_f64", |b| {
-        b.iter(|| {
-            inputs
-                .iter()
-                .map(|&n| trunc_div_f64(black_box(n), black_box(10)).expect("d != 0"))
-                .fold(0i32, i32::wrapping_add)
-        })
+    rows.push(vec![
+        "float_division_section7/integer_magic".into(),
+        format!("{ns:.1}"),
+    ]);
+    let ns = measure_ns(ITERS, |_| {
+        inputs
+            .iter()
+            .map(|&n| trunc_div_f64(black_box(n), black_box(10)).expect("d != 0"))
+            .fold(0i32, i32::wrapping_add) as u64
     });
-    group.finish();
+    rows.push(vec![
+        "float_division_section7/through_f64".into(),
+        format!("{ns:.1}"),
+    ]);
 }
 
-fn bench_gcd_caveat(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gcd_invariance_caveat");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("hardware", |b| {
-        b.iter(|| gcd(black_box(0x9e37_79b9_7f4a_7c15), black_box(0x517c_c1b7_2722_0a95)))
+fn bench_gcd_caveat(rows: &mut Vec<Vec<String>>) {
+    let ns = measure_ns(ITERS, |_| {
+        gcd(
+            black_box(0x9e37_79b9_7f4a_7c15),
+            black_box(0x517c_c1b7_2722_0a95),
+        )
     });
-    group.bench_function("per_iteration_reciprocal", |b| {
-        b.iter(|| {
-            gcd_with_per_iteration_reciprocal(
-                black_box(0x9e37_79b9_7f4a_7c15),
-                black_box(0x517c_c1b7_2722_0a95),
-            )
-        })
+    rows.push(vec![
+        "gcd_invariance_caveat/hardware".into(),
+        format!("{ns:.1}"),
+    ]);
+    let ns = measure_ns(ITERS, |_| {
+        gcd_with_per_iteration_reciprocal(
+            black_box(0x9e37_79b9_7f4a_7c15),
+            black_box(0x517c_c1b7_2722_0a95),
+        )
     });
-    group.finish();
+    rows.push(vec![
+        "gcd_invariance_caveat/per_iteration_reciprocal".into(),
+        format!("{ns:.1}"),
+    ]);
 }
 
-criterion_group!(
-    benches,
-    bench_inverse,
-    bench_setup_amortization,
-    bench_setup_cost,
-    bench_float_path,
-    bench_gcd_caveat
-);
-criterion_main!(benches);
+fn main() {
+    let mut rows = Vec::new();
+    bench_inverse(&mut rows);
+    bench_setup_amortization(&mut rows);
+    bench_setup_cost(&mut rows);
+    bench_float_path(&mut rows);
+    bench_gcd_caveat(&mut rows);
+    println!("{}", render_table(&["bench", "ns/iter"], &rows));
+}

@@ -1,108 +1,134 @@
-//! Criterion benches for the core claim (Table 1.1's motivation): a
+//! Fixed-iteration benches for the core claim (Table 1.1's motivation): a
 //! precomputed-reciprocal division beats a hardware divide when the
 //! divisor is invariant, across widths and signedness.
+//!
+//! Run with `cargo bench -p magicdiv-bench --bench division`. Each row is
+//! the mean ns of one 1024-element (512 for the doubleword case) pass.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use magicdiv::{
-    InvariantSignedDivisor, InvariantUnsignedDivisor, SignedDivisor, UnsignedDivisor,
-};
+use std::hint::black_box;
+
+use magicdiv::{InvariantSignedDivisor, InvariantUnsignedDivisor, SignedDivisor, UnsignedDivisor};
+use magicdiv_bench::{measure_ns, render_table};
+
+const ITERS: u64 = 500;
 
 /// Hardware divide vs Fig 4.2 constant-strategy vs Fig 4.1 invariant
-/// shape, u32 and u64, over a mix of divisors.
-fn bench_unsigned(c: &mut Criterion) {
-    let mut group = c.benchmark_group("unsigned_division");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+/// shape, u64, over a mix of divisors.
+fn bench_unsigned(rows: &mut Vec<Vec<String>>) {
     let divisors64: [u64; 4] = [10, 7, 1_000_000_007, 641];
     let inputs: Vec<u64> = (0..1024u64)
         .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
         .collect();
 
     for &d in &divisors64 {
-        group.bench_with_input(BenchmarkId::new("u64_hardware", d), &d, |b, &d| {
-            // black_box(d) prevents LLVM from applying this very paper.
-            b.iter(|| {
-                let d = black_box(d);
-                inputs.iter().map(|&n| black_box(n) / d).sum::<u64>()
-            })
+        // black_box(d) prevents LLVM from applying this very paper.
+        let ns = measure_ns(ITERS, |_| {
+            let d = black_box(d);
+            inputs.iter().map(|&n| black_box(n) / d).sum::<u64>()
         });
+        rows.push(vec![
+            format!("unsigned/u64_hardware/{d}"),
+            format!("{ns:.1}"),
+        ]);
+
         let magic = UnsignedDivisor::<u64>::new(d).expect("nonzero");
-        group.bench_with_input(BenchmarkId::new("u64_magic_fig4_2", d), &d, |b, _| {
-            b.iter(|| inputs.iter().map(|&n| magic.divide(black_box(n))).sum::<u64>())
+        let ns = measure_ns(ITERS, |_| {
+            inputs
+                .iter()
+                .map(|&n| magic.divide(black_box(n)))
+                .sum::<u64>()
         });
+        rows.push(vec![
+            format!("unsigned/u64_magic_fig4_2/{d}"),
+            format!("{ns:.1}"),
+        ]);
+
         let inv = InvariantUnsignedDivisor::<u64>::new(d).expect("nonzero");
-        group.bench_with_input(BenchmarkId::new("u64_invariant_fig4_1", d), &d, |b, _| {
-            b.iter(|| inputs.iter().map(|&n| inv.divide(black_box(n))).sum::<u64>())
+        let ns = measure_ns(ITERS, |_| {
+            inputs
+                .iter()
+                .map(|&n| inv.divide(black_box(n)))
+                .sum::<u64>()
         });
+        rows.push(vec![
+            format!("unsigned/u64_invariant_fig4_1/{d}"),
+            format!("{ns:.1}"),
+        ]);
     }
-    group.finish();
 }
 
-fn bench_signed(c: &mut Criterion) {
-    let mut group = c.benchmark_group("signed_division");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+fn bench_signed(rows: &mut Vec<Vec<String>>) {
     let inputs: Vec<i64> = (0..1024i64)
         .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15u64 as i64))
         .collect();
     for &d in &[-7i64, 10, 1_000_000_007] {
-        group.bench_with_input(BenchmarkId::new("i64_hardware", d), &d, |b, &d| {
-            b.iter(|| {
-                let d = black_box(d);
-                inputs
-                    .iter()
-                    .map(|&n| black_box(n).wrapping_div(d))
-                    .fold(0i64, i64::wrapping_add)
-            })
+        let ns = measure_ns(ITERS, |_| {
+            let d = black_box(d);
+            inputs
+                .iter()
+                .map(|&n| black_box(n).wrapping_div(d))
+                .fold(0i64, i64::wrapping_add) as u64
         });
+        rows.push(vec![format!("signed/i64_hardware/{d}"), format!("{ns:.1}")]);
+
         let magic = SignedDivisor::<i64>::new(d).expect("nonzero");
-        group.bench_with_input(BenchmarkId::new("i64_magic_fig5_2", d), &d, |b, _| {
-            b.iter(|| {
-                inputs
-                    .iter()
-                    .map(|&n| magic.divide(black_box(n)))
-                    .fold(0i64, i64::wrapping_add)
-            })
+        let ns = measure_ns(ITERS, |_| {
+            inputs
+                .iter()
+                .map(|&n| magic.divide(black_box(n)))
+                .fold(0i64, i64::wrapping_add) as u64
         });
+        rows.push(vec![
+            format!("signed/i64_magic_fig5_2/{d}"),
+            format!("{ns:.1}"),
+        ]);
+
         let inv = InvariantSignedDivisor::<i64>::new(d).expect("nonzero");
-        group.bench_with_input(BenchmarkId::new("i64_invariant_fig5_1", d), &d, |b, _| {
-            b.iter(|| {
-                inputs
-                    .iter()
-                    .map(|&n| inv.divide(black_box(n)))
-                    .fold(0i64, i64::wrapping_add)
-            })
+        let ns = measure_ns(ITERS, |_| {
+            inputs
+                .iter()
+                .map(|&n| inv.divide(black_box(n)))
+                .fold(0i64, i64::wrapping_add) as u64
         });
+        rows.push(vec![
+            format!("signed/i64_invariant_fig5_1/{d}"),
+            format!("{ns:.1}"),
+        ]);
     }
-    group.finish();
 }
 
 /// The §8 doubleword divide vs native u128 division.
-fn bench_dword(c: &mut Criterion) {
-    let mut group = c.benchmark_group("udword_by_uword");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+fn bench_dword(rows: &mut Vec<Vec<String>>) {
     let d: u64 = 0xffff_ffff_ffff_ffc5;
     let inputs: Vec<u128> = (0..512u128)
         .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15_0123_4567_89ab_cdef) % ((d as u128) << 64))
         .collect();
-    group.bench_function("u128_hardware", |b| {
-        b.iter(|| {
-            let d = black_box(d) as u128;
-            inputs.iter().map(|&n| (black_box(n) % d) as u64).fold(0u64, u64::wrapping_add)
-        })
+    let ns = measure_ns(ITERS, |_| {
+        let d = black_box(d) as u128;
+        inputs
+            .iter()
+            .map(|&n| (black_box(n) % d) as u64)
+            .fold(0u64, u64::wrapping_add)
     });
+    rows.push(vec!["udword/u128_hardware".into(), format!("{ns:.1}")]);
+
     let dd = magicdiv::DwordDivisor::<u64>::new(d).expect("nonzero");
-    group.bench_function("fig8_1_magic", |b| {
-        b.iter(|| {
-            inputs
-                .iter()
-                .map(|&n| {
-                    let dw = magicdiv::DWord::from_parts((n >> 64) as u64, n as u64);
-                    dd.div_rem(black_box(dw)).expect("in range").1
-                })
-                .fold(0u64, u64::wrapping_add)
-        })
+    let ns = measure_ns(ITERS, |_| {
+        inputs
+            .iter()
+            .map(|&n| {
+                let dw = magicdiv::DWord::from_parts((n >> 64) as u64, n as u64);
+                dd.div_rem(black_box(dw)).expect("in range").1
+            })
+            .fold(0u64, u64::wrapping_add)
     });
-    group.finish();
+    rows.push(vec!["udword/fig8_1_magic".into(), format!("{ns:.1}")]);
 }
 
-criterion_group!(benches, bench_unsigned, bench_signed, bench_dword);
-criterion_main!(benches);
+fn main() {
+    let mut rows = Vec::new();
+    bench_unsigned(&mut rows);
+    bench_signed(&mut rows);
+    bench_dword(&mut rows);
+    println!("{}", render_table(&["bench", "ns/iter"], &rows));
+}

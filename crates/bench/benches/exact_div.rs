@@ -1,49 +1,70 @@
-//! Criterion bench for **§9**: exact division (pointer subtraction),
+//! Fixed-iteration bench for **§9**: exact division (pointer subtraction),
 //! divisibility testing without remainders, and the strength-reduced
 //! divisibility loop.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
 use magicdiv::{DivisibilityScanner, ExactSignedDivisor};
+use magicdiv_bench::{measure_ns, render_table};
 use magicdiv_workloads::{count_multiples_baseline, pointer_diff_kernel};
 
-fn bench_exact(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exact_division");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("pointer_diff_hardware", |b| {
-        b.iter(|| pointer_diff_kernel(black_box(24), 2000, false))
-    });
-    group.bench_function("pointer_diff_exact_mull", |b| {
-        b.iter(|| pointer_diff_kernel(black_box(24), 2000, true))
-    });
-    group.finish();
+const ITERS: u64 = 500;
 
-    let mut group = c.benchmark_group("divisibility");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    let ns = measure_ns(ITERS, |_| {
+        pointer_diff_kernel(black_box(24), 2000, false) as u64
+    });
+    rows.push(vec![
+        "exact/pointer_diff_hardware".into(),
+        format!("{ns:.1}"),
+    ]);
+    let ns = measure_ns(ITERS, |_| {
+        pointer_diff_kernel(black_box(24), 2000, true) as u64
+    });
+    rows.push(vec![
+        "exact/pointer_diff_exact_mull".into(),
+        format!("{ns:.1}"),
+    ]);
+
     let inputs: Vec<i32> = (0..1024).map(|i| i * 37 + 11).collect();
-    group.bench_function("remainder_test", |b| {
-        b.iter(|| {
-            let d = black_box(100);
-            inputs.iter().filter(|&&n| n % d == 0).count()
-        })
+    let ns = measure_ns(ITERS, |_| {
+        let d = black_box(100);
+        inputs.iter().filter(|&&n| n % d == 0).count() as u64
     });
-    let ed = ExactSignedDivisor::<i32>::new(100).expect("nonzero");
-    group.bench_function("section9_no_remainder", |b| {
-        b.iter(|| inputs.iter().filter(|&&n| ed.divides(black_box(n))).count())
-    });
-    group.bench_function("scanner_strength_reduced", |b| {
-        b.iter(|| {
-            DivisibilityScanner::<i32>::new(black_box(100))
-                .expect("d > 0")
-                .take(100_000)
-                .filter(|&x| x)
-                .count()
-        })
-    });
-    group.bench_function("scanner_baseline_modulo", |b| {
-        b.iter(|| count_multiples_baseline(black_box(100_000), black_box(100)))
-    });
-    group.finish();
-}
+    rows.push(vec![
+        "divisibility/remainder_test".into(),
+        format!("{ns:.1}"),
+    ]);
 
-criterion_group!(benches, bench_exact);
-criterion_main!(benches);
+    let ed = ExactSignedDivisor::<i32>::new(100).expect("nonzero");
+    let ns = measure_ns(ITERS, |_| {
+        inputs.iter().filter(|&&n| ed.divides(black_box(n))).count() as u64
+    });
+    rows.push(vec![
+        "divisibility/section9_no_remainder".into(),
+        format!("{ns:.1}"),
+    ]);
+
+    let ns = measure_ns(ITERS, |_| {
+        DivisibilityScanner::<i32>::new(black_box(100))
+            .expect("d > 0")
+            .take(100_000)
+            .filter(|&x| x)
+            .count() as u64
+    });
+    rows.push(vec![
+        "divisibility/scanner_strength_reduced".into(),
+        format!("{ns:.1}"),
+    ]);
+    let ns = measure_ns(ITERS, |_| {
+        count_multiples_baseline(black_box(100_000), black_box(100))
+    });
+    rows.push(vec![
+        "divisibility/scanner_baseline_modulo".into(),
+        format!("{ns:.1}"),
+    ]);
+
+    println!("{}", render_table(&["bench", "ns/iter"], &rows));
+}

@@ -1,32 +1,40 @@
-//! Criterion bench for the **§11 SPEC92 hashing note** ("benchmarks that
-//! involve hashing show improvements up to about 30%"): prime-modulus
+//! Fixed-iteration bench for the **§11 SPEC92 hashing note** ("benchmarks
+//! that involve hashing show improvements up to about 30%"): prime-modulus
 //! hash-table lookups with the reduction done by hardware `%` vs the
 //! hoisted magic reciprocal.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magicdiv_bench::{measure_ns, render_table};
 use magicdiv_workloads::{hashing_kernel, Reduction};
 
-fn bench_hashing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hashing");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    for &prime in &[1009u64, 8191, 1_000_003] {
-        group.bench_with_input(
-            BenchmarkId::new("hardware_remainder", prime),
-            &prime,
-            |b, &p| {
-                b.iter(|| hashing_kernel(p, (p / 2).min(5000), 10_000, Reduction::HardwareRemainder))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("magic_remainder", prime),
-            &prime,
-            |b, &p| {
-                b.iter(|| hashing_kernel(p, (p / 2).min(5000), 10_000, Reduction::MagicRemainder))
-            },
-        );
-    }
-    group.finish();
-}
+const ITERS: u64 = 200;
 
-criterion_group!(benches, bench_hashing);
-criterion_main!(benches);
+fn main() {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &prime in &[1009u64, 8191, 1_000_003] {
+        let ns = measure_ns(ITERS, |_| {
+            hashing_kernel(
+                prime,
+                (prime / 2).min(5000),
+                10_000,
+                Reduction::HardwareRemainder,
+            )
+        });
+        rows.push(vec![
+            format!("hashing/hardware_remainder/{prime}"),
+            format!("{ns:.1}"),
+        ]);
+        let ns = measure_ns(ITERS, |_| {
+            hashing_kernel(
+                prime,
+                (prime / 2).min(5000),
+                10_000,
+                Reduction::MagicRemainder,
+            )
+        });
+        rows.push(vec![
+            format!("hashing/magic_remainder/{prime}"),
+            format!("{ns:.1}"),
+        ]);
+    }
+    println!("{}", render_table(&["bench", "ns/iter"], &rows));
+}

@@ -1,45 +1,50 @@
-//! Criterion bench for **Table 11.2 / Figure 11.1**: the radix-conversion
-//! kernel with the division performed vs eliminated, on the host CPU
-//! (the simulator regenerates the 1994 hardware rows; see
+//! Fixed-iteration bench for **Table 11.2 / Figure 11.1**: the
+//! radix-conversion kernel with the division performed vs eliminated, on
+//! the host CPU (the simulator regenerates the 1994 hardware rows; see
 //! `--bin table_11_2`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use magicdiv_bench::{measure_ns, render_table};
 use magicdiv_workloads::{decimal_baseline, decimal_magic, to_base};
 
-fn bench_radix(c: &mut Criterion) {
-    let mut group = c.benchmark_group("radix_conversion");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+const ITERS: u64 = 500;
+
+fn main() {
+    let mut rows: Vec<Vec<String>> = Vec::new();
     let inputs: Vec<u32> = (0..256u32).map(|i| u32::MAX - i * 16_777_259).collect();
 
-    group.bench_function("with_division", |b| {
-        b.iter(|| {
-            inputs
-                .iter()
-                .map(|&x| decimal_baseline(black_box(x)).len())
-                .sum::<usize>()
-        })
+    let ns = measure_ns(ITERS, |_| {
+        inputs
+            .iter()
+            .map(|&x| decimal_baseline(black_box(x)).len())
+            .sum::<usize>() as u64
     });
-    group.bench_function("division_eliminated", |b| {
-        b.iter(|| {
-            inputs
-                .iter()
-                .map(|&x| decimal_magic(black_box(x)).len())
-                .sum::<usize>()
-        })
+    rows.push(vec!["radix/with_division".into(), format!("{ns:.1}")]);
+    let ns = measure_ns(ITERS, |_| {
+        inputs
+            .iter()
+            .map(|&x| decimal_magic(black_box(x)).len())
+            .sum::<usize>() as u64
     });
+    rows.push(vec!["radix/division_eliminated".into(), format!("{ns:.1}")]);
+
     // Run-time invariant base (the compiler cannot constant-fold this).
     for base in [7u32, 10, 36] {
-        group.bench_function(format!("to_base_{base}_invariant"), |b| {
-            b.iter(|| {
-                inputs
-                    .iter()
-                    .map(|&x| to_base(black_box(x as u64), black_box(base)).expect("valid base").len())
-                    .sum::<usize>()
-            })
+        let ns = measure_ns(ITERS, |_| {
+            inputs
+                .iter()
+                .map(|&x| {
+                    to_base(black_box(x as u64), black_box(base))
+                        .expect("valid base")
+                        .len()
+                })
+                .sum::<usize>() as u64
         });
+        rows.push(vec![
+            format!("radix/to_base_{base}_invariant"),
+            format!("{ns:.1}"),
+        ]);
     }
-    group.finish();
+    println!("{}", render_table(&["bench", "ns/iter"], &rows));
 }
-
-criterion_group!(benches, bench_radix);
-criterion_main!(benches);

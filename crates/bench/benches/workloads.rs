@@ -1,47 +1,56 @@
-//! Criterion benches for the remaining workload kernels: multi-precision
-//! decimal printing (§8), calendar conversion (§6 floor divisions) and
-//! the graphics blend/project kernels (§1's "graphics codes").
+//! Fixed-iteration benches for the remaining workload kernels:
+//! multi-precision decimal printing (§8), calendar conversion (§6 floor
+//! divisions) and the graphics blend/project kernels (§1's "graphics
+//! codes").
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use magicdiv_bench::{measure_ns, render_table};
 use magicdiv_workloads::{bignum_kernel, calendar_kernel, graphics_kernel};
 
-fn bench_bignum(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bignum_to_decimal");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+const ITERS: u64 = 200;
+
+fn main() {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
     for limbs in [4usize, 16, 64] {
-        group.bench_function(format!("{limbs}limbs_hardware"), |b| {
-            b.iter(|| bignum_kernel(black_box(limbs), false))
-        });
-        group.bench_function(format!("{limbs}limbs_fig8_1"), |b| {
-            b.iter(|| bignum_kernel(black_box(limbs), true))
-        });
+        let ns = measure_ns(ITERS, |_| bignum_kernel(black_box(limbs), false));
+        rows.push(vec![
+            format!("bignum_to_decimal/{limbs}limbs_hardware"),
+            format!("{ns:.1}"),
+        ]);
+        let ns = measure_ns(ITERS, |_| bignum_kernel(black_box(limbs), true));
+        rows.push(vec![
+            format!("bignum_to_decimal/{limbs}limbs_fig8_1"),
+            format!("{ns:.1}"),
+        ]);
     }
-    group.finish();
-}
 
-fn bench_calendar(c: &mut Criterion) {
-    let mut group = c.benchmark_group("calendar");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("civil_from_days_hardware", |b| {
-        b.iter(|| calendar_kernel(black_box(-1_000_000), 2_000, false))
+    let ns = measure_ns(ITERS, |_| {
+        calendar_kernel(black_box(-1_000_000), 2_000, false) as u64
     });
-    group.bench_function("civil_from_days_magic", |b| {
-        b.iter(|| calendar_kernel(black_box(-1_000_000), 2_000, true))
+    rows.push(vec![
+        "calendar/civil_from_days_hardware".into(),
+        format!("{ns:.1}"),
+    ]);
+    let ns = measure_ns(ITERS, |_| {
+        calendar_kernel(black_box(-1_000_000), 2_000, true) as u64
     });
-    group.finish();
-}
+    rows.push(vec![
+        "calendar/civil_from_days_magic".into(),
+        format!("{ns:.1}"),
+    ]);
 
-fn bench_graphics(c: &mut Criterion) {
-    let mut group = c.benchmark_group("graphics");
-    group.sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("blend_project_hardware", |b| {
-        b.iter(|| graphics_kernel(black_box(10_000), false))
-    });
-    group.bench_function("blend_project_magic", |b| {
-        b.iter(|| graphics_kernel(black_box(10_000), true))
-    });
-    group.finish();
-}
+    let ns = measure_ns(ITERS, |_| graphics_kernel(black_box(10_000), false));
+    rows.push(vec![
+        "graphics/blend_project_hardware".into(),
+        format!("{ns:.1}"),
+    ]);
+    let ns = measure_ns(ITERS, |_| graphics_kernel(black_box(10_000), true));
+    rows.push(vec![
+        "graphics/blend_project_magic".into(),
+        format!("{ns:.1}"),
+    ]);
 
-criterion_group!(benches, bench_bignum, bench_calendar, bench_graphics);
-criterion_main!(benches);
+    println!("{}", render_table(&["bench", "ns/iter"], &rows));
+}

@@ -1,0 +1,192 @@
+//! `bench` — fixed-iteration division microbenchmarks, reported per
+//! strategy per width, written to `BENCH_division.json`.
+//!
+//! For every width (8/16/32/64) one divisor per Figure 4.2/5.2 strategy
+//! is timed (identity, shift, mul_shift, mul_add_shift), scalar and
+//! batched, against the hardware-divide baseline. The strategy labels
+//! come from the shared planning layer, so the JSON rows name exactly
+//! the code shape that ran.
+//!
+//! Usage: `cargo run --release -p magicdiv-bench --bin bench -- [iters] [out.json]`
+
+use std::hint::black_box;
+
+use magicdiv::plan::DivPlan;
+use magicdiv::{SignedDivisor, UnsignedDivisor};
+use magicdiv_bench::{measure_ns, render_table};
+
+const LEN: u64 = 1024;
+
+struct Row {
+    name: String,
+    width: u32,
+    divisor: i128,
+    strategy: &'static str,
+    ns_per_op: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, rows: &[Row]) -> std::io::Result<()> {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"width\": {}, \"divisor\": {}, \"strategy\": \"{}\", \"ns_per_op\": {:.4}}}{}\n",
+            json_escape(&r.name),
+            r.width,
+            r.divisor,
+            r.strategy,
+            r.ns_per_op,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
+/// One divisor per unsigned strategy at a width: the values the planning
+/// layer classifies as identity / shift / mul_shift / mul_add_shift.
+fn strategy_divisors(width: u32) -> [u64; 4] {
+    // d = 7 needs the add-fixup sequence at every supported width.
+    [1, 1 << (width / 2), 10, 7]
+}
+
+macro_rules! bench_unsigned_at {
+    ($t:ty, $iters:expr, $rows:expr) => {{
+        let width = <$t>::BITS;
+        let inputs: Vec<$t> = (0..LEN)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) as $t)
+            .collect();
+        let mut out = vec![0 as $t; inputs.len()];
+        for d in strategy_divisors(width) {
+            let dv = UnsignedDivisor::new(d as $t).expect("nonzero");
+            let strategy = DivPlan::from(dv.plan()).strategy_name();
+
+            let ns = measure_ns($iters, |_| {
+                let d = black_box(d as $t);
+                inputs.iter().map(|&n| (black_box(n) / d) as u64).sum()
+            });
+            $rows.push(Row {
+                name: format!("u{width}/hardware/{d}"),
+                width,
+                divisor: d as i128,
+                strategy: "hardware",
+                ns_per_op: ns / LEN as f64,
+            });
+
+            let ns = measure_ns($iters, |_| {
+                inputs.iter().map(|&n| dv.divide(black_box(n)) as u64).sum()
+            });
+            $rows.push(Row {
+                name: format!("u{width}/scalar/{d}"),
+                width,
+                divisor: d as i128,
+                strategy,
+                ns_per_op: ns / LEN as f64,
+            });
+
+            let ns = measure_ns($iters, |_| {
+                dv.div_slice(black_box(&inputs), &mut out);
+                out[0] as u64
+            });
+            $rows.push(Row {
+                name: format!("u{width}/batch/{d}"),
+                width,
+                divisor: d as i128,
+                strategy,
+                ns_per_op: ns / LEN as f64,
+            });
+        }
+    }};
+}
+
+macro_rules! bench_signed_at {
+    ($t:ty, $iters:expr, $rows:expr) => {{
+        let width = <$t>::BITS;
+        let inputs: Vec<$t> = (0..LEN)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) as $t)
+            .collect();
+        for d in [-7i64, 3, 10] {
+            let dv = SignedDivisor::new(d as $t).expect("nonzero");
+            let strategy = DivPlan::from(dv.plan()).strategy_name();
+
+            let ns = measure_ns($iters, |_| {
+                let d = black_box(d as $t);
+                inputs
+                    .iter()
+                    .map(|&n| black_box(n).wrapping_div(d) as u64)
+                    .fold(0u64, u64::wrapping_add)
+            });
+            $rows.push(Row {
+                name: format!("i{width}/hardware/{d}"),
+                width,
+                divisor: d as i128,
+                strategy: "hardware",
+                ns_per_op: ns / LEN as f64,
+            });
+
+            let ns = measure_ns($iters, |_| {
+                inputs
+                    .iter()
+                    .map(|&n| dv.divide(black_box(n)) as u64)
+                    .fold(0u64, u64::wrapping_add)
+            });
+            $rows.push(Row {
+                name: format!("i{width}/scalar/{d}"),
+                width,
+                divisor: d as i128,
+                strategy,
+                ns_per_op: ns / LEN as f64,
+            });
+        }
+    }};
+}
+
+fn main() {
+    let iters: u64 = match std::env::args().nth(1) {
+        None => 500,
+        // Reject 0 as well: zero iterations would write `inf` ns/op,
+        // which is not representable in JSON.
+        Some(s) => match s.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("bench: iters must be a positive integer, got {s:?}");
+                eprintln!("usage: bench [iters=500] [out=BENCH_division.json]");
+                std::process::exit(2);
+            }
+        },
+    };
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_division.json".to_string());
+
+    let mut rows: Vec<Row> = Vec::new();
+    bench_unsigned_at!(u8, iters, rows);
+    bench_unsigned_at!(u16, iters, rows);
+    bench_unsigned_at!(u32, iters, rows);
+    bench_unsigned_at!(u64, iters, rows);
+    bench_signed_at!(i32, iters, rows);
+    bench_signed_at!(i64, iters, rows);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.strategy.to_string(),
+                format!("{:.3}", r.ns_per_op),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["bench", "strategy", "ns/op"], &table));
+
+    match write_json(&out_path, &rows) {
+        Ok(()) => println!("wrote {} rows to {out_path}", rows.len()),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

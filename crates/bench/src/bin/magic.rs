@@ -11,13 +11,10 @@ use magicdiv_bench::render_table;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let d: i128 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| {
-            eprintln!("usage: magic <divisor> [width=32]");
-            std::process::exit(2)
-        });
+    let d: i128 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("usage: magic <divisor> [width=32]");
+        std::process::exit(2)
+    });
     let width: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
     if d == 0 {
         eprintln!("divisor must be nonzero");
@@ -40,14 +37,21 @@ fn report<T: magicdiv::UWord>(d: i128)
 where
     T::Signed: magicdiv::SWord<Unsigned = T>,
 {
+    use magicdiv::plan::DivPlan;
     use magicdiv::{
-        choose_multiplier, DwordDivisor, ExactSignedDivisor, InvariantUnsignedDivisor,
-        SignedDivisor, UnsignedDivisor,
+        choose_multiplier, DwordDivisor, ExactSignedDivisor, FloorDivisor,
+        InvariantUnsignedDivisor, SignedDivisor, UnsignedDivisor,
     };
 
     let n = T::BITS;
     println!("== magic constants for d = {d} at N = {n} ==\n");
     let mut rows: Vec<Vec<String>> = Vec::new();
+    let plan_row = |label: &str, plan: DivPlan| {
+        vec![
+            label.to_string(),
+            format!("[{}] {plan}", plan.strategy_name()),
+        ]
+    };
 
     if d > 0 {
         let du = T::from_u128_truncate(d as u128);
@@ -56,6 +60,7 @@ where
             std::process::exit(1);
         }
         let ud = UnsignedDivisor::new(du).expect("nonzero");
+        rows.push(plan_row("unsigned plan (Fig 4.2)", ud.plan().into()));
         rows.push(vec![
             "unsigned (Fig 4.2)".into(),
             format!("{:?}", ud.strategy()),
@@ -69,22 +74,26 @@ where
         let c = choose_multiplier(du, n);
         rows.push(vec![
             "CHOOSE_MULTIPLIER(d, N)".into(),
-            format!("m = {:#x}, sh_post = {}, l = {}", c.multiplier, c.sh_post, c.l),
+            format!(
+                "m = {:#x}, sh_post = {}, l = {}",
+                c.multiplier, c.sh_post, c.l
+            ),
         ]);
         let dd = DwordDivisor::new(du).expect("nonzero");
-        rows.push(vec![
-            "udword/uword (Fig 8.1)".into(),
-            format!("{dd:?}"),
-        ]);
+        rows.push(vec!["udword/uword (Fig 8.1)".into(), format!("{dd:?}")]);
     }
     let ds = <T::Signed as magicdiv::SWord>::from_i128_truncate(d);
     if <T::Signed as magicdiv::SWord>::to_i128(ds) == d {
         let sd = SignedDivisor::new(ds).expect("nonzero");
+        rows.push(plan_row("signed plan (Fig 5.2)", sd.plan().into()));
         rows.push(vec![
             "signed trunc (Fig 5.2)".into(),
             format!("{:?}", sd.strategy()),
         ]);
+        let fd = FloorDivisor::new(ds).expect("nonzero");
+        rows.push(plan_row("floor plan (Fig 6.1)", fd.plan().into()));
         let ed = ExactSignedDivisor::new(ds).expect("nonzero");
+        rows.push(plan_row("exact plan (§9)", ed.plan().into()));
         rows.push(vec!["exact / divisibility (§9)".into(), format!("{ed:?}")]);
     } else {
         eprintln!("(signed forms skipped: divisor does not fit in i{n})");

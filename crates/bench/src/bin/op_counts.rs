@@ -11,8 +11,8 @@
 
 use magicdiv_bench::render_table;
 use magicdiv_codegen::{
-    gen_divisibility_test, gen_exact_div, gen_floor_div, gen_signed_div,
-    gen_unsigned_div, gen_unsigned_div_invariant, gen_unsigned_rem,
+    gen_divisibility_test, gen_exact_div, gen_floor_div, gen_signed_div, gen_unsigned_div,
+    gen_unsigned_div_invariant, gen_unsigned_rem,
 };
 
 fn main() {

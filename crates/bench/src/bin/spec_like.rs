@@ -15,10 +15,9 @@
 
 use magicdiv_bench::{measure_ns, render_table};
 use magicdiv_workloads::{
-    count_multiples, count_multiples_baseline, count_primes, gcd,
-    gcd_with_per_iteration_reciprocal, hashing_kernel, mod_pow, mod_pow_baseline,
-    bignum_kernel, calendar_kernel, graphics_kernel, pointer_diff_kernel, radix_checksum,
-    Reduction,
+    bignum_kernel, calendar_kernel, count_multiples, count_multiples_baseline, count_primes, gcd,
+    gcd_with_per_iteration_reciprocal, graphics_kernel, hashing_kernel, mod_pow, mod_pow_baseline,
+    pointer_diff_kernel, radix_checksum, Reduction,
 };
 
 fn main() {
@@ -48,7 +47,9 @@ fn main() {
     let hw = measure_ns(2_000, |i| {
         mod_pow_baseline(i | 3, 65_537, 0xffff_ffff_ffff_ffc5).unwrap()
     });
-    let magic = measure_ns(2_000, |i| mod_pow(i | 3, 65_537, 0xffff_ffff_ffff_ffc5).unwrap());
+    let magic = measure_ns(2_000, |i| {
+        mod_pow(i | 3, 65_537, 0xffff_ffff_ffff_ffc5).unwrap()
+    });
     rows.push(row("mod_pow (64-bit prime)", hw, magic));
 
     // Trial-division prime counting.
@@ -88,7 +89,9 @@ fn main() {
     rows.push(row("divisibility scan d=100", hw, magic));
 
     // The counterexample: Euclidean GCD (divisor varies per iteration).
-    let hw = measure_ns(20_000, |i| gcd(0x9e37_79b9_7f4a_7c15 ^ i, 0x517c_c1b7_2722_0a95 | 1));
+    let hw = measure_ns(20_000, |i| {
+        gcd(0x9e37_79b9_7f4a_7c15 ^ i, 0x517c_c1b7_2722_0a95 | 1)
+    });
     let magic = measure_ns(20_000, |i| {
         gcd_with_per_iteration_reciprocal(0x9e37_79b9_7f4a_7c15 ^ i, 0x517c_c1b7_2722_0a95 | 1)
     });

@@ -32,7 +32,11 @@ fn main() {
                 format!(
                     "{}{}",
                     m.div_cycles,
-                    if m.div_support == DivSupport::Software { "s" } else { "" }
+                    if m.div_support == DivSupport::Software {
+                        "s"
+                    } else {
+                        ""
+                    }
                 ),
                 format!("{:.1}", m.div_to_mul_ratio()),
                 magic_cycles.to_string(),
@@ -73,7 +77,8 @@ fn main() {
     let div_ns = measure_ns(1_000_000, |i| {
         let mut x = i | 0x8000_0000_0000_0001;
         for _ in 0..8 {
-            x = std::hint::black_box(u64::MAX - (i & 0xffff)) / (std::hint::black_box(x) | 1).max(3);
+            x = std::hint::black_box(u64::MAX - (i & 0xffff))
+                / (std::hint::black_box(x) | 1).max(3);
         }
         x
     }) / 8.0;

@@ -23,11 +23,18 @@ fn main() {
         std::process::exit(1);
     }
 
-    println!("== {} (mul {} cy{}, div {} cy, issue width {}) ==", model.name,
+    println!(
+        "== {} (mul {} cy{}, div {} cy, issue width {}) ==",
+        model.name,
         model.mul_high_cycles,
-        if model.mul_pipelined { ", pipelined" } else { "" },
+        if model.mul_pipelined {
+            ", pipelined"
+        } else {
+            ""
+        },
         model.div_cycles,
-        model.issue_width);
+        model.issue_width
+    );
 
     println!("\n-- magic division by {d} --");
     show(&gen_unsigned_div(d, 32), &model);

@@ -10,6 +10,7 @@
 //! Exits nonzero on the first mismatch, printing a reproduction line.
 
 #![allow(clippy::manual_is_multiple_of)]
+use magicdiv::plan::{DivPlan, SdivPlan, UdivPlan};
 use magicdiv::{
     ExactSignedDivisor, ExactUnsignedDivisor, FloorDivisor, InvariantSignedDivisor,
     InvariantUnsignedDivisor, SignedDivisor, UnsignedDivisor,
@@ -54,6 +55,19 @@ fn main() {
     let mut rng = Rng(seed);
     let mut checks = 0u64;
 
+    // Show the shared planning layer's choices for the classic divisors —
+    // the same plans drive the library divisors and codegen verified below.
+    eprintln!("plans from the shared selection layer:");
+    for d in [3u128, 7, 10, 641] {
+        for width in [8u32, 32, 64] {
+            if d > (mask(width) as u128) {
+                continue;
+            }
+            let plan = DivPlan::from(UdivPlan::new(d, width).expect("nonzero"));
+            eprintln!("  d={d:<4} u{width:<3} [{}] {plan}", plan.strategy_name());
+        }
+    }
+
     // Library layer: fast per-iteration divisor construction.
     for i in 0..iterations {
         let n = rng.next();
@@ -67,7 +81,12 @@ fn main() {
                 check!(cd.divide(nw) == nw / dw, "u{} Fig4.2 {nw}/{dw}", <$t>::BITS);
                 check!(id.divide(nw) == nw / dw, "u{} Fig4.1 {nw}/{dw}", <$t>::BITS);
                 check!(cd.remainder(nw) == nw % dw, "u{} rem {nw}%{dw}", <$t>::BITS);
-                checks += 3;
+                check!(
+                    cd.plan() == UdivPlan::new(dw as u128, <$t>::BITS).expect("nonzero"),
+                    "u{} plan mismatch d={dw}",
+                    <$t>::BITS
+                );
+                checks += 4;
             }};
         }
         unsigned_at!(u8);
@@ -87,18 +106,39 @@ fn main() {
                 if dw != 0 {
                     let cd = SignedDivisor::new(dw).expect("nonzero");
                     let id = InvariantSignedDivisor::new(dw).expect("nonzero");
-                    check!(cd.divide(nw) == nw.wrapping_div(dw), "i{} Fig5.2 {nw}/{dw}", <$t>::BITS);
-                    check!(id.divide(nw) == nw.wrapping_div(dw), "i{} Fig5.1 {nw}/{dw}", <$t>::BITS);
+                    check!(
+                        cd.divide(nw) == nw.wrapping_div(dw),
+                        "i{} Fig5.2 {nw}/{dw}",
+                        <$t>::BITS
+                    );
+                    check!(
+                        id.divide(nw) == nw.wrapping_div(dw),
+                        "i{} Fig5.1 {nw}/{dw}",
+                        <$t>::BITS
+                    );
                     if !(nw == <$t>::MIN && dw == -1) {
                         let fd = FloorDivisor::new(dw).expect("nonzero");
-                        let expect = nw.div_euclid(dw)
-                            - (((dw < 0) && nw.rem_euclid(dw) != 0) as $t);
+                        let expect =
+                            nw.div_euclid(dw) - (((dw < 0) && nw.rem_euclid(dw) != 0) as $t);
                         check!(fd.divide(nw) == expect, "i{} floor {nw}/{dw}", <$t>::BITS);
-                        check!(cd.div_euclid(nw) == nw.div_euclid(dw), "i{} euclid {nw}/{dw}", <$t>::BITS);
+                        check!(
+                            cd.div_euclid(nw) == nw.div_euclid(dw),
+                            "i{} euclid {nw}/{dw}",
+                            <$t>::BITS
+                        );
                     }
                     let ed = ExactSignedDivisor::new(dw).expect("nonzero");
-                    check!(ed.divides(nw) == (nw.wrapping_rem(dw) == 0), "i{} divides {nw}|{dw}", <$t>::BITS);
-                    checks += 5;
+                    check!(
+                        ed.divides(nw) == (nw.wrapping_rem(dw) == 0),
+                        "i{} divides {nw}|{dw}",
+                        <$t>::BITS
+                    );
+                    check!(
+                        cd.plan() == SdivPlan::new(dw as i128, <$t>::BITS).expect("nonzero"),
+                        "i{} plan mismatch d={dw}",
+                        <$t>::BITS
+                    );
+                    checks += 6;
                 }
             }};
         }

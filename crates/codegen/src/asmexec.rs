@@ -364,13 +364,19 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
         }
         (Target::Alpha, "s4addq") | (Target::Alpha, "s8addq") => {
             let scale = if mn == "s4addq" { 4 } else { 8 };
-            let s = m.get(op(0)).wrapping_mul(scale).wrapping_add(val(m, op(1))?);
+            let s = m
+                .get(op(0))
+                .wrapping_mul(scale)
+                .wrapping_add(val(m, op(1))?);
             m.set(op(2), s);
             Ok(Flow::Next)
         }
         (Target::Alpha, "s4subq") | (Target::Alpha, "s8subq") => {
             let scale = if mn == "s4subq" { 4 } else { 8 };
-            let s = m.get(op(0)).wrapping_mul(scale).wrapping_sub(val(m, op(1))?);
+            let s = m
+                .get(op(0))
+                .wrapping_mul(scale)
+                .wrapping_sub(val(m, op(1))?);
             m.set(op(2), s);
             Ok(Flow::Next)
         }
@@ -747,7 +753,9 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
             m.set(op(1), v);
             Ok(Flow::Next)
         }
-        (Target::Sparc, "or") | (Target::Sparc, "and") | (Target::Sparc, "xor")
+        (Target::Sparc, "or")
+        | (Target::Sparc, "and")
+        | (Target::Sparc, "xor")
         | (Target::Sparc, "xnor") => {
             let a = m.get(op(0));
             let b = if let Some(inner) = op(1).strip_prefix("%lo(") {
@@ -894,8 +902,11 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
             m.set(op(0), v);
             Ok(Flow::Next)
         }
-        (Target::X86, "add") | (Target::X86, "sub") | (Target::X86, "and")
-        | (Target::X86, "or") | (Target::X86, "xor") => {
+        (Target::X86, "add")
+        | (Target::X86, "sub")
+        | (Target::X86, "and")
+        | (Target::X86, "or")
+        | (Target::X86, "xor") => {
             let a = m.get(op(0));
             let b = val(m, op(1))?;
             let v = match mn {
@@ -945,7 +956,11 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
             Ok(Flow::Next)
         }
         (Target::X86, "cdq") => {
-            let sign = if m.get("eax") & 0x8000_0000 != 0 { 0xffff_ffff } else { 0 };
+            let sign = if m.get("eax") & 0x8000_0000 != 0 {
+                0xffff_ffff
+            } else {
+                0
+            };
             m.set("edx", sign);
             Ok(Flow::Next)
         }
@@ -1053,9 +1068,14 @@ mod tests {
     #[test]
     fn randomized_inputs_all_targets() {
         let mut state = 0x1234_5678u64;
-        let asms: Vec<Assembly> = Target::ALL.iter().map(|&t| emit_radix_loop(t, true)).collect();
+        let asms: Vec<Assembly> = Target::ALL
+            .iter()
+            .map(|&t| emit_radix_loop(t, true))
+            .collect();
         for _ in 0..200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = (state >> 16) as u32;
             for asm in &asms {
                 assert_eq!(
@@ -1105,8 +1125,8 @@ mod x86_tests {
         let asm = emit_radix_loop(Target::X86, true);
         assert!(!asm.uses_divide(), "{asm}");
         for x in [0u32, 7, 10, 42, 1994, 123_456_789, u32::MAX] {
-            let got = execute_radix_listing(&asm, x)
-                .unwrap_or_else(|e| panic!("x={x}: {e}\n{asm}"));
+            let got =
+                execute_radix_listing(&asm, x).unwrap_or_else(|e| panic!("x={x}: {e}\n{asm}"));
             assert_eq!(got, x.to_string(), "x={x}\n{asm}");
         }
     }
@@ -1116,8 +1136,8 @@ mod x86_tests {
         let asm = emit_radix_loop(Target::X86, false);
         assert!(asm.uses_divide(), "{asm}");
         for x in [0u32, 9, 100, 65_535, u32::MAX] {
-            let got = execute_radix_listing(&asm, x)
-                .unwrap_or_else(|e| panic!("x={x}: {e}\n{asm}"));
+            let got =
+                execute_radix_listing(&asm, x).unwrap_or_else(|e| panic!("x={x}: {e}\n{asm}"));
             assert_eq!(got, x.to_string(), "x={x}\n{asm}");
         }
     }
@@ -1127,9 +1147,15 @@ mod x86_tests {
         let asm = emit_radix_loop(Target::X86, true);
         let mut state = 0xdeadbeefu64;
         for _ in 0..200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = (state >> 20) as u32;
-            assert_eq!(execute_radix_listing(&asm, x).unwrap(), x.to_string(), "x={x}");
+            assert_eq!(
+                execute_radix_listing(&asm, x).unwrap(),
+                x.to_string(),
+                "x={x}"
+            );
         }
     }
 }

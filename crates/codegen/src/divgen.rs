@@ -10,9 +10,18 @@
 //!
 //! All generated programs are verified against the interpreter and native
 //! division in this module's tests (exhaustively at width 8).
+//!
+//! Strategy selection lives in `magicdiv::plan` — the generators here only
+//! construct a plan and hand it to the `lower_*` functions in
+//! `magicdiv-ir`, so codegen can never pick a different code shape than
+//! the runtime divisors built from the same plan.
 
-use magicdiv::{choose_multiplier, mod_inverse_newton, UWord};
-use magicdiv_ir::{mask, optimize, Builder, Op, Program, Reg};
+use magicdiv::plan::{ExactPlan, FloorPlan, SdivPlan, UdivPlan};
+use magicdiv::UWord;
+use magicdiv_ir::{
+    lower_divisibility, lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv, mask, optimize,
+    Builder, Op, Program, Reg,
+};
 
 /// Emits Figure 4.2 — optimized unsigned `q = ⌊n/d⌋` for constant `d != 0`.
 ///
@@ -46,108 +55,8 @@ pub fn gen_unsigned_div(d: u64, width: u32) -> Program {
 /// Panics when `d` masks to zero at the builder's width.
 pub fn emit_unsigned_div(b: &mut Builder, n: Reg, d: u64) -> Reg {
     let width = b.width();
-    let d = d & mask(width);
-    assert!(d != 0, "division by zero");
-    if d == 1 {
-        return n;
-    }
-    if d.is_power_of_two() {
-        return b.push(Op::Srl(n, d.trailing_zeros()));
-    }
-    // Dispatch on width so choose_multiplier runs at the right precision.
-    let (m, sh_pre, sh_post, fits) = unsigned_magic(d, width);
-    if fits {
-        // q = SRL(MULUH(m, SRL(n, sh_pre)), sh_post)
-        let mreg = b.constant(m);
-        let n_pre = if sh_pre > 0 { b.push(Op::Srl(n, sh_pre)) } else { n };
-        let hi = b.push(Op::MulUH(mreg, n_pre));
-        if sh_post > 0 {
-            b.push(Op::Srl(hi, sh_post))
-        } else {
-            hi
-        }
-    } else {
-        // Fig 4.1 long sequence: t1 = MULUH(m - 2^N, n);
-        // q = SRL(t1 + SRL(n - t1, 1), sh_post - 1).
-        debug_assert_eq!(sh_pre, 0);
-        debug_assert!(sh_post >= 1);
-        let mreg = b.constant(m); // already the low word (m - 2^N)
-        let t1 = b.push(Op::MulUH(mreg, n));
-        let diff = b.push(Op::Sub(n, t1));
-        let half = b.push(Op::Srl(diff, 1));
-        let sum = b.push(Op::Add(t1, half));
-        if sh_post > 1 {
-            b.push(Op::Srl(sum, sh_post - 1))
-        } else {
-            sum
-        }
-    }
-}
-
-/// `(m_low_word, sh_pre, sh_post, fits_in_word)` per Figure 4.2, at any
-/// width 1..=64 (dispatched to the right `UWord` instantiation).
-fn unsigned_magic(d: u64, width: u32) -> (u64, u32, u32, bool) {
-    fn go<T: UWord>(d: u64, width: u32) -> (u64, u32, u32, bool) {
-        // Run at the *generic* width by scaling into T's width when they
-        // differ... they never do: callers pick T with T::BITS == width.
-        debug_assert_eq!(T::BITS, width);
-        let dt = T::from_u128_truncate(d as u128);
-        let mut chosen = choose_multiplier(dt, width);
-        let mut sh_pre = 0;
-        if !chosen.multiplier.fits_limb() && d & 1 == 0 {
-            let e = d.trailing_zeros();
-            sh_pre = e;
-            chosen = choose_multiplier(dt.shr_full(e), width - e);
-        }
-        let fits = chosen.multiplier.fits_limb();
-        (
-            chosen.multiplier.lo().to_u128() as u64,
-            sh_pre,
-            chosen.sh_post,
-            fits,
-        )
-    }
-    match width {
-        8 => go::<u8>(d, width),
-        16 => go::<u16>(d, width),
-        32 => go::<u32>(d, width),
-        64 => go::<u64>(d, width),
-        // Odd widths: run the Fig 6.2 arithmetic directly in u128 (no
-        // corresponding UWord instantiation exists).
-        _ => {
-            let (m_high, sh_post) = magic_u128(d, width, width);
-            let fits = m_high < (1u128 << width);
-            if fits {
-                (m_high as u64, 0, sh_post, true)
-            } else if d & 1 == 0 {
-                // Even divisor: pre-shift and re-choose at reduced
-                // precision (Fig 4.2).
-                let e = d.trailing_zeros();
-                let (m2, sp) = magic_u128(d >> e, width, width - e);
-                debug_assert!(m2 < (1u128 << width));
-                (m2 as u64, e, sp, true)
-            } else {
-                ((m_high as u64) & mask(width), 0, sh_post, false)
-            }
-        }
-    }
-}
-
-/// Fig 6.2 in plain `u128` arithmetic, valid for `width + l < 128`
-/// (i.e. any width below 64; machine widths use the dword-based
-/// implementation in `magicdiv`).
-fn magic_u128(d: u64, width: u32, prec: u32) -> (u128, u32) {
-    debug_assert!(d >= 1 && width < 64 && prec >= 1 && prec <= width);
-    let l = if d == 1 { 0 } else { 64 - (d - 1).leading_zeros() };
-    let mut sh_post = l;
-    let mut m_low = (1u128 << (width + l)) / d as u128;
-    let mut m_high = ((1u128 << (width + l)) + (1u128 << (width + l - prec))) / d as u128;
-    while m_low / 2 < m_high / 2 && sh_post > 0 {
-        m_low /= 2;
-        m_high /= 2;
-        sh_post -= 1;
-    }
-    (m_high, sh_post)
+    let plan = UdivPlan::new((d & mask(width)) as u128, width).expect("division by zero");
+    lower_udiv(b, n, &plan)
 }
 
 /// Emits Figure 4.1 — the single branch-free shape for any unsigned
@@ -178,9 +87,17 @@ pub fn gen_unsigned_div_invariant(d: u64, width: u32) -> Program {
     let mreg = b.constant(m_prime);
     let t1 = b.push(Op::MulUH(mreg, n));
     let diff = b.push(Op::Sub(n, t1));
-    let s1 = if sh1 > 0 { b.push(Op::Srl(diff, sh1)) } else { diff };
+    let s1 = if sh1 > 0 {
+        b.push(Op::Srl(diff, sh1))
+    } else {
+        diff
+    };
     let sum = b.push(Op::Add(t1, s1));
-    let q = if sh2 > 0 { b.push(Op::Srl(sum, sh2)) } else { sum };
+    let q = if sh2 > 0 {
+        b.push(Op::Srl(sum, sh2))
+    } else {
+        sum
+    };
     // Deliberately *not* optimized: this is the fixed code shape a
     // compiler emits when the divisor is unknown until run time.
     b.finish([q])
@@ -224,7 +141,11 @@ pub fn gen_signed_div_invariant(d: i64, width: u32) -> Program {
     // q = EOR(q0, dsign) - dsign.
     let hi = b.push(Op::MulSH(mreg, n));
     let q0 = b.push(Op::Add(n, hi));
-    let q0 = if sh_post > 0 { b.push(Op::Sra(q0, sh_post)) } else { q0 };
+    let q0 = if sh_post > 0 {
+        b.push(Op::Sra(q0, sh_post))
+    } else {
+        q0
+    };
     let nsign = b.push(Op::Xsign(n));
     let q0 = b.push(Op::Sub(q0, nsign));
     let dsign_reg = b.constant(d_sign);
@@ -266,60 +187,8 @@ pub fn gen_signed_div(d: i64, width: u32) -> Program {
 pub fn emit_signed_div(b: &mut Builder, n: Reg, d: i64) -> Reg {
     let width = b.width();
     let d = magicdiv_ir::sign_extend(d as u64 & mask(width), width);
-    assert!(d != 0, "division by zero");
-    let abs_d = d.unsigned_abs();
-    let negate = d < 0;
-    let q = if abs_d == 1 {
-        n
-    } else if abs_d.is_power_of_two() {
-        // q = SRA(n + SRL(SRA(n, l-1), N-l), l)
-        let l = abs_d.trailing_zeros();
-        let sra = b.push(Op::Sra(n, l - 1));
-        let srl = b.push(Op::Srl(sra, width - l));
-        let biased = b.push(Op::Add(n, srl));
-        b.push(Op::Sra(biased, l))
-    } else {
-        let (m_bits, sh_post) = signed_magic(abs_d, width);
-        let top_bit_set = m_bits >> (width - 1) & 1 == 1;
-        let mreg = b.constant(m_bits);
-        let q0 = if top_bit_set {
-            // m >= 2^(N-1): q0 = n + MULSH(m - 2^N, n)  (m - 2^N < 0)
-            let hi = b.push(Op::MulSH(mreg, n));
-            b.push(Op::Add(n, hi))
-        } else {
-            b.push(Op::MulSH(mreg, n))
-        };
-        let shifted = if sh_post > 0 { b.push(Op::Sra(q0, sh_post)) } else { q0 };
-        let sign = b.push(Op::Xsign(n));
-        b.push(Op::Sub(shifted, sign))
-    };
-    if negate {
-        b.push(Op::Neg(q))
-    } else {
-        q
-    }
-}
-
-/// The signed magic multiplier bit pattern and post-shift at any width.
-fn signed_magic(abs_d: u64, width: u32) -> (u64, u32) {
-    fn go<T: UWord>(abs_d: u64, width: u32) -> (u64, u32) {
-        debug_assert_eq!(T::BITS, width);
-        let chosen = choose_multiplier(T::from_u128_truncate(abs_d as u128), width - 1);
-        debug_assert!(chosen.multiplier.fits_limb());
-        (chosen.multiplier.lo().to_u128() as u64, chosen.sh_post)
-    }
-    match width {
-        8 => go::<u8>(abs_d, width),
-        16 => go::<u16>(abs_d, width),
-        32 => go::<u32>(abs_d, width),
-        64 => go::<u64>(abs_d, width),
-        _ => {
-            // Direct Fig 6.2 arithmetic in u128 for odd widths.
-            let (m_high, sh_post) = magic_u128(abs_d, width, width - 1);
-            debug_assert!(m_high < (1u128 << width));
-            (m_high as u64, sh_post)
-        }
-    }
+    let plan = SdivPlan::new(d as i128, width).expect("division by zero");
+    lower_sdiv(b, n, &plan)
 }
 
 /// Emits Figure 6.1 — signed floor division `q = ⌊n/d⌋` for constant
@@ -343,37 +212,8 @@ pub fn gen_floor_div(d: i64, width: u32) -> Program {
     let mut b = Builder::new(width, 1);
     let n = b.arg(0);
     let d_se = magicdiv_ir::sign_extend(d as u64 & mask(width), width);
-    assert!(d_se != 0, "division by zero");
-    let q = if d_se > 0 {
-        let abs_d = d_se as u64;
-        if abs_d == 1 {
-            n
-        } else if abs_d.is_power_of_two() {
-            b.push(Op::Sra(n, abs_d.trailing_zeros()))
-        } else {
-            // Fig 6.1: nsign = XSIGN(n); q0 = MULUH(m, EOR(nsign, n));
-            // q = EOR(nsign, SRL(q0, sh_post)).
-            let (m_bits, sh_post) = signed_magic(abs_d, width);
-            debug_assert!(width == 64 || m_bits < (1u64 << width.min(63)));
-            let nsign = b.push(Op::Xsign(n));
-            let folded = b.push(Op::Eor(nsign, n));
-            let mreg = b.constant(m_bits);
-            let q0 = b.push(Op::MulUH(mreg, folded));
-            let shifted = if sh_post > 0 { b.push(Op::Srl(q0, sh_post)) } else { q0 };
-            b.push(Op::Eor(nsign, shifted))
-        }
-    } else {
-        // trunc quotient, then branch-free correction:
-        // q_floor = q_trunc - (r > 0)   [for d < 0, a nonzero remainder
-        // has the dividend's sign; floor must round down when r > 0].
-        let qt = emit_signed_div(&mut b, n, d_se);
-        let dreg = b.constant(d_se as u64);
-        let prod = b.push(Op::MulL(qt, dreg));
-        let r = b.push(Op::Sub(n, prod));
-        let zero = b.constant(0);
-        let rpos = b.push(Op::SltS(zero, r));
-        b.push(Op::Sub(qt, rpos))
-    };
+    let plan = FloorPlan::new(d_se as i128, width).expect("division by zero");
+    let q = lower_floor_div(&mut b, n, &plan);
     optimize(&b.finish([q]))
 }
 
@@ -422,25 +262,20 @@ pub fn gen_exact_div(d: i64, width: u32, signed: bool) -> Program {
     let mut b = Builder::new(width, 1);
     let n = b.arg(0);
     let d_se = magicdiv_ir::sign_extend(d as u64 & mask(width), width);
-    assert!(d_se != 0, "division by zero");
-    let abs_d = d_se.unsigned_abs() & mask(width);
-    let e = abs_d.trailing_zeros();
-    let d_odd = abs_d >> e;
-    let dinv = inverse_at_width(d_odd, width);
-    let q0 = if d_odd == 1 {
-        n
+    let plan = if signed {
+        ExactPlan::new_signed(d_se as i128, width)
     } else {
-        let inv = b.constant(dinv);
-        b.push(Op::MulL(inv, n))
-    };
-    let q1 = if e == 0 {
-        q0
-    } else if signed {
-        b.push(Op::Sra(q0, e))
+        ExactPlan::new_unsigned((d_se.unsigned_abs() & mask(width)) as u128, width)
+    }
+    .expect("division by zero");
+    let q1 = lower_exact_div(&mut b, n, &plan);
+    // An unsigned plan carries no sign; negate here when the caller's
+    // divisor was negative (signed plans negate inside the lowering).
+    let q = if !signed && d_se < 0 {
+        b.push(Op::Neg(q1))
     } else {
-        b.push(Op::Srl(q0, e))
+        q1
     };
-    let q = if d_se < 0 { b.push(Op::Neg(q1)) } else { q1 };
     optimize(&b.finish([q]))
 }
 
@@ -453,43 +288,9 @@ pub fn gen_exact_div(d: i64, width: u32, signed: bool) -> Program {
 pub fn gen_divisibility_test(d: u64, width: u32) -> Program {
     let mut b = Builder::new(width, 1);
     let n = b.arg(0);
-    let d = d & mask(width);
-    assert!(d != 0, "division by zero");
-    let e = d.trailing_zeros();
-    let d_odd = d >> e;
-    let result = if d_odd == 1 {
-        // Power of two: test the low bits.
-        let m = b.constant((1u64 << e) - 1);
-        let low = b.push(Op::And(n, m));
-        let zero = b.constant(0);
-        // low == 0  <=>  !(0 < low)
-        let ne = b.push(Op::SltU(zero, low));
-        let one = b.constant(1);
-        b.push(Op::Sub(one, ne))
-    } else {
-        let inv = b.constant(inverse_at_width(d_odd, width));
-        let q0 = b.push(Op::MulL(inv, n));
-        // Rotate right by e: OR(SRL(q0, e), SLL(q0, N - e)).
-        let rotated = if e == 0 {
-            q0
-        } else {
-            let lo = b.push(Op::Srl(q0, e));
-            let hi = b.push(Op::Sll(q0, width - e));
-            b.push(Op::Or(lo, hi))
-        };
-        let qmax = b.constant(mask(width) / d);
-        // divisible <=> rotated <= qmax <=> !(qmax < rotated)
-        let gt = b.push(Op::SltU(qmax, rotated));
-        let one = b.constant(1);
-        b.push(Op::Sub(one, gt))
-    };
+    let plan = ExactPlan::new_unsigned((d & mask(width)) as u128, width).expect("division by zero");
+    let result = lower_divisibility(&mut b, n, &plan);
     optimize(&b.finish([result]))
-}
-
-fn inverse_at_width(d_odd: u64, width: u32) -> u64 {
-    // Newton in u64 then mask: an inverse modulo 2^64 truncates to an
-    // inverse modulo 2^width.
-    mod_inverse_newton(d_odd) & mask(width)
 }
 
 /// Baseline: one hardware unsigned division instruction.
@@ -601,7 +402,11 @@ mod tests {
             let prog = gen_signed_rem(d, 8);
             for n in -128i64..=127 {
                 let expect = ((n as i8).wrapping_rem(d as i8)) as i64 as u64 & 0xff;
-                assert_eq!(prog.eval1(&[(n as u64) & 0xff]).unwrap(), expect, "n={n} d={d}");
+                assert_eq!(
+                    prog.eval1(&[(n as u64) & 0xff]).unwrap(),
+                    expect,
+                    "n={n} d={d}"
+                );
             }
         }
     }
@@ -625,12 +430,19 @@ mod tests {
             let signed = gen_exact_div(d, 8, true);
             for q in -(128 / d)..=(127 / d) {
                 let n = (q * d) as u64 & 0xff;
-                assert_eq!(signed.eval1(&[n]).unwrap(), (q as u64) & 0xff, "q={q} d={d}");
+                assert_eq!(
+                    signed.eval1(&[n]).unwrap(),
+                    (q as u64) & 0xff,
+                    "q={q} d={d}"
+                );
             }
         }
         // Negative divisors.
         let signed = gen_exact_div(-12, 8, true);
-        assert_eq!(signed.eval1(&[(24u64) & 0xff]).unwrap(), (-2i64 as u64) & 0xff);
+        assert_eq!(
+            signed.eval1(&[(24u64) & 0xff]).unwrap(),
+            (-2i64 as u64) & 0xff
+        );
     }
 
     #[test]
@@ -639,7 +451,11 @@ mod tests {
             let prog = gen_divisibility_test(d, 8);
             assert!(!prog.op_counts().uses_divide());
             for n in 0u64..=255 {
-                assert_eq!(prog.eval1(&[n]).unwrap(), u64::from(n % d == 0), "n={n} d={d}");
+                assert_eq!(
+                    prog.eval1(&[n]).unwrap(),
+                    u64::from(n % d == 0),
+                    "n={n} d={d}"
+                );
             }
         }
     }
@@ -651,7 +467,11 @@ mod tests {
             for d in [3u64, 7, 10, 14, 641, 60000] {
                 let prog = gen_unsigned_div(d, width);
                 for n in [0u64, 1, d - 1, d, d + 1, m / 2, m - 1, m] {
-                    assert_eq!(prog.eval1(&[n]).unwrap(), (n & m) / d, "w={width} n={n} d={d}");
+                    assert_eq!(
+                        prog.eval1(&[n]).unwrap(),
+                        (n & m) / d,
+                        "w={width} n={n} d={d}"
+                    );
                 }
             }
             for d in [-10i64, -3, 3, 10, 127] {
@@ -674,7 +494,11 @@ mod tests {
             for d in [3u64, 7, 10, 100] {
                 let prog = gen_unsigned_div(d, width);
                 for n in [0u64, 1, d, m / 3, m - 1, m] {
-                    assert_eq!(prog.eval1(&[n]).unwrap(), (n & m) / d, "w={width} n={n} d={d}");
+                    assert_eq!(
+                        prog.eval1(&[n]).unwrap(),
+                        (n & m) / d,
+                        "w={width} n={n} d={d}"
+                    );
                 }
                 let sprog = gen_signed_div(d as i64, width);
                 for n in [0u64, 1, m, 1u64 << (width - 1)] {

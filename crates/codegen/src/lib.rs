@@ -9,6 +9,20 @@
 //!   (Fig 5.2), [`gen_floor_div`] (Fig 6.1), remainders by multiply-back,
 //!   [`gen_exact_div`] and [`gen_divisibility_test`] (§9), plus
 //!   hardware-division baselines for the simulator.
+//!
+//!   Strategy selection is **not** performed here: each generator builds
+//!   a `magicdiv::plan` plan (`UdivPlan`, `SdivPlan`, `FloorPlan`,
+//!   `ExactPlan`) and lowers it with the `lower_*` functions in
+//!   [`magicdiv_ir`] — the same plans the runtime divisor types cache, so
+//!   generated code and library divisors always agree on the code shape.
+//!
+//!   | Generator | Plan | Lowering |
+//!   |---|---|---|
+//!   | [`gen_unsigned_div`] / [`emit_unsigned_div`] | `UdivPlan` | [`magicdiv_ir::lower_udiv`] |
+//!   | [`gen_signed_div`] / [`emit_signed_div`] | `SdivPlan` | [`magicdiv_ir::lower_sdiv`] |
+//!   | [`gen_floor_div`] | `FloorPlan` | [`magicdiv_ir::lower_floor_div`] |
+//!   | [`gen_exact_div`] | `ExactPlan` | [`magicdiv_ir::lower_exact_div`] |
+//!   | [`gen_divisibility_test`] | `ExactPlan` | [`magicdiv_ir::lower_divisibility`] |
 //! * **Multiplication by constants** — [`plan_mul_const`] /
 //!   [`emit_mul_const`], the Bernstein-style shift/add/sub expansion the
 //!   Alpha column of Table 11.1 relies on.
@@ -51,8 +65,9 @@ mod targets;
 pub use crate::asmexec::{execute_radix_listing, AsmError};
 pub use crate::divgen::{
     emit_signed_div, emit_unsigned_div, gen_divisibility_test, gen_exact_div, gen_floor_div,
-    gen_signed_div, gen_signed_div_hw, gen_signed_div_invariant, gen_signed_rem, gen_unsigned_div, gen_unsigned_div_hw,
-    gen_unsigned_div_invariant, gen_unsigned_divrem, gen_unsigned_divrem_hw, gen_unsigned_rem,
+    gen_signed_div, gen_signed_div_hw, gen_signed_div_invariant, gen_signed_rem, gen_unsigned_div,
+    gen_unsigned_div_hw, gen_unsigned_div_invariant, gen_unsigned_divrem, gen_unsigned_divrem_hw,
+    gen_unsigned_rem,
 };
 pub use crate::machine::{gen_unsigned_div_tuned, MachineDesc};
 pub use crate::mulconst::{

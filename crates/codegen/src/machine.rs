@@ -127,7 +127,11 @@ pub fn gen_unsigned_div_tuned(d: u64, machine: &MachineDesc) -> Program {
 fn wide_magic(d: u64, width: u32) -> Option<(u64, u32)> {
     debug_assert!(width < 64);
     // Fig 6.2 arithmetic in u128 at prec = width.
-    let l = if d == 1 { 0 } else { 64 - (d - 1).leading_zeros() };
+    let l = if d == 1 {
+        0
+    } else {
+        64 - (d - 1).leading_zeros()
+    };
     let mut sh_post = l;
     let mut m_low = (1u128 << (width + l)) / d as u128;
     let mut m_high = ((1u128 << (width + l)) + (1u128 << l)) / d as u128;

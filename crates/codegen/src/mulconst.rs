@@ -250,12 +250,20 @@ pub fn emit_mul_const(b: &mut Builder, x: Reg, c: u64) -> Reg {
             }
             MulStep::AccMulPow2Plus1 { k } => {
                 let a = acc.expect("init first");
-                let s = if k < width { b.push(Op::Sll(a, k)) } else { b.constant(0) };
+                let s = if k < width {
+                    b.push(Op::Sll(a, k))
+                } else {
+                    b.constant(0)
+                };
                 b.push(Op::Add(s, a))
             }
             MulStep::AccMulPow2Minus1 { k } => {
                 let a = acc.expect("init first");
-                let s = if k < width { b.push(Op::Sll(a, k)) } else { b.constant(0) };
+                let s = if k < width {
+                    b.push(Op::Sll(a, k))
+                } else {
+                    b.constant(0)
+                };
                 b.push(Op::Sub(s, a))
             }
             MulStep::AccShiftAddX { shift } => {
@@ -374,8 +382,8 @@ mod tests {
             (1u64 << 16) + 1,
             ((1u64 << 16) + 1) * ((1 << 8) + 1),
             ((1u64 << 12) - 1) * 3,
-            0xffff,          // 2^16 - 1
-            0xffff * 0x101,  // (2^16-1)(2^8+1)
+            0xffff,         // 2^16 - 1
+            0xffff * 0x101, // (2^16-1)(2^8+1)
         ] {
             for x in [0u64, 1, 0xdead_beef, u64::MAX] {
                 assert_eq!(eval_mul(c, x, 64), x.wrapping_mul(c), "c={c:#x}");
@@ -386,7 +394,10 @@ mod tests {
     #[test]
     fn trailing_zeros_factored() {
         let plan = plan_mul_const(40); // 5 << 3
-        assert!(matches!(plan.last(), Some(MulStep::FinalShift { shift: 3 })));
+        assert!(matches!(
+            plan.last(),
+            Some(MulStep::FinalShift { shift: 3 })
+        ));
     }
 
     #[test]
@@ -414,8 +425,10 @@ mod tests {
             let cost = plan_op_count(&plan_mul_const(c));
             // NAF bound: at most ~N/2 nonzero digits, each <= 2 ops.
             assert!(cost <= 68, "c={c:#x} cost={cost}");
-            assert_eq!(eval_mul(c, 0x1234_5678_9abc_def0, 64),
-                0x1234_5678_9abc_def0u64.wrapping_mul(c));
+            assert_eq!(
+                eval_mul(c, 0x1234_5678_9abc_def0, 64),
+                0x1234_5678_9abc_def0u64.wrapping_mul(c)
+            );
         }
     }
 }

@@ -229,8 +229,16 @@ mod tests {
 
     #[test]
     fn all_styles_convert_correctly() {
-        for style in [RadixStyle::Magic, RadixStyle::Hardware, RadixStyle::AlphaShiftAdd] {
-            let width = if style == RadixStyle::AlphaShiftAdd { 64 } else { 32 };
+        for style in [
+            RadixStyle::Magic,
+            RadixStyle::Hardware,
+            RadixStyle::AlphaShiftAdd,
+        ] {
+            let width = if style == RadixStyle::AlphaShiftAdd {
+                64
+            } else {
+                32
+            };
             let body = radix_body(width, style);
             for x in [0u64, 7, 10, 42, 1994, 123456789, u32::MAX as u64] {
                 assert_eq!(run_radix(&body, x), format!("{x}"), "{style:?} x={x}");

@@ -58,10 +58,12 @@ impl Target {
                 .map(|i| format!("${i}"))
                 .collect(),
             Target::Power => (3..=12).map(|i| format!("{i}")).collect(),
-            Target::Sparc => ["%o0", "%o1", "%o2", "%o3", "%o4", "%o5", "%g1", "%g2", "%g3", "%g4", "%l0", "%l1"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+            Target::Sparc => [
+                "%o0", "%o1", "%o2", "%o3", "%o4", "%o5", "%g1", "%g2", "%g3", "%g4", "%l0", "%l1",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
             // eax/edx are reserved: one-operand mul/div clobber them.
             Target::X86 => ["ecx", "ebx", "edi", "ebp"]
                 .iter()
@@ -103,7 +105,11 @@ impl Assembly {
     pub fn instruction_count(&self) -> usize {
         self.lines
             .iter()
-            .filter(|l| !l.trim_start().starts_with('#') && !l.trim_end().ends_with(':') && !l.trim().is_empty())
+            .filter(|l| {
+                !l.trim_start().starts_with('#')
+                    && !l.trim_end().ends_with(':')
+                    && !l.trim().is_empty()
+            })
             .count()
     }
 
@@ -494,8 +500,8 @@ fn emit_one(
                     Target::Mips => e.emit(format!("move {dst},{argreg}")),
                     Target::Power => e.emit(format!("mr {dst},{argreg}")),
                     Target::Sparc => e.emit(format!("mov {argreg},{dst}")),
-                                Target::X86 => unreachable!("x86 uses emit_one_x86"),
-            }
+                    Target::X86 => unreachable!("x86 uses emit_one_x86"),
+                }
             }
         }
         Op::Const(c) => {
@@ -527,7 +533,7 @@ fn emit_one(
                 Target::Mips => e.emit(format!("addu {dst},{ra},{rb}")),
                 Target::Power => e.emit(format!("a {dst},{ra},{rb}")),
                 Target::Sparc => e.emit(format!("add {ra},{rb},{dst}")),
-                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+                Target::X86 => unreachable!("x86 uses emit_one_x86"),
             }
         }
         Op::Sub(a, b) => {
@@ -547,7 +553,7 @@ fn emit_one(
                 Target::Mips => e.emit(format!("subu {dst},{ra},{rb}")),
                 Target::Power => e.emit(format!("sf {dst},{rb},{ra}")),
                 Target::Sparc => e.emit(format!("sub {ra},{rb},{dst}")),
-                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+                Target::X86 => unreachable!("x86 uses emit_one_x86"),
             }
         }
         Op::Neg(a) => {
@@ -558,7 +564,7 @@ fn emit_one(
                 Target::Mips => e.emit(format!("negu {dst},{ra}")),
                 Target::Power => e.emit(format!("neg {dst},{ra}")),
                 Target::Sparc => e.emit(format!("sub %g0,{ra},{dst}")),
-                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+                Target::X86 => unreachable!("x86 uses emit_one_x86"),
             }
         }
         Op::MulL(a, b) => {
@@ -572,7 +578,7 @@ fn emit_one(
                 }
                 Target::Power => e.emit(format!("muls {dst},{ra},{rb}")),
                 Target::Sparc => e.emit(format!("umul {ra},{rb},{dst}")),
-                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+                Target::X86 => unreachable!("x86 uses emit_one_x86"),
             }
         }
         Op::MulUH(a, b) => {
@@ -597,7 +603,7 @@ fn emit_one(
                     e.emit(format!("umul {ra},{rb},%g0"));
                     e.emit(format!("rd %y,{dst}"));
                 }
-                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+                Target::X86 => unreachable!("x86 uses emit_one_x86"),
             }
         }
         Op::MulSH(a, b) => {
@@ -629,7 +635,7 @@ fn emit_one(
                     e.emit(format!("smul {ra},{rb},%g0"));
                     e.emit(format!("rd %y,{dst}"));
                 }
-                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+                Target::X86 => unreachable!("x86 uses emit_one_x86"),
             }
         }
         Op::And(a, b) | Op::Or(a, b) | Op::Eor(a, b) => {
@@ -645,7 +651,7 @@ fn emit_one(
                 Target::Mips => e.emit(format!("{mips} {dst},{ra},{rb}")),
                 Target::Power => e.emit(format!("{power} {dst},{ra},{rb}")),
                 Target::Sparc => e.emit(format!("{sparc} {ra},{rb},{dst}")),
-                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+                Target::X86 => unreachable!("x86 uses emit_one_x86"),
             }
         }
         Op::Not(a) => {
@@ -656,7 +662,7 @@ fn emit_one(
                 Target::Mips => e.emit(format!("nor {dst},{ra},$0")),
                 Target::Power => e.emit(format!("sfi {dst},{ra},-1")),
                 Target::Sparc => e.emit(format!("xnor {ra},%g0,{dst}")),
-                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+                Target::X86 => unreachable!("x86 uses emit_one_x86"),
             }
         }
         Op::Sll(a, n) | Op::Srl(a, n) | Op::Sra(a, n) => {
@@ -704,7 +710,7 @@ fn emit_one(
                     let mn = ["sll", "srl", "sra"][kind];
                     e.emit(format!("{mn} {ra},{n},{dst}"));
                 }
-                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+                Target::X86 => unreachable!("x86 uses emit_one_x86"),
             }
         }
         Op::Xsign(a) => {
@@ -724,7 +730,7 @@ fn emit_one(
                 Target::Mips => e.emit(format!("sra {dst},{ra},{n}")),
                 Target::Power => e.emit(format!("srai {dst},{ra},{n}")),
                 Target::Sparc => e.emit(format!("sra {ra},{n},{dst}")),
-                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+                Target::X86 => unreachable!("x86 uses emit_one_x86"),
             }
         }
         Op::SltS(a, b) | Op::SltU(a, b) => {
@@ -743,7 +749,10 @@ fn emit_one(
                 Target::Power => {
                     // POWER lacks set-less-than; the classic expansion.
                     e.comment("slt via subfc/subfe carry sequence");
-                    e.emit(format!("{} {dst},{ra},{rb}", if signed { "slt.pseudo" } else { "sltu.pseudo" }));
+                    e.emit(format!(
+                        "{} {dst},{ra},{rb}",
+                        if signed { "slt.pseudo" } else { "sltu.pseudo" }
+                    ));
                 }
                 Target::Sparc => {
                     e.emit(format!("cmp {ra},{rb}"));
@@ -752,7 +761,7 @@ fn emit_one(
                         e.comment("signed variant uses bl/set sequence on V8");
                     }
                 }
-                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+                Target::X86 => unreachable!("x86 uses emit_one_x86"),
             }
         }
         Op::DivU(a, b) | Op::DivS(a, b) | Op::RemU(a, b) | Op::RemS(a, b) => {
@@ -805,7 +814,7 @@ fn emit_one(
                         e.emit(format!("{mn} {ra},{rb},{dst}"));
                     }
                 }
-                            Target::X86 => unreachable!("x86 uses emit_one_x86"),
+                Target::X86 => unreachable!("x86 uses emit_one_x86"),
             }
         }
     }
@@ -878,7 +887,11 @@ fn emit_one_x86(e: &mut Emitter, prog: &Program, i: usize, op: &Op) {
             // One-operand mul/imul: EDX:EAX = EAX * r/m32. The r/m operand
             // must be a register, so when one side is a constant put it in
             // EAX (multiplication commutes).
-            let mn = if matches!(op, Op::MulUH(..)) { "mul" } else { "imul" };
+            let mn = if matches!(op, Op::MulUH(..)) {
+                "mul"
+            } else {
+                "imul"
+            };
             let (ra, a_imm) = rm(e, a);
             let (rb, b_imm) = rm(e, b);
             let dst = e.alloc(i);
@@ -896,7 +909,11 @@ fn emit_one_x86(e: &mut Emitter, prog: &Program, i: usize, op: &Op) {
             e.emit(format!("mov {dst},edx"));
         }
         Op::SltU(a, b) | Op::SltS(a, b) => {
-            let set = if matches!(op, Op::SltU(..)) { "setb" } else { "setl" };
+            let set = if matches!(op, Op::SltU(..)) {
+                "setb"
+            } else {
+                "setl"
+            };
             let (ra, a_imm) = rm(e, a);
             let (rb, _) = rm(e, b);
             let dst = e.alloc(i);

@@ -225,7 +225,11 @@ mod tests {
         // Every divisor at N = 16, both precisions (unsigned and signed).
         fn oracle(d: u16, prec: u32) -> (u128, u32) {
             let n = 16u32;
-            let l = if d == 1 { 0 } else { 16 - (d - 1).leading_zeros() };
+            let l = if d == 1 {
+                0
+            } else {
+                16 - (d - 1).leading_zeros()
+            };
             let mut sh_post = l;
             let mut m_low = (1u128 << (n + l)) / d as u128;
             let mut m_high = ((1u128 << (n + l)) + (1u128 << (n + l - prec))) / d as u128;

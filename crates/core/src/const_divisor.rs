@@ -287,7 +287,16 @@ mod tests {
         while d < 100_000 {
             let cd = ConstU32Divisor::new(d);
             let rd = UnsignedDivisor::<u32>::new(d).unwrap();
-            for n in [0u32, 1, d - 1, d, d + 1, u32::MAX / 2, u32::MAX - 1, u32::MAX] {
+            for n in [
+                0u32,
+                1,
+                d - 1,
+                d,
+                d + 1,
+                u32::MAX / 2,
+                u32::MAX - 1,
+                u32::MAX,
+            ] {
                 assert_eq!(cd.divide(n), rd.divide(n), "n={n} d={d}");
                 assert_eq!(cd.remainder(n), n % d, "n={n} d={d}");
             }
@@ -355,7 +364,9 @@ mod tests {
     fn const_u64_randomized() {
         let mut state = 0xfeed_f00du64;
         for _ in 0..2_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let d = state | 1;
             let n = state.rotate_left(17);
             let cd = ConstU64Divisor::new(d);

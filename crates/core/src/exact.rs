@@ -20,6 +20,7 @@ use core::fmt;
 use magicdiv_dword::Limb;
 
 use crate::error::DivisorError;
+use crate::plan::ExactPlan;
 use crate::word::{SWord, UWord};
 
 /// Multiplicative inverse of an odd word modulo `2^N` by Newton's
@@ -43,7 +44,7 @@ use crate::word::{SWord, UWord};
 pub fn mod_inverse_newton<T: UWord>(d_odd: T) -> T {
     assert!(d_odd & T::ONE == T::ONE, "inverse requires an odd operand");
     let mut inv = d_odd; // correct modulo 2^3
-    // ⌈log2(N/3)⌉ iterations suffice; N <= 128 needs at most 6.
+                         // ⌈log2(N/3)⌉ iterations suffice; N <= 128 needs at most 6.
     let mut correct_bits = 3u32;
     while correct_bits < T::BITS {
         let two = T::ONE.wrapping_add(T::ONE);
@@ -116,18 +117,25 @@ pub struct ExactUnsignedDivisor<T> {
 impl<T: UWord> ExactUnsignedDivisor<T> {
     /// Precomputes the odd-part inverse for `d`.
     ///
+    /// Constant selection is delegated to the shared planning layer
+    /// ([`ExactPlan`], §9); the constants are cached here at the native
+    /// word type.
+    ///
     /// # Errors
     ///
     /// Returns [`DivisorError::Zero`] when `d == 0`.
     pub fn new(d: T) -> Result<Self, DivisorError> {
-        if d == T::ZERO {
-            return Err(DivisorError::Zero);
-        }
-        let e = d.trailing_zeros();
-        let d_odd = d.shr_full(e);
-        let dinv = mod_inverse_newton(d_odd);
-        let qmax = T::MAX.checked_div(d).expect("d nonzero");
-        Ok(ExactUnsignedDivisor { d, e, dinv, qmax })
+        let plan = ExactPlan::new_unsigned(d.to_u128(), T::BITS)?;
+        debug_assert_eq!(
+            T::from_u128_truncate(plan.dinv),
+            mod_inverse_newton(d.shr_full(plan.e))
+        );
+        Ok(ExactUnsignedDivisor {
+            d,
+            e: plan.e,
+            dinv: T::from_u128_truncate(plan.dinv),
+            qmax: T::from_u128_truncate(plan.qmax),
+        })
     }
 
     /// The divisor this inverse was computed for.
@@ -141,6 +149,22 @@ impl<T: UWord> ExactUnsignedDivisor<T> {
     #[inline]
     pub fn constants(&self) -> (T, u32) {
         (self.dinv, self.e)
+    }
+
+    /// The width-erased [`ExactPlan`] this divisor caches — the same plan
+    /// `magicdiv-codegen` lowers to IR and `magicdiv-simcpu` prices.
+    pub fn plan(&self) -> ExactPlan {
+        ExactPlan {
+            width: T::BITS,
+            d_abs: self.d.to_u128(),
+            signed: false,
+            negate: false,
+            e: self.e,
+            dinv: self.dinv.to_u128(),
+            qmax: self.qmax.to_u128(),
+            low_mask: (1u128 << self.e) - 1,
+            is_pow2: self.d.shr_full(self.e) == T::ONE,
+        }
     }
 
     /// Computes `n / d` for `n` known to be a multiple of `d`, with one
@@ -213,27 +237,15 @@ impl<S: SWord> ExactSignedDivisor<S> {
     ///
     /// Returns [`DivisorError::Zero`] when `d == 0`.
     pub fn new(d: S) -> Result<Self, DivisorError> {
-        if d == S::ZERO {
-            return Err(DivisorError::Zero);
-        }
-        let abs_d = d.unsigned_abs();
-        let e = abs_d.trailing_zeros();
-        let d_odd = abs_d.shr_full(e);
-        let dinv = mod_inverse_newton(d_odd);
-        let max_pos = S::MAX.as_unsigned();
-        let qmax_scaled = max_pos
-            .checked_div(abs_d)
-            .expect("d nonzero")
-            .shl_full(e);
+        let plan = ExactPlan::new_signed(d.to_i128(), S::BITS)?;
+        let word = <S::Unsigned as Limb>::from_u128_truncate;
         Ok(ExactSignedDivisor {
             d,
-            e,
-            dinv,
-            qmax_scaled,
-            low_mask: <S::Unsigned as Limb>::ONE
-                .shl_full(e)
-                .wrapping_sub(<S::Unsigned as Limb>::ONE),
-            is_pow2: d_odd == <S::Unsigned as Limb>::ONE,
+            e: plan.e,
+            dinv: word(plan.dinv),
+            qmax_scaled: word(plan.qmax),
+            low_mask: word(plan.low_mask),
+            is_pow2: plan.is_pow2,
         })
     }
 
@@ -241,6 +253,22 @@ impl<S: SWord> ExactSignedDivisor<S> {
     #[inline]
     pub fn divisor(&self) -> S {
         self.d
+    }
+
+    /// The width-erased [`ExactPlan`] this divisor caches — the same plan
+    /// `magicdiv-codegen` lowers to IR and `magicdiv-simcpu` prices.
+    pub fn plan(&self) -> ExactPlan {
+        ExactPlan {
+            width: S::BITS,
+            d_abs: self.d.unsigned_abs().to_u128(),
+            signed: true,
+            negate: self.d.is_negative(),
+            e: self.e,
+            dinv: self.dinv.to_u128(),
+            qmax: self.qmax_scaled.to_u128(),
+            low_mask: self.low_mask.to_u128(),
+            is_pow2: self.is_pow2,
+        }
     }
 
     /// Computes `n / d` for `n` known to be a multiple of `d`: one `MULL`
@@ -272,8 +300,8 @@ impl<S: SWord> ExactSignedDivisor<S> {
         // Divisible iff q0 (read as signed) is a multiple of 2^e in
         // [-qmax, qmax]; the symmetric interval is checked with one
         // unsigned add-and-compare.
-        let in_range = q0.wrapping_add(self.qmax_scaled)
-            <= self.qmax_scaled.wrapping_add(self.qmax_scaled);
+        let in_range =
+            q0.wrapping_add(self.qmax_scaled) <= self.qmax_scaled.wrapping_add(self.qmax_scaled);
         in_range && q0 & self.low_mask == <S::Unsigned as Limb>::ZERO
     }
 
@@ -462,7 +490,19 @@ mod tests {
         let (dinv, e) = (ed.dinv, ed.e);
         assert_eq!(e, 2);
         assert_eq!(dinv as u64, (19u64 * (1 << 32) + 1) / 25);
-        for n in [-1_000_000i32, -100, -1, 0, 1, 99, 100, 101, 12_345_600, i32::MAX, i32::MIN] {
+        for n in [
+            -1_000_000i32,
+            -100,
+            -1,
+            0,
+            1,
+            99,
+            100,
+            101,
+            12_345_600,
+            i32::MAX,
+            i32::MIN,
+        ] {
             assert_eq!(ed.divides(n), n % 100 == 0, "n={n}");
         }
     }
@@ -506,5 +546,25 @@ mod tests {
     fn zero_divisor_rejected() {
         assert!(ExactUnsignedDivisor::<u32>::new(0).is_err());
         assert!(ExactSignedDivisor::<i32>::new(0).is_err());
+    }
+
+    #[test]
+    fn plan_roundtrips_selection() {
+        for d in [1u32, 2, 12, 100, 720, 1 << 20, u32::MAX] {
+            let ed = ExactUnsignedDivisor::new(d).unwrap();
+            assert_eq!(
+                ed.plan(),
+                ExactPlan::new_unsigned(d as u128, 32).unwrap(),
+                "d={d}"
+            );
+        }
+        for d in [-360i32, -1, 1, 100, 1 << 20, i32::MIN, i32::MAX] {
+            let ed = ExactSignedDivisor::new(d).unwrap();
+            assert_eq!(
+                ed.plan(),
+                ExactPlan::new_signed(d as i128, 32).unwrap(),
+                "d={d}"
+            );
+        }
     }
 }

@@ -89,11 +89,7 @@ mod tests {
                 continue;
             }
             for n in (i16::MIN..=i16::MAX).step_by(17) {
-                assert_eq!(
-                    trunc_div_f64(n, d),
-                    Some(n.wrapping_div(d)),
-                    "n={n} d={d}"
-                );
+                assert_eq!(trunc_div_f64(n, d), Some(n.wrapping_div(d)), "n={n} d={d}");
             }
         }
     }
@@ -102,7 +98,11 @@ mod tests {
     fn exhaustive_i8_all_pairs() {
         for d in i8::MIN..=i8::MAX {
             for n in i8::MIN..=i8::MAX {
-                let expect = if d == 0 { None } else { Some(n.wrapping_div(d)) };
+                let expect = if d == 0 {
+                    None
+                } else {
+                    Some(n.wrapping_div(d))
+                };
                 assert_eq!(trunc_div_f64(n, d), expect, "n={n} d={d}");
             }
         }
@@ -130,7 +130,10 @@ mod tests {
     #[test]
     fn wide_types_guard_their_range() {
         // Inside ±2^50: exact.
-        assert_eq!(trunc_div_f64((1i64 << 49) - 1, 3), Some(((1i64 << 49) - 1) / 3));
+        assert_eq!(
+            trunc_div_f64((1i64 << 49) - 1, 3),
+            Some(((1i64 << 49) - 1) / 3)
+        );
         // Outside: refused rather than silently inexact.
         assert_eq!(trunc_div_f64(1i64 << 50, 3), None);
         assert_eq!(trunc_div_f64(3i64, 1 << 50), None);

@@ -15,8 +15,8 @@ use core::fmt;
 
 use magicdiv_dword::Limb;
 
-use crate::choose_multiplier::choose_multiplier;
 use crate::error::DivisorError;
+use crate::plan::{FloorPlan, FloorStrategy};
 use crate::signed::SignedDivisor;
 use crate::word::{SWord, UWord};
 
@@ -63,30 +63,25 @@ pub struct FloorDivisor<S: SWord> {
 impl<S: SWord> FloorDivisor<S> {
     /// Precomputes the constants for floor-dividing by `d`.
     ///
+    /// Strategy selection is delegated to the shared planning layer
+    /// ([`FloorPlan`], Fig 6.1); the constants are cached here at the
+    /// native word type.
+    ///
     /// # Errors
     ///
     /// Returns [`DivisorError::Zero`] when `d == 0`.
     pub fn new(d: S) -> Result<Self, DivisorError> {
-        if d == S::ZERO {
-            return Err(DivisorError::Zero);
-        }
-        let variant = if d == S::ONE {
-            Variant::Identity
-        } else if d.is_negative() {
-            Variant::NegativeTrunc {
+        let plan = FloorPlan::new(d.to_i128(), S::BITS)?;
+        let variant = match plan.strategy() {
+            FloorStrategy::Identity => Variant::Identity,
+            FloorStrategy::NegativeTrunc { .. } => Variant::NegativeTrunc {
                 trunc: SignedDivisor::new(d)?,
-            }
-        } else if d.unsigned_abs().is_power_of_two() {
-            Variant::Shift {
-                l: d.unsigned_abs().floor_log2(),
-            }
-        } else {
-            let chosen = choose_multiplier(d.unsigned_abs(), S::BITS - 1);
-            debug_assert!(chosen.multiplier_fits_word(), "Fig 6.1 asserts m < 2^N");
-            Variant::MulShift {
-                m: chosen.multiplier.lo(),
-                sh_post: chosen.sh_post,
-            }
+            },
+            FloorStrategy::Shift { l } => Variant::Shift { l },
+            FloorStrategy::MulShift { m, sh_post } => Variant::MulShift {
+                m: <S::Unsigned as Limb>::from_u128_truncate(m),
+                sh_post,
+            },
         };
         Ok(FloorDivisor { d, variant })
     }
@@ -95,6 +90,27 @@ impl<S: SWord> FloorDivisor<S> {
     #[inline]
     pub fn divisor(&self) -> S {
         self.d
+    }
+
+    /// The width-erased [`FloorPlan`] this divisor caches — the same plan
+    /// `magicdiv-codegen` lowers to IR and `magicdiv-simcpu` prices.
+    pub fn plan(&self) -> FloorPlan {
+        let strategy = match &self.variant {
+            Variant::Identity => FloorStrategy::Identity,
+            Variant::Shift { l } => FloorStrategy::Shift { l: *l },
+            Variant::MulShift { m, sh_post } => FloorStrategy::MulShift {
+                m: m.to_u128(),
+                sh_post: *sh_post,
+            },
+            Variant::NegativeTrunc { trunc } => FloorStrategy::NegativeTrunc {
+                trunc: trunc.plan(),
+            },
+        };
+        FloorPlan {
+            width: S::BITS,
+            d: self.d.to_i128(),
+            strategy,
+        }
     }
 
     /// Computes `⌊n / d⌋` (round toward `-∞`).
@@ -313,11 +329,14 @@ mod tests {
                 let floor = floor_div_via_trunc(n, d) as i32;
                 let ceil = ceil_div_via_trunc(n, d) as i32;
                 let fq = (n as i32).div_euclid(d as i32);
-                let expect_floor =
-                    fq - if d < 0 && (n as i32).rem_euclid(d as i32) != 0 { 1 } else { 0 };
+                let expect_floor = fq
+                    - if d < 0 && (n as i32).rem_euclid(d as i32) != 0 {
+                        1
+                    } else {
+                        0
+                    };
                 assert_eq!(floor, expect_floor, "floor n={n} d={d}");
-                let expect_ceil =
-                    expect_floor + i32::from(n as i32 - expect_floor * d as i32 != 0);
+                let expect_ceil = expect_floor + i32::from(n as i32 - expect_floor * d as i32 != 0);
                 assert_eq!(ceil, expect_ceil, "ceil n={n} d={d}");
             }
         }
@@ -344,8 +363,32 @@ mod tests {
 
     #[test]
     fn spot_checks_i32_boundaries() {
-        let ds = [1i32, 2, 3, 7, 10, 100, -1, -2, -3, -10, i32::MAX, i32::MIN, i32::MIN + 1];
-        let ns = [i32::MIN, i32::MIN + 1, -10, -1, 0, 1, 10, i32::MAX - 1, i32::MAX];
+        let ds = [
+            1i32,
+            2,
+            3,
+            7,
+            10,
+            100,
+            -1,
+            -2,
+            -3,
+            -10,
+            i32::MAX,
+            i32::MIN,
+            i32::MIN + 1,
+        ];
+        let ns = [
+            i32::MIN,
+            i32::MIN + 1,
+            -10,
+            -1,
+            0,
+            1,
+            10,
+            i32::MAX - 1,
+            i32::MAX,
+        ];
         for &d in &ds {
             let fd = FloorDivisor::new(d).unwrap();
             for &n in &ns {
@@ -380,6 +423,14 @@ mod tests {
     #[test]
     fn zero_divisor_rejected() {
         assert_eq!(FloorDivisor::<i32>::new(0).unwrap_err(), DivisorError::Zero);
+    }
+
+    #[test]
+    fn plan_roundtrips_selection() {
+        for d in [-10i32, -2, -1, 1, 2, 10, 16, 641, i32::MIN, i32::MAX] {
+            let fd = FloorDivisor::new(d).unwrap();
+            assert_eq!(fd.plan(), FloorPlan::new(d as i128, 32).unwrap(), "d={d}");
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | §5 signed, round toward zero | [`SignedDivisor`] (Fig 5.2), [`InvariantSignedDivisor`] (Fig 5.1) |
 //! | §6 signed, round toward −∞ | [`FloorDivisor`] (Fig 6.1), [`floor_div_via_trunc`], [`ceil_div_via_trunc`], [`mod_positive`] |
 //! | §6.2 multiplier selection | [`choose_multiplier`] (Fig 6.2) |
+//! | strategy selection (all of the above) | [`plan`]: [`UdivPlan`], [`SdivPlan`], [`FloorPlan`], [`ExactPlan`], [`DivPlan`] |
 //! | §10 compile-time constants | [`ConstU32Divisor`], [`ConstU64Divisor`] (`const fn` construction) |
 //! | §7 floating point | [`trunc_div_f64`], [`unsigned_div_f64`] |
 //! | §8 udword ÷ uword | [`DwordDivisor`] (Fig 8.1) |
@@ -45,6 +46,12 @@
 //!
 //! ## Design notes
 //!
+//! * Strategy selection lives in one place: the [`plan`] module. Every
+//!   divisor's `new` builds a width-erased plan ([`UdivPlan`] & friends)
+//!   and caches its constants at the native word type; the code
+//!   generators in `magicdiv-codegen` and the cycle estimator in
+//!   `magicdiv-simcpu` consume the *same* plans, so the layers cannot
+//!   disagree about which sequence a divisor gets.
 //! * Every divisor type precomputes its constants once (`new`) and then
 //!   divides with straight-line integer code — one `MULUH`/`MULSH`, a few
 //!   adds and shifts, exactly the operation counts the paper reports.
@@ -70,6 +77,7 @@ mod error;
 mod exact;
 mod float;
 mod floor;
+pub mod plan;
 mod signed;
 pub mod testkit;
 mod udword_div;
@@ -85,6 +93,7 @@ pub use crate::exact::{
 };
 pub use crate::float::{trunc_div_f64, unsigned_div_f64, MAX_EXACT_BITS_F64};
 pub use crate::floor::{ceil_div_via_trunc, floor_div_via_trunc, mod_positive, FloorDivisor};
+pub use crate::plan::{DivPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan};
 pub use crate::signed::{InvariantSignedDivisor, SignedDivisor, SignedStrategy};
 pub use crate::udword_div::DwordDivisor;
 pub use crate::unsigned::{InvariantUnsignedDivisor, UnsignedDivisor, UnsignedStrategy};

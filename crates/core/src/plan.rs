@@ -1,0 +1,1047 @@
+//! The planning layer: width-erased strategy selection shared by the
+//! runtime divisors, the IR code generators and the cycle estimator.
+//!
+//! Each plan type is *pure data* — a strategy tag plus the precomputed
+//! constants (magic multiplier, pre/post shifts, add indicator) for one
+//! divisor at one bit width:
+//!
+//! | Plan | Paper figure | Selected for |
+//! |---|---|---|
+//! | [`UdivPlan`] | Fig 4.2 | unsigned truncating division |
+//! | [`SdivPlan`] | Fig 5.2 | signed truncating division |
+//! | [`FloorPlan`] | Fig 6.1 | signed floor division |
+//! | [`ExactPlan`] | §9 | exact division / divisibility |
+//!
+//! This module is the **only** place that runs the paper's selection
+//! logic (`CHOOSE_MULTIPLIER` dispatch, even-divisor pre-shift re-choose,
+//! add-indicator overflow handling). The runtime divisor structs in
+//! [`unsigned`](crate::UnsignedDivisor), [`signed`](crate::SignedDivisor),
+//! [`floor`](crate::FloorDivisor) and [`exact`](crate::ExactUnsignedDivisor)
+//! construct a plan in `new()` and cache its constants at their native
+//! word type; `magicdiv-codegen` lowers the same plans to IR. A divisor
+//! and the generated code can therefore never disagree about strategy.
+//!
+//! Constants are stored as `u128` (the widest supported word), masked to
+//! the plan's width. Supported widths are `1..=64` (the IR's range, used
+//! by the code generators at arbitrary widths) and exactly `128` (the
+//! runtime divisors' widest type); widths 65–127 are rejected because no
+//! doubleword substrate exists for them.
+
+use core::fmt;
+
+use crate::choose_multiplier::choose_multiplier;
+use crate::error::DivisorError;
+
+/// `2^width - 1` as a `u128`.
+#[inline]
+fn mask(width: u32) -> u128 {
+    if width == 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+/// `⌈log2 d⌉` for `d >= 1`.
+#[inline]
+fn ceil_log2(d: u128) -> u32 {
+    if d == 1 {
+        0
+    } else {
+        128 - (d - 1).leading_zeros()
+    }
+}
+
+fn assert_width_supported(width: u32) {
+    assert!(
+        (1..=64).contains(&width) || width == 128,
+        "plan width must be in 1..=64 or exactly 128, got {width}"
+    );
+}
+
+/// The raw output of the Figure 6.2 multiplier selection, width-erased:
+/// the low `width` bits of the multiplier, whether the full multiplier
+/// fits in a word (`m < 2^width`), and the post-shift.
+#[derive(Debug, Clone, Copy)]
+struct MagicRaw {
+    /// `m mod 2^width` — the full multiplier when `fits`, otherwise the
+    /// paper's `m - 2^width` bit pattern.
+    m_low: u128,
+    /// `m < 2^width`.
+    fits: bool,
+    sh_post: u32,
+}
+
+/// Figure 6.2 at an arbitrary width: `width <= 63` runs the selection
+/// directly in `u128` arithmetic; `width == 64` and `width == 128`
+/// delegate to the typed [`choose_multiplier`], whose doubleword substrate
+/// handles the `2^(N+l)` numerators that overflow `u128`.
+fn magic(d: u128, width: u32, prec: u32) -> MagicRaw {
+    debug_assert!(d >= 1 && (width == 128 || d <= mask(width)));
+    debug_assert!((1..=width).contains(&prec));
+    match width {
+        0..=63 => {
+            let l = ceil_log2(d);
+            let mut sh_post = l;
+            let mut m_low = (1u128 << (width + l)) / d;
+            let mut m_high = ((1u128 << (width + l)) + (1u128 << (width + l - prec))) / d;
+            while m_low >> 1 < m_high >> 1 && sh_post > 0 {
+                m_low >>= 1;
+                m_high >>= 1;
+                sh_post -= 1;
+            }
+            MagicRaw {
+                m_low: m_high & mask(width),
+                fits: m_high <= mask(width),
+                sh_post,
+            }
+        }
+        64 => {
+            let c = choose_multiplier(d as u64, prec);
+            MagicRaw {
+                m_low: c.multiplier_low_word() as u128,
+                fits: c.multiplier_fits_word(),
+                sh_post: c.sh_post,
+            }
+        }
+        128 => {
+            let c = choose_multiplier(d, prec);
+            MagicRaw {
+                m_low: c.multiplier_low_word(),
+                fits: c.multiplier_fits_word(),
+                sh_post: c.sh_post,
+            }
+        }
+        _ => unreachable!("width checked by assert_width_supported"),
+    }
+}
+
+/// Newton's iteration (the paper's (9.2)) for the inverse of an odd value
+/// modulo `2^width`, width-erased.
+fn mod_inverse(d_odd: u128, width: u32) -> u128 {
+    debug_assert!(d_odd & 1 == 1);
+    let m = mask(width);
+    let mut inv = d_odd;
+    let mut correct_bits = 3u32;
+    while correct_bits < width {
+        inv = inv.wrapping_mul(2u128.wrapping_sub(d_odd.wrapping_mul(inv))) & m;
+        correct_bits *= 2;
+    }
+    inv & m
+}
+
+/// The code shape Figure 4.2 selects for an unsigned divisor — the
+/// width-erased twin of [`UnsignedStrategy`](crate::UnsignedStrategy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UdivStrategy {
+    /// `d == 1`: the quotient is the dividend.
+    Identity,
+    /// `d == 2^sh`: a single logical right shift.
+    Shift {
+        /// The shift count `log2 d`.
+        sh: u32,
+    },
+    /// `m < 2^N`: `q = SRL(MULUH(m, SRL(n, sh_pre)), sh_post)`.
+    MulShift {
+        /// The magic multiplier, `m < 2^N`.
+        m: u128,
+        /// Pre-shift (log2 of the even part of `d`), often 0.
+        sh_pre: u32,
+        /// Post-shift applied to the high product half.
+        sh_post: u32,
+    },
+    /// `m >= 2^N` (odd `d`): the add-fixup long sequence
+    /// `t = MULUH(m - 2^N, n); q = SRL(t + SRL(n - t, 1), sh_post - 1)`.
+    MulAddShift {
+        /// The multiplier with its `2^N` bit removed.
+        m_minus_pow2n: u128,
+        /// Post-shift (at least 1).
+        sh_post: u32,
+    },
+}
+
+/// A complete unsigned-division plan: divisor, width and selected
+/// strategy (Figure 4.2).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::plan::{UdivPlan, UdivStrategy};
+///
+/// // The paper's d = 10 at N = 32: multiply by (2^34+1)/5, shift by 3.
+/// let plan = UdivPlan::new(10, 32)?;
+/// assert_eq!(
+///     plan.strategy(),
+///     UdivStrategy::MulShift { m: ((1u128 << 34) + 1) / 5, sh_pre: 0, sh_post: 3 },
+/// );
+/// # Ok::<(), magicdiv::DivisorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UdivPlan {
+    pub(crate) width: u32,
+    pub(crate) d: u128,
+    pub(crate) strategy: UdivStrategy,
+}
+
+impl UdivPlan {
+    /// Runs the Figure 4.2 strategy selection for dividing by `d` at
+    /// `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is unsupported (see the module docs) or `d`
+    /// does not fit in `width` bits.
+    pub fn new(d: u128, width: u32) -> Result<Self, DivisorError> {
+        assert_width_supported(width);
+        if d == 0 {
+            return Err(DivisorError::Zero);
+        }
+        assert!(d <= mask(width), "divisor does not fit in {width} bits");
+        if d == 1 {
+            return Ok(UdivPlan {
+                width,
+                d,
+                strategy: UdivStrategy::Identity,
+            });
+        }
+        if d.is_power_of_two() {
+            // Fig 4.2 checks `d == 2^l` before touching the multiplier —
+            // the shift path ignores m entirely (and for powers of two
+            // the even-divisor re-choose below would produce
+            // m == 2^N + 2^l, which never fits a word).
+            return Ok(UdivPlan {
+                width,
+                d,
+                strategy: UdivStrategy::Shift { sh: ceil_log2(d) },
+            });
+        }
+        let mut raw = magic(d, width, width);
+        let mut sh_pre = 0;
+        if !raw.fits && d & 1 == 0 {
+            // Even divisor with an oversized multiplier: divide out the
+            // even part with a pre-shift and re-choose at reduced
+            // precision.
+            let e = d.trailing_zeros();
+            sh_pre = e;
+            raw = magic(d >> e, width, width - e);
+            debug_assert!(raw.fits, "reduced multiplier must fit in a word");
+        }
+        let strategy = if raw.fits {
+            UdivStrategy::MulShift {
+                m: raw.m_low,
+                sh_pre,
+                sh_post: raw.sh_post,
+            }
+        } else {
+            debug_assert!(raw.sh_post >= 1);
+            UdivStrategy::MulAddShift {
+                m_minus_pow2n: raw.m_low,
+                sh_post: raw.sh_post,
+            }
+        };
+        Ok(UdivPlan { width, d, strategy })
+    }
+
+    /// The bit width this plan was computed for.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The divisor.
+    #[inline]
+    pub fn divisor(&self) -> u128 {
+        self.d
+    }
+
+    /// The selected code shape and its constants.
+    #[inline]
+    pub fn strategy(&self) -> UdivStrategy {
+        self.strategy
+    }
+}
+
+impl fmt::Display for UdivPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "udiv/{} d={}: ", self.width, self.d)?;
+        match self.strategy {
+            UdivStrategy::Identity => write!(f, "identity"),
+            UdivStrategy::Shift { sh } => write!(f, "shift sh={sh}"),
+            UdivStrategy::MulShift { m, sh_pre, sh_post } => {
+                write!(f, "mul-shift m={m:#x} sh_pre={sh_pre} sh_post={sh_post}")
+            }
+            UdivStrategy::MulAddShift {
+                m_minus_pow2n,
+                sh_post,
+            } => {
+                write!(
+                    f,
+                    "mul-add-shift m-2^N={m_minus_pow2n:#x} sh_post={sh_post}"
+                )
+            }
+        }
+    }
+}
+
+/// The code shape Figure 5.2 selects for a signed divisor — the
+/// width-erased twin of [`SignedStrategy`](crate::SignedStrategy).
+/// Constants are the `|d|` sequence; [`SdivPlan::negate`] records the
+/// final negation for `d < 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SdivStrategy {
+    /// `|d| == 1`: copy (and negate when `d == -1`).
+    Identity,
+    /// `|d| == 2^l`: `q = SRA(n + SRL(SRA(n, l-1), N-l), l)`.
+    Shift {
+        /// `log2 |d|`.
+        l: u32,
+    },
+    /// `m < 2^(N-1)`: `q = SRA(MULSH(m, n), sh_post) - XSIGN(n)`.
+    MulShift {
+        /// The magic multiplier (a positive `N`-bit pattern).
+        m: u128,
+        /// Post-shift applied to the high product half.
+        sh_post: u32,
+    },
+    /// `2^(N-1) <= m < 2^N`:
+    /// `q = SRA(n + MULSH(m - 2^N, n), sh_post) - XSIGN(n)`.
+    MulAddShift {
+        /// `m` as an `N`-bit pattern — read as signed it is the negative
+        /// `m - 2^N`.
+        m_minus_pow2n: u128,
+        /// Post-shift applied after the add fixup.
+        sh_post: u32,
+    },
+}
+
+/// A complete signed truncating-division plan (Figure 5.2).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::plan::{SdivPlan, SdivStrategy};
+///
+/// let plan = SdivPlan::new(-3, 32)?;
+/// assert!(plan.negate());
+/// assert_eq!(
+///     plan.strategy(),
+///     SdivStrategy::MulShift { m: ((1u128 << 32) + 2) / 3, sh_post: 0 },
+/// );
+/// # Ok::<(), magicdiv::DivisorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SdivPlan {
+    pub(crate) width: u32,
+    pub(crate) d: i128,
+    pub(crate) negate: bool,
+    pub(crate) strategy: SdivStrategy,
+}
+
+impl SdivPlan {
+    /// Runs the Figure 5.2 strategy selection for dividing by `d` at
+    /// `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is unsupported or `d` does not fit in `width`
+    /// bits as a signed value.
+    pub fn new(d: i128, width: u32) -> Result<Self, DivisorError> {
+        assert_width_supported(width);
+        if d == 0 {
+            return Err(DivisorError::Zero);
+        }
+        let abs_d = d.unsigned_abs();
+        assert!(
+            abs_d <= mask(width - 1).wrapping_add(u128::from(d < 0)),
+            "divisor does not fit in i{width}"
+        );
+        let negate = d < 0;
+        let strategy = if abs_d == 1 {
+            SdivStrategy::Identity
+        } else if abs_d.is_power_of_two() {
+            SdivStrategy::Shift {
+                l: abs_d.trailing_zeros(),
+            }
+        } else {
+            let raw = magic(abs_d, width, width - 1);
+            debug_assert!(
+                raw.fits,
+                "prec = N-1 guarantees m < 2^N for non-power-of-two d"
+            );
+            if raw.m_low >> (width - 1) & 1 == 1 {
+                SdivStrategy::MulAddShift {
+                    m_minus_pow2n: raw.m_low,
+                    sh_post: raw.sh_post,
+                }
+            } else {
+                SdivStrategy::MulShift {
+                    m: raw.m_low,
+                    sh_post: raw.sh_post,
+                }
+            }
+        };
+        Ok(SdivPlan {
+            width,
+            d,
+            negate,
+            strategy,
+        })
+    }
+
+    /// The bit width this plan was computed for.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The divisor (sign-extended).
+    #[inline]
+    pub fn divisor(&self) -> i128 {
+        self.d
+    }
+
+    /// Whether the `|d|` quotient is negated at the end (`d < 0`).
+    #[inline]
+    pub fn negate(&self) -> bool {
+        self.negate
+    }
+
+    /// The selected code shape and its constants (for `|d|`).
+    #[inline]
+    pub fn strategy(&self) -> SdivStrategy {
+        self.strategy
+    }
+}
+
+impl fmt::Display for SdivPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sdiv/{} d={}: ", self.width, self.d)?;
+        match self.strategy {
+            SdivStrategy::Identity => write!(f, "identity"),
+            SdivStrategy::Shift { l } => write!(f, "shift l={l}"),
+            SdivStrategy::MulShift { m, sh_post } => {
+                write!(f, "mul-shift m={m:#x} sh_post={sh_post}")
+            }
+            SdivStrategy::MulAddShift {
+                m_minus_pow2n,
+                sh_post,
+            } => {
+                write!(
+                    f,
+                    "mul-add-shift m-2^N={m_minus_pow2n:#x} sh_post={sh_post}"
+                )
+            }
+        }?;
+        if self.negate {
+            write!(f, " negate")?;
+        }
+        Ok(())
+    }
+}
+
+/// The code shape selected for a signed floor division (Figure 6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FloorStrategy {
+    /// `d == 1`.
+    Identity,
+    /// `d == 2^l`, `d > 0`: `q = SRA(n, l)` — an arithmetic shift floors.
+    Shift {
+        /// `log2 d`.
+        l: u32,
+    },
+    /// Constant `d > 2` (not a power of two), Figure 6.1:
+    /// `nsign = XSIGN(n); q0 = MULUH(m, EOR(nsign, n));`
+    /// `q = EOR(nsign, SRL(q0, sh_post))`.
+    MulShift {
+        /// The magic multiplier (unsigned, `m < 2^N`).
+        m: u128,
+        /// Post-shift applied to the high product half.
+        sh_post: u32,
+    },
+    /// `d < 0`: trunc division (by the embedded plan) plus the floor
+    /// correction `q -= (r > 0)`.
+    NegativeTrunc {
+        /// The Figure 5.2 plan for the truncating division by `d`.
+        trunc: SdivPlan,
+    },
+}
+
+/// A complete signed floor-division plan (Figure 6.1, with the `d < 0`
+/// fallback through Figure 5.2).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::plan::{FloorPlan, FloorStrategy};
+///
+/// // §6's n mod 10 example multiplies by (2^33+3)/5 and shifts by 2.
+/// let plan = FloorPlan::new(10, 32)?;
+/// assert_eq!(
+///     plan.strategy(),
+///     FloorStrategy::MulShift { m: ((1u128 << 33) + 3) / 5, sh_post: 2 },
+/// );
+/// # Ok::<(), magicdiv::DivisorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FloorPlan {
+    pub(crate) width: u32,
+    pub(crate) d: i128,
+    pub(crate) strategy: FloorStrategy,
+}
+
+impl FloorPlan {
+    /// Runs the Figure 6.1 strategy selection for floor-dividing by `d`
+    /// at `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is unsupported or `d` does not fit in `width`
+    /// bits as a signed value.
+    pub fn new(d: i128, width: u32) -> Result<Self, DivisorError> {
+        assert_width_supported(width);
+        if d == 0 {
+            return Err(DivisorError::Zero);
+        }
+        let strategy = if d == 1 {
+            FloorStrategy::Identity
+        } else if d < 0 {
+            FloorStrategy::NegativeTrunc {
+                trunc: SdivPlan::new(d, width)?,
+            }
+        } else if (d as u128).is_power_of_two() {
+            FloorStrategy::Shift {
+                l: (d as u128).trailing_zeros(),
+            }
+        } else {
+            assert!(
+                d as u128 <= mask(width - 1),
+                "divisor does not fit in i{width}"
+            );
+            let raw = magic(d as u128, width, width - 1);
+            debug_assert!(raw.fits, "Fig 6.1 asserts m < 2^N");
+            FloorStrategy::MulShift {
+                m: raw.m_low,
+                sh_post: raw.sh_post,
+            }
+        };
+        Ok(FloorPlan { width, d, strategy })
+    }
+
+    /// The bit width this plan was computed for.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The divisor (sign-extended).
+    #[inline]
+    pub fn divisor(&self) -> i128 {
+        self.d
+    }
+
+    /// The selected code shape and its constants.
+    #[inline]
+    pub fn strategy(&self) -> FloorStrategy {
+        self.strategy
+    }
+}
+
+impl fmt::Display for FloorPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "floordiv/{} d={}: ", self.width, self.d)?;
+        match self.strategy {
+            FloorStrategy::Identity => write!(f, "identity"),
+            FloorStrategy::Shift { l } => write!(f, "shift l={l}"),
+            FloorStrategy::MulShift { m, sh_post } => {
+                write!(f, "mul-shift m={m:#x} sh_post={sh_post}")
+            }
+            FloorStrategy::NegativeTrunc { trunc } => {
+                write!(f, "trunc-then-fix [{trunc}]")
+            }
+        }
+    }
+}
+
+/// A complete exact-division / divisibility plan (§9): the odd-part
+/// inverse and the interval-test constants, for either signedness.
+///
+/// Writing `|d| = 2^e * d_odd`:
+///
+/// * `dinv` is the inverse of `d_odd` modulo `2^width`;
+/// * unsigned: `qmax = ⌊(2^N - 1)/d⌋`, and `d | n` iff
+///   `ROR(MULL(dinv, n), e) <= qmax`;
+/// * signed: `qmax = 2^e * ⌊(2^(N-1) - 1)/|d|⌋` (the *scaled* bound), and
+///   `d | n` iff `q0 + qmax <= 2*qmax && q0 & low_mask == 0` where
+///   `q0 = MULL(dinv, n)` — except for `|d| = 2^e` where only the
+///   low-bits check applies ([`is_pow2`](Self::is_pow2)).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::plan::ExactPlan;
+///
+/// // The paper's "divisible by 100" example at N = 32.
+/// let plan = ExactPlan::new_signed(100, 32)?;
+/// assert_eq!(plan.pre_shift(), 2);
+/// assert_eq!(plan.inverse(), (19 * (1u128 << 32) + 1) / 25);
+/// # Ok::<(), magicdiv::DivisorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExactPlan {
+    pub(crate) width: u32,
+    /// `|d|`.
+    pub(crate) d_abs: u128,
+    pub(crate) signed: bool,
+    /// `d < 0` (signed plans only).
+    pub(crate) negate: bool,
+    /// log2 of the even part of `|d|`.
+    pub(crate) e: u32,
+    /// Inverse of the odd part modulo `2^width`.
+    pub(crate) dinv: u128,
+    /// Unsigned: `⌊(2^N - 1)/d⌋`. Signed: `2^e * ⌊(2^(N-1) - 1)/|d|⌋`.
+    pub(crate) qmax: u128,
+    /// `2^e - 1`.
+    pub(crate) low_mask: u128,
+    /// `|d| == 2^e` (signed interval test inapplicable).
+    pub(crate) is_pow2: bool,
+}
+
+impl ExactPlan {
+    /// Builds the §9 constants for exact unsigned division by `d` at
+    /// `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is unsupported or `d` does not fit.
+    pub fn new_unsigned(d: u128, width: u32) -> Result<Self, DivisorError> {
+        assert_width_supported(width);
+        if d == 0 {
+            return Err(DivisorError::Zero);
+        }
+        assert!(d <= mask(width), "divisor does not fit in {width} bits");
+        let e = d.trailing_zeros();
+        let d_odd = d >> e;
+        Ok(ExactPlan {
+            width,
+            d_abs: d,
+            signed: false,
+            negate: false,
+            e,
+            dinv: mod_inverse(d_odd, width),
+            qmax: mask(width) / d,
+            low_mask: (1u128 << e) - 1,
+            is_pow2: d_odd == 1,
+        })
+    }
+
+    /// Builds the §9 constants for exact signed division by `d` at
+    /// `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is unsupported or `d` does not fit.
+    pub fn new_signed(d: i128, width: u32) -> Result<Self, DivisorError> {
+        assert_width_supported(width);
+        if d == 0 {
+            return Err(DivisorError::Zero);
+        }
+        let d_abs = d.unsigned_abs();
+        assert!(
+            d_abs <= mask(width - 1).wrapping_add(u128::from(d < 0)),
+            "divisor does not fit in i{width}"
+        );
+        let e = d_abs.trailing_zeros();
+        let d_odd = d_abs >> e;
+        Ok(ExactPlan {
+            width,
+            d_abs,
+            signed: true,
+            negate: d < 0,
+            e,
+            dinv: mod_inverse(d_odd, width),
+            qmax: (mask(width - 1) / d_abs) << e,
+            low_mask: (1u128 << e) - 1,
+            is_pow2: d_odd == 1,
+        })
+    }
+
+    /// The bit width this plan was computed for.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// `|d|`.
+    #[inline]
+    pub fn divisor_abs(&self) -> u128 {
+        self.d_abs
+    }
+
+    /// Whether this is a signed plan.
+    #[inline]
+    pub fn is_signed(&self) -> bool {
+        self.signed
+    }
+
+    /// `d < 0`: the exact quotient is negated at the end.
+    #[inline]
+    pub fn negate(&self) -> bool {
+        self.negate
+    }
+
+    /// log2 of the even part of `|d|` (the final shift count).
+    #[inline]
+    pub fn pre_shift(&self) -> u32 {
+        self.e
+    }
+
+    /// The inverse of the odd part of `|d|` modulo `2^width`.
+    #[inline]
+    pub fn inverse(&self) -> u128 {
+        self.dinv
+    }
+
+    /// The divisibility interval bound (see the type docs for the
+    /// signed/unsigned semantics).
+    #[inline]
+    pub fn qmax(&self) -> u128 {
+        self.qmax
+    }
+
+    /// `2^e - 1`, masking the low bits that must vanish.
+    #[inline]
+    pub fn low_mask(&self) -> u128 {
+        self.low_mask
+    }
+
+    /// `|d| == 2^e`.
+    #[inline]
+    pub fn is_pow2(&self) -> bool {
+        self.is_pow2
+    }
+}
+
+impl fmt::Display for ExactPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exact{}/{} |d|={}: dinv={:#x} e={} qmax={:#x}",
+            if self.signed { "s" } else { "u" },
+            self.width,
+            self.d_abs,
+            self.dinv,
+            self.e,
+            self.qmax,
+        )?;
+        if self.negate {
+            write!(f, " negate")?;
+        }
+        Ok(())
+    }
+}
+
+/// Any division plan — the umbrella the tools print and the cycle
+/// estimator prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DivPlan {
+    /// Unsigned truncating division (Fig 4.2).
+    Unsigned(UdivPlan),
+    /// Signed truncating division (Fig 5.2).
+    Signed(SdivPlan),
+    /// Signed floor division (Fig 6.1).
+    Floor(FloorPlan),
+    /// Exact division / divisibility (§9).
+    Exact(ExactPlan),
+}
+
+impl DivPlan {
+    /// The bit width the plan was computed for.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        match self {
+            DivPlan::Unsigned(p) => p.width(),
+            DivPlan::Signed(p) => p.width(),
+            DivPlan::Floor(p) => p.width(),
+            DivPlan::Exact(p) => p.width(),
+        }
+    }
+
+    /// A short static name for the selected strategy, for tables and
+    /// JSON reports.
+    pub fn strategy_name(&self) -> &'static str {
+        match self {
+            DivPlan::Unsigned(p) => match p.strategy {
+                UdivStrategy::Identity => "identity",
+                UdivStrategy::Shift { .. } => "shift",
+                UdivStrategy::MulShift { .. } => "mul_shift",
+                UdivStrategy::MulAddShift { .. } => "mul_add_shift",
+            },
+            DivPlan::Signed(p) => match p.strategy {
+                SdivStrategy::Identity => "identity",
+                SdivStrategy::Shift { .. } => "shift",
+                SdivStrategy::MulShift { .. } => "mul_shift",
+                SdivStrategy::MulAddShift { .. } => "mul_add_shift",
+            },
+            DivPlan::Floor(p) => match p.strategy {
+                FloorStrategy::Identity => "identity",
+                FloorStrategy::Shift { .. } => "shift",
+                FloorStrategy::MulShift { .. } => "mul_shift",
+                FloorStrategy::NegativeTrunc { .. } => "trunc_fixup",
+            },
+            DivPlan::Exact(p) => {
+                if p.is_pow2 {
+                    "exact_pow2"
+                } else {
+                    "exact_inverse"
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for DivPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DivPlan::Unsigned(p) => p.fmt(f),
+            DivPlan::Signed(p) => p.fmt(f),
+            DivPlan::Floor(p) => p.fmt(f),
+            DivPlan::Exact(p) => p.fmt(f),
+        }
+    }
+}
+
+impl From<UdivPlan> for DivPlan {
+    fn from(p: UdivPlan) -> Self {
+        DivPlan::Unsigned(p)
+    }
+}
+
+impl From<SdivPlan> for DivPlan {
+    fn from(p: SdivPlan) -> Self {
+        DivPlan::Signed(p)
+    }
+}
+
+impl From<FloorPlan> for DivPlan {
+    fn from(p: FloorPlan) -> Self {
+        DivPlan::Floor(p)
+    }
+}
+
+impl From<ExactPlan> for DivPlan {
+    fn from(p: ExactPlan) -> Self {
+        DivPlan::Exact(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_unsigned_examples() {
+        // d = 10, N = 32: MulShift with m = (2^34+1)/5, sh_post = 3.
+        let p = UdivPlan::new(10, 32).unwrap();
+        assert_eq!(
+            p.strategy(),
+            UdivStrategy::MulShift {
+                m: ((1u128 << 34) + 1) / 5,
+                sh_pre: 0,
+                sh_post: 3
+            }
+        );
+        // d = 7, N = 32: the multiplier needs 33 bits — MulAddShift.
+        let p = UdivPlan::new(7, 32).unwrap();
+        let m = ((1u128 << 35) + 3) / 7;
+        assert_eq!(
+            p.strategy(),
+            UdivStrategy::MulAddShift {
+                m_minus_pow2n: m - (1 << 32),
+                sh_post: 3
+            }
+        );
+        // d = 14: even pre-shift re-choose at N - 1 bits.
+        let p = UdivPlan::new(14, 32).unwrap();
+        assert_eq!(
+            p.strategy(),
+            UdivStrategy::MulShift {
+                m: ((1u128 << 34) + 5) / 7,
+                sh_pre: 1,
+                sh_post: 2
+            }
+        );
+    }
+
+    #[test]
+    fn unsigned_matches_typed_selection_at_64_and_128() {
+        // Width 64 and 128 route through choose_multiplier; sanity-check
+        // the 2^64+1 factorization divisor the paper highlights.
+        let p = UdivPlan::new(274177, 64).unwrap();
+        assert_eq!(
+            p.strategy(),
+            UdivStrategy::MulShift {
+                m: 67280421310721,
+                sh_pre: 0,
+                sh_post: 0
+            }
+        );
+        let p = UdivPlan::new(10, 128).unwrap();
+        match p.strategy() {
+            UdivStrategy::MulShift { sh_post, .. } => assert_eq!(sh_post, 3),
+            s => panic!("unexpected {s:?}"),
+        }
+    }
+
+    #[test]
+    fn signed_paper_examples() {
+        let p = SdivPlan::new(3, 32).unwrap();
+        assert_eq!(
+            p.strategy(),
+            SdivStrategy::MulShift {
+                m: ((1u128 << 32) + 2) / 3,
+                sh_post: 0
+            }
+        );
+        assert!(!p.negate());
+        let p = SdivPlan::new(7, 32).unwrap();
+        assert_eq!(
+            p.strategy(),
+            SdivStrategy::MulAddShift {
+                m_minus_pow2n: ((1u128 << 34) + 5) / 7,
+                sh_post: 2
+            }
+        );
+        let p = SdivPlan::new(-16, 32).unwrap();
+        assert_eq!(p.strategy(), SdivStrategy::Shift { l: 4 });
+        assert!(p.negate());
+    }
+
+    #[test]
+    fn signed_min_divisor_fits() {
+        // i32::MIN at width 32: |d| = 2^31 is a pow2 at the signed
+        // boundary.
+        let p = SdivPlan::new(i32::MIN as i128, 32).unwrap();
+        assert_eq!(p.strategy(), SdivStrategy::Shift { l: 31 });
+        assert!(p.negate());
+    }
+
+    #[test]
+    fn floor_paper_example() {
+        let p = FloorPlan::new(10, 32).unwrap();
+        assert_eq!(
+            p.strategy(),
+            FloorStrategy::MulShift {
+                m: ((1u128 << 33) + 3) / 5,
+                sh_post: 2
+            }
+        );
+        let p = FloorPlan::new(-10, 32).unwrap();
+        match p.strategy() {
+            FloorStrategy::NegativeTrunc { trunc } => {
+                assert_eq!(trunc, SdivPlan::new(-10, 32).unwrap());
+            }
+            s => panic!("unexpected {s:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_paper_example() {
+        // Inverse of 25 modulo 2^32 is (19*2^32 + 1)/25; d = 100 has e=2.
+        let p = ExactPlan::new_signed(100, 32).unwrap();
+        assert_eq!(p.pre_shift(), 2);
+        assert_eq!(p.inverse(), (19u128 * (1 << 32) + 1) / 25);
+        assert!(!p.is_pow2());
+        let p = ExactPlan::new_unsigned(1 << 20, 64).unwrap();
+        assert!(p.is_pow2());
+        assert_eq!(p.pre_shift(), 20);
+        assert_eq!(p.inverse(), 1);
+    }
+
+    #[test]
+    fn width_8_matches_u8_reference_exhaustively() {
+        // The width-erased selection must agree with the typed Fig 6.2
+        // loop for every divisor at width 8 (the typed path is separately
+        // verified against exhaustive evaluation in the divisor tests).
+        for d in 1u128..=255 {
+            let p = UdivPlan::new(d, 8).unwrap();
+            let c = choose_multiplier::<u8>(d as u8, 8);
+            match p.strategy() {
+                UdivStrategy::Identity => assert_eq!(d, 1),
+                UdivStrategy::Shift { sh } => assert_eq!(1u128 << sh, d),
+                UdivStrategy::MulShift { m, sh_pre, sh_post } => {
+                    if sh_pre == 0 {
+                        assert_eq!(m, c.multiplier.to_u128(), "d={d}");
+                        assert_eq!(sh_post, c.sh_post, "d={d}");
+                    }
+                }
+                UdivStrategy::MulAddShift {
+                    m_minus_pow2n,
+                    sh_post,
+                } => {
+                    assert_eq!(m_minus_pow2n, c.multiplier.to_u128() - (1 << 8), "d={d}");
+                    assert_eq!(sh_post, c.sh_post, "d={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_names_are_stable() {
+        assert_eq!(
+            DivPlan::from(UdivPlan::new(10, 32).unwrap()).strategy_name(),
+            "mul_shift"
+        );
+        assert_eq!(
+            DivPlan::from(UdivPlan::new(8, 32).unwrap()).strategy_name(),
+            "shift"
+        );
+        assert_eq!(
+            DivPlan::from(ExactPlan::new_unsigned(12, 32).unwrap()).strategy_name(),
+            "exact_inverse"
+        );
+    }
+
+    #[test]
+    fn display_renders() {
+        let p = DivPlan::from(UdivPlan::new(10, 32).unwrap());
+        let s = format!("{p}");
+        assert!(s.contains("udiv/32"), "{s}");
+        assert!(s.contains("mul-shift"), "{s}");
+    }
+
+    #[test]
+    fn zero_divisors_rejected() {
+        assert!(UdivPlan::new(0, 32).is_err());
+        assert!(SdivPlan::new(0, 32).is_err());
+        assert!(FloorPlan::new(0, 32).is_err());
+        assert!(ExactPlan::new_unsigned(0, 32).is_err());
+        assert!(ExactPlan::new_signed(0, 32).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "plan width")]
+    fn unsupported_width_panics() {
+        let _ = UdivPlan::new(3, 100);
+    }
+}

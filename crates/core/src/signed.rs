@@ -15,9 +15,8 @@
 use core::fmt;
 use core::ops::{Div, Rem};
 
-
-use crate::choose_multiplier::choose_multiplier;
 use crate::error::DivisorError;
+use crate::plan::{SdivPlan, SdivStrategy};
 use magicdiv_dword::Limb;
 
 use crate::word::SWord;
@@ -86,41 +85,36 @@ pub struct SignedDivisor<S> {
 impl<S: SWord> SignedDivisor<S> {
     /// Precomputes the reciprocal constants for dividing by `d`.
     ///
+    /// Strategy selection is delegated to the shared planning layer
+    /// ([`SdivPlan`], Fig 5.2); the constants are cached here at the
+    /// native word type.
+    ///
     /// # Errors
     ///
     /// Returns [`DivisorError::Zero`] when `d == 0`.
     pub fn new(d: S) -> Result<Self, DivisorError> {
-        if d == S::ZERO {
-            return Err(DivisorError::Zero);
-        }
-        let abs_d = d.unsigned_abs();
-        let negate = d.is_negative();
-        let variant = if abs_d == <S::Unsigned as Limb>::ONE {
-            Variant::Identity
-        } else if abs_d.is_power_of_two() {
-            Variant::Shift {
-                l: abs_d.floor_log2(),
-            }
-        } else {
-            let chosen = choose_multiplier(abs_d, S::BITS - 1);
-            debug_assert!(
-                chosen.multiplier_fits_word(),
-                "prec = N-1 guarantees m < 2^N for non-power-of-two d"
-            );
-            let m_bits = chosen.multiplier.lo();
-            if m_bits.msb() {
-                Variant::MulAddShift {
-                    m_minus_pow2n: S::from_unsigned(m_bits),
-                    sh_post: chosen.sh_post,
-                }
-            } else {
-                Variant::MulShift {
-                    m: S::from_unsigned(m_bits),
-                    sh_post: chosen.sh_post,
-                }
-            }
+        let plan = SdivPlan::new(d.to_i128(), S::BITS)?;
+        let from_bits = |m: u128| S::from_unsigned(<S::Unsigned as Limb>::from_u128_truncate(m));
+        let variant = match plan.strategy() {
+            SdivStrategy::Identity => Variant::Identity,
+            SdivStrategy::Shift { l } => Variant::Shift { l },
+            SdivStrategy::MulShift { m, sh_post } => Variant::MulShift {
+                m: from_bits(m),
+                sh_post,
+            },
+            SdivStrategy::MulAddShift {
+                m_minus_pow2n,
+                sh_post,
+            } => Variant::MulAddShift {
+                m_minus_pow2n: from_bits(m_minus_pow2n),
+                sh_post,
+            },
         };
-        Ok(SignedDivisor { d, negate, variant })
+        Ok(SignedDivisor {
+            d,
+            negate: plan.negate(),
+            variant,
+        })
     }
 
     /// The divisor this reciprocal was computed for.
@@ -145,6 +139,33 @@ impl<S: SWord> SignedDivisor<S> {
         }
     }
 
+    /// The width-erased [`SdivPlan`] this divisor caches — the same plan
+    /// `magicdiv-codegen` lowers to IR and `magicdiv-simcpu` prices.
+    pub fn plan(&self) -> SdivPlan {
+        let bits = |m: S| m.as_unsigned().to_u128();
+        let strategy = match self.variant {
+            Variant::Identity => SdivStrategy::Identity,
+            Variant::Shift { l } => SdivStrategy::Shift { l },
+            Variant::MulShift { m, sh_post } => SdivStrategy::MulShift {
+                m: bits(m),
+                sh_post,
+            },
+            Variant::MulAddShift {
+                m_minus_pow2n,
+                sh_post,
+            } => SdivStrategy::MulAddShift {
+                m_minus_pow2n: bits(m_minus_pow2n),
+                sh_post,
+            },
+        };
+        SdivPlan {
+            width: S::BITS,
+            d: self.d.to_i128(),
+            negate: self.negate,
+            strategy,
+        }
+    }
+
     /// Computes `TRUNC(n / d)` without a division instruction.
     ///
     /// Wraps on the single overflowing input pair (`n == MIN`, `d == -1`),
@@ -157,10 +178,7 @@ impl<S: SWord> SignedDivisor<S> {
                 // q = SRA(n + SRL(SRA(n, l-1), N-l), l): adds d-1 to
                 // negative dividends so the arithmetic shift truncates
                 // toward zero.
-                let bias = n
-                    .sra_full(l - 1)
-                    .as_unsigned()
-                    .shr_full(S::BITS - l);
+                let bias = n.sra_full(l - 1).as_unsigned().shr_full(S::BITS - l);
                 n.wrapping_add(S::from_unsigned(bias)).sra_full(l)
             }
             Variant::MulShift { m, sh_post } => {
@@ -304,6 +322,34 @@ impl<S: SWord> SignedDivisor<S> {
             *v = self.divide(*v);
         }
     }
+
+    /// Batch quotient: `out[i] = TRUNC(ns[i] / d)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ns` and `out` have different lengths.
+    pub fn div_slice(&self, ns: &[S], out: &mut [S]) {
+        assert_eq!(ns.len(), out.len(), "div_slice: length mismatch");
+        for (o, &n) in out.iter_mut().zip(ns) {
+            *o = self.divide(n);
+        }
+    }
+
+    /// Batch quotient and remainder: `q[i] = TRUNC(ns[i] / d)`,
+    /// `r[i] = ns[i] rem d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the three slices have different lengths.
+    pub fn div_rem_slice(&self, ns: &[S], q: &mut [S], r: &mut [S]) {
+        assert_eq!(ns.len(), q.len(), "div_rem_slice: length mismatch");
+        assert_eq!(ns.len(), r.len(), "div_rem_slice: length mismatch");
+        for ((q, r), &n) in q.iter_mut().zip(r.iter_mut()).zip(ns) {
+            let (qq, rr) = self.div_rem(n);
+            *q = qq;
+            *r = rr;
+        }
+    }
 }
 
 impl<S: SWord> fmt::Display for SignedDivisor<S> {
@@ -384,10 +430,7 @@ impl<S: SWord> InvariantSignedDivisor<S> {
         let q0 = n.wrapping_add(self.m_prime.mulsh(n));
         let q0 = q0.sra_full(self.sh_post).wrapping_sub(n.xsign());
         // q = EOR(q0, dsign) - dsign: conditional negate.
-        S::from_unsigned(
-            q0.as_unsigned() ^ self.d_sign.as_unsigned(),
-        )
-        .wrapping_sub(self.d_sign)
+        S::from_unsigned(q0.as_unsigned() ^ self.d_sign.as_unsigned()).wrapping_sub(self.d_sign)
     }
 
     /// Computes `n rem d` via multiply-back.
@@ -490,7 +533,18 @@ mod tests {
 
     #[test]
     fn invariant_all_divisors_i16_sampled_dividends() {
-        let ns = [i16::MIN, i16::MIN + 1, -1000, -3, -1, 0, 1, 2, 999, i16::MAX];
+        let ns = [
+            i16::MIN,
+            i16::MIN + 1,
+            -1000,
+            -3,
+            -1,
+            0,
+            1,
+            2,
+            999,
+            i16::MAX,
+        ];
         for d in i16::MIN..=i16::MAX {
             if d == 0 {
                 continue;
@@ -582,11 +636,34 @@ mod tests {
 
     #[test]
     fn boundary_dividends_i32_i64_i128() {
-        let d32s = [2i32, -2, 3, -3, 7, -7, 10, -10, 100, 641, i32::MAX, i32::MIN, i32::MIN + 1];
+        let d32s = [
+            2i32,
+            -2,
+            3,
+            -3,
+            7,
+            -7,
+            10,
+            -10,
+            100,
+            641,
+            i32::MAX,
+            i32::MIN,
+            i32::MIN + 1,
+        ];
         for &d in &d32s {
             let cd = SignedDivisor::new(d).unwrap();
             let id = InvariantSignedDivisor::new(d).unwrap();
-            for n in [i32::MIN, i32::MIN + 1, -1, 0, 1, i32::MAX, i32::MAX - 1, 1 << 30] {
+            for n in [
+                i32::MIN,
+                i32::MIN + 1,
+                -1,
+                0,
+                1,
+                i32::MAX,
+                i32::MAX - 1,
+                1 << 30,
+            ] {
                 assert_eq!(cd.divide(n), n.wrapping_div(d), "n={n} d={d}");
                 assert_eq!(id.divide(n), n.wrapping_div(d), "n={n} d={d}");
             }
@@ -619,7 +696,10 @@ mod tests {
 
     #[test]
     fn zero_divisor_rejected() {
-        assert_eq!(SignedDivisor::<i32>::new(0).unwrap_err(), DivisorError::Zero);
+        assert_eq!(
+            SignedDivisor::<i32>::new(0).unwrap_err(),
+            DivisorError::Zero
+        );
         assert_eq!(
             InvariantSignedDivisor::<i32>::new(0).unwrap_err(),
             DivisorError::Zero
@@ -662,7 +742,10 @@ mod rounding_tests {
             for n in [i64::MIN + 1, -12345, -1, 0, 1, 98765, i64::MAX] {
                 let (q, r) = (cd.div_euclid(n), cd.rem_euclid(n));
                 assert_eq!(q.wrapping_mul(d).wrapping_add(r), n, "n={n} d={d}");
-                assert!((0..d.unsigned_abs() as i64).contains(&r), "n={n} d={d} r={r}");
+                assert!(
+                    (0..d.unsigned_abs() as i64).contains(&r),
+                    "n={n} d={d} r={r}"
+                );
             }
         }
     }
@@ -673,5 +756,35 @@ mod rounding_tests {
         let mut xs = [9, -9, 10, -10, 0];
         cd.divide_slice_in_place(&mut xs);
         assert_eq!(xs, [-3, 3, -3, 3, 0]);
+    }
+
+    #[test]
+    fn plan_roundtrips_selection() {
+        for d in [-16i32, -7, -3, -1, 1, 3, 7, 10, 16, 641, i32::MIN, i32::MAX] {
+            let cd = SignedDivisor::new(d).unwrap();
+            assert_eq!(cd.plan(), SdivPlan::new(d as i128, 32).unwrap(), "d={d}");
+        }
+        for d in [-10i128, 3, i128::MIN, i128::MAX] {
+            let cd = SignedDivisor::new(d).unwrap();
+            assert_eq!(cd.plan(), SdivPlan::new(d, 128).unwrap(), "d={d}");
+        }
+    }
+
+    #[test]
+    fn batch_slices_match_scalar() {
+        for d in [-100i32, -7, -1, 1, 3, 10] {
+            let cd = SignedDivisor::new(d).unwrap();
+            let ns: Vec<i32> = (-50..50).map(|i| i * 0x0123_4567).collect();
+            let mut q = vec![0i32; ns.len()];
+            let mut r = vec![0i32; ns.len()];
+            cd.div_rem_slice(&ns, &mut q, &mut r);
+            for (i, &n) in ns.iter().enumerate() {
+                assert_eq!(
+                    (q[i], r[i]),
+                    (n.wrapping_div(d), n.wrapping_rem(d)),
+                    "n={n} d={d}"
+                );
+            }
+        }
     }
 }

@@ -6,7 +6,6 @@
 //! the Fermat-factor divisors 641 and 274177, `MIN`/`MAX`, and the paper's
 //! worked examples).
 
-
 use crate::word::{SWord, UWord};
 
 /// Interesting unsigned divisors at width `T` (all nonzero).

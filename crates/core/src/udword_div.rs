@@ -184,7 +184,11 @@ mod tests {
                     continue;
                 }
                 let (q, r) = dd.div_rem(n_dw).unwrap();
-                assert_eq!((q as u16, r as u16), (n / d as u16, n % d as u16), "n={n} d={d}");
+                assert_eq!(
+                    (q as u16, r as u16),
+                    (n / d as u16, n % d as u16),
+                    "n={n} d={d}"
+                );
             }
         }
     }
@@ -197,7 +201,9 @@ mod tests {
                 for delta in 0..3u64 {
                     let n = base.wrapping_add(delta);
                     // Clamp into the valid quotient range.
-                    let n = n.min((d as u64) << 32).saturating_sub(if n > ((d as u64) << 32) { 1 } else { 0 });
+                    let n = n
+                        .min((d as u64) << 32)
+                        .saturating_sub(if n > ((d as u64) << 32) { 1 } else { 0 });
                     check_u32(n, d);
                 }
             }
@@ -213,7 +219,9 @@ mod tests {
         // Deterministic LCG; no external RNG needed here.
         let mut state = 0x9e3779b97f4a7c15u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         for _ in 0..20_000 {

@@ -18,8 +18,8 @@ use core::ops::{Div, Rem};
 
 use magicdiv_dword::DWord;
 
-use crate::choose_multiplier::choose_multiplier;
 use crate::error::DivisorError;
+use crate::plan::{UdivPlan, UdivStrategy};
 use crate::word::UWord;
 
 /// The code shape Figure 4.2 selects for a given constant divisor.
@@ -87,58 +87,30 @@ pub struct UnsignedDivisor<T> {
 impl<T: UWord> UnsignedDivisor<T> {
     /// Precomputes the reciprocal constants for dividing by `d`.
     ///
+    /// Strategy selection is delegated to the shared planning layer
+    /// ([`UdivPlan`], Fig 4.2); the constants are cached here at the
+    /// native word type.
+    ///
     /// # Errors
     ///
     /// Returns [`DivisorError::Zero`] when `d == 0`.
     pub fn new(d: T) -> Result<Self, DivisorError> {
-        if d == T::ZERO {
-            return Err(DivisorError::Zero);
-        }
-        if d == T::ONE {
-            return Ok(UnsignedDivisor {
-                d,
-                variant: Variant::Identity,
-            });
-        }
-        let n = T::BITS;
-        let mut chosen = choose_multiplier(d, n);
-        let l = chosen.l;
-        if d.is_power_of_two() {
-            // Fig 4.2 checks `d == 2^l` before touching the multiplier —
-            // the shift path ignores m entirely (and for powers of two the
-            // even-divisor re-choose below would produce m == 2^N + 2^l,
-            // which never fits a word).
-            return Ok(UnsignedDivisor {
-                d,
-                variant: Variant::Shift { sh: l },
-            });
-        }
-        let mut sh_pre = 0;
-        if !chosen.multiplier_fits_word() && d & T::ONE == T::ZERO {
-            // Even divisor with an oversized multiplier: divide out the
-            // even part with a pre-shift and re-choose at reduced precision.
-            let e = d.trailing_zeros();
-            let d_odd = d.shr_full(e);
-            sh_pre = e;
-            chosen = choose_multiplier(d_odd, n - e);
-            debug_assert!(
-                chosen.multiplier_fits_word(),
-                "reduced multiplier must fit in a word"
-            );
-        }
-        let variant = if !chosen.multiplier_fits_word() {
-            debug_assert_eq!(sh_pre, 0);
-            debug_assert!(chosen.sh_post >= 1);
-            Variant::MulAddShift {
-                m_minus_pow2n: chosen.multiplier.lo(),
-                sh_post: chosen.sh_post,
-            }
-        } else {
-            Variant::MulShift {
-                m: chosen.multiplier.lo(),
+        let plan = UdivPlan::new(d.to_u128(), T::BITS)?;
+        let variant = match plan.strategy() {
+            UdivStrategy::Identity => Variant::Identity,
+            UdivStrategy::Shift { sh } => Variant::Shift { sh },
+            UdivStrategy::MulShift { m, sh_pre, sh_post } => Variant::MulShift {
+                m: T::from_u128_truncate(m),
                 sh_pre,
-                sh_post: chosen.sh_post,
-            }
+                sh_post,
+            },
+            UdivStrategy::MulAddShift {
+                m_minus_pow2n,
+                sh_post,
+            } => Variant::MulAddShift {
+                m_minus_pow2n: T::from_u128_truncate(m_minus_pow2n),
+                sh_post,
+            },
         };
         Ok(UnsignedDivisor { d, variant })
     }
@@ -164,6 +136,32 @@ impl<T: UWord> UnsignedDivisor<T> {
                 m_minus_pow2n,
                 sh_post,
             },
+        }
+    }
+
+    /// The width-erased [`UdivPlan`] this divisor caches — the same plan
+    /// `magicdiv-codegen` lowers to IR and `magicdiv-simcpu` prices.
+    pub fn plan(&self) -> UdivPlan {
+        let strategy = match self.variant {
+            Variant::Identity => UdivStrategy::Identity,
+            Variant::Shift { sh } => UdivStrategy::Shift { sh },
+            Variant::MulShift { m, sh_pre, sh_post } => UdivStrategy::MulShift {
+                m: m.to_u128(),
+                sh_pre,
+                sh_post,
+            },
+            Variant::MulAddShift {
+                m_minus_pow2n,
+                sh_post,
+            } => UdivStrategy::MulAddShift {
+                m_minus_pow2n: m_minus_pow2n.to_u128(),
+                sh_post,
+            },
+        };
+        UdivPlan {
+            width: T::BITS,
+            d: self.d.to_u128(),
+            strategy,
         }
     }
 
@@ -244,6 +242,69 @@ impl<T: UWord> UnsignedDivisor<T> {
     pub fn divide_slice_in_place(&self, values: &mut [T]) {
         for v in values {
             *v = self.divide(*v);
+        }
+    }
+
+    /// Batch quotient: `out[i] = ns[i] / d`. The strategy dispatch is
+    /// hoisted out of the loop, so each element costs only the selected
+    /// straight-line sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ns` and `out` have different lengths.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use magicdiv::UnsignedDivisor;
+    ///
+    /// let by7 = UnsignedDivisor::<u64>::new(7)?;
+    /// let ns = [0u64, 6, 7, 8, 700];
+    /// let mut qs = [0u64; 5];
+    /// by7.div_slice(&ns, &mut qs);
+    /// assert_eq!(qs, [0, 0, 1, 1, 100]);
+    /// # Ok::<(), magicdiv::DivisorError>(())
+    /// ```
+    pub fn div_slice(&self, ns: &[T], out: &mut [T]) {
+        assert_eq!(ns.len(), out.len(), "div_slice: length mismatch");
+        match self.variant {
+            Variant::Identity => out.copy_from_slice(ns),
+            Variant::Shift { sh } => {
+                for (o, &n) in out.iter_mut().zip(ns) {
+                    *o = n.shr_full(sh);
+                }
+            }
+            Variant::MulShift { m, sh_pre, sh_post } => {
+                for (o, &n) in out.iter_mut().zip(ns) {
+                    *o = m.muluh(n.shr_full(sh_pre)).shr_full(sh_post);
+                }
+            }
+            Variant::MulAddShift {
+                m_minus_pow2n,
+                sh_post,
+            } => {
+                for (o, &n) in out.iter_mut().zip(ns) {
+                    let t1 = m_minus_pow2n.muluh(n);
+                    *o = t1
+                        .wrapping_add(n.wrapping_sub(t1).shr_full(1))
+                        .shr_full(sh_post - 1);
+                }
+            }
+        }
+    }
+
+    /// Batch quotient and remainder: `q[i] = ns[i] / d`,
+    /// `r[i] = ns[i] % d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the three slices have different lengths.
+    pub fn div_rem_slice(&self, ns: &[T], q: &mut [T], r: &mut [T]) {
+        assert_eq!(ns.len(), q.len(), "div_rem_slice: length mismatch");
+        assert_eq!(ns.len(), r.len(), "div_rem_slice: length mismatch");
+        self.div_slice(ns, q);
+        for ((r, &n), &q) in r.iter_mut().zip(ns).zip(q.iter()) {
+            *r = n.wrapping_sub(q.wrapping_mul(self.d));
         }
     }
 }
@@ -432,7 +493,9 @@ mod tests {
 
     #[test]
     fn invariant_all_divisors_u16_sampled_dividends() {
-        let ns = [0u16, 1, 2, 9, 10, 99, 100, 255, 256, 32767, 32768, 65534, 65535];
+        let ns = [
+            0u16, 1, 2, 9, 10, 99, 100, 255, 256, 32767, 32768, 65534, 65535,
+        ];
         for d in 1u16..=u16::MAX {
             let id = InvariantUnsignedDivisor::new(d).unwrap();
             for &n in &ns {
@@ -539,7 +602,15 @@ mod tests {
         let d64s = [1u64, 3, 10, 274177, 1 << 33, u64::MAX, u64::MAX / 2];
         for &d in &d64s {
             let cd = UnsignedDivisor::new(d).unwrap();
-            for n in [0u64, 1, d, d.wrapping_add(1), u64::MAX, u64::MAX - 1, u64::MAX / 3] {
+            for n in [
+                0u64,
+                1,
+                d,
+                d.wrapping_add(1),
+                u64::MAX,
+                u64::MAX - 1,
+                u64::MAX / 3,
+            ] {
                 assert_eq!(cd.divide(n), n / d, "n={n} d={d}");
             }
         }
@@ -547,7 +618,15 @@ mod tests {
         for &d in &d128s {
             let cd = UnsignedDivisor::new(d).unwrap();
             let id = InvariantUnsignedDivisor::new(d).unwrap();
-            for n in [0u128, 1, d, d.wrapping_add(1), u128::MAX, u128::MAX - 1, u128::MAX / 3] {
+            for n in [
+                0u128,
+                1,
+                d,
+                d.wrapping_add(1),
+                u128::MAX,
+                u128::MAX - 1,
+                u128::MAX / 3,
+            ] {
                 assert_eq!(cd.divide(n), n / d, "n={n} d={d}");
                 assert_eq!(id.divide(n), n / d, "invariant n={n} d={d}");
             }
@@ -566,7 +645,10 @@ mod tests {
 
     #[test]
     fn zero_divisor_rejected() {
-        assert_eq!(UnsignedDivisor::<u32>::new(0).unwrap_err(), DivisorError::Zero);
+        assert_eq!(
+            UnsignedDivisor::<u32>::new(0).unwrap_err(),
+            DivisorError::Zero
+        );
         assert_eq!(
             InvariantUnsignedDivisor::<u32>::new(0).unwrap_err(),
             DivisorError::Zero
@@ -602,5 +684,33 @@ mod rounding_tests {
         let expect: Vec<u64> = xs.iter().map(|&x| x / 1_000_000_007).collect();
         cd.divide_slice_in_place(&mut xs);
         assert_eq!(xs, expect);
+    }
+
+    #[test]
+    fn plan_roundtrips_selection() {
+        // The cached variant must reconstruct the exact plan the shared
+        // layer would choose from scratch.
+        for d in [1u32, 2, 7, 10, 14, 16, 641, 0x8000_0000, u32::MAX] {
+            let cd = UnsignedDivisor::new(d).unwrap();
+            assert_eq!(cd.plan(), UdivPlan::new(d as u128, 32).unwrap(), "d={d}");
+        }
+        for d in [1u128, 7, 10, 1 << 100, u128::MAX] {
+            let cd = UnsignedDivisor::new(d).unwrap();
+            assert_eq!(cd.plan(), UdivPlan::new(d, 128).unwrap(), "d={d}");
+        }
+    }
+
+    #[test]
+    fn batch_slices_match_scalar() {
+        for d in [1u32, 6, 7, 10, 16, 641, u32::MAX] {
+            let cd = UnsignedDivisor::new(d).unwrap();
+            let ns: Vec<u32> = (0..200u32).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+            let mut q = vec![0u32; ns.len()];
+            let mut r = vec![0u32; ns.len()];
+            cd.div_rem_slice(&ns, &mut q, &mut r);
+            for (i, &n) in ns.iter().enumerate() {
+                assert_eq!((q[i], r[i]), (n / d, n % d), "n={n} d={d}");
+            }
+        }
     }
 }

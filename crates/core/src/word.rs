@@ -98,16 +98,7 @@ pub trait UWord: Limb {
 /// assert_eq!((-1i32).mulsh(1), -1);
 /// ```
 pub trait SWord:
-    Copy
-    + Eq
-    + Ord
-    + Hash
-    + Default
-    + fmt::Debug
-    + fmt::Display
-    + Send
-    + Sync
-    + 'static
+    Copy + Eq + Ord + Hash + Default + fmt::Debug + fmt::Display + Send + Sync + 'static
 {
     /// The unsigned word of the same width (`uword`).
     type Unsigned: UWord<Signed = Self>;
@@ -270,7 +261,17 @@ mod tests {
 
     #[test]
     fn muluh_matches_wide_oracle() {
-        let vals = [0u32, 1, 2, 9, 10, 0xffff, u32::MAX, 0x8000_0000, 0xcccc_cccd];
+        let vals = [
+            0u32,
+            1,
+            2,
+            9,
+            10,
+            0xffff,
+            u32::MAX,
+            0x8000_0000,
+            0xcccc_cccd,
+        ];
         for &a in &vals {
             for &b in &vals {
                 assert_eq!(a.muluh(b) as u64, ((a as u64) * (b as u64)) >> 32);

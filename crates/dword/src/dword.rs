@@ -222,7 +222,11 @@ impl<T: Limb> DWord<T> {
     /// sign word when `n >= 2N`.
     #[inline]
     pub fn sar_full(self, n: u32) -> Self {
-        let fill = if self.is_negative_as_sdword() { T::MAX } else { T::ZERO };
+        let fill = if self.is_negative_as_sdword() {
+            T::MAX
+        } else {
+            T::ZERO
+        };
         let bits = T::BITS;
         if n == 0 {
             self
@@ -353,7 +357,10 @@ impl<T: Limb> DWord<T> {
     /// Panics when the limb is wider than 64 bits (the value may not fit).
     #[inline]
     pub fn to_u128(self) -> u128 {
-        assert!(T::BITS <= 64, "DWord::to_u128 requires limbs of at most 64 bits");
+        assert!(
+            T::BITS <= 64,
+            "DWord::to_u128 requires limbs of at most 64 bits"
+        );
         (self.hi.to_u128() << T::BITS) | self.lo.to_u128()
     }
 
@@ -432,7 +439,11 @@ impl<T: Limb> fmt::UpperHex for DWord<T> {
             let mut lo = self.lo;
             for slot in buf.iter_mut().take(nibbles) {
                 let nib = (lo.to_u128() & 0xf) as u8;
-                *slot = if nib < 10 { b'0' + nib } else { b'A' + nib - 10 };
+                *slot = if nib < 10 {
+                    b'0' + nib
+                } else {
+                    b'A' + nib - 10
+                };
                 lo = lo.shr_full(4);
             }
             for i in (0..nibbles).rev() {
@@ -497,7 +508,11 @@ impl<T: Limb> fmt::LowerHex for DWord<T> {
             let mut lo = self.lo;
             for slot in buf.iter_mut().take(nibbles) {
                 let nib = (lo.to_u128() & 0xf) as u8;
-                *slot = if nib < 10 { b'0' + nib } else { b'a' + nib - 10 };
+                *slot = if nib < 10 {
+                    b'0' + nib
+                } else {
+                    b'a' + nib - 10
+                };
                 lo = lo.shr_full(4);
             }
             for i in (0..nibbles).rev() {
@@ -534,7 +549,10 @@ mod tests {
         let (d, b) = dw(0).overflowing_sub(dw(1));
         assert!(b);
         assert_eq!(d.to_u128(), u64::MAX as u128);
-        assert_eq!(dw(5).wrapping_neg().to_u128(), (5u64.wrapping_neg()) as u128);
+        assert_eq!(
+            dw(5).wrapping_neg().to_u128(),
+            (5u64.wrapping_neg()) as u128
+        );
     }
 
     #[test]
@@ -547,7 +565,14 @@ mod tests {
 
     #[test]
     fn shifts_match_u64_oracle() {
-        let vals = [0u64, 1, 0xffff_ffff, u64::MAX, 0x8000_0000_0000_0000, 0x1234_5678_9abc_def0];
+        let vals = [
+            0u64,
+            1,
+            0xffff_ffff,
+            u64::MAX,
+            0x8000_0000_0000_0000,
+            0x1234_5678_9abc_def0,
+        ];
         for &v in &vals {
             for n in 0..=64u32 {
                 let d = dw(v as u128);
@@ -602,7 +627,19 @@ mod tests {
 
     #[test]
     fn div_rem_limb_matches_u64_oracle() {
-        let nums = [0u64, 1, 9, 10, 11, 99, 100, u32::MAX as u64, u64::MAX, 1 << 40, (1 << 40) + 123];
+        let nums = [
+            0u64,
+            1,
+            9,
+            10,
+            11,
+            99,
+            100,
+            u32::MAX as u64,
+            u64::MAX,
+            1 << 40,
+            (1 << 40) + 123,
+        ];
         let dens = [1u32, 2, 3, 7, 10, 641, 0x8000_0000, u32::MAX];
         for &n in &nums {
             for &d in &dens {

@@ -171,7 +171,12 @@ pub(crate) fn widening_mul_schoolbook<T: Limb>(a: T, b: T) -> (T, T) {
     // Accumulate the two middle partial products into the halves.
     let (mid, carry_mid) = lh.overflowing_add(hl);
     let mid_lo = mid.shl_full(h);
-    let mid_hi = mid.shr_full(h) | if carry_mid { T::ONE.shl_full(h) } else { T::ZERO };
+    let mid_hi = mid.shr_full(h)
+        | if carry_mid {
+            T::ONE.shl_full(h)
+        } else {
+            T::ZERO
+        };
 
     let (lo, carry_lo) = ll.overflowing_add(mid_lo);
     let hi = hh
@@ -366,7 +371,11 @@ mod tests {
     fn logs_match_float_reference() {
         for x in 1u32..=4096 {
             assert_eq!(x.ceil_log2(), (x as f64).log2().ceil() as u32, "ceil {x}");
-            assert_eq!(x.floor_log2(), (x as f64).log2().floor() as u32, "floor {x}");
+            assert_eq!(
+                x.floor_log2(),
+                (x as f64).log2().floor() as u32,
+                "floor {x}"
+            );
         }
         assert_eq!(u32::MAX.ceil_log2(), 32);
         assert_eq!(u32::MAX.floor_log2(), 31);
@@ -431,7 +440,11 @@ mod tests {
         ];
         for &a in &samples {
             for &b in &samples {
-                assert_eq!(Limb::widening_mul(a, b), widening_mul_schoolbook(a, b), "{a} * {b}");
+                assert_eq!(
+                    Limb::widening_mul(a, b),
+                    widening_mul_schoolbook(a, b),
+                    "{a} * {b}"
+                );
             }
         }
     }

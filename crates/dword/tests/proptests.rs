@@ -1,65 +1,126 @@
-//! Property tests for the doubleword substrate, with special attention to
-//! `u128` limbs — the configuration with no native oracle, checked through
-//! algebraic laws instead.
+//! Randomized tests for the doubleword substrate (deterministic
+//! splitmix64 driver — no external crates), with special attention to
+//! `u128` limbs — the configuration with no native oracle, checked
+//! through algebraic laws instead.
 
 use magicdiv_dword::DWord;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+const CASES: usize = 512;
 
-    // ---- u64 limbs: u128 oracle available ----
+/// splitmix64 — the same deterministic generator the verifier uses.
+struct Rng(u64);
 
-    #[test]
-    fn mul_limb_matches_oracle(a in any::<u128>(), m in any::<u64>()) {
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Sometimes an edge case (small, power-of-two-ish, near MAX),
+    /// otherwise uniform.
+    fn edgy_u128(&mut self) -> u128 {
+        match self.next_u64() % 8 {
+            0 => self.next_u64() as u128 % 16,
+            1 => {
+                let k = self.next_u64() % 128;
+                let p = 1u128 << k;
+                [p, p.wrapping_sub(1), p.wrapping_add(1)][(self.next_u64() % 3) as usize]
+            }
+            2 => u128::MAX - self.next_u64() as u128 % 16,
+            _ => self.next_u128(),
+        }
+    }
+}
+
+// ---- u64 limbs: u128 oracle available ----
+
+#[test]
+fn mul_limb_matches_oracle() {
+    let mut rng = Rng::new(0x11);
+    for _ in 0..CASES {
+        let a = rng.edgy_u128();
+        let m = rng.next_u64();
         let (lo, carry) = DWord::<u64>::from_u128_truncate(a).mul_limb(m);
         // a*m as a 192-bit value: low 128 bits + carry * 2^128.
         let expect_lo = a.wrapping_mul(m as u128);
-        prop_assert_eq!(lo.to_u128(), expect_lo);
+        assert_eq!(lo.to_u128(), expect_lo, "a={a} m={m}");
         // carry = floor(a*m / 2^128), computed via the high halves.
         let ah = a >> 64;
         let al = a & u64::MAX as u128;
         let full_hi = ah * m as u128 + ((al * m as u128) >> 64);
-        prop_assert_eq!(carry as u128, full_hi >> 64);
+        assert_eq!(carry as u128, full_hi >> 64, "a={a} m={m}");
     }
+}
 
-    #[test]
-    fn full_div_rem_matches_oracle(a in any::<u128>(), d in 1u128..) {
+#[test]
+fn full_div_rem_matches_oracle() {
+    let mut rng = Rng::new(0x12);
+    for _ in 0..CASES {
+        let a = rng.edgy_u128();
+        let d = rng.edgy_u128().max(1);
         let da = DWord::<u64>::from_u128_truncate(a);
         let dd = DWord::<u64>::from_u128_truncate(d);
         let (q, r) = da.div_rem(dd).unwrap();
-        prop_assert_eq!(q.to_u128(), a / d);
-        prop_assert_eq!(r.to_u128(), a % d);
+        assert_eq!(q.to_u128(), a / d, "a={a} d={d}");
+        assert_eq!(r.to_u128(), a % d, "a={a} d={d}");
     }
+}
 
-    #[test]
-    fn carries_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+#[test]
+fn carries_roundtrip() {
+    let mut rng = Rng::new(0x13);
+    for _ in 0..CASES {
+        let a = rng.edgy_u128();
+        let b = rng.edgy_u128();
         let da = DWord::<u64>::from_u128_truncate(a);
         let db = DWord::<u64>::from_u128_truncate(b);
         let (sum, carry) = da.overflowing_add(db);
-        prop_assert_eq!(carry, a.checked_add(b).is_none());
+        assert_eq!(carry, a.checked_add(b).is_none());
         let (back, borrow) = sum.overflowing_sub(db);
-        prop_assert_eq!(back, da);
-        prop_assert_eq!(borrow, carry); // wrapped sums borrow on the way back
+        assert_eq!(back, da);
+        assert_eq!(borrow, carry); // wrapped sums borrow on the way back
     }
+}
 
-    // ---- u128 limbs: algebraic laws only ----
+// ---- u128 limbs: algebraic laws only ----
 
-    #[test]
-    fn u128_div_rem_reconstructs(hi in any::<u128>(), lo in any::<u128>(), d in 1u128..) {
+#[test]
+fn u128_div_rem_reconstructs() {
+    let mut rng = Rng::new(0x14);
+    for _ in 0..CASES {
+        let hi = rng.edgy_u128();
+        let lo = rng.edgy_u128();
+        let d = rng.edgy_u128().max(1);
         let a = DWord::<u128>::from_parts(hi, lo);
         let (q, r) = a.div_rem_limb(d).unwrap();
-        prop_assert!(r < d);
+        assert!(r < d);
         // q*d + r == a, via mul_limb (checked not to overflow 2 limbs).
         let (prod, carry) = q.mul_limb(d);
-        prop_assert_eq!(carry, 0);
+        assert_eq!(carry, 0);
         let (sum, overflow) = prod.overflowing_add(DWord::from_lo(r));
-        prop_assert!(!overflow);
-        prop_assert_eq!(sum, a);
+        assert!(!overflow);
+        assert_eq!(sum, a);
     }
+}
 
-    #[test]
-    fn u128_widening_mul_distributes(a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
+#[test]
+fn u128_widening_mul_distributes() {
+    let mut rng = Rng::new(0x15);
+    for _ in 0..CASES {
+        let a = rng.edgy_u128();
+        let b = rng.edgy_u128();
+        let c = rng.edgy_u128();
         // (a + c) * b == a*b + c*b over the doubleword ring (wrapping at 256).
         let ab = DWord::<u128>::widening_mul(a, b);
         let cb = DWord::<u128>::widening_mul(c, b);
@@ -69,50 +130,71 @@ proptest! {
         if a.checked_add(c).is_none() {
             expect = expect.wrapping_sub(DWord::from_hi(b));
         }
-        prop_assert_eq!(acb, expect);
+        assert_eq!(acb, expect, "a={a} b={b} c={c}");
     }
+}
 
-    #[test]
-    fn u128_shifts_compose(hi in any::<u128>(), lo in any::<u128>(), s1 in 0u32..256, s2 in 0u32..256) {
+#[test]
+fn u128_shifts_compose() {
+    let mut rng = Rng::new(0x16);
+    for _ in 0..CASES {
+        let hi = rng.edgy_u128();
+        let lo = rng.edgy_u128();
+        let s1 = (rng.next_u64() % 256) as u32;
+        let s2 = (rng.next_u64() % 256) as u32;
         let a = DWord::<u128>::from_parts(hi, lo);
         let total = s1.saturating_add(s2).min(256);
         let two_step = a.shr_full(s1).shr_full(s2);
         let one_step = a.shr_full(total);
-        prop_assert_eq!(two_step, one_step);
+        assert_eq!(two_step, one_step);
         let two_step = a.shl_full(s1).shl_full(s2);
         let one_step = a.shl_full(total);
-        prop_assert_eq!(two_step, one_step);
+        assert_eq!(two_step, one_step);
     }
+}
 
-    #[test]
-    fn u128_leading_zeros_brackets_value(hi in any::<u128>(), lo in any::<u128>()) {
+#[test]
+fn u128_leading_zeros_brackets_value() {
+    let mut rng = Rng::new(0x17);
+    for _ in 0..CASES {
+        let hi = rng.edgy_u128();
+        let lo = rng.edgy_u128();
         let a = DWord::<u128>::from_parts(hi, lo);
         let lz = a.leading_zeros();
-        prop_assert!(lz <= 256);
+        assert!(lz <= 256);
         if lz < 256 {
             // Bit (255 - lz) is the highest set bit: pow2(255-lz) <= a,
             // and (for lz > 0) a < pow2(256-lz).
             let probe = DWord::<u128>::pow2(255 - lz);
-            prop_assert!(a >= probe);
+            assert!(a >= probe);
             if lz > 0 {
-                prop_assert!(a < probe.shl_full(1));
+                assert!(a < probe.shl_full(1));
             }
         } else {
-            prop_assert!(a.is_zero());
+            assert!(a.is_zero());
         }
     }
+}
 
-    #[test]
-    fn u128_ordering_consistent_with_subtraction(a1 in any::<u128>(), a0 in any::<u128>(), b1 in any::<u128>(), b0 in any::<u128>()) {
-        let a = DWord::<u128>::from_parts(a1, a0);
-        let b = DWord::<u128>::from_parts(b1, b0);
+#[test]
+fn u128_ordering_consistent_with_subtraction() {
+    let mut rng = Rng::new(0x18);
+    for _ in 0..CASES {
+        let a = DWord::<u128>::from_parts(rng.edgy_u128(), rng.edgy_u128());
+        let b = DWord::<u128>::from_parts(rng.edgy_u128(), rng.edgy_u128());
         let (_, borrow) = a.overflowing_sub(b);
-        prop_assert_eq!(borrow, a < b);
+        assert_eq!(borrow, a < b);
     }
+}
 
-    #[test]
-    fn sar_matches_shr_for_nonnegative(hi in any::<u64>(), lo in any::<u64>(), s in 0u32..128) {
+#[test]
+fn sar_matches_shr_for_nonnegative() {
+    let mut rng = Rng::new(0x19);
+    for _ in 0..CASES {
+        let hi = rng.next_u64();
+        let lo = rng.next_u64();
+        let s = (rng.next_u64() % 128) as u32;
         let a = DWord::<u64>::from_parts(hi >> 1, lo); // clear the sign bit
-        prop_assert_eq!(a.sar_full(s), a.shr_full(s));
+        assert_eq!(a.sar_full(s), a.shr_full(s));
     }
 }

@@ -93,8 +93,7 @@ impl OpCounts {
     /// Total *executed* operations — everything except constants and
     /// arguments, matching the paper's per-quotient counts.
     pub fn total_executed(&self) -> u32 {
-        self.add_sub + self.shift + self.bit_op + self.cmp + self.mul_low + self.mul_high
-            + self.div
+        self.add_sub + self.shift + self.bit_op + self.cmp + self.mul_low + self.mul_high + self.div
     }
 
     /// `true` when the program uses any multiply (either half).
@@ -202,7 +201,9 @@ mod tests {
     fn display_mentions_every_class() {
         let c = OpCounts::default();
         let s = c.to_string();
-        for key in ["mul-high", "mul-low", "add/sub", "shift", "bit-op", "cmp", "div"] {
+        for key in [
+            "mul-high", "mul-low", "add/sub", "shift", "bit-op", "cmp", "div",
+        ] {
             assert!(s.contains(key), "{s}");
         }
     }

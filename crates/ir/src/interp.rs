@@ -196,13 +196,25 @@ mod tests {
         assert_eq!(binop(8, |b, x, y| b.push(Op::Add(x, y)), 200, 100), 44);
         assert_eq!(binop(8, |b, x, y| b.push(Op::Sub(x, y)), 1, 2), 0xff);
         assert_eq!(unop(8, |b, x| b.push(Op::Neg(x)), 1), 0xff);
-        assert_eq!(binop(16, |b, x, y| b.push(Op::MulL(x, y)), 0x8000, 3), 0x8000);
+        assert_eq!(
+            binop(16, |b, x, y| b.push(Op::MulL(x, y)), 0x8000, 3),
+            0x8000
+        );
     }
 
     #[test]
     fn mul_high_halves_match_oracles() {
         for w in [8u32, 16, 32, 57, 64] {
-            let samples: Vec<u64> = vec![0, 1, 2, 3, mask(w) / 3, mask(w) >> 1, (mask(w) >> 1) + 1, mask(w)];
+            let samples: Vec<u64> = vec![
+                0,
+                1,
+                2,
+                3,
+                mask(w) / 3,
+                mask(w) >> 1,
+                (mask(w) >> 1) + 1,
+                mask(w),
+            ];
             for &a in &samples {
                 for &b in &samples {
                     let uh = binop(w, |bb, x, y| bb.push(Op::MulUH(x, y)), a, b);
@@ -267,7 +279,10 @@ mod tests {
         let p = b.finish([s]);
         assert_eq!(
             p.eval(&[1]),
-            Err(EvalError::ArgCount { expected: 2, got: 1 })
+            Err(EvalError::ArgCount {
+                expected: 2,
+                got: 1
+            })
         );
     }
 

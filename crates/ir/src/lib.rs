@@ -12,6 +12,8 @@
 //!   the oracle against which generated code is verified;
 //! * [`optimize`] — constant folding, algebraic simplification, CSE and
 //!   DCE (the "obvious simplifications" §3 asks of the optimizer);
+//! * [`lower_udiv`] and friends — lower a [`magicdiv::plan`] division
+//!   plan to the matching Table 3.1 sequence;
 //! * [`OpCounts`] — per-class operation counts, matching how the paper
 //!   reports code-sequence costs.
 //!
@@ -40,13 +42,17 @@
 mod cost;
 mod interp;
 mod legalize;
+mod lower;
 mod opt;
-mod schedule;
 mod program;
+mod schedule;
 
 pub use crate::cost::{OpClass, OpCounts};
 pub use crate::interp::{mask, sign_extend, EvalError};
 pub use crate::legalize::{legalize, TargetCaps};
+pub use crate::lower::{
+    lower_divisibility, lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv,
+};
 pub use crate::opt::optimize;
-pub use crate::schedule::{schedule, ScheduleWeights};
 pub use crate::program::{Builder, Op, OperandIter, Program, Reg};
+pub use crate::schedule::{schedule, ScheduleWeights};

@@ -1,0 +1,290 @@
+//! Lowering division plans to IR.
+//!
+//! The planning layer in [`magicdiv::plan`] decides *which* code shape a
+//! divisor gets (Fig 4.2, 5.2, 6.1, §9); this module decides what that
+//! shape *is* in Table 3.1 operations. Each `lower_*` function appends the
+//! straight-line sequence for one plan to a [`Builder`] and returns the
+//! result register; callers (the generators in `magicdiv-codegen`) wrap
+//! the sequence in a [`Program`](crate::Program) and run the optimizer.
+//!
+//! Because the same plan drives both the runtime divisors and this
+//! lowering, the two layers cannot disagree about strategy — the
+//! differential tests in the workspace assert exactly that.
+//!
+//! # Examples
+//!
+//! ```
+//! use magicdiv::plan::UdivPlan;
+//! use magicdiv_ir::{lower_udiv, optimize, Builder};
+//!
+//! let plan = UdivPlan::new(10, 32).unwrap();
+//! let mut b = Builder::new(32, 1);
+//! let n = b.arg(0);
+//! let q = lower_udiv(&mut b, n, &plan);
+//! let prog = optimize(&b.finish([q]));
+//! assert_eq!(prog.eval1(&[1234]).unwrap(), 123);
+//! ```
+
+use magicdiv::plan::FloorStrategy;
+use magicdiv::plan::{ExactPlan, FloorPlan, SdivPlan, SdivStrategy, UdivPlan, UdivStrategy};
+
+use crate::program::{Builder, Op, Reg};
+
+fn check_width(b: &Builder, plan_width: u32) {
+    assert_eq!(
+        b.width(),
+        plan_width,
+        "plan width does not match builder width"
+    );
+}
+
+/// Lowers a Figure 4.2 unsigned-division plan: `q = ⌊n / d⌋`.
+pub fn lower_udiv(b: &mut Builder, n: Reg, plan: &UdivPlan) -> Reg {
+    check_width(b, plan.width());
+    match plan.strategy() {
+        UdivStrategy::Identity => n,
+        UdivStrategy::Shift { sh } => b.push(Op::Srl(n, sh)),
+        UdivStrategy::MulShift { m, sh_pre, sh_post } => {
+            // q = SRL(MULUH(m, SRL(n, sh_pre)), sh_post)
+            let mreg = b.constant(m as u64);
+            let n_pre = if sh_pre > 0 {
+                b.push(Op::Srl(n, sh_pre))
+            } else {
+                n
+            };
+            let hi = b.push(Op::MulUH(mreg, n_pre));
+            if sh_post > 0 {
+                b.push(Op::Srl(hi, sh_post))
+            } else {
+                hi
+            }
+        }
+        UdivStrategy::MulAddShift {
+            m_minus_pow2n,
+            sh_post,
+        } => {
+            // Fig 4.1 long sequence: t1 = MULUH(m - 2^N, n);
+            // q = SRL(t1 + SRL(n - t1, 1), sh_post - 1).
+            let mreg = b.constant(m_minus_pow2n as u64);
+            let t1 = b.push(Op::MulUH(mreg, n));
+            let diff = b.push(Op::Sub(n, t1));
+            let half = b.push(Op::Srl(diff, 1));
+            let sum = b.push(Op::Add(t1, half));
+            if sh_post > 1 {
+                b.push(Op::Srl(sum, sh_post - 1))
+            } else {
+                sum
+            }
+        }
+    }
+}
+
+/// Lowers a Figure 5.2 signed-division plan: `q = TRUNC(n / d)`.
+pub fn lower_sdiv(b: &mut Builder, n: Reg, plan: &SdivPlan) -> Reg {
+    check_width(b, plan.width());
+    let width = b.width();
+    let q = match plan.strategy() {
+        SdivStrategy::Identity => n,
+        SdivStrategy::Shift { l } => {
+            // q = SRA(n + SRL(SRA(n, l-1), N-l), l)
+            let sra = b.push(Op::Sra(n, l - 1));
+            let srl = b.push(Op::Srl(sra, width - l));
+            let biased = b.push(Op::Add(n, srl));
+            b.push(Op::Sra(biased, l))
+        }
+        SdivStrategy::MulShift { m, sh_post } => {
+            let mreg = b.constant(m as u64);
+            let q0 = b.push(Op::MulSH(mreg, n));
+            let shifted = if sh_post > 0 {
+                b.push(Op::Sra(q0, sh_post))
+            } else {
+                q0
+            };
+            let sign = b.push(Op::Xsign(n));
+            b.push(Op::Sub(shifted, sign))
+        }
+        SdivStrategy::MulAddShift {
+            m_minus_pow2n,
+            sh_post,
+        } => {
+            // m >= 2^(N-1): q0 = n + MULSH(m - 2^N, n)  (m - 2^N < 0)
+            let mreg = b.constant(m_minus_pow2n as u64);
+            let hi = b.push(Op::MulSH(mreg, n));
+            let q0 = b.push(Op::Add(n, hi));
+            let shifted = if sh_post > 0 {
+                b.push(Op::Sra(q0, sh_post))
+            } else {
+                q0
+            };
+            let sign = b.push(Op::Xsign(n));
+            b.push(Op::Sub(shifted, sign))
+        }
+    };
+    if plan.negate() {
+        b.push(Op::Neg(q))
+    } else {
+        q
+    }
+}
+
+/// Lowers a Figure 6.1 floor-division plan: `q = ⌊n / d⌋` (signed).
+pub fn lower_floor_div(b: &mut Builder, n: Reg, plan: &FloorPlan) -> Reg {
+    check_width(b, plan.width());
+    match plan.strategy() {
+        FloorStrategy::Identity => n,
+        FloorStrategy::Shift { l } => b.push(Op::Sra(n, l)),
+        FloorStrategy::MulShift { m, sh_post } => {
+            // Fig 6.1: nsign = XSIGN(n); q0 = MULUH(m, EOR(nsign, n));
+            // q = EOR(nsign, SRL(q0, sh_post)).
+            let nsign = b.push(Op::Xsign(n));
+            let folded = b.push(Op::Eor(nsign, n));
+            let mreg = b.constant(m as u64);
+            let q0 = b.push(Op::MulUH(mreg, folded));
+            let shifted = if sh_post > 0 {
+                b.push(Op::Srl(q0, sh_post))
+            } else {
+                q0
+            };
+            b.push(Op::Eor(nsign, shifted))
+        }
+        FloorStrategy::NegativeTrunc { trunc } => {
+            // trunc quotient, then branch-free correction:
+            // q_floor = q_trunc - (r > 0)   [for d < 0, a nonzero
+            // remainder has the dividend's sign].
+            let qt = lower_sdiv(b, n, &trunc);
+            let dreg = b.constant(plan.divisor() as u64);
+            let prod = b.push(Op::MulL(qt, dreg));
+            let r = b.push(Op::Sub(n, prod));
+            let zero = b.constant(0);
+            let rpos = b.push(Op::SltS(zero, r));
+            b.push(Op::Sub(qt, rpos))
+        }
+    }
+}
+
+/// Lowers a §9 exact-division plan (`n` known divisible by `d`): one
+/// `MULL` and one shift, plus a negation for signed `d < 0`.
+pub fn lower_exact_div(b: &mut Builder, n: Reg, plan: &ExactPlan) -> Reg {
+    check_width(b, plan.width());
+    let q0 = if plan.is_pow2() {
+        n
+    } else {
+        let inv = b.constant(plan.inverse() as u64);
+        b.push(Op::MulL(inv, n))
+    };
+    let e = plan.pre_shift();
+    let q1 = if e == 0 {
+        q0
+    } else if plan.is_signed() {
+        b.push(Op::Sra(q0, e))
+    } else {
+        b.push(Op::Srl(q0, e))
+    };
+    if plan.negate() {
+        b.push(Op::Neg(q1))
+    } else {
+        q1
+    }
+}
+
+/// Lowers the §9 divisibility test for an unsigned plan: the result
+/// register holds 1 when `d | n`, else 0, with no remainder computed.
+pub fn lower_divisibility(b: &mut Builder, n: Reg, plan: &ExactPlan) -> Reg {
+    check_width(b, plan.width());
+    assert!(!plan.is_signed(), "divisibility lowering is unsigned");
+    let width = b.width();
+    let e = plan.pre_shift();
+    if plan.is_pow2() {
+        // Power of two: test the low bits.
+        let m = b.constant(plan.low_mask() as u64);
+        let low = b.push(Op::And(n, m));
+        let zero = b.constant(0);
+        // low == 0  <=>  !(0 < low)
+        let ne = b.push(Op::SltU(zero, low));
+        let one = b.constant(1);
+        b.push(Op::Sub(one, ne))
+    } else {
+        let inv = b.constant(plan.inverse() as u64);
+        let q0 = b.push(Op::MulL(inv, n));
+        // Rotate right by e: OR(SRL(q0, e), SLL(q0, N - e)).
+        let rotated = if e == 0 {
+            q0
+        } else {
+            let lo = b.push(Op::Srl(q0, e));
+            let hi = b.push(Op::Sll(q0, width - e));
+            b.push(Op::Or(lo, hi))
+        };
+        let qmax = b.constant(plan.qmax() as u64);
+        // divisible <=> rotated <= qmax <=> !(qmax < rotated)
+        let gt = b.push(Op::SltU(qmax, rotated));
+        let one = b.constant(1);
+        b.push(Op::Sub(one, gt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::mask;
+    use crate::opt::optimize;
+
+    fn udiv_prog(d: u64, width: u32) -> crate::program::Program {
+        let plan = UdivPlan::new(d as u128, width).unwrap();
+        let mut b = Builder::new(width, 1);
+        let n = b.arg(0);
+        let q = lower_udiv(&mut b, n, &plan);
+        optimize(&b.finish([q]))
+    }
+
+    #[test]
+    fn lowered_udiv_exhaustive_width8() {
+        for d in 1u64..=255 {
+            let prog = udiv_prog(d, 8);
+            for n in 0u64..=255 {
+                assert_eq!(prog.eval1(&[n]).unwrap(), n / d, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn lowered_sdiv_spot_checks() {
+        for d in [-10i64, -3, -1, 1, 3, 7, 10, 16] {
+            let plan = SdivPlan::new(d as i128, 32).unwrap();
+            let mut b = Builder::new(32, 1);
+            let n = b.arg(0);
+            let q = lower_sdiv(&mut b, n, &plan);
+            let prog = optimize(&b.finish([q]));
+            let m = mask(32);
+            for n in [0i64, 1, -1, 12345, -12345, i32::MAX as i64, i32::MIN as i64] {
+                let expect = (n as i32).wrapping_div(d as i32) as u64 & m;
+                assert_eq!(prog.eval1(&[n as u64 & m]).unwrap(), expect, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn lowered_exact_and_divisibility() {
+        let plan = ExactPlan::new_unsigned(12, 32).unwrap();
+        let mut b = Builder::new(32, 1);
+        let n = b.arg(0);
+        let q = lower_exact_div(&mut b, n, &plan);
+        let prog = optimize(&b.finish([q]));
+        assert_eq!(prog.eval1(&[144]).unwrap(), 12);
+
+        let mut b = Builder::new(32, 1);
+        let n = b.arg(0);
+        let ok = lower_divisibility(&mut b, n, &plan);
+        let prog = optimize(&b.finish([ok]));
+        assert_eq!(prog.eval1(&[144]).unwrap(), 1);
+        assert_eq!(prog.eval1(&[145]).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan width")]
+    fn width_mismatch_panics() {
+        let plan = UdivPlan::new(10, 32).unwrap();
+        let mut b = Builder::new(16, 1);
+        let n = b.arg(0);
+        let _ = lower_udiv(&mut b, n, &plan);
+    }
+}

@@ -248,8 +248,12 @@ fn simplify_op(op: Op, w: u32, m: u64, const_of: &dyn Fn(Reg) -> Option<u64>) ->
             .unwrap_or(Rewrite::Emit(op)),
         // Hardware division folds only when the divisor constant is
         // nonzero (folding a trap away would change semantics).
-        DivU(a, b) => fold2(a, b, &|x, y| x.checked_div(y)).map(|v| Rewrite::Emit(Const(v))).unwrap_or(Rewrite::Emit(op)),
-        RemU(a, b) => fold2(a, b, &|x, y| x.checked_rem(y)).map(|v| Rewrite::Emit(Const(v))).unwrap_or(Rewrite::Emit(op)),
+        DivU(a, b) => fold2(a, b, &|x, y| x.checked_div(y))
+            .map(|v| Rewrite::Emit(Const(v)))
+            .unwrap_or(Rewrite::Emit(op)),
+        RemU(a, b) => fold2(a, b, &|x, y| x.checked_rem(y))
+            .map(|v| Rewrite::Emit(Const(v)))
+            .unwrap_or(Rewrite::Emit(op)),
         DivS(a, b) => fold2(a, b, &|x, y| {
             let (x, y) = (sign_extend(x, w), sign_extend(y, w));
             (y != 0).then(|| x.wrapping_div(y) as u64)
@@ -355,7 +359,11 @@ mod tests {
         let prog = b.finish([prod]);
         let opt = optimize(&prog);
         // add appears once, not twice.
-        let adds = opt.insts().iter().filter(|o| matches!(o, Op::Add(..))).count();
+        let adds = opt
+            .insts()
+            .iter()
+            .filter(|o| matches!(o, Op::Add(..)))
+            .count();
         assert_eq!(adds, 1);
     }
 

@@ -95,9 +95,20 @@ impl Op {
         let (a, b) = match *self {
             Arg(_) | Const(_) => (None, None),
             Neg(a) | Not(a) | Xsign(a) | Sll(a, _) | Srl(a, _) | Sra(a, _) => (Some(a), None),
-            Add(a, b) | Sub(a, b) | MulL(a, b) | MulUH(a, b) | MulSH(a, b) | And(a, b)
-            | Or(a, b) | Eor(a, b) | SltS(a, b) | SltU(a, b) | DivU(a, b) | DivS(a, b)
-            | RemU(a, b) | RemS(a, b) => (Some(a), Some(b)),
+            Add(a, b)
+            | Sub(a, b)
+            | MulL(a, b)
+            | MulUH(a, b)
+            | MulSH(a, b)
+            | And(a, b)
+            | Or(a, b)
+            | Eor(a, b)
+            | SltS(a, b)
+            | SltU(a, b)
+            | DivU(a, b)
+            | DivS(a, b)
+            | RemU(a, b)
+            | RemS(a, b) => (Some(a), Some(b)),
         };
         OperandIter { a, b }
     }
@@ -278,7 +289,13 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "fn({} args) -> {} values, N={}:", self.n_args, self.results.len(), self.width)?;
+        writeln!(
+            f,
+            "fn({} args) -> {} values, N={}:",
+            self.n_args,
+            self.results.len(),
+            self.width
+        )?;
         for (i, op) in self.insts.iter().enumerate() {
             write!(f, "  v{i} = {}", op.mnemonic())?;
             match op {
@@ -363,7 +380,11 @@ impl Builder {
             );
         }
         if let Op::Sll(_, n) | Op::Srl(_, n) | Op::Sra(_, n) = op {
-            assert!(n < self.width, "shift count {n} out of range for N={}", self.width);
+            assert!(
+                n < self.width,
+                "shift count {n} out of range for N={}",
+                self.width
+            );
         }
         // Stored constants are always masked to the word width — the
         // interpreter and optimizer rely on this invariant.
@@ -388,7 +409,10 @@ impl Builder {
     /// Panics when a result register is undefined or no results are given.
     pub fn finish(self, results: impl IntoIterator<Item = Reg>) -> Program {
         let results: Vec<Reg> = results.into_iter().collect();
-        assert!(!results.is_empty(), "a program must return at least one value");
+        assert!(
+            !results.is_empty(),
+            "a program must return at least one value"
+        );
         for r in &results {
             assert!((r.0 as usize) < self.insts.len(), "result {r} not defined");
         }

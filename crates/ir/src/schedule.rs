@@ -201,7 +201,10 @@ mod tests {
         let p = b.finish([out]);
         let s = schedule(&p, ScheduleWeights::default());
         let insts = s.insts();
-        let mul_at = insts.iter().position(|o| matches!(o, Op::MulUH(..))).unwrap();
+        let mul_at = insts
+            .iter()
+            .position(|o| matches!(o, Op::MulUH(..)))
+            .unwrap();
         // The instruction right after the multiply is independent of it.
         let next = &insts[mul_at + 1];
         assert!(
@@ -219,10 +222,7 @@ mod tests {
         let s = schedule(&p, ScheduleWeights::default());
         assert_eq!(s.arg_count(), 3);
         assert_eq!(s.results().len(), 2);
-        assert_eq!(
-            s.eval(&[5, 6, 100]).unwrap(),
-            p.eval(&[5, 6, 100]).unwrap()
-        );
+        assert_eq!(s.eval(&[5, 6, 100]).unwrap(), p.eval(&[5, 6, 100]).unwrap());
     }
 
     #[test]

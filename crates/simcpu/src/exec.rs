@@ -15,7 +15,11 @@
 //!   combined `divul`-style instructions (MC68020) that produce both
 //!   results with one divide.
 
-use magicdiv_ir::{Op, OpClass, Program};
+use magicdiv::plan::DivPlan;
+use magicdiv_ir::{
+    lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv, optimize, Builder, Op, OpClass,
+    Program,
+};
 
 use crate::models::TimingModel;
 
@@ -51,6 +55,47 @@ pub fn cycles_for_program(prog: &Program, model: &TimingModel) -> u64 {
         .map(|t| t.complete)
         .max()
         .unwrap_or(0)
+}
+
+/// Prices a division *plan* in cycles under `model`: the plan is lowered
+/// to its optimized IR sequence (exactly what `magicdiv-codegen` emits
+/// for the same divisor) and priced with [`cycles_for_program`].
+///
+/// This is the estimator's entry point for "what would dividing by this
+/// constant cost on machine X?" without the caller assembling a program.
+///
+/// # Panics
+///
+/// Panics when the plan's width exceeds 64 (the IR's limit — 128-bit
+/// plans have no Table 3.1 encoding to price).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::plan::{DivPlan, UdivPlan};
+/// use magicdiv_simcpu::{cycles_for_plan, find_model};
+///
+/// let pentium = find_model("pentium").unwrap();
+/// let by_10 = DivPlan::from(UdivPlan::new(10, 32).unwrap());
+/// let by_1024 = DivPlan::from(UdivPlan::new(1024, 32).unwrap());
+/// assert!(cycles_for_plan(&by_1024, &pentium) <= cycles_for_plan(&by_10, &pentium));
+/// ```
+pub fn cycles_for_plan(plan: &DivPlan, model: &TimingModel) -> u64 {
+    let width = plan.width();
+    assert!(
+        width <= 64,
+        "cannot price a {width}-bit plan (IR is 64-bit)"
+    );
+    let mut b = Builder::new(width, 1);
+    let n = b.arg(0);
+    let q = match plan {
+        DivPlan::Unsigned(p) => lower_udiv(&mut b, n, p),
+        DivPlan::Signed(p) => lower_sdiv(&mut b, n, p),
+        DivPlan::Floor(p) => lower_floor_div(&mut b, n, p),
+        DivPlan::Exact(p) => lower_exact_div(&mut b, n, p),
+        _ => unreachable!("unknown plan kind"),
+    };
+    cycles_for_program(&optimize(&b.finish([q])), model)
 }
 
 /// One instruction's simulated schedule.
@@ -207,7 +252,10 @@ mod tests {
         let single = gen_unsigned_div_hw(32);
         let both = cycles_for_program(&divrem, &model);
         let one = cycles_for_program(&single, &model);
-        assert!(both <= one + model.simple_cycles as u64 + 1, "both={both} one={one}");
+        assert!(
+            both <= one + model.simple_cycles as u64 + 1,
+            "both={both} one={one}"
+        );
     }
 
     #[test]
@@ -232,6 +280,33 @@ mod tests {
         // Pipelined: ~ mul latency + 1 (adds hidden); blocked: mul + adds.
         assert!(piped <= 12 + 3, "piped={piped}");
         assert!(blocked >= 42 + 5, "blocked={blocked}");
+    }
+
+    #[test]
+    fn plan_cycles_match_generated_code() {
+        // Pricing a plan must agree with pricing the code generated for
+        // the same divisor — both go through the shared lowering.
+        let model = find_model("pentium").unwrap();
+        for d in [1u64, 2, 3, 7, 10, 641, 60000] {
+            let plan = magicdiv::plan::DivPlan::from(
+                magicdiv::plan::UdivPlan::new(d as u128, 32).unwrap(),
+            );
+            assert_eq!(
+                cycles_for_plan(&plan, &model),
+                cycles_for_program(&gen_unsigned_div(d, 32), &model),
+                "d={d}"
+            );
+        }
+        for d in [-10i64, -3, 3, 7, 16] {
+            let plan = magicdiv::plan::DivPlan::from(
+                magicdiv::plan::SdivPlan::new(d as i128, 32).unwrap(),
+            );
+            assert_eq!(
+                cycles_for_plan(&plan, &model),
+                cycles_for_program(&magicdiv_codegen::gen_signed_div(d, 32), &model),
+                "d={d}"
+            );
+        }
     }
 
     #[test]

@@ -113,11 +113,7 @@ mod tests {
             .iter()
             .map(|m| (m.name.to_string(), radix_conversion_timing(m).speedup()))
             .collect();
-        let alpha = timings
-            .iter()
-            .find(|(n, _)| n.contains("Alpha"))
-            .unwrap()
-            .1;
+        let alpha = timings.iter().find(|(n, _)| n.contains("Alpha")).unwrap().1;
         for (name, s) in &timings {
             if !name.contains("Alpha") {
                 assert!(alpha > *s, "Alpha {alpha} vs {name} {s}");

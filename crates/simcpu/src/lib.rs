@@ -33,10 +33,12 @@ mod exec;
 mod kernel;
 mod models;
 
-pub use crate::exec::{cycles_for_loop, cycles_for_program, trace_program, InstrTiming};
+pub use crate::exec::{
+    cycles_for_loop, cycles_for_plan, cycles_for_program, trace_program, InstrTiming,
+};
 pub use crate::kernel::{
     bodies_for, radix_conversion_timing, RadixTiming, FULL_32BIT_DIGITS, LOOP_OVERHEAD_OPS,
 };
 pub use crate::models::{
-    find_model, table_1_1, table_11_2_models, table_11_2_paper_numbers, DivSupport, TimingModel,
+    find_model, table_11_2_models, table_11_2_paper_numbers, table_1_1, DivSupport, TimingModel,
 };

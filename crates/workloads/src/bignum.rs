@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn powers_of_two_known_values() {
         assert_eq!(BigUint::from_pow2(0).to_decimal_magic(), "1");
-        assert_eq!(BigUint::from_pow2(64).to_decimal_magic(), "18446744073709551616");
+        assert_eq!(
+            BigUint::from_pow2(64).to_decimal_magic(),
+            "18446744073709551616"
+        );
         assert_eq!(
             BigUint::from_pow2(128).to_decimal_magic(),
             "340282366920938463463374607431768211456"

@@ -93,10 +93,10 @@ pub fn civil_from_days(days_since_epoch: i64) -> CivilDate {
     // have negative z.
     let era = dv.by146097_floor.divide(z);
     let doe = (z - era * 146_097) as u64; // day of era, 0..=146096
-    // yoe = (doe - doe/1460 + doe/36524 - doe/146096) / 365
-    let yoe = dv.by365.divide(
-        doe - dv.by1460.divide(doe) + dv.by36524.divide(doe) - dv.by146096.divide(doe),
-    );
+                                          // yoe = (doe - doe/1460 + doe/36524 - doe/146096) / 365
+    let yoe = dv
+        .by365
+        .divide(doe - dv.by1460.divide(doe) + dv.by36524.divide(doe) - dv.by146096.divide(doe));
     let y = yoe as i64 + era * 400;
     let doy = doe - (365 * yoe + dv.by4.divide(yoe) - dv.by100.divide(yoe));
     let mp = dv.by153.divide(5 * doy + 2);
@@ -160,10 +160,38 @@ mod tests {
 
     #[test]
     fn known_dates() {
-        assert_eq!(civil_from_days(0), CivilDate { year: 1970, month: 1, day: 1 });
-        assert_eq!(civil_from_days(11_016), CivilDate { year: 2000, month: 2, day: 29 });
-        assert_eq!(civil_from_days(-719_468), CivilDate { year: 0, month: 3, day: 1 });
-        assert_eq!(civil_from_days(20_270), CivilDate { year: 2025, month: 7, day: 1 });
+        assert_eq!(
+            civil_from_days(0),
+            CivilDate {
+                year: 1970,
+                month: 1,
+                day: 1
+            }
+        );
+        assert_eq!(
+            civil_from_days(11_016),
+            CivilDate {
+                year: 2000,
+                month: 2,
+                day: 29
+            }
+        );
+        assert_eq!(
+            civil_from_days(-719_468),
+            CivilDate {
+                year: 0,
+                month: 3,
+                day: 1
+            }
+        );
+        assert_eq!(
+            civil_from_days(20_270),
+            CivilDate {
+                year: 2025,
+                month: 7,
+                day: 1
+            }
+        );
     }
 
     #[test]

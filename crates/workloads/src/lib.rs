@@ -20,7 +20,9 @@
 //! * [`trip_count`] / [`count_multiples`] — loop normalization and the
 //!   §9 strength-reduced divisibility loop;
 //! * [`blend_channel`] / [`PerspectiveDivider`] — the graphics kernels
-//!   (divide by 255, perspective divide by an invariant depth).
+//!   (divide by 255, perspective divide by an invariant depth);
+//! * [`histogram_magic`] / [`split_timestamps_magic`] — batch division
+//!   over slices via the plan-backed `div_slice`/`div_rem_slice` APIs.
 
 // This repository *reimplements division*: clippy's suggestions to use the
 // standard division helpers (div_ceil, is_multiple_of, ...) would replace
@@ -29,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod bignum;
 mod calendar;
 mod graphics;
@@ -38,6 +41,10 @@ mod numtheory;
 mod pointers;
 mod radix;
 
+pub use crate::batch::{
+    batch_kernel, histogram_baseline, histogram_magic, split_timestamps_baseline,
+    split_timestamps_magic,
+};
 pub use crate::bignum::{bignum_kernel, BigUint};
 pub use crate::calendar::{
     calendar_kernel, civil_from_days, civil_from_days_baseline, hms, hms_baseline, CivilDate,
@@ -46,9 +53,7 @@ pub use crate::graphics::{
     blend_buffers, blend_channel, blend_channel_baseline, graphics_kernel, PerspectiveDivider,
 };
 pub use crate::hashing::{hashing_kernel, PrimeHashTable, Reduction};
-pub use crate::loops::{
-    count_multiples, count_multiples_baseline, trip_count, trip_count_signed,
-};
+pub use crate::loops::{count_multiples, count_multiples_baseline, trip_count, trip_count_signed};
 pub use crate::numtheory::{
     count_primes, gcd, gcd_with_per_iteration_reciprocal, mod_pow, mod_pow_baseline, TrialDivider,
 };

@@ -96,7 +96,11 @@ mod tests {
                         n += 1;
                         i += step;
                     }
-                    assert_eq!(trip_count(start, end, step).unwrap(), n, "{start}..{end} by {step}");
+                    assert_eq!(
+                        trip_count(start, end, step).unwrap(),
+                        n,
+                        "{start}..{end} by {step}"
+                    );
                 }
             }
         }

@@ -8,8 +8,8 @@
 //! §1 caveat ("ineffective when a divisor is not invariant") — and is
 //! included as the counterexample.
 
-use magicdiv::{DivisorError, DwordDivisor, InvariantUnsignedDivisor};
 use magicdiv::DWord;
+use magicdiv::{DivisorError, DwordDivisor, InvariantUnsignedDivisor};
 
 /// Modular exponentiation `base^exp mod m` with the modulus reciprocal
 /// hoisted; the 128-bit intermediate products are reduced with the §8
@@ -201,7 +201,11 @@ mod tests {
             (5, 1, 1),
         ];
         for (b, e, m) in cases {
-            assert_eq!(mod_pow(b, e, m), mod_pow_baseline(b, e, m), "{b}^{e} mod {m}");
+            assert_eq!(
+                mod_pow(b, e, m),
+                mod_pow_baseline(b, e, m),
+                "{b}^{e} mod {m}"
+            );
         }
         assert!(mod_pow(2, 2, 0).is_err());
     }
@@ -210,7 +214,9 @@ mod tests {
     fn mod_pow_randomized() {
         let mut s = 7u64;
         for _ in 0..500 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = s;
             let e = s.rotate_left(17) & 0xffff;
             let m = (s.rotate_left(33) | 1).max(2);
@@ -231,8 +237,8 @@ mod tests {
     fn primality_first_thousand() {
         let td = TrialDivider::new(40);
         let known: Vec<u64> = vec![
-            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
-            83, 89, 97,
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83,
+            89, 97,
         ];
         for n in 0..100u64 {
             assert_eq!(td.is_prime(n), known.contains(&n), "n={n}");
@@ -248,9 +254,20 @@ mod tests {
 
     #[test]
     fn gcd_variants_agree() {
-        let cases = [(48u64, 18u64), (0, 5), (5, 0), (17, 17), (u64::MAX, 2), (270, 192)];
+        let cases = [
+            (48u64, 18u64),
+            (0, 5),
+            (5, 0),
+            (17, 17),
+            (u64::MAX, 2),
+            (270, 192),
+        ];
         for (a, b) in cases {
-            assert_eq!(gcd(a, b), gcd_with_per_iteration_reciprocal(a, b), "{a},{b}");
+            assert_eq!(
+                gcd(a, b),
+                gcd_with_per_iteration_reciprocal(a, b),
+                "{a},{b}"
+            );
         }
     }
 }

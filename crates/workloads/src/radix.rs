@@ -107,7 +107,11 @@ pub fn radix_checksum(start: u32, count: u32, magic: bool) -> u64 {
     let mut sum = 0u64;
     for i in 0..count {
         let x = start.wrapping_add(i.wrapping_mul(2_654_435_769)); // golden-ratio stride
-        let s = if magic { decimal_magic(x) } else { decimal_baseline(x) };
+        let s = if magic {
+            decimal_magic(x)
+        } else {
+            decimal_baseline(x)
+        };
         sum += s.bytes().map(u64::from).sum::<u64>();
     }
     sum
@@ -119,7 +123,18 @@ mod tests {
 
     #[test]
     fn decimal_paths_agree_with_std() {
-        for x in [0u32, 1, 9, 10, 99, 100, 1994, 123456789, u32::MAX, u32::MAX - 1] {
+        for x in [
+            0u32,
+            1,
+            9,
+            10,
+            99,
+            100,
+            1994,
+            123456789,
+            u32::MAX,
+            u32::MAX - 1,
+        ] {
             assert_eq!(decimal_baseline(x), x.to_string());
             assert_eq!(decimal_magic(x), x.to_string());
         }

@@ -10,8 +10,8 @@
 //! Run with: `cargo run --example compiler_pipeline -- [divisor]`
 
 use magicdiv_suite::magicdiv_codegen::{
-    emit_radix_loop, execute_radix_listing, gen_unsigned_div, gen_unsigned_div_tuned,
-    MachineDesc, Target,
+    emit_radix_loop, execute_radix_listing, gen_unsigned_div, gen_unsigned_div_tuned, MachineDesc,
+    Target,
 };
 use magicdiv_suite::magicdiv_ir::{legalize, schedule, ScheduleWeights, TargetCaps};
 use magicdiv_suite::magicdiv_simcpu::{cycles_for_program, find_model};

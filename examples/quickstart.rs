@@ -3,8 +3,8 @@
 //! Run with: `cargo run --example quickstart`
 
 use magicdiv_suite::magicdiv::{
-    DWord, DwordDivisor, ExactSignedDivisor, FloorDivisor, InvariantUnsignedDivisor,
-    SignedDivisor, UnsignedDivisor,
+    DWord, DwordDivisor, ExactSignedDivisor, FloorDivisor, InvariantUnsignedDivisor, SignedDivisor,
+    UnsignedDivisor,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(trunc.divide(-100), 14); // C-style: rounds toward zero
     assert_eq!(floor.divide(-100), -15); // Python-style: rounds down
     assert_eq!(floor.modulus(-100), 5); // mod takes the divisor's sign
-    println!("trunc(-100 / -7) = {}, floor(-100 / 7) = {}", trunc.divide(-100), floor.divide(-100));
+    println!(
+        "trunc(-100 / -7) = {}, floor(-100 / 7) = {}",
+        trunc.divide(-100),
+        floor.divide(-100)
+    );
 
     // ---------------------------------------------------------------
     // 4. 128-by-64-bit division (§8) — the multi-precision primitive.

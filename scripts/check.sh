@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, offline dependency audit, tier-1 verify.
+# Run from the repository root: ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, -D warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== offline dependency audit (no registry access) =="
+cargo build --release --offline -p magicdiv -p magicdiv-ir \
+    -p magicdiv-codegen -p magicdiv-simcpu
+
+echo "== tier-1 verify: cargo build --release && cargo test -q =="
+cargo build --release --offline
+cargo test -q --offline
+
+echo "== all checks passed =="

@@ -23,7 +23,18 @@ fn radix_listings_execute_correctly_everywhere() {
     for t in FIVE_TARGETS {
         for magic in [true, false] {
             let asm = emit_radix_loop(t, magic);
-            for x in [0u32, 1, 9, 10, 99, 100, 1994, 123_456_789, u32::MAX - 1, u32::MAX] {
+            for x in [
+                0u32,
+                1,
+                9,
+                10,
+                99,
+                100,
+                1994,
+                123_456_789,
+                u32::MAX - 1,
+                u32::MAX,
+            ] {
                 let got = execute_radix_listing(&asm, x)
                     .unwrap_or_else(|e| panic!("{t} magic={magic} x={x}: {e}\n{asm}"));
                 assert_eq!(got, x.to_string(), "{t} magic={magic} x={x}\n{asm}");

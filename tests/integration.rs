@@ -7,8 +7,7 @@ use magicdiv_suite::magicdiv::testkit::{
     interesting_unsigned_divisors,
 };
 use magicdiv_suite::magicdiv::{
-    FloorDivisor, InvariantSignedDivisor, InvariantUnsignedDivisor, SignedDivisor,
-    UnsignedDivisor,
+    FloorDivisor, InvariantSignedDivisor, InvariantUnsignedDivisor, SignedDivisor, UnsignedDivisor,
 };
 use magicdiv_suite::magicdiv_codegen::{
     emit_radix_loop, gen_divisibility_test, gen_exact_div, gen_floor_div, gen_signed_div,
@@ -26,9 +25,17 @@ fn three_layers_agree_unsigned_width8_exhaustive() {
         for n in 0u64..=255 {
             let expect = n / d;
             assert_eq!(prog.eval1(&[n]).unwrap(), expect, "codegen n={n} d={d}");
-            assert_eq!(prog_inv.eval1(&[n]).unwrap(), expect, "codegen-inv n={n} d={d}");
+            assert_eq!(
+                prog_inv.eval1(&[n]).unwrap(),
+                expect,
+                "codegen-inv n={n} d={d}"
+            );
             assert_eq!(lib.divide(n as u8) as u64, expect, "lib n={n} d={d}");
-            assert_eq!(lib_inv.divide(n as u8) as u64, expect, "lib-inv n={n} d={d}");
+            assert_eq!(
+                lib_inv.divide(n as u8) as u64,
+                expect,
+                "lib-inv n={n} d={d}"
+            );
         }
     }
 }

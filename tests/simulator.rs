@@ -8,8 +8,8 @@ use magicdiv_suite::magicdiv_codegen::{
 };
 use magicdiv_suite::magicdiv_ir::{schedule, ScheduleWeights, TargetCaps};
 use magicdiv_suite::magicdiv_simcpu::{
-    cycles_for_program, find_model, radix_conversion_timing, table_1_1, table_11_2_models,
-    table_11_2_paper_numbers,
+    cycles_for_program, find_model, radix_conversion_timing, table_11_2_models,
+    table_11_2_paper_numbers, table_1_1,
 };
 
 #[test]
@@ -91,7 +91,10 @@ fn alpha_shift_add_body_beats_mulq_body_on_alpha() {
     let mc88110 = find_model("88110").unwrap();
     let sa = cycles_for_program(&shift_add, &mc88110);
     let mm = cycles_for_program(&magic_mul, &mc88110);
-    assert!(mm < sa, "3-cycle multiplier should beat the shift/add chain");
+    assert!(
+        mm < sa,
+        "3-cycle multiplier should beat the shift/add chain"
+    );
 }
 
 #[test]
@@ -114,7 +117,6 @@ fn div_mul_gap_motivates_and_grows() {
     let avg = recent.iter().sum::<f64>() / recent.len() as f64;
     assert!(avg >= 3.0, "average post-1990 div/mul ratio {avg:.1}");
 }
-
 
 #[test]
 fn list_scheduling_never_hurts_on_pipelined_machines() {
@@ -155,7 +157,12 @@ fn machine_tuned_codegen_beats_or_matches_generic() {
             let gc = cycles_for_program(&generic, &model);
             assert!(tc <= gc, "{} d={d}: tuned {tc} > generic {gc}", model.name);
             for n in [0u64, d - 1, d, 1 << 31, u32::MAX as u64] {
-                assert_eq!(tuned.eval1(&[n]).unwrap(), n / d, "{} n={n} d={d}", model.name);
+                assert_eq!(
+                    tuned.eval1(&[n]).unwrap(),
+                    n / d,
+                    "{} n={n} d={d}",
+                    model.name
+                );
             }
         }
     }
