@@ -45,10 +45,10 @@ fn main() {
 
     // Number theory: modular exponentiation (invariant modulus).
     let hw = measure_ns(2_000, |i| {
-        mod_pow_baseline(i | 3, 65_537, 0xffff_ffff_ffff_ffc5).unwrap()
+        mod_pow_baseline(i | 3, 65_537, 0xffff_ffff_ffff_ffc5).expect("prime modulus")
     });
     let magic = measure_ns(2_000, |i| {
-        mod_pow(i | 3, 65_537, 0xffff_ffff_ffff_ffc5).unwrap()
+        mod_pow(i | 3, 65_537, 0xffff_ffff_ffff_ffc5).expect("prime modulus")
     });
     rows.push(row("mod_pow (64-bit prime)", hw, magic));
 
@@ -85,7 +85,9 @@ fn main() {
 
     // §9 strength-reduced divisibility scan.
     let hw = measure_ns(2_000, |_| count_multiples_baseline(100_000, 100));
-    let magic = measure_ns(2_000, |_| count_multiples(100_000, 100).unwrap());
+    let magic = measure_ns(2_000, |_| {
+        count_multiples(100_000, 100).expect("nonzero divisor")
+    });
     rows.push(row("divisibility scan d=100", hw, magic));
 
     // The counterexample: Euclidean GCD (divisor varies per iteration).

@@ -1,59 +1,333 @@
-//! `verify` — large-scale randomized differential testing across every
-//! algorithm, width and layer: the reproduction's fuzzer-lite.
+//! `verify` — the differential oracle harness: randomized cross-layer
+//! checking, plus a mutation run that measures whether the oracle would
+//! actually catch a wrong program.
 //!
-//! For each random `(n, d)` it checks that native division, the `magicdiv`
-//! divisor types, and the `magicdiv-codegen` generated programs (run
-//! through the IR interpreter) all agree, across unsigned/signed/floor/
-//! exact/divisibility at widths 8/16/32/64 (library types also at 128).
+//! Three phases:
 //!
-//! Usage: `cargo run --release -p magicdiv-bench --bin verify -- [iterations] [seed]`
-//! Exits nonzero on the first mismatch, printing a reproduction line.
+//! 1. **Library layer** — for random `(n, d)`, native division and every
+//!    `magicdiv` divisor type must agree (unsigned/signed/floor/exact/
+//!    divisibility at widths 8–64, library types also at 128).
+//! 2. **Codegen layer** — generated IR programs, run through the
+//!    interpreter, must agree with native division at widths including
+//!    the odd ones (24/48/57).
+//! 3. **Mutation run** — every single-op mutant of every code shape at
+//!    widths 8/16/32/64 must be *killed* by the oracle (exhaustively at
+//!    width 8, directed + random above) or *proven equivalent*; the kill
+//!    rate is reported.
+//!
+//! All mismatches are collected (not exit-on-first), each is shrunk to a
+//! minimal `(n, d)` witness and persisted as a one-line reproducer under
+//! `tests/corpus/`, and the run ends with a machine-readable JSON
+//! summary on stdout. Exit status is nonzero if anything failed.
+//!
+//! Usage:
+//! `verify [iterations] [seed] [--corpus DIR] [--no-corpus-write]`
 
 #![allow(clippy::manual_is_multiple_of)]
+use std::path::PathBuf;
+
 use magicdiv::plan::{DivPlan, SdivPlan, UdivPlan};
 use magicdiv::{
     ExactSignedDivisor, ExactUnsignedDivisor, FloorDivisor, InvariantSignedDivisor,
     InvariantUnsignedDivisor, SignedDivisor, UnsignedDivisor,
 };
-use magicdiv_codegen::{
-    gen_divisibility_test, gen_floor_div, gen_signed_div, gen_signed_div_invariant,
-    gen_unsigned_div, gen_unsigned_div_invariant,
+use magicdiv_bench::{
+    classify_mutant, default_corpus_dir, shrink, write_entry, Case, CorpusEntry, MutantFate, Repro,
+    Shape, SplitMix,
 };
-use magicdiv_ir::{mask, sign_extend};
+use magicdiv_codegen::{gen_signed_div_invariant, gen_unsigned_div_invariant};
+use magicdiv_ir::{mask, mutations, sign_extend};
 
-struct Rng(u64);
+/// How many failures are echoed in full before the rest are only counted.
+const MAX_REPORTED: usize = 25;
+/// Random probes per mutant at widths above the exhaustive range.
+const RANDOM_PROBES_PER_MUTANT: usize = 64;
 
-impl Rng {
-    fn next(&mut self) -> u64 {
-        // splitmix64
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+#[derive(Default)]
+struct Collector {
+    checks: u64,
+    mismatches: u64,
+    reported: Vec<String>,
+    corpus_dir: Option<PathBuf>,
+    corpus_written: Vec<PathBuf>,
+}
+
+impl Collector {
+    fn fail(&mut self, why: String) {
+        self.mismatches += 1;
+        if self.reported.len() < MAX_REPORTED {
+            eprintln!("MISMATCH: {why}");
+            self.reported.push(why);
+        }
+    }
+
+    fn check(&mut self, cond: bool, why: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !cond {
+            self.fail(why());
+        }
+    }
+
+    /// Records a case-level failure: shrink it and persist the
+    /// reproducer so the corpus replay test pins the fix.
+    fn fail_case(&mut self, repro: Repro) {
+        let small = shrink(&repro);
+        self.fail(format!(
+            "{} (shrunk from n={})",
+            CorpusEntry::from(small.clone()),
+            repro.n
+        ));
+        if let Some(dir) = &self.corpus_dir {
+            match write_entry(dir, &CorpusEntry::from(small)) {
+                Ok(path) => self.corpus_written.push(path),
+                Err(e) => eprintln!("warning: could not persist reproducer: {e}"),
+            }
+        }
     }
 }
 
-macro_rules! check {
-    ($cond:expr, $($why:tt)*) => {
-        if !$cond {
-            eprintln!("MISMATCH: {}", format!($($why)*));
-            std::process::exit(1);
+fn library_phase(c: &mut Collector, rng: &mut SplitMix, iterations: u64) {
+    for i in 0..iterations {
+        let n = rng.next_u64();
+        let d = rng.next_u64();
+        macro_rules! unsigned_at {
+            ($t:ty) => {{
+                let (nw, dw) = (n as $t, (d as $t).max(1));
+                let cd = UnsignedDivisor::new(dw).expect("nonzero");
+                let id = InvariantUnsignedDivisor::new(dw).expect("nonzero");
+                c.check(cd.divide(nw) == nw / dw, || {
+                    format!("u{} Fig4.2 {nw}/{dw}", <$t>::BITS)
+                });
+                c.check(id.divide(nw) == nw / dw, || {
+                    format!("u{} Fig4.1 {nw}/{dw}", <$t>::BITS)
+                });
+                c.check(cd.remainder(nw) == nw % dw, || {
+                    format!("u{} rem {nw}%{dw}", <$t>::BITS)
+                });
+                c.check(
+                    cd.plan() == UdivPlan::new(dw as u128, <$t>::BITS).expect("nonzero"),
+                    || format!("u{} plan mismatch d={dw}", <$t>::BITS),
+                );
+            }};
         }
-    };
+        unsigned_at!(u8);
+        unsigned_at!(u16);
+        unsigned_at!(u32);
+        unsigned_at!(u64);
+        let n128 = (rng.next_u64() as u128) << 64 | n as u128;
+        let d128 = ((rng.next_u64() as u128) << 64 | d as u128).max(1);
+        let cd = UnsignedDivisor::new(d128).expect("nonzero");
+        c.check(cd.divide(n128) == n128 / d128, || {
+            format!("u128 {n128}/{d128}")
+        });
+
+        macro_rules! signed_at {
+            ($t:ty) => {{
+                let (nw, dw) = (n as $t, d as $t);
+                if dw != 0 {
+                    let cd = SignedDivisor::new(dw).expect("nonzero");
+                    let id = InvariantSignedDivisor::new(dw).expect("nonzero");
+                    c.check(cd.divide(nw) == nw.wrapping_div(dw), || {
+                        format!("i{} Fig5.2 {nw}/{dw}", <$t>::BITS)
+                    });
+                    c.check(id.divide(nw) == nw.wrapping_div(dw), || {
+                        format!("i{} Fig5.1 {nw}/{dw}", <$t>::BITS)
+                    });
+                    if !(nw == <$t>::MIN && dw == -1) {
+                        let fd = FloorDivisor::new(dw).expect("nonzero");
+                        let expect =
+                            nw.div_euclid(dw) - (((dw < 0) && nw.rem_euclid(dw) != 0) as $t);
+                        c.check(fd.divide(nw) == expect, || {
+                            format!("i{} floor {nw}/{dw}", <$t>::BITS)
+                        });
+                        c.check(cd.div_euclid(nw) == nw.div_euclid(dw), || {
+                            format!("i{} euclid {nw}/{dw}", <$t>::BITS)
+                        });
+                    }
+                    let ed = ExactSignedDivisor::new(dw).expect("nonzero");
+                    c.check(ed.divides(nw) == (nw.wrapping_rem(dw) == 0), || {
+                        format!("i{} divides {nw}|{dw}", <$t>::BITS)
+                    });
+                    c.check(
+                        cd.plan() == SdivPlan::new(dw as i128, <$t>::BITS).expect("nonzero"),
+                        || format!("i{} plan mismatch d={dw}", <$t>::BITS),
+                    );
+                }
+            }};
+        }
+        signed_at!(i8);
+        signed_at!(i16);
+        signed_at!(i32);
+        signed_at!(i64);
+
+        let dq = (d | 1).max(3);
+        let q = n % (u64::MAX / dq);
+        let ed = ExactUnsignedDivisor::new(dq).expect("nonzero");
+        c.check(ed.divide_exact(q * dq) == q, || format!("exact {q}*{dq}"));
+
+        if i % 50_000 == 0 && i > 0 {
+            eprintln!("... {i} iterations, {} checks", c.checks);
+        }
+    }
+}
+
+fn codegen_phase(c: &mut Collector, rng: &mut SplitMix, gen_iters: u64) -> u64 {
+    let mut cases = 0u64;
+    for _ in 0..gen_iters {
+        let draw = rng.next_u64();
+        let width = [8u32, 16, 24, 32, 48, 57, 64][draw as usize % 7];
+        let m = mask(width);
+        let dw = (rng.next_u64() & m).max(1);
+        // The Case-covered shapes: mismatches here shrink + persist.
+        for shape in Shape::ALL {
+            let case = Case::new(shape, width, dw);
+            if case.shape.signed() && case.d_signed() == 0 {
+                continue;
+            }
+            cases += 1;
+            let prog = case.program();
+            let inputs: Vec<u64> = (0..16).map(|_| case.random_input(rng)).collect();
+            for n in case.directed_inputs().into_iter().chain(inputs) {
+                let Some(want) = case.expected(n) else {
+                    continue;
+                };
+                c.checks += 1;
+                if prog.eval1(&[n]).ok() != Some(want) {
+                    c.fail_case(Repro {
+                        case,
+                        mutation: None,
+                        n,
+                    });
+                    break;
+                }
+            }
+        }
+        // The invariant (Fig 4.1/5.1) forms exist only at machine widths.
+        if [8, 16, 32, 64].contains(&width) {
+            let iprog = gen_unsigned_div_invariant(dw, width);
+            let siprog = gen_signed_div_invariant(sign_extend(dw, width), width);
+            for _ in 0..8 {
+                let nraw = rng.next_u64() & m;
+                c.check(iprog.eval1(&[nraw]).ok() == Some(nraw / dw), || {
+                    format!("codegen inv u{width} {nraw}/{dw}")
+                });
+                let ns = sign_extend(nraw, width);
+                let ds = sign_extend(dw, width);
+                c.check(
+                    siprog.eval1(&[nraw]).ok() == Some(ns.wrapping_div(ds) as u64 & m),
+                    || format!("codegen inv i{width} {ns}/{ds}"),
+                );
+            }
+        }
+    }
+    cases
+}
+
+#[derive(Default)]
+struct MutationTally {
+    total: u64,
+    killed: u64,
+    equivalent: u64,
+    survived: u64,
+}
+
+fn mutation_phase(c: &mut Collector, rng: &mut SplitMix) -> (MutationTally, u64) {
+    let mut tally = MutationTally::default();
+    let mut cases = 0u64;
+    for width in [8u32, 16, 32, 64] {
+        for shape in Shape::ALL {
+            let divisors: &[i64] = if shape.signed() {
+                &[3, 7, 10, -5, -12]
+            } else {
+                &[3, 7, 10, 12, 25]
+            };
+            for &d in divisors {
+                let case = Case::new(shape, width, d as u64);
+                cases += 1;
+                let pristine = case.program();
+                // The oracle must bless the pristine program before its
+                // mutants mean anything.
+                let mut pristine_ok = true;
+                for n in case.directed_inputs() {
+                    let Some(want) = case.expected(n) else {
+                        continue;
+                    };
+                    c.checks += 1;
+                    if pristine.eval1(&[n]).ok() != Some(want) {
+                        c.fail_case(Repro {
+                            case,
+                            mutation: None,
+                            n,
+                        });
+                        pristine_ok = false;
+                        break;
+                    }
+                }
+                if !pristine_ok {
+                    continue;
+                }
+                for m in mutations(&pristine) {
+                    tally.total += 1;
+                    match classify_mutant(&case, m, rng, RANDOM_PROBES_PER_MUTANT) {
+                        MutantFate::Killed { .. } => tally.killed += 1,
+                        MutantFate::Equivalent => tally.equivalent += 1,
+                        MutantFate::Survived => {
+                            tally.survived += 1;
+                            c.fail(format!(
+                                "SURVIVOR: {shape} w={width} d={d} {m} — oracle blind spot"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        eprintln!(
+            "... mutation run w={width}: {} mutants so far, {} killed, {} equivalent, {} survived",
+            tally.total, tally.killed, tally.equivalent, tally.survived
+        );
+    }
+    (tally, cases)
 }
 
 fn main() {
-    let iterations: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200_000);
-    let seed: u64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0x5eed);
-    let mut rng = Rng(seed);
-    let mut checks = 0u64;
+    let mut iterations: u64 = 200_000;
+    let mut seed: u64 = 0x5eed;
+    let mut corpus_dir = Some(default_corpus_dir());
+    let mut positional = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--corpus" => {
+                corpus_dir = args.next().map(PathBuf::from);
+                if corpus_dir.is_none() {
+                    eprintln!("--corpus requires a directory");
+                    std::process::exit(2);
+                }
+            }
+            "--no-corpus-write" => corpus_dir = None,
+            _ => {
+                let Ok(v) = arg.parse() else {
+                    eprintln!("unrecognized argument `{arg}`");
+                    std::process::exit(2);
+                };
+                match positional {
+                    0 => iterations = v,
+                    1 => seed = v,
+                    _ => {
+                        eprintln!("too many positional arguments");
+                        std::process::exit(2);
+                    }
+                }
+                positional += 1;
+            }
+        }
+    }
+
+    let mut rng = SplitMix(seed);
+    let mut c = Collector {
+        corpus_dir,
+        ..Collector::default()
+    };
 
     // Show the shared planning layer's choices for the classic divisors —
     // the same plans drive the library divisors and codegen verified below.
@@ -68,154 +342,35 @@ fn main() {
         }
     }
 
-    // Library layer: fast per-iteration divisor construction.
-    for i in 0..iterations {
-        let n = rng.next();
-        let d = rng.next();
-        // --- unsigned, per width ---
-        macro_rules! unsigned_at {
-            ($t:ty) => {{
-                let (nw, dw) = (n as $t, (d as $t).max(1));
-                let cd = UnsignedDivisor::new(dw).expect("nonzero");
-                let id = InvariantUnsignedDivisor::new(dw).expect("nonzero");
-                check!(cd.divide(nw) == nw / dw, "u{} Fig4.2 {nw}/{dw}", <$t>::BITS);
-                check!(id.divide(nw) == nw / dw, "u{} Fig4.1 {nw}/{dw}", <$t>::BITS);
-                check!(cd.remainder(nw) == nw % dw, "u{} rem {nw}%{dw}", <$t>::BITS);
-                check!(
-                    cd.plan() == UdivPlan::new(dw as u128, <$t>::BITS).expect("nonzero"),
-                    "u{} plan mismatch d={dw}",
-                    <$t>::BITS
-                );
-                checks += 4;
-            }};
-        }
-        unsigned_at!(u8);
-        unsigned_at!(u16);
-        unsigned_at!(u32);
-        unsigned_at!(u64);
-        let n128 = (rng.next() as u128) << 64 | n as u128;
-        let d128 = ((rng.next() as u128) << 64 | d as u128).max(1);
-        let cd = UnsignedDivisor::new(d128).expect("nonzero");
-        check!(cd.divide(n128) == n128 / d128, "u128 {n128}/{d128}");
-        checks += 1;
+    library_phase(&mut c, &mut rng, iterations);
+    let codegen_cases = codegen_phase(&mut c, &mut rng, (iterations / 200).max(50));
+    let (tally, mutation_cases) = mutation_phase(&mut c, &mut rng);
 
-        // --- signed, per width ---
-        macro_rules! signed_at {
-            ($t:ty) => {{
-                let (nw, dw) = (n as $t, d as $t);
-                if dw != 0 {
-                    let cd = SignedDivisor::new(dw).expect("nonzero");
-                    let id = InvariantSignedDivisor::new(dw).expect("nonzero");
-                    check!(
-                        cd.divide(nw) == nw.wrapping_div(dw),
-                        "i{} Fig5.2 {nw}/{dw}",
-                        <$t>::BITS
-                    );
-                    check!(
-                        id.divide(nw) == nw.wrapping_div(dw),
-                        "i{} Fig5.1 {nw}/{dw}",
-                        <$t>::BITS
-                    );
-                    if !(nw == <$t>::MIN && dw == -1) {
-                        let fd = FloorDivisor::new(dw).expect("nonzero");
-                        let expect =
-                            nw.div_euclid(dw) - (((dw < 0) && nw.rem_euclid(dw) != 0) as $t);
-                        check!(fd.divide(nw) == expect, "i{} floor {nw}/{dw}", <$t>::BITS);
-                        check!(
-                            cd.div_euclid(nw) == nw.div_euclid(dw),
-                            "i{} euclid {nw}/{dw}",
-                            <$t>::BITS
-                        );
-                    }
-                    let ed = ExactSignedDivisor::new(dw).expect("nonzero");
-                    check!(
-                        ed.divides(nw) == (nw.wrapping_rem(dw) == 0),
-                        "i{} divides {nw}|{dw}",
-                        <$t>::BITS
-                    );
-                    check!(
-                        cd.plan() == SdivPlan::new(dw as i128, <$t>::BITS).expect("nonzero"),
-                        "i{} plan mismatch d={dw}",
-                        <$t>::BITS
-                    );
-                    checks += 6;
-                }
-            }};
-        }
-        signed_at!(i8);
-        signed_at!(i16);
-        signed_at!(i32);
-        signed_at!(i64);
-
-        // --- exact unsigned via constructed multiples ---
-        let dq = (d | 1).max(3);
-        let q = n % (u64::MAX / dq);
-        let ed = ExactUnsignedDivisor::new(dq).expect("nonzero");
-        check!(ed.divide_exact(q * dq) == q, "exact {q}*{dq}");
-        checks += 1;
-
-        if i % 50_000 == 0 && i > 0 {
-            eprintln!("... {i} iterations, {checks} checks");
-        }
+    let kill_rate = if tally.total == 0 {
+        1.0
+    } else {
+        (tally.killed + tally.equivalent) as f64 / tally.total as f64
+    };
+    let status = if c.mismatches == 0 { "ok" } else { "failed" };
+    eprintln!(
+        "verify: {status} — {} checks, {} mismatches; {} mutants: {} killed, {} equivalent, {} survived (seed {seed})",
+        c.checks, c.mismatches, tally.total, tally.killed, tally.equivalent, tally.survived
+    );
+    // The machine-readable summary is the last stdout line.
+    println!(
+        "{{\"status\":\"{status}\",\"seed\":{seed},\"checks\":{},\"cases\":{},\"mismatches\":{},\
+         \"mutants\":{{\"total\":{},\"killed\":{},\"equivalent\":{},\"survived\":{}}},\
+         \"kill_rate\":{kill_rate:.6},\"corpus_written\":{}}}",
+        c.checks,
+        codegen_cases + mutation_cases,
+        c.mismatches,
+        tally.total,
+        tally.killed,
+        tally.equivalent,
+        tally.survived,
+        c.corpus_written.len(),
+    );
+    if c.mismatches > 0 {
+        std::process::exit(1);
     }
-
-    // Codegen layer: fewer iterations (program generation dominates).
-    let gen_iters = (iterations / 200).max(50);
-    for _ in 0..gen_iters {
-        let d = rng.next();
-        let width = [8u32, 16, 24, 32, 48, 57, 64][rng.next() as usize % 7];
-        let m = mask(width);
-        let dw = (d & m).max(1);
-        let prog = gen_unsigned_div(dw, width);
-        let fprog = gen_floor_div(sign_extend(dw, width), width);
-        let sprog = gen_signed_div(sign_extend(dw, width), width);
-        let tprog = gen_divisibility_test(dw, width);
-        for _ in 0..32 {
-            let nraw = rng.next() & m;
-            check!(
-                prog.eval1(&[nraw]).expect("no traps") == nraw / dw,
-                "codegen u{width} {nraw}/{dw}"
-            );
-            check!(
-                tprog.eval1(&[nraw]).expect("no traps") == u64::from(nraw % dw == 0),
-                "codegen divis u{width} {nraw}|{dw}"
-            );
-            let ns = sign_extend(nraw, width);
-            let ds = sign_extend(dw, width);
-            if ds != 0 {
-                check!(
-                    sprog.eval1(&[nraw]).expect("no traps") == ns.wrapping_div(ds) as u64 & m,
-                    "codegen i{width} {ns}/{ds}"
-                );
-                if !(ns == sign_extend(1 << (width - 1), width) && ds == -1) {
-                    let floor = ns.div_euclid(ds) - i64::from(ds < 0 && ns.rem_euclid(ds) != 0);
-                    check!(
-                        fprog.eval1(&[nraw]).expect("no traps") == floor as u64 & m,
-                        "codegen floor{width} {ns}/{ds}"
-                    );
-                }
-            }
-            checks += 4;
-        }
-        if [8, 16, 32, 64].contains(&width) {
-            let iprog = gen_unsigned_div_invariant(dw, width);
-            let siprog = gen_signed_div_invariant(sign_extend(dw, width), width);
-            for _ in 0..8 {
-                let nraw = rng.next() & m;
-                check!(
-                    iprog.eval1(&[nraw]).expect("no traps") == nraw / dw,
-                    "codegen inv u{width} {nraw}/{dw}"
-                );
-                let ns = sign_extend(nraw, width);
-                let ds = sign_extend(dw, width);
-                check!(
-                    siprog.eval1(&[nraw]).expect("no traps") == ns.wrapping_div(ds) as u64 & m,
-                    "codegen inv i{width} {ns}/{ds}"
-                );
-                checks += 2;
-            }
-        }
-    }
-
-    println!("verify: OK — {checks} checks across library + codegen layers (seed {seed})");
 }

@@ -1,0 +1,234 @@
+//! One-line persisted reproducers for differential failures.
+//!
+//! Every mismatch the `verify` harness finds — a genuine bug or an
+//! injected mutation used as a regression sentinel — is shrunk and
+//! written as a single line under `tests/corpus/`:
+//!
+//! ```text
+//! udiv w=32 d=2 n=4294967294 mut=const-flip@1:bit0
+//! ```
+//!
+//! The tier-1 `corpus_replay` test re-reads every entry, regenerates the
+//! program, and checks both directions: the pristine program now agrees
+//! with the oracle at the recorded witness (*fixed*), and the recorded
+//! mutation, re-applied, still disagrees (*failing* — the oracle has not
+//! regressed into the blind spot that let the defect through).
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+use magicdiv_ir::Mutation;
+
+use crate::diff::{Case, Repro, Shape};
+
+/// One parsed corpus line. Round-trips through `Display`/`FromStr`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// The failing case (shape, width, divisor pattern).
+    pub case: Case,
+    /// The injected mutation, or `None` for a pristine-program failure.
+    pub mutation: Option<Mutation>,
+    /// The witness input.
+    pub n: u64,
+}
+
+impl From<Repro> for CorpusEntry {
+    fn from(r: Repro) -> CorpusEntry {
+        CorpusEntry {
+            case: r.case,
+            mutation: r.mutation,
+            n: r.n,
+        }
+    }
+}
+
+impl fmt::Display for CorpusEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} w={} d={} n={} mut=",
+            self.case.shape, self.case.width, self.case.d, self.n
+        )?;
+        match &self.mutation {
+            Some(m) => write!(f, "{m}"),
+            None => write!(f, "-"),
+        }
+    }
+}
+
+impl FromStr for CorpusEntry {
+    type Err = String;
+
+    fn from_str(line: &str) -> Result<Self, Self::Err> {
+        let mut shape = None;
+        let mut width = None;
+        let mut d = None;
+        let mut n = None;
+        let mut mutation = None;
+        for (i, tok) in line.split_whitespace().enumerate() {
+            if i == 0 {
+                shape = Shape::from_name(tok);
+                if shape.is_none() {
+                    return Err(format!("unknown shape `{tok}`"));
+                }
+                continue;
+            }
+            let (key, value) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("malformed field `{tok}`"))?;
+            let parse_u64 =
+                |v: &str| -> Result<u64, String> { v.parse().map_err(|_| format!("bad `{tok}`")) };
+            match key {
+                "w" => width = Some(parse_u64(value)? as u32),
+                "d" => d = Some(parse_u64(value)?),
+                "n" => n = Some(parse_u64(value)?),
+                "mut" => {
+                    mutation = if value == "-" {
+                        Some(None)
+                    } else {
+                        Some(Some(value.parse::<Mutation>()?))
+                    }
+                }
+                _ => return Err(format!("unknown field `{key}`")),
+            }
+        }
+        let missing = |what: &str| format!("missing `{what}` in `{line}`");
+        Ok(CorpusEntry {
+            case: Case::new(
+                shape.ok_or_else(|| missing("shape"))?,
+                width.ok_or_else(|| missing("w"))?,
+                d.ok_or_else(|| missing("d"))?,
+            ),
+            mutation: mutation.ok_or_else(|| missing("mut"))?,
+            n: n.ok_or_else(|| missing("n"))?,
+        })
+    }
+}
+
+impl CorpusEntry {
+    /// Deterministic file name for this entry (content-derived, so
+    /// re-finding the same failure overwrites rather than accumulates).
+    pub fn file_name(&self) -> String {
+        let mutslug = match &self.mutation {
+            Some(m) => m.to_string().replace(['@', ':'], "-"),
+            None => "pristine".to_string(),
+        };
+        format!(
+            "{}-w{}-d{}-{}.txt",
+            self.case.shape, self.case.width, self.case.d, mutslug
+        )
+    }
+}
+
+/// The in-tree corpus directory (`tests/corpus/` at the workspace root).
+pub fn default_corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+/// Reads every corpus entry under `dir` (files sorted by name; blank
+/// lines and `#` comments skipped). A missing directory is an empty
+/// corpus, not an error.
+///
+/// # Errors
+///
+/// I/O failures reading the directory, and a malformed line is reported
+/// as `InvalidData` naming the file — a corrupt reproducer must fail the
+/// replay test, not silently shrink the corpus.
+pub fn read_corpus(dir: &Path) -> io::Result<Vec<(PathBuf, CorpusEntry)>> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    paths.sort();
+    for path in paths {
+        if path.extension().and_then(|e| e.to_str()) != Some("txt") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)?;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let entry = line.parse::<CorpusEntry>().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: {e}", path.display()),
+                )
+            })?;
+            out.push((path.clone(), entry));
+        }
+    }
+    Ok(out)
+}
+
+/// Persists one entry under `dir` (created if needed), returning the
+/// written path.
+///
+/// # Errors
+///
+/// Propagates directory-creation and write failures.
+pub fn write_entry(dir: &Path, entry: &CorpusEntry) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(entry.file_name());
+    std::fs::write(&path, format!("{entry}\n"))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_round_trips() {
+        let entry = CorpusEntry {
+            case: Case::new(Shape::Udiv, 32, 2),
+            mutation: Some(Mutation::ConstFlip { inst: 1, bit: 0 }),
+            n: 4_294_967_294,
+        };
+        let line = entry.to_string();
+        assert_eq!(line, "udiv w=32 d=2 n=4294967294 mut=const-flip@1:bit0");
+        assert_eq!(line.parse::<CorpusEntry>().unwrap(), entry);
+
+        let pristine = CorpusEntry {
+            case: Case::new(Shape::Floor, 16, (-7i64) as u64),
+            mutation: None,
+            n: 12345,
+        };
+        assert_eq!(
+            pristine.to_string().parse::<CorpusEntry>().unwrap(),
+            pristine
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!("frob w=32 d=2 n=1 mut=-".parse::<CorpusEntry>().is_err());
+        assert!("udiv w=32 d=2 mut=-".parse::<CorpusEntry>().is_err());
+        assert!("udiv w=32 d=2 n=1 mut=garbage"
+            .parse::<CorpusEntry>()
+            .is_err());
+        assert!("udiv w=x d=2 n=1 mut=-".parse::<CorpusEntry>().is_err());
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let dir = std::env::temp_dir().join(format!("magicdiv-corpus-{}", std::process::id()));
+        let entry = CorpusEntry {
+            case: Case::new(Shape::Sdiv, 8, 0xf6),
+            mutation: Some(Mutation::OperandSwap { inst: 3 }),
+            n: 0x80,
+        };
+        let path = write_entry(&dir, &entry).unwrap();
+        assert!(path.ends_with("sdiv-w8-d246-operand-swap-3.txt"));
+        let read = read_corpus(&dir).unwrap();
+        assert_eq!(read.len(), 1);
+        assert_eq!(read[0].1, entry);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

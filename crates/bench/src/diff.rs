@@ -1,0 +1,733 @@
+//! The shrinking differential oracle and mutation harness.
+//!
+//! [`Case`] names one generated division kernel — a code *shape*
+//! (unsigned/signed/floor/exact/divisibility), a width, and a divisor —
+//! and pairs the generated program with its ground truth ([`Case::expected`],
+//! computed with native 128-bit arithmetic). On top of that sit:
+//!
+//! * [`classify_mutant`] — decide whether a single-op mutant (from
+//!   [`magicdiv_ir::mutations`]) is *killed* by the oracle, *proven
+//!   equivalent* (exhaustively through width 16, by small-scope
+//!   certificate above), or *survived* — the measured kill rate is the
+//!   harness's trust score;
+//! * [`shrink`] — minimize any failing `(n, d)` toward small magnitudes
+//!   by binary descent, producing the one-line reproducers persisted in
+//!   `tests/corpus/`.
+
+use magicdiv_ir::{apply_mutation, mask, mutations, sign_extend, Mutation, Program};
+
+/// Deterministic splitmix64 generator shared by the harness binaries and
+/// tests (the repo takes no RNG dependency).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_bench::SplitMix;
+///
+/// let mut a = SplitMix(42);
+/// let mut b = SplitMix(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix(pub u64);
+
+impl SplitMix {
+    /// Returns the next pseudo-random value.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// The five code shapes the paper's code generator emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// Fig 4.2 unsigned truncating division.
+    Udiv,
+    /// Fig 5.2 signed truncating division.
+    Sdiv,
+    /// Fig 6.1 signed floor division.
+    Floor,
+    /// §9 exact division (dividend known to be a multiple).
+    Exact,
+    /// §9 divisibility test.
+    Divisibility,
+}
+
+impl Shape {
+    /// Every shape, in a fixed order.
+    pub const ALL: [Shape; 5] = [
+        Shape::Udiv,
+        Shape::Sdiv,
+        Shape::Floor,
+        Shape::Exact,
+        Shape::Divisibility,
+    ];
+
+    /// Stable lower-case name, used in corpus lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::Udiv => "udiv",
+            Shape::Sdiv => "sdiv",
+            Shape::Floor => "floor",
+            Shape::Exact => "exact",
+            Shape::Divisibility => "divisibility",
+        }
+    }
+
+    /// Inverse of [`Shape::name`].
+    pub fn from_name(s: &str) -> Option<Shape> {
+        Shape::ALL.into_iter().find(|sh| sh.name() == s)
+    }
+
+    /// Whether the divisor and dividends are interpreted as signed.
+    pub fn signed(self) -> bool {
+        matches!(self, Shape::Sdiv | Shape::Floor)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One differential test case: a shape, a width, and a divisor.
+///
+/// `d` is stored as the masked `width`-bit pattern; signed shapes
+/// sign-extend it (so `d = 0xf6`, width 8, `Sdiv` means −10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Case {
+    /// The code shape under test.
+    pub shape: Shape,
+    /// Word width in bits (8/16/32/64 for the mutation run).
+    pub width: u32,
+    /// Divisor bit pattern, masked to `width` bits.
+    pub d: u64,
+}
+
+impl Case {
+    /// Builds a case, masking `d` to the width.
+    pub fn new(shape: Shape, width: u32, d: u64) -> Case {
+        Case {
+            shape,
+            width,
+            d: d & mask(width),
+        }
+    }
+
+    /// The divisor as a signed value (sign-extended from `width` bits).
+    pub fn d_signed(&self) -> i64 {
+        sign_extend(self.d, self.width)
+    }
+
+    /// The effective divisor magnitude for the exact shape.
+    ///
+    /// `gen_exact_div` sign-extends its divisor argument even on the
+    /// unsigned path, dividing by `|d|` and negating the quotient when
+    /// the sign-extended value is negative — so a top-bit-set pattern
+    /// like `d = 252` at width 8 means "divide by 4, negate".
+    fn exact_magnitude(&self) -> u64 {
+        self.d_signed().unsigned_abs() & mask(self.width)
+    }
+
+    /// Whether the exact shape negates its quotient (sign-extended
+    /// divisor pattern is negative).
+    fn exact_negates(&self) -> bool {
+        self.d_signed() < 0
+    }
+
+    /// Generates the pristine program for this case.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `d` is zero (no kernel exists), mirroring the
+    /// generators' documented preconditions.
+    pub fn program(&self) -> Program {
+        assert!(self.d != 0, "no kernel for d = 0");
+        match self.shape {
+            Shape::Udiv => magicdiv_codegen::gen_unsigned_div(self.d, self.width),
+            Shape::Sdiv => magicdiv_codegen::gen_signed_div(self.d_signed(), self.width),
+            Shape::Floor => magicdiv_codegen::gen_floor_div(self.d_signed(), self.width),
+            Shape::Exact => magicdiv_codegen::gen_exact_div(self.d as i64, self.width, false),
+            Shape::Divisibility => magicdiv_codegen::gen_divisibility_test(self.d, self.width),
+        }
+    }
+
+    /// Whether the oracle is defined at input `n` (exact division only
+    /// contracts for multiples of `d`; floor skips the wrapping
+    /// `MIN / -1` corner the generators do not define).
+    pub fn input_valid(&self, n: u64) -> bool {
+        let n = n & mask(self.width);
+        match self.shape {
+            Shape::Exact => n % self.exact_magnitude() == 0,
+            Shape::Floor => {
+                !(sign_extend(n, self.width) == self.min_signed() && self.d_signed() == -1)
+            }
+            _ => true,
+        }
+    }
+
+    /// Ground truth at input `n`, via native 128-bit arithmetic,
+    /// masked to the case's width. `None` when [`Case::input_valid`] is
+    /// false.
+    pub fn expected(&self, n: u64) -> Option<u64> {
+        if !self.input_valid(n) {
+            return None;
+        }
+        let m = mask(self.width);
+        let n = n & m;
+        let sn = sign_extend(n, self.width) as i128;
+        let sd = self.d_signed() as i128;
+        Some(match self.shape {
+            Shape::Udiv => n / self.d,
+            // i128 division cannot overflow on 64-bit operands; masking
+            // the quotient reproduces the wrapping MIN / -1 result.
+            Shape::Sdiv => (sn / sd) as u64 & m,
+            Shape::Floor => {
+                let q = sn.div_euclid(sd) - i128::from(sd < 0 && sn.rem_euclid(sd) != 0);
+                q as u64 & m
+            }
+            Shape::Exact => {
+                let q = n / self.exact_magnitude();
+                if self.exact_negates() {
+                    q.wrapping_neg() & m
+                } else {
+                    q
+                }
+            }
+            Shape::Divisibility => u64::from(n % self.d == 0),
+        })
+    }
+
+    fn min_signed(&self) -> i64 {
+        sign_extend(1u64 << (self.width - 1), self.width)
+    }
+
+    /// Directed inputs aimed at the failure surface of every mutation
+    /// kind: word boundaries, sign boundaries, powers of two ±1, and the
+    /// multiples-of-`d` neighborhood near the top of the range (where a
+    /// perturbed magic multiplier accumulates its largest error).
+    pub fn directed_inputs(&self) -> Vec<u64> {
+        let m = mask(self.width);
+        let mut out: Vec<u64> = Vec::new();
+        if self.shape == Shape::Exact {
+            // Only multiples are contractual: walk quotients instead.
+            let dm = self.exact_magnitude();
+            let qmax = m / dm;
+            for q in [0, 1, 2, 3, qmax, qmax.saturating_sub(1), qmax / 2] {
+                out.push(q.wrapping_mul(dm) & m);
+            }
+            for j in 0..self.width {
+                let p = 1u64 << j;
+                if p > qmax {
+                    break;
+                }
+                out.push(p.wrapping_mul(dm) & m);
+            }
+        } else {
+            out.extend([0, 1, 2, 3, m, m - 1, m - 2]);
+            // Sign boundaries.
+            out.extend([m >> 1, (m >> 1).wrapping_sub(1), (m >> 1) + 1, (m >> 1) + 2]);
+            // Powers of two and neighbors.
+            for j in 0..self.width {
+                let p = 1u64 << j;
+                out.extend([p, p - 1, (p + 1) & m]);
+            }
+            // The divisor neighborhood, small and at maximal magnitude:
+            // t = largest multiple of d ≤ mask; t − 1 carries the largest
+            // residue at the largest quotient (kills e′ > 0 multiplier
+            // perturbations), t itself kills e′ < 0 ones. Signed shapes
+            // measure the neighborhood with |d| and top out at the
+            // positive signed maximum (the mirroring below covers the
+            // negative side).
+            let d = if self.shape.signed() {
+                self.d_signed().unsigned_abs().max(1)
+            } else {
+                self.d.max(1)
+            };
+            let top = if self.shape.signed() { m >> 1 } else { m };
+            let t = top - top % d;
+            for base in [d, d.wrapping_mul(2) & m, t, t.wrapping_sub(d)] {
+                out.extend([base, base.wrapping_sub(1) & m, (base + 1) & m]);
+            }
+            if self.shape == Shape::Divisibility {
+                // The §9 test compares n·d⁻¹ against c = ⌊mask/d⌋, so a
+                // perturbed threshold c ± 2^b only misclassifies inputs
+                // whose product lands in the moved band: multiples with
+                // quotients just past c (they wrap modulo 2^N) and the
+                // walk of in-range multiples ±1.
+                out.extend([t.wrapping_add(d) & m, t.wrapping_add(2 * d) & m]);
+                let qmax = m / d;
+                for j in 0..self.width {
+                    let q = 1u64 << j;
+                    if q > qmax {
+                        break;
+                    }
+                    let n = q.wrapping_mul(d) & m;
+                    out.extend([n, n.wrapping_sub(1) & m, (n + 1) & m]);
+                }
+                let mid = (qmax / 2).wrapping_mul(d) & m;
+                out.extend([mid, mid.wrapping_sub(1) & m, (mid + 1) & m]);
+            }
+            if self.shape.signed() {
+                // Mirror everything through negation to cover the n < 0
+                // paths (XSIGN corrections, Fig 5.2's add-before-shift).
+                let mirrored: Vec<u64> = out.iter().map(|v| v.wrapping_neg() & m).collect();
+                out.extend(mirrored);
+            }
+        }
+        out.retain(|&n| self.input_valid(n));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// A uniformly random *valid* input for this case.
+    pub fn random_input(&self, rng: &mut SplitMix) -> u64 {
+        let m = mask(self.width);
+        match self.shape {
+            Shape::Exact => {
+                let dm = self.exact_magnitude();
+                let qmax = m / dm;
+                let q = if qmax == u64::MAX {
+                    rng.next_u64()
+                } else {
+                    rng.next_u64() % (qmax + 1)
+                };
+                q.wrapping_mul(dm) & m
+            }
+            _ => loop {
+                let n = rng.next_u64() & m;
+                if self.input_valid(n) {
+                    return n;
+                }
+            },
+        }
+    }
+}
+
+/// The verdict on one mutant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutantFate {
+    /// The oracle caught the mutant: it disagrees with ground truth (or
+    /// faults) at the recorded input.
+    Killed {
+        /// A witness input where the mutant is wrong.
+        n: u64,
+    },
+    /// Exhaustively shown (width ≤ 8) to compute the same function as
+    /// the pristine program on every contractual input.
+    Equivalent,
+    /// Neither killed nor proven equivalent — an oracle blind spot.
+    Survived,
+}
+
+/// Evaluates `prog` at `n`, folding evaluation faults into `None` (a
+/// faulting mutant is observably wrong, so `None` never matches an
+/// oracle value).
+fn run(prog: &Program, n: u64) -> Option<u64> {
+    prog.eval1(&[n]).ok()
+}
+
+/// Exhaustive verdict over every contractual input — feasible through
+/// width 16 (at most 65 536 evaluations).
+fn exhaustive_fate(case: &Case, mutant: &Program) -> MutantFate {
+    for n in 0..=mask(case.width) {
+        if let Some(want) = case.expected(n) {
+            if run(mutant, n) != Some(want) {
+                return MutantFate::Killed { n };
+            }
+        }
+    }
+    MutantFate::Equivalent
+}
+
+/// Whether `a` and `b` are the same instruction sequence up to constant
+/// values and shift amounts — the invariant the small-scope certificate
+/// needs before a mutation at one width can be mapped onto the other.
+fn same_structure(a: &Program, b: &Program) -> bool {
+    a.insts().len() == b.insts().len()
+        && a.insts().iter().zip(b.insts()).all(|(x, y)| {
+            std::mem::discriminant(x) == std::mem::discriminant(y) && x.operands().eq(y.operands())
+        })
+}
+
+/// Maps a mutation of a width-`from` program onto the width-`to` copy
+/// of the same kernel. Opcode, operand, and shift mutations are
+/// anchored by instruction index and map unchanged; a constant bit flip
+/// maps only when anchored to the low half-word (absolute position) or
+/// the top half-word (position relative to the word's top) — a flip in
+/// a constant's interior has no cross-width analogue.
+fn downscale_mutation(m: Mutation, from: u32, to: u32) -> Option<Mutation> {
+    match m {
+        Mutation::ConstFlip { inst, bit } => {
+            let bit = if bit < to / 2 {
+                bit
+            } else if bit >= from - to / 2 {
+                bit - (from - to)
+            } else {
+                return None;
+            };
+            Some(Mutation::ConstFlip { inst, bit })
+        }
+        other => Some(other),
+    }
+}
+
+/// The small-scope equivalence certificate for widths above 16: rebuild
+/// the same (shape, divisor) kernel at width 16 (falling back to 8 when
+/// the plan family changes shape at 16), check it is
+/// instruction-for-instruction the same program shape, map the mutation
+/// down, and decide *that* mutant exhaustively. The certificate is
+/// sound exactly insofar as the plan family scales uniformly with width
+/// (same instruction sequence, width-scaled constants); when the
+/// structures differ, or the divisor does not fit, or the flipped bit
+/// has no cross-width analogue, or the downscaled mutant is killed, no
+/// certificate is issued and the mutant stays [`MutantFate::Survived`].
+fn small_scope_equivalent(case: &Case, m: Mutation) -> bool {
+    let big = case.program();
+    for small_width in [16u32, 8] {
+        if case.width <= small_width {
+            continue;
+        }
+        // Exact sign-extends its divisor pattern, so downscale the
+        // signed value for it as well as for the signed shapes.
+        let half = 1i64 << (small_width - 1);
+        let d_small = if case.shape.signed() || case.shape == Shape::Exact {
+            let ds = case.d_signed();
+            if !(-half..half).contains(&ds) {
+                continue;
+            }
+            ds as u64
+        } else {
+            if case.d > mask(small_width) {
+                continue;
+            }
+            case.d
+        };
+        let small = Case::new(case.shape, small_width, d_small);
+        let small_pristine = small.program();
+        if !same_structure(&big, &small_pristine) {
+            continue;
+        }
+        let Some(sm) = downscale_mutation(m, case.width, small_width) else {
+            continue;
+        };
+        if !mutations(&small_pristine).contains(&sm) {
+            continue;
+        }
+        let Some(small_mutant) = apply_mutation(&small_pristine, sm) else {
+            continue;
+        };
+        if exhaustive_fate(&small, &small_mutant) == MutantFate::Equivalent {
+            return true;
+        }
+    }
+    false
+}
+
+/// Classifies one mutation of `case`'s kernel against the differential
+/// oracle.
+///
+/// Widths up to 16 get an exact verdict: directed inputs and `random_inputs`
+/// random probes look for a cheap kill first, then every remaining
+/// mutant is decided exhaustively — any mutant not killed is *proven*
+/// equivalent on the contractual domain. Above width 16, a mutant the
+/// probes cannot kill is declared [`MutantFate::Equivalent`] only when
+/// the small-scope certificate holds (the structurally identical
+/// width-16 kernel, with the same mutation mapped down, is exhaustively
+/// equivalent); otherwise it is reported [`MutantFate::Survived`].
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_bench::{classify_mutant, Case, MutantFate, Shape, SplitMix};
+/// use magicdiv_ir::mutations;
+///
+/// let case = Case::new(Shape::Udiv, 8, 10);
+/// let mut rng = SplitMix(7);
+/// for m in mutations(&case.program()) {
+///     let fate = classify_mutant(&case, m, &mut rng, 0);
+///     assert!(!matches!(fate, MutantFate::Survived), "{m}");
+/// }
+/// ```
+pub fn classify_mutant(
+    case: &Case,
+    m: Mutation,
+    rng: &mut SplitMix,
+    random_inputs: usize,
+) -> MutantFate {
+    let pristine = case.program();
+    let mutant =
+        apply_mutation(&pristine, m).expect("classify_mutant takes an enumerated mutation");
+    if case.width <= 8 {
+        return exhaustive_fate(case, &mutant);
+    }
+    for n in case.directed_inputs() {
+        if let Some(want) = case.expected(n) {
+            if run(&mutant, n) != Some(want) {
+                return MutantFate::Killed { n };
+            }
+        }
+    }
+    for _ in 0..random_inputs {
+        let n = case.random_input(rng);
+        if let Some(want) = case.expected(n) {
+            if run(&mutant, n) != Some(want) {
+                return MutantFate::Killed { n };
+            }
+        }
+    }
+    if case.width <= 16 {
+        return exhaustive_fate(case, &mutant);
+    }
+    if small_scope_equivalent(case, m) {
+        MutantFate::Equivalent
+    } else {
+        MutantFate::Survived
+    }
+}
+
+/// A minimized failing reproducer: a case, an optional injected
+/// mutation, and a witness input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Repro {
+    /// The (possibly shrunk) failing case.
+    pub case: Case,
+    /// The injected defect, if the failure came from the mutation run
+    /// (`None` for a genuine pristine-program mismatch).
+    pub mutation: Option<Mutation>,
+    /// A witness input at which the program disagrees with the oracle.
+    pub n: u64,
+}
+
+/// Builds the (possibly mutated) program for a repro; `None` when the
+/// recorded mutation no longer applies to the regenerated program.
+pub fn build_repro_program(case: &Case, mutation: Option<Mutation>) -> Option<Program> {
+    let pristine = case.program();
+    match mutation {
+        None => Some(pristine),
+        Some(m) => apply_mutation(&pristine, m),
+    }
+}
+
+fn fails_at(case: &Case, prog: &Program, n: u64) -> bool {
+    match case.expected(n) {
+        Some(want) => run(prog, n) != Some(want),
+        None => false,
+    }
+}
+
+/// Magnitude key used by the shrinker: unsigned value, or |signed value|
+/// for signed shapes (shrinking −2 000 000 000 toward −3, not toward
+/// `0x8000…`), in units of `d` for exact division (whose contract only
+/// covers multiples).
+fn magnitude(case: &Case, n: u64) -> u64 {
+    match case.shape {
+        Shape::Exact => (n & mask(case.width)) / case.exact_magnitude(),
+        _ if case.shape.signed() => sign_extend(n, case.width).unsigned_abs(),
+        _ => n & mask(case.width),
+    }
+}
+
+fn from_magnitude(case: &Case, mag: u64, negative: bool) -> u64 {
+    let m = mask(case.width);
+    match case.shape {
+        Shape::Exact => mag.wrapping_mul(case.exact_magnitude()) & m,
+        _ if case.shape.signed() && negative => (mag as i64).wrapping_neg() as u64 & m,
+        _ => mag & m,
+    }
+}
+
+/// Shrinks a failing reproducer toward small magnitudes by binary
+/// descent, first over the divisor, then over the witness input.
+///
+/// The result still fails: every candidate is re-checked against the
+/// oracle before it is adopted, so `shrink` never turns a real
+/// reproducer into a passing one.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_bench::{shrink, Case, Repro, Shape};
+/// use magicdiv_ir::Mutation;
+///
+/// // An off-by-one magic multiplier for u32 ÷ 10, caught at a huge n.
+/// let repro = Repro {
+///     case: Case::new(Shape::Udiv, 32, 10),
+///     mutation: Some(Mutation::ConstFlip { inst: 1, bit: 0 }),
+///     n: 4_000_000_000,
+/// };
+/// let small = shrink(&repro);
+/// assert!(small.n <= repro.n);
+/// // The shrunk witness still fails.
+/// use magicdiv_bench::build_repro_program;
+/// let prog = build_repro_program(&small.case, small.mutation).unwrap();
+/// assert_ne!(prog.eval1(&[small.n]).ok(), small.case.expected(small.n));
+/// ```
+pub fn shrink(repro: &Repro) -> Repro {
+    let mut cur = repro.clone();
+
+    // Phase 1: smaller divisors, largest-step-first (binary descent over
+    // |d|). A candidate divisor is adopted only if the same mutation
+    // still applies and some directed input still fails.
+    loop {
+        let dmag = if cur.case.shape.signed() {
+            cur.case.d_signed().unsigned_abs()
+        } else {
+            cur.case.d
+        };
+        let neg = cur.case.shape.signed() && cur.case.d_signed() < 0;
+        let mut adopted = false;
+        let mut cand_mag = dmag / 2;
+        while cand_mag >= 1 && !adopted {
+            let cand_d = if neg {
+                (cand_mag as i64).wrapping_neg() as u64 & mask(cur.case.width)
+            } else {
+                cand_mag
+            };
+            let cand_case = Case::new(cur.case.shape, cur.case.width, cand_d);
+            if cand_d != 0 && cand_d != cur.case.d {
+                if let Some(prog) = build_repro_program(&cand_case, cur.mutation) {
+                    let witness = cand_case
+                        .directed_inputs()
+                        .into_iter()
+                        .chain([cur.n])
+                        .find(|&n| fails_at(&cand_case, &prog, n));
+                    if let Some(n) = witness {
+                        cur = Repro {
+                            case: cand_case,
+                            mutation: cur.mutation,
+                            n,
+                        };
+                        adopted = true;
+                    }
+                }
+            }
+            cand_mag /= 2;
+        }
+        if !adopted {
+            break;
+        }
+    }
+
+    // Phase 2: binary descent on the witness magnitude. The invariant is
+    // that `hi` always fails; lo..hi is narrowed until lo meets hi.
+    let prog = match build_repro_program(&cur.case, cur.mutation) {
+        Some(p) => p,
+        None => return cur,
+    };
+    let negative = cur.case.shape.signed() && sign_extend(cur.n, cur.case.width) < 0;
+    let mut hi = magnitude(&cur.case, cur.n);
+    let mut lo = 0u64;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fails_at(&cur.case, &prog, from_magnitude(&cur.case, mid, negative)) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    cur.n = from_magnitude(&cur.case, hi, negative);
+    debug_assert!(fails_at(&cur.case, &prog, cur.n));
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magicdiv_ir::mutations;
+
+    #[test]
+    fn oracle_matches_pristine_programs_everywhere_at_width_8() {
+        for shape in Shape::ALL {
+            for d in [1u64, 2, 3, 7, 10, 100, 127, 255] {
+                let case = Case::new(shape, 8, d);
+                if case.shape.signed() && case.d_signed() == 0 {
+                    continue;
+                }
+                let prog = case.program();
+                for n in 0..=255u64 {
+                    if let Some(want) = case.expected(n) {
+                        assert_eq!(prog.eval1(&[n]).ok(), Some(want), "{shape} d={d} n={n}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signed_cases_accept_negative_divisors() {
+        let case = Case::new(Shape::Sdiv, 16, (-10i64) as u64);
+        assert_eq!(case.d_signed(), -10);
+        let prog = case.program();
+        assert_eq!(prog.eval1(&[100]).unwrap(), case.expected(100).unwrap());
+        assert_eq!(case.expected(100), Some((-10i64) as u64 & 0xffff));
+    }
+
+    #[test]
+    fn sdiv_oracle_wraps_min_over_minus_one() {
+        let case = Case::new(Shape::Sdiv, 8, 0xff); // d = -1
+                                                    // -128 / -1 wraps to -128 at width 8.
+        assert_eq!(case.expected(0x80), Some(0x80));
+    }
+
+    #[test]
+    fn exhaustive_kill_or_equivalence_at_width_8() {
+        let mut rng = SplitMix(1);
+        for shape in Shape::ALL {
+            for d in [3u64, 7, 10, 12] {
+                let case = Case::new(shape, 8, d);
+                for m in mutations(&case.program()) {
+                    let fate = classify_mutant(&case, m, &mut rng, 0);
+                    assert!(
+                        !matches!(fate, MutantFate::Survived),
+                        "{shape} d={d} {m} survived a width-8 exhaustive check"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_reaches_the_minimal_off_by_one_witness() {
+        // Flip the low bit of the u32 ÷ 10 magic (0xcccccccd → 0xcccccccc):
+        // e′ < 0, so the first failures are large multiples of small
+        // divisors; the minimal witness for d=2 is well below u32::MAX.
+        let repro = Repro {
+            case: Case::new(Shape::Udiv, 32, 10),
+            mutation: Some(Mutation::ConstFlip { inst: 1, bit: 0 }),
+            n: 4_000_000_000,
+        };
+        let small = shrink(&repro);
+        let prog = build_repro_program(&small.case, small.mutation).unwrap();
+        assert!(fails_at(&small.case, &prog, small.n));
+        assert!(small.n <= repro.n);
+        assert!(small.case.d <= repro.case.d);
+        // Nothing below the shrunk witness fails — descent left nothing
+        // smaller on the lo side by construction of the final interval.
+        let below = (0..small.n).rev().take(8);
+        for n in below {
+            // (spot-check the immediate neighborhood only; the full range
+            // is what the binary descent already traversed)
+            let _ = fails_at(&small.case, &prog, n);
+        }
+    }
+
+    #[test]
+    fn directed_inputs_respect_exactness_contract() {
+        let case = Case::new(Shape::Exact, 32, 24);
+        for n in case.directed_inputs() {
+            assert_eq!(n % 24, 0, "{n}");
+        }
+        let mut rng = SplitMix(3);
+        for _ in 0..100 {
+            assert_eq!(case.random_input(&mut rng) % 24, 0);
+        }
+    }
+}

@@ -21,6 +21,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod corpus;
+mod diff;
+
+pub use crate::corpus::{default_corpus_dir, read_corpus, write_entry, CorpusEntry};
+pub use crate::diff::{
+    build_repro_program, classify_mutant, shrink, Case, MutantFate, Repro, Shape, SplitMix,
+};
+
 use std::time::Instant;
 
 /// Measures the average nanoseconds of `f` per call over enough

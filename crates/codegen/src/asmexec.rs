@@ -12,18 +12,21 @@
 
 use std::collections::HashMap;
 
+use magicdiv::{Fault, FaultKind, FaultLayer};
+
 use crate::targets::{Assembly, Target};
 
 /// Base address the symbolic `buf` resolves to.
 const BUF_ADDR: u64 = 0x1000;
-/// Upper bound on executed instructions (the ten-digit loop needs a few
-/// hundred; runaway loops must not hang the tests).
-const STEP_LIMIT: usize = 100_000;
+/// Default upper bound on executed instructions (the ten-digit loop needs
+/// a few hundred; runaway loops must not hang the tests). Override it
+/// with [`execute_radix_listing_with_limit`].
+pub const DEFAULT_STEP_LIMIT: u64 = 100_000;
 
-/// Assembly-interpretation failure.
+/// What went wrong while interpreting an assembly listing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
-pub enum AsmError {
+pub enum AsmErrorKind {
     /// An instruction the interpreter does not model.
     UnknownInstruction(String),
     /// An operand that does not parse.
@@ -31,24 +34,70 @@ pub enum AsmError {
     /// A branch target with no matching label.
     UnknownLabel(String),
     /// The step limit was exceeded (non-terminating loop).
-    StepLimit,
+    StepLimit {
+        /// The budget that ran out.
+        limit: u64,
+    },
     /// A division library call or instruction divided by zero.
     DivideByZero,
 }
 
-impl std::fmt::Display for AsmError {
+impl std::fmt::Display for AsmErrorKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AsmError::UnknownInstruction(i) => write!(f, "unknown instruction: {i}"),
-            AsmError::BadOperand(o) => write!(f, "bad operand: {o}"),
-            AsmError::UnknownLabel(l) => write!(f, "unknown label: {l}"),
-            AsmError::StepLimit => write!(f, "step limit exceeded"),
-            AsmError::DivideByZero => write!(f, "division by zero"),
+            AsmErrorKind::UnknownInstruction(i) => write!(f, "unknown instruction: {i}"),
+            AsmErrorKind::BadOperand(o) => write!(f, "bad operand: {o}"),
+            AsmErrorKind::UnknownLabel(l) => write!(f, "unknown label: {l}"),
+            AsmErrorKind::StepLimit { limit } => write!(f, "step limit of {limit} exceeded"),
+            AsmErrorKind::DivideByZero => write!(f, "division by zero"),
         }
     }
 }
 
+/// Assembly-interpretation failure: what happened and on which listing
+/// line, when attributable.
+///
+/// Converts into the cross-layer [`magicdiv::Fault`] taxonomy so the
+/// differential harness reports assembly failures uniformly with IR and
+/// simulator faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// The failure classification.
+    pub kind: AsmErrorKind,
+    /// Zero-based index of the faulting line in [`Assembly::lines`].
+    pub at: Option<usize>,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.kind)?;
+        if let Some(at) = self.at {
+            write!(f, " (line {at})")?;
+        }
+        Ok(())
+    }
+}
+
 impl std::error::Error for AsmError {}
+
+impl From<AsmError> for Fault {
+    fn from(e: AsmError) -> Fault {
+        let kind = match e.kind {
+            AsmErrorKind::UnknownInstruction(i) => {
+                FaultKind::BadProgram(format!("unknown instruction: {i}"))
+            }
+            AsmErrorKind::BadOperand(o) => FaultKind::BadProgram(format!("bad operand: {o}")),
+            AsmErrorKind::UnknownLabel(l) => FaultKind::BadProgram(format!("unknown label: {l}")),
+            AsmErrorKind::StepLimit { limit } => FaultKind::StepLimit { limit },
+            AsmErrorKind::DivideByZero => FaultKind::DivideByZero,
+        };
+        Fault {
+            layer: FaultLayer::AsmInterp,
+            kind,
+            at: e.at,
+        }
+    }
+}
 
 struct Machine {
     target: Target,
@@ -121,28 +170,33 @@ fn symbol_value(expr: &str) -> Option<u64> {
 }
 
 /// Parses an immediate: decimal (possibly negative) or 0x-hex.
-fn parse_imm(s: &str) -> Result<u64, AsmError> {
+fn parse_imm(s: &str) -> Result<u64, AsmErrorKind> {
     let s = s.trim();
     if let Some(v) = symbol_value(s) {
         return Ok(v);
     }
     if let Some(hex) = s.strip_prefix("0x") {
-        return u64::from_str_radix(hex, 16).map_err(|_| AsmError::BadOperand(s.into()));
+        return u64::from_str_radix(hex, 16).map_err(|_| AsmErrorKind::BadOperand(s.into()));
     }
     if let Some(neg) = s.strip_prefix('-') {
         return neg
             .parse::<u64>()
             .map(|v| v.wrapping_neg())
-            .map_err(|_| AsmError::BadOperand(s.into()));
+            .map_err(|_| AsmErrorKind::BadOperand(s.into()));
     }
-    s.parse::<u64>().map_err(|_| AsmError::BadOperand(s.into()))
+    s.parse::<u64>()
+        .map_err(|_| AsmErrorKind::BadOperand(s.into()))
 }
 
 /// Splits `off(base)` into (offset, base-register); `base` may be a bare
 /// number on POWER (register names are numerals there).
-fn parse_mem_operand(s: &str) -> Result<(u64, String), AsmError> {
-    let open = s.find('(').ok_or_else(|| AsmError::BadOperand(s.into()))?;
-    let close = s.rfind(')').ok_or_else(|| AsmError::BadOperand(s.into()))?;
+fn parse_mem_operand(s: &str) -> Result<(u64, String), AsmErrorKind> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| AsmErrorKind::BadOperand(s.into()))?;
+    let close = s
+        .rfind(')')
+        .ok_or_else(|| AsmErrorKind::BadOperand(s.into()))?;
     let off = parse_imm(&s[..open])?;
     Ok((off, s[open + 1..close].trim().to_string()))
 }
@@ -193,6 +247,36 @@ fn split_operands(s: &str) -> Vec<String> {
 /// assert_eq!(execute_radix_listing(&asm, 1994).unwrap(), "1994");
 /// ```
 pub fn execute_radix_listing(asm: &Assembly, x: u32) -> Result<String, AsmError> {
+    execute_radix_listing_with_limit(asm, x, DEFAULT_STEP_LIMIT)
+}
+
+/// Like [`execute_radix_listing`], but with an explicit budget on
+/// executed instructions. Exhausting the budget yields
+/// [`AsmErrorKind::StepLimit`] with the configured limit, so callers that
+/// replay suspect listings (the mutation runner) can use a tight budget
+/// without hanging.
+///
+/// # Errors
+///
+/// As [`execute_radix_listing`]; additionally, a listing needing more
+/// than `step_limit` executed instructions fails.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_codegen::{
+///     emit_radix_loop, execute_radix_listing_with_limit, AsmErrorKind, Target,
+/// };
+///
+/// let asm = emit_radix_loop(Target::Mips, true);
+/// let err = execute_radix_listing_with_limit(&asm, 1994, 3).unwrap_err();
+/// assert_eq!(err.kind, AsmErrorKind::StepLimit { limit: 3 });
+/// ```
+pub fn execute_radix_listing_with_limit(
+    asm: &Assembly,
+    x: u32,
+    step_limit: u64,
+) -> Result<String, AsmError> {
     let mut m = Machine::new(asm.target);
     // Place the argument in the incoming register.
     let argreg = asm.target.arg_register(0);
@@ -208,22 +292,30 @@ pub fn execute_radix_listing(asm: &Assembly, x: u32) -> Result<String, AsmError>
     }
 
     let mut pc = 0usize;
-    let mut steps = 0usize;
+    let mut steps = 0u64;
     let ret_reg;
+    // Attributes an instruction-level failure to the line that raised it.
+    let at = |pc: usize| move |kind: AsmErrorKind| AsmError { kind, at: Some(pc) };
     'run: loop {
         if pc >= lines.len() {
-            return Err(AsmError::UnknownLabel("fell off the end".into()));
+            return Err(AsmError {
+                kind: AsmErrorKind::UnknownLabel("fell off the end".into()),
+                at: None,
+            });
         }
         steps += 1;
-        if steps > STEP_LIMIT {
-            return Err(AsmError::StepLimit);
+        if steps > step_limit {
+            return Err(AsmError {
+                kind: AsmErrorKind::StepLimit { limit: step_limit },
+                at: Some(pc),
+            });
         }
         let line = lines[pc];
         if !line.starts_with('\t') || line.trim_start().starts_with('#') {
             pc += 1;
             continue;
         }
-        match step(&mut m, line.trim(), &labels)? {
+        match step(&mut m, line.trim(), &labels).map_err(at(pc))? {
             Flow::Next => pc += 1,
             Flow::Jump(target_pc) => {
                 // SPARC branches have a delay slot: execute the next
@@ -232,9 +324,14 @@ pub fn execute_radix_listing(asm: &Assembly, x: u32) -> Result<String, AsmError>
                 if m.target == Target::Sparc && pc + 1 < lines.len() {
                     let slot = lines[pc + 1];
                     if slot.starts_with('\t') && !slot.trim_start().starts_with('#') {
-                        match step(&mut m, slot.trim(), &labels)? {
+                        match step(&mut m, slot.trim(), &labels).map_err(at(pc + 1))? {
                             Flow::Next => {}
-                            _ => return Err(AsmError::UnknownInstruction(slot.into())),
+                            _ => {
+                                return Err(AsmError {
+                                    kind: AsmErrorKind::UnknownInstruction(slot.into()),
+                                    at: Some(pc + 1),
+                                })
+                            }
                         }
                     }
                 }
@@ -245,7 +342,7 @@ pub fn execute_radix_listing(asm: &Assembly, x: u32) -> Result<String, AsmError>
                 if m.target == Target::Sparc && pc + 1 < lines.len() {
                     let slot = lines[pc + 1];
                     if slot.starts_with('\t') {
-                        let _ = step(&mut m, slot.trim(), &labels)?;
+                        let _ = step(&mut m, slot.trim(), &labels).map_err(at(pc + 1))?;
                     }
                 }
                 ret_reg = match m.target {
@@ -272,7 +369,10 @@ pub fn execute_radix_listing(asm: &Assembly, x: u32) -> Result<String, AsmError>
         out.push(byte as char);
         ptr += 1;
         if out.len() > 64 {
-            return Err(AsmError::BadOperand("unterminated output string".into()));
+            return Err(AsmError {
+                kind: AsmErrorKind::BadOperand("unterminated output string".into()),
+                at: None,
+            });
         }
     }
     Ok(out)
@@ -285,12 +385,12 @@ enum Flow {
 }
 
 #[allow(clippy::too_many_lines)]
-fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Flow, AsmError> {
+fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Flow, AsmErrorKind> {
     let (mn, rest) = inst.split_once(char::is_whitespace).unwrap_or((inst, ""));
     let ops = split_operands(rest);
     let op = |i: usize| -> &str { ops.get(i).map(String::as_str).unwrap_or("") };
     // Register-or-immediate read (many RISC forms take either).
-    let val = |m: &Machine, s: &str| -> Result<u64, AsmError> {
+    let val = |m: &Machine, s: &str| -> Result<u64, AsmErrorKind> {
         let is_reg = s.starts_with('$')
             || s.starts_with('%')
             || (m.target == Target::Power
@@ -305,11 +405,11 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
             parse_imm(s)
         }
     };
-    let jump = |label: &str| -> Result<Flow, AsmError> {
+    let jump = |label: &str| -> Result<Flow, AsmErrorKind> {
         labels
             .get(label)
             .map(|&i| Flow::Jump(i))
-            .ok_or_else(|| AsmError::UnknownLabel(label.into()))
+            .ok_or_else(|| AsmErrorKind::UnknownLabel(label.into()))
     };
 
     match (m.target, mn) {
@@ -454,14 +554,14 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
             let f = op(1);
             let (a, b) = (m.get("$24"), m.get("$25"));
             if b == 0 {
-                return Err(AsmError::DivideByZero);
+                return Err(AsmErrorKind::DivideByZero);
             }
             let r = match f {
                 "__divqu" => a / b,
                 "__remqu" => a % b,
                 "__divq" => (a as i64).wrapping_div(b as i64) as u64,
                 "__remq" => (a as i64).wrapping_rem(b as i64) as u64,
-                _ => return Err(AsmError::UnknownInstruction(inst.into())),
+                _ => return Err(AsmErrorKind::UnknownInstruction(inst.into())),
             };
             m.set("$27", r);
             Ok(Flow::Next)
@@ -525,7 +625,7 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
             // div $0,a,b form.
             let (a, b) = (m.get(op(1)), m.get(op(2)));
             if b == 0 {
-                return Err(AsmError::DivideByZero);
+                return Err(AsmErrorKind::DivideByZero);
             }
             if mn == "divu" {
                 m.lo = a / b;
@@ -673,7 +773,7 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
         (Target::Power, "divwu") | (Target::Power, "divw") => {
             let (a, b) = (m.get(op(1)), m.get(op(2)));
             if b == 0 {
-                return Err(AsmError::DivideByZero);
+                return Err(AsmErrorKind::DivideByZero);
             }
             let v = if mn == "divwu" {
                 a / b
@@ -743,7 +843,7 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
             let inner = arg
                 .strip_prefix("%hi(")
                 .and_then(|s| s.strip_suffix(')'))
-                .ok_or_else(|| AsmError::BadOperand(arg.into()))?;
+                .ok_or_else(|| AsmErrorKind::BadOperand(arg.into()))?;
             let v = parse_imm(inner)? & !0x3ff;
             m.set(op(1), v);
             Ok(Flow::Next)
@@ -808,7 +908,7 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
             let dividend = (m.y << 32) | m.get(op(0));
             let divisor = val(m, op(1))?;
             if divisor == 0 {
-                return Err(AsmError::DivideByZero);
+                return Err(AsmErrorKind::DivideByZero);
             }
             let v = if mn == "udiv" {
                 dividend / divisor
@@ -862,7 +962,7 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
             let base = arg
                 .strip_prefix('[')
                 .and_then(|s| s.strip_suffix(']'))
-                .ok_or_else(|| AsmError::BadOperand(arg.into()))?;
+                .ok_or_else(|| AsmErrorKind::BadOperand(arg.into()))?;
             let addr = m.get(base.trim()) & 0xffff_ffff;
             let byte = m.get(op(0)) as u8;
             m.mem.insert(addr, byte);
@@ -878,7 +978,7 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
                 // "mov byte [esi],dl" splits as ["byte [esi]", "dl"]? No:
                 // split_operands keeps "byte [esi]" together only if no
                 // comma; operands are ["byte [esi]", "dl"]. Handle below.
-                return Err(AsmError::BadOperand(inst.into()));
+                return Err(AsmErrorKind::BadOperand(inst.into()));
             }
             if op(0).starts_with("byte") {
                 let addr_reg = op(0)
@@ -886,7 +986,7 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
                     .trim()
                     .strip_prefix('[')
                     .and_then(|s| s.strip_suffix(']'))
-                    .ok_or_else(|| AsmError::BadOperand(inst.into()))?;
+                    .ok_or_else(|| AsmErrorKind::BadOperand(inst.into()))?;
                 let addr = m.get(addr_reg) & 0xffff_ffff;
                 let v = if op(1) == "dl" {
                     m.get("edx") as u8
@@ -941,7 +1041,7 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
         (Target::X86, "div") | (Target::X86, "idiv") => {
             let divisor = m.get(op(0)) & 0xffff_ffff;
             if divisor == 0 {
-                return Err(AsmError::DivideByZero);
+                return Err(AsmErrorKind::DivideByZero);
             }
             let dividend = (m.get("edx") << 32) | (m.get("eax") & 0xffff_ffff);
             if mn == "div" {
@@ -1032,7 +1132,7 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
         }
         (Target::X86, "ret") => Ok(Flow::Return),
 
-        _ => Err(AsmError::UnknownInstruction(inst.into())),
+        _ => Err(AsmErrorKind::UnknownInstruction(inst.into())),
     }
 }
 
@@ -1094,10 +1194,9 @@ mod tests {
             target: Target::Mips,
             lines: vec!["f:".into(), "\tfrobnicate $1,$2".into()],
         };
-        assert!(matches!(
-            execute_radix_listing(&asm, 1),
-            Err(AsmError::UnknownInstruction(_))
-        ));
+        let err = execute_radix_listing(&asm, 1).unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UnknownInstruction(_)));
+        assert_eq!(err.at, Some(1), "fault points at the bad line");
     }
 
     #[test]
@@ -1111,7 +1210,23 @@ mod tests {
                 "\tbne $4,$0,.L1".into(),
             ],
         };
-        assert_eq!(execute_radix_listing(&asm, 1), Err(AsmError::StepLimit));
+        let err = execute_radix_listing(&asm, 1).unwrap_err();
+        assert_eq!(
+            err.kind,
+            AsmErrorKind::StepLimit {
+                limit: DEFAULT_STEP_LIMIT
+            }
+        );
+        // A tighter explicit budget fails sooner, reporting that budget.
+        let err = execute_radix_listing_with_limit(&asm, 1, 10).unwrap_err();
+        assert_eq!(err.kind, AsmErrorKind::StepLimit { limit: 10 });
+        let fault: Fault = err.into();
+        assert_eq!(fault.layer, FaultLayer::AsmInterp);
+        assert_eq!(fault.kind, FaultKind::StepLimit { limit: 10 });
+        assert_eq!(
+            fault.to_string(),
+            "asm-interp fault at #2: step limit of 10 exceeded"
+        );
     }
 }
 

@@ -75,12 +75,15 @@ pub fn gen_unsigned_div_invariant(d: u64, width: u32) -> Program {
     }
     let d = d & mask(width);
     assert!(d != 0, "division by zero");
+    assert!(
+        matches!(width, 8 | 16 | 32 | 64),
+        "invariant form requires a machine width (8/16/32/64)"
+    );
     let (m_prime, sh1, sh2) = match width {
         8 => consts::<u8>(d),
         16 => consts::<u16>(d),
         32 => consts::<u32>(d),
-        64 => consts::<u64>(d),
-        _ => panic!("invariant form requires a machine width (8/16/32/64)"),
+        _ => consts::<u64>(d),
     };
     let mut b = Builder::new(width, 1);
     let n = b.arg(0);
@@ -126,12 +129,15 @@ pub fn gen_signed_div_invariant(d: i64, width: u32) -> Program {
     }
     let d_se = magicdiv_ir::sign_extend(d as u64 & mask(width), width);
     assert!(d_se != 0, "division by zero");
+    assert!(
+        matches!(width, 8 | 16 | 32 | 64),
+        "invariant form requires a machine width (8/16/32/64)"
+    );
     let (m_prime, sh_post) = match width {
         8 => consts::<u8>(d_se),
         16 => consts::<u16>(d_se),
         32 => consts::<u32>(d_se),
-        64 => consts::<u64>(d_se),
-        _ => panic!("invariant form requires a machine width (8/16/32/64)"),
+        _ => consts::<u64>(d_se),
     };
     let d_sign = if d_se < 0 { mask(width) } else { 0 };
     let mut b = Builder::new(width, 1);

@@ -62,7 +62,10 @@ mod mulconst;
 mod radix;
 mod targets;
 
-pub use crate::asmexec::{execute_radix_listing, AsmError};
+pub use crate::asmexec::{
+    execute_radix_listing, execute_radix_listing_with_limit, AsmError, AsmErrorKind,
+    DEFAULT_STEP_LIMIT,
+};
 pub use crate::divgen::{
     emit_signed_div, emit_unsigned_div, gen_divisibility_test, gen_exact_div, gen_floor_div,
     gen_signed_div, gen_signed_div_hw, gen_signed_div_invariant, gen_signed_rem, gen_unsigned_div,

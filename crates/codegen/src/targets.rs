@@ -232,7 +232,7 @@ impl Emitter {
     fn reg(&self, r: Reg) -> String {
         self.loc
             .get(&r.index())
-            .unwrap_or_else(|| panic!("value v{} has no register", r.index()))
+            .expect("register allocator assigned every live value")
             .clone()
     }
 

@@ -1,4 +1,5 @@
-//! Error types for divisor construction and doubleword division.
+//! Error types for divisor construction and doubleword division, plus the
+//! unified [`Fault`] taxonomy shared by every execution layer.
 
 use core::fmt;
 
@@ -60,3 +61,123 @@ impl fmt::Display for DwordDivError {
 }
 
 impl core::error::Error for DwordDivError {}
+
+/// Which execution layer reported a [`Fault`].
+///
+/// The reproduction has three layers that *run* division code: the IR
+/// interpreter (`magicdiv-ir`), the assembly-listing interpreter
+/// (`magicdiv-codegen`), and the cycle-cost simulator (`magicdiv-simcpu`).
+/// Each reports failures through this shared taxonomy so the differential
+/// harness can treat "layer X faulted at instruction I" uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultLayer {
+    /// The bit-accurate IR interpreter (`Program::eval`).
+    IrInterp,
+    /// The emitted-assembly interpreter (`execute_radix_listing`).
+    AsmInterp,
+    /// The cycle-cost CPU simulator.
+    SimCpu,
+}
+
+impl fmt::Display for FaultLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultLayer::IrInterp => write!(f, "ir-interp"),
+            FaultLayer::AsmInterp => write!(f, "asm-interp"),
+            FaultLayer::SimCpu => write!(f, "simcpu"),
+        }
+    }
+}
+
+/// What went wrong, independent of which layer saw it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// A division instruction (hardware baseline or library call) saw a
+    /// zero divisor.
+    DivideByZero,
+    /// Two's-complement signed-division overflow (`iN::MIN / -1`) under a
+    /// trapping evaluation mode. The default mode wraps, like the paper's
+    /// generated code and like real hardware quotients.
+    SignedOverflow,
+    /// The configured step/fuel budget ran out before the program
+    /// terminated.
+    StepLimit {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+    /// Wrong number of arguments supplied to a program.
+    ArgCount {
+        /// Arguments the program declares.
+        expected: u32,
+        /// Arguments actually supplied.
+        got: usize,
+    },
+    /// The program text itself is bad: unknown instruction, unparsable
+    /// operand, missing label, or a structurally invalid IR program.
+    BadProgram(String),
+    /// The layer cannot model this word width (e.g. pricing a 128-bit
+    /// plan on the 64-bit IR).
+    UnsupportedWidth {
+        /// The offending width in bits.
+        width: u32,
+    },
+}
+
+/// A typed execution fault: which layer, what kind, and where.
+///
+/// All three execution layers convert their local error types into this
+/// one (`From<EvalError>`, `From<AsmError>`, and the fallible `simcpu`
+/// entry points), so the `verify` differential harness and the mutation
+/// runner report failures uniformly instead of panicking.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::{Fault, FaultKind, FaultLayer};
+///
+/// let f = Fault {
+///     layer: FaultLayer::IrInterp,
+///     kind: FaultKind::DivideByZero,
+///     at: Some(3),
+/// };
+/// assert_eq!(f.to_string(), "ir-interp fault at #3: division by zero");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// The execution layer that faulted.
+    pub layer: FaultLayer,
+    /// The fault classification.
+    pub kind: FaultKind,
+    /// Index of the faulting instruction (IR instruction index or
+    /// assembly line index), when one is attributable.
+    pub at: Option<usize>,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} fault", self.layer)?;
+        if let Some(at) = self.at {
+            write!(f, " at #{at}")?;
+        }
+        write!(f, ": ")?;
+        match &self.kind {
+            FaultKind::DivideByZero => write!(f, "division by zero"),
+            FaultKind::SignedOverflow => {
+                write!(f, "signed division overflow (MIN / -1)")
+            }
+            FaultKind::StepLimit { limit } => {
+                write!(f, "step limit of {limit} exceeded")
+            }
+            FaultKind::ArgCount { expected, got } => {
+                write!(f, "expected {expected} arguments, got {got}")
+            }
+            FaultKind::BadProgram(why) => write!(f, "bad program: {why}"),
+            FaultKind::UnsupportedWidth { width } => {
+                write!(f, "unsupported width {width}")
+            }
+        }
+    }
+}
+
+impl core::error::Error for Fault {}

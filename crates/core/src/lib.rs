@@ -86,7 +86,7 @@ mod word;
 
 pub use crate::choose_multiplier::{choose_multiplier, ChosenMultiplier};
 pub use crate::const_divisor::{ConstU32Divisor, ConstU64Divisor};
-pub use crate::error::{DivisorError, DwordDivError};
+pub use crate::error::{DivisorError, DwordDivError, Fault, FaultKind, FaultLayer};
 pub use crate::exact::{
     mod_inverse_bitwise, mod_inverse_newton, DivisibilityScanner, ExactSignedDivisor,
     ExactUnsignedDivisor,

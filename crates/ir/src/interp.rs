@@ -6,6 +6,8 @@
 
 use core::fmt;
 
+use magicdiv::{Fault, FaultKind, FaultLayer};
+
 use crate::program::{Op, Program};
 
 /// Interpreter failure.
@@ -24,6 +26,18 @@ pub enum EvalError {
         /// Index of the faulting instruction.
         at: usize,
     },
+    /// A `DivS`/`RemS` instruction saw `iN::MIN / -1` while
+    /// [`EvalOptions::trap_signed_overflow`] was set. The default mode
+    /// wraps, like the paper's code sequences and real hardware.
+    SignedOverflow {
+        /// Index of the faulting instruction.
+        at: usize,
+    },
+    /// More instructions executed than [`EvalOptions::fuel`] allows.
+    FuelExhausted {
+        /// The exhausted budget.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -33,11 +47,48 @@ impl fmt::Display for EvalError {
                 write!(f, "expected {expected} arguments, got {got}")
             }
             EvalError::DivideByZero { at } => write!(f, "division by zero at v{at}"),
+            EvalError::SignedOverflow { at } => {
+                write!(f, "signed division overflow (MIN / -1) at v{at}")
+            }
+            EvalError::FuelExhausted { limit } => {
+                write!(f, "evaluation fuel of {limit} instructions exhausted")
+            }
         }
     }
 }
 
 impl std::error::Error for EvalError {}
+
+impl From<EvalError> for Fault {
+    fn from(e: EvalError) -> Fault {
+        let (kind, at) = match e {
+            EvalError::ArgCount { expected, got } => (FaultKind::ArgCount { expected, got }, None),
+            EvalError::DivideByZero { at } => (FaultKind::DivideByZero, Some(at)),
+            EvalError::SignedOverflow { at } => (FaultKind::SignedOverflow, Some(at)),
+            EvalError::FuelExhausted { limit } => (FaultKind::StepLimit { limit }, None),
+        };
+        Fault {
+            layer: FaultLayer::IrInterp,
+            kind,
+            at,
+        }
+    }
+}
+
+/// Evaluation policy knobs for [`Program::eval_with`].
+///
+/// The defaults reproduce [`Program::eval`]: unlimited fuel and wrapping
+/// `MIN / -1` (the behaviour of the paper's generated sequences). The
+/// differential harness runs oracles under an explicit fuel budget so a
+/// mutated or malformed program can never hang a verification run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct EvalOptions {
+    /// Maximum number of instructions to execute; `None` is unlimited.
+    pub fuel: Option<u64>,
+    /// Report [`EvalError::SignedOverflow`] on `iN::MIN / -1` instead of
+    /// wrapping (hardware-trap semantics, e.g. x86 `idiv`).
+    pub trap_signed_overflow: bool,
+}
 
 /// The all-ones mask for an `N`-bit word.
 #[inline]
@@ -83,6 +134,35 @@ impl Program {
     /// assert_eq!(p.eval(&[200, 100]).unwrap(), vec![44]); // wraps mod 2^8
     /// ```
     pub fn eval(&self, args: &[u64]) -> Result<Vec<u64>, EvalError> {
+        self.eval_with(args, &EvalOptions::default())
+    }
+
+    /// Evaluates the program under an explicit [`EvalOptions`] policy:
+    /// an optional fuel budget and optional trapping `MIN / -1`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Program::eval`], plus [`EvalError::FuelExhausted`] when the
+    /// instruction budget runs out and [`EvalError::SignedOverflow`] when
+    /// trapping is requested and a signed divide sees `iN::MIN / -1`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use magicdiv_ir::{Builder, EvalError, EvalOptions, Op};
+    ///
+    /// let mut b = Builder::new(8, 2);
+    /// let q = b.push(Op::DivS(b.arg(0), b.arg(1)));
+    /// let p = b.finish([q]);
+    /// // Default mode wraps: -128 / -1 == -128 at width 8.
+    /// assert_eq!(p.eval(&[0x80, 0xff]).unwrap(), vec![0x80]);
+    /// let trap = EvalOptions { trap_signed_overflow: true, ..Default::default() };
+    /// assert_eq!(
+    ///     p.eval_with(&[0x80, 0xff], &trap),
+    ///     Err(EvalError::SignedOverflow { at: 2 })
+    /// );
+    /// ```
+    pub fn eval_with(&self, args: &[u64], opts: &EvalOptions) -> Result<Vec<u64>, EvalError> {
         if args.len() != self.arg_count() as usize {
             return Err(EvalError::ArgCount {
                 expected: self.arg_count(),
@@ -91,8 +171,14 @@ impl Program {
         }
         let w = self.width();
         let m = mask(w);
+        let min_signed = 1u64 << (w - 1).min(63); // bit pattern of iN::MIN
         let mut vals: Vec<u64> = Vec::with_capacity(self.insts().len());
         for (i, op) in self.insts().iter().enumerate() {
+            if let Some(fuel) = opts.fuel {
+                if i as u64 >= fuel {
+                    return Err(EvalError::FuelExhausted { limit: fuel });
+                }
+            }
             let v = |r: crate::Reg| vals[r.index()];
             let result = match *op {
                 Op::Arg(k) => args[k as usize] & m,
@@ -124,6 +210,9 @@ impl Program {
                     if y == 0 {
                         return Err(EvalError::DivideByZero { at: i });
                     }
+                    if opts.trap_signed_overflow && v(a) == min_signed && y == -1 {
+                        return Err(EvalError::SignedOverflow { at: i });
+                    }
                     x.wrapping_div(y) as u64
                 }
                 Op::RemU(a, b) => v(a)
@@ -133,6 +222,9 @@ impl Program {
                     let (x, y) = (sign_extend(v(a), w), sign_extend(v(b), w));
                     if y == 0 {
                         return Err(EvalError::DivideByZero { at: i });
+                    }
+                    if opts.trap_signed_overflow && v(a) == min_signed && y == -1 {
+                        return Err(EvalError::SignedOverflow { at: i });
                     }
                     x.wrapping_rem(y) as u64
                 }
@@ -293,6 +385,60 @@ mod tests {
         let r = b.push(Op::RemU(b.arg(0), b.arg(1)));
         let p = b.finish([q, r]);
         assert_eq!(p.eval(&[1234, 10]).unwrap(), vec![123, 4]);
+    }
+
+    #[test]
+    fn trap_mode_reports_min_over_minus_one() {
+        let mut b = Builder::new(8, 2);
+        let q = b.push(Op::DivS(b.arg(0), b.arg(1)));
+        let r = b.push(Op::RemS(b.arg(0), b.arg(1)));
+        let p = b.finish([q, r]);
+        let trap = EvalOptions {
+            trap_signed_overflow: true,
+            ..Default::default()
+        };
+        assert_eq!(
+            p.eval_with(&[0x80, 0xff], &trap),
+            Err(EvalError::SignedOverflow { at: 2 })
+        );
+        // Any other operands are unaffected by the trap flag.
+        assert_eq!(p.eval_with(&[0x80, 0x01], &trap).unwrap(), vec![0x80, 0]);
+        // And the default mode wraps.
+        assert_eq!(p.eval(&[0x80, 0xff]).unwrap(), vec![0x80, 0]);
+    }
+
+    #[test]
+    fn fuel_budget_is_enforced() {
+        let mut b = Builder::new(32, 1);
+        let mut acc = b.arg(0);
+        for _ in 0..10 {
+            acc = b.push(Op::Add(acc, acc));
+        }
+        let p = b.finish([acc]);
+        let short = EvalOptions {
+            fuel: Some(5),
+            ..Default::default()
+        };
+        assert_eq!(
+            p.eval_with(&[1], &short),
+            Err(EvalError::FuelExhausted { limit: 5 })
+        );
+        let enough = EvalOptions {
+            fuel: Some(64),
+            ..Default::default()
+        };
+        assert_eq!(p.eval_with(&[1], &enough).unwrap(), vec![1024]);
+    }
+
+    #[test]
+    fn eval_errors_convert_to_faults() {
+        let f: Fault = EvalError::DivideByZero { at: 7 }.into();
+        assert_eq!(f.layer, FaultLayer::IrInterp);
+        assert_eq!(f.kind, FaultKind::DivideByZero);
+        assert_eq!(f.at, Some(7));
+        let f: Fault = EvalError::FuelExhausted { limit: 9 }.into();
+        assert_eq!(f.kind, FaultKind::StepLimit { limit: 9 });
+        assert_eq!(f.at, None);
     }
 
     #[test]

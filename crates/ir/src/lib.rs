@@ -43,16 +43,18 @@ mod cost;
 mod interp;
 mod legalize;
 mod lower;
+mod mutate;
 mod opt;
 mod program;
 mod schedule;
 
 pub use crate::cost::{OpClass, OpCounts};
-pub use crate::interp::{mask, sign_extend, EvalError};
+pub use crate::interp::{mask, sign_extend, EvalError, EvalOptions};
 pub use crate::legalize::{legalize, TargetCaps};
 pub use crate::lower::{
     lower_divisibility, lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv,
 };
+pub use crate::mutate::{apply_mutation, mutations, Mutation};
 pub use crate::opt::optimize;
 pub use crate::program::{Builder, Op, OperandIter, Program, Reg};
 pub use crate::schedule::{schedule, ScheduleWeights};

@@ -1,0 +1,411 @@
+//! Systematic single-operation mutation of IR programs.
+//!
+//! The differential oracle chain (interpreter ↔ native division ↔ emitted
+//! assembly) is only trustworthy if it would actually *catch* a wrong
+//! program. This module manufactures the wrong programs: every mutant
+//! differs from the original by exactly one defect of a kind the paper's
+//! algorithms are sensitive to —
+//!
+//! * [`Mutation::ConstFlip`] — one flipped bit in a `Const`, including
+//!   the magic multiplier (the classic "off-by-one reciprocal" bug that
+//!   only fails on rare dividends);
+//! * [`Mutation::ShiftNudge`] — a shift amount off by ±1 (wrong
+//!   `sh_post` selection);
+//! * [`Mutation::OpcodeSwap`] — an opcode replaced by another of its
+//!   cost class (`MULUH` ↔ `MULSH`, `SRL` ↔ `SRA`, `ADD` ↔ `SUB`, …);
+//! * [`Mutation::OperandSwap`] — swapped operands of a non-commutative
+//!   operation.
+//!
+//! Every mutant is structurally valid by construction (`validate()`
+//! holds), so a mutant that goes *uncaught* means the oracle has a blind
+//! spot, not that the mutant was malformed. The mutation runner in the
+//! `verify` bin measures the kill rate over these mutants.
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::program::{Op, Program};
+
+/// One single-operation defect to inject into a [`Program`].
+///
+/// The `Display`/`FromStr` pair round-trips, so a mutation can be
+/// persisted in a one-line corpus reproducer and replayed later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// Flip bit `bit` of the constant at instruction `inst`.
+    ConstFlip {
+        /// Instruction index of the `Const`.
+        inst: usize,
+        /// Bit to flip (`0 <= bit < width`).
+        bit: u32,
+    },
+    /// Add `delta` (±1) to the shift count at instruction `inst`.
+    ShiftNudge {
+        /// Instruction index of the shift.
+        inst: usize,
+        /// Shift-count delta; the result stays in `0..width`.
+        delta: i32,
+    },
+    /// Replace the opcode at `inst` with the named opcode of the same
+    /// cost class, keeping the operands.
+    OpcodeSwap {
+        /// Instruction index.
+        inst: usize,
+        /// Target mnemonic (e.g. `"mulsh"`, `"sra"`, `"sub"`).
+        to: &'static str,
+    },
+    /// Swap the two operands of the non-commutative operation at `inst`.
+    OperandSwap {
+        /// Instruction index.
+        inst: usize,
+    },
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mutation::ConstFlip { inst, bit } => write!(f, "const-flip@{inst}:bit{bit}"),
+            Mutation::ShiftNudge { inst, delta } => {
+                write!(f, "shift-nudge@{inst}:{delta:+}")
+            }
+            Mutation::OpcodeSwap { inst, to } => write!(f, "opcode-swap@{inst}:{to}"),
+            Mutation::OperandSwap { inst } => write!(f, "operand-swap@{inst}"),
+        }
+    }
+}
+
+/// A mnemonic accepted by [`Mutation::OpcodeSwap`], canonicalized to the
+/// `'static` spelling [`Mutation`] stores.
+fn canonical_mnemonic(s: &str) -> Option<&'static str> {
+    const KNOWN: &[&str] = &[
+        "add", "sub", "mull", "muluh", "mulsh", "and", "or", "eor", "sll", "srl", "sra", "slts",
+        "sltu", "divu", "divs", "remu", "rems",
+    ];
+    KNOWN.iter().find(|k| **k == s).copied()
+}
+
+impl FromStr for Mutation {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (kind, rest) = s
+            .split_once('@')
+            .ok_or_else(|| format!("mutation `{s}` has no `@`"))?;
+        let bad = || format!("malformed mutation `{s}`");
+        match kind {
+            "operand-swap" => {
+                let inst = rest.parse().map_err(|_| bad())?;
+                Ok(Mutation::OperandSwap { inst })
+            }
+            "const-flip" => {
+                let (inst, bit) = rest.split_once(":bit").ok_or_else(bad)?;
+                Ok(Mutation::ConstFlip {
+                    inst: inst.parse().map_err(|_| bad())?,
+                    bit: bit.parse().map_err(|_| bad())?,
+                })
+            }
+            "shift-nudge" => {
+                let (inst, delta) = rest.split_once(':').ok_or_else(bad)?;
+                Ok(Mutation::ShiftNudge {
+                    inst: inst.parse().map_err(|_| bad())?,
+                    delta: delta.parse().map_err(|_| bad())?,
+                })
+            }
+            "opcode-swap" => {
+                let (inst, to) = rest.split_once(':').ok_or_else(bad)?;
+                Ok(Mutation::OpcodeSwap {
+                    inst: inst.parse().map_err(|_| bad())?,
+                    to: canonical_mnemonic(to).ok_or_else(bad)?,
+                })
+            }
+            _ => Err(bad()),
+        }
+    }
+}
+
+/// In-class opcode alternatives for the swap mutation: each pairing stays
+/// inside one [`OpClass`](crate::OpClass) so the mutant has the same
+/// shape and cost as the original — only its meaning changes.
+fn opcode_alternatives(op: &Op) -> &'static [&'static str] {
+    match op {
+        Op::Add(..) => &["sub"],
+        Op::Sub(..) => &["add"],
+        Op::MulUH(..) => &["mulsh"],
+        Op::MulSH(..) => &["muluh"],
+        Op::And(..) => &["or", "eor"],
+        Op::Or(..) => &["and", "eor"],
+        Op::Eor(..) => &["and", "or"],
+        Op::Sll(..) => &["srl", "sra"],
+        Op::Srl(..) => &["sll", "sra"],
+        Op::Sra(..) => &["sll", "srl"],
+        Op::SltS(..) => &["sltu"],
+        Op::SltU(..) => &["slts"],
+        Op::DivU(..) => &["divs"],
+        Op::DivS(..) => &["divu"],
+        Op::RemU(..) => &["rems"],
+        Op::RemS(..) => &["remu"],
+        _ => &[],
+    }
+}
+
+fn swap_opcode(op: &Op, to: &str) -> Option<Op> {
+    let swapped = match (*op, to) {
+        (Op::Add(a, b), "sub") => Op::Sub(a, b),
+        (Op::Sub(a, b), "add") => Op::Add(a, b),
+        (Op::MulUH(a, b), "mulsh") => Op::MulSH(a, b),
+        (Op::MulSH(a, b), "muluh") => Op::MulUH(a, b),
+        (Op::And(a, b), "or") => Op::Or(a, b),
+        (Op::And(a, b), "eor") => Op::Eor(a, b),
+        (Op::Or(a, b), "and") => Op::And(a, b),
+        (Op::Or(a, b), "eor") => Op::Eor(a, b),
+        (Op::Eor(a, b), "and") => Op::And(a, b),
+        (Op::Eor(a, b), "or") => Op::Or(a, b),
+        (Op::Sll(a, n), "srl") => Op::Srl(a, n),
+        (Op::Sll(a, n), "sra") => Op::Sra(a, n),
+        (Op::Srl(a, n), "sll") => Op::Sll(a, n),
+        (Op::Srl(a, n), "sra") => Op::Sra(a, n),
+        (Op::Sra(a, n), "sll") => Op::Sll(a, n),
+        (Op::Sra(a, n), "srl") => Op::Srl(a, n),
+        (Op::SltS(a, b), "sltu") => Op::SltU(a, b),
+        (Op::SltU(a, b), "slts") => Op::SltS(a, b),
+        (Op::DivU(a, b), "divs") => Op::DivS(a, b),
+        (Op::DivS(a, b), "divu") => Op::DivU(a, b),
+        (Op::RemU(a, b), "rems") => Op::RemS(a, b),
+        (Op::RemS(a, b), "remu") => Op::RemU(a, b),
+        _ => return None,
+    };
+    Some(swapped)
+}
+
+fn swap_operands(op: &Op) -> Option<Op> {
+    // Only non-commutative binary operations; swapping Add/And/… operands
+    // yields a guaranteed-equivalent mutant, which tells the oracle
+    // nothing.
+    match *op {
+        Op::Sub(a, b) if a != b => Some(Op::Sub(b, a)),
+        Op::SltS(a, b) if a != b => Some(Op::SltS(b, a)),
+        Op::SltU(a, b) if a != b => Some(Op::SltU(b, a)),
+        Op::DivU(a, b) if a != b => Some(Op::DivU(b, a)),
+        Op::DivS(a, b) if a != b => Some(Op::DivS(b, a)),
+        Op::RemU(a, b) if a != b => Some(Op::RemU(b, a)),
+        Op::RemS(a, b) if a != b => Some(Op::RemS(b, a)),
+        _ => None,
+    }
+}
+
+/// Enumerates every single-operation mutation applicable to `prog`.
+///
+/// The list is deterministic (instruction order, then kind order), and
+/// every entry satisfies `apply(prog, m).is_some()` with a structurally
+/// valid result.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_ir::{mutations, apply_mutation, Builder, Op};
+///
+/// let mut b = Builder::new(8, 1);
+/// let m = b.constant(0xcd);
+/// let h = b.push(Op::MulUH(m, b.arg(0)));
+/// let q = b.push(Op::Srl(h, 3));
+/// let prog = b.finish([q]);
+/// let muts = mutations(&prog);
+/// // 8 const bits + 1 opcode swap (muluh→mulsh) + 2 shift nudges
+/// // + 2 shift opcode swaps (srl→sll/sra).
+/// assert_eq!(muts.len(), 8 + 1 + 2 + 2);
+/// for m in &muts {
+///     let mutant = apply_mutation(&prog, *m).unwrap();
+///     assert!(mutant.validate().is_ok(), "{m}");
+/// }
+/// ```
+pub fn mutations(prog: &Program) -> Vec<Mutation> {
+    let width = prog.width();
+    let mut out = Vec::new();
+    for (i, op) in prog.insts().iter().enumerate() {
+        match *op {
+            Op::Const(_) => {
+                for bit in 0..width {
+                    out.push(Mutation::ConstFlip { inst: i, bit });
+                }
+            }
+            Op::Sll(_, n) | Op::Srl(_, n) | Op::Sra(_, n) => {
+                if n > 0 {
+                    out.push(Mutation::ShiftNudge { inst: i, delta: -1 });
+                }
+                if n + 1 < width {
+                    out.push(Mutation::ShiftNudge { inst: i, delta: 1 });
+                }
+            }
+            _ => {}
+        }
+        for to in opcode_alternatives(op) {
+            out.push(Mutation::OpcodeSwap { inst: i, to });
+        }
+        if swap_operands(op).is_some() {
+            out.push(Mutation::OperandSwap { inst: i });
+        }
+    }
+    out
+}
+
+/// Applies one mutation, returning the mutated program, or `None` when
+/// the mutation does not fit `prog` (wrong instruction kind, out-of-range
+/// index or bit, shift leaving `0..width`).
+///
+/// Mutants produced from [`mutations`] are always `Some` and always pass
+/// [`Program::validate`].
+pub fn apply_mutation(prog: &Program, m: Mutation) -> Option<Program> {
+    let width = prog.width();
+    let inst_index = match m {
+        Mutation::ConstFlip { inst, .. }
+        | Mutation::ShiftNudge { inst, .. }
+        | Mutation::OpcodeSwap { inst, .. }
+        | Mutation::OperandSwap { inst } => inst,
+    };
+    let old = prog.insts().get(inst_index)?;
+    let new_op = match m {
+        Mutation::ConstFlip { bit, .. } => match *old {
+            Op::Const(c) if bit < width => Op::Const(c ^ (1u64 << bit)),
+            _ => return None,
+        },
+        Mutation::ShiftNudge { delta, .. } => {
+            let nudged = |n: u32| -> Option<u32> {
+                let v = n as i64 + delta as i64;
+                (0..width as i64).contains(&v).then_some(v as u32)
+            };
+            match *old {
+                Op::Sll(a, n) => Op::Sll(a, nudged(n)?),
+                Op::Srl(a, n) => Op::Srl(a, nudged(n)?),
+                Op::Sra(a, n) => Op::Sra(a, nudged(n)?),
+                _ => return None,
+            }
+        }
+        Mutation::OpcodeSwap { to, .. } => swap_opcode(old, to)?,
+        Mutation::OperandSwap { .. } => swap_operands(old)?,
+    };
+    let mut insts = prog.insts().to_vec();
+    insts[inst_index] = new_op;
+    Some(Program::from_raw(
+        width,
+        prog.arg_count(),
+        insts,
+        prog.results().to_vec(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Builder, Reg};
+
+    fn fig42_d10() -> Program {
+        // q = SRL(MULUH(m, n), 3), the d = 10 kernel at width 32.
+        let mut b = Builder::new(32, 1);
+        let n = b.arg(0);
+        let m = b.constant(0xcccc_cccd);
+        let h = b.push(Op::MulUH(m, n));
+        b.push(Op::Srl(h, 3));
+        let q = Reg::from_index(3);
+        b.finish([q])
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_valid() {
+        let p = fig42_d10();
+        let a = mutations(&p);
+        let b = mutations(&p);
+        assert_eq!(a, b);
+        // 32 const bits + muluh→mulsh + srl nudges ±1 + srl→sll/sra.
+        assert_eq!(a.len(), 32 + 1 + 2 + 2);
+        for m in &a {
+            let mutant = apply_mutation(&p, *m).expect("enumerated mutation applies");
+            assert!(mutant.validate().is_ok(), "{m}");
+            assert_ne!(mutant, p, "{m} must change the program");
+        }
+    }
+
+    #[test]
+    fn const_flip_touches_the_magic() {
+        let p = fig42_d10();
+        let m = Mutation::ConstFlip { inst: 1, bit: 0 };
+        let mutant = apply_mutation(&p, m).unwrap();
+        assert_eq!(mutant.insts()[1], Op::Const(0xcccc_cccc));
+        // The off-by-one reciprocal undershoots: it is wrong exactly for
+        // large dividends with a small residue...
+        let n = 4_000_000_000u64;
+        assert_ne!(mutant.eval1(&[n]).unwrap(), n / 10);
+        // ...but agrees on small ones — exactly why shrinking matters.
+        assert_eq!(mutant.eval1(&[1234]).unwrap(), 123);
+    }
+
+    #[test]
+    fn operand_swap_only_when_non_commutative_and_distinct() {
+        let mut b = Builder::new(8, 2);
+        let s = b.push(Op::Sub(b.arg(0), b.arg(1))); // swappable
+        let same = b.push(Op::Sub(s, s)); // operands equal: skip
+        let add = b.push(Op::Add(b.arg(0), same)); // commutative: skip
+        let p = b.finish([add]);
+        let swaps: Vec<Mutation> = mutations(&p)
+            .into_iter()
+            .filter(|m| matches!(m, Mutation::OperandSwap { .. }))
+            .collect();
+        assert_eq!(swaps, vec![Mutation::OperandSwap { inst: 2 }]);
+        let mutant = apply_mutation(&p, swaps[0]).unwrap();
+        assert_eq!(
+            mutant.insts()[2],
+            Op::Sub(Reg::from_index(1), Reg::from_index(0))
+        );
+    }
+
+    #[test]
+    fn display_parse_round_trips() {
+        let p = fig42_d10();
+        for m in mutations(&p) {
+            let text = m.to_string();
+            let back: Mutation = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(back, m, "{text}");
+        }
+        for m in [
+            Mutation::OperandSwap { inst: 4 },
+            Mutation::ShiftNudge { inst: 2, delta: -1 },
+            Mutation::OpcodeSwap {
+                inst: 9,
+                to: "mulsh",
+            },
+        ] {
+            assert_eq!(m.to_string().parse::<Mutation>().unwrap(), m);
+        }
+        assert!("frob@1".parse::<Mutation>().is_err());
+        assert!("const-flip@x:bit2".parse::<Mutation>().is_err());
+        assert!("opcode-swap@1:frob".parse::<Mutation>().is_err());
+    }
+
+    #[test]
+    fn inapplicable_mutations_return_none() {
+        let p = fig42_d10();
+        assert!(apply_mutation(&p, Mutation::ConstFlip { inst: 0, bit: 1 }).is_none());
+        assert!(apply_mutation(&p, Mutation::ConstFlip { inst: 1, bit: 32 }).is_none());
+        assert!(apply_mutation(&p, Mutation::OperandSwap { inst: 2 }).is_none()); // muluh commutes
+        assert!(apply_mutation(&p, Mutation::ShiftNudge { inst: 1, delta: 1 }).is_none());
+        assert!(apply_mutation(&p, Mutation::ConstFlip { inst: 99, bit: 0 }).is_none());
+    }
+
+    #[test]
+    fn shift_nudges_respect_range() {
+        let mut b = Builder::new(8, 1);
+        let s0 = b.push(Op::Srl(b.arg(0), 0));
+        let s7 = b.push(Op::Sra(s0, 7));
+        let p = b.finish([s7]);
+        let nudges: Vec<Mutation> = mutations(&p)
+            .into_iter()
+            .filter(|m| matches!(m, Mutation::ShiftNudge { .. }))
+            .collect();
+        assert_eq!(
+            nudges,
+            vec![
+                Mutation::ShiftNudge { inst: 1, delta: 1 },
+                Mutation::ShiftNudge { inst: 2, delta: -1 },
+            ]
+        );
+    }
+}

@@ -16,6 +16,7 @@
 //!   results with one divide.
 
 use magicdiv::plan::DivPlan;
+use magicdiv::{Fault, FaultKind, FaultLayer};
 use magicdiv_ir::{
     lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv, optimize, Builder, Op, OpClass,
     Program,
@@ -81,11 +82,43 @@ pub fn cycles_for_program(prog: &Program, model: &TimingModel) -> u64 {
 /// assert!(cycles_for_plan(&by_1024, &pentium) <= cycles_for_plan(&by_10, &pentium));
 /// ```
 pub fn cycles_for_plan(plan: &DivPlan, model: &TimingModel) -> u64 {
+    try_cycles_for_plan(plan, model).expect("plan width must be 8..=64 (IR limit)")
+}
+
+/// Fallible variant of [`cycles_for_plan`] for the differential harness:
+/// an unpriceable plan is reported as a typed [`Fault`] (layer
+/// [`FaultLayer::SimCpu`]) instead of a panic.
+///
+/// # Errors
+///
+/// [`FaultKind::UnsupportedWidth`] when the plan's width exceeds 64 (the
+/// IR's limit — 128-bit plans have no Table 3.1 encoding to price), and
+/// [`FaultKind::BadProgram`] for a plan kind this simulator does not
+/// know.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::plan::{DivPlan, UdivPlan};
+/// use magicdiv::{FaultKind, FaultLayer};
+/// use magicdiv_simcpu::{find_model, try_cycles_for_plan};
+///
+/// let pentium = find_model("pentium").unwrap();
+/// let wide = DivPlan::from(UdivPlan::new(10, 128).unwrap());
+/// let fault = try_cycles_for_plan(&wide, &pentium).unwrap_err();
+/// assert_eq!(fault.layer, FaultLayer::SimCpu);
+/// assert_eq!(fault.kind, FaultKind::UnsupportedWidth { width: 128 });
+/// ```
+pub fn try_cycles_for_plan(plan: &DivPlan, model: &TimingModel) -> Result<u64, Fault> {
     let width = plan.width();
-    assert!(
-        width <= 64,
-        "cannot price a {width}-bit plan (IR is 64-bit)"
-    );
+    let fault = |kind: FaultKind| Fault {
+        layer: FaultLayer::SimCpu,
+        kind,
+        at: None,
+    };
+    if width > 64 {
+        return Err(fault(FaultKind::UnsupportedWidth { width }));
+    }
     let mut b = Builder::new(width, 1);
     let n = b.arg(0);
     let q = match plan {
@@ -93,9 +126,13 @@ pub fn cycles_for_plan(plan: &DivPlan, model: &TimingModel) -> u64 {
         DivPlan::Signed(p) => lower_sdiv(&mut b, n, p),
         DivPlan::Floor(p) => lower_floor_div(&mut b, n, p),
         DivPlan::Exact(p) => lower_exact_div(&mut b, n, p),
-        _ => unreachable!("unknown plan kind"),
+        other => {
+            return Err(fault(FaultKind::BadProgram(format!(
+                "unknown plan kind {other:?}"
+            ))))
+        }
     };
-    cycles_for_program(&optimize(&b.finish([q])), model)
+    Ok(cycles_for_program(&optimize(&b.finish([q])), model))
 }
 
 /// One instruction's simulated schedule.

@@ -34,7 +34,8 @@ mod kernel;
 mod models;
 
 pub use crate::exec::{
-    cycles_for_loop, cycles_for_plan, cycles_for_program, trace_program, InstrTiming,
+    cycles_for_loop, cycles_for_plan, cycles_for_program, trace_program, try_cycles_for_plan,
+    InstrTiming,
 };
 pub use crate::kernel::{
     bodies_for, radix_conversion_timing, RadixTiming, FULL_32BIT_DIGITS, LOOP_OVERHEAD_OPS,

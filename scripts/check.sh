@@ -10,6 +10,10 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, -D warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== panic-freedom gate: no unwrap()/panic! in library or binary code =="
+cargo clippy --workspace --lib --bins --offline -- \
+    -D warnings -D clippy::unwrap_used -D clippy::panic
+
 echo "== offline dependency audit (no registry access) =="
 cargo build --release --offline -p magicdiv -p magicdiv-ir \
     -p magicdiv-codegen -p magicdiv-simcpu
@@ -17,5 +21,9 @@ cargo build --release --offline -p magicdiv -p magicdiv-ir \
 echo "== tier-1 verify: cargo build --release && cargo test -q =="
 cargo build --release --offline
 cargo test -q --offline
+
+echo "== differential + mutation harness (fixed seed; corpus replay ran in tier-1) =="
+cargo build --release --offline -p magicdiv-bench
+./target/release/verify 20000 24029 --no-corpus-write
 
 echo "== all checks passed =="

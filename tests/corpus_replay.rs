@@ -1,0 +1,76 @@
+//! Tier-1 regression replay of the persisted failure corpus.
+//!
+//! Every line under `tests/corpus/` is a shrunk one-line reproducer the
+//! `verify` harness once found (a genuine mismatch, or an injected
+//! mutation kept as a regression sentinel). Replay checks both
+//! directions at the recorded witness:
+//!
+//! * **fixed** — the pristine generated program agrees with the oracle,
+//!   so the defect the entry recorded is gone (or, for sentinel
+//!   entries, never infected the pristine generator);
+//! * **still failing** — the recorded mutation, re-applied to today's
+//!   program, still disagrees with the oracle, so the oracle has not
+//!   regressed into the blind spot that would have let the defect
+//!   through.
+
+use magicdiv_bench::{build_repro_program, default_corpus_dir, read_corpus};
+
+#[test]
+fn corpus_is_present_and_parses() {
+    let entries = read_corpus(&default_corpus_dir()).expect("corpus dir readable");
+    assert!(
+        !entries.is_empty(),
+        "tests/corpus/ must hold at least the seeded off-by-one magic reproducer"
+    );
+    // The acceptance sentinel: a flipped low bit of an unsigned magic
+    // multiplier (the off-by-one magic) must stay in the corpus.
+    assert!(
+        entries.iter().any(|(_, e)| {
+            e.case.shape == magicdiv_bench::Shape::Udiv
+                && matches!(
+                    e.mutation,
+                    Some(magicdiv_ir::Mutation::ConstFlip { bit: 0, .. })
+                )
+        }),
+        "missing the off-by-one unsigned magic sentinel"
+    );
+}
+
+#[test]
+fn every_entry_is_fixed_in_the_pristine_generator() {
+    for (path, entry) in read_corpus(&default_corpus_dir()).expect("corpus dir readable") {
+        let pristine = build_repro_program(&entry.case, None).expect("pristine always builds");
+        let want = entry
+            .case
+            .expected(entry.n)
+            .unwrap_or_else(|| panic!("{}: witness outside oracle domain", path.display()));
+        assert_eq!(
+            pristine.eval1(&[entry.n]).ok(),
+            Some(want),
+            "{}: pristine program disagrees with the oracle at the recorded \
+             witness — the corpus defect has come back",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn every_recorded_mutation_still_fails() {
+    for (path, entry) in read_corpus(&default_corpus_dir()).expect("corpus dir readable") {
+        let Some(_) = entry.mutation else { continue };
+        let mutant = build_repro_program(&entry.case, entry.mutation).unwrap_or_else(|| {
+            panic!(
+                "{}: recorded mutation no longer applies to the generated program",
+                path.display()
+            )
+        });
+        let want = entry.case.expected(entry.n).expect("witness in domain");
+        assert_ne!(
+            mutant.eval1(&[entry.n]).ok(),
+            Some(want),
+            "{}: the recorded mutation now agrees with the oracle — the \
+             oracle has regressed into the blind spot this entry guards",
+            path.display()
+        );
+    }
+}
