@@ -8,12 +8,23 @@
 //! the code shape that ran.
 //!
 //! Usage: `cargo run --release -p magicdiv-bench --bin bench -- [iters] [out.json]`
+//!
+//! The JSON report is the v2 schema: a top-level object carrying run
+//! metadata (schema `version`, `git_sha`, `unix_ms` timestamp, `iters`,
+//! `duration_ms`) plus the measurement `rows` and a `metrics` section
+//! with per-strategy instruction/cycle histograms aggregated through
+//! `magicdiv-trace`. `bench-compare` diffs two such files (and still
+//! reads the v1 flat-array schema).
 
 use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
 
-use magicdiv::plan::DivPlan;
+use magicdiv::plan::{DivPlan, SdivPlan, UdivPlan};
 use magicdiv::{SignedDivisor, UnsignedDivisor};
-use magicdiv_bench::{measure_ns, render_table};
+use magicdiv_bench::{git_sha, measure_ns, render_table, unix_time_ms};
+use magicdiv_simcpu::{table_1_1, try_cycles_for_plan};
+use magicdiv_trace::{install, CaptureSink, MetricsSink, Registry, Value};
 
 const LEN: u64 = 1024;
 
@@ -29,11 +40,26 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn write_json(path: &str, rows: &[Row]) -> std::io::Result<()> {
-    let mut out = String::from("[\n");
+fn write_json(
+    path: &str,
+    iters: u64,
+    duration_ms: u64,
+    rows: &[Row],
+    metrics_json: &str,
+) -> std::io::Result<()> {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": 2,\n");
+    out.push_str(&format!(
+        "  \"git_sha\": \"{}\",\n",
+        json_escape(&git_sha())
+    ));
+    out.push_str(&format!("  \"unix_ms\": {},\n", unix_time_ms()));
+    out.push_str(&format!("  \"iters\": {iters},\n"));
+    out.push_str(&format!("  \"duration_ms\": {duration_ms},\n"));
+    out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "  {{\"name\": \"{}\", \"width\": {}, \"divisor\": {}, \"strategy\": \"{}\", \"ns_per_op\": {:.4}}}{}\n",
+            "    {{\"name\": \"{}\", \"width\": {}, \"divisor\": {}, \"strategy\": \"{}\", \"ns_per_op\": {:.4}}}{}\n",
             json_escape(&r.name),
             r.width,
             r.divisor,
@@ -42,8 +68,61 @@ fn write_json(path: &str, rows: &[Row]) -> std::io::Result<()> {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    out.push_str("]\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"metrics\": {metrics_json}\n"));
+    out.push_str("}\n");
     std::fs::write(path, out)
+}
+
+/// Every plan the measurement loops exercise, for the metrics section.
+fn benched_plans() -> Vec<DivPlan> {
+    let mut plans = Vec::new();
+    for width in [8u32, 16, 32, 64] {
+        for d in strategy_divisors(width) {
+            plans.push(UdivPlan::new(d as u128, width).expect("nonzero").into());
+        }
+    }
+    for width in [32u32, 64] {
+        for d in [-7i128, 3, 10] {
+            plans.push(SdivPlan::new(d, width).expect("nonzero").into());
+        }
+    }
+    plans
+}
+
+/// Prices every benched plan under every Table 1.1 model, aggregating
+/// per-strategy instruction and cycle histograms (plus the raw
+/// `simcpu.plan_cycles` event stream) into a trace [`Registry`].
+fn collect_metrics() -> String {
+    let registry = Arc::new(Registry::new());
+    let capture = Arc::new(CaptureSink::new());
+    {
+        let _metrics = install(Arc::new(MetricsSink::new(registry.clone())));
+        let _capture = install(capture.clone());
+        for plan in benched_plans() {
+            for model in table_1_1() {
+                // Width/model mismatches are impossible here; skip
+                // defensively rather than abort the report.
+                let _ = try_cycles_for_plan(&plan, &model);
+            }
+        }
+    }
+    for e in capture.named("simcpu.plan_cycles") {
+        let Some(Value::Str(strategy)) = e.get("strategy") else {
+            continue;
+        };
+        if let Some(cycles) = e.get("cycles").and_then(Value::as_u64) {
+            registry
+                .histogram(&format!("bench.cycles.{strategy}"))
+                .observe(cycles);
+        }
+        if let Some(ops) = e.get("ops").and_then(Value::as_u64) {
+            registry
+                .histogram(&format!("bench.instructions.{strategy}"))
+                .observe(ops);
+        }
+    }
+    registry.snapshot().to_json()
 }
 
 /// One divisor per unsigned strategy at a width: the values the planning
@@ -162,6 +241,7 @@ fn main() {
         .nth(2)
         .unwrap_or_else(|| "BENCH_division.json".to_string());
 
+    let started = Instant::now();
     let mut rows: Vec<Row> = Vec::new();
     bench_unsigned_at!(u8, iters, rows);
     bench_unsigned_at!(u16, iters, rows);
@@ -182,7 +262,9 @@ fn main() {
         .collect();
     println!("{}", render_table(&["bench", "strategy", "ns/op"], &table));
 
-    match write_json(&out_path, &rows) {
+    let metrics_json = collect_metrics();
+    let duration_ms = started.elapsed().as_millis() as u64;
+    match write_json(&out_path, iters, duration_ms, &rows, &metrics_json) {
         Ok(()) => println!("wrote {} rows to {out_path}", rows.len()),
         Err(e) => {
             eprintln!("failed to write {out_path}: {e}");

@@ -1,0 +1,145 @@
+//! `bench-compare` — diff two `bench` JSON reports and flag regressions.
+//!
+//! Rows are matched by `name`; a row regresses when its `ns_per_op`
+//! grew by more than the threshold percentage. Accepts both the v1
+//! schema (a flat array of rows) and the v2 schema (an object with run
+//! metadata and a `rows` member), so old baselines stay comparable.
+//!
+//! Usage: `bench-compare <baseline.json> <candidate.json> [threshold_pct=10]`
+//!
+//! Exit status: 0 when no row regresses beyond the threshold, 1 when
+//! any does, 2 on usage or parse errors.
+
+use std::collections::BTreeMap;
+
+use magicdiv_bench::json::{parse, Json};
+use magicdiv_bench::render_table;
+
+struct Report {
+    version: u64,
+    git_sha: String,
+    rows: BTreeMap<String, f64>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench-compare: {msg}");
+    std::process::exit(2)
+}
+
+fn load(path: &str) -> Report {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let doc = parse(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")));
+    // v1 is a bare array of rows; v2 wraps them in a metadata object.
+    let (version, git_sha, rows_json) = match &doc {
+        Json::Arr(rows) => (1, "unknown".to_string(), rows.as_slice()),
+        Json::Obj(_) => (
+            doc.get("version").and_then(Json::as_f64).unwrap_or(2.0) as u64,
+            doc.get("git_sha")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            doc.get("rows")
+                .and_then(Json::as_arr)
+                .unwrap_or_else(|| die(&format!("{path}: object without \"rows\" array"))),
+        ),
+        _ => die(&format!("{path}: expected an array or object")),
+    };
+    let mut rows = BTreeMap::new();
+    for row in rows_json {
+        let (Some(name), Some(ns)) = (
+            row.get("name").and_then(Json::as_str),
+            row.get("ns_per_op").and_then(Json::as_f64),
+        ) else {
+            die(&format!("{path}: row without name/ns_per_op"));
+        };
+        rows.insert(name.to_string(), ns);
+    }
+    Report {
+        version,
+        git_sha,
+        rows,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(base_path), Some(cand_path)) = (args.get(1), args.get(2)) else {
+        die("usage: bench-compare <baseline.json> <candidate.json> [threshold_pct=10]");
+    };
+    let threshold_pct: f64 = match args.get(3) {
+        None => 10.0,
+        Some(s) => match s.parse() {
+            Ok(t) if t >= 0.0 => t,
+            _ => die(&format!(
+                "threshold must be a non-negative percentage, got {s:?}"
+            )),
+        },
+    };
+
+    let base = load(base_path);
+    let cand = load(cand_path);
+    println!(
+        "baseline:  {base_path} (schema v{}, git {})",
+        base.version, base.git_sha
+    );
+    println!(
+        "candidate: {cand_path} (schema v{}, git {})",
+        cand.version, cand.git_sha
+    );
+    println!();
+
+    let mut table: Vec<Vec<String>> = Vec::new();
+    let mut regressions = 0usize;
+    let mut improvements = 0usize;
+    let mut missing = 0usize;
+    for (name, &old_ns) in &base.rows {
+        let Some(&new_ns) = cand.rows.get(name) else {
+            missing += 1;
+            continue;
+        };
+        // Guard the old==0 edge (corrupt baseline): treat as no ratio.
+        let pct = if old_ns > 0.0 {
+            (new_ns - old_ns) / old_ns * 100.0
+        } else {
+            0.0
+        };
+        let verdict = if pct > threshold_pct {
+            regressions += 1;
+            "REGRESSED"
+        } else if pct < -threshold_pct {
+            improvements += 1;
+            "improved"
+        } else {
+            "ok"
+        };
+        table.push(vec![
+            name.clone(),
+            format!("{old_ns:.3}"),
+            format!("{new_ns:.3}"),
+            format!("{pct:+.1}%"),
+            verdict.to_string(),
+        ]);
+    }
+    let added = cand
+        .rows
+        .keys()
+        .filter(|k| !base.rows.contains_key(*k))
+        .count();
+
+    println!(
+        "{}",
+        render_table(
+            &["bench", "base ns/op", "cand ns/op", "delta", "verdict"],
+            &table,
+        )
+    );
+    println!(
+        "threshold ±{threshold_pct}%: {regressions} regressed, {improvements} improved, \
+         {} unchanged, {missing} missing from candidate, {added} new",
+        table.len() - regressions - improvements,
+    );
+    if regressions > 0 {
+        std::process::exit(1);
+    }
+}

@@ -5,14 +5,25 @@
 //! generator (the classic companion tool to this paper — compare
 //! "Hacker's Delight" magic(), or libdivide's generators).
 //!
-//! Usage: `cargo run -p magicdiv-bench --bin magic -- <divisor> [width]`
+//! Usage:
+//!
+//! * `magic <divisor> [width]` — print the constant table;
+//! * `magic explain <width> <divisor> [shape] [--json]` — print the
+//!   plan-decision trace, per-pass IR history and predicted cycles
+//!   (shape defaults to `unsigned`, or `signed` for negative divisors;
+//!   `--json` emits the raw JSONL event stream instead).
 
-use magicdiv_bench::render_table;
+use magicdiv_bench::{explain, explain_jsonl, render_table, ExplainShape};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("explain") {
+        explain_main(&args[2..]);
+        return;
+    }
     let d: i128 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
         eprintln!("usage: magic <divisor> [width=32]");
+        eprintln!("       magic explain <width> <divisor> [shape] [--json]");
         std::process::exit(2)
     });
     let width: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
@@ -30,6 +41,49 @@ fn main() {
         32 => report::<u32>(d),
         64 => report::<u64>(d),
         _ => report::<u128>(d),
+    }
+}
+
+fn explain_main(args: &[String]) {
+    let usage = || -> ! {
+        eprintln!("usage: magic explain <width> <divisor> [shape] [--json]");
+        eprintln!("       shape: unsigned | signed | floor | exact | dword");
+        std::process::exit(2)
+    };
+    let mut positional: Vec<&str> = Vec::new();
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            other if other.starts_with("--") => usage(),
+            other => positional.push(other),
+        }
+    }
+    let (Some(width), Some(d)) = (
+        positional.first().and_then(|s| s.parse::<u32>().ok()),
+        positional.get(1).and_then(|s| s.parse::<i128>().ok()),
+    ) else {
+        usage()
+    };
+    let shape = match positional.get(2) {
+        Some(s) => s.parse::<ExplainShape>().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2)
+        }),
+        None if d < 0 => ExplainShape::Signed,
+        None => ExplainShape::Unsigned,
+    };
+    let result = if json {
+        explain_jsonl(shape, width, d)
+    } else {
+        explain(shape, width, d)
+    };
+    match result {
+        Ok(text) => print!("{text}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1)
+        }
     }
 }
 

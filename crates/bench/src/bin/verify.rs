@@ -223,7 +223,7 @@ fn codegen_phase(c: &mut Collector, rng: &mut SplitMix, gen_iters: u64) -> u64 {
     cases
 }
 
-#[derive(Default)]
+#[derive(Default, Clone, Copy)]
 struct MutationTally {
     total: u64,
     killed: u64,
@@ -231,8 +231,35 @@ struct MutationTally {
     survived: u64,
 }
 
-fn mutation_phase(c: &mut Collector, rng: &mut SplitMix) -> (MutationTally, u64) {
-    let mut tally = MutationTally::default();
+impl MutationTally {
+    fn record(&mut self, fate: &MutantFate) {
+        self.total += 1;
+        match fate {
+            MutantFate::Killed { .. } => self.killed += 1,
+            MutantFate::Equivalent => self.equivalent += 1,
+            MutantFate::Survived => self.survived += 1,
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"total\":{},\"killed\":{},\"equivalent\":{},\"survived\":{}}}",
+            self.total, self.killed, self.equivalent, self.survived
+        )
+    }
+}
+
+/// The overall mutant tally plus one tally per mutation class
+/// (`const-flip`, `shift-nudge`, `opcode-swap`, `operand-swap`), so the
+/// JSON summary shows which fault classes the oracle is strong against.
+#[derive(Default)]
+struct MutationReport {
+    overall: MutationTally,
+    by_class: std::collections::BTreeMap<&'static str, MutationTally>,
+}
+
+fn mutation_phase(c: &mut Collector, rng: &mut SplitMix) -> (MutationReport, u64) {
+    let mut report = MutationReport::default();
     let mut cases = 0u64;
     for width in [8u32, 16, 32, 64] {
         for shape in Shape::ALL {
@@ -267,26 +294,28 @@ fn mutation_phase(c: &mut Collector, rng: &mut SplitMix) -> (MutationTally, u64)
                     continue;
                 }
                 for m in mutations(&pristine) {
-                    tally.total += 1;
-                    match classify_mutant(&case, m, rng, RANDOM_PROBES_PER_MUTANT) {
-                        MutantFate::Killed { .. } => tally.killed += 1,
-                        MutantFate::Equivalent => tally.equivalent += 1,
-                        MutantFate::Survived => {
-                            tally.survived += 1;
-                            c.fail(format!(
-                                "SURVIVOR: {shape} w={width} d={d} {m} — oracle blind spot"
-                            ));
-                        }
+                    let fate = classify_mutant(&case, m, rng, RANDOM_PROBES_PER_MUTANT);
+                    report.overall.record(&fate);
+                    report
+                        .by_class
+                        .entry(m.kind_name())
+                        .or_default()
+                        .record(&fate);
+                    if matches!(fate, MutantFate::Survived) {
+                        c.fail(format!(
+                            "SURVIVOR: {shape} w={width} d={d} {m} — oracle blind spot"
+                        ));
                     }
                 }
             }
         }
+        let t = report.overall;
         eprintln!(
             "... mutation run w={width}: {} mutants so far, {} killed, {} equivalent, {} survived",
-            tally.total, tally.killed, tally.equivalent, tally.survived
+            t.total, t.killed, t.equivalent, t.survived
         );
     }
-    (tally, cases)
+    (report, cases)
 }
 
 fn main() {
@@ -323,6 +352,7 @@ fn main() {
         }
     }
 
+    let started = std::time::Instant::now();
     let mut rng = SplitMix(seed);
     let mut c = Collector {
         corpus_dir,
@@ -344,7 +374,8 @@ fn main() {
 
     library_phase(&mut c, &mut rng, iterations);
     let codegen_cases = codegen_phase(&mut c, &mut rng, (iterations / 200).max(50));
-    let (tally, mutation_cases) = mutation_phase(&mut c, &mut rng);
+    let (report, mutation_cases) = mutation_phase(&mut c, &mut rng);
+    let tally = report.overall;
 
     let kill_rate = if tally.total == 0 {
         1.0
@@ -356,18 +387,26 @@ fn main() {
         "verify: {status} — {} checks, {} mismatches; {} mutants: {} killed, {} equivalent, {} survived (seed {seed})",
         c.checks, c.mismatches, tally.total, tally.killed, tally.equivalent, tally.survived
     );
-    // The machine-readable summary is the last stdout line.
+    let by_class: Vec<String> = report
+        .by_class
+        .iter()
+        .map(|(class, t)| format!("\"{class}\":{}", t.to_json()))
+        .collect();
+    let duration_ms = started.elapsed().as_millis() as u64;
+    // The machine-readable summary is the last stdout line (schema v2:
+    // version, git_sha and duration_ms are new; v1 consumers keyed on
+    // status/checks/mutants still read it the same way).
     println!(
-        "{{\"status\":\"{status}\",\"seed\":{seed},\"checks\":{},\"cases\":{},\"mismatches\":{},\
-         \"mutants\":{{\"total\":{},\"killed\":{},\"equivalent\":{},\"survived\":{}}},\
+        "{{\"version\":2,\"status\":\"{status}\",\"seed\":{seed},\"git_sha\":\"{}\",\
+         \"duration_ms\":{duration_ms},\"checks\":{},\"cases\":{},\"mismatches\":{},\
+         \"mutants\":{},\"mutants_by_class\":{{{}}},\
          \"kill_rate\":{kill_rate:.6},\"corpus_written\":{}}}",
+        magicdiv_bench::git_sha(),
         c.checks,
         codegen_cases + mutation_cases,
         c.mismatches,
-        tally.total,
-        tally.killed,
-        tally.equivalent,
-        tally.survived,
+        tally.to_json(),
+        by_class.join(","),
         c.corpus_written.len(),
     );
     if c.mismatches > 0 {

@@ -1,0 +1,386 @@
+//! The `magic explain` renderer: one `(shape, width, divisor)` query
+//! rendered as the plan-decision trace (with paper provenance), the
+//! lowered IR with its per-pass optimization history, and the simulated
+//! cycle cost under every Table 1.1 timing model.
+//!
+//! The renderer is a library function rather than bin-only code so the
+//! golden-snapshot tests can call it directly, and so other tools can
+//! embed the same report.
+
+use std::str::FromStr;
+use std::sync::Arc;
+
+use magicdiv::plan::{DivPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan};
+use magicdiv::{DwordDivisor, UWord};
+use magicdiv_ir::{
+    lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv, optimize, Builder, Program,
+};
+use magicdiv_simcpu::{cycles_for_plan, table_1_1};
+use magicdiv_trace::{install, CaptureSink, Event, JsonlSink, TextTreeSink};
+
+/// Which division flavor `magic explain` should walk through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExplainShape {
+    /// Unsigned truncating division (Fig 4.2).
+    Unsigned,
+    /// Signed truncating division (Fig 5.2).
+    Signed,
+    /// Signed floor division (Fig 6.1).
+    Floor,
+    /// Exact division / divisibility (§9).
+    Exact,
+    /// Doubleword-by-word division (Fig 8.1).
+    Dword,
+}
+
+impl ExplainShape {
+    /// Every shape, in the order the paper introduces them.
+    pub const ALL: [ExplainShape; 5] = [
+        ExplainShape::Unsigned,
+        ExplainShape::Signed,
+        ExplainShape::Floor,
+        ExplainShape::Exact,
+        ExplainShape::Dword,
+    ];
+
+    /// The CLI spelling of this shape.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExplainShape::Unsigned => "unsigned",
+            ExplainShape::Signed => "signed",
+            ExplainShape::Floor => "floor",
+            ExplainShape::Exact => "exact",
+            ExplainShape::Dword => "dword",
+        }
+    }
+
+    /// The paper artifact this shape reproduces.
+    pub fn paper(&self) -> &'static str {
+        match self {
+            ExplainShape::Unsigned => "Fig 4.2",
+            ExplainShape::Signed => "Fig 5.2",
+            ExplainShape::Floor => "Fig 6.1",
+            ExplainShape::Exact => "§9",
+            ExplainShape::Dword => "Fig 8.1",
+        }
+    }
+}
+
+impl FromStr for ExplainShape {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "unsigned" | "udiv" => Ok(ExplainShape::Unsigned),
+            "signed" | "sdiv" => Ok(ExplainShape::Signed),
+            "floor" => Ok(ExplainShape::Floor),
+            "exact" => Ok(ExplainShape::Exact),
+            "dword" | "udword" => Ok(ExplainShape::Dword),
+            other => Err(format!(
+                "unknown shape {other:?} (expected unsigned/signed/floor/exact/dword)"
+            )),
+        }
+    }
+}
+
+/// Valid machine widths for an explain query.
+const WIDTHS: [u32; 5] = [8, 16, 32, 64, 128];
+
+fn check_width(width: u32) -> Result<(), String> {
+    if WIDTHS.contains(&width) {
+        Ok(())
+    } else {
+        Err(format!("width must be one of 8/16/32/64/128, got {width}"))
+    }
+}
+
+/// Builds the plan for `(shape, width, d)` with whatever trace sinks are
+/// installed, so decision events land in them. `Ok(None)` means the
+/// shape has no [`DivPlan`] form (dword).
+fn build_plan(shape: ExplainShape, width: u32, d: i128) -> Result<Option<DivPlan>, String> {
+    let err = |e: magicdiv::DivisorError| e.to_string();
+    match shape {
+        ExplainShape::Unsigned => {
+            let du = unsigned_divisor(width, d)?;
+            Ok(Some(UdivPlan::new(du, width).map_err(err)?.into()))
+        }
+        ExplainShape::Signed => Ok(Some(SdivPlan::new(d, width).map_err(err)?.into())),
+        ExplainShape::Floor => Ok(Some(FloorPlan::new(d, width).map_err(err)?.into())),
+        ExplainShape::Exact => {
+            let plan = if d < 0 {
+                ExactPlan::new_signed(d, width)
+            } else {
+                ExactPlan::new_unsigned(d as u128, width)
+            };
+            Ok(Some(plan.map_err(err)?.into()))
+        }
+        ExplainShape::Dword => Ok(None),
+    }
+}
+
+fn unsigned_divisor(width: u32, d: i128) -> Result<u128, String> {
+    if d <= 0 {
+        return Err(format!(
+            "shape unsigned/dword requires a positive divisor, got {d}"
+        ));
+    }
+    let du = d as u128;
+    if width < 128 && (du >> width) != 0 {
+        return Err(format!("divisor {d} does not fit in u{width}"));
+    }
+    Ok(du)
+}
+
+/// Precomputes the Fig 8.1 constants (emitting the `plan.dword` trace
+/// event) and renders them.
+fn dword_section(width: u32, d: i128) -> Result<String, String> {
+    let du = unsigned_divisor(width, d)?;
+    match width {
+        8 => dword_constants::<u8>(du),
+        16 => dword_constants::<u16>(du),
+        32 => dword_constants::<u32>(du),
+        64 => dword_constants::<u64>(du),
+        _ => dword_constants::<u128>(du),
+    }
+}
+
+fn dword_constants<T: UWord>(d: u128) -> Result<String, String> {
+    let dv = T::from_u128_truncate(d);
+    let dd = DwordDivisor::new(dv).map_err(|e| e.to_string())?;
+    let (m_prime, l, d_norm) = dd.constants();
+    Ok(format!(
+        "d      = {d}\n\
+         l      = {l}            (1 + floor(log2 d))\n\
+         m'     = {:#x}   (floor((2^(N+l) - 1)/d) - 2^N)\n\
+         d_norm = {:#x}   (d << (N - l))\n\
+         note: dword/word division is a runtime routine, not a lowered\n\
+         IR form, so no per-pass history or cycle table applies.\n",
+        m_prime.to_u128(),
+        d_norm.to_u128(),
+    ))
+}
+
+/// Lowers a plan into raw (pre-optimization) IR.
+fn lower_plan(plan: &DivPlan, width: u32) -> Result<Program, String> {
+    let mut b = Builder::new(width, 1);
+    let n = b.arg(0);
+    let q = match plan {
+        DivPlan::Unsigned(p) => lower_udiv(&mut b, n, p),
+        DivPlan::Signed(p) => lower_sdiv(&mut b, n, p),
+        DivPlan::Floor(p) => lower_floor_div(&mut b, n, p),
+        DivPlan::Exact(p) => lower_exact_div(&mut b, n, p),
+        other => return Err(format!("no lowering for plan kind {other:?}")),
+    };
+    Ok(b.finish([q]))
+}
+
+fn indent(text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+fn field_u64(event: &Event, key: &str) -> u64 {
+    event.get(key).and_then(|v| v.as_u64()).unwrap_or(0)
+}
+
+fn pass_history(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events.iter().filter(|e| e.name == "ir.pass") {
+        out.push_str(&format!(
+            "  pass {}: ops {} -> {}  (folded {}, copy-propagated {}, cse {}, dce {}){}\n",
+            field_u64(e, "pass"),
+            field_u64(e, "ops_before"),
+            field_u64(e, "ops_after"),
+            field_u64(e, "folded"),
+            field_u64(e, "copy_propagated"),
+            field_u64(e, "cse_hits"),
+            field_u64(e, "dce_removed"),
+            match e.get("changed") {
+                Some(magicdiv_trace::Value::Bool(false)) => "  [fixed point]",
+                _ => "",
+            },
+        ));
+    }
+    out
+}
+
+/// Renders the full explain report for one query.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the width is unsupported, the
+/// divisor is zero / out of range for the shape, or the plan cannot be
+/// lowered.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_bench::{explain, ExplainShape};
+///
+/// let report = explain(ExplainShape::Unsigned, 32, 7).unwrap();
+/// assert!(report.contains("plan.decision"));
+/// assert!(report.contains("Fig 4.2"));
+/// assert!(report.contains("predicted cycles"));
+/// ```
+pub fn explain(shape: ExplainShape, width: u32, d: i128) -> Result<String, String> {
+    check_width(width)?;
+    let mut out = format!(
+        "== explain: {} division by {d} at N = {width} ({}) ==\n",
+        shape.name(),
+        shape.paper()
+    );
+
+    // 1. Plan construction under a tree sink: the decision trace.
+    let tree = Arc::new(TextTreeSink::new());
+    let (plan, dword) = {
+        let _guard = install(tree.clone());
+        match shape {
+            ExplainShape::Dword => (None, Some(dword_section(width, d)?)),
+            _ => (build_plan(shape, width, d)?, None),
+        }
+    };
+    out.push_str("\n-- plan decision trace --\n");
+    out.push_str(&indent(&tree.finish()));
+
+    if let Some(constants) = dword {
+        out.push_str("\n-- Fig 8.1 constants (doubleword / word) --\n");
+        out.push_str(&indent(&constants));
+        return Ok(out);
+    }
+    let plan = plan.ok_or_else(|| "internal: no plan built".to_string())?;
+
+    out.push_str(&format!(
+        "\n-- selected plan --\n  [{}] {plan}\n",
+        plan.strategy_name()
+    ));
+
+    if width > 64 {
+        out.push_str(
+            "\n(width 128 exceeds the IR limit of 64 bits: no lowered\n\
+             form or cycle prediction — see the library word types.)\n",
+        );
+        return Ok(out);
+    }
+
+    // 2. Lowering and optimization under a capture sink: per-pass history.
+    let raw = lower_plan(&plan, width)?;
+    let capture = Arc::new(CaptureSink::new());
+    let optimized = {
+        let _guard = install(capture.clone());
+        optimize(&raw)
+    };
+    out.push_str("\n-- lowered IR (raw) --\n");
+    out.push_str(&indent(&raw.to_string()));
+    out.push_str("\n-- optimization passes --\n");
+    out.push_str(&pass_history(&capture.events()));
+    out.push_str("\n-- optimized IR --\n");
+    out.push_str(&indent(&optimized.to_string()));
+
+    // 3. Cycle prediction per Table 1.1 model (single-issue in-order;
+    // matches simcpu::cycles_for_plan exactly).
+    out.push_str("\n-- predicted cycles (Table 1.1 latencies, in-order) --\n");
+    let rows: Vec<Vec<String>> = table_1_1()
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.to_string(),
+                m.year.to_string(),
+                cycles_for_plan(&plan, m).to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&indent(&crate::render_table(
+        &["model", "year", "cycles"],
+        &rows,
+    )));
+    Ok(out)
+}
+
+/// Runs the same pipeline as [`explain`] but returns the machine-readable
+/// JSONL event stream instead of the rendered report (the `--json` mode
+/// of `magic explain`).
+///
+/// # Errors
+///
+/// Same conditions as [`explain`].
+pub fn explain_jsonl(shape: ExplainShape, width: u32, d: i128) -> Result<String, String> {
+    check_width(width)?;
+    let sink = Arc::new(JsonlSink::new());
+    {
+        let _guard = install(sink.clone());
+        if shape == ExplainShape::Dword {
+            dword_section(width, d)?;
+        } else {
+            let plan = build_plan(shape, width, d)?
+                .ok_or_else(|| "internal: no plan built".to_string())?;
+            if width <= 64 {
+                let raw = lower_plan(&plan, width)?;
+                let _optimized = optimize(&raw);
+                for model in table_1_1() {
+                    cycles_for_plan(&plan, &model);
+                }
+            }
+        }
+    }
+    Ok(sink.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_7_cites_the_add_shift_branch() {
+        let report = explain(ExplainShape::Unsigned, 32, 7).unwrap();
+        assert!(report.contains("mul_add_shift"), "{report}");
+        assert!(report.contains("Fig 4.2"), "{report}");
+        assert!(report.contains("-- optimization passes --"), "{report}");
+        assert!(report.contains("pass 0:"), "{report}");
+    }
+
+    #[test]
+    fn shape_parses_every_spelling() {
+        for shape in ExplainShape::ALL {
+            assert_eq!(shape.name().parse::<ExplainShape>().unwrap(), shape);
+        }
+        assert!("bogus".parse::<ExplainShape>().is_err());
+    }
+
+    #[test]
+    fn dword_prints_fig_8_1_constants() {
+        let report = explain(ExplainShape::Dword, 32, 10).unwrap();
+        assert!(report.contains("plan.dword"), "{report}");
+        assert!(report.contains("m'"), "{report}");
+        assert!(!report.contains("predicted cycles"), "{report}");
+    }
+
+    #[test]
+    fn width_128_skips_ir_sections() {
+        let report = explain(ExplainShape::Unsigned, 128, 10).unwrap();
+        assert!(report.contains("selected plan"), "{report}");
+        assert!(!report.contains("lowered IR"), "{report}");
+    }
+
+    #[test]
+    fn rejects_bad_queries() {
+        assert!(explain(ExplainShape::Unsigned, 13, 7).is_err());
+        assert!(explain(ExplainShape::Unsigned, 32, -7).is_err());
+        assert!(explain(ExplainShape::Signed, 32, 0).is_err());
+        assert!(explain(ExplainShape::Unsigned, 8, 300).is_err());
+    }
+
+    #[test]
+    fn jsonl_mode_emits_plan_and_cycle_events() {
+        let out = explain_jsonl(ExplainShape::Unsigned, 32, 7).unwrap();
+        assert!(out.contains("\"name\":\"plan.decision\""), "{out}");
+        assert!(out.contains("\"name\":\"simcpu.plan_cycles\""), "{out}");
+        for line in out.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+}

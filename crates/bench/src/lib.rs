@@ -23,11 +23,16 @@
 
 mod corpus;
 mod diff;
+mod explain;
+pub mod json;
+mod runmeta;
 
 pub use crate::corpus::{default_corpus_dir, read_corpus, write_entry, CorpusEntry};
 pub use crate::diff::{
     build_repro_program, classify_mutant, shrink, Case, MutantFate, Repro, Shape, SplitMix,
 };
+pub use crate::explain::{explain, explain_jsonl, ExplainShape};
+pub use crate::runmeta::{git_sha, unix_time_ms};
 
 use std::time::Instant;
 

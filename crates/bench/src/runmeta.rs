@@ -1,0 +1,48 @@
+//! Run-level metadata stamped into the JSON reports: schema version,
+//! git revision and wall-clock timestamps, so two report files can be
+//! compared knowing exactly which tree and when produced each.
+
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The `HEAD` commit hash of the repository the binary runs in, or
+/// `"unknown"` outside a git checkout (tarball builds, CI caches).
+pub fn git_sha() -> String {
+    let out = Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string());
+    match out {
+        Some(sha) if !sha.is_empty() => sha,
+        _ => "unknown".to_string(),
+    }
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+pub fn unix_time_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn git_sha_is_hex_or_unknown() {
+        let sha = git_sha();
+        assert!(
+            sha == "unknown" || (sha.len() == 40 && sha.chars().all(|c| c.is_ascii_hexdigit())),
+            "unexpected sha {sha:?}"
+        );
+    }
+
+    #[test]
+    fn clock_is_past_2020() {
+        assert!(unix_time_ms() > 1_577_836_800_000);
+    }
+}

@@ -1,0 +1,123 @@
+//! Golden-snapshot tests for the `magic explain` renderer.
+//!
+//! Every [`DivPlan`] strategy variant is pinned at widths 8–64:
+//! unsigned identity/shift/mul_shift/mul_add_shift, the signed variants
+//! (including negated divisors), floor (including the negative-divisor
+//! trunc fixup), exact pow2/inverse (unsigned and signed), and the
+//! dword constants shape. The snapshots pin the decision trace with its
+//! paper citations, the per-pass IR history, and the predicted cycle
+//! table — any drift in plan selection, lowering, optimization or the
+//! timing models shows up as a diff here.
+//!
+//! Regenerate after an intentional change with:
+//! `UPDATE_GOLDEN=1 cargo test -p magicdiv-bench --test explain_golden`
+
+use std::path::PathBuf;
+
+use magicdiv_bench::{explain, ExplainShape};
+
+/// One pinned query: `(shape, width, divisor)`.
+const CASES: &[(ExplainShape, u32, i128)] = &[
+    // Unsigned (Fig 4.2): one case per strategy.
+    (ExplainShape::Unsigned, 32, 1),  // identity
+    (ExplainShape::Unsigned, 16, 16), // shift
+    (ExplainShape::Unsigned, 32, 10), // mul_shift
+    (ExplainShape::Unsigned, 8, 14),  // mul_shift with even pre-shift
+    (ExplainShape::Unsigned, 32, 7),  // mul_add_shift
+    (ExplainShape::Unsigned, 64, 7),  // mul_add_shift at 64
+    // Signed (Fig 5.2): every strategy, including negated divisors.
+    (ExplainShape::Signed, 32, 1),  // identity
+    (ExplainShape::Signed, 8, -16), // shift, negated
+    (ExplainShape::Signed, 32, 3),  // mul_shift
+    (ExplainShape::Signed, 32, 7),  // mul_add_shift (65-bit multiplier)
+    (ExplainShape::Signed, 64, -7), // mul_shift, negated
+    // Floor (Fig 6.1): shift, mul_shift and the negative-divisor fixup.
+    (ExplainShape::Floor, 32, 8),  // shift
+    (ExplainShape::Floor, 16, 5),  // mul_shift
+    (ExplainShape::Floor, 32, -7), // trunc_fixup
+    // Exact (§9): pow2 and odd-inverse, unsigned and signed.
+    (ExplainShape::Exact, 32, 8),  // exact_pow2
+    (ExplainShape::Exact, 32, 12), // exact_inverse with pre-shift
+    (ExplainShape::Exact, 64, -9), // signed exact_inverse
+    // Dword (Fig 8.1) constants.
+    (ExplainShape::Dword, 32, 10),
+    (ExplainShape::Dword, 64, 7),
+];
+
+fn golden_path(shape: ExplainShape, width: u32, d: i128) -> PathBuf {
+    let d_name = if d < 0 {
+        format!("m{}", -d)
+    } else {
+        d.to_string()
+    };
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}_{width}_{d_name}.txt", shape.name()))
+}
+
+#[test]
+fn explain_reports_match_golden_snapshots() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut failures = Vec::new();
+    for &(shape, width, d) in CASES {
+        let got = explain(shape, width, d)
+            .unwrap_or_else(|e| panic!("explain({shape:?}, {width}, {d}) failed: {e}"));
+        let path = golden_path(shape, width, d);
+        if update {
+            std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+            std::fs::write(&path, &got).expect("write golden");
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(want) if want == got => {}
+            Ok(want) => failures.push(format!(
+                "--- {} diverged ---\nwant:\n{want}\ngot:\n{got}",
+                path.display()
+            )),
+            Err(e) => failures.push(format!(
+                "cannot read {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                path.display()
+            )),
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn every_strategy_name_is_covered() {
+    // The case list must keep covering each selectable strategy; if a
+    // new strategy appears in the planner this test forces a new golden.
+    let mut seen = std::collections::BTreeSet::new();
+    for &(shape, width, d) in CASES {
+        if shape == ExplainShape::Dword {
+            seen.insert("dword".to_string());
+            continue;
+        }
+        let report = explain(shape, width, d).expect("case renders");
+        for line in report.lines() {
+            if let Some(rest) = line.trim().strip_prefix('[') {
+                if let Some((name, _)) = rest.split_once(']') {
+                    seen.insert(format!("{}/{name}", shape.name()));
+                }
+            }
+        }
+    }
+    for want in [
+        "unsigned/identity",
+        "unsigned/shift",
+        "unsigned/mul_shift",
+        "unsigned/mul_add_shift",
+        "signed/identity",
+        "signed/shift",
+        "signed/mul_shift",
+        "signed/mul_add_shift",
+        "floor/shift",
+        "floor/mul_shift",
+        "floor/trunc_fixup",
+        "exact/exact_pow2",
+        "exact/exact_inverse",
+        "dword",
+    ] {
+        assert!(seen.contains(want), "no case covers {want}; seen: {seen:?}");
+    }
+}

@@ -78,7 +78,15 @@ impl std::fmt::Display for AsmError {
     }
 }
 
-impl std::error::Error for AsmError {}
+impl std::error::Error for AsmErrorKind {}
+
+impl std::error::Error for AsmError {
+    /// The [`AsmErrorKind`] is the underlying cause, chained through
+    /// `source()` for error reporters that walk the chain.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.kind)
+    }
+}
 
 impl From<AsmError> for Fault {
     fn from(e: AsmError) -> Fault {
@@ -293,6 +301,8 @@ pub fn execute_radix_listing_with_limit(
 
     let mut pc = 0usize;
     let mut steps = 0u64;
+    let tracing = magicdiv_trace::enabled();
+    let mut op_counts: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
     let ret_reg;
     // Attributes an instruction-level failure to the line that raised it.
     let at = |pc: usize| move |kind: AsmErrorKind| AsmError { kind, at: Some(pc) };
@@ -314,6 +324,10 @@ pub fn execute_radix_listing_with_limit(
         if !line.starts_with('\t') || line.trim_start().starts_with('#') {
             pc += 1;
             continue;
+        }
+        if tracing {
+            let mnemonic = line.split_whitespace().next().unwrap_or("");
+            *op_counts.entry(mnemonic.to_string()).or_insert(0) += 1;
         }
         match step(&mut m, line.trim(), &labels).map_err(at(pc))? {
             Flow::Next => pc += 1,
@@ -373,6 +387,16 @@ pub fn execute_radix_listing_with_limit(
                 kind: AsmErrorKind::BadOperand("unterminated output string".into()),
                 at: None,
             });
+        }
+    }
+    if tracing {
+        magicdiv_trace::event!("asm.exec",
+            "target" => asm.target.name(), "steps" => steps,
+            "distinct_mnemonics" => op_counts.len(),
+            "paper" => "Table 11.1 listings");
+        for (mnemonic, n) in &op_counts {
+            magicdiv_trace::event!("asm.opcount",
+                "op" => mnemonic.clone(), "n" => *n);
         }
     }
     Ok(out)

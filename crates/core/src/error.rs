@@ -154,14 +154,9 @@ pub struct Fault {
     pub at: Option<usize>,
 }
 
-impl fmt::Display for Fault {
+impl fmt::Display for FaultKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} fault", self.layer)?;
-        if let Some(at) = self.at {
-            write!(f, " at #{at}")?;
-        }
-        write!(f, ": ")?;
-        match &self.kind {
+        match self {
             FaultKind::DivideByZero => write!(f, "division by zero"),
             FaultKind::SignedOverflow => {
                 write!(f, "signed division overflow (MIN / -1)")
@@ -180,4 +175,49 @@ impl fmt::Display for Fault {
     }
 }
 
-impl core::error::Error for Fault {}
+impl core::error::Error for FaultKind {}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} fault", self.layer)?;
+        if let Some(at) = self.at {
+            write!(f, " at #{at}")?;
+        }
+        write!(f, ": {}", self.kind)
+    }
+}
+
+impl core::error::Error for Fault {
+    /// The [`FaultKind`] is the underlying cause; exposing it through
+    /// `source()` lets `anyhow`-style reporters walk the chain without
+    /// parsing the rendered message.
+    fn source(&self) -> Option<&(dyn core::error::Error + 'static)> {
+        Some(&self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::error::Error;
+
+    #[test]
+    fn fault_chains_its_kind_as_source() {
+        let f = Fault {
+            layer: FaultLayer::SimCpu,
+            kind: FaultKind::UnsupportedWidth { width: 128 },
+            at: None,
+        };
+        assert_eq!(f.to_string(), "simcpu fault: unsupported width 128");
+        let source = f.source().expect("kind is chained");
+        assert_eq!(source.to_string(), "unsupported width 128");
+    }
+
+    #[test]
+    fn divisor_errors_implement_error_with_stable_messages() {
+        let z: &dyn Error = &DivisorError::Zero;
+        assert_eq!(z.to_string(), "divisor is zero");
+        let q: &dyn Error = &DwordDivError::QuotientOverflow;
+        assert_eq!(q.to_string(), "quotient does not fit in a single word");
+    }
+}

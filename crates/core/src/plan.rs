@@ -79,7 +79,7 @@ struct MagicRaw {
 fn magic(d: u128, width: u32, prec: u32) -> MagicRaw {
     debug_assert!(d >= 1 && (width == 128 || d <= mask(width)));
     debug_assert!((1..=width).contains(&prec));
-    match width {
+    let raw = match width {
         0..=63 => {
             let l = ceil_log2(d);
             let mut sh_post = l;
@@ -113,7 +113,12 @@ fn magic(d: u128, width: u32, prec: u32) -> MagicRaw {
             }
         }
         _ => unreachable!("width checked by assert_width_supported"),
-    }
+    };
+    magicdiv_trace::event!("plan.choose_multiplier",
+        "d" => d, "width" => width, "prec" => prec, "l" => ceil_log2(d),
+        "m_low" => format!("{:#x}", raw.m_low), "fits" => raw.fits,
+        "sh_post" => raw.sh_post, "paper" => "Fig 6.2 CHOOSE_MULTIPLIER");
+    raw
 }
 
 /// Newton's iteration (the paper's (9.2)) for the inverse of an odd value
@@ -127,6 +132,9 @@ fn mod_inverse(d_odd: u128, width: u32) -> u128 {
         inv = inv.wrapping_mul(2u128.wrapping_sub(d_odd.wrapping_mul(inv))) & m;
         correct_bits *= 2;
     }
+    magicdiv_trace::event!("plan.mod_inverse",
+        "d_odd" => d_odd, "width" => width, "inverse" => format!("{:#x}", inv & m),
+        "paper" => "§9 (9.2) Newton iteration");
     inv & m
 }
 
@@ -201,7 +209,13 @@ impl UdivPlan {
             return Err(DivisorError::Zero);
         }
         assert!(d <= mask(width), "divisor does not fit in {width} bits");
+        let _span = magicdiv_trace::span("plan.udiv");
+        magicdiv_trace::event!("plan.query",
+            "shape" => "unsigned", "width" => width, "d" => d);
         if d == 1 {
+            magicdiv_trace::event!("plan.decision",
+                "strategy" => "identity", "why" => "d == 1 => q = n, no code",
+                "paper" => "Fig 4.2 (d = 1)");
             return Ok(UdivPlan {
                 width,
                 d,
@@ -213,6 +227,10 @@ impl UdivPlan {
             // the shift path ignores m entirely (and for powers of two
             // the even-divisor re-choose below would produce
             // m == 2^N + 2^l, which never fits a word).
+            magicdiv_trace::event!("plan.decision",
+                "strategy" => "shift", "sh" => ceil_log2(d),
+                "why" => "d == 2^sh => one logical right shift, multiplier never consulted",
+                "paper" => "Fig 4.2 (power of two)");
             return Ok(UdivPlan {
                 width,
                 d,
@@ -227,10 +245,19 @@ impl UdivPlan {
             // precision.
             let e = d.trailing_zeros();
             sh_pre = e;
+            magicdiv_trace::event!("plan.prechoose",
+                "e" => e,
+                "why" => "m >= 2^N and d even => pre-shift out 2^e, re-choose at precision N-e",
+                "paper" => "§4.2 (even divisors)");
             raw = magic(d >> e, width, width - e);
             debug_assert!(raw.fits, "reduced multiplier must fit in a word");
         }
         let strategy = if raw.fits {
+            magicdiv_trace::event!("plan.decision",
+                "strategy" => "mul_shift", "m" => format!("{:#x}", raw.m_low),
+                "sh_pre" => sh_pre, "sh_post" => raw.sh_post,
+                "why" => "m < 2^N => q = SRL(MULUH(m, SRL(n, sh_pre)), sh_post)",
+                "paper" => "Fig 4.2 / Thm 4.2");
             UdivStrategy::MulShift {
                 m: raw.m_low,
                 sh_pre,
@@ -238,6 +265,11 @@ impl UdivPlan {
             }
         } else {
             debug_assert!(raw.sh_post >= 1);
+            magicdiv_trace::event!("plan.decision",
+                "strategy" => "mul_add_shift",
+                "m_minus_pow2n" => format!("{:#x}", raw.m_low), "sh_post" => raw.sh_post,
+                "why" => "m >= 2^N (odd d) => add-shift fallback t + SRL(n - t, 1)",
+                "paper" => "Fig 4.2 (m >= 2^N branch)");
             UdivStrategy::MulAddShift {
                 m_minus_pow2n: raw.m_low,
                 sh_post: raw.sh_post,
@@ -364,9 +396,20 @@ impl SdivPlan {
             "divisor does not fit in i{width}"
         );
         let negate = d < 0;
+        let _span = magicdiv_trace::span("plan.sdiv");
+        magicdiv_trace::event!("plan.query",
+            "shape" => "signed", "width" => width, "d" => d, "negate" => negate);
         let strategy = if abs_d == 1 {
+            magicdiv_trace::event!("plan.decision",
+                "strategy" => "identity", "negate" => negate,
+                "why" => "|d| == 1 => copy (negated when d == -1)",
+                "paper" => "Fig 5.2 (|d| = 1)");
             SdivStrategy::Identity
         } else if abs_d.is_power_of_two() {
+            magicdiv_trace::event!("plan.decision",
+                "strategy" => "shift", "l" => abs_d.trailing_zeros(), "negate" => negate,
+                "why" => "|d| == 2^l => SRA with sign-bias fixup SRL(SRA(n, l-1), N-l)",
+                "paper" => "Fig 5.2 (power of two |d|)");
             SdivStrategy::Shift {
                 l: abs_d.trailing_zeros(),
             }
@@ -377,11 +420,22 @@ impl SdivPlan {
                 "prec = N-1 guarantees m < 2^N for non-power-of-two d"
             );
             if raw.m_low >> (width - 1) & 1 == 1 {
+                magicdiv_trace::event!("plan.decision",
+                    "strategy" => "mul_add_shift",
+                    "m_minus_pow2n" => format!("{:#x}", raw.m_low),
+                    "sh_post" => raw.sh_post, "negate" => negate,
+                    "why" => "m >= 2^(N-1) => n + MULSH(m - 2^N, n) add fixup",
+                    "paper" => "Fig 5.2 (large multiplier) / Thm 5.2");
                 SdivStrategy::MulAddShift {
                     m_minus_pow2n: raw.m_low,
                     sh_post: raw.sh_post,
                 }
             } else {
+                magicdiv_trace::event!("plan.decision",
+                    "strategy" => "mul_shift", "m" => format!("{:#x}", raw.m_low),
+                    "sh_post" => raw.sh_post, "negate" => negate,
+                    "why" => "m < 2^(N-1) => q = SRA(MULSH(m, n), sh_post) - XSIGN(n)",
+                    "paper" => "Fig 5.2 / Thm 5.2");
                 SdivStrategy::MulShift {
                     m: raw.m_low,
                     sh_post: raw.sh_post,
@@ -514,13 +568,27 @@ impl FloorPlan {
         if d == 0 {
             return Err(DivisorError::Zero);
         }
+        let _span = magicdiv_trace::span("plan.floor");
+        magicdiv_trace::event!("plan.query",
+            "shape" => "floor", "width" => width, "d" => d);
         let strategy = if d == 1 {
+            magicdiv_trace::event!("plan.decision",
+                "strategy" => "identity", "why" => "d == 1 => q = n",
+                "paper" => "Fig 6.1 (d = 1)");
             FloorStrategy::Identity
         } else if d < 0 {
+            magicdiv_trace::event!("plan.decision",
+                "strategy" => "trunc_fixup",
+                "why" => "d < 0 => truncate per Fig 5.2 then correct q -= (r > 0)",
+                "paper" => "§6 (negative divisors)");
             FloorStrategy::NegativeTrunc {
                 trunc: SdivPlan::new(d, width)?,
             }
         } else if (d as u128).is_power_of_two() {
+            magicdiv_trace::event!("plan.decision",
+                "strategy" => "shift", "l" => (d as u128).trailing_zeros(),
+                "why" => "d == 2^l => arithmetic right shift already floors",
+                "paper" => "Fig 6.1 (power of two)");
             FloorStrategy::Shift {
                 l: (d as u128).trailing_zeros(),
             }
@@ -531,6 +599,11 @@ impl FloorPlan {
             );
             let raw = magic(d as u128, width, width - 1);
             debug_assert!(raw.fits, "Fig 6.1 asserts m < 2^N");
+            magicdiv_trace::event!("plan.decision",
+                "strategy" => "mul_shift", "m" => format!("{:#x}", raw.m_low),
+                "sh_post" => raw.sh_post,
+                "why" => "sign-fold: q = EOR(nsign, SRL(MULUH(m, EOR(nsign, n)), sh_post))",
+                "paper" => "Fig 6.1 / Thm 6.1");
             FloorStrategy::MulShift {
                 m: raw.m_low,
                 sh_post: raw.sh_post,
@@ -635,15 +708,29 @@ impl ExactPlan {
             return Err(DivisorError::Zero);
         }
         assert!(d <= mask(width), "divisor does not fit in {width} bits");
+        let _span = magicdiv_trace::span("plan.exact");
+        magicdiv_trace::event!("plan.query",
+            "shape" => "exact_unsigned", "width" => width, "d" => d);
         let e = d.trailing_zeros();
         let d_odd = d >> e;
+        let dinv = mod_inverse(d_odd, width);
+        magicdiv_trace::event!("plan.decision",
+            "strategy" => if d_odd == 1 { "exact_pow2" } else { "exact_inverse" },
+            "e" => e, "dinv" => format!("{dinv:#x}"),
+            "qmax" => format!("{:#x}", mask(width) / d),
+            "why" => if d_odd == 1 {
+                "d == 2^e => rotate-right e, divisibility is a low-bits test"
+            } else {
+                "q0 = ROR(MULL(dinv, n), e); d | n iff q0 <= qmax"
+            },
+            "paper" => "§9 (exact division / divisibility)");
         Ok(ExactPlan {
             width,
             d_abs: d,
             signed: false,
             negate: false,
             e,
-            dinv: mod_inverse(d_odd, width),
+            dinv,
             qmax: mask(width) / d,
             low_mask: (1u128 << e) - 1,
             is_pow2: d_odd == 1,
@@ -670,15 +757,30 @@ impl ExactPlan {
             d_abs <= mask(width - 1).wrapping_add(u128::from(d < 0)),
             "divisor does not fit in i{width}"
         );
+        let _span = magicdiv_trace::span("plan.exact");
+        magicdiv_trace::event!("plan.query",
+            "shape" => "exact_signed", "width" => width, "d" => d);
         let e = d_abs.trailing_zeros();
         let d_odd = d_abs >> e;
+        let dinv = mod_inverse(d_odd, width);
+        magicdiv_trace::event!("plan.decision",
+            "strategy" => if d_odd == 1 { "exact_pow2" } else { "exact_inverse" },
+            "e" => e, "dinv" => format!("{dinv:#x}"),
+            "qmax" => format!("{:#x}", (mask(width - 1) / d_abs) << e),
+            "negate" => d < 0,
+            "why" => if d_odd == 1 {
+                "|d| == 2^e => interval test inapplicable, only the low-bits check"
+            } else {
+                "q0 = MULL(dinv, n); d | n iff q0 + qmax <= 2*qmax and low bits vanish"
+            },
+            "paper" => "§9 (signed exact division)");
         Ok(ExactPlan {
             width,
             d_abs,
             signed: true,
             negate: d < 0,
             e,
-            dinv: mod_inverse(d_odd, width),
+            dinv,
             qmax: (mask(width - 1) / d_abs) << e,
             low_mask: (1u128 << e) - 1,
             is_pow2: d_odd == 1,

@@ -66,12 +66,29 @@ impl<T: UWord> DwordDivisor<T> {
         };
         let (q, _) = numerator.div_rem_limb(d).expect("nonzero divisor");
         let m_prime = q.wrapping_sub(DWord::from_hi(T::ONE)).lo();
+        let d_norm = d.shl_full(n - l);
+        magicdiv_trace::event!(
+            "plan.dword",
+            "width" => n,
+            "d" => d.to_u128(),
+            "l" => l,
+            "m_prime" => format!("{:#x}", m_prime.to_u128()),
+            "d_norm" => format!("{:#x}", d_norm.to_u128()),
+            "why" => "normalize d to the word top, estimate q from HIGH(m' * n2)",
+            "paper" => "Fig 8.1 (udword/uword division)",
+        );
         Ok(DwordDivisor {
             d,
             m_prime,
             l,
-            d_norm: d.shl_full(n - l),
+            d_norm,
         })
+    }
+
+    /// The precomputed Figure 8.1 constants `(m', l, d_norm)`.
+    #[inline]
+    pub fn constants(&self) -> (T, u32, T) {
+        (self.m_prime, self.l, self.d_norm)
     }
 
     /// The divisor this reciprocal was computed for.

@@ -35,6 +35,48 @@ pub enum OpClass {
     Div,
 }
 
+impl OpClass {
+    /// A stable snake_case name for reports and trace events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpClass::Nop => "nop",
+            OpClass::AddSub => "add_sub",
+            OpClass::Shift => "shift",
+            OpClass::BitOp => "bit_op",
+            OpClass::Cmp => "cmp",
+            OpClass::MulLow => "mul_low",
+            OpClass::MulHigh => "mul_high",
+            OpClass::Div => "div",
+        }
+    }
+
+    /// All classes, in pricing order.
+    pub const ALL: [OpClass; 8] = [
+        OpClass::Nop,
+        OpClass::AddSub,
+        OpClass::Shift,
+        OpClass::BitOp,
+        OpClass::Cmp,
+        OpClass::MulLow,
+        OpClass::MulHigh,
+        OpClass::Div,
+    ];
+
+    /// Index of this class within [`OpClass::ALL`].
+    pub fn index(&self) -> usize {
+        match self {
+            OpClass::Nop => 0,
+            OpClass::AddSub => 1,
+            OpClass::Shift => 2,
+            OpClass::BitOp => 3,
+            OpClass::Cmp => 4,
+            OpClass::MulLow => 5,
+            OpClass::MulHigh => 6,
+            OpClass::Div => 7,
+        }
+    }
+}
+
 impl Op {
     /// The cost class of this operation.
     pub fn class(&self) -> OpClass {

@@ -172,12 +172,17 @@ impl Program {
         let w = self.width();
         let m = mask(w);
         let min_signed = 1u64 << (w - 1).min(63); // bit pattern of iN::MIN
+        let tracing = magicdiv_trace::enabled();
+        let mut class_counts = [0u64; 8];
         let mut vals: Vec<u64> = Vec::with_capacity(self.insts().len());
         for (i, op) in self.insts().iter().enumerate() {
             if let Some(fuel) = opts.fuel {
                 if i as u64 >= fuel {
                     return Err(EvalError::FuelExhausted { limit: fuel });
                 }
+            }
+            if tracing {
+                class_counts[op.class().index()] += 1;
             }
             let v = |r: crate::Reg| vals[r.index()];
             let result = match *op {
@@ -230,6 +235,19 @@ impl Program {
                 }
             };
             vals.push(result & m);
+        }
+        if tracing {
+            use crate::cost::OpClass;
+            magicdiv_trace::event!("ir.eval",
+                "width" => w,
+                "executed" => class_counts[1..].iter().sum::<u64>(),
+                "add_sub" => class_counts[OpClass::AddSub.index()],
+                "shift" => class_counts[OpClass::Shift.index()],
+                "bit_op" => class_counts[OpClass::BitOp.index()],
+                "cmp" => class_counts[OpClass::Cmp.index()],
+                "mul_low" => class_counts[OpClass::MulLow.index()],
+                "mul_high" => class_counts[OpClass::MulHigh.index()],
+                "div" => class_counts[OpClass::Div.index()]);
         }
         Ok(self.results().iter().map(|r| vals[r.index()]).collect())
     }

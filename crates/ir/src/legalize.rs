@@ -150,7 +150,13 @@ pub fn legalize(prog: &Program, caps: TargetCaps) -> Program {
         };
         remap.push(new_reg);
     }
-    b.finish(prog.results().iter().map(|r| remap[r.index()]))
+    let out = b.finish(prog.results().iter().map(|r| remap[r.index()]));
+    magicdiv_trace::event!("ir.legalize",
+        "ops_before" => prog.insts().len(), "ops_after" => out.insts().len(),
+        "has_muluh" => caps.has_muluh, "has_mulsh" => caps.has_mulsh,
+        "has_sra" => caps.has_sra,
+        "paper" => "§3 (one multiply-high form suffices)");
+    out
 }
 
 #[cfg(test)]

@@ -61,6 +61,19 @@ pub enum Mutation {
     },
 }
 
+impl Mutation {
+    /// The mutation class name (the part of [`Display`](fmt::Display)
+    /// before the `@`), used for per-class kill tallies in reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Mutation::ConstFlip { .. } => "const-flip",
+            Mutation::ShiftNudge { .. } => "shift-nudge",
+            Mutation::OpcodeSwap { .. } => "opcode-swap",
+            Mutation::OperandSwap { .. } => "operand-swap",
+        }
+    }
+}
+
 impl fmt::Display for Mutation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -34,12 +34,24 @@ use crate::program::{Op, Program, Reg};
 /// assert_eq!(opt.insts().len(), 1);
 /// ```
 pub fn optimize(program: &Program) -> Program {
+    let _span = magicdiv_trace::span("ir.optimize");
     let mut current = program.clone();
     // Iterate simplify+CSE to a fixed point (each pass can expose more).
-    for _ in 0..8 {
-        let next = simplify_and_cse(&current);
-        let next = dce(&next);
-        if next == current {
+    for pass in 0..8 {
+        let ops_before = current.insts().len();
+        let (simplified, stats) = simplify_and_cse(&current);
+        let next = dce(&simplified);
+        let changed = next != current;
+        magicdiv_trace::event!("ir.pass",
+            "pass" => pass,
+            "ops_before" => ops_before,
+            "ops_after" => next.insts().len(),
+            "folded" => stats.folded,
+            "copy_propagated" => stats.copy_propagated,
+            "cse_hits" => stats.cse_hits,
+            "dce_removed" => simplified.insts().len() - next.insts().len(),
+            "changed" => changed);
+        if !changed {
             break;
         }
         current = next;
@@ -47,9 +59,22 @@ pub fn optimize(program: &Program) -> Program {
     current
 }
 
+/// Rewrites fired by one [`simplify_and_cse`] pass, reported through the
+/// `ir.pass` trace event.
+#[derive(Default)]
+struct PassStats {
+    /// Operations folded to a `Const`.
+    folded: usize,
+    /// Operations replaced by an existing register (algebraic identity /
+    /// copy propagation).
+    copy_propagated: usize,
+    /// Operations deduplicated by value numbering.
+    cse_hits: usize,
+}
+
 /// One forward pass of constant folding, algebraic rewriting and value
 /// numbering.
-fn simplify_and_cse(program: &Program) -> Program {
+fn simplify_and_cse(program: &Program) -> (Program, PassStats) {
     let w = program.width();
     let m = mask(w);
     let mut out: Vec<Op> = Vec::with_capacity(program.insts().len());
@@ -58,32 +83,47 @@ fn simplify_and_cse(program: &Program) -> Program {
     // Value numbering table over the *new* instruction list.
     let mut table: HashMap<Op, Reg> = HashMap::new();
 
-    let intern = |op: Op, out: &mut Vec<Op>, table: &mut HashMap<Op, Reg>| -> Reg {
-        if let Some(&r) = table.get(&op) {
-            return r;
-        }
-        let r = Reg(out.len() as u32);
-        out.push(op);
-        table.insert(op, r);
-        r
-    };
+    let mut stats = PassStats::default();
+
+    let intern =
+        |op: Op, out: &mut Vec<Op>, table: &mut HashMap<Op, Reg>, stats: &mut PassStats| -> Reg {
+            if let Some(&r) = table.get(&op) {
+                stats.cse_hits += 1;
+                return r;
+            }
+            let r = Reg(out.len() as u32);
+            out.push(op);
+            table.insert(op, r);
+            r
+        };
 
     for op in program.insts() {
-        let op = op.map_operands(|r| remap[r.index()]);
+        let original = op.map_operands(|r| remap[r.index()]);
         // Constant value of a (new) register, if known.
         let const_of = |r: Reg| match out[r.index()] {
             Op::Const(c) => Some(c),
             _ => None,
         };
-        let new_reg = match simplify_op(op, w, m, &const_of) {
-            Rewrite::Use(r) => r,
-            Rewrite::Emit(op) => intern(op, &mut out, &mut table),
+        let new_reg = match simplify_op(original, w, m, &const_of) {
+            Rewrite::Use(r) => {
+                stats.copy_propagated += 1;
+                r
+            }
+            Rewrite::Emit(op) => {
+                if matches!(op, Op::Const(_)) && !matches!(original, Op::Const(_)) {
+                    stats.folded += 1;
+                }
+                intern(op, &mut out, &mut table, &mut stats)
+            }
         };
         remap.push(new_reg);
     }
 
     let results = program.results().iter().map(|r| remap[r.index()]).collect();
-    Program::from_raw(w, program.arg_count(), out, results)
+    (
+        Program::from_raw(w, program.arg_count(), out, results),
+        stats,
+    )
 }
 
 /// Result of rewriting one operation: either reuse an existing register

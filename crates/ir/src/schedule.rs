@@ -135,6 +135,14 @@ pub fn schedule(prog: &Program, weights: ScheduleWeights) -> Program {
             other => b.push(other),
         };
     }
+    let moved = order
+        .iter()
+        .enumerate()
+        .filter(|(new, &old)| *new != old)
+        .count();
+    magicdiv_trace::event!("ir.schedule",
+        "ops" => n, "moved" => moved,
+        "paper" => "§10 (issue long-latency multiplies early)");
     b.finish(prog.results().iter().map(|r| remap[r.index()]))
 }
 

@@ -132,7 +132,13 @@ pub fn try_cycles_for_plan(plan: &DivPlan, model: &TimingModel) -> Result<u64, F
             ))))
         }
     };
-    Ok(cycles_for_program(&optimize(&b.finish([q])), model))
+    let prog = optimize(&b.finish([q]));
+    let cycles = cycles_for_program(&prog, model);
+    magicdiv_trace::event!("simcpu.plan_cycles",
+        "model" => model.name, "strategy" => plan.strategy_name(),
+        "width" => width, "ops" => prog.op_counts().total_executed(),
+        "cycles" => cycles, "paper" => "Table 1.1 latencies");
+    Ok(cycles)
 }
 
 /// One instruction's simulated schedule.
@@ -164,6 +170,8 @@ pub struct InstrTiming {
 /// ```
 pub fn trace_program(prog: &Program, model: &TimingModel) -> Vec<InstrTiming> {
     let insts = prog.insts();
+    let tracing = magicdiv_trace::enabled();
+    let mut class_busy = [0u64; 8];
     let mut trace = Vec::new();
     let mut ready = vec![0u64; insts.len()];
     // Earliest cycle at which the next instruction may issue, plus how
@@ -192,6 +200,9 @@ pub fn trace_program(prog: &Program, model: &TimingModel) -> Vec<InstrTiming> {
         } else {
             latency(model, op)
         };
+        if tracing {
+            class_busy[op.class().index()] += lat;
+        }
         let operands_ready = op.operands().map(|r| ready[r.index()]).max().unwrap_or(0);
         // Earliest legal issue cycle: the in-order floor (bumped by one
         // when this cycle's issue slots are full) and the data dependences.
@@ -234,6 +245,21 @@ pub fn trace_program(prog: &Program, model: &TimingModel) -> Vec<InstrTiming> {
         });
     }
     let _ = finish;
+    if tracing {
+        use magicdiv_ir::OpClass;
+        magicdiv_trace::event!("simcpu.cycles",
+            "model" => model.name,
+            "total" => trace.iter().map(|t| t.complete).max().unwrap_or(0),
+            "instructions" => trace.len(),
+            "add_sub_busy" => class_busy[OpClass::AddSub.index()],
+            "shift_busy" => class_busy[OpClass::Shift.index()],
+            "bit_op_busy" => class_busy[OpClass::BitOp.index()],
+            "cmp_busy" => class_busy[OpClass::Cmp.index()],
+            "mul_low_busy" => class_busy[OpClass::MulLow.index()],
+            "mul_high_busy" => class_busy[OpClass::MulHigh.index()],
+            "div_busy" => class_busy[OpClass::Div.index()],
+            "paper" => "Table 1.1 latencies, single-issue in-order");
+    }
     trace
 }
 

@@ -1,0 +1,160 @@
+//! Cross-layer trace-event integration tests: the cycle totals the
+//! tracing layer reports must equal what the public costing API
+//! returns, plan events must carry paper provenance, and tracing must
+//! be structurally absent when no sink is installed.
+
+use std::sync::Arc;
+
+use magicdiv::plan::{DivPlan, FloorPlan, SdivPlan, UdivPlan};
+use magicdiv_simcpu::{cycles_for_plan, cycles_for_program, table_1_1, trace_program};
+use magicdiv_trace::{install, CaptureSink, Event, MetricsSink, Registry, Value};
+
+fn u64_field(e: &Event, key: &str) -> u64 {
+    e.get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("event {} lacks u64 field {key}: {e}", e.name))
+}
+
+fn sample_plans() -> Vec<DivPlan> {
+    vec![
+        UdivPlan::new(7, 32).unwrap().into(),
+        UdivPlan::new(10, 64).unwrap().into(),
+        UdivPlan::new(1, 16).unwrap().into(),
+        UdivPlan::new(32, 8).unwrap().into(),
+        SdivPlan::new(-7, 32).unwrap().into(),
+        SdivPlan::new(3, 64).unwrap().into(),
+        FloorPlan::new(-5, 32).unwrap().into(),
+    ]
+}
+
+/// The `simcpu.plan_cycles` event must report exactly the number
+/// `cycles_for_plan` returns, for every plan × model combination.
+#[test]
+fn plan_cycles_event_matches_cycles_for_plan() {
+    for plan in sample_plans() {
+        for model in table_1_1() {
+            let capture = Arc::new(CaptureSink::new());
+            let cycles = {
+                let _g = install(capture.clone());
+                cycles_for_plan(&plan, &model)
+            };
+            let events = capture.named("simcpu.plan_cycles");
+            assert_eq!(events.len(), 1, "one pricing event per call");
+            assert_eq!(
+                u64_field(&events[0], "cycles"),
+                cycles,
+                "trace total diverges from cycles_for_plan for {} on {}",
+                plan.strategy_name(),
+                model.name,
+            );
+            assert_eq!(
+                events[0].get("strategy"),
+                Some(&Value::from(plan.strategy_name())),
+            );
+        }
+    }
+}
+
+/// The per-class cycle attribution from `trace_program` must sum to a
+/// total equal to `cycles_for_program`'s answer.
+#[test]
+fn cycle_attribution_total_matches_cycles_for_program() {
+    let pentium = table_1_1()
+        .into_iter()
+        .find(|m| m.name.contains("Pentium"))
+        .expect("Pentium row");
+    for plan in sample_plans() {
+        let capture = Arc::new(CaptureSink::new());
+        let prog = {
+            // Reuse the pricing path to obtain the optimized program:
+            // the plan_cycles event carries ops, but we want the
+            // instruction-level attribution, so re-lower directly.
+            use magicdiv_ir::{
+                lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv, optimize, Builder,
+            };
+            let mut b = Builder::new(plan.width(), 1);
+            let n = b.arg(0);
+            let q = match &plan {
+                DivPlan::Unsigned(p) => lower_udiv(&mut b, n, p),
+                DivPlan::Signed(p) => lower_sdiv(&mut b, n, p),
+                DivPlan::Floor(p) => lower_floor_div(&mut b, n, p),
+                DivPlan::Exact(p) => lower_exact_div(&mut b, n, p),
+                other => panic!("unpriceable plan {other:?}"),
+            };
+            optimize(&b.finish([q]))
+        };
+        let timings = {
+            let _g = install(capture.clone());
+            trace_program(&prog, &pentium)
+        };
+        let events = capture.named("simcpu.cycles");
+        assert_eq!(events.len(), 1);
+        let total = u64_field(&events[0], "total");
+        assert_eq!(total, cycles_for_program(&prog, &pentium));
+        assert_eq!(u64_field(&events[0], "instructions"), timings.len() as u64);
+    }
+}
+
+/// Every plan decision event names the paper artifact that justified it.
+#[test]
+fn plan_decisions_carry_paper_provenance() {
+    let capture = Arc::new(CaptureSink::new());
+    {
+        // Plan construction under the sink is what gets traced.
+        let _g = install(capture.clone());
+        let _plans = sample_plans();
+    }
+    let decisions = capture.named("plan.decision");
+    assert!(!decisions.is_empty(), "plans emitted no decisions");
+    for d in &decisions {
+        let paper = d.get("paper").expect("decision without paper field");
+        let text = paper.to_string();
+        assert!(
+            text.contains("Fig") || text.contains('§') || text.contains("Thm"),
+            "paper field does not cite an artifact: {text}"
+        );
+        assert!(
+            d.get("strategy").is_some(),
+            "decision without strategy: {d}"
+        );
+    }
+}
+
+/// Aggregating the event stream through a `MetricsSink` yields counters
+/// for every event name and histograms for the cycle totals.
+#[test]
+fn metrics_sink_aggregates_pricing_events() {
+    let registry = Arc::new(Registry::new());
+    {
+        let _g = install(Arc::new(MetricsSink::new(registry.clone())));
+        for plan in sample_plans() {
+            for model in table_1_1() {
+                cycles_for_plan(&plan, &model);
+            }
+        }
+    }
+    let snap = registry.snapshot();
+    let priced = (sample_plans().len() * table_1_1().len()) as u64;
+    assert_eq!(snap.counters["events.simcpu.plan_cycles"], priced);
+    let hist = &snap.histograms["simcpu.plan_cycles.cycles"];
+    assert_eq!(hist.count, priced);
+    // Identity plans optimize to zero instructions (0 cycles), so only
+    // the upper end is guaranteed nonzero.
+    assert!(hist.max >= 1, "non-trivial plans cost at least one cycle");
+}
+
+/// With no sink installed, tracing is off and pricing emits nothing —
+/// the zero-cost guard the batch hot paths rely on.
+#[test]
+fn no_sink_means_no_tracing() {
+    assert!(!magicdiv_trace::enabled());
+    let capture = Arc::new(CaptureSink::new());
+    for plan in sample_plans() {
+        let pentium = table_1_1()
+            .into_iter()
+            .find(|m| m.name.contains("Pentium"))
+            .expect("Pentium row");
+        cycles_for_plan(&plan, &pentium);
+    }
+    assert!(capture.events().is_empty(), "uninstalled sink saw events");
+}

@@ -1,0 +1,251 @@
+//! Typed events: a static name plus a flat list of key/value fields.
+//!
+//! Events are the unit every pipeline layer emits — a plan decision, an
+//! optimizer pass delta, a cycle attribution. They are plain data so any
+//! [`Sink`](crate::Sink) can render them (text tree, JSONL, metrics).
+
+use core::fmt;
+
+/// A field value. Deliberately small: the pipeline reports integers
+/// (constants, counts, cycles), ratios, names and flags — nothing else.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned integer (counts, widths, shifts).
+    U64(u64),
+    /// A wide unsigned integer (magic multipliers up to 128 bits).
+    U128(u128),
+    /// A signed integer (divisors).
+    I128(i128),
+    /// A ratio or time measurement.
+    F64(f64),
+    /// A name, mnemonic or human-readable explanation.
+    Str(String),
+    /// A flag.
+    Bool(bool),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::U128(v) => write!(f, "{v}"),
+            Value::I128(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v:.4}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl Value {
+    /// Renders the value as a JSON scalar (strings escaped and quoted).
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::U128(v) => {
+                // JSON numbers above 2^53 lose precision in many readers;
+                // wide multipliers are emitted as strings.
+                if *v <= (1u128 << 53) {
+                    v.to_string()
+                } else {
+                    format!("\"{v}\"")
+                }
+            }
+            Value::I128(v) => {
+                if v.unsigned_abs() <= (1u128 << 53) {
+                    v.to_string()
+                } else {
+                    format!("\"{v}\"")
+                }
+            }
+            Value::F64(v) => {
+                if v.is_finite() {
+                    format!("{v:.6}")
+                } else {
+                    "null".to_string()
+                }
+            }
+            Value::Str(v) => json_string(v),
+            Value::Bool(v) => v.to_string(),
+        }
+    }
+
+    /// The value as a `u64` count, when it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::U128(v) => u64::try_from(*v).ok(),
+            Value::I128(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u128> for Value {
+    fn from(v: u128) -> Self {
+        Value::U128(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I128(v as i128)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I128(v as i128)
+    }
+}
+impl From<i128> for Value {
+    fn from(v: i128) -> Self {
+        Value::I128(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// One key/value pair of an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name (static so events stay allocation-light and sinks can
+    /// key metrics off it).
+    pub key: &'static str,
+    /// Field value.
+    pub value: Value,
+}
+
+/// A typed event: a static name plus fields.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_trace::Event;
+///
+/// let ev = Event::new("plan.decision")
+///     .with("strategy", "mul_shift")
+///     .with("sh_post", 3u32);
+/// assert_eq!(ev.get("sh_post").and_then(|v| v.as_u64()), Some(3));
+/// assert_eq!(ev.to_string(), "plan.decision strategy=mul_shift sh_post=3");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Dotted event name, `layer.what` (e.g. `ir.pass`, `simcpu.cycles`).
+    pub name: &'static str,
+    /// The fields, in emission order.
+    pub fields: Vec<Field>,
+}
+
+impl Event {
+    /// Starts an event with no fields.
+    pub fn new(name: &'static str) -> Self {
+        Event {
+            name,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder style).
+    #[must_use]
+    pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push(Field {
+            key,
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Looks up a field by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|f| f.key == key).map(|f| &f.value)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for field in &self.fields {
+            match &field.value {
+                Value::Str(s) if s.contains(' ') => {
+                    write!(f, " {}={s:?}", field.key)?;
+                }
+                v => write!(f, " {}={v}", field.key)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_quotes_spaced_strings() {
+        let ev = Event::new("x").with("why", "d == 1 => identity");
+        assert_eq!(ev.to_string(), "x why=\"d == 1 => identity\"");
+    }
+
+    #[test]
+    fn json_scalars() {
+        assert_eq!(Value::U64(7).to_json(), "7");
+        assert_eq!(Value::Bool(true).to_json(), "true");
+        assert_eq!(Value::Str("a\"b".into()).to_json(), "\"a\\\"b\"");
+        // Wide multipliers become strings to survive f64 JSON readers.
+        assert_eq!(
+            Value::U128(u128::MAX).to_json(),
+            format!("\"{}\"", u128::MAX)
+        );
+    }
+}

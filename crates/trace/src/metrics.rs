@@ -1,0 +1,391 @@
+//! Atomic counters and power-of-two histograms, with a registry and a
+//! [`Sink`](crate::Sink) that aggregates the event stream into them.
+//!
+//! Counters and histograms are lock-free once created (plain atomics);
+//! the registry itself takes a mutex only on first registration of a
+//! name. A [`MetricsSnapshot`] is an ordinary sortable value the bins
+//! serialize into their JSON reports.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::event::{json_string, Event, Value};
+use crate::sink::Sink;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    n: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.n.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.n.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: values land in bucket `⌈log2(v+1)⌉`, so
+/// bucket 0 holds 0, bucket 1 holds 1, bucket k holds `2^(k-1)+1 ..= 2^k`.
+const BUCKETS: usize = 65;
+
+/// A histogram over `u64` observations with power-of-two buckets, plus
+/// exact count/sum/min/max.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index for an observation.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some(BucketCount {
+                        le: if i == 0 { 0 } else { ((1u128 << i) - 1) as u64 },
+                        count: n,
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One non-empty histogram bucket: `count` observations `<= le` (and
+/// greater than the previous bucket's `le`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket (`2^k - 1`).
+    pub le: u64,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// The non-empty buckets, in increasing order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Renders as a JSON object.
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .buckets
+            .iter()
+            .map(|b| format!("[{},{}]", b.le, b.count))
+            .collect();
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.4},\"buckets\":[{}]}}",
+            self.count,
+            self.sum,
+            self.min,
+            self.max,
+            self.mean(),
+            buckets.join(",")
+        )
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A named collection of counters and histograms.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_trace::Registry;
+///
+/// let reg = Registry::new();
+/// reg.counter("plans").inc();
+/// reg.histogram("cycles").observe(9);
+/// reg.histogram("cycles").observe(5);
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counters["plans"], 1);
+/// assert_eq!(snap.histograms["cycles"].count, 2);
+/// assert_eq!(snap.histograms["cycles"].sum, 14);
+/// ```
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(c) = inner.counters.get(name) {
+            return c.clone();
+        }
+        let c = Arc::new(Counter::new());
+        inner.counters.insert(name.to_string(), c.clone());
+        c
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(h) = inner.histograms.get(name) {
+            return h.clone();
+        }
+        let h = Arc::new(Histogram::new());
+        inner.histograms.insert(name.to_string(), h.clone());
+        h
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Renders as a JSON object `{"counters":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{}:{v}", json_string(k)))
+            .collect();
+        let histograms: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(k, v)| format!("{}:{}", json_string(k), v.to_json()))
+            .collect();
+        format!(
+            "{{\"counters\":{{{}}},\"histograms\":{{{}}}}}",
+            counters.join(","),
+            histograms.join(",")
+        )
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k} = {v}")?;
+        }
+        for (k, h) in &self.histograms {
+            writeln!(
+                f,
+                "{k}: n={} sum={} min={} max={} mean={:.2}",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A sink that aggregates the event stream into a [`Registry`]: every
+/// event increments counter `events.<name>`, and every integer field
+/// feeds histogram `<name>.<key>`.
+pub struct MetricsSink {
+    registry: Arc<Registry>,
+}
+
+impl MetricsSink {
+    /// Aggregates into `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        MetricsSink { registry }
+    }
+
+    /// The registry this sink feeds.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+}
+
+impl Sink for MetricsSink {
+    fn event(&self, _depth: u32, event: &Event) {
+        self.registry
+            .counter(&format!("events.{}", event.name))
+            .inc();
+        for f in &event.fields {
+            if let Some(v) = match f.value {
+                Value::U64(v) => Some(v),
+                Value::U128(v) => u64::try_from(v).ok(),
+                _ => None,
+            } {
+                self.registry
+                    .histogram(&format!("{}.{}", event.name, f.key))
+                    .observe(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::with_sink;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 106);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.mean(), 26.5);
+        assert_eq!(s.buckets.iter().map(|b| b.count).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn metrics_sink_aggregates_events() {
+        let reg = Arc::new(Registry::new());
+        with_sink(Arc::new(MetricsSink::new(reg.clone())), || {
+            crate::event!("simcpu.plan_cycles", "cycles" => 9u64);
+            crate::event!("simcpu.plan_cycles", "cycles" => 5u64);
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["events.simcpu.plan_cycles"], 2);
+        let h = &snap.histograms["simcpu.plan_cycles.cycles"];
+        assert_eq!((h.count, h.sum), (2, 14));
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed_enough() {
+        let reg = Registry::new();
+        reg.counter("a").add(2);
+        reg.histogram("h").observe(7);
+        let json = reg.snapshot().to_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"a\":2"));
+        assert!(json.contains("\"buckets\":[[7,1]]"));
+    }
+}

@@ -1,0 +1,375 @@
+//! Sinks and the thread-local dispatcher.
+//!
+//! A [`Sink`] consumes the span/event stream. Sinks are installed
+//! per-thread with [`with_sink`] (scoped) or [`install`] (RAII guard);
+//! when several are installed they all receive every record (tee). With
+//! no sink installed, [`enabled`] is `false` and every instrumentation
+//! site reduces to one thread-local read — the hot paths stay clean.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::event::Event;
+
+/// A consumer of spans and events.
+pub trait Sink: Send + Sync {
+    /// An event was emitted at span nesting `depth`.
+    fn event(&self, depth: u32, event: &Event);
+    /// A span named `name` opened at nesting `depth`.
+    fn span_enter(&self, _depth: u32, _name: &'static str) {}
+    /// The span named `name` at nesting `depth` closed.
+    fn span_exit(&self, _depth: u32, _name: &'static str) {}
+}
+
+thread_local! {
+    static SINKS: RefCell<Vec<Arc<dyn Sink>>> = const { RefCell::new(Vec::new()) };
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Whether any sink is installed on this thread. Instrumentation sites
+/// check this before building an [`Event`], so disabled tracing costs a
+/// single thread-local read.
+#[inline]
+pub fn enabled() -> bool {
+    SINKS.with(|s| !s.borrow().is_empty())
+}
+
+/// Sends `event` to every installed sink (no-op when none).
+pub fn emit(event: Event) {
+    SINKS.with(|s| {
+        let sinks = s.borrow();
+        if sinks.is_empty() {
+            return;
+        }
+        let depth = DEPTH.with(Cell::get);
+        for sink in sinks.iter() {
+            sink.event(depth, &event);
+        }
+    });
+}
+
+/// Opens a span: nested events and spans are indented under it by tree
+/// sinks. The span closes when the returned guard drops.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_trace::{span, with_sink, Event, TextTreeSink};
+/// use std::sync::Arc;
+///
+/// let sink = Arc::new(TextTreeSink::new());
+/// with_sink(sink.clone(), || {
+///     let _s = span("outer");
+///     magicdiv_trace::emit(Event::new("inner"));
+/// });
+/// assert_eq!(sink.finish(), "outer\n  inner\n");
+/// ```
+#[must_use = "the span closes when the guard drops"]
+pub fn span(name: &'static str) -> SpanGuard {
+    let active = SINKS.with(|s| {
+        let sinks = s.borrow();
+        if sinks.is_empty() {
+            return false;
+        }
+        let depth = DEPTH.with(Cell::get);
+        for sink in sinks.iter() {
+            sink.span_enter(depth, name);
+        }
+        true
+    });
+    if active {
+        DEPTH.with(|d| d.set(d.get() + 1));
+    }
+    SpanGuard { name, active }
+}
+
+/// RAII guard returned by [`span`].
+pub struct SpanGuard {
+    name: &'static str,
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let depth = DEPTH.with(|d| {
+            let depth = d.get().saturating_sub(1);
+            d.set(depth);
+            depth
+        });
+        SINKS.with(|s| {
+            for sink in s.borrow().iter() {
+                sink.span_exit(depth, self.name);
+            }
+        });
+    }
+}
+
+/// Installs `sink` on this thread for the duration of `f` (stacked on
+/// top of any sinks already installed).
+pub fn with_sink<T>(sink: Arc<dyn Sink>, f: impl FnOnce() -> T) -> T {
+    let _guard = install(sink);
+    f()
+}
+
+/// Installs `sink` on this thread until the returned guard drops.
+/// Multiple installed sinks all receive every record.
+#[must_use = "the sink is removed when the guard drops"]
+pub fn install(sink: Arc<dyn Sink>) -> InstallGuard {
+    SINKS.with(|s| s.borrow_mut().push(sink));
+    InstallGuard { _private: () }
+}
+
+/// RAII guard returned by [`install`].
+pub struct InstallGuard {
+    _private: (),
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        SINKS.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Emits an event when (and only when) a sink is installed.
+///
+/// ```
+/// magicdiv_trace::event!("plan.decision", "strategy" => "shift", "sh" => 3u32);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $key:literal => $val:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::emit($crate::Event::new($name)$(.with($key, $val))*);
+        }
+    };
+}
+
+/// A sink that discards everything (for measuring instrumentation
+/// overhead with tracing "on" structurally but producing no output).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn event(&self, _depth: u32, _event: &Event) {}
+}
+
+fn lock_str(buf: &Mutex<String>) -> std::sync::MutexGuard<'_, String> {
+    buf.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders the stream as a human-readable indented tree, two spaces per
+/// span level. [`TextTreeSink::finish`] returns the accumulated text.
+#[derive(Debug, Default)]
+pub struct TextTreeSink {
+    buf: Mutex<String>,
+}
+
+impl TextTreeSink {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated tree text (and clears the buffer).
+    pub fn finish(&self) -> String {
+        std::mem::take(&mut *lock_str(&self.buf))
+    }
+}
+
+impl Sink for TextTreeSink {
+    fn event(&self, depth: u32, event: &Event) {
+        let mut buf = lock_str(&self.buf);
+        for _ in 0..depth {
+            buf.push_str("  ");
+        }
+        buf.push_str(&event.to_string());
+        buf.push('\n');
+    }
+
+    fn span_enter(&self, depth: u32, name: &'static str) {
+        let mut buf = lock_str(&self.buf);
+        for _ in 0..depth {
+            buf.push_str("  ");
+        }
+        buf.push_str(name);
+        buf.push('\n');
+    }
+}
+
+/// Renders the stream as machine-readable JSON Lines: one object per
+/// record with `type`, `depth`, `name` and (for events) `fields`.
+#[derive(Debug, Default)]
+pub struct JsonlSink {
+    buf: Mutex<String>,
+    seq: AtomicU64,
+}
+
+impl JsonlSink {
+    /// An empty JSONL buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated JSONL text (and clears the buffer).
+    pub fn finish(&self) -> String {
+        std::mem::take(&mut *lock_str(&self.buf))
+    }
+
+    fn push_line(&self, line: String) {
+        let mut buf = lock_str(&self.buf);
+        buf.push_str(&line);
+        buf.push('\n');
+    }
+}
+
+impl Sink for JsonlSink {
+    fn event(&self, depth: u32, event: &Event) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut line = format!(
+            "{{\"seq\":{seq},\"type\":\"event\",\"depth\":{depth},\"name\":{}",
+            crate::event::json_string(event.name)
+        );
+        line.push_str(",\"fields\":{");
+        for (i, f) in event.fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&crate::event::json_string(f.key));
+            line.push(':');
+            line.push_str(&f.value.to_json());
+        }
+        line.push_str("}}");
+        self.push_line(line);
+    }
+
+    fn span_enter(&self, depth: u32, name: &'static str) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.push_line(format!(
+            "{{\"seq\":{seq},\"type\":\"span_enter\",\"depth\":{depth},\"name\":{}}}",
+            crate::event::json_string(name)
+        ));
+    }
+
+    fn span_exit(&self, depth: u32, name: &'static str) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.push_line(format!(
+            "{{\"seq\":{seq},\"type\":\"span_exit\",\"depth\":{depth},\"name\":{}}}",
+            crate::event::json_string(name)
+        ));
+    }
+}
+
+/// A sink that retains every record in memory for programmatic
+/// inspection (the test suites' window into the instrumentation).
+#[derive(Debug, Default)]
+pub struct CaptureSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl CaptureSink {
+    /// An empty capture buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All events captured so far, in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Captured events with the given name.
+    pub fn named(&self, name: &str) -> Vec<Event> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.name == name)
+            .collect()
+    }
+}
+
+impl Sink for CaptureSink {
+    fn event(&self, _depth: u32, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        assert!(!enabled());
+        // emit with no sink is a no-op, not a panic.
+        emit(Event::new("nothing"));
+        let _g = span("nothing");
+    }
+
+    #[test]
+    fn tee_to_multiple_sinks() {
+        let a = Arc::new(CaptureSink::new());
+        let b = Arc::new(CaptureSink::new());
+        with_sink(a.clone(), || {
+            with_sink(b.clone(), || {
+                event!("both", "x" => 1u32);
+            });
+            event!("only_a", "x" => 2u32);
+        });
+        assert_eq!(a.events().len(), 2);
+        assert_eq!(b.events().len(), 1);
+        assert_eq!(b.events()[0].name, "both");
+    }
+
+    #[test]
+    fn tree_indents_spans() {
+        let sink = Arc::new(TextTreeSink::new());
+        with_sink(sink.clone(), || {
+            let _outer = span("outer");
+            emit(Event::new("ev").with("k", 1u32));
+            {
+                let _inner = span("inner");
+                emit(Event::new("deep"));
+            }
+        });
+        assert_eq!(sink.finish(), "outer\n  ev k=1\n  inner\n    deep\n");
+    }
+
+    #[test]
+    fn jsonl_emits_one_object_per_line() {
+        let sink = Arc::new(JsonlSink::new());
+        with_sink(sink.clone(), || {
+            let _s = span("s");
+            event!("e", "count" => 3u32, "name" => "x y");
+        });
+        let out = sink.finish();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"type\":\"span_enter\""));
+        assert!(lines[1].contains("\"count\":3"));
+        assert!(lines[1].contains("\"name\":\"x y\""));
+        assert!(lines[2].contains("\"type\":\"span_exit\""));
+    }
+
+    #[test]
+    fn depth_restored_after_guard_drop() {
+        let sink = Arc::new(TextTreeSink::new());
+        with_sink(sink.clone(), || {
+            {
+                let _s = span("a");
+            }
+            emit(Event::new("top"));
+        });
+        assert_eq!(sink.finish(), "a\ntop\n");
+    }
+}

@@ -26,4 +26,13 @@ echo "== differential + mutation harness (fixed seed; corpus replay ran in tier-
 cargo build --release --offline -p magicdiv-bench
 ./target/release/verify 20000 24029 --no-corpus-write
 
+echo "== explain-plan goldens + trace-event pinning =="
+cargo test -q --offline -p magicdiv-bench --test explain_golden
+cargo test -q --offline -p magicdiv-simcpu --test trace_events
+
+echo "== bench report self-diff (bench-compare must find zero regressions) =="
+mkdir -p target
+./target/release/bench 50 target/bench_ci.json > /dev/null
+./target/release/bench-compare target/bench_ci.json target/bench_ci.json 5
+
 echo "== all checks passed =="
