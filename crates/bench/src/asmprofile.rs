@@ -1,0 +1,125 @@
+//! Dynamic instruction profiles for the emitted radix-conversion asm.
+//!
+//! The asm interpreter emits `asm.exec` / `asm.opcount` trace events
+//! while it runs (one `asm.opcount` per distinct mnemonic, with the
+//! number of times it retired). This module captures those events behind
+//! a scoped [`CaptureSink`] and folds them into a profile the
+//! `table_11_1` / `table_11_2` binaries can print next to the *static*
+//! instruction counts — the paper reports code size, the simulator adds
+//! how many instructions the loop actually executes.
+
+use std::sync::Arc;
+
+use magicdiv_codegen::{execute_radix_listing, AsmError, Assembly};
+use magicdiv_trace::{with_sink, CaptureSink};
+
+/// Dynamic execution profile of one radix-conversion listing: total
+/// retired instructions plus the per-mnemonic breakdown, as counted by
+/// the `asm.opcount` instrumentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpProfile {
+    /// The converted decimal string (sanity check for the caller).
+    pub output: String,
+    /// Total instructions retired (the interpreter's step count).
+    pub retired: u64,
+    /// `(mnemonic, times retired)`, most frequent first.
+    pub counts: Vec<(String, u64)>,
+}
+
+impl OpProfile {
+    /// The busiest mnemonics as a compact `mnemonic×n` summary line.
+    pub fn hottest(&self, k: usize) -> String {
+        self.counts
+            .iter()
+            .take(k)
+            .map(|(op, n)| format!("{op}\u{d7}{n}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Executes `asm` on input `x` under a capture sink and folds the
+/// `asm.exec` / `asm.opcount` event stream into an [`OpProfile`].
+///
+/// # Errors
+///
+/// Propagates interpreter failures ([`AsmError`]) unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_bench::dynamic_op_profile;
+/// use magicdiv_codegen::{emit_radix_loop, Target};
+///
+/// let asm = emit_radix_loop(Target::Mips, true);
+/// let prof = dynamic_op_profile(&asm, 1994).unwrap();
+/// assert_eq!(prof.output, "1994");
+/// assert!(prof.retired as usize > asm.instruction_count());
+/// ```
+pub fn dynamic_op_profile(asm: &Assembly, x: u32) -> Result<OpProfile, AsmError> {
+    let sink = Arc::new(CaptureSink::new());
+    let output = with_sink(sink.clone(), || execute_radix_listing(asm, x))?;
+    let retired = sink
+        .named("asm.exec")
+        .iter()
+        .filter_map(|e| e.get("steps").and_then(|v| v.as_u64()))
+        .sum();
+    let mut counts: Vec<(String, u64)> = sink
+        .named("asm.opcount")
+        .iter()
+        .filter_map(|e| {
+            let op = match e.get("op")? {
+                magicdiv_trace::Value::Str(s) => s.clone(),
+                other => other.to_string(),
+            };
+            Some((op, e.get("n")?.as_u64()?))
+        })
+        .collect();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    Ok(OpProfile {
+        output,
+        retired,
+        counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magicdiv_codegen::{emit_radix_loop, Target};
+
+    #[test]
+    fn profile_counts_match_the_step_total() {
+        for &t in &Target::ALL {
+            let asm = emit_radix_loop(t, true);
+            let prof = dynamic_op_profile(&asm, 1994).unwrap();
+            assert_eq!(prof.output, "1994", "{t}");
+            // Every retired instruction is attributed to some mnemonic.
+            // (The step counter also ticks on labels/comments it skips,
+            // so the mnemonic total is a lower bound.)
+            let attributed: u64 = prof.counts.iter().map(|(_, n)| n).sum();
+            assert!(attributed > 0, "{t}");
+            assert!(attributed <= prof.retired, "{t}");
+            // Ten digits of output means the divide/multiply sequence ran
+            // more often than the listing is long.
+            assert!(prof.retired as usize > asm.instruction_count(), "{t}");
+        }
+    }
+
+    #[test]
+    fn hottest_is_a_short_summary() {
+        let asm = emit_radix_loop(Target::Mips, true);
+        let prof = dynamic_op_profile(&asm, 90_125).unwrap();
+        let line = prof.hottest(2);
+        assert_eq!(line.split(' ').count(), 2);
+        assert!(line.contains('\u{d7}'));
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let asm = emit_radix_loop(Target::Power, true);
+        let a = dynamic_op_profile(&asm, 42).unwrap();
+        let b = dynamic_op_profile(&asm, 42).unwrap();
+        assert_eq!(a, b);
+    }
+}

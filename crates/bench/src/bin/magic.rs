@@ -134,6 +134,7 @@ where
             ),
         ]);
         let dd = DwordDivisor::new(du).expect("nonzero");
+        rows.push(plan_row("dword plan (Fig 8.1)", dd.plan().into()));
         rows.push(vec!["udword/uword (Fig 8.1)".into(), format!("{dd:?}")]);
     }
     let ds = <T::Signed as magicdiv::SWord>::from_i128_truncate(d);

@@ -3,7 +3,8 @@
 //! simulator, side by side with the paper's measured numbers, plus a
 //! native measurement on the host as a modern datapoint.
 
-use magicdiv_bench::{measure_ns, render_table};
+use magicdiv_bench::{dynamic_op_profile, measure_ns, render_table};
+use magicdiv_codegen::{emit_radix_loop, Target};
 use magicdiv_simcpu::{radix_conversion_timing, table_11_2_models, table_11_2_paper_numbers};
 use magicdiv_workloads::{decimal_baseline, decimal_magic};
 
@@ -44,6 +45,46 @@ fn main() {
         )
     );
     println!("(Alpha: the paper calls its 12x artificial — the baseline is a software divide.)\n");
+
+    println!(
+        "== Dynamic instruction counts (full 32-bit conversion, {}) ==\n",
+        u32::MAX
+    );
+    let dyn_rows: Vec<Vec<String>> = Target::ALL
+        .iter()
+        .map(|&t| {
+            let magic = emit_radix_loop(t, true);
+            let divide = emit_radix_loop(t, false);
+            let pm = dynamic_op_profile(&magic, u32::MAX).expect("Table 11.1 listings execute");
+            let pd = dynamic_op_profile(&divide, u32::MAX).expect("Table 11.1 listings execute");
+            assert_eq!(pm.output, u32::MAX.to_string(), "{t}");
+            assert_eq!(pd.output, pm.output, "{t}");
+            vec![
+                t.name().to_string(),
+                divide.instruction_count().to_string(),
+                pd.retired.to_string(),
+                magic.instruction_count().to_string(),
+                pm.retired.to_string(),
+                pm.hottest(3),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "target",
+                "static (div)",
+                "dynamic (div)",
+                "static (magic)",
+                "dynamic (magic)",
+                "hottest magic mnemonics",
+            ],
+            &dyn_rows
+        )
+    );
+    println!("(Dynamic counts retire the Table 11.1 listings in the asm interpreter; the");
+    println!(" asm.opcount trace events bin instructions per mnemonic.)\n");
 
     println!("== Modern datapoint: radix conversion on this host ==\n");
     let with_ns = measure_ns(200_000, |i| {

@@ -6,10 +6,11 @@
 //!
 //! 1. **Library layer** — for random `(n, d)`, native division and every
 //!    `magicdiv` divisor type must agree (unsigned/signed/floor/exact/
-//!    divisibility at widths 8–64, library types also at 128).
+//!    divisibility/dword at widths 8–64, library types also at 128).
 //! 2. **Codegen layer** — generated IR programs, run through the
 //!    interpreter, must agree with native division at widths including
-//!    the odd ones (24/48/57).
+//!    the odd ones (24/48/57); the Fig 8.1 dword shape rides along at
+//!    the widths its packed-input oracle covers (≤ 32).
 //! 3. **Mutation run** — every single-op mutant of every code shape at
 //!    widths 8/16/32/64 must be *killed* by the oracle (exhaustively at
 //!    width 8, directed + random above) or *proven equivalent*; the kill
@@ -19,24 +20,27 @@
 //! minimal `(n, d)` witness and persisted as a one-line reproducer under
 //! `tests/corpus/`, and the run ends with a machine-readable JSON
 //! summary on stdout. Exit status is nonzero if anything failed.
+//! With `--trace`, each persisted reproducer also embeds the failing
+//! replay's event stream (JSONL, `#`-commented so replay skips it).
 //!
 //! Usage:
-//! `verify [iterations] [seed] [--corpus DIR] [--no-corpus-write]`
+//! `verify [iterations] [seed] [--corpus DIR] [--no-corpus-write] [--trace]`
 
 #![allow(clippy::manual_is_multiple_of)]
 use std::path::PathBuf;
 
-use magicdiv::plan::{DivPlan, SdivPlan, UdivPlan};
+use magicdiv::plan::{DivPlan, DwordPlan, SdivPlan, UdivPlan};
 use magicdiv::{
-    ExactSignedDivisor, ExactUnsignedDivisor, FloorDivisor, InvariantSignedDivisor,
-    InvariantUnsignedDivisor, SignedDivisor, UnsignedDivisor,
+    DWord, DwordDivisor, ExactSignedDivisor, ExactUnsignedDivisor, FloorDivisor,
+    InvariantSignedDivisor, InvariantUnsignedDivisor, SignedDivisor, UnsignedDivisor,
 };
 use magicdiv_bench::{
-    classify_mutant, default_corpus_dir, shrink, write_entry, Case, CorpusEntry, MutantFate, Repro,
-    Shape, SplitMix,
+    build_repro_program, classify_mutant, default_corpus_dir, run, shrink, write_entry_traced,
+    Case, CorpusEntry, MutantFate, Repro, Shape, SplitMix,
 };
 use magicdiv_codegen::{gen_signed_div_invariant, gen_unsigned_div_invariant};
 use magicdiv_ir::{mask, mutations, sign_extend};
+use magicdiv_trace::{install, JsonlSink};
 
 /// How many failures are echoed in full before the rest are only counted.
 const MAX_REPORTED: usize = 25;
@@ -50,6 +54,9 @@ struct Collector {
     reported: Vec<String>,
     corpus_dir: Option<PathBuf>,
     corpus_written: Vec<PathBuf>,
+    /// `--trace`: replay each shrunk failure under a [`JsonlSink`] and
+    /// embed the event stream in the persisted reproducer.
+    trace: bool,
 }
 
 impl Collector {
@@ -69,7 +76,10 @@ impl Collector {
     }
 
     /// Records a case-level failure: shrink it and persist the
-    /// reproducer so the corpus replay test pins the fix.
+    /// reproducer so the corpus replay test pins the fix. Under
+    /// `--trace`, the shrunk witness is replayed once more with a
+    /// [`JsonlSink`] installed and the captured interpreter event
+    /// stream rides along in the reproducer file as `#` comments.
     fn fail_case(&mut self, repro: Repro) {
         let small = shrink(&repro);
         self.fail(format!(
@@ -77,8 +87,18 @@ impl Collector {
             CorpusEntry::from(small.clone()),
             repro.n
         ));
+        let trace_blob = if self.trace {
+            let sink = std::sync::Arc::new(JsonlSink::new());
+            if let Some(prog) = build_repro_program(&small.case, small.mutation) {
+                let _guard = install(sink.clone());
+                let _ = run(&small.case, &prog, small.n);
+            }
+            Some(sink.finish())
+        } else {
+            None
+        };
         if let Some(dir) = &self.corpus_dir {
-            match write_entry(dir, &CorpusEntry::from(small)) {
+            match write_entry_traced(dir, &CorpusEntry::from(small), trace_blob.as_deref()) {
                 Ok(path) => self.corpus_written.push(path),
                 Err(e) => eprintln!("warning: could not persist reproducer: {e}"),
             }
@@ -165,6 +185,34 @@ fn library_phase(c: &mut Collector, rng: &mut SplitMix, iterations: u64) {
         let ed = ExactUnsignedDivisor::new(dq).expect("nonzero");
         c.check(ed.divide_exact(q * dq) == q, || format!("exact {q}*{dq}"));
 
+        // Fig 8.1 doubleword ÷ word: the runtime library against native
+        // wide division, with the high limb reduced mod d to satisfy the
+        // overflow precondition — and one probe that the precondition
+        // violation really traps.
+        macro_rules! dword_at {
+            ($t:ty) => {{
+                let dw = (d as $t).max(1);
+                let hi = (n as $t) % dw;
+                let lo = rng.next_u64() as $t;
+                let dd = DwordDivisor::new(dw).expect("nonzero");
+                let (q, r) = dd
+                    .div_rem(DWord::from_parts(hi, lo))
+                    .expect("hi < d cannot overflow");
+                let wide = ((hi as u128) << <$t>::BITS) | lo as u128;
+                c.check(
+                    q as u128 == wide / dw as u128 && r as u128 == wide % dw as u128,
+                    || format!("u{} Fig8.1 ({hi},{lo})/{dw}", <$t>::BITS),
+                );
+                c.check(dd.div_rem(DWord::from_parts(dw, lo)).is_err(), || {
+                    format!("u{} Fig8.1 overflow hi={dw} not trapped", <$t>::BITS)
+                });
+            }};
+        }
+        dword_at!(u8);
+        dword_at!(u16);
+        dword_at!(u32);
+        dword_at!(u64);
+
         if i % 50_000 == 0 && i > 0 {
             eprintln!("... {i} iterations, {} checks", c.checks);
         }
@@ -180,6 +228,9 @@ fn codegen_phase(c: &mut Collector, rng: &mut SplitMix, gen_iters: u64) -> u64 {
         let dw = (rng.next_u64() & m).max(1);
         // The Case-covered shapes: mismatches here shrink + persist.
         for shape in Shape::ALL {
+            if !shape.supports_width(width) {
+                continue;
+            }
             let case = Case::new(shape, width, dw);
             if case.shape.signed() && case.d_signed() == 0 {
                 continue;
@@ -192,7 +243,7 @@ fn codegen_phase(c: &mut Collector, rng: &mut SplitMix, gen_iters: u64) -> u64 {
                     continue;
                 };
                 c.checks += 1;
-                if prog.eval1(&[n]).ok() != Some(want) {
+                if run(&case, &prog, n) != Some(want) {
                     c.fail_case(Repro {
                         case,
                         mutation: None,
@@ -263,6 +314,12 @@ fn mutation_phase(c: &mut Collector, rng: &mut SplitMix) -> (MutationReport, u64
     let mut cases = 0u64;
     for width in [8u32, 16, 32, 64] {
         for shape in Shape::ALL {
+            // Dword at width 64 cannot be packed into the u64 harness;
+            // the `plan_consistency` tier-1 test covers that width
+            // against the runtime library instead.
+            if !shape.supports_width(width) {
+                continue;
+            }
             let divisors: &[i64] = if shape.signed() {
                 &[3, 7, 10, -5, -12]
             } else {
@@ -280,7 +337,7 @@ fn mutation_phase(c: &mut Collector, rng: &mut SplitMix) -> (MutationReport, u64
                         continue;
                     };
                     c.checks += 1;
-                    if pristine.eval1(&[n]).ok() != Some(want) {
+                    if run(&case, &pristine, n) != Some(want) {
                         c.fail_case(Repro {
                             case,
                             mutation: None,
@@ -322,6 +379,7 @@ fn main() {
     let mut iterations: u64 = 200_000;
     let mut seed: u64 = 0x5eed;
     let mut corpus_dir = Some(default_corpus_dir());
+    let mut trace = false;
     let mut positional = 0;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -334,6 +392,7 @@ fn main() {
                 }
             }
             "--no-corpus-write" => corpus_dir = None,
+            "--trace" => trace = true,
             _ => {
                 let Ok(v) = arg.parse() else {
                     eprintln!("unrecognized argument `{arg}`");
@@ -356,6 +415,7 @@ fn main() {
     let mut rng = SplitMix(seed);
     let mut c = Collector {
         corpus_dir,
+        trace,
         ..Collector::default()
     };
 
@@ -370,6 +430,11 @@ fn main() {
             let plan = DivPlan::from(UdivPlan::new(d, width).expect("nonzero"));
             eprintln!("  d={d:<4} u{width:<3} [{}] {plan}", plan.strategy_name());
         }
+    }
+    // The Fig 8.1 plans ride the same layer.
+    for d in [10u128, 641] {
+        let plan = DivPlan::from(DwordPlan::new(d, 32).expect("nonzero"));
+        eprintln!("  d={d:<4} u32  [{}] {plan}", plan.strategy_name());
     }
 
     library_phase(&mut c, &mut rng, iterations);

@@ -174,9 +174,34 @@ pub fn read_corpus(dir: &Path) -> io::Result<Vec<(PathBuf, CorpusEntry)>> {
 ///
 /// Propagates directory-creation and write failures.
 pub fn write_entry(dir: &Path, entry: &CorpusEntry) -> io::Result<PathBuf> {
+    write_entry_traced(dir, entry, None)
+}
+
+/// Like [`write_entry`], but embeds a captured replay event stream as
+/// `#`-prefixed comment lines after the reproducer (the `verify
+/// --trace` mode). [`read_corpus`] skips the comments, so traced and
+/// plain entries replay identically.
+///
+/// # Errors
+///
+/// Propagates directory-creation and write failures.
+pub fn write_entry_traced(
+    dir: &Path,
+    entry: &CorpusEntry,
+    trace: Option<&str>,
+) -> io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(entry.file_name());
-    std::fs::write(&path, format!("{entry}\n"))?;
+    let mut text = format!("{entry}\n");
+    if let Some(t) = trace {
+        text.push_str("# replay event stream (JSONL, captured by `verify --trace`):\n");
+        for line in t.lines() {
+            text.push_str("# ");
+            text.push_str(line);
+            text.push('\n');
+        }
+    }
+    std::fs::write(&path, text)?;
     Ok(path)
 }
 
@@ -226,6 +251,25 @@ mod tests {
         };
         let path = write_entry(&dir, &entry).unwrap();
         assert!(path.ends_with("sdiv-w8-d246-operand-swap-3.txt"));
+        let read = read_corpus(&dir).unwrap();
+        assert_eq!(read.len(), 1);
+        assert_eq!(read[0].1, entry);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn traced_entries_replay_like_plain_ones() {
+        let dir =
+            std::env::temp_dir().join(format!("magicdiv-corpus-trace-{}", std::process::id()));
+        let entry = CorpusEntry {
+            case: Case::new(Shape::Dword, 16, 10),
+            mutation: None,
+            n: (7 << 16) | 6,
+        };
+        let trace = "{\"seq\":0,\"type\":\"event\",\"name\":\"ir.eval\"}\n{\"seq\":1}";
+        let path = write_entry_traced(&dir, &entry, Some(trace)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("# {\"seq\":0"));
         let read = read_corpus(&dir).unwrap();
         assert_eq!(read.len(), 1);
         assert_eq!(read[0].1, entry);

@@ -1,9 +1,12 @@
 //! The shrinking differential oracle and mutation harness.
 //!
 //! [`Case`] names one generated division kernel — a code *shape*
-//! (unsigned/signed/floor/exact/divisibility), a width, and a divisor —
-//! and pairs the generated program with its ground truth ([`Case::expected`],
-//! computed with native 128-bit arithmetic). On top of that sit:
+//! (unsigned/signed/floor/exact/divisibility/dword), a width, and a
+//! divisor — and pairs the generated program with its ground truth
+//! ([`Case::expected`], computed with native 128-bit arithmetic). The
+//! Fig 8.1 dword shape packs its `(hi, lo)` dividend and `(q, r)`
+//! result into single `u64`s, so it participates in the same scalar
+//! oracle/shrinker machinery at widths up to 32. On top of that sit:
 //!
 //! * [`classify_mutant`] — decide whether a single-op mutant (from
 //!   [`magicdiv_ir::mutations`]) is *killed* by the oracle, *proven
@@ -43,7 +46,7 @@ impl SplitMix {
     }
 }
 
-/// The five code shapes the paper's code generator emits.
+/// The six code shapes the paper's code generator emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Shape {
     /// Fig 4.2 unsigned truncating division.
@@ -56,16 +59,22 @@ pub enum Shape {
     Exact,
     /// §9 divisibility test.
     Divisibility,
+    /// Fig 8.1 doubleword ÷ word division. The case's `n` packs the
+    /// two-word dividend as `(hi << width) | lo`, and the oracle value
+    /// packs the two results as `(q << width) | r` — so the shape is
+    /// only testable at widths up to 32 (see [`Shape::supports_width`]).
+    Dword,
 }
 
 impl Shape {
     /// Every shape, in a fixed order.
-    pub const ALL: [Shape; 5] = [
+    pub const ALL: [Shape; 6] = [
         Shape::Udiv,
         Shape::Sdiv,
         Shape::Floor,
         Shape::Exact,
         Shape::Divisibility,
+        Shape::Dword,
     ];
 
     /// Stable lower-case name, used in corpus lines.
@@ -76,6 +85,7 @@ impl Shape {
             Shape::Floor => "floor",
             Shape::Exact => "exact",
             Shape::Divisibility => "divisibility",
+            Shape::Dword => "dword",
         }
     }
 
@@ -87,6 +97,13 @@ impl Shape {
     /// Whether the divisor and dividends are interpreted as signed.
     pub fn signed(self) -> bool {
         matches!(self, Shape::Sdiv | Shape::Floor)
+    }
+
+    /// Whether the differential harness can drive this shape at `width`.
+    /// Dword packs its two-word dividend into one `u64`, limiting it to
+    /// widths ≤ 32; every other shape covers the full IR range.
+    pub fn supports_width(self, width: u32) -> bool {
+        self != Shape::Dword || width <= 32
     }
 }
 
@@ -146,22 +163,34 @@ impl Case {
     /// # Panics
     ///
     /// Panics when `d` is zero (no kernel exists), mirroring the
-    /// generators' documented preconditions.
+    /// generators' documented preconditions, and when a [`Shape::Dword`]
+    /// case is built at a width the packed-input harness cannot drive.
     pub fn program(&self) -> Program {
         assert!(self.d != 0, "no kernel for d = 0");
+        assert!(
+            self.shape.supports_width(self.width),
+            "dword cases pack (hi, lo) into one u64 and need width <= 32"
+        );
         match self.shape {
             Shape::Udiv => magicdiv_codegen::gen_unsigned_div(self.d, self.width),
             Shape::Sdiv => magicdiv_codegen::gen_signed_div(self.d_signed(), self.width),
             Shape::Floor => magicdiv_codegen::gen_floor_div(self.d_signed(), self.width),
             Shape::Exact => magicdiv_codegen::gen_exact_div(self.d as i64, self.width, false),
             Shape::Divisibility => magicdiv_codegen::gen_divisibility_test(self.d, self.width),
+            Shape::Dword => magicdiv_codegen::gen_dword_div(self.d, self.width),
         }
     }
 
     /// Whether the oracle is defined at input `n` (exact division only
     /// contracts for multiples of `d`; floor skips the wrapping
-    /// `MIN / -1` corner the generators do not define).
+    /// `MIN / -1` corner the generators do not define; dword requires
+    /// the Fig 8.1 precondition `hi < d`, i.e. the quotient fits a
+    /// word).
     pub fn input_valid(&self, n: u64) -> bool {
+        if self.shape == Shape::Dword {
+            // Packed dividend: hi = n >> width, lo = n & mask(width).
+            return (n >> self.width) < self.d;
+        }
         let n = n & mask(self.width);
         match self.shape {
             Shape::Exact => n % self.exact_magnitude() == 0,
@@ -175,9 +204,16 @@ impl Case {
     /// Ground truth at input `n`, via native 128-bit arithmetic,
     /// masked to the case's width. `None` when [`Case::input_valid`] is
     /// false.
+    ///
+    /// For [`Shape::Dword`], `n` is the packed `(hi << width) | lo`
+    /// dividend and the result packs `(q << width) | r` — `hi < d`
+    /// guarantees both halves fit a word.
     pub fn expected(&self, n: u64) -> Option<u64> {
         if !self.input_valid(n) {
             return None;
+        }
+        if self.shape == Shape::Dword {
+            return Some(((n / self.d) << self.width) | (n % self.d));
         }
         let m = mask(self.width);
         let n = n & m;
@@ -201,6 +237,8 @@ impl Case {
                 }
             }
             Shape::Divisibility => u64::from(n % self.d == 0),
+            // Handled by the packed early return above.
+            Shape::Dword => unreachable!("dword oracle handled before masking"),
         })
     }
 
@@ -229,6 +267,36 @@ impl Case {
                 }
                 out.push(p.wrapping_mul(dm) & m);
             }
+        } else if self.shape == Shape::Dword {
+            // Packed (hi << width) | lo grid: word boundaries on both
+            // limbs crossed with every valid high limb of interest —
+            // including the Lemma 8.1 precondition boundary hi = d − 1 —
+            // plus the multiples-of-d neighborhood at the very top of
+            // the doubleword range (top = d·2^N − 1, the largest valid
+            // dividend, where a perturbed m′ accumulates its largest
+            // error through the q1 estimate).
+            let d = self.d;
+            let mut his = vec![0, 1, 2, d / 2, d.saturating_sub(2), d - 1];
+            his.retain(|&h| h < d);
+            his.sort_unstable();
+            his.dedup();
+            let mut los = vec![0, 1, 2, 3, m, m - 1, m - 2, m >> 1, (m >> 1) + 1, d & m];
+            for j in 0..self.width {
+                let p = 1u64 << j;
+                los.extend([p & m, p - 1, (p + 1) & m]);
+            }
+            for &h in &his {
+                for &lo in &los {
+                    out.push((h << self.width) | (lo & m));
+                }
+            }
+            let top = (d << self.width) - 1;
+            let t = top - top % d;
+            for base in [d, d.wrapping_mul(2), t, t - d] {
+                out.extend([base, base.wrapping_sub(1), base.wrapping_add(1)]);
+            }
+            out.push(top);
+            out.extend(self.dword_carry_boundary_inputs());
         } else {
             out.extend([0, 1, 2, 3, m, m - 1, m - 2]);
             // Sign boundaries.
@@ -287,6 +355,77 @@ impl Case {
         out
     }
 
+    /// Directed inputs that pin Fig 8.1's adjusted-add carry boundary.
+    ///
+    /// In the lowered dword kernel, `nadj` (and therefore the `d_norm`
+    /// constant) influences the output *only* through the single bit
+    /// `carry(t_lo, nadj)`, where `t_lo = m'·(n2 + n1) mod 2^N`. A
+    /// perturbed `d_norm ± 2^b` flips that carry only on inputs whose
+    /// `t_lo` lands within `2^b` of `2^N − nadj` — a set far too thin
+    /// for random or boundary-grid probing. This generator constructs
+    /// those witnesses analytically: for every reachable `nadj` (there
+    /// are at most `2^l` low-limb patterns, each with the sign
+    /// adjustment on or off), it solves `m'·x ≡ target (mod 2^N)` by
+    /// modular inverse of the odd part of `m'` for targets just at and
+    /// just below the boundary, then rebuilds the packed `(hi, lo)`
+    /// input that produces that `x`.
+    fn dword_carry_boundary_inputs(&self) -> Vec<u64> {
+        let w = self.width;
+        let wm = mask(w);
+        let d = self.d;
+        // l = 1 + floor(log2 d); the generator needs a proper shift
+        // split (l < N) and a small pattern space to stay cheap.
+        let l = 64 - u64::leading_zeros(d);
+        if l == 0 || l >= w || l > 6 {
+            return Vec::new();
+        }
+        let m_prime = ((((1u128 << (w + l)) - 1) / u128::from(d) - (1u128 << w)) as u64) & wm;
+        if m_prime == 0 {
+            return Vec::new();
+        }
+        let d_norm = (d << (w - l)) & wm;
+        let z = m_prime.trailing_zeros();
+        let u = m_prime >> z;
+        let uinv = inverse_mod_pow2(u, w - z);
+        let step = 1i128 << z;
+        let mut out = Vec::new();
+        for a in 0..(1u64 << l) {
+            let n10 = (a << (w - l)) & wm;
+            let n1 = n10 >> (w - 1);
+            let nadj = if n1 == 1 {
+                n10.wrapping_add(d_norm) & wm
+            } else {
+                n10
+            };
+            // The carry flips when t_lo crosses 2^N − nadj; aim at the
+            // boundary itself (kills downward d_norm perturbations) and
+            // at the nearest achievable values below it (kills upward
+            // ones down to the image granularity 2^z).
+            let boundary = (1i128 << w) - i128::from(nadj);
+            for delta in [0, -step, step, -2 * step] {
+                let target = (boundary + delta).rem_euclid(1i128 << w) as u64;
+                if target.trailing_zeros() < z {
+                    continue;
+                }
+                let x0 = (target >> z).wrapping_mul(uinv) & mask(w - z);
+                // Lift x modulo 2^(N−z) to a full-width x whose high
+                // limb satisfies the hi < d precondition.
+                for k in 0..(1u64 << z.min(6)) {
+                    let x = (x0 | (k << (w - z))) & wm;
+                    let n2 = x.wrapping_sub(n1) & wm;
+                    let hi = n2 >> (w - l);
+                    if hi >= d {
+                        continue;
+                    }
+                    let lo = ((n2 & mask(w - l)) << l) | a;
+                    out.push((hi << w) | (lo & wm));
+                    break;
+                }
+            }
+        }
+        out
+    }
+
     /// A uniformly random *valid* input for this case.
     pub fn random_input(&self, rng: &mut SplitMix) -> u64 {
         let m = mask(self.width);
@@ -301,6 +440,8 @@ impl Case {
                 };
                 q.wrapping_mul(dm) & m
             }
+            // Uniform over the packed doubleword domain [0, d·2^N).
+            Shape::Dword => rng.next_u64() % (self.d << self.width),
             _ => loop {
                 let n = rng.next_u64() & m;
                 if self.input_valid(n) {
@@ -310,6 +451,21 @@ impl Case {
         }
     }
 }
+
+/// Inverse of an odd `u` modulo `2^bits` by Newton iteration (each step
+/// doubles the number of correct low bits).
+fn inverse_mod_pow2(u: u64, bits: u32) -> u64 {
+    let mut x = 1u64;
+    for _ in 0..6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(u.wrapping_mul(x)));
+    }
+    x & mask(bits)
+}
+
+/// Largest packed dword domain (`d·2^width`) the harness will sweep
+/// exhaustively — 2^24 evaluations keep a full-kernel sweep well under
+/// a second in release builds.
+const DWORD_EXHAUSTIVE_CAP: u64 = 1 << 24;
 
 /// The verdict on one mutant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -329,17 +485,29 @@ pub enum MutantFate {
 
 /// Evaluates `prog` at `n`, folding evaluation faults into `None` (a
 /// faulting mutant is observably wrong, so `None` never matches an
-/// oracle value).
-fn run(prog: &Program, n: u64) -> Option<u64> {
+/// oracle value). Dword cases unpack `n` into the `(hi, lo)` argument
+/// pair and repack the `(q, r)` result pair, mirroring
+/// [`Case::expected`]'s encoding.
+pub fn run(case: &Case, prog: &Program, n: u64) -> Option<u64> {
+    if case.shape == Shape::Dword {
+        let w = case.width;
+        let out = prog.eval(&[n >> w, n & mask(w)]).ok()?;
+        return Some((out[0] << w) | out[1]);
+    }
     prog.eval1(&[n]).ok()
 }
 
 /// Exhaustive verdict over every contractual input — feasible through
-/// width 16 (at most 65 536 evaluations).
+/// width 16 (at most 65 536 evaluations for the single-word shapes;
+/// the dword domain is `d·2^width`, which the callers keep small).
 fn exhaustive_fate(case: &Case, mutant: &Program) -> MutantFate {
-    for n in 0..=mask(case.width) {
+    let top = match case.shape {
+        Shape::Dword => (case.d << case.width) - 1,
+        _ => mask(case.width),
+    };
+    for n in 0..=top {
         if let Some(want) = case.expected(n) {
-            if run(mutant, n) != Some(want) {
+            if run(case, mutant, n) != Some(want) {
                 return MutantFate::Killed { n };
             }
         }
@@ -359,10 +527,16 @@ fn same_structure(a: &Program, b: &Program) -> bool {
 
 /// Maps a mutation of a width-`from` program onto the width-`to` copy
 /// of the same kernel. Opcode, operand, and shift mutations are
-/// anchored by instruction index and map unchanged; a constant bit flip
-/// maps only when anchored to the low half-word (absolute position) or
-/// the top half-word (position relative to the word's top) — a flip in
-/// a constant's interior has no cross-width analogue.
+/// anchored by instruction index and map unchanged. A constant bit flip
+/// maps by zone: the low half-word keeps its absolute position, the top
+/// half-word keeps its position relative to the word's top, and a flip
+/// in the interior maps to the small width's lowest interior bit —
+/// width-scaled constants (magic multipliers, `d_norm = d << (N−l)`)
+/// keep the same low/interior/top structure at every width, so an
+/// interior flip's small-width analogue is "some interior bit". The
+/// interior mapping is only trusted when the flipped bit has the same
+/// polarity in both constants ([`small_scope_equivalent`] checks that),
+/// which rules out constants whose interior pattern does not scale.
 fn downscale_mutation(m: Mutation, from: u32, to: u32) -> Option<Mutation> {
     match m {
         Mutation::ConstFlip { inst, bit } => {
@@ -371,11 +545,27 @@ fn downscale_mutation(m: Mutation, from: u32, to: u32) -> Option<Mutation> {
             } else if bit >= from - to / 2 {
                 bit - (from - to)
             } else {
-                return None;
+                to / 2
             };
             Some(Mutation::ConstFlip { inst, bit })
         }
         other => Some(other),
+    }
+}
+
+/// Whether a [`Mutation::ConstFlip`] and its downscaled image flip a
+/// bit of the same polarity (0→1 vs 1→0) in their respective constants
+/// — the structural precondition for trusting the interior-zone
+/// mapping in [`downscale_mutation`].
+fn const_flip_polarity_matches(big: &Program, small: &Program, m: Mutation, sm: Mutation) -> bool {
+    let (Mutation::ConstFlip { inst, bit }, Mutation::ConstFlip { bit: sbit, .. }) = (m, sm) else {
+        return true;
+    };
+    match (big.insts().get(inst), small.insts().get(inst)) {
+        (Some(magicdiv_ir::Op::Const(cb)), Some(magicdiv_ir::Op::Const(cs))) => {
+            (cb >> bit) & 1 == (cs >> sbit) & 1
+        }
+        _ => false,
     }
 }
 
@@ -410,6 +600,11 @@ fn small_scope_equivalent(case: &Case, m: Mutation) -> bool {
             }
             case.d
         };
+        // Keep the dword certificate's exhaustive pass tractable: its
+        // packed domain is d·2^width, not 2^width.
+        if case.shape == Shape::Dword && (d_small << small_width) > DWORD_EXHAUSTIVE_CAP {
+            continue;
+        }
         let small = Case::new(case.shape, small_width, d_small);
         let small_pristine = small.program();
         if !same_structure(&big, &small_pristine) {
@@ -418,6 +613,9 @@ fn small_scope_equivalent(case: &Case, m: Mutation) -> bool {
         let Some(sm) = downscale_mutation(m, case.width, small_width) else {
             continue;
         };
+        if !const_flip_polarity_matches(&big, &small_pristine, m, sm) {
+            continue;
+        }
         if !mutations(&small_pristine).contains(&sm) {
             continue;
         }
@@ -465,12 +663,14 @@ pub fn classify_mutant(
     let pristine = case.program();
     let mutant =
         apply_mutation(&pristine, m).expect("classify_mutant takes an enumerated mutation");
-    if case.width <= 8 {
+    let exhaustive_ok =
+        case.shape != Shape::Dword || (case.d << case.width) <= DWORD_EXHAUSTIVE_CAP;
+    if case.width <= 8 && exhaustive_ok {
         return exhaustive_fate(case, &mutant);
     }
     for n in case.directed_inputs() {
         if let Some(want) = case.expected(n) {
-            if run(&mutant, n) != Some(want) {
+            if run(case, &mutant, n) != Some(want) {
                 return MutantFate::Killed { n };
             }
         }
@@ -478,12 +678,12 @@ pub fn classify_mutant(
     for _ in 0..random_inputs {
         let n = case.random_input(rng);
         if let Some(want) = case.expected(n) {
-            if run(&mutant, n) != Some(want) {
+            if run(case, &mutant, n) != Some(want) {
                 return MutantFate::Killed { n };
             }
         }
     }
-    if case.width <= 16 {
+    if case.width <= 16 && exhaustive_ok {
         return exhaustive_fate(case, &mutant);
     }
     if small_scope_equivalent(case, m) {
@@ -518,7 +718,7 @@ pub fn build_repro_program(case: &Case, mutation: Option<Mutation>) -> Option<Pr
 
 fn fails_at(case: &Case, prog: &Program, n: u64) -> bool {
     match case.expected(n) {
-        Some(want) => run(prog, n) != Some(want),
+        Some(want) => run(case, prog, n) != Some(want),
         None => false,
     }
 }
@@ -530,6 +730,9 @@ fn fails_at(case: &Case, prog: &Program, n: u64) -> bool {
 fn magnitude(case: &Case, n: u64) -> u64 {
     match case.shape {
         Shape::Exact => (n & mask(case.width)) / case.exact_magnitude(),
+        // Packed doubleword: descend on the full 2N-bit value (hi and
+        // lo shrink together; validity is enforced by `input_valid`).
+        Shape::Dword => n,
         _ if case.shape.signed() => sign_extend(n, case.width).unsigned_abs(),
         _ => n & mask(case.width),
     }
@@ -539,6 +742,7 @@ fn from_magnitude(case: &Case, mag: u64, negative: bool) -> u64 {
     let m = mask(case.width);
     match case.shape {
         Shape::Exact => mag.wrapping_mul(case.exact_magnitude()) & m,
+        Shape::Dword => mag,
         _ if case.shape.signed() && negative => (mag as i64).wrapping_neg() as u64 & m,
         _ => mag & m,
     }
@@ -652,13 +856,105 @@ mod tests {
                     continue;
                 }
                 let prog = case.program();
-                for n in 0..=255u64 {
+                let top = match shape {
+                    Shape::Dword => (d << 8) - 1,
+                    _ => 255,
+                };
+                for n in 0..=top {
                     if let Some(want) = case.expected(n) {
-                        assert_eq!(prog.eval1(&[n]).ok(), Some(want), "{shape} d={d} n={n}");
+                        assert_eq!(run(&case, &prog, n), Some(want), "{shape} d={d} n={n}");
                     }
                 }
             }
         }
+    }
+
+    #[test]
+    fn dword_oracle_packs_quotient_and_remainder() {
+        let case = Case::new(Shape::Dword, 16, 10);
+        // hi = 7, lo = 6 → n = 7·2^16 + 6 = 458 758.
+        let n = (7u64 << 16) | 6;
+        let want = ((458_758u64 / 10) << 16) | (458_758 % 10);
+        assert_eq!(case.expected(n), Some(want));
+        assert_eq!(run(&case, &case.program(), n), Some(want));
+    }
+
+    #[test]
+    fn dword_edge_cases_at_the_lemma_8_1_boundaries() {
+        // d = 2^N − 1 exercises the l == N degenerate lowering; the
+        // high limb d − 1 sits exactly on the Fig 8.1 precondition
+        // boundary (largest non-overflowing quotient).
+        for width in [8u32, 16] {
+            let m = mask(width);
+            for d in [m, m - 1, (m >> 1) + 1] {
+                let case = Case::new(Shape::Dword, width, d);
+                let prog = case.program();
+                for hi in [0, 1, d / 2, d - 1] {
+                    for lo in [0, 1, m - 1, m] {
+                        let n = (hi << width) | lo;
+                        assert_eq!(
+                            run(&case, &prog, n),
+                            Some(((n / d) << width) | (n % d)),
+                            "w={width} d={d} hi={hi} lo={lo}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dword_overflow_inputs_are_outside_the_contract() {
+        // hi ≥ d would overflow the single-word quotient; Fig 8.1 (and
+        // the runtime library, which traps) exclude it, so the oracle
+        // must too.
+        let case = Case::new(Shape::Dword, 8, 10);
+        assert!(case.input_valid((9 << 8) | 0xff));
+        assert!(!case.input_valid(10 << 8));
+        assert_eq!(case.expected(10 << 8), None);
+        for n in case.directed_inputs() {
+            assert!(n >> 8 < 10, "directed input {n} violates hi < d");
+        }
+        let mut rng = SplitMix(11);
+        for _ in 0..200 {
+            assert!(case.input_valid(case.random_input(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn dword_shrink_descends_the_packed_witness() {
+        // Flip the low bit of the dword magic for d = 10 at width 16 and
+        // let the shrinker walk the packed witness down; the result must
+        // still fail and stay within the valid domain.
+        let case = Case::new(Shape::Dword, 16, 10);
+        let prog = case.program();
+        let magic_inst = prog
+            .insts()
+            .iter()
+            .position(|i| matches!(i, magicdiv_ir::Op::Const(c) if *c > 3))
+            .expect("dword kernel has a wide constant");
+        let mutation = Mutation::ConstFlip {
+            inst: magic_inst,
+            bit: 0,
+        };
+        let mutant = apply_mutation(&prog, mutation).unwrap();
+        let witness = (0..(10u64 << 16))
+            .rev()
+            .find(|&n| fails_at(&case, &mutant, n));
+        let Some(n) = witness else {
+            // The flipped bit happened to be value-preserving here;
+            // nothing to shrink.
+            return;
+        };
+        let small = shrink(&Repro {
+            case,
+            mutation: Some(mutation),
+            n,
+        });
+        assert!(small.n <= n);
+        assert!(small.case.input_valid(small.n));
+        let sprog = build_repro_program(&small.case, small.mutation).unwrap();
+        assert!(fails_at(&small.case, &sprog, small.n));
     }
 
     #[test]

@@ -10,10 +10,10 @@
 use std::str::FromStr;
 use std::sync::Arc;
 
-use magicdiv::plan::{DivPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan};
-use magicdiv::{DwordDivisor, UWord};
+use magicdiv::plan::{DivPlan, DwordPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan};
 use magicdiv_ir::{
-    lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv, optimize, Builder, Program,
+    lower_dword_div, lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv, optimize, Builder,
+    Program,
 };
 use magicdiv_simcpu::{cycles_for_plan, table_1_1};
 use magicdiv_trace::{install, CaptureSink, Event, JsonlSink, TextTreeSink};
@@ -95,26 +95,28 @@ fn check_width(width: u32) -> Result<(), String> {
 }
 
 /// Builds the plan for `(shape, width, d)` with whatever trace sinks are
-/// installed, so decision events land in them. `Ok(None)` means the
-/// shape has no [`DivPlan`] form (dword).
-fn build_plan(shape: ExplainShape, width: u32, d: i128) -> Result<Option<DivPlan>, String> {
+/// installed, so decision events land in them.
+fn build_plan(shape: ExplainShape, width: u32, d: i128) -> Result<DivPlan, String> {
     let err = |e: magicdiv::DivisorError| e.to_string();
     match shape {
         ExplainShape::Unsigned => {
             let du = unsigned_divisor(width, d)?;
-            Ok(Some(UdivPlan::new(du, width).map_err(err)?.into()))
+            Ok(UdivPlan::new(du, width).map_err(err)?.into())
         }
-        ExplainShape::Signed => Ok(Some(SdivPlan::new(d, width).map_err(err)?.into())),
-        ExplainShape::Floor => Ok(Some(FloorPlan::new(d, width).map_err(err)?.into())),
+        ExplainShape::Signed => Ok(SdivPlan::new(d, width).map_err(err)?.into()),
+        ExplainShape::Floor => Ok(FloorPlan::new(d, width).map_err(err)?.into()),
         ExplainShape::Exact => {
             let plan = if d < 0 {
                 ExactPlan::new_signed(d, width)
             } else {
                 ExactPlan::new_unsigned(d as u128, width)
             };
-            Ok(Some(plan.map_err(err)?.into()))
+            Ok(plan.map_err(err)?.into())
         }
-        ExplainShape::Dword => Ok(None),
+        ExplainShape::Dword => {
+            let du = unsigned_divisor(width, d)?;
+            Ok(DwordPlan::new(du, width).map_err(err)?.into())
+        }
     }
 }
 
@@ -131,47 +133,30 @@ fn unsigned_divisor(width: u32, d: i128) -> Result<u128, String> {
     Ok(du)
 }
 
-/// Precomputes the Fig 8.1 constants (emitting the `plan.dword` trace
-/// event) and renders them.
-fn dword_section(width: u32, d: i128) -> Result<String, String> {
-    let du = unsigned_divisor(width, d)?;
-    match width {
-        8 => dword_constants::<u8>(du),
-        16 => dword_constants::<u16>(du),
-        32 => dword_constants::<u32>(du),
-        64 => dword_constants::<u64>(du),
-        _ => dword_constants::<u128>(du),
-    }
-}
-
-fn dword_constants<T: UWord>(d: u128) -> Result<String, String> {
-    let dv = T::from_u128_truncate(d);
-    let dd = DwordDivisor::new(dv).map_err(|e| e.to_string())?;
-    let (m_prime, l, d_norm) = dd.constants();
-    Ok(format!(
-        "d      = {d}\n\
-         l      = {l}            (1 + floor(log2 d))\n\
-         m'     = {:#x}   (floor((2^(N+l) - 1)/d) - 2^N)\n\
-         d_norm = {:#x}   (d << (N - l))\n\
-         note: dword/word division is a runtime routine, not a lowered\n\
-         IR form, so no per-pass history or cycle table applies.\n",
-        m_prime.to_u128(),
-        d_norm.to_u128(),
-    ))
-}
-
-/// Lowers a plan into raw (pre-optimization) IR.
+/// Lowers a plan into raw (pre-optimization) IR. The Fig 8.1 plan lowers
+/// to a two-argument (`hi`, `lo`), two-result (`q`, `r`) program; the
+/// word shapes take the single dividend.
 fn lower_plan(plan: &DivPlan, width: u32) -> Result<Program, String> {
-    let mut b = Builder::new(width, 1);
-    let n = b.arg(0);
-    let q = match plan {
-        DivPlan::Unsigned(p) => lower_udiv(&mut b, n, p),
-        DivPlan::Signed(p) => lower_sdiv(&mut b, n, p),
-        DivPlan::Floor(p) => lower_floor_div(&mut b, n, p),
-        DivPlan::Exact(p) => lower_exact_div(&mut b, n, p),
-        other => return Err(format!("no lowering for plan kind {other:?}")),
-    };
-    Ok(b.finish([q]))
+    match plan {
+        DivPlan::Dword(p) => {
+            let mut b = Builder::new(width, 2);
+            let (hi, lo) = (b.arg(0), b.arg(1));
+            let (q, r) = lower_dword_div(&mut b, hi, lo, p);
+            Ok(b.finish([q, r]))
+        }
+        _ => {
+            let mut b = Builder::new(width, 1);
+            let n = b.arg(0);
+            let q = match plan {
+                DivPlan::Unsigned(p) => lower_udiv(&mut b, n, p),
+                DivPlan::Signed(p) => lower_sdiv(&mut b, n, p),
+                DivPlan::Floor(p) => lower_floor_div(&mut b, n, p),
+                DivPlan::Exact(p) => lower_exact_div(&mut b, n, p),
+                other => return Err(format!("no lowering for plan kind {other:?}")),
+            };
+            Ok(b.finish([q]))
+        }
+    }
 }
 
 fn indent(text: &str) -> String {
@@ -237,22 +222,12 @@ pub fn explain(shape: ExplainShape, width: u32, d: i128) -> Result<String, Strin
 
     // 1. Plan construction under a tree sink: the decision trace.
     let tree = Arc::new(TextTreeSink::new());
-    let (plan, dword) = {
+    let plan = {
         let _guard = install(tree.clone());
-        match shape {
-            ExplainShape::Dword => (None, Some(dword_section(width, d)?)),
-            _ => (build_plan(shape, width, d)?, None),
-        }
+        build_plan(shape, width, d)?
     };
     out.push_str("\n-- plan decision trace --\n");
     out.push_str(&indent(&tree.finish()));
-
-    if let Some(constants) = dword {
-        out.push_str("\n-- Fig 8.1 constants (doubleword / word) --\n");
-        out.push_str(&indent(&constants));
-        return Ok(out);
-    }
-    let plan = plan.ok_or_else(|| "internal: no plan built".to_string())?;
 
     out.push_str(&format!(
         "\n-- selected plan --\n  [{}] {plan}\n",
@@ -313,17 +288,12 @@ pub fn explain_jsonl(shape: ExplainShape, width: u32, d: i128) -> Result<String,
     let sink = Arc::new(JsonlSink::new());
     {
         let _guard = install(sink.clone());
-        if shape == ExplainShape::Dword {
-            dword_section(width, d)?;
-        } else {
-            let plan = build_plan(shape, width, d)?
-                .ok_or_else(|| "internal: no plan built".to_string())?;
-            if width <= 64 {
-                let raw = lower_plan(&plan, width)?;
-                let _optimized = optimize(&raw);
-                for model in table_1_1() {
-                    cycles_for_plan(&plan, &model);
-                }
+        let plan = build_plan(shape, width, d)?;
+        if width <= 64 {
+            let raw = lower_plan(&plan, width)?;
+            let _optimized = optimize(&raw);
+            for model in table_1_1() {
+                cycles_for_plan(&plan, &model);
             }
         }
     }
@@ -352,17 +322,25 @@ mod tests {
     }
 
     #[test]
-    fn dword_prints_fig_8_1_constants() {
+    fn dword_walks_the_full_pipeline() {
         let report = explain(ExplainShape::Dword, 32, 10).unwrap();
         assert!(report.contains("plan.dword"), "{report}");
-        assert!(report.contains("m'"), "{report}");
-        assert!(!report.contains("predicted cycles"), "{report}");
+        assert!(report.contains("Lemma 8.1"), "{report}");
+        assert!(report.contains("[dword]"), "{report}");
+        assert!(report.contains("-- lowered IR (raw) --"), "{report}");
+        assert!(report.contains("carry"), "{report}");
+        assert!(report.contains("-- optimization passes --"), "{report}");
+        assert!(report.contains("predicted cycles"), "{report}");
     }
 
     #[test]
     fn width_128_skips_ir_sections() {
         let report = explain(ExplainShape::Unsigned, 128, 10).unwrap();
         assert!(report.contains("selected plan"), "{report}");
+        assert!(!report.contains("lowered IR"), "{report}");
+        // Fig 8.1 at width 128 still has plan constants, just no IR form.
+        let report = explain(ExplainShape::Dword, 128, 10).unwrap();
+        assert!(report.contains("[dword]"), "{report}");
         assert!(!report.contains("lowered IR"), "{report}");
     }
 
@@ -382,5 +360,16 @@ mod tests {
         for line in out.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }
+    }
+
+    #[test]
+    fn jsonl_dword_includes_cycle_table() {
+        let out = explain_jsonl(ExplainShape::Dword, 32, 10).unwrap();
+        assert!(out.contains("\"name\":\"plan.dword\""), "{out}");
+        assert!(out.contains("\"name\":\"simcpu.plan_cycles\""), "{out}");
+        assert!(out.contains("\"strategy\":\"dword\""), "{out}");
+        // One cycle event per Table 1.1 model.
+        let n = out.matches("simcpu.plan_cycles").count();
+        assert_eq!(n, table_1_1().len(), "{out}");
     }
 }

@@ -21,15 +21,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod asmprofile;
 mod corpus;
 mod diff;
 mod explain;
 pub mod json;
 mod runmeta;
 
-pub use crate::corpus::{default_corpus_dir, read_corpus, write_entry, CorpusEntry};
+pub use crate::asmprofile::{dynamic_op_profile, OpProfile};
+pub use crate::corpus::{
+    default_corpus_dir, read_corpus, write_entry, write_entry_traced, CorpusEntry,
+};
 pub use crate::diff::{
-    build_repro_program, classify_mutant, shrink, Case, MutantFate, Repro, Shape, SplitMix,
+    build_repro_program, classify_mutant, run, shrink, Case, MutantFate, Repro, Shape, SplitMix,
 };
 pub use crate::explain::{explain, explain_jsonl, ExplainShape};
 pub use crate::runmeta::{git_sha, unix_time_ms};

@@ -4,7 +4,7 @@
 //! unsigned identity/shift/mul_shift/mul_add_shift, the signed variants
 //! (including negated divisors), floor (including the negative-divisor
 //! trunc fixup), exact pow2/inverse (unsigned and signed), and the
-//! dword constants shape. The snapshots pin the decision trace with its
+//! Fig 8.1 dword pipeline. The snapshots pin the decision trace with its
 //! paper citations, the per-pass IR history, and the predicted cycle
 //! table — any drift in plan selection, lowering, optimization or the
 //! timing models shows up as a diff here.
@@ -39,8 +39,12 @@ const CASES: &[(ExplainShape, u32, i128)] = &[
     (ExplainShape::Exact, 32, 8),  // exact_pow2
     (ExplainShape::Exact, 32, 12), // exact_inverse with pre-shift
     (ExplainShape::Exact, 64, -9), // signed exact_inverse
-    // Dword (Fig 8.1) constants.
+    // Dword (Fig 8.1): the full pipeline at every machine width,
+    // including the l == N degenerate shape (d = 2^N - 1).
+    (ExplainShape::Dword, 8, 10),
+    (ExplainShape::Dword, 16, 255),
     (ExplainShape::Dword, 32, 10),
+    (ExplainShape::Dword, 32, 0xffff_ffff),
     (ExplainShape::Dword, 64, 7),
 ];
 
@@ -89,10 +93,6 @@ fn every_strategy_name_is_covered() {
     // new strategy appears in the planner this test forces a new golden.
     let mut seen = std::collections::BTreeSet::new();
     for &(shape, width, d) in CASES {
-        if shape == ExplainShape::Dword {
-            seen.insert("dword".to_string());
-            continue;
-        }
         let report = explain(shape, width, d).expect("case renders");
         for line in report.lines() {
             if let Some(rest) = line.trim().strip_prefix('[') {
@@ -116,7 +116,7 @@ fn every_strategy_name_is_covered() {
         "floor/trunc_fixup",
         "exact/exact_pow2",
         "exact/exact_inverse",
-        "dword",
+        "dword/dword",
     ] {
         assert!(seen.contains(want), "no case covers {want}; seen: {seen:?}");
     }

@@ -754,7 +754,21 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
             Ok(Flow::Next)
         }
         (Target::Power, "a") => {
-            let v = m.get(op(1)).wrapping_add(m.get(op(2)));
+            // Old-POWER `a` records the carry-out in XER CA.
+            let (a, b) = (m.get(op(1)), m.get(op(2)));
+            m.cc_carry = a + b > 0xffff_ffff;
+            m.set(op(0), a.wrapping_add(b));
+            Ok(Flow::Next)
+        }
+        (Target::Power, "lil") => {
+            // Load immediate lower; does not touch CA.
+            let v = parse_imm(op(1))?;
+            m.set(op(0), v);
+            Ok(Flow::Next)
+        }
+        (Target::Power, "aze") => {
+            // Add-to-zero-extended: dst = src + CA.
+            let v = m.get(op(1)).wrapping_add(u64::from(m.cc_carry));
             m.set(op(0), v);
             Ok(Flow::Next)
         }
@@ -764,9 +778,21 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
             Ok(Flow::Next)
         }
         (Target::Power, "sf") => {
-            // subtract-from: dst = op2 - op1.
-            let v = m.get(op(2)).wrapping_sub(m.get(op(1)));
-            m.set(op(0), v);
+            // subtract-from: dst = op2 - op1; CA = 1 means no borrow.
+            let (a, b) = (m.get(op(1)), m.get(op(2)));
+            m.cc_carry = b >= a;
+            m.set(op(0), b.wrapping_sub(a));
+            Ok(Flow::Next)
+        }
+        (Target::Power, "sfe") => {
+            // Subtract-from extended: dst = op2 - op1 - 1 + CA.
+            let (a, b) = (m.get(op(1)), m.get(op(2)));
+            let carry_in = u64::from(m.cc_carry);
+            m.cc_carry = (!a & 0xffff_ffff) + b + carry_in > 0xffff_ffff;
+            m.set(
+                op(0),
+                b.wrapping_sub(a).wrapping_sub(1).wrapping_add(carry_in),
+            );
             Ok(Flow::Next)
         }
         (Target::Power, "sfi") => {
@@ -953,6 +979,14 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
             m.set(op(2), v);
             Ok(Flow::Next)
         }
+        (Target::Sparc, "addcc") => {
+            let (a, b) = (m.get(op(0)), val(m, op(1))?);
+            let v = a.wrapping_add(b);
+            m.cc_carry = (a & 0xffff_ffff) + (b & 0xffff_ffff) > 0xffff_ffff;
+            m.cc_zero = v & 0xffff_ffff == 0;
+            m.set(op(2), v);
+            Ok(Flow::Next)
+        }
         (Target::Sparc, "cmp") => {
             let (a, b) = (m.get(op(0)), val(m, op(1))?);
             m.cc_zero = a == b;
@@ -1034,8 +1068,14 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
             let a = m.get(op(0));
             let b = val(m, op(1))?;
             let v = match mn {
-                "add" => a.wrapping_add(b),
-                "sub" => a.wrapping_sub(b),
+                "add" => {
+                    m.cc_carry = (a & 0xffff_ffff) + (b & 0xffff_ffff) > 0xffff_ffff;
+                    a.wrapping_add(b)
+                }
+                "sub" => {
+                    m.cc_carry = (a & 0xffff_ffff) < (b & 0xffff_ffff);
+                    a.wrapping_sub(b)
+                }
                 "and" => a & b,
                 "or" => a | b,
                 _ => a ^ b,
@@ -1116,7 +1156,7 @@ fn step(m: &mut Machine, inst: &str, labels: &HashMap<&str, usize>) -> Result<Fl
             m.cc_carry = a < b;
             Ok(Flow::Next)
         }
-        (Target::X86, "setb") => {
+        (Target::X86, "setb") | (Target::X86, "setc") => {
             let v = u64::from(m.cc_carry);
             m.set("edx", (m.get("edx") & !0xff) | v);
             Ok(Flow::Next)

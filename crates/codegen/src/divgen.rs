@@ -16,11 +16,11 @@
 //! `magicdiv-ir`, so codegen can never pick a different code shape than
 //! the runtime divisors built from the same plan.
 
-use magicdiv::plan::{ExactPlan, FloorPlan, SdivPlan, UdivPlan};
+use magicdiv::plan::{DwordPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan};
 use magicdiv::UWord;
 use magicdiv_ir::{
-    lower_divisibility, lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv, mask, optimize,
-    Builder, Op, Program, Reg,
+    lower_divisibility, lower_dword_div, lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv,
+    mask, optimize, Builder, Op, Program, Reg,
 };
 
 /// Emits Figure 4.2 — optimized unsigned `q = ⌊n/d⌋` for constant `d != 0`.
@@ -299,6 +299,35 @@ pub fn gen_divisibility_test(d: u64, width: u32) -> Program {
     optimize(&b.finish([result]))
 }
 
+/// Emits Figure 8.1 — doubleword ÷ word division for constant `d != 0`:
+/// a two-argument (`hi`, `lo`) and two-result (`q`, `r`) program built
+/// from the same [`DwordPlan`] the runtime [`magicdiv::DwordDivisor`]
+/// uses. The caller must guarantee `hi < d` (the quotient fits a word);
+/// the emitted straight-line code does not trap on overflow.
+///
+/// # Panics
+///
+/// Panics when `d` masks to zero at `width`, or `width` is not in
+/// `1..=64`.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_codegen::gen_dword_div;
+///
+/// let prog = gen_dword_div(10, 32);
+/// // n = 7 * 2^32 + 6
+/// let n = (7u64 << 32) + 6;
+/// assert_eq!(prog.eval(&[7, 6]).unwrap(), vec![n / 10, n % 10]);
+/// ```
+pub fn gen_dword_div(d: u64, width: u32) -> Program {
+    let plan = DwordPlan::new((d & mask(width)) as u128, width).expect("division by zero");
+    let mut b = Builder::new(width, 2);
+    let (hi, lo) = (b.arg(0), b.arg(1));
+    let (q, r) = lower_dword_div(&mut b, hi, lo, &plan);
+    optimize(&b.finish([q, r]))
+}
+
 /// Baseline: one hardware unsigned division instruction.
 pub fn gen_unsigned_div_hw(width: u32) -> Program {
     let mut b = Builder::new(width, 2);
@@ -413,6 +442,34 @@ mod tests {
                     expect,
                     "n={n} d={d}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn dword_exhaustive_width8() {
+        for d in 1u64..=255 {
+            let prog = gen_dword_div(d, 8);
+            assert!(!prog.op_counts().uses_divide());
+            for n in (0u64..(d << 8)).step_by(7) {
+                assert_eq!(
+                    prog.eval(&[n >> 8, n & 0xff]).unwrap(),
+                    vec![n / d, n % d],
+                    "n={n} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dword_emits_on_every_target() {
+        use crate::targets::{emit_assembly, Target};
+        for &t in &Target::ALL {
+            for d in [3u64, 10, 641, 0xffff_ffff] {
+                let prog = gen_dword_div(d, 32);
+                let asm = emit_assembly(&prog, t, "dwdiv");
+                assert!(!asm.uses_divide(), "{t} d={d}:\n{asm}");
+                assert!(asm.instruction_count() >= 5, "{t} d={d}");
             }
         }
     }

@@ -23,6 +23,7 @@
 //!   | [`gen_floor_div`] | `FloorPlan` | [`magicdiv_ir::lower_floor_div`] |
 //!   | [`gen_exact_div`] | `ExactPlan` | [`magicdiv_ir::lower_exact_div`] |
 //!   | [`gen_divisibility_test`] | `ExactPlan` | [`magicdiv_ir::lower_divisibility`] |
+//!   | [`gen_dword_div`] | `DwordPlan` | [`magicdiv_ir::lower_dword_div`] |
 //! * **Multiplication by constants** — [`plan_mul_const`] /
 //!   [`emit_mul_const`], the Bernstein-style shift/add/sub expansion the
 //!   Alpha column of Table 11.1 relies on.
@@ -67,10 +68,10 @@ pub use crate::asmexec::{
     DEFAULT_STEP_LIMIT,
 };
 pub use crate::divgen::{
-    emit_signed_div, emit_unsigned_div, gen_divisibility_test, gen_exact_div, gen_floor_div,
-    gen_signed_div, gen_signed_div_hw, gen_signed_div_invariant, gen_signed_rem, gen_unsigned_div,
-    gen_unsigned_div_hw, gen_unsigned_div_invariant, gen_unsigned_divrem, gen_unsigned_divrem_hw,
-    gen_unsigned_rem,
+    emit_signed_div, emit_unsigned_div, gen_divisibility_test, gen_dword_div, gen_exact_div,
+    gen_floor_div, gen_signed_div, gen_signed_div_hw, gen_signed_div_invariant, gen_signed_rem,
+    gen_unsigned_div, gen_unsigned_div_hw, gen_unsigned_div_invariant, gen_unsigned_divrem,
+    gen_unsigned_divrem_hw, gen_unsigned_rem,
 };
 pub use crate::machine::{gen_unsigned_div_tuned, MachineDesc};
 pub use crate::mulconst::{

@@ -764,6 +764,63 @@ fn emit_one(
                 Target::X86 => unreachable!("x86 uses emit_one_x86"),
             }
         }
+        Op::Carry(a, b) => {
+            // Carry-out of the unsigned word add (the Fig 8.1 doubleword
+            // sums). Machines with a carry flag read it directly; the
+            // others recompute it as an unsigned compare of the wrapped
+            // sum against an addend.
+            let (ra, rb) = (e.reg(a), e.reg(b));
+            let dst = e.alloc(i);
+            match e.target {
+                Target::Alpha => {
+                    if w == 32 {
+                        // Zero-extended 32-bit operands: the carry is
+                        // bit 32 of the exact 64-bit sum.
+                        e.emit(format!("addq {ra},{rb},$28"));
+                        e.emit(format!("srl $28,32,{dst}"));
+                    } else {
+                        e.emit(format!("addq {ra},{rb},$28"));
+                        e.emit(format!("cmpult $28,{ra},{dst}"));
+                    }
+                }
+                Target::Mips => {
+                    e.emit(format!("addu {dst},{ra},{rb}"));
+                    e.emit(format!("sltu {dst},{dst},{ra}"));
+                }
+                Target::Power => {
+                    e.comment("carry-out via XER CA: a sets it, aze reads it");
+                    e.emit(format!("a {dst},{ra},{rb}"));
+                    e.emit(format!("lil {dst},0"));
+                    e.emit(format!("aze {dst},{dst}"));
+                }
+                Target::Sparc => {
+                    e.emit(format!("addcc {ra},{rb},%g0"));
+                    e.emit(format!("addx %g0,0,{dst}"));
+                }
+                Target::X86 => unreachable!("x86 uses emit_one_x86"),
+            }
+        }
+        Op::Borrow(a, b) => {
+            // Borrow-out of the unsigned word subtract: exactly the
+            // unsigned a < b compare.
+            let (ra, rb) = (e.reg(a), e.reg(b));
+            let dst = e.alloc(i);
+            match e.target {
+                Target::Alpha => e.emit(format!("cmpult {ra},{rb},{dst}")),
+                Target::Mips => e.emit(format!("sltu {dst},{ra},{rb}")),
+                Target::Power => {
+                    e.comment("borrow = 1 - CA after subtract-from");
+                    e.emit(format!("sf {dst},{rb},{ra}"));
+                    e.emit(format!("sfe {dst},{dst},{dst}"));
+                    e.emit(format!("neg {dst},{dst}"));
+                }
+                Target::Sparc => {
+                    e.emit(format!("cmp {ra},{rb}"));
+                    e.emit(format!("addx %g0,0,{dst}"));
+                }
+                Target::X86 => unreachable!("x86 uses emit_one_x86"),
+            }
+        }
         Op::DivU(a, b) | Op::DivS(a, b) | Op::RemU(a, b) | Op::RemS(a, b) => {
             let (ra, rb) = (e.reg(a), e.reg(b));
             let dst = e.alloc(i);
@@ -925,6 +982,33 @@ fn emit_one_x86(e: &mut Emitter, prog: &Program, i: usize, op: &Op) {
                 e.emit(format!("cmp {ra},{rb}"));
             }
             e.emit(format!("{set} dl"));
+            e.emit(format!("movzx {dst},dl"));
+        }
+        Op::Carry(a, b) => {
+            // x86 has the real flag: add sets CF, setc materializes it.
+            let (ra, a_imm) = rm(e, a);
+            let (rb, _) = rm(e, b);
+            let dst = e.alloc(i);
+            if a_imm || dst != ra {
+                e.emit(format!("mov {dst},{ra}"));
+            }
+            e.emit(format!("add {dst},{rb}"));
+            e.emit("setc dl".into());
+            e.emit(format!("movzx {dst},dl"));
+        }
+        Op::Borrow(a, b) => {
+            // Same compare shape as unsigned set-less-than: CF after cmp
+            // is the borrow.
+            let (ra, a_imm) = rm(e, a);
+            let (rb, _) = rm(e, b);
+            let dst = e.alloc(i);
+            if a_imm {
+                e.emit(format!("mov {dst},{ra}"));
+                e.emit(format!("cmp {dst},{rb}"));
+            } else {
+                e.emit(format!("cmp {ra},{rb}"));
+            }
+            e.emit("setb dl".into());
             e.emit(format!("movzx {dst},dl"));
         }
         Op::DivU(a, b) | Op::DivS(a, b) | Op::RemU(a, b) | Op::RemS(a, b) => {

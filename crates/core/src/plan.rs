@@ -11,6 +11,7 @@
 //! | [`SdivPlan`] | Fig 5.2 | signed truncating division |
 //! | [`FloorPlan`] | Fig 6.1 | signed floor division |
 //! | [`ExactPlan`] | §9 | exact division / divisibility |
+//! | [`DwordPlan`] | Fig 8.1 | doubleword ÷ word division |
 //!
 //! This module is the **only** place that runs the paper's selection
 //! logic (`CHOOSE_MULTIPLIER` dispatch, even-divisor pre-shift re-choose,
@@ -862,6 +863,142 @@ impl fmt::Display for ExactPlan {
     }
 }
 
+/// A complete doubleword-by-word division plan: the Figure 8.1 constants
+/// `(m', l, d_norm)` for dividing a `2N`-bit dividend by an invariant
+/// `N`-bit divisor, quotient known to fit one word.
+///
+/// Unlike §4–§6, the multiplier rounds *down*
+/// (`m' = ⌊(2^(N+l) - 1)/d⌋ - 2^N`, Lemma 8.1), so there is no strategy
+/// dispatch: every divisor uses the same normalize/estimate/correct code
+/// shape and the plan is pure constants.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::plan::DwordPlan;
+///
+/// let plan = DwordPlan::new(10, 32)?;
+/// assert_eq!(plan.l(), 4);                     // 2^3 <= 10 < 2^4
+/// assert_eq!(plan.d_norm(), 10 << 28);         // d shifted to the word top
+/// assert_eq!(plan.m_prime(), 0x9999_9999);     // ⌊(2^36 - 1)/10⌋ - 2^32
+/// # Ok::<(), magicdiv::DivisorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DwordPlan {
+    pub(crate) width: u32,
+    pub(crate) d: u128,
+    /// `⌊(2^(N+l) - 1)/d⌋ - 2^N`.
+    pub(crate) m_prime: u128,
+    /// `1 + ⌊log2 d⌋`, so `2^(l-1) <= d < 2^l`.
+    pub(crate) l: u32,
+    /// `d` normalized to the top of the word: `SLL(d, N - l)`.
+    pub(crate) d_norm: u128,
+}
+
+impl DwordPlan {
+    /// Precomputes the Figure 8.1 constants for dividing doubleword
+    /// dividends by `d` at `width`-bit limbs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is unsupported (see the module docs) or `d`
+    /// does not fit in `width` bits.
+    pub fn new(d: u128, width: u32) -> Result<Self, DivisorError> {
+        assert_width_supported(width);
+        if d == 0 {
+            return Err(DivisorError::Zero);
+        }
+        assert!(d <= mask(width), "divisor does not fit in {width} bits");
+        let _span = magicdiv_trace::span("plan.dword");
+        magicdiv_trace::event!("plan.query",
+            "shape" => "dword", "width" => width, "d" => d);
+        let l = 128 - d.leading_zeros(); // 1 + ⌊log2 d⌋
+                                         // m' = ⌊(2^(N+l) - 1)/d⌋ - 2^N. The numerator always fits in a
+                                         // doubleword (N + l <= 2N); for N <= 64 that doubleword is u128,
+                                         // for N = 128 it is DWord<u128>.
+        let m_prime = if width <= 64 {
+            let numerator = if width + l == 128 {
+                u128::MAX
+            } else {
+                (1u128 << (width + l)) - 1
+            };
+            (numerator / d) - (1u128 << width)
+        } else {
+            let numerator = if l == 128 {
+                magicdiv_dword::DWord::from_parts(u128::MAX, u128::MAX)
+            } else {
+                magicdiv_dword::DWord::pow2(128 + l).wrapping_sub_limb(1)
+            };
+            let (q, _) = numerator.div_rem_limb(d).expect("nonzero divisor");
+            q.wrapping_sub(magicdiv_dword::DWord::from_hi(1)).lo()
+        };
+        let d_norm = (d << (width - l)) & mask(width);
+        magicdiv_trace::event!("plan.dword",
+            "width" => width, "d" => d, "l" => l,
+            "m_prime" => format!("{m_prime:#x}"),
+            "d_norm" => format!("{d_norm:#x}"),
+            "why" => "normalize d to the word top, estimate q from HIGH(m' * n2)",
+            "paper" => "Fig 8.1 (udword/uword division)");
+        magicdiv_trace::event!("plan.decision",
+            "strategy" => "dword",
+            "why" => "multiplier rounds DOWN (m' = floor((2^(N+l)-1)/d) - 2^N), \
+                      one code shape for every divisor",
+            "paper" => "Lemma 8.1");
+        Ok(DwordPlan {
+            width,
+            d,
+            m_prime,
+            l,
+            d_norm,
+        })
+    }
+
+    /// The limb width this plan was computed for (the dividend is `2N`
+    /// bits).
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The divisor.
+    #[inline]
+    pub fn divisor(&self) -> u128 {
+        self.d
+    }
+
+    /// `⌊(2^(N+l) - 1)/d⌋ - 2^N`, the Lemma 8.1 round-down multiplier.
+    #[inline]
+    pub fn m_prime(&self) -> u128 {
+        self.m_prime
+    }
+
+    /// `1 + ⌊log2 d⌋`, so `2^(l-1) <= d < 2^l`.
+    #[inline]
+    pub fn l(&self) -> u32 {
+        self.l
+    }
+
+    /// `d` normalized to the top of the word: `SLL(d, N - l)`.
+    #[inline]
+    pub fn d_norm(&self) -> u128 {
+        self.d_norm
+    }
+}
+
+impl fmt::Display for DwordPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "udword/{} d={}: m'={:#x} l={} d_norm={:#x}",
+            self.width, self.d, self.m_prime, self.l, self.d_norm
+        )
+    }
+}
+
 /// Any division plan — the umbrella the tools print and the cycle
 /// estimator prices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -875,6 +1012,8 @@ pub enum DivPlan {
     Floor(FloorPlan),
     /// Exact division / divisibility (§9).
     Exact(ExactPlan),
+    /// Doubleword-by-word division (Fig 8.1).
+    Dword(DwordPlan),
 }
 
 impl DivPlan {
@@ -886,6 +1025,7 @@ impl DivPlan {
             DivPlan::Signed(p) => p.width(),
             DivPlan::Floor(p) => p.width(),
             DivPlan::Exact(p) => p.width(),
+            DivPlan::Dword(p) => p.width(),
         }
     }
 
@@ -918,6 +1058,7 @@ impl DivPlan {
                     "exact_inverse"
                 }
             }
+            DivPlan::Dword(_) => "dword",
         }
     }
 }
@@ -929,6 +1070,7 @@ impl fmt::Display for DivPlan {
             DivPlan::Signed(p) => p.fmt(f),
             DivPlan::Floor(p) => p.fmt(f),
             DivPlan::Exact(p) => p.fmt(f),
+            DivPlan::Dword(p) => p.fmt(f),
         }
     }
 }
@@ -954,6 +1096,12 @@ impl From<FloorPlan> for DivPlan {
 impl From<ExactPlan> for DivPlan {
     fn from(p: ExactPlan) -> Self {
         DivPlan::Exact(p)
+    }
+}
+
+impl From<DwordPlan> for DivPlan {
+    fn from(p: DwordPlan) -> Self {
+        DivPlan::Dword(p)
     }
 }
 
@@ -1122,6 +1270,50 @@ mod tests {
             DivPlan::from(ExactPlan::new_unsigned(12, 32).unwrap()).strategy_name(),
             "exact_inverse"
         );
+        assert_eq!(
+            DivPlan::from(DwordPlan::new(10, 32).unwrap()).strategy_name(),
+            "dword"
+        );
+    }
+
+    #[test]
+    fn dword_plan_matches_paper_example() {
+        // d = 10 at N = 32: l = 4, m' = ⌊(2^36 - 1)/10⌋ - 2^32, d_norm = 10·2^28.
+        let p = DwordPlan::new(10, 32).unwrap();
+        assert_eq!(p.l(), 4);
+        assert_eq!(p.m_prime(), ((1u128 << 36) - 1) / 10 - (1u128 << 32));
+        assert_eq!(p.d_norm(), 10u128 << 28);
+        assert_eq!(p.divisor(), 10);
+        assert_eq!(p.width(), 32);
+        let s = format!("{p}");
+        assert!(s.contains("udword/32"), "{s}");
+    }
+
+    #[test]
+    fn dword_plan_boundary_divisors_every_width() {
+        for width in [1u32, 2, 8, 16, 24, 32, 57, 64, 128] {
+            let max = mask(width);
+            for d in [1u128, 2, 3, max / 2 + 1, max - 1, max] {
+                let d = d.clamp(1, max);
+                let p = DwordPlan::new(d, width).unwrap();
+                assert!((1..=width).contains(&p.l()), "d={d} w={width}: l={}", p.l());
+                // d_norm is d shifted so its top bit reaches the word top.
+                assert_eq!(
+                    p.d_norm() >> (width - 1),
+                    1,
+                    "d={d} w={width}: d_norm={:#x} not normalized",
+                    p.d_norm()
+                );
+                assert_eq!(p.d_norm(), (d << (width - p.l())) & mask(width));
+                // m' fits one word (quotient is in [2^N, 2^(N+1))).
+                assert!(p.m_prime() <= max, "d={d} w={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn dword_plan_zero_divisor_rejected() {
+        assert!(DwordPlan::new(0, 32).is_err());
     }
 
     #[test]

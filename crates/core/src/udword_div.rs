@@ -16,6 +16,7 @@ use core::fmt;
 use magicdiv_dword::DWord;
 
 use crate::error::{DivisorError, DwordDivError};
+use crate::plan::DwordPlan;
 use crate::word::UWord;
 
 /// A precomputed invariant divisor for doubleword dividends (Figure 8.1).
@@ -52,37 +53,28 @@ impl<T: UWord> DwordDivisor<T> {
     ///
     /// Returns [`DivisorError::Zero`] when `d == 0`.
     pub fn new(d: T) -> Result<Self, DivisorError> {
-        if d == T::ZERO {
-            return Err(DivisorError::Zero);
-        }
-        let n = T::BITS;
-        let l = 1 + d.floor_log2();
-        // m' = ⌊(2^(N+l) - 1)/d⌋ - 2^N. The numerator always fits in a
-        // doubleword (N + l <= 2N).
-        let numerator = if n + l == 2 * n {
-            DWord::from_parts(T::MAX, T::MAX)
-        } else {
-            DWord::pow2(n + l).wrapping_sub_limb(T::ONE)
-        };
-        let (q, _) = numerator.div_rem_limb(d).expect("nonzero divisor");
-        let m_prime = q.wrapping_sub(DWord::from_hi(T::ONE)).lo();
-        let d_norm = d.shl_full(n - l);
-        magicdiv_trace::event!(
-            "plan.dword",
-            "width" => n,
-            "d" => d.to_u128(),
-            "l" => l,
-            "m_prime" => format!("{:#x}", m_prime.to_u128()),
-            "d_norm" => format!("{:#x}", d_norm.to_u128()),
-            "why" => "normalize d to the word top, estimate q from HIGH(m' * n2)",
-            "paper" => "Fig 8.1 (udword/uword division)",
-        );
+        // The planning layer is the single source of the Fig 8.1 constant
+        // computation; this runtime divisor just caches the constants at
+        // its native word type.
+        let plan = DwordPlan::new(d.to_u128(), T::BITS)?;
         Ok(DwordDivisor {
             d,
-            m_prime,
-            l,
-            d_norm,
+            m_prime: T::from_u128_truncate(plan.m_prime()),
+            l: plan.l(),
+            d_norm: T::from_u128_truncate(plan.d_norm()),
         })
+    }
+
+    /// The width-erased [`DwordPlan`] this divisor caches — the same plan
+    /// `magicdiv-codegen` lowers to IR and `magicdiv-simcpu` prices.
+    pub fn plan(&self) -> DwordPlan {
+        DwordPlan {
+            width: T::BITS,
+            d: self.d.to_u128(),
+            m_prime: self.m_prime.to_u128(),
+            l: self.l,
+            d_norm: self.d_norm.to_u128(),
+        }
     }
 
     /// The precomputed Figure 8.1 constants `(m', l, d_norm)`.
@@ -265,6 +257,45 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn plan_roundtrips_constants() {
+        for d in [1u32, 2, 3, 10, 641, 0x8000_0000, u32::MAX] {
+            let dd = DwordDivisor::new(d).unwrap();
+            let plan = dd.plan();
+            assert_eq!(plan, DwordPlan::new(d as u128, 32).unwrap(), "d={d}");
+            let (m, l, dn) = dd.constants();
+            assert_eq!(
+                (m as u128, l, dn as u128),
+                (plan.m_prime(), plan.l(), plan.d_norm()),
+                "d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_divisor_and_lemma_8_1_boundary() {
+        // d = 2^N - 1: l = N, m' = 1, d_norm = d (already normalized).
+        let d = u32::MAX;
+        let dd = DwordDivisor::new(d).unwrap();
+        let (m, l, dn) = dd.constants();
+        assert_eq!(l, 32);
+        assert_eq!(dn, d);
+        assert_eq!(m, 1);
+        // High limb at its largest valid value d - 1 (the Lemma 8.1
+        // boundary: quotient approaches 2^N - 1).
+        for lo in [0u32, 1, d - 1, d] {
+            let n = (((d - 1) as u64) << 32) | lo as u64;
+            let (q, r) = dd.div_rem(DWord::from_parts(d - 1, lo)).unwrap();
+            assert_eq!(q as u64, n / d as u64, "lo={lo}");
+            assert_eq!(r as u64, n % d as u64, "lo={lo}");
+        }
+        // One limb higher overflows the one-word quotient.
+        assert_eq!(
+            dd.div_rem(DWord::from_parts(d, 0)).unwrap_err(),
+            DwordDivError::QuotientOverflow
+        );
     }
 
     #[test]

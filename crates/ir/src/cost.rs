@@ -83,7 +83,7 @@ impl Op {
         use Op::*;
         match self {
             Arg(_) | Const(_) => OpClass::Nop,
-            Add(..) | Sub(..) | Neg(..) => OpClass::AddSub,
+            Add(..) | Sub(..) | Neg(..) | Carry(..) | Borrow(..) => OpClass::AddSub,
             Sll(..) | Srl(..) | Sra(..) | Xsign(..) => OpClass::Shift,
             And(..) | Or(..) | Eor(..) | Not(..) => OpClass::BitOp,
             SltS(..) | SltU(..) => OpClass::Cmp,

@@ -207,6 +207,10 @@ impl Program {
                 Op::Xsign(a) => (sign_extend(v(a), w) >> (w - 1).min(63)) as u64,
                 Op::SltS(a, b) => u64::from(sign_extend(v(a), w) < sign_extend(v(b), w)),
                 Op::SltU(a, b) => u64::from(v(a) < v(b)),
+                // Values are stored masked, so the unsigned sum/difference
+                // wraps iff it leaves the N-bit range.
+                Op::Carry(a, b) => u64::from(u128::from(v(a)) + u128::from(v(b)) > u128::from(m)),
+                Op::Borrow(a, b) => u64::from(v(a) < v(b)),
                 Op::DivU(a, b) => v(a)
                     .checked_div(v(b))
                     .ok_or(EvalError::DivideByZero { at: i })?,

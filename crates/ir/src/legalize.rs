@@ -25,6 +25,11 @@ pub struct TargetCaps {
     pub has_mulsh: bool,
     /// Has `SRA` (arithmetic right shift).
     pub has_sra: bool,
+    /// Has carry/borrow-out as a value ([`Op::Carry`]/[`Op::Borrow`],
+    /// e.g. via a flags register or add-with-carry). Without it the
+    /// carry is recomputed: `CARRY(a, b) = SLTU(ADD(a, b), a)` and
+    /// `BORROW(a, b) = SLTU(a, b)`.
+    pub has_carry: bool,
 }
 
 impl TargetCaps {
@@ -33,6 +38,7 @@ impl TargetCaps {
         has_muluh: true,
         has_mulsh: true,
         has_sra: true,
+        has_carry: true,
     };
 
     /// POWER/RIOS I per the Table 1.1 footnote: signed multiply-high
@@ -41,6 +47,7 @@ impl TargetCaps {
         has_muluh: false,
         has_mulsh: true,
         has_sra: true,
+        has_carry: true,
     };
 }
 
@@ -146,6 +153,13 @@ pub fn legalize(prog: &Program, caps: TargetCaps) -> Program {
             }
             Op::Sra(x, n) if !caps.has_sra => emit_sra(&mut b, x, n),
             Op::Xsign(x) if !caps.has_sra => emit_xsign(&mut b, x),
+            Op::Carry(x, y) if !caps.has_carry => {
+                // CARRY(a, b) = SLTU(a + b, a): the wrapped sum is smaller
+                // than an addend exactly when the true sum overflowed.
+                let sum = b.push(Op::Add(x, y));
+                b.push(Op::SltU(sum, x))
+            }
+            Op::Borrow(x, y) if !caps.has_carry => b.push(Op::SltU(x, y)),
             other => b.push(other),
         };
         remap.push(new_reg);
@@ -154,7 +168,7 @@ pub fn legalize(prog: &Program, caps: TargetCaps) -> Program {
     magicdiv_trace::event!("ir.legalize",
         "ops_before" => prog.insts().len(), "ops_after" => out.insts().len(),
         "has_muluh" => caps.has_muluh, "has_mulsh" => caps.has_mulsh,
-        "has_sra" => caps.has_sra,
+        "has_sra" => caps.has_sra, "has_carry" => caps.has_carry,
         "paper" => "§3 (one multiply-high form suffices)");
     out
 }
@@ -166,23 +180,25 @@ mod tests {
 
     const NO_MULUH: TargetCaps = TargetCaps {
         has_muluh: false,
-        has_mulsh: true,
-        has_sra: true,
+        ..TargetCaps::FULL
     };
     const NO_MULSH: TargetCaps = TargetCaps {
-        has_muluh: true,
         has_mulsh: false,
-        has_sra: true,
+        ..TargetCaps::FULL
     };
     const NO_SRA: TargetCaps = TargetCaps {
-        has_muluh: true,
-        has_mulsh: true,
         has_sra: false,
+        ..TargetCaps::FULL
+    };
+    const NO_CARRY: TargetCaps = TargetCaps {
+        has_carry: false,
+        ..TargetCaps::FULL
     };
     const MINIMAL: TargetCaps = TargetCaps {
         has_muluh: true,
         has_mulsh: false,
         has_sra: false,
+        has_carry: false,
     };
 
     fn single_op_program(op_of: impl Fn(Reg, Reg) -> Op, w: u32) -> Program {
@@ -292,6 +308,24 @@ mod tests {
     }
 
     #[test]
+    fn carry_borrow_via_sltu_exhaustive_w8() {
+        for mk in [Op::Carry as fn(Reg, Reg) -> Op, Op::Borrow] {
+            let prog = single_op_program(mk, 8);
+            let legal = legalize(&prog, NO_CARRY);
+            assert_no_op(&legal, |o| matches!(o, Op::Carry(..) | Op::Borrow(..)));
+            for x in 0u64..=255 {
+                for y in 0u64..=255 {
+                    assert_eq!(
+                        legal.eval(&[x, y]).unwrap(),
+                        prog.eval(&[x, y]).unwrap(),
+                        "{x} {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn full_caps_is_identity_modulo_regnames() {
         let prog = single_op_program(Op::MulUH, 32);
         let legal = legalize(&prog, TargetCaps::FULL);
@@ -318,7 +352,7 @@ mod tests {
             TargetCaps {
                 has_muluh: false,
                 has_mulsh: false,
-                has_sra: true,
+                ..TargetCaps::FULL
             },
         );
     }

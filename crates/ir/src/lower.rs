@@ -26,7 +26,9 @@
 //! ```
 
 use magicdiv::plan::FloorStrategy;
-use magicdiv::plan::{ExactPlan, FloorPlan, SdivPlan, SdivStrategy, UdivPlan, UdivStrategy};
+use magicdiv::plan::{
+    DwordPlan, ExactPlan, FloorPlan, SdivPlan, SdivStrategy, UdivPlan, UdivStrategy,
+};
 
 use crate::program::{Builder, Op, Reg};
 
@@ -187,6 +189,91 @@ pub fn lower_exact_div(b: &mut Builder, n: Reg, plan: &ExactPlan) -> Reg {
     }
 }
 
+/// Lowers a Figure 8.1 doubleword-division plan: `(q, r)` of the `2N`-bit
+/// dividend `hi:lo` divided by the plan's invariant word divisor.
+///
+/// The `2N`-bit intermediate values of Fig 8.1 (`t = m'·(n2 - n1) + nadj`
+/// and `dr = n - (q1 + 1)·d`) are decomposed over word limbs using
+/// [`Op::Carry`] to propagate between halves; shift counts that would
+/// equal `N` (the paper's note about shift counts of `N` when `l = N`)
+/// are specialized away at lowering time, since the plan's `l` is a
+/// compile-time constant.
+///
+/// The caller must ensure `hi < d` (the Fig 8.1 quotient-fits-one-word
+/// precondition); the lowered code has no trap and silently wraps
+/// otherwise, exactly like hardware `divlu`-style instructions without
+/// their overflow check.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::plan::DwordPlan;
+/// use magicdiv_ir::{lower_dword_div, optimize, Builder};
+///
+/// let plan = DwordPlan::new(10, 32).unwrap();
+/// let mut b = Builder::new(32, 2);
+/// let (hi, lo) = (b.arg(0), b.arg(1));
+/// let (q, r) = lower_dword_div(&mut b, hi, lo, &plan);
+/// let prog = optimize(&b.finish([q, r]));
+/// // (7 * 2^32 + 6) / 10:
+/// let n = (7u64 << 32) + 6;
+/// assert_eq!(prog.eval(&[7, 6]).unwrap(), vec![n / 10, n % 10]);
+/// ```
+pub fn lower_dword_div(b: &mut Builder, hi: Reg, lo: Reg, plan: &DwordPlan) -> (Reg, Reg) {
+    check_width(b, plan.width());
+    let width = b.width();
+    let l = plan.l();
+    let d = b.constant(plan.divisor() as u64);
+    // n2 = SLL(hi, N-l) + SRL(lo, l): the top N bits of the normalized
+    // dividend. When l == N both shifts degenerate (SLL by 0, SRL by N)
+    // and n2 is just hi.
+    let n2 = if l == width {
+        hi
+    } else {
+        let hi_part = b.push(Op::Sll(hi, width - l));
+        let lo_part = b.push(Op::Srl(lo, l));
+        b.push(Op::Add(hi_part, lo_part))
+    };
+    // n10 = SLL(lo, N-l); its sign bit is the n1 digit of Fig 8.1.
+    let n10 = if l == width {
+        lo
+    } else {
+        b.push(Op::Sll(lo, width - l))
+    };
+    let n1_mask = b.push(Op::Xsign(n10));
+    // nadj = n10 + AND(n1, d_norm - 2^N); the -2^N vanishes mod 2^N.
+    let d_norm = b.constant(plan.d_norm() as u64);
+    let adj = b.push(Op::And(n1_mask, d_norm));
+    let nadj = b.push(Op::Add(n10, adj));
+    // t = m' * (n2 - n1) + nadj, a 2N-bit value split over two words:
+    // only HIGH(t) is needed, so the low half contributes just its carry.
+    let m_prime = b.constant(plan.m_prime() as u64);
+    let x = b.push(Op::Sub(n2, n1_mask)); // n2 - n1_mask = n2 + n1
+    let t_lo = b.push(Op::MulL(m_prime, x));
+    let t_hi = b.push(Op::MulUH(m_prime, x));
+    let t_carry = b.push(Op::Carry(t_lo, nadj));
+    let t_top = b.push(Op::Add(t_hi, t_carry));
+    // q1 = n2 + HIGH(t).
+    let q1 = b.push(Op::Add(n2, t_top));
+    // dr = n - 2^N*d + (2^N - 1 - q1)*d = n - (q1 + 1)*d, computed over
+    // limbs: LOW(dr) = lo + LOW(~q1 * d); HIGH(dr) = hi - d + HIGH(~q1 *
+    // d) + carry.
+    let not_q1 = b.push(Op::Not(q1));
+    let p_lo = b.push(Op::MulL(not_q1, d));
+    let p_hi = b.push(Op::MulUH(not_q1, d));
+    let dr_lo = b.push(Op::Add(lo, p_lo));
+    let dr_carry = b.push(Op::Carry(lo, p_lo));
+    let hi_minus_d = b.push(Op::Sub(hi, d));
+    let dr_hi_partial = b.push(Op::Add(hi_minus_d, p_hi));
+    let dr_hi = b.push(Op::Add(dr_hi_partial, dr_carry));
+    // HIGH(dr) is all-ones when dr < 0 (|dr| < d < 2^N), else zero:
+    // q = q1 + 1 + HIGH(dr) = HIGH(dr) - ~q1; r = LOW(dr) + AND(d, HIGH(dr)).
+    let q = b.push(Op::Sub(dr_hi, not_q1));
+    let r_fix = b.push(Op::And(d, dr_hi));
+    let r = b.push(Op::Add(dr_lo, r_fix));
+    (q, r)
+}
+
 /// Lowers the §9 divisibility test for an unsigned plan: the result
 /// register holds 1 when `d | n`, else 0, with no remainder computed.
 pub fn lower_divisibility(b: &mut Builder, n: Reg, plan: &ExactPlan) -> Reg {
@@ -277,6 +364,56 @@ mod tests {
         let prog = optimize(&b.finish([ok]));
         assert_eq!(prog.eval1(&[144]).unwrap(), 1);
         assert_eq!(prog.eval1(&[145]).unwrap(), 0);
+    }
+
+    fn dword_prog(d: u64, width: u32) -> crate::program::Program {
+        let plan = DwordPlan::new(d as u128, width).unwrap();
+        let mut b = Builder::new(width, 2);
+        let (hi, lo) = (b.arg(0), b.arg(1));
+        let (q, r) = lower_dword_div(&mut b, hi, lo, &plan);
+        optimize(&b.finish([q, r]))
+    }
+
+    #[test]
+    fn lowered_dword_exhaustive_width8() {
+        // Every divisor (including 2^8 - 1, where l == N and the shifts
+        // degenerate), dividends sampled densely over the valid range
+        // hi < d.
+        for d in 1u64..=255 {
+            let prog = dword_prog(d, 8);
+            for n in (0u64..(d << 8)).step_by(5) {
+                let (hi, lo) = (n >> 8, n & 0xff);
+                assert_eq!(
+                    prog.eval(&[hi, lo]).unwrap(),
+                    vec![n / d, n % d],
+                    "n={n} d={d}"
+                );
+            }
+            // The largest valid dividend: d * 2^8 - 1.
+            let top = (d << 8) - 1;
+            assert_eq!(
+                prog.eval(&[top >> 8, top & 0xff]).unwrap(),
+                vec![top / d, top % d],
+                "d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn lowered_dword_spot_checks_width32() {
+        for d in [1u64, 3, 10, 641, 0x7fff_ffff, 0x8000_0000, 0xffff_ffff] {
+            let prog = dword_prog(d, 32);
+            for n in [0u64, 1, 9, 10, u32::MAX as u64, 1 << 40, (d << 32) - 1] {
+                if n >> 32 >= d {
+                    continue;
+                }
+                assert_eq!(
+                    prog.eval(&[n >> 32, n & 0xffff_ffff]).unwrap(),
+                    vec![n / d, n % d],
+                    "n={n} d={d}"
+                );
+            }
+        }
     }
 
     #[test]

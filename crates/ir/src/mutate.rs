@@ -92,7 +92,7 @@ impl fmt::Display for Mutation {
 fn canonical_mnemonic(s: &str) -> Option<&'static str> {
     const KNOWN: &[&str] = &[
         "add", "sub", "mull", "muluh", "mulsh", "and", "or", "eor", "sll", "srl", "sra", "slts",
-        "sltu", "divu", "divs", "remu", "rems",
+        "sltu", "carry", "borrow", "divu", "divs", "remu", "rems",
     ];
     KNOWN.iter().find(|k| **k == s).copied()
 }
@@ -153,6 +153,8 @@ fn opcode_alternatives(op: &Op) -> &'static [&'static str] {
         Op::Sra(..) => &["sll", "srl"],
         Op::SltS(..) => &["sltu"],
         Op::SltU(..) => &["slts"],
+        Op::Carry(..) => &["borrow"],
+        Op::Borrow(..) => &["carry"],
         Op::DivU(..) => &["divs"],
         Op::DivS(..) => &["divu"],
         Op::RemU(..) => &["rems"],
@@ -181,6 +183,8 @@ fn swap_opcode(op: &Op, to: &str) -> Option<Op> {
         (Op::Sra(a, n), "srl") => Op::Srl(a, n),
         (Op::SltS(a, b), "sltu") => Op::SltU(a, b),
         (Op::SltU(a, b), "slts") => Op::SltS(a, b),
+        (Op::Carry(a, b), "borrow") => Op::Borrow(a, b),
+        (Op::Borrow(a, b), "carry") => Op::Carry(a, b),
         (Op::DivU(a, b), "divs") => Op::DivS(a, b),
         (Op::DivS(a, b), "divu") => Op::DivU(a, b),
         (Op::RemU(a, b), "rems") => Op::RemS(a, b),
@@ -196,6 +200,7 @@ fn swap_operands(op: &Op) -> Option<Op> {
     // nothing.
     match *op {
         Op::Sub(a, b) if a != b => Some(Op::Sub(b, a)),
+        Op::Borrow(a, b) if a != b => Some(Op::Borrow(b, a)),
         Op::SltS(a, b) if a != b => Some(Op::SltS(b, a)),
         Op::SltU(a, b) if a != b => Some(Op::SltU(b, a)),
         Op::DivU(a, b) if a != b => Some(Op::DivU(b, a)),

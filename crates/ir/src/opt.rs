@@ -286,6 +286,28 @@ fn simplify_op(op: Op, w: u32, m: u64, const_of: &dyn Fn(Reg) -> Option<u64>) ->
         SltU(a, b) => fold2(a, b, &|x, y| Some(u64::from(x < y)))
             .map(|v| Rewrite::Emit(Const(v)))
             .unwrap_or(Rewrite::Emit(op)),
+        Carry(a, b) => {
+            if let Some(v) = fold2(a, b, &|x, y| {
+                Some(u64::from(u128::from(x) + u128::from(y) > u128::from(m)))
+            }) {
+                return Rewrite::Emit(Const(v));
+            }
+            // x + 0 never carries.
+            if const_of(a) == Some(0) || const_of(b) == Some(0) {
+                return Rewrite::Emit(Const(0));
+            }
+            Rewrite::Emit(op)
+        }
+        Borrow(a, b) => {
+            if let Some(v) = fold2(a, b, &|x, y| Some(u64::from(x < y))) {
+                return Rewrite::Emit(Const(v));
+            }
+            // x - 0 and x - x never borrow.
+            if const_of(b) == Some(0) || a == b {
+                return Rewrite::Emit(Const(0));
+            }
+            Rewrite::Emit(op)
+        }
         // Hardware division folds only when the divisor constant is
         // nonzero (folding a trap away would change semantics).
         DivU(a, b) => fold2(a, b, &|x, y| x.checked_div(y))

@@ -78,6 +78,17 @@ pub enum Op {
     SltS(Reg, Reg),
     /// Unsigned set-less-than: 1 if `a < b` else 0.
     SltU(Reg, Reg),
+    /// Carry out of the unsigned sum `a + b`: 1 if `a + b >= 2^N` else 0.
+    ///
+    /// The 2N-bit arithmetic of Fig 8.1 (§8) is decomposed into word ops;
+    /// this is the add-with-carry primitive that propagates between limbs.
+    /// Legalizes to `SLTU(ADD(a, b), a)` on targets without carry flags.
+    Carry(Reg, Reg),
+    /// Borrow out of the unsigned difference `a - b`: 1 if `a < b` else 0.
+    ///
+    /// The subtract-with-borrow twin of [`Op::Carry`]; legalizes to
+    /// `SLTU(a, b)`.
+    Borrow(Reg, Reg),
     /// Hardware unsigned division (baseline only; traps on zero).
     DivU(Reg, Reg),
     /// Hardware signed division, rounding toward zero (baseline only).
@@ -105,6 +116,8 @@ impl Op {
             | Eor(a, b)
             | SltS(a, b)
             | SltU(a, b)
+            | Carry(a, b)
+            | Borrow(a, b)
             | DivU(a, b)
             | DivS(a, b)
             | RemU(a, b)
@@ -136,6 +149,8 @@ impl Op {
             Xsign(a) => Xsign(f(a)),
             SltS(a, b) => SltS(f(a), f(b)),
             SltU(a, b) => SltU(f(a), f(b)),
+            Carry(a, b) => Carry(f(a), f(b)),
+            Borrow(a, b) => Borrow(f(a), f(b)),
             DivU(a, b) => DivU(f(a), f(b)),
             DivS(a, b) => DivS(f(a), f(b)),
             RemU(a, b) => RemU(f(a), f(b)),
@@ -164,6 +179,8 @@ impl Op {
             Xsign(..) => "xsign",
             SltS(..) => "slts",
             SltU(..) => "sltu",
+            Carry(..) => "carry",
+            Borrow(..) => "borrow",
             DivU(..) => "divu",
             DivS(..) => "divs",
             RemU(..) => "remu",

@@ -18,8 +18,8 @@
 use magicdiv::plan::DivPlan;
 use magicdiv::{Fault, FaultKind, FaultLayer};
 use magicdiv_ir::{
-    lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv, optimize, Builder, Op, OpClass,
-    Program,
+    lower_dword_div, lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv, optimize, Builder,
+    Op, OpClass, Program,
 };
 
 use crate::models::TimingModel;
@@ -119,20 +119,33 @@ pub fn try_cycles_for_plan(plan: &DivPlan, model: &TimingModel) -> Result<u64, F
     if width > 64 {
         return Err(fault(FaultKind::UnsupportedWidth { width }));
     }
-    let mut b = Builder::new(width, 1);
-    let n = b.arg(0);
-    let q = match plan {
-        DivPlan::Unsigned(p) => lower_udiv(&mut b, n, p),
-        DivPlan::Signed(p) => lower_sdiv(&mut b, n, p),
-        DivPlan::Floor(p) => lower_floor_div(&mut b, n, p),
-        DivPlan::Exact(p) => lower_exact_div(&mut b, n, p),
-        other => {
-            return Err(fault(FaultKind::BadProgram(format!(
-                "unknown plan kind {other:?}"
-            ))))
+    // The Fig 8.1 plan is two-argument (hi, lo) and two-result (q, r);
+    // the word plans take a single dividend. Each arm builds the same
+    // optimized program `magicdiv-codegen` emits for that divisor.
+    let prog = match plan {
+        DivPlan::Dword(p) => {
+            let mut b = Builder::new(width, 2);
+            let (hi, lo) = (b.arg(0), b.arg(1));
+            let (q, r) = lower_dword_div(&mut b, hi, lo, p);
+            optimize(&b.finish([q, r]))
+        }
+        _ => {
+            let mut b = Builder::new(width, 1);
+            let n = b.arg(0);
+            let q = match plan {
+                DivPlan::Unsigned(p) => lower_udiv(&mut b, n, p),
+                DivPlan::Signed(p) => lower_sdiv(&mut b, n, p),
+                DivPlan::Floor(p) => lower_floor_div(&mut b, n, p),
+                DivPlan::Exact(p) => lower_exact_div(&mut b, n, p),
+                other => {
+                    return Err(fault(FaultKind::BadProgram(format!(
+                        "unknown plan kind {other:?}"
+                    ))))
+                }
+            };
+            optimize(&b.finish([q]))
         }
     };
-    let prog = optimize(&b.finish([q]));
     let cycles = cycles_for_program(&prog, model);
     magicdiv_trace::event!("simcpu.plan_cycles",
         "model" => model.name, "strategy" => plan.strategy_name(),
@@ -370,6 +383,41 @@ mod tests {
                 "d={d}"
             );
         }
+    }
+
+    #[test]
+    fn dword_plan_cycles_match_generated_code() {
+        // Fig 8.1 pricing goes through the same lowering codegen uses, on
+        // every Table 1.1 timing model.
+        for model in crate::models::table_1_1() {
+            for d in [1u64, 3, 10, 641, 0xffff_ffff] {
+                let plan = magicdiv::plan::DivPlan::from(
+                    magicdiv::plan::DwordPlan::new(d as u128, 32).unwrap(),
+                );
+                assert_eq!(
+                    cycles_for_plan(&plan, &model),
+                    cycles_for_program(&magicdiv_codegen::gen_dword_div(d, 32), &model),
+                    "{} d={d}",
+                    model.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dword_costs_more_than_single_word_but_less_than_divide() {
+        // Fig 8.1 is a longer straight-line sequence than Fig 4.2, yet
+        // still beats the hardware doubleword divide where one exists
+        // (price the divide as two chained word divides, the usual
+        // library fallback).
+        let model = find_model("pentium").unwrap();
+        let dword = magicdiv::plan::DivPlan::from(magicdiv::plan::DwordPlan::new(10, 32).unwrap());
+        let word = magicdiv::plan::DivPlan::from(magicdiv::plan::UdivPlan::new(10, 32).unwrap());
+        let dc = cycles_for_plan(&dword, &model);
+        let wc = cycles_for_plan(&word, &model);
+        let hw = 2 * cycles_for_program(&gen_unsigned_div_hw(32), &model);
+        assert!(wc < dc, "word {wc} >= dword {dc}");
+        assert!(dc < hw, "dword {dc} >= 2x divide {hw}");
     }
 
     #[test]

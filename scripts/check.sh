@@ -30,6 +30,24 @@ echo "== explain-plan goldens + trace-event pinning =="
 cargo test -q --offline -p magicdiv-bench --test explain_golden
 cargo test -q --offline -p magicdiv-simcpu --test trace_events
 
+echo "== dword explain snapshots present at every machine width =="
+for g in dword_8_10 dword_16_255 dword_32_10 dword_32_4294967295 dword_64_7; do
+    test -s "crates/bench/tests/golden/$g.txt" || {
+        echo "missing golden crates/bench/tests/golden/$g.txt" >&2
+        echo "regenerate: UPDATE_GOLDEN=1 cargo test -p magicdiv-bench --test explain_golden" >&2
+        exit 1
+    }
+done
+
+echo "== explain-plan JSON drift gate (two runs must agree byte-for-byte) =="
+mkdir -p target
+./target/release/magic explain 32 10 dword --json > target/explain_drift_a.jsonl
+./target/release/magic explain 32 10 dword --json > target/explain_drift_b.jsonl
+diff -u target/explain_drift_a.jsonl target/explain_drift_b.jsonl || {
+    echo "magic explain --json is nondeterministic between runs" >&2
+    exit 1
+}
+
 echo "== bench report self-diff (bench-compare must find zero regressions) =="
 mkdir -p target
 ./target/release/bench 50 target/bench_ci.json > /dev/null

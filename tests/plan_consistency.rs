@@ -13,9 +13,14 @@
 //! and 64 cover the boundary divisors (1, 2, even, `2^k ± 1`, `2^(N-1)`,
 //! `MAX`) over boundary dividends.
 
-use magicdiv::plan::{DivPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan};
-use magicdiv::{ExactUnsignedDivisor, FloorDivisor, SignedDivisor, UnsignedDivisor};
-use magicdiv_codegen::{gen_exact_div, gen_floor_div, gen_signed_div, gen_unsigned_div};
+use magicdiv::plan::{DivPlan, DwordPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan};
+use magicdiv::{
+    DWord, DwordDivisor, ExactUnsignedDivisor, FloorDivisor, SignedDivisor, UnsignedDivisor,
+};
+use magicdiv_bench::SplitMix;
+use magicdiv_codegen::{
+    gen_dword_div, gen_exact_div, gen_floor_div, gen_signed_div, gen_unsigned_div,
+};
 use magicdiv_ir::{mask, sign_extend};
 
 #[test]
@@ -254,4 +259,120 @@ fn plans_flow_through_the_umbrella_type() {
     assert_eq!(DivPlan::from(f).strategy_name(), "trunc_fixup");
     let e = ExactPlan::new_unsigned(12, 32).unwrap();
     assert_eq!(DivPlan::from(e).strategy_name(), "exact_inverse");
+    let dw = DwordPlan::new(10, 32).unwrap();
+    assert_eq!(DivPlan::from(dw).strategy_name(), "dword");
+}
+
+#[test]
+fn dword_width8_exhaustive() {
+    // Every (hi, lo) with hi < d for boundary and ordinary divisors:
+    // runtime Fig 8.1 and the plan-lowered IR against native division.
+    for d in [1u64, 2, 3, 7, 10, 127, 128, 129, 254, 255] {
+        let rt = DwordDivisor::new(d as u8).unwrap();
+        let plan = DwordPlan::new(d as u128, 8).unwrap();
+        assert_eq!(rt.plan(), plan, "d={d}: runtime and plan layer disagree");
+        let prog = gen_dword_div(d, 8);
+        for n in 0..(d << 8) {
+            let (hi, lo) = (n >> 8, n & 0xff);
+            let (q, r) = rt
+                .div_rem(DWord::from_parts(hi as u8, lo as u8))
+                .expect("hi < d");
+            assert_eq!((q as u64, r as u64), (n / d, n % d), "runtime n={n} d={d}");
+            assert_eq!(
+                prog.eval(&[hi, lo]).unwrap(),
+                vec![n / d, n % d],
+                "ir n={n} d={d}"
+            );
+        }
+        // hi = d overflows the single-word quotient: the runtime traps.
+        assert!(rt.div_rem(DWord::from_parts(d as u8, 0)).is_err(), "d={d}");
+    }
+}
+
+#[test]
+fn dword_boundaries_at_16_32_64() {
+    // One typed check per width, so the width-erased plan is compared
+    // against the actual UWord instantiation the runtime uses, and the
+    // plan-lowered two-result IR program against both.
+    macro_rules! check_width {
+        ($t:ty, $w:expr) => {{
+            let width: u32 = $w;
+            let m = mask(width);
+            let mut rng = SplitMix(0x8d0 + width as u64);
+            for d in boundary_unsigned(width) {
+                let rt = DwordDivisor::new(d as $t).unwrap();
+                let plan = DwordPlan::new(d as u128, width).unwrap();
+                assert_eq!(rt.plan(), plan, "w={width} d={d}");
+                assert_eq!(DivPlan::from(plan).width(), width, "umbrella w={width}");
+                let prog = gen_dword_div(d, width);
+                let directed_his = [0u64, 1, d / 2, d.saturating_sub(2), d - 1];
+                let directed_los = [0u64, 1, 2, m / 3, m / 2, m - 1, m];
+                let mut pairs: Vec<(u64, u64)> = Vec::new();
+                for hi in directed_his {
+                    for lo in directed_los {
+                        pairs.push((hi, lo));
+                    }
+                }
+                for _ in 0..32 {
+                    pairs.push((rng.next_u64() % d, rng.next_u64() & m));
+                }
+                for (hi, lo) in pairs {
+                    if hi >= d {
+                        continue;
+                    }
+                    let (q, r) = rt
+                        .div_rem(DWord::from_parts(hi as $t, lo as $t))
+                        .expect("hi < d");
+                    let wide = ((hi as u128) << width) | lo as u128;
+                    let (qe, re) = (wide / d as u128, wide % d as u128);
+                    assert_eq!(
+                        (q as u128, r as u128),
+                        (qe, re),
+                        "runtime w={width} d={d} hi={hi} lo={lo}"
+                    );
+                    let out = prog.eval(&[hi, lo]).unwrap();
+                    assert_eq!(
+                        (out[0] as u128, out[1] as u128),
+                        (qe, re),
+                        "ir w={width} d={d} hi={hi} lo={lo}"
+                    );
+                }
+            }
+        }};
+    }
+    check_width!(u16, 16);
+    check_width!(u32, 32);
+    check_width!(u64, 64);
+}
+
+#[test]
+fn dword_odd_ir_widths_match_native() {
+    // The IR lowering is width-generic even where no runtime word type
+    // exists; pin the odd widths against native 128-bit division.
+    let mut rng = SplitMix(0xd0d0);
+    for width in [24u32, 57] {
+        let m = mask(width);
+        for d in [1u64, 3, 10, (1 << (width / 2)) + 1, m - 1, m] {
+            let plan = DwordPlan::new(d as u128, width).unwrap();
+            assert_eq!(plan.divisor(), d as u128, "w={width} d={d}");
+            let prog = gen_dword_div(d, width);
+            for i in 0..64u64 {
+                let (hi, lo) = match i {
+                    0 => (0, 0),
+                    1 => (0, m),
+                    2 => (d - 1, m),
+                    3 => (d - 1, 0),
+                    4 => (d / 2, m / 2),
+                    _ => (rng.next_u64() % d, rng.next_u64() & m),
+                };
+                let wide = ((hi as u128) << width) | lo as u128;
+                let out = prog.eval(&[hi, lo]).unwrap();
+                assert_eq!(
+                    (out[0] as u128, out[1] as u128),
+                    (wide / d as u128, wide % d as u128),
+                    "w={width} d={d} hi={hi} lo={lo}"
+                );
+            }
+        }
+    }
 }

@@ -332,7 +332,7 @@ fn arb_program(rng: &mut Rng, width: u32, n_args: u32, max_len: usize) -> Progra
     let mut b = Builder::new(width, n_args);
     let mut count = n_args;
     for _ in 0..len {
-        let kind = (rng.next_u64() % 14) as u8;
+        let kind = (rng.next_u64() % 16) as u8;
         let cval = rng.next_u64();
         let a_raw = rng.next_u64() as u32;
         let b_raw = rng.next_u64() as u32;
@@ -354,6 +354,8 @@ fn arb_program(rng: &mut Rng, width: u32, n_args: u32, max_len: usize) -> Progra
             10 => Op::Not(a),
             11 => Op::Sll(a, sh),
             12 => Op::Srl(a, sh),
+            13 => Op::Carry(a, bb),
+            14 => Op::Borrow(a, bb),
             _ => Op::Sra(a, sh),
         };
         b.push(op);
@@ -388,16 +390,19 @@ fn legalizer_preserves_semantics() {
                 has_muluh: false,
                 has_mulsh: true,
                 has_sra: true,
+                has_carry: true,
             },
             1 => TargetCaps {
                 has_muluh: true,
                 has_mulsh: false,
                 has_sra: true,
+                has_carry: false,
             },
             _ => TargetCaps {
                 has_muluh: true,
                 has_mulsh: false,
                 has_sra: false,
+                has_carry: false,
             },
         };
         let legal = legalize(&prog, caps);
@@ -443,6 +448,7 @@ fn pass_pipeline_composes() {
                 has_muluh: false,
                 has_mulsh: true,
                 has_sra: true,
+                has_carry: false,
             },
         );
         let p3 = schedule(&p2, ScheduleWeights::default());
