@@ -22,11 +22,15 @@ use std::time::Instant;
 
 use magicdiv::plan::{DivPlan, SdivPlan, UdivPlan};
 use magicdiv::{SignedDivisor, UnsignedDivisor};
-use magicdiv_bench::{git_sha, measure_ns, render_table, unix_time_ms};
+use magicdiv_bench::{git_sha, measure_ns_min, render_table, unix_time_ms, RunLedger};
 use magicdiv_simcpu::{table_1_1, try_cycles_for_plan};
 use magicdiv_trace::{install, CaptureSink, MetricsSink, Registry, Value};
 
 const LEN: u64 = 1024;
+/// Timing passes per cell; the fastest wins. Jitter (migrations,
+/// frequency ramps, interrupts) only ever adds time, so min-of-k keeps
+/// one unlucky pass from reporting a batch kernel slower than scalar.
+const REPEATS: u32 = 5;
 
 struct Row {
     name: String,
@@ -143,7 +147,7 @@ macro_rules! bench_unsigned_at {
             let dv = UnsignedDivisor::new(d as $t).expect("nonzero");
             let strategy = DivPlan::from(dv.plan()).strategy_name();
 
-            let ns = measure_ns($iters, |_| {
+            let ns = measure_ns_min($iters, REPEATS, |_| {
                 let d = black_box(d as $t);
                 inputs.iter().map(|&n| (black_box(n) / d) as u64).sum()
             });
@@ -155,7 +159,7 @@ macro_rules! bench_unsigned_at {
                 ns_per_op: ns / LEN as f64,
             });
 
-            let ns = measure_ns($iters, |_| {
+            let ns = measure_ns_min($iters, REPEATS, |_| {
                 inputs.iter().map(|&n| dv.divide(black_box(n)) as u64).sum()
             });
             $rows.push(Row {
@@ -166,7 +170,7 @@ macro_rules! bench_unsigned_at {
                 ns_per_op: ns / LEN as f64,
             });
 
-            let ns = measure_ns($iters, |_| {
+            let ns = measure_ns_min($iters, REPEATS, |_| {
                 dv.div_slice(black_box(&inputs), &mut out);
                 out[0] as u64
             });
@@ -191,7 +195,7 @@ macro_rules! bench_signed_at {
             let dv = SignedDivisor::new(d as $t).expect("nonzero");
             let strategy = DivPlan::from(dv.plan()).strategy_name();
 
-            let ns = measure_ns($iters, |_| {
+            let ns = measure_ns_min($iters, REPEATS, |_| {
                 let d = black_box(d as $t);
                 inputs
                     .iter()
@@ -206,7 +210,7 @@ macro_rules! bench_signed_at {
                 ns_per_op: ns / LEN as f64,
             });
 
-            let ns = measure_ns($iters, |_| {
+            let ns = measure_ns_min($iters, REPEATS, |_| {
                 inputs
                     .iter()
                     .map(|&n| dv.divide(black_box(n)) as u64)
@@ -241,6 +245,7 @@ fn main() {
         .nth(2)
         .unwrap_or_else(|| "BENCH_division.json".to_string());
 
+    let run = RunLedger::start("bench");
     let started = Instant::now();
     let mut rows: Vec<Row> = Vec::new();
     bench_unsigned_at!(u8, iters, rows);
@@ -270,5 +275,8 @@ fn main() {
             eprintln!("failed to write {out_path}: {e}");
             std::process::exit(1);
         }
+    }
+    if let Err(e) = run.finish() {
+        eprintln!("bench: warning: could not append ledger record: {e}");
     }
 }

@@ -11,9 +11,17 @@
 //! * `magic explain <width> <divisor> [shape] [--json]` — print the
 //!   plan-decision trace, per-pass IR history and predicted cycles
 //!   (shape defaults to `unsigned`, or `signed` for negative divisors;
-//!   `--json` emits the raw JSONL event stream instead).
+//!   `--json` emits the raw JSONL event stream instead, and archives a
+//!   copy under `results/archive/<git_sha>/` for the `drift` bin);
+//! * `magic calibrate [iters] [repeats] [out.json]` — measure the host
+//!   and score every Table 1.1 cost model against it (see
+//!   `magicdiv_bench::calibrate`); defaults write
+//!   `results/calibration.json`.
 
-use magicdiv_bench::{explain, explain_jsonl, render_table, ExplainShape};
+use magicdiv_bench::{
+    archive_explain_stream, explain, explain_jsonl, render_table, run_calibration,
+    CalibrationConfig, ExplainShape, RunLedger,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -21,9 +29,14 @@ fn main() {
         explain_main(&args[2..]);
         return;
     }
+    if args.get(1).map(String::as_str) == Some("calibrate") {
+        calibrate_main(&args[2..]);
+        return;
+    }
     let d: i128 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
         eprintln!("usage: magic <divisor> [width=32]");
         eprintln!("       magic explain <width> <divisor> [shape] [--json]");
+        eprintln!("       magic calibrate [iters=300] [repeats=5] [out=results/calibration.json]");
         std::process::exit(2)
     });
     let width: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
@@ -73,17 +86,98 @@ fn explain_main(args: &[String]) {
         None if d < 0 => ExplainShape::Signed,
         None => ExplainShape::Unsigned,
     };
+    let run = RunLedger::start("magic explain");
     let result = if json {
         explain_jsonl(shape, width, d)
     } else {
         explain(shape, width, d)
     };
     match result {
-        Ok(text) => print!("{text}"),
+        Ok(text) => {
+            print!("{text}");
+            if json {
+                // Archive the stream under results/archive/<git_sha>/ so
+                // the drift bin can diff it against another release.
+                let stem = explain_stem(shape, width, d);
+                match archive_explain_stream(&stem, &text) {
+                    Ok(Some(path)) => eprintln!("archived {}", path.display()),
+                    Ok(None) => {}
+                    Err(e) => eprintln!("warning: could not archive stream: {e}"),
+                }
+            }
+            if let Err(e) = run.finish() {
+                eprintln!("warning: could not append ledger record: {e}");
+            }
+        }
         Err(msg) => {
             eprintln!("error: {msg}");
             std::process::exit(1)
         }
+    }
+}
+
+/// Archive file stem for one explain invocation: shape, width and
+/// divisor, with negative divisors spelled `m<abs>` to stay
+/// filesystem-safe (`explain_signed_w32_m7`).
+fn explain_stem(shape: ExplainShape, width: u32, d: i128) -> String {
+    let d = if d < 0 {
+        format!("m{}", d.unsigned_abs())
+    } else {
+        format!("{d}")
+    };
+    format!("explain_{}_w{width}_d{d}", shape.name())
+}
+
+fn calibrate_main(args: &[String]) {
+    let usage = || -> ! {
+        eprintln!("usage: magic calibrate [iters=300] [repeats=5] [out=results/calibration.json]");
+        std::process::exit(2)
+    };
+    let mut cfg = CalibrationConfig::default();
+    if let Some(s) = args.first() {
+        match s.parse() {
+            Ok(n) if n > 0 => cfg.iters = n,
+            _ => usage(),
+        }
+    }
+    if let Some(s) = args.get(1) {
+        match s.parse() {
+            Ok(n) if n > 0 => cfg.repeats = n,
+            _ => usage(),
+        }
+    }
+    let out_path = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "results/calibration.json".to_string());
+    if args.len() > 3 {
+        usage()
+    }
+
+    let run = RunLedger::start("magic calibrate");
+    let report = run_calibration(&cfg);
+    print!("{}", report.render_text());
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("error: cannot create {}: {e}", parent.display());
+                std::process::exit(1)
+            }
+        }
+    }
+    match std::fs::write(&out_path, report.to_json()) {
+        Ok(()) => println!(
+            "wrote {} cells, {} model scores to {out_path}",
+            report.cells.len(),
+            report.models.len()
+        ),
+        Err(e) => {
+            eprintln!("error: cannot write {out_path}: {e}");
+            std::process::exit(1)
+        }
+    }
+    if let Err(e) = run.finish() {
+        eprintln!("warning: could not append ledger record: {e}");
     }
 }
 

@@ -36,7 +36,7 @@ use magicdiv::{
 };
 use magicdiv_bench::{
     build_repro_program, classify_mutant, default_corpus_dir, run, shrink, write_entry_traced,
-    Case, CorpusEntry, MutantFate, Repro, Shape, SplitMix,
+    Case, CorpusEntry, MutantFate, Repro, RunLedger, Shape, SplitMix,
 };
 use magicdiv_codegen::{gen_signed_div_invariant, gen_unsigned_div_invariant};
 use magicdiv_ir::{mask, mutations, sign_extend};
@@ -411,6 +411,7 @@ fn main() {
         }
     }
 
+    let run = RunLedger::start("verify");
     let started = std::time::Instant::now();
     let mut rng = SplitMix(seed);
     let mut c = Collector {
@@ -474,6 +475,9 @@ fn main() {
         by_class.join(","),
         c.corpus_written.len(),
     );
+    if let Err(e) = run.finish() {
+        eprintln!("verify: warning: could not append ledger record: {e}");
+    }
     if c.mismatches > 0 {
         std::process::exit(1);
     }

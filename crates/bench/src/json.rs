@@ -132,9 +132,39 @@ fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         *pos += 1;
     }
     let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    // `f64::from_str` happily yields ±inf for overflowing literals like
+    // 1e999 (and would accept "inf"/"NaN" spellings if the scanner let
+    // them through); none of those are JSON, and every report value is
+    // finite, so reject non-finite results outright.
     text.parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite())
         .map(Json::Num)
-        .map_err(|_| format!("bad number {text:?} at byte {start}"))
+        .ok_or_else(|| format!("bad or non-finite number {text:?} at byte {start}"))
+}
+
+/// Formats a float for report emission with enough digits to round-trip.
+///
+/// # Errors
+///
+/// NaN and ±infinity have no JSON encoding; reports must never contain
+/// them, so the writer refuses rather than emitting `null` silently.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_bench::json::fmt_num;
+///
+/// assert_eq!(fmt_num(2.5).unwrap(), "2.5");
+/// assert!(fmt_num(f64::NAN).is_err());
+/// assert!(fmt_num(f64::INFINITY).is_err());
+/// ```
+pub fn fmt_num(v: f64) -> Result<String, String> {
+    if !v.is_finite() {
+        return Err(format!("non-finite value {v} has no JSON encoding"));
+    }
+    // `{}` on f64 prints the shortest representation that round-trips.
+    Ok(format!("{v}"))
 }
 
 fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -265,5 +295,15 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "\"unterminated", "1 2"] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn rejects_non_finite_numbers() {
+        for bad in ["1e999", "-1e999", "NaN", "inf", "-inf", "Infinity"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+            assert!(parse(&format!("[{bad}]")).is_err(), "accepted [{bad}]");
+        }
+        // The largest finite double still parses.
+        assert!(parse("1.7976931348623157e308").is_ok());
     }
 }

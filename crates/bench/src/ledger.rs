@@ -1,0 +1,348 @@
+//! The run ledger: one append-only JSONL record per harness-bin
+//! invocation, plus the `results/archive/<git_sha>/` store for
+//! `magic explain --json` streams.
+//!
+//! Every bin (`bench`, `verify`, `magic explain`, `magic calibrate`,
+//! `drift`) wraps its run in a [`RunLedger`]: a [`MetricsSink`] is
+//! installed for the whole run, and on [`RunLedger::finish`] one record
+//! — git SHA, wall-clock timestamp, bin name, argv, duration and the
+//! aggregated metrics snapshot — is appended to `results/ledger.jsonl`.
+//! The ledger is the longitudinal spine the `drift` bin reads: it turns
+//! one-shot reports into a history keyed by revision.
+//!
+//! Paths honour two environment variables so CI and tests can redirect
+//! or silence the side effects:
+//!
+//! * [`LEDGER_ENV`] (`MAGICDIV_LEDGER`) — ledger file path, or `off` to
+//!   disable; defaults to `results/ledger.jsonl` under the repo root;
+//! * [`ARCHIVE_ENV`] (`MAGICDIV_ARCHIVE`) — archive base directory, or
+//!   `off`; defaults to `results/archive` under the repo root.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use magicdiv_trace::{install, json_string, InstallGuard, MetricsSink, Registry};
+
+use crate::json::Json;
+use crate::{git_sha, unix_time_ms};
+
+/// Schema version of a ledger record.
+pub const LEDGER_VERSION: u64 = 1;
+
+/// Environment variable overriding the ledger path (`off` disables).
+pub const LEDGER_ENV: &str = "MAGICDIV_LEDGER";
+
+/// Environment variable overriding the archive base dir (`off` disables).
+pub const ARCHIVE_ENV: &str = "MAGICDIV_ARCHIVE";
+
+/// Default ledger location, relative to the repository root.
+pub const DEFAULT_LEDGER_PATH: &str = "results/ledger.jsonl";
+
+/// Default archive base directory, relative to the repository root.
+pub const DEFAULT_ARCHIVE_DIR: &str = "results/archive";
+
+/// The repository root (via `git rev-parse --show-toplevel`), or the
+/// current directory outside a checkout.
+fn repo_root() -> PathBuf {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--show-toplevel"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| PathBuf::from(s.trim()))
+        .filter(|p| p.is_dir())
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn path_from_env(var: &str, default_rel: &str) -> Option<PathBuf> {
+    match std::env::var(var) {
+        Ok(v) if v.is_empty() || v == "off" || v == "0" => None,
+        Ok(v) => Some(PathBuf::from(v)),
+        Err(_) => Some(repo_root().join(default_rel)),
+    }
+}
+
+/// Where ledger records currently go, or `None` when disabled.
+pub fn ledger_path() -> Option<PathBuf> {
+    path_from_env(LEDGER_ENV, DEFAULT_LEDGER_PATH)
+}
+
+/// The archive base directory, or `None` when disabled.
+pub fn archive_base() -> Option<PathBuf> {
+    path_from_env(ARCHIVE_ENV, DEFAULT_ARCHIVE_DIR)
+}
+
+/// Archives one `magic explain --json` stream as
+/// `<archive>/<git_sha>/<stem>.jsonl`, creating directories as needed.
+///
+/// Returns the written path, or `None` when archiving is disabled via
+/// [`ARCHIVE_ENV`].
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unwritable archive directory).
+pub fn archive_explain_stream(stem: &str, contents: &str) -> std::io::Result<Option<PathBuf>> {
+    let Some(base) = archive_base() else {
+        return Ok(None);
+    };
+    let dir = base.join(git_sha());
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{stem}.jsonl"));
+    std::fs::write(&path, contents)?;
+    Ok(Some(path))
+}
+
+/// A bin run being recorded: holds the run-wide [`MetricsSink`] so every
+/// traced event of the run lands in the ledger record's snapshot.
+pub struct RunLedger {
+    bin: String,
+    args: Vec<String>,
+    started: Instant,
+    registry: Arc<Registry>,
+    _metrics: InstallGuard,
+}
+
+impl RunLedger {
+    /// Starts recording a run of `bin` (argv taken from the process
+    /// arguments, program name excluded).
+    pub fn start(bin: &str) -> Self {
+        Self::start_with_args(bin, std::env::args().skip(1).collect())
+    }
+
+    /// Starts recording with an explicit argv (for tests).
+    pub fn start_with_args(bin: &str, args: Vec<String>) -> Self {
+        let registry = Arc::new(Registry::new());
+        let metrics = install(Arc::new(MetricsSink::new(registry.clone())));
+        RunLedger {
+            bin: bin.to_string(),
+            args,
+            started: Instant::now(),
+            registry,
+            _metrics: metrics,
+        }
+    }
+
+    /// The run-wide registry (bins may record extra gauges into it).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Serializes this run as one ledger line (no trailing newline).
+    pub fn to_record_line(&self) -> String {
+        let args: Vec<String> = self.args.iter().map(|a| json_string(a)).collect();
+        format!(
+            "{{\"version\":{LEDGER_VERSION},\"git_sha\":{},\"unix_ms\":{},\"bin\":{},\
+             \"args\":[{}],\"duration_ms\":{},\"metrics\":{}}}",
+            json_string(&git_sha()),
+            unix_time_ms(),
+            json_string(&self.bin),
+            args.join(","),
+            self.started.elapsed().as_millis() as u64,
+            self.registry.snapshot().to_json(),
+        )
+    }
+
+    /// Appends this run's record to the ledger ([`ledger_path`]).
+    ///
+    /// Returns the path written, or `None` when the ledger is disabled.
+    /// Callers treat errors as warnings: a read-only checkout must not
+    /// fail the run it is observing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating or appending the file.
+    pub fn finish(self) -> std::io::Result<Option<PathBuf>> {
+        let Some(path) = ledger_path() else {
+            return Ok(None);
+        };
+        let line = self.to_record_line();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        writeln!(file, "{line}")?;
+        Ok(Some(path))
+    }
+}
+
+/// One parsed ledger record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerRecord {
+    /// Record schema version ([`LEDGER_VERSION`]).
+    pub version: u64,
+    /// `HEAD` commit of the tree that produced the run.
+    pub git_sha: String,
+    /// Wall-clock milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Bin name (`bench`, `verify`, `magic explain`, `magic calibrate`, …).
+    pub bin: String,
+    /// Arguments the bin ran with.
+    pub args: Vec<String>,
+    /// Run duration in milliseconds.
+    pub duration_ms: u64,
+    /// The run's [`magicdiv_trace::MetricsSnapshot`] as parsed JSON.
+    pub metrics: Json,
+}
+
+fn field<'a>(obj: &'a Json, key: &str, line: usize) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("ledger line {line}: missing field {key:?}"))
+}
+
+fn field_u64(obj: &Json, key: &str, line: usize) -> Result<u64, String> {
+    field(obj, key, line)?
+        .as_f64()
+        .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+        .map(|v| v as u64)
+        .ok_or_else(|| format!("ledger line {line}: field {key:?} is not a non-negative integer"))
+}
+
+fn field_str(obj: &Json, key: &str, line: usize) -> Result<String, String> {
+    field(obj, key, line)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("ledger line {line}: field {key:?} is not a string"))
+}
+
+/// Parses one ledger line, validating the v1 schema.
+///
+/// # Errors
+///
+/// A message naming the 1-based `line` number and the first field that
+/// is missing or mistyped.
+pub fn parse_record(text: &str, line: usize) -> Result<LedgerRecord, String> {
+    let doc = crate::json::parse(text).map_err(|e| format!("ledger line {line}: {e}"))?;
+    let version = field_u64(&doc, "version", line)?;
+    if version != LEDGER_VERSION {
+        return Err(format!(
+            "ledger line {line}: unsupported version {version} (expected {LEDGER_VERSION})"
+        ));
+    }
+    let args = field(&doc, "args", line)?
+        .as_arr()
+        .ok_or_else(|| format!("ledger line {line}: field \"args\" is not an array"))?
+        .iter()
+        .map(|a| {
+            a.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("ledger line {line}: non-string entry in \"args\""))
+        })
+        .collect::<Result<Vec<String>, String>>()?;
+    let metrics = field(&doc, "metrics", line)?.clone();
+    for section in ["counters", "histograms"] {
+        if metrics.get(section).is_none() {
+            return Err(format!(
+                "ledger line {line}: \"metrics\" has no {section:?} object"
+            ));
+        }
+    }
+    Ok(LedgerRecord {
+        version,
+        git_sha: field_str(&doc, "git_sha", line)?,
+        unix_ms: field_u64(&doc, "unix_ms", line)?,
+        bin: field_str(&doc, "bin", line)?,
+        args,
+        duration_ms: field_u64(&doc, "duration_ms", line)?,
+        metrics,
+    })
+}
+
+/// Reads and validates a whole ledger file (blank lines skipped).
+///
+/// # Errors
+///
+/// An unreadable file, or the first line that fails [`parse_record`].
+pub fn read_ledger(path: &Path) -> Result<Vec<LedgerRecord>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| parse_record(l, i + 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// `MAGICDIV_LEDGER` is process-wide; tests that touch it must not
+    /// interleave under the parallel test harness.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("magicdiv_ledger_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn record_line_round_trips_through_the_parser() {
+        let run = RunLedger::start_with_args("bench", vec!["500".into(), "a b\"c".into()]);
+        run.registry().counter("events.test").add(3);
+        run.registry().histogram("test.cycles").observe(9);
+        let line = run.to_record_line();
+        let rec = parse_record(&line, 1).expect("parses");
+        assert_eq!(rec.version, LEDGER_VERSION);
+        assert_eq!(rec.bin, "bench");
+        assert_eq!(rec.args, vec!["500".to_string(), "a b\"c".to_string()]);
+        assert_eq!(
+            rec.metrics
+                .get("counters")
+                .and_then(|c| c.get("events.test"))
+                .and_then(Json::as_f64),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn finish_appends_and_read_ledger_validates() {
+        let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let path = tmp("append.jsonl");
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var(LEDGER_ENV, &path);
+        for _ in 0..2 {
+            let run = RunLedger::start_with_args("verify", vec![]);
+            let written = run.finish().expect("append").expect("enabled");
+            assert_eq!(written, path);
+        }
+        std::env::set_var(LEDGER_ENV, "off");
+        let records = read_ledger(&path).expect("valid ledger");
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().all(|r| r.bin == "verify"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn disabled_ledger_writes_nothing() {
+        let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::set_var(LEDGER_ENV, "off");
+        let run = RunLedger::start_with_args("bench", vec![]);
+        assert_eq!(run.finish().expect("ok"), None);
+    }
+
+    #[test]
+    fn malformed_records_name_the_line_and_field() {
+        let bad = parse_record("{\"version\":1}", 7).expect_err("missing fields");
+        assert!(bad.contains("line 7"), "{bad}");
+        let bad = parse_record(
+            "{\"version\":99,\"git_sha\":\"x\",\"unix_ms\":1,\"bin\":\"b\",\
+             \"args\":[],\"duration_ms\":1,\"metrics\":{\"counters\":{},\"histograms\":{}}}",
+            1,
+        )
+        .expect_err("bad version");
+        assert!(bad.contains("version 99"), "{bad}");
+        let bad = parse_record(
+            "{\"version\":1,\"git_sha\":\"x\",\"unix_ms\":1,\"bin\":\"b\",\
+             \"args\":[3],\"duration_ms\":1,\"metrics\":{\"counters\":{},\"histograms\":{}}}",
+            1,
+        )
+        .expect_err("non-string arg");
+        assert!(bad.contains("args"), "{bad}");
+    }
+}

@@ -22,20 +22,31 @@
 #![warn(missing_docs)]
 
 mod asmprofile;
+pub mod calibrate;
 mod corpus;
 mod diff;
+pub mod drift;
 mod explain;
 pub mod json;
+pub mod ledger;
 mod runmeta;
 
 pub use crate::asmprofile::{dynamic_op_profile, OpProfile};
+pub use crate::calibrate::{
+    run_calibration, score_models, CalibrationCell, CalibrationConfig, CalibrationReport,
+    Inversion, ModelScore,
+};
 pub use crate::corpus::{
     default_corpus_dir, read_corpus, write_entry, write_entry_traced, CorpusEntry,
 };
 pub use crate::diff::{
     build_repro_program, classify_mutant, run, shrink, Case, MutantFate, Repro, Shape, SplitMix,
 };
+pub use crate::drift::{diff_snapshots, DriftFinding, DriftKind, DriftReport};
 pub use crate::explain::{explain, explain_jsonl, ExplainShape};
+pub use crate::ledger::{
+    archive_explain_stream, ledger_path, read_ledger, LedgerRecord, RunLedger,
+};
 pub use crate::runmeta::{git_sha, unix_time_ms};
 
 use std::time::Instant;
@@ -65,6 +76,32 @@ pub fn measure_ns(iters: u64, mut f: impl FnMut(u64) -> u64) -> f64 {
     let elapsed = start.elapsed();
     std::hint::black_box(sink);
     elapsed.as_nanos() as f64 / iters as f64
+}
+
+/// Minimum-of-`repeats` variant of [`measure_ns`]: each repeat runs its
+/// own warmup pass and timed pass, and the smallest average wins.
+///
+/// The minimum is the standard estimator for "how fast does this code
+/// run when nothing else interferes": timer jitter, migrations and
+/// frequency ramps only ever *add* time, so outliers inflate the mean
+/// but never deflate the min. The bench and calibration loops use this
+/// so a batch kernel is never reported slower than its scalar
+/// counterpart purely because one timing pass was unlucky.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_bench::measure_ns_min;
+///
+/// let ns = measure_ns_min(1_000, 3, |i| i.wrapping_mul(3));
+/// assert!(ns.is_finite() && ns >= 0.0);
+/// ```
+pub fn measure_ns_min(iters: u64, repeats: u32, mut f: impl FnMut(u64) -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        best = best.min(measure_ns(iters, &mut f));
+    }
+    best
 }
 
 /// Renders rows as a fixed-width text table with a header rule.

@@ -154,6 +154,50 @@ pub fn try_cycles_for_plan(plan: &DivPlan, model: &TimingModel) -> Result<u64, F
     Ok(cycles)
 }
 
+/// One Table 1.1 model's predicted cycle total for a plan — the unit the
+/// calibration layer joins against host-measured timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanPrediction {
+    /// Table 1.1 model name, exactly as [`TimingModel::name`] spells it.
+    pub model: &'static str,
+    /// Predicted cycle total from [`cycles_for_plan`].
+    pub cycles: u64,
+}
+
+/// Prices `plan` under **every** Table 1.1 model in one call, in the
+/// paper's row order. This is the joining surface for measured-vs-
+/// predicted calibration: one lowering per model, every total labelled
+/// with its model name.
+///
+/// # Errors
+///
+/// Same conditions as [`try_cycles_for_plan`] (width above the IR limit,
+/// unknown plan kind); the first failing model aborts the table since
+/// the failure is a property of the plan, not the model.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::plan::{DivPlan, UdivPlan};
+/// use magicdiv_simcpu::{predictions_for_plan, table_1_1};
+///
+/// let plan = DivPlan::from(UdivPlan::new(10, 32).unwrap());
+/// let preds = predictions_for_plan(&plan).unwrap();
+/// assert_eq!(preds.len(), table_1_1().len());
+/// assert!(preds.iter().all(|p| p.cycles > 0));
+/// ```
+pub fn predictions_for_plan(plan: &DivPlan) -> Result<Vec<PlanPrediction>, Fault> {
+    crate::models::table_1_1()
+        .iter()
+        .map(|model| {
+            try_cycles_for_plan(plan, model).map(|cycles| PlanPrediction {
+                model: model.name,
+                cycles,
+            })
+        })
+        .collect()
+}
+
 /// One instruction's simulated schedule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InstrTiming {

@@ -155,7 +155,57 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Renders as a JSON object.
+    /// Estimated value at quantile `q` (clamped to `0.0..=1.0`),
+    /// interpolated linearly *within* the power-of-two bucket that
+    /// contains the target rank and clamped to the exact observed
+    /// `[min, max]`. Returns 0.0 for an empty histogram.
+    ///
+    /// The buckets only record that an observation fell in
+    /// `(prev_le, le]`, so the estimate assumes a uniform spread inside
+    /// the bucket — exact for counts that land on bucket boundaries,
+    /// and never off by more than one bucket span otherwise.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use magicdiv_trace::Histogram;
+    ///
+    /// let h = Histogram::new();
+    /// for v in 1..=1000u64 {
+    ///     h.observe(v);
+    /// }
+    /// let s = h.snapshot();
+    /// let p50 = s.quantile(0.5);
+    /// assert!((400.0..=600.0).contains(&p50), "p50 = {p50}");
+    /// assert_eq!(s.quantile(1.0), 1000.0);
+    /// ```
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        let mut prev_le = 0u64;
+        for b in &self.buckets {
+            let upper = cum + b.count;
+            if (upper as f64) >= target {
+                let frac = if b.count == 0 {
+                    0.0
+                } else {
+                    (target - cum as f64) / b.count as f64
+                };
+                let lo = prev_le as f64;
+                let hi = b.le as f64;
+                let est = lo + frac.clamp(0.0, 1.0) * (hi - lo);
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+            cum = upper;
+            prev_le = b.le;
+        }
+        self.max as f64
+    }
+
+    /// Renders as a JSON object (with interpolated p50/p90/p99).
     pub fn to_json(&self) -> String {
         let buckets: Vec<String> = self
             .buckets
@@ -163,12 +213,16 @@ impl HistogramSnapshot {
             .map(|b| format!("[{},{}]", b.le, b.count))
             .collect();
         format!(
-            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.4},\"buckets\":[{}]}}",
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.4},\
+             \"p50\":{:.4},\"p90\":{:.4},\"p99\":{:.4},\"buckets\":[{}]}}",
             self.count,
             self.sum,
             self.min,
             self.max,
             self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
             buckets.join(",")
         )
     }
@@ -285,12 +339,15 @@ impl std::fmt::Display for MetricsSnapshot {
         for (k, h) in &self.histograms {
             writeln!(
                 f,
-                "{k}: n={} sum={} min={} max={} mean={:.2}",
+                "{k}: n={} sum={} min={} max={} mean={:.2} p50={:.1} p90={:.1} p99={:.1}",
                 h.count,
                 h.sum,
                 h.min,
                 h.max,
-                h.mean()
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
             )?;
         }
         Ok(())
@@ -376,6 +433,70 @@ mod tests {
         assert_eq!(snap.counters["events.simcpu.plan_cycles"], 2);
         let h = &snap.histograms["simcpu.plan_cycles.cycles"];
         assert_eq!((h.count, h.sum), (2, 14));
+    }
+
+    #[test]
+    fn quantiles_of_empty_and_singleton() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), 0.0);
+        h.observe(42);
+        let s = h.snapshot();
+        // One observation: every quantile is that observation (clamped
+        // to [min, max] = [42, 42]).
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 42.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new();
+        for v in 1..=1024u64 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // Uniform 1..=1024: the true p50 is 512, exactly a bucket
+        // boundary; p90 ≈ 922 sits inside the (512, 1024] bucket where
+        // interpolation assumes uniform spread (which it is here).
+        assert!(
+            (s.quantile(0.5) - 512.0).abs() <= 1.0,
+            "{}",
+            s.quantile(0.5)
+        );
+        assert!(
+            (s.quantile(0.9) - 921.6).abs() <= 16.0,
+            "{}",
+            s.quantile(0.9)
+        );
+        assert_eq!(s.quantile(1.0), 1024.0);
+        assert_eq!(s.quantile(0.0), 1.0); // clamped to observed min
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = Histogram::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.observe(x % 10_000);
+        }
+        let s = h.snapshot();
+        let qs: Vec<f64> = (0..=20).map(|i| s.quantile(i as f64 / 20.0)).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+        assert!(qs[0] >= s.min as f64 && qs[20] <= s.max as f64);
+    }
+
+    #[test]
+    fn snapshot_json_carries_quantiles() {
+        let reg = Registry::new();
+        reg.histogram("h").observe(7);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"p50\":7.0000"), "{json}");
+        assert!(json.contains("\"p99\":7.0000"), "{json}");
+        let text = reg.snapshot().to_string();
+        assert!(text.contains("p50=7.0"), "{text}");
     }
 
     #[test]

@@ -4,6 +4,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Every harness bin appends a run record to the ledger; point it (and
+# the explain archive) at target/ so CI runs never dirty results/.
+# The accumulated ledger is schema-checked at the end of this script.
+mkdir -p target
+export MAGICDIV_LEDGER="$PWD/target/ledger_ci.jsonl"
+export MAGICDIV_ARCHIVE=off
+rm -f "$MAGICDIV_LEDGER"
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
@@ -52,5 +60,31 @@ echo "== bench report self-diff (bench-compare must find zero regressions) =="
 mkdir -p target
 ./target/release/bench 50 target/bench_ci.json > /dev/null
 ./target/release/bench-compare target/bench_ci.json target/bench_ci.json 5
+
+echo "== calibration smoke run (tiny budget; report must parse) =="
+./target/release/magic calibrate 20 2 target/calibration_ci.json > /dev/null
+
+echo "== drift self-diff (two archives of the same build must report zero drift) =="
+sha="$(git rev-parse HEAD)"
+rm -rf target/drift_ci_a target/drift_ci_b
+MAGICDIV_ARCHIVE="$PWD/target/drift_ci_a" \
+    ./target/release/magic explain 32 7 unsigned --json > /dev/null
+MAGICDIV_ARCHIVE="$PWD/target/drift_ci_a" \
+    ./target/release/magic explain 32 10 dword --json > /dev/null
+MAGICDIV_ARCHIVE="$PWD/target/drift_ci_b" \
+    ./target/release/magic explain 32 7 unsigned --json > /dev/null
+MAGICDIV_ARCHIVE="$PWD/target/drift_ci_b" \
+    ./target/release/magic explain 32 10 dword --json > /dev/null
+./target/release/drift "target/drift_ci_a/$sha" "target/drift_ci_b/$sha" || {
+    echo "same-build archive snapshots drifted" >&2
+    exit 1
+}
+
+echo "== run-ledger schema validation (every record this script appended) =="
+test -s "$MAGICDIV_LEDGER" || {
+    echo "no ledger records were appended at $MAGICDIV_LEDGER" >&2
+    exit 1
+}
+./target/release/drift check-ledger "$MAGICDIV_LEDGER"
 
 echo "== all checks passed =="
