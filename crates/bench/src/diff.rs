@@ -1,8 +1,9 @@
 //! The shrinking differential oracle and mutation harness.
 //!
 //! [`Case`] names one generated division kernel — a code *shape*
-//! (unsigned/signed/floor/exact/divisibility/dword), a width, and a
-//! divisor — and pairs the generated program with its ground truth
+//! (unsigned/signed/floor/exact/divisibility/dword, plus the planner
+//! tournament's winning unsigned kernel), a width, and a divisor — and
+//! pairs the generated program with its ground truth
 //! ([`Case::expected`], computed with native 128-bit arithmetic). The
 //! Fig 8.1 dword shape packs its `(hi, lo)` dividend and `(q, r)`
 //! result into single `u64`s, so it participates in the same scalar
@@ -17,7 +18,7 @@
 //!   by binary descent, producing the one-line reproducers persisted in
 //!   `tests/corpus/`.
 
-use magicdiv_ir::{apply_mutation, mask, mutations, sign_extend, Mutation, Program};
+use magicdiv_ir::{apply_mutation, mask, mutations, sign_extend, Mutation, Op, Program, Reg};
 
 /// Deterministic splitmix64 generator shared by the harness binaries and
 /// tests (the repo takes no RNG dependency).
@@ -46,7 +47,9 @@ impl SplitMix {
     }
 }
 
-/// The six code shapes the paper's code generator emits.
+/// The code shapes under differential test: the six the paper's code
+/// generator emits, plus the planner tournament's winning unsigned
+/// kernel (which may come from a non-paper candidate family).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Shape {
     /// Fig 4.2 unsigned truncating division.
@@ -64,17 +67,25 @@ pub enum Shape {
     /// packs the two results as `(q << width) | r` — so the shape is
     /// only testable at widths up to 32 (see [`Shape::supports_width`]).
     Dword,
+    /// The planner tournament's winning unsigned kernel: whatever
+    /// candidate family (Fig 4.2, round-up, optimal-bounds) the
+    /// op-count tournament selects for this `(d, width)`. Mutants of
+    /// non-paper winners are first-class targets — the oracle must
+    /// kill a perturbed round-up or optimal-bounds multiplier just as
+    /// reliably as a perturbed Fig 4.2 magic.
+    UdivTournament,
 }
 
 impl Shape {
     /// Every shape, in a fixed order.
-    pub const ALL: [Shape; 6] = [
+    pub const ALL: [Shape; 7] = [
         Shape::Udiv,
         Shape::Sdiv,
         Shape::Floor,
         Shape::Exact,
         Shape::Divisibility,
         Shape::Dword,
+        Shape::UdivTournament,
     ];
 
     /// Stable lower-case name, used in corpus lines.
@@ -86,6 +97,7 @@ impl Shape {
             Shape::Exact => "exact",
             Shape::Divisibility => "divisibility",
             Shape::Dword => "dword",
+            Shape::UdivTournament => "udiv-tournament",
         }
     }
 
@@ -178,6 +190,17 @@ impl Case {
             Shape::Exact => magicdiv_codegen::gen_exact_div(self.d as i64, self.width, false),
             Shape::Divisibility => magicdiv_codegen::gen_divisibility_test(self.d, self.width),
             Shape::Dword => magicdiv_codegen::gen_dword_div(self.d, self.width),
+            Shape::UdivTournament => {
+                let sel = magicdiv::select_udiv(
+                    u128::from(self.d),
+                    self.width,
+                    magicdiv::Strategy::Tournament,
+                    &magicdiv::OpCountScorer,
+                    &magicdiv::ArithmeticCertifier,
+                )
+                .expect("d != 0 checked above");
+                magicdiv_codegen::gen_udiv_plan(&sel.plan)
+            }
         }
     }
 
@@ -220,7 +243,7 @@ impl Case {
         let sn = sign_extend(n, self.width) as i128;
         let sd = self.d_signed() as i128;
         Some(match self.shape {
-            Shape::Udiv => n / self.d,
+            Shape::Udiv | Shape::UdivTournament => n / self.d,
             // i128 division cannot overflow on 64-bit operands; masking
             // the quotient reproduces the wrapping MIN / -1 result.
             Shape::Sdiv => (sn / sd) as u64 & m,
@@ -569,6 +592,66 @@ fn const_flip_polarity_matches(big: &Program, small: &Program, m: Mutation, sm: 
     }
 }
 
+/// A sound unsigned upper bound for every register of `prog`, by
+/// forward interval propagation from `Arg ∈ [0, mask]`. Operations
+/// whose unsigned result is provably bounded (constants, unsigned
+/// high-multiply, non-wrapping adds and shifts, carries) are
+/// tightened; everything else takes the trivial bound `mask`.
+fn upper_bounds(prog: &Program) -> Vec<u64> {
+    let width = prog.width();
+    let m = u128::from(mask(width));
+    let mut ub: Vec<u64> = Vec::with_capacity(prog.insts().len());
+    for op in prog.insts() {
+        let b = |r: Reg| u128::from(ub[r.index()]);
+        let clamped = |v: u128| if v <= m { v } else { m };
+        let v: u128 = match *op {
+            Op::Const(c) => u128::from(c) & m,
+            Op::Add(a, x) => clamped(b(a) + b(x)),
+            Op::MulL(a, x) => clamped(b(a) * b(x)),
+            Op::MulUH(a, x) => (b(a) * b(x)) >> width,
+            Op::And(a, x) => b(a).min(b(x)),
+            Op::Or(a, x) | Op::Eor(a, x) => {
+                let bits = 128 - b(a).max(b(x)).leading_zeros();
+                (1u128 << bits) - 1
+            }
+            Op::Sll(a, k) => clamped(b(a) << k),
+            Op::Srl(a, k) => b(a) >> k,
+            Op::Sra(a, k) if b(a) < (m + 1) / 2 => b(a) >> k,
+            Op::Xsign(a) if b(a) < (m + 1) / 2 => 0,
+            Op::SltS(..) | Op::SltU(..) | Op::Carry(..) | Op::Borrow(..) => 1,
+            Op::DivU(a, _) | Op::RemU(a, _) => b(a),
+            _ => m,
+        };
+        ub.push(v.min(m) as u64);
+    }
+    ub
+}
+
+/// Certifies an `SRL ↔ SRA` opcode-swap mutant as equivalent: the two
+/// shifts compute the same function exactly when the shifted operand's
+/// sign bit is always clear, which [`upper_bounds`] proves whenever the
+/// operand's bound is below `2^(N−1)`.
+///
+/// This is the blind spot the planner tournament exposed: the round-up
+/// kernel for u64 ÷ 25 bounds its whole pre-shift value by the
+/// multiplier `m < 2^63`, so the `SRA` twin of its final `SRL` is
+/// semantically identical — no finite probe set can kill it, and the
+/// small-scope certificate refuses because the same divisor picks a
+/// top-bit-set multiplier at width 16.
+fn shift_sign_equivalent(pristine: &Program, m: Mutation) -> bool {
+    let Mutation::OpcodeSwap { inst, to } = m else {
+        return false;
+    };
+    if to != "sra" && to != "srl" {
+        return false;
+    }
+    let Some(&(Op::Srl(a, _) | Op::Sra(a, _))) = pristine.insts().get(inst) else {
+        return false;
+    };
+    let half = 1u64 << (pristine.width() - 1);
+    upper_bounds(pristine)[a.index()] < half
+}
+
 /// The small-scope equivalence certificate for widths above 16: rebuild
 /// the same (shape, divisor) kernel at width 16 (falling back to 8 when
 /// the plan family changes shape at 16), check it is
@@ -637,7 +720,9 @@ fn small_scope_equivalent(case: &Case, m: Mutation) -> bool {
 /// mutant is decided exhaustively — any mutant not killed is *proven*
 /// equivalent on the contractual domain. Above width 16, a mutant the
 /// probes cannot kill is declared [`MutantFate::Equivalent`] only when
-/// the small-scope certificate holds (the structurally identical
+/// a certificate holds: either the interval-bound shift-sign argument
+/// (an `SRL ↔ SRA` swap whose operand provably never has its sign bit
+/// set), or the small-scope certificate (the structurally identical
 /// width-16 kernel, with the same mutation mapped down, is exhaustively
 /// equivalent); otherwise it is reported [`MutantFate::Survived`].
 ///
@@ -686,7 +771,7 @@ pub fn classify_mutant(
     if case.width <= 16 && exhaustive_ok {
         return exhaustive_fate(case, &mutant);
     }
-    if small_scope_equivalent(case, m) {
+    if shift_sign_equivalent(&pristine, m) || small_scope_equivalent(case, m) {
         MutantFate::Equivalent
     } else {
         MutantFate::Survived
@@ -987,6 +1072,84 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn shift_sign_certificate_is_sound_and_fires_for_round_up_at_u64() {
+        // u64 ÷ 25 selects the round-up kernel with m < 2^63: its final
+        // SRL's operand provably never sets the sign bit, so the SRA
+        // twin is equivalent — and nothing smaller-width can certify it.
+        let case = Case::new(Shape::UdivTournament, 64, 25);
+        let prog = case.program();
+        let (inst, arg) = prog
+            .insts()
+            .iter()
+            .enumerate()
+            .find_map(|(i, op)| match *op {
+                Op::Srl(a, _) => Some((i, a)),
+                _ => None,
+            })
+            .expect("round-up kernel ends in SRL");
+        let m = Mutation::OpcodeSwap { inst, to: "sra" };
+        assert!(shift_sign_equivalent(&prog, m));
+        assert!(upper_bounds(&prog)[arg.index()] < 1 << 63);
+        // Soundness spot-check: the certified mutant really is
+        // pointwise equal on a broad probe set.
+        let mutant = apply_mutation(&prog, m).unwrap();
+        let mut rng = SplitMix(5);
+        for _ in 0..10_000 {
+            let n = rng.next_u64();
+            assert_eq!(prog.eval1(&[n]), mutant.eval1(&[n]), "n={n}");
+        }
+        // And the certificate refuses when the sign bit is reachable:
+        // the Fig 4.2 kernel for u32 ÷ 10 multiplies by 0xcccccccd,
+        // whose MULUH output bound reaches the top bit.
+        let paper = Case::new(Shape::Udiv, 32, 10).program();
+        let srl = paper
+            .insts()
+            .iter()
+            .position(|op| matches!(op, Op::Srl(..)))
+            .expect("Fig 4.2 kernel shifts");
+        assert!(!shift_sign_equivalent(
+            &paper,
+            Mutation::OpcodeSwap {
+                inst: srl,
+                to: "sra"
+            }
+        ));
+    }
+
+    #[test]
+    fn shape_names_round_trip() {
+        for s in Shape::ALL {
+            assert_eq!(Shape::from_name(s.name()), Some(s));
+        }
+    }
+
+    #[test]
+    fn tournament_shape_uses_the_winning_candidate() {
+        // d = 35 at width 8 is an optimal-bounds win cell: the tournament
+        // kernel is shorter than the Fig 4.2 add-fixup kernel and still
+        // matches the oracle on every input.
+        let paper = Case::new(Shape::Udiv, 8, 35);
+        let case = Case::new(Shape::UdivTournament, 8, 35);
+        let prog = case.program();
+        assert!(prog.insts().len() < paper.program().insts().len());
+        for n in 0..=255u64 {
+            assert_eq!(run(&case, &prog, n), Some(n / 35), "n={n}");
+        }
+    }
+
+    #[test]
+    fn tournament_shape_mutants_die_at_a_non_paper_win_cell() {
+        // A perturbed optimal-bounds multiplier must be killed (or
+        // proven equivalent) exactly like a perturbed Fig 4.2 magic.
+        let mut rng = SplitMix(9);
+        let case = Case::new(Shape::UdivTournament, 8, 35);
+        for m in mutations(&case.program()) {
+            let fate = classify_mutant(&case, m, &mut rng, 0);
+            assert!(!matches!(fate, MutantFate::Survived), "{m}");
         }
     }
 

@@ -1,7 +1,10 @@
 //! The `magic explain` renderer: one `(shape, width, divisor)` query
 //! rendered as the plan-decision trace (with paper provenance), the
-//! lowered IR with its per-pass optimization history, and the simulated
-//! cycle cost under every Table 1.1 timing model.
+//! lowered IR with its per-pass optimization history, the simulated
+//! cycle cost under every Table 1.1 timing model, and — for unsigned
+//! queries — the planner-tournament scoreboard: every candidate family
+//! that competed for this `(d, width)`, its cycle price, certification
+//! status, and why the losers lost.
 //!
 //! The renderer is a library function rather than bin-only code so the
 //! golden-snapshot tests can call it directly, and so other tools can
@@ -11,6 +14,7 @@ use std::str::FromStr;
 use std::sync::Arc;
 
 use magicdiv::plan::{DivPlan, DwordPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan};
+use magicdiv::{Certification, Outcome, TournamentResult};
 use magicdiv_ir::{
     lower_dword_div, lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv, optimize, Builder,
     Program,
@@ -194,6 +198,52 @@ fn pass_history(events: &[Event]) -> String {
     out
 }
 
+/// Renders one tournament scoreboard as a table plus provenance notes:
+/// every candidate family that competed, its price on the scoring
+/// model, its certification verdict, and the outcome (for losers, the
+/// reason they lost).
+pub fn render_tournament(t: &TournamentResult) -> String {
+    let mut out = format!("  scored on {}:\n", t.model);
+    let rows: Vec<Vec<String>> = t
+        .scoreboard
+        .iter()
+        .map(|c| {
+            let cycles = c
+                .cycles
+                .map_or_else(|| "-".to_string(), |cy| cy.to_string());
+            let certified = match c.certification {
+                Certification::Passed { inputs } => format!("passed ({inputs} inputs)"),
+                Certification::Failed { n, .. } => format!("FAILED at n={n}"),
+                Certification::Skipped => "skipped".to_string(),
+            };
+            let outcome = match c.outcome {
+                Outcome::Won => "won".to_string(),
+                Outcome::Lost(reason) => format!("lost: {reason}"),
+            };
+            vec![
+                c.candidate.source.name().to_string(),
+                cycles,
+                certified,
+                outcome,
+                c.candidate.plan.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&indent(&crate::render_table(
+        &["candidate", "cycles", "certified", "outcome", "plan"],
+        &rows,
+    )));
+    out.push('\n');
+    for c in &t.scoreboard {
+        out.push_str(&format!(
+            "  {}: {}\n",
+            c.candidate.source.name(),
+            c.candidate.source.provenance()
+        ));
+    }
+    out
+}
+
 /// Renders the full explain report for one query.
 ///
 /// # Errors
@@ -273,6 +323,16 @@ pub fn explain(shape: ExplainShape, width: u32, d: i128) -> Result<String, Strin
         &["model", "year", "cycles"],
         &rows,
     )));
+
+    // 4. The planner tournament (unsigned only): every candidate family
+    // that competed for this (d, width) cell, priced on the default
+    // tournament model and certified against the differential oracle.
+    if shape == ExplainShape::Unsigned {
+        if let Ok(t) = crate::run_tournament(d as u128, width, None) {
+            out.push_str("\n-- tournament --\n");
+            out.push_str(&render_tournament(&t));
+        }
+    }
     Ok(out)
 }
 
@@ -295,6 +355,11 @@ pub fn explain_jsonl(shape: ExplainShape, width: u32, d: i128) -> Result<String,
             for model in table_1_1() {
                 cycles_for_plan(&plan, &model);
             }
+            // The tournament emits one `plan.tournament` event per
+            // candidate (with provenance) plus a summary event.
+            if shape == ExplainShape::Unsigned {
+                let _ = crate::run_tournament(d as u128, width, None);
+            }
         }
     }
     Ok(sink.finish())
@@ -311,6 +376,35 @@ mod tests {
         assert!(report.contains("Fig 4.2"), "{report}");
         assert!(report.contains("-- optimization passes --"), "{report}");
         assert!(report.contains("pass 0:"), "{report}");
+    }
+
+    #[test]
+    fn unsigned_explain_includes_the_tournament_scoreboard() {
+        // d = 7: the round-up candidate ties the paper's add-fixup on
+        // op count and wins the narrow-multiply tie-break; the paper
+        // row must show up as a loser with a reason.
+        let report = explain(ExplainShape::Unsigned, 32, 7).unwrap();
+        assert!(report.contains("-- tournament --"), "{report}");
+        assert!(report.contains("won"), "{report}");
+        assert!(report.contains("lost:"), "{report}");
+        assert!(report.contains("Granlund-Montgomery"), "{report}");
+        // Non-unsigned shapes have no competing candidates yet.
+        let signed = explain(ExplainShape::Signed, 32, -7).unwrap();
+        assert!(!signed.contains("-- tournament --"), "{signed}");
+    }
+
+    #[test]
+    fn unsigned_explain_shows_a_non_paper_winner_at_a_win_cell() {
+        // d = 35 at width 8: the optimal-bounds multiplier strictly
+        // beats the paper's add-fixup sequence on every cycle model.
+        let report = explain(ExplainShape::Unsigned, 8, 35).unwrap();
+        assert!(report.contains("optimal_bounds"), "{report}");
+        assert!(report.contains("Lemire-Bartlett-Kaser"), "{report}");
+        let paper_row = report
+            .lines()
+            .find(|l| l.trim_start().starts_with("paper") && l.contains("lost:"))
+            .unwrap_or_else(|| panic!("no losing paper row in {report}"));
+        assert!(paper_row.contains("more_cycles"), "{paper_row}");
     }
 
     #[test]
@@ -357,6 +451,9 @@ mod tests {
         let out = explain_jsonl(ExplainShape::Unsigned, 32, 7).unwrap();
         assert!(out.contains("\"name\":\"plan.decision\""), "{out}");
         assert!(out.contains("\"name\":\"simcpu.plan_cycles\""), "{out}");
+        assert!(out.contains("\"name\":\"plan.tournament\""), "{out}");
+        assert!(out.contains("\"name\":\"tournament\""), "{out}");
+        assert!(out.contains("provenance"), "{out}");
         for line in out.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }

@@ -30,6 +30,7 @@ mod explain;
 pub mod json;
 pub mod ledger;
 mod runmeta;
+mod tournament;
 
 pub use crate::asmprofile::{dynamic_op_profile, OpProfile};
 pub use crate::calibrate::{
@@ -43,11 +44,14 @@ pub use crate::diff::{
     build_repro_program, classify_mutant, run, shrink, Case, MutantFate, Repro, Shape, SplitMix,
 };
 pub use crate::drift::{diff_snapshots, DriftFinding, DriftKind, DriftReport};
-pub use crate::explain::{explain, explain_jsonl, ExplainShape};
+pub use crate::explain::{explain, explain_jsonl, render_tournament, ExplainShape};
 pub use crate::ledger::{
     archive_explain_stream, ledger_path, read_ledger, LedgerRecord, RunLedger,
 };
 pub use crate::runmeta::{git_sha, unix_time_ms};
+pub use crate::tournament::{
+    run_tournament, OracleCertifier, SimcpuScorer, DEFAULT_TOURNAMENT_MODEL,
+};
 
 use std::time::Instant;
 

@@ -1,0 +1,108 @@
+//! Golden-snapshot tests for the planner tournament (DESIGN.md §11).
+//!
+//! A fixed `(width, divisor)` grid is run through the full
+//! simcpu-priced, oracle-certified tournament and the rendered
+//! scoreboard is pinned: every candidate family, its cycle price on the
+//! default Table 1.1 model, its certification verdict and its outcome.
+//! The grid mixes cells where the paper's Fig 4.2 plan wins with cells
+//! where a non-paper candidate (round-up or optimal-bounds) beats it —
+//! a cost-model tweak or generator change that flips any winner or
+//! moves any price shows up as a diff here, never silently.
+//!
+//! Regenerate after an intentional change with:
+//! `UPDATE_GOLDEN=1 cargo test -p magicdiv-bench --test tournament_golden`
+//!
+//! A second test asserts determinism directly: two same-build runs of
+//! every grid cell must produce identical scoreboards. `scripts/check.sh`
+//! runs both as its tournament drift gate.
+
+use std::path::PathBuf;
+
+use magicdiv_bench::{render_tournament, run_tournament};
+
+/// The pinned grid: paper wins, round-up wins and optimal-bounds wins
+/// at every runtime width.
+const CASES: &[(u32, u128)] = &[
+    // Paper wins (mul_shift is already optimal).
+    (8, 3),
+    (32, 10),
+    (64, 3),
+    // Round-up beats the paper's add-shift fallback.
+    (32, 7),
+    (64, 25),
+    // Optimal-bounds finds a narrower mul-shift the paper misses.
+    (8, 35),
+    (8, 44),
+    (16, 586),
+    (32, 102_807),
+    (64, 7_628_839_285_698_216_415),
+];
+
+fn golden_path(width: u32, d: u128) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("tournament_{width}_{d}.txt"))
+}
+
+#[test]
+fn tournament_scoreboards_match_golden_snapshots() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut failures = Vec::new();
+    for &(width, d) in CASES {
+        let t = run_tournament(d, width, None)
+            .unwrap_or_else(|e| panic!("tournament({d}, {width}) failed: {e}"));
+        let got = render_tournament(&t);
+        let path = golden_path(width, d);
+        if update {
+            std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+            std::fs::write(&path, &got).expect("write golden");
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(want) if want == got => {}
+            Ok(want) => failures.push(format!(
+                "--- {} diverged ---\nwant:\n{want}\ngot:\n{got}",
+                path.display()
+            )),
+            Err(e) => failures.push(format!(
+                "cannot read {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                path.display()
+            )),
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn grid_covers_paper_and_non_paper_winners() {
+    // The golden grid must keep exercising both outcomes; if a planner
+    // change makes every cell pick the paper plan (or none), the
+    // snapshots have stopped guarding what they were built to guard.
+    let mut paper_wins = 0usize;
+    let mut non_paper_wins = 0usize;
+    for &(width, d) in CASES {
+        let t = run_tournament(d, width, None).expect("grid cell runs");
+        if t.winner_is_paper() {
+            paper_wins += 1;
+        } else {
+            non_paper_wins += 1;
+        }
+    }
+    assert!(paper_wins >= 2, "want >= 2 paper wins, got {paper_wins}");
+    assert!(
+        non_paper_wins >= 5,
+        "want >= 5 non-paper wins, got {non_paper_wins}"
+    );
+}
+
+#[test]
+fn tournament_winners_are_stable_across_runs() {
+    // Drift gate: the tournament is a pure function of (d, width,
+    // model) — two runs in the same build must agree on the entire
+    // scoreboard, not just the winner.
+    for &(width, d) in CASES {
+        let a = run_tournament(d, width, None).expect("first run");
+        let b = run_tournament(d, width, None).expect("second run");
+        assert_eq!(a, b, "w={width} d={d}: tournament must be deterministic");
+    }
+}

@@ -59,6 +59,32 @@ pub fn emit_unsigned_div(b: &mut Builder, n: Reg, d: u64) -> Reg {
     lower_udiv(b, n, &plan)
 }
 
+/// Lowers an already-selected unsigned plan — e.g. a planner-tournament
+/// winner carrying a non-Figure-4.2 strategy — to its optimized IR
+/// program, bypassing strategy selection entirely.
+///
+/// # Panics
+///
+/// Panics when the plan's width is not in `1..=64` (the IR limit).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::plan::UdivPlan;
+/// use magicdiv_codegen::{gen_udiv_plan, gen_unsigned_div};
+///
+/// let plan = UdivPlan::new(10, 32).unwrap();
+/// let prog = gen_udiv_plan(&plan);
+/// assert_eq!(prog.eval1(&[1234]).unwrap(), 123);
+/// assert_eq!(prog, gen_unsigned_div(10, 32));
+/// ```
+pub fn gen_udiv_plan(plan: &UdivPlan) -> Program {
+    let mut b = Builder::new(plan.width(), 1);
+    let n = b.arg(0);
+    let q = lower_udiv(&mut b, n, plan);
+    optimize(&b.finish([q]))
+}
+
 /// Emits Figure 4.1 — the single branch-free shape for any unsigned
 /// divisor (the run-time-invariant form).
 ///

@@ -70,8 +70,8 @@ pub use crate::asmexec::{
 pub use crate::divgen::{
     emit_signed_div, emit_unsigned_div, gen_divisibility_test, gen_dword_div, gen_exact_div,
     gen_floor_div, gen_signed_div, gen_signed_div_hw, gen_signed_div_invariant, gen_signed_rem,
-    gen_unsigned_div, gen_unsigned_div_hw, gen_unsigned_div_invariant, gen_unsigned_divrem,
-    gen_unsigned_divrem_hw, gen_unsigned_rem,
+    gen_udiv_plan, gen_unsigned_div, gen_unsigned_div_hw, gen_unsigned_div_invariant,
+    gen_unsigned_divrem, gen_unsigned_divrem_hw, gen_unsigned_rem,
 };
 pub use crate::machine::{gen_unsigned_div_tuned, MachineDesc};
 pub use crate::mulconst::{

@@ -1,0 +1,424 @@
+//! Candidate generation: the competing strategy families the planner
+//! tournament arbitrates between.
+//!
+//! The paper's Figure 4.2 decision rules are *one* way to pick a
+//! multiplier. Two post-1994 refinements produce plans that lower to
+//! strictly fewer operations for many divisors:
+//!
+//! * **Optimal-bounds multipliers** (Lemire, Bartlett & Kaser,
+//!   arXiv 2012.12369): instead of fixing `m = ⌈2^(N+⌈log2 d⌉)/d⌉`, search
+//!   every shift `k >= N` for *any* `m < 2^N` whose rounding interval
+//!   covers all dividends. When one exists the add-fixup long sequence
+//!   (and often the even-divisor pre-shift) collapses to a bare
+//!   `MULUH + SRL` — or just `MULUH` when `k == N`.
+//! * **Round-up dividend** (Li, arXiv 2412.03680): keep the round-*down*
+//!   multiplier `m = ⌊2^(N+s)/d⌋ < 2^N` and divide `n + 1` instead of
+//!   `n`, folding the `+1` into the carry of `MULL(m, n) + m`. The two
+//!   multiplies are independent, so the sequence beats the serial
+//!   add-fixup chain on machines with pipelined multipliers.
+//!
+//! Each family implements [`CandidateGen`], producing [`Candidate`]s —
+//! a [`DivPlan`] plus provenance — for the [`tournament`](crate::tournament)
+//! to lower, price and certify. The paper baseline is always a candidate,
+//! so the tournament can never do worse than Figure 4.2.
+
+use core::fmt;
+
+use crate::error::DivisorError;
+use crate::plan::{DivPlan, UdivPlan, UdivStrategy};
+
+/// `2^width - 1` as a `u128` (widths `1..=64` here — candidate search
+/// needs `2^(2N)`-scale intermediates, which cap the erased width at 64).
+#[inline]
+fn mask(width: u32) -> u128 {
+    (1u128 << width) - 1
+}
+
+/// Which strategy family produced a candidate, with citation metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CandidateSource {
+    /// The paper's own Figure 4.2 / 5.2 / 6.1 decision rules.
+    PaperBaseline,
+    /// Round-up dividend variant (Li).
+    RoundUp,
+    /// Optimal-bounds multiplier search (Lemire–Bartlett–Kaser).
+    OptimalBounds,
+}
+
+impl CandidateSource {
+    /// Short stable name for tables, traces and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            CandidateSource::PaperBaseline => "paper",
+            CandidateSource::RoundUp => "round_up",
+            CandidateSource::OptimalBounds => "optimal_bounds",
+        }
+    }
+
+    /// Where the family comes from — the paper figure or arXiv id.
+    pub fn provenance(self) -> &'static str {
+        match self {
+            CandidateSource::PaperBaseline => "Granlund-Montgomery PLDI 1994, Fig 4.2",
+            CandidateSource::RoundUp => "Li, arXiv 2412.03680",
+            CandidateSource::OptimalBounds => "Lemire-Bartlett-Kaser, arXiv 2012.12369",
+        }
+    }
+}
+
+impl fmt::Display for CandidateSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One competing plan: what to run, who proposed it, and why it might
+/// win.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Candidate {
+    /// The complete plan this family proposes.
+    pub plan: DivPlan,
+    /// The proposing strategy family.
+    pub source: CandidateSource,
+    /// One line of rationale (shown by `magic explain`).
+    pub why: String,
+}
+
+/// A strategy family that can propose plans for a divisor.
+///
+/// Generators are *sound by construction*: every plan they emit must
+/// already compute `⌊n/d⌋` for the full dividend range — the tournament's
+/// certification stage is a defense-in-depth check, not the correctness
+/// argument.
+pub trait CandidateGen {
+    /// The family this generator implements.
+    fn source(&self) -> CandidateSource;
+
+    /// Proposes zero or more candidate plans for dividing by `d` at
+    /// `width` bits. An empty vector means the family has nothing better
+    /// than the baseline for this cell (e.g. powers of two).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    fn generate(&self, d: u128, width: u32) -> Result<Vec<Candidate>, DivisorError>;
+}
+
+/// The paper baseline: wraps [`UdivPlan::new`] (Figure 4.2) as a
+/// candidate so the tournament always has the 1994 plan to beat.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PaperBaselineGen;
+
+impl CandidateGen for PaperBaselineGen {
+    fn source(&self) -> CandidateSource {
+        CandidateSource::PaperBaseline
+    }
+
+    fn generate(&self, d: u128, width: u32) -> Result<Vec<Candidate>, DivisorError> {
+        let plan = UdivPlan::new(d, width)?;
+        Ok(vec![Candidate {
+            plan: DivPlan::Unsigned(plan),
+            source: CandidateSource::PaperBaseline,
+            why: "Fig 4.2 decision rules (the 1994 baseline)".to_string(),
+        }])
+    }
+}
+
+/// Round-up dividend family (Li, arXiv 2412.03680).
+///
+/// Uses the round-*down* multiplier `m = ⌊2^(N+s)/d⌋` (always `< 2^N`
+/// for `s <= ⌈log2 d⌉ - 1`) and computes `q = ⌊m(n+1)/2^(N+s)⌋`.
+/// Writing `e = 2^(N+s) mod d` and `q_top = ⌊(2^N - 1)/d⌋`, the variant
+/// is valid for the full dividend range iff
+///
+/// ```text
+/// e * (d * q_top + 1) <= 2^(N+s)
+/// ```
+///
+/// (the lower bound binds at `n = q_top * d`, the largest exact multiple;
+/// the upper bound always holds because `m` rounds down). The generator
+/// emits the smallest valid `s`, since `s == 0` drops the final shift.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundUpGen;
+
+impl CandidateGen for RoundUpGen {
+    fn source(&self) -> CandidateSource {
+        CandidateSource::RoundUp
+    }
+
+    fn generate(&self, d: u128, width: u32) -> Result<Vec<Candidate>, DivisorError> {
+        if d == 0 {
+            return Err(DivisorError::Zero);
+        }
+        if !(1..=64).contains(&width) || d > mask(width) || d.is_power_of_two() {
+            // d == 1 and powers of two already have 0/1-op plans; width
+            // 128 exceeds the u128 search arithmetic.
+            return Ok(Vec::new());
+        }
+        let nmax = mask(width);
+        let q_top = nmax / d;
+        let l = 128 - (d - 1).leading_zeros(); // ⌈log2 d⌉, d >= 2
+        for s in 0..l {
+            // s <= l - 1 keeps m = ⌊2^(N+s)/d⌋ < 2^N.
+            let k = width + s;
+            let pow2k = 1u128 << k;
+            let m = pow2k / d;
+            let e = pow2k % d; // > 0: d is not a power of two
+            debug_assert!(m <= nmax);
+            // Validity: e * (d * q_top + 1) <= 2^k. All factors fit u128:
+            // e < d <= 2^64 and d * q_top + 1 <= 2^64.
+            if e * (d * q_top + 1) <= pow2k {
+                let plan = UdivPlan {
+                    width,
+                    d,
+                    strategy: UdivStrategy::MulRoundUp { m, sh_post: s },
+                };
+                return Ok(vec![Candidate {
+                    plan: DivPlan::Unsigned(plan),
+                    source: CandidateSource::RoundUp,
+                    why: format!(
+                        "round-down m with n+1 via carry; valid since \
+                         e(d*q_top+1) <= 2^{k}, independent MULL/MULUH"
+                    ),
+                }]);
+            }
+        }
+        Ok(Vec::new())
+    }
+}
+
+/// Optimal-bounds multiplier family (Lemire–Bartlett–Kaser,
+/// arXiv 2012.12369).
+///
+/// For each shift `k` in `N..=N+⌈log2 d⌉`, the set of multipliers making
+/// `⌊mn/2^k⌋ = ⌊n/d⌋` over the whole range is the interval
+/// `[m_min, m_max]` with
+///
+/// ```text
+/// m_min = ⌈2^k / d⌉
+/// m_max = min( ⌊(2^k * q_top  - 1) / (q_top * d - 1)⌋,     // full groups
+///              ⌊(2^k * (q_top + 1) - 1) / (2^N - 1)⌋ )      // partial top
+/// ```
+///
+/// where `q_top = ⌊(2^N - 1)/d⌋` (the full-group bound is monotone in the
+/// quotient, so only the last full group `n = q_top*d - 1` binds). When
+/// the interval contains a value `< 2^N`, the plan is a bare
+/// `MulShift { sh_pre: 0, sh_post: k - N }` — no add fixup, no pre-shift.
+/// The generator emits the smallest such `k`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptimalBoundsGen;
+
+impl CandidateGen for OptimalBoundsGen {
+    fn source(&self) -> CandidateSource {
+        CandidateSource::OptimalBounds
+    }
+
+    fn generate(&self, d: u128, width: u32) -> Result<Vec<Candidate>, DivisorError> {
+        if d == 0 {
+            return Err(DivisorError::Zero);
+        }
+        if !(1..=64).contains(&width) || d > mask(width) || d.is_power_of_two() {
+            return Ok(Vec::new());
+        }
+        let nmax = mask(width);
+        let q_top = nmax / d;
+        let l = 128 - (d - 1).leading_zeros();
+        // Since d is not a power of two, the last dividend with remainder
+        // d-1 is n* = q_top*d - 1 (the group of quotient q_top - 1 when
+        // q_top*d - 1 < q_top*d, i.e. always the end of the last FULL
+        // group), and nmax sits in the partial group of quotient q_top.
+        let n_star = q_top * d - 1;
+        for k in width..=(width + l).min(127) {
+            let pow2k = 1u128 << k;
+            let m_min = pow2k / d + 1; // ⌈2^k/d⌉, exact since d ∤ 2^k
+            if m_min > nmax {
+                // Larger k only grows m_min; nothing fits a word anymore.
+                break;
+            }
+            // Upper bound from the last full group: m*n < 2^k*(q+1) for
+            // n = n*, q = q_top - 1 — i.e. m <= (2^k*q_top - 1)/n*.
+            let full = match pow2k.checked_mul(q_top) {
+                Some(p) => (p - 1) / n_star,
+                None => u128::MAX, // bound beyond any word-sized m
+            };
+            // Upper bound from the partial group at nmax (quotient q_top).
+            let partial = match pow2k.checked_mul(q_top + 1) {
+                Some(p) => (p - 1) / nmax,
+                None => u128::MAX,
+            };
+            let m_max = full.min(partial);
+            if m_min <= m_max {
+                let plan = UdivPlan {
+                    width,
+                    d,
+                    strategy: UdivStrategy::MulShift {
+                        m: m_min,
+                        sh_pre: 0,
+                        sh_post: k - width,
+                    },
+                };
+                return Ok(vec![Candidate {
+                    plan: DivPlan::Unsigned(plan),
+                    source: CandidateSource::OptimalBounds,
+                    why: format!(
+                        "word-sized m in [{m_min:#x}, {m_max:#x}] at k={k}: \
+                         plain MULUH+SRL, no fixup or pre-shift"
+                    ),
+                }]);
+            }
+        }
+        Ok(Vec::new())
+    }
+}
+
+/// The full unsigned candidate roster, paper baseline first.
+pub fn unsigned_generators() -> Vec<Box<dyn CandidateGen>> {
+    vec![
+        Box::new(PaperBaselineGen),
+        Box::new(RoundUpGen),
+        Box::new(OptimalBoundsGen),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evaluate an unsigned strategy in u128 arithmetic (width <= 64).
+    fn eval(plan: &UdivPlan, n: u128) -> u128 {
+        let w = plan.width();
+        match plan.strategy() {
+            UdivStrategy::Identity => n,
+            UdivStrategy::Shift { sh } => n >> sh,
+            UdivStrategy::MulShift { m, sh_pre, sh_post } => ((m * (n >> sh_pre)) >> w) >> sh_post,
+            UdivStrategy::MulAddShift {
+                m_minus_pow2n,
+                sh_post,
+            } => {
+                let t1 = (m_minus_pow2n * n) >> w;
+                (t1 + ((n - t1) >> 1)) >> (sh_post - 1)
+            }
+            UdivStrategy::MulRoundUp { m, sh_post } => (m * (n + 1)) >> (w + sh_post),
+        }
+    }
+
+    fn unsigned_plan(c: &Candidate) -> UdivPlan {
+        match c.plan {
+            DivPlan::Unsigned(p) => p,
+            ref other => panic!("unsigned generator produced {other}"),
+        }
+    }
+
+    #[test]
+    fn round_up_candidates_divide_correctly_w8_exhaustive() {
+        for d in 2u128..=255 {
+            for c in RoundUpGen.generate(d, 8).unwrap() {
+                let p = unsigned_plan(&c);
+                for n in 0u128..=255 {
+                    assert_eq!(eval(&p, n), n / d, "d={d} n={n} [{p}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_bounds_candidates_divide_correctly_w8_exhaustive() {
+        for d in 2u128..=255 {
+            for c in OptimalBoundsGen.generate(d, 8).unwrap() {
+                let p = unsigned_plan(&c);
+                for n in 0u128..=255 {
+                    assert_eq!(eval(&p, n), n / d, "d={d} n={n} [{p}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_bounds_beats_pre_shift_for_d44_w8() {
+        // Fig 4.2 gives d = 44 = 4 * 11 a pre-shift of 2; the interval
+        // search finds a direct word-sized multiplier (m = 187 at k = 13)
+        // with no pre-shift at all.
+        let cs = OptimalBoundsGen.generate(44, 8).unwrap();
+        assert_eq!(cs.len(), 1);
+        match unsigned_plan(&cs[0]).strategy() {
+            UdivStrategy::MulShift { m, sh_pre, sh_post } => {
+                assert_eq!((m, sh_pre, sh_post), (187, 0, 5));
+            }
+            s => panic!("unexpected {s:?}"),
+        }
+        // The paper plan for comparison: pre-shift + multiply + post-shift.
+        match UdivPlan::new(44, 8).unwrap().strategy() {
+            UdivStrategy::MulShift { sh_pre, .. } => assert!(sh_pre > 0),
+            s => panic!("paper baseline changed: {s:?}"),
+        }
+    }
+
+    #[test]
+    fn optimal_bounds_replaces_add_fixup_for_d35_w8() {
+        // d = 35 needs the N+1-bit add-fixup sequence under Fig 4.2, but
+        // a 9-bit-shift word multiplier exists: m = 235 at k = 13.
+        let cs = OptimalBoundsGen.generate(35, 8).unwrap();
+        assert_eq!(cs.len(), 1);
+        match unsigned_plan(&cs[0]).strategy() {
+            UdivStrategy::MulShift { m, sh_pre, sh_post } => {
+                assert_eq!((m, sh_pre, sh_post), (235, 0, 5));
+            }
+            s => panic!("unexpected {s:?}"),
+        }
+        assert!(matches!(
+            UdivPlan::new(35, 8).unwrap().strategy(),
+            UdivStrategy::MulAddShift { .. }
+        ));
+    }
+
+    #[test]
+    fn optimal_bounds_has_no_word_multiplier_for_d7_w32() {
+        // The famous d = 7: every valid multiplier needs 33 bits, at any
+        // shift — the paper's add-fixup plan stands.
+        assert!(OptimalBoundsGen.generate(7, 32).unwrap().is_empty());
+    }
+
+    #[test]
+    fn round_up_handles_d7_w32_without_fixup() {
+        let cs = RoundUpGen.generate(7, 32).unwrap();
+        assert_eq!(cs.len(), 1);
+        match unsigned_plan(&cs[0]).strategy() {
+            UdivStrategy::MulRoundUp { m, sh_post } => {
+                assert_eq!(m, (1u128 << (32 + sh_post)) / 7);
+                assert!(m <= u32::MAX as u128);
+                // Spot-check the extremes at width 32.
+                let p = unsigned_plan(&cs[0]);
+                for n in [0u128, 1, 6, 7, 8, (u32::MAX - 3) as u128, u32::MAX as u128] {
+                    assert_eq!(eval(&p, n), n / 7, "n={n}");
+                }
+            }
+            s => panic!("unexpected {s:?}"),
+        }
+    }
+
+    #[test]
+    fn trivial_divisors_yield_no_alternative_candidates() {
+        for d in [1u128, 2, 4, 64, 128] {
+            assert!(RoundUpGen.generate(d, 8).unwrap().is_empty(), "d={d}");
+            assert!(OptimalBoundsGen.generate(d, 8).unwrap().is_empty(), "d={d}");
+        }
+    }
+
+    #[test]
+    fn zero_divisor_rejected_by_every_family() {
+        for g in unsigned_generators() {
+            assert_eq!(g.generate(0, 32).unwrap_err(), DivisorError::Zero);
+        }
+    }
+
+    #[test]
+    fn sources_have_stable_names_and_provenance() {
+        assert_eq!(CandidateSource::PaperBaseline.name(), "paper");
+        assert_eq!(CandidateSource::RoundUp.name(), "round_up");
+        assert_eq!(CandidateSource::OptimalBounds.name(), "optimal_bounds");
+        assert!(CandidateSource::RoundUp.provenance().contains("2412.03680"));
+        assert!(CandidateSource::OptimalBounds
+            .provenance()
+            .contains("2012.12369"));
+    }
+}

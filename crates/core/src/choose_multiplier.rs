@@ -15,6 +15,7 @@
 
 use magicdiv_dword::{DWord, Limb};
 
+use crate::error::{Fault, FaultKind, FaultLayer};
 use crate::word::UWord;
 
 /// The output of [`choose_multiplier`]: the paper's `(m_high, sh_post, l)`
@@ -122,6 +123,52 @@ pub fn choose_multiplier<T: UWord>(d: T, prec: u32) -> ChosenMultiplier<T> {
         (1..=T::BITS).contains(&prec),
         "choose_multiplier: prec must be in 1..=N"
     );
+    choose_multiplier_unchecked(d, prec)
+}
+
+/// The fallible twin of [`choose_multiplier`]: a precision outside the
+/// Figure 6.2 precondition `1 <= prec <= N` is reported as a typed
+/// planning-layer [`Fault`] instead of a panic, so harness code probing
+/// the boundary (and future callers deriving `prec` from untrusted
+/// widths) can handle it.
+///
+/// # Errors
+///
+/// [`FaultKind::PrecisionOutOfRange`] when `prec` is `0` or greater than
+/// `T::BITS`; [`FaultKind::DivideByZero`] when `d == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::{try_choose_multiplier, FaultKind};
+///
+/// assert!(try_choose_multiplier::<u32>(10, 32).is_ok());
+/// let err = try_choose_multiplier::<u32>(10, 33).unwrap_err();
+/// assert_eq!(err.kind, FaultKind::PrecisionOutOfRange { prec: 33, width: 32 });
+/// ```
+pub fn try_choose_multiplier<T: UWord>(d: T, prec: u32) -> Result<ChosenMultiplier<T>, Fault> {
+    if d == T::ZERO {
+        return Err(Fault {
+            layer: FaultLayer::Plan,
+            kind: FaultKind::DivideByZero,
+            at: None,
+        });
+    }
+    if !(1..=T::BITS).contains(&prec) {
+        return Err(Fault {
+            layer: FaultLayer::Plan,
+            kind: FaultKind::PrecisionOutOfRange {
+                prec,
+                width: T::BITS,
+            },
+            at: None,
+        });
+    }
+    Ok(choose_multiplier_unchecked(d, prec))
+}
+
+/// The Figure 6.2 body, preconditions already validated by the caller.
+fn choose_multiplier_unchecked<T: UWord>(d: T, prec: u32) -> ChosenMultiplier<T> {
     let n = T::BITS;
     let l = d.ceil_log2();
     let mut sh_post = l;
@@ -367,5 +414,31 @@ mod tests {
     #[should_panic(expected = "prec must be in")]
     fn zero_prec_panics() {
         let _ = choose_multiplier::<u32>(3, 0);
+    }
+
+    #[test]
+    fn try_variant_reports_typed_faults_at_the_precision_boundary() {
+        use crate::error::{FaultKind, FaultLayer};
+        // prec == N is the last legal precision; N + 1 is the first
+        // illegal one, and 0 falls off the other end.
+        let ok = try_choose_multiplier::<u32>(10, 32).expect("prec == N is legal");
+        assert_eq!(ok, choose_multiplier::<u32>(10, 32));
+        let err = try_choose_multiplier::<u32>(10, 33).unwrap_err();
+        assert_eq!(err.layer, FaultLayer::Plan);
+        assert_eq!(
+            err.kind,
+            FaultKind::PrecisionOutOfRange {
+                prec: 33,
+                width: 32
+            }
+        );
+        assert_eq!(err.to_string(), "plan fault: precision 33 outside 1..=32");
+        let err = try_choose_multiplier::<u32>(10, 0).unwrap_err();
+        assert_eq!(
+            err.kind,
+            FaultKind::PrecisionOutOfRange { prec: 0, width: 32 }
+        );
+        let err = try_choose_multiplier::<u32>(0, 32).unwrap_err();
+        assert_eq!(err.kind, FaultKind::DivideByZero);
     }
 }

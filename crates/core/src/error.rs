@@ -71,6 +71,8 @@ impl core::error::Error for DwordDivError {}
 /// harness can treat "layer X faulted at instruction I" uniformly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultLayer {
+    /// The planning layer (multiplier selection, candidate generation).
+    Plan,
     /// The bit-accurate IR interpreter (`Program::eval`).
     IrInterp,
     /// The emitted-assembly interpreter (`execute_radix_listing`).
@@ -82,6 +84,7 @@ pub enum FaultLayer {
 impl fmt::Display for FaultLayer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            FaultLayer::Plan => write!(f, "plan"),
             FaultLayer::IrInterp => write!(f, "ir-interp"),
             FaultLayer::AsmInterp => write!(f, "asm-interp"),
             FaultLayer::SimCpu => write!(f, "simcpu"),
@@ -120,6 +123,15 @@ pub enum FaultKind {
     /// plan on the 64-bit IR).
     UnsupportedWidth {
         /// The offending width in bits.
+        width: u32,
+    },
+    /// A multiplier-selection precision outside `1..=N` (Figure 6.2's
+    /// precondition: `prec` counts significant dividend bits and cannot
+    /// exceed the word width).
+    PrecisionOutOfRange {
+        /// The offending precision.
+        prec: u32,
+        /// The word width `N` bounding it.
         width: u32,
     },
 }
@@ -170,6 +182,9 @@ impl fmt::Display for FaultKind {
             FaultKind::BadProgram(why) => write!(f, "bad program: {why}"),
             FaultKind::UnsupportedWidth { width } => {
                 write!(f, "unsupported width {width}")
+            }
+            FaultKind::PrecisionOutOfRange { prec, width } => {
+                write!(f, "precision {prec} outside 1..={width}")
             }
         }
     }

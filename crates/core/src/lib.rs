@@ -16,6 +16,7 @@
 //! | §6 signed, round toward −∞ | [`FloorDivisor`] (Fig 6.1), [`floor_div_via_trunc`], [`ceil_div_via_trunc`], [`mod_positive`] |
 //! | §6.2 multiplier selection | [`choose_multiplier`] (Fig 6.2) |
 //! | strategy selection (all of the above) | [`plan`]: [`UdivPlan`], [`SdivPlan`], [`FloorPlan`], [`ExactPlan`], [`DivPlan`] |
+//! | planner tournament (candidate families beyond the paper) | [`candidates`], [`tournament`]: [`select_udiv`], [`Strategy`] |
 //! | §10 compile-time constants | [`ConstU32Divisor`], [`ConstU64Divisor`] (`const fn` construction) |
 //! | §7 floating point | [`trunc_div_f64`], [`unsigned_div_f64`] |
 //! | §8 udword ÷ uword | [`DwordDivisor`] (Fig 8.1) |
@@ -71,6 +72,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod candidates;
 mod choose_multiplier;
 mod const_divisor;
 mod error;
@@ -80,11 +82,13 @@ mod floor;
 pub mod plan;
 mod signed;
 pub mod testkit;
+pub mod tournament;
 mod udword_div;
 mod unsigned;
 mod word;
 
-pub use crate::choose_multiplier::{choose_multiplier, ChosenMultiplier};
+pub use crate::candidates::{unsigned_generators, Candidate, CandidateGen, CandidateSource};
+pub use crate::choose_multiplier::{choose_multiplier, try_choose_multiplier, ChosenMultiplier};
 pub use crate::const_divisor::{ConstU32Divisor, ConstU64Divisor};
 pub use crate::error::{DivisorError, DwordDivError, Fault, FaultKind, FaultLayer};
 pub use crate::exact::{
@@ -95,6 +99,11 @@ pub use crate::float::{trunc_div_f64, unsigned_div_f64, MAX_EXACT_BITS_F64};
 pub use crate::floor::{ceil_div_via_trunc, floor_div_via_trunc, mod_positive, FloorDivisor};
 pub use crate::plan::{DivPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan};
 pub use crate::signed::{InvariantSignedDivisor, SignedDivisor, SignedStrategy};
+pub use crate::tournament::{
+    paper_only_tournament, run_udiv_tournament, select_udiv, ArithmeticCertifier, Certification,
+    LossReason, OpCountScorer, Outcome, PlanCertifier, PlanScorer, ScoredCandidate, Strategy,
+    TournamentResult, UdivSelection,
+};
 pub use crate::udword_div::DwordDivisor;
 pub use crate::unsigned::{InvariantUnsignedDivisor, UnsignedDivisor, UnsignedStrategy};
 pub use crate::word::{SWord, UWord};

@@ -167,6 +167,16 @@ pub enum UdivStrategy {
         /// Post-shift (at least 1).
         sh_post: u32,
     },
+    /// Round-*down* multiplier applied to `n + 1` (Li, arXiv 2412.03680):
+    /// `q = SRL(MULUH(m, n) + carry(MULL(m, n) + m), sh_post)` — i.e.
+    /// `⌊m(n+1)/2^(N+sh_post)⌋` with `m = ⌊2^(N+sh_post)/d⌋ < 2^N`. Never
+    /// produced by the paper baseline; only a tournament candidate.
+    MulRoundUp {
+        /// The round-down magic multiplier, `m = ⌊2^(N+sh_post)/d⌋ < 2^N`.
+        m: u128,
+        /// Post-shift applied to the fixed-up high product half.
+        sh_post: u32,
+    },
 }
 
 /// A complete unsigned-division plan: divisor, width and selected
@@ -279,6 +289,16 @@ impl UdivPlan {
         Ok(UdivPlan { width, d, strategy })
     }
 
+    /// Assembles a plan from raw parts *without* running Figure 4.2
+    /// selection — the harness entry for pricing or certifying
+    /// hypothetical plans (candidate generators, corrupted-multiplier
+    /// certification tests). Nothing validates that `strategy` actually
+    /// divides by `d`; run such a plan through a certifier before
+    /// trusting it.
+    pub fn from_raw(d: u128, width: u32, strategy: UdivStrategy) -> UdivPlan {
+        UdivPlan { width, d, strategy }
+    }
+
     /// The bit width this plan was computed for.
     #[inline]
     pub fn width(&self) -> u32 {
@@ -315,6 +335,9 @@ impl fmt::Display for UdivPlan {
                     f,
                     "mul-add-shift m-2^N={m_minus_pow2n:#x} sh_post={sh_post}"
                 )
+            }
+            UdivStrategy::MulRoundUp { m, sh_post } => {
+                write!(f, "mul-round-up m={m:#x} sh_post={sh_post}")
             }
         }
     }
@@ -1038,6 +1061,7 @@ impl DivPlan {
                 UdivStrategy::Shift { .. } => "shift",
                 UdivStrategy::MulShift { .. } => "mul_shift",
                 UdivStrategy::MulAddShift { .. } => "mul_add_shift",
+                UdivStrategy::MulRoundUp { .. } => "mul_round_up",
             },
             DivPlan::Signed(p) => match p.strategy {
                 SdivStrategy::Identity => "identity",
@@ -1251,6 +1275,9 @@ mod tests {
                 } => {
                     assert_eq!(m_minus_pow2n, c.multiplier.to_u128() - (1 << 8), "d={d}");
                     assert_eq!(sh_post, c.sh_post, "d={d}");
+                }
+                UdivStrategy::MulRoundUp { .. } => {
+                    panic!("d={d}: Fig 4.2 selection never emits mul-round-up")
                 }
             }
         }

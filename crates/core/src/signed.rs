@@ -17,6 +17,9 @@ use core::ops::{Div, Rem};
 
 use crate::error::DivisorError;
 use crate::plan::{SdivPlan, SdivStrategy};
+use crate::tournament::{
+    paper_only_tournament, ArithmeticCertifier, OpCountScorer, Strategy, TournamentResult,
+};
 use magicdiv_dword::Limb;
 
 use crate::word::SWord;
@@ -115,6 +118,35 @@ impl<S: SWord> SignedDivisor<S> {
             negate: plan.negate(),
             variant,
         })
+    }
+
+    /// Builds the divisor through the planner-tournament entry point.
+    ///
+    /// Only the unsigned pipeline has competing candidate families
+    /// today: every [`Strategy`] selects the paper's Fig 5.2 plan here.
+    /// Under [`Strategy::Tournament`] the returned scoreboard is the
+    /// single-candidate tournament wrapping that plan (with
+    /// `plan.tournament` events emitted), so callers can treat every
+    /// shape uniformly; [`Strategy::PaperOnly`] skips the scoreboard
+    /// entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    pub fn with_strategy(
+        d: S,
+        strategy: Strategy,
+    ) -> Result<(Self, Option<TournamentResult>), DivisorError> {
+        let this = Self::new(d)?;
+        let tournament = match strategy {
+            Strategy::PaperOnly => None,
+            Strategy::Tournament => Some(paper_only_tournament(
+                this.plan().into(),
+                &OpCountScorer,
+                &ArithmeticCertifier,
+            )),
+        };
+        Ok((this, tournament))
     }
 
     /// The divisor this reciprocal was computed for.
@@ -495,6 +527,21 @@ impl_div_ops!(i128);
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn with_strategy_wraps_the_paper_plan_in_a_scoreboard() {
+        let (paper_only, none) =
+            SignedDivisor::<i32>::with_strategy(-7, Strategy::PaperOnly).expect("nonzero divisor");
+        assert_eq!(none, None);
+        let (selected, tournament) =
+            SignedDivisor::<i32>::with_strategy(-7, Strategy::Tournament).expect("nonzero divisor");
+        assert_eq!(selected, paper_only);
+        assert_eq!(selected, SignedDivisor::new(-7).unwrap());
+        let t = tournament.expect("tournament strategy returns a scoreboard");
+        assert!(t.winner_is_paper());
+        assert_eq!(t.scoreboard.len(), 1);
+        assert_eq!(selected.divide(100), -14);
+    }
 
     #[test]
     fn exhaustive_i8_both_types() {

@@ -20,6 +20,10 @@ use magicdiv_dword::DWord;
 
 use crate::error::DivisorError;
 use crate::plan::{UdivPlan, UdivStrategy};
+use crate::tournament::{
+    select_udiv, ArithmeticCertifier, OpCountScorer, PlanCertifier, PlanScorer, Strategy,
+    TournamentResult,
+};
 use crate::word::UWord;
 
 /// The code shape Figure 4.2 selects for a given constant divisor.
@@ -54,6 +58,16 @@ pub enum UnsignedStrategy<T> {
         /// Post-shift (at least 1).
         sh_post: u32,
     },
+    /// Round-*down* multiplier applied to `n + 1` (Li, arXiv 2412.03680):
+    /// `q = SRL(MULUH(m, n) + carry(MULL(m, n) + m), sh_post)`. Never
+    /// selected by Figure 4.2 — only a tournament winner
+    /// ([`UnsignedDivisor::with_strategy`]) carries it.
+    MulRoundUp {
+        /// The round-down magic multiplier, `m = ⌊2^(N+sh_post)/d⌋ < 2^N`.
+        m: T,
+        /// Post-shift applied to the fixed-up high product half.
+        sh_post: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,6 +76,7 @@ enum Variant<T> {
     Shift { sh: u32 },
     MulShift { m: T, sh_pre: u32, sh_post: u32 },
     MulAddShift { m_minus_pow2n: T, sh_post: u32 },
+    MulRoundUp { m: T, sh_post: u32 },
 }
 
 /// A precomputed unsigned divisor following the Figure 4.2 constant-divisor
@@ -96,6 +111,22 @@ impl<T: UWord> UnsignedDivisor<T> {
     /// Returns [`DivisorError::Zero`] when `d == 0`.
     pub fn new(d: T) -> Result<Self, DivisorError> {
         let plan = UdivPlan::new(d.to_u128(), T::BITS)?;
+        Ok(Self::from_plan(&plan))
+    }
+
+    /// Caches an already-selected plan at the native word type — how the
+    /// tournament machinery (and the differential harness) turn a
+    /// scoreboard winner into a runnable divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan.width() != T::BITS`.
+    pub fn from_plan(plan: &UdivPlan) -> Self {
+        assert_eq!(
+            plan.width(),
+            T::BITS,
+            "plan width does not match divisor word width"
+        );
         let variant = match plan.strategy() {
             UdivStrategy::Identity => Variant::Identity,
             UdivStrategy::Shift { sh } => Variant::Shift { sh },
@@ -111,8 +142,48 @@ impl<T: UWord> UnsignedDivisor<T> {
                 m_minus_pow2n: T::from_u128_truncate(m_minus_pow2n),
                 sh_post,
             },
+            UdivStrategy::MulRoundUp { m, sh_post } => Variant::MulRoundUp {
+                m: T::from_u128_truncate(m),
+                sh_post,
+            },
         };
-        Ok(UnsignedDivisor { d, variant })
+        UnsignedDivisor {
+            d: T::from_u128_truncate(plan.divisor()),
+            variant,
+        }
+    }
+
+    /// Like [`new`](Self::new), but the plan is chosen by the given
+    /// [`Strategy`]: [`Strategy::PaperOnly`] reproduces `new` exactly,
+    /// while [`Strategy::Tournament`] lets every candidate family compete
+    /// under the core's op-count scorer and arithmetic certifier and
+    /// returns the full scoreboard alongside the divisor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    pub fn with_strategy(
+        d: T,
+        strategy: Strategy,
+    ) -> Result<(Self, Option<TournamentResult>), DivisorError> {
+        Self::with_selection(d, strategy, &OpCountScorer, &ArithmeticCertifier)
+    }
+
+    /// [`with_strategy`](Self::with_strategy) with an injected scorer and
+    /// certifier — `magicdiv-bench` passes its simcpu cycle model and the
+    /// lowered-IR differential oracle here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    pub fn with_selection(
+        d: T,
+        strategy: Strategy,
+        scorer: &dyn PlanScorer,
+        certifier: &dyn PlanCertifier,
+    ) -> Result<(Self, Option<TournamentResult>), DivisorError> {
+        let selection = select_udiv(d.to_u128(), T::BITS, strategy, scorer, certifier)?;
+        Ok((Self::from_plan(&selection.plan), selection.tournament))
     }
 
     /// The divisor this reciprocal was computed for.
@@ -136,6 +207,7 @@ impl<T: UWord> UnsignedDivisor<T> {
                 m_minus_pow2n,
                 sh_post,
             },
+            Variant::MulRoundUp { m, sh_post } => UnsignedStrategy::MulRoundUp { m, sh_post },
         }
     }
 
@@ -155,6 +227,10 @@ impl<T: UWord> UnsignedDivisor<T> {
                 sh_post,
             } => UdivStrategy::MulAddShift {
                 m_minus_pow2n: m_minus_pow2n.to_u128(),
+                sh_post,
+            },
+            Variant::MulRoundUp { m, sh_post } => UdivStrategy::MulRoundUp {
+                m: m.to_u128(),
                 sh_post,
             },
         };
@@ -183,6 +259,16 @@ impl<T: UWord> UnsignedDivisor<T> {
                 let t1 = m_minus_pow2n.muluh(n);
                 t1.wrapping_add(n.wrapping_sub(t1).shr_full(1))
                     .shr_full(sh_post - 1)
+            }
+            Variant::MulRoundUp { m, sh_post } => {
+                // q = ⌊m(n+1)/2^(N+sh_post)⌋: the high half of m*n plus
+                // the carry out of the low half's + m, then a shift. The
+                // sum cannot wrap: t_hi + 1 <= m < 2^N.
+                let t_lo = m.wrapping_mul(n);
+                let (_, carry) = t_lo.overflowing_add(m);
+                m.muluh(n)
+                    .wrapping_add(if carry { T::ONE } else { T::ZERO })
+                    .shr_full(sh_post)
             }
         }
     }
@@ -288,6 +374,16 @@ impl<T: UWord> UnsignedDivisor<T> {
                     *o = t1
                         .wrapping_add(n.wrapping_sub(t1).shr_full(1))
                         .shr_full(sh_post - 1);
+                }
+            }
+            Variant::MulRoundUp { m, sh_post } => {
+                for (o, &n) in out.iter_mut().zip(ns) {
+                    let t_lo = m.wrapping_mul(n);
+                    let (_, carry) = t_lo.overflowing_add(m);
+                    *o = m
+                        .muluh(n)
+                        .wrapping_add(if carry { T::ONE } else { T::ZERO })
+                        .shr_full(sh_post);
                 }
             }
         }
@@ -698,6 +794,45 @@ mod rounding_tests {
             let cd = UnsignedDivisor::new(d).unwrap();
             assert_eq!(cd.plan(), UdivPlan::new(d, 128).unwrap(), "d={d}");
         }
+    }
+
+    #[test]
+    fn tournament_strategy_divides_correctly_exhaustive_u8() {
+        use crate::tournament::Strategy;
+        for d in 1u8..=u8::MAX {
+            let (td, t) = UnsignedDivisor::with_strategy(d, Strategy::Tournament).unwrap();
+            assert!(t.is_some(), "tournament scoreboard present d={d}");
+            for n in 0u8..=u8::MAX {
+                assert_eq!(td.divide(n), n / d, "n={n} d={d}");
+                assert_eq!(td.remainder(n), n % d, "rem n={n} d={d}");
+            }
+            let mut qs = vec![0u8; 256];
+            let ns: Vec<u8> = (0..=u8::MAX).collect();
+            td.div_slice(&ns, &mut qs);
+            for (&n, &q) in ns.iter().zip(&qs) {
+                assert_eq!(q, n / d, "slice n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_only_strategy_is_new() {
+        use crate::tournament::Strategy;
+        for d in [1u32, 2, 7, 10, 14, 641, u32::MAX] {
+            let (pd, t) = UnsignedDivisor::with_strategy(d, Strategy::PaperOnly).unwrap();
+            assert_eq!(pd, UnsignedDivisor::new(d).unwrap(), "d={d}");
+            assert!(t.is_none(), "no scoreboard under PaperOnly d={d}");
+        }
+    }
+
+    #[test]
+    fn from_plan_roundtrips_and_checks_width() {
+        let plan = UdivPlan::new(10, 32).unwrap();
+        let cd = UnsignedDivisor::<u32>::from_plan(&plan);
+        assert_eq!(cd, UnsignedDivisor::<u32>::new(10).unwrap());
+        assert_eq!(cd.plan(), plan);
+        let err = std::panic::catch_unwind(|| UnsignedDivisor::<u64>::from_plan(&plan));
+        assert!(err.is_err(), "width mismatch must panic");
     }
 
     #[test]

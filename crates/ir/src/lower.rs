@@ -78,6 +78,23 @@ pub fn lower_udiv(b: &mut Builder, n: Reg, plan: &UdivPlan) -> Reg {
                 sum
             }
         }
+        UdivStrategy::MulRoundUp { m, sh_post } => {
+            // Round-up variant (Li, arXiv 2412.03680):
+            // q = SRL(MULUH(m, n) + carry(MULL(m, n) + m), sh_post),
+            // i.e. ⌊m(n+1) / 2^(N+sh_post)⌋ with the n+1 folded into a
+            // carry so n = 2^N - 1 cannot overflow. The two multiplies
+            // are independent, so they overlap on pipelined multipliers.
+            let mreg = b.constant(m as u64);
+            let t_lo = b.push(Op::MulL(mreg, n));
+            let t_hi = b.push(Op::MulUH(mreg, n));
+            let c = b.push(Op::Carry(t_lo, mreg));
+            let sum = b.push(Op::Add(t_hi, c));
+            if sh_post > 0 {
+                b.push(Op::Srl(sum, sh_post))
+            } else {
+                sum
+            }
+        }
     }
 }
 

@@ -38,6 +38,16 @@ echo "== explain-plan goldens + trace-event pinning =="
 cargo test -q --offline -p magicdiv-bench --test explain_golden
 cargo test -q --offline -p magicdiv-simcpu --test trace_events
 
+echo "== tournament goldens + winner drift gate (two same-build runs must agree) =="
+cargo test -q --offline -p magicdiv-bench --test tournament_golden
+for g in tournament_8_35 tournament_32_7 tournament_64_25; do
+    test -s "crates/bench/tests/golden/$g.txt" || {
+        echo "missing golden crates/bench/tests/golden/$g.txt" >&2
+        echo "regenerate: UPDATE_GOLDEN=1 cargo test -p magicdiv-bench --test tournament_golden" >&2
+        exit 1
+    }
+done
+
 echo "== dword explain snapshots present at every machine width =="
 for g in dword_8_10 dword_16_255 dword_32_10 dword_32_4294967295 dword_64_7; do
     test -s "crates/bench/tests/golden/$g.txt" || {

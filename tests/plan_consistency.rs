@@ -13,13 +13,14 @@
 //! and 64 cover the boundary divisors (1, 2, even, `2^k ± 1`, `2^(N-1)`,
 //! `MAX`) over boundary dividends.
 
-use magicdiv::plan::{DivPlan, DwordPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan};
+use magicdiv::plan::{DivPlan, DwordPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan, UdivStrategy};
 use magicdiv::{
-    DWord, DwordDivisor, ExactUnsignedDivisor, FloorDivisor, SignedDivisor, UnsignedDivisor,
+    select_udiv, ArithmeticCertifier, CandidateSource, Certification, DWord, DwordDivisor,
+    ExactUnsignedDivisor, FloorDivisor, OpCountScorer, SignedDivisor, Strategy, UnsignedDivisor,
 };
-use magicdiv_bench::SplitMix;
+use magicdiv_bench::{run_tournament, SplitMix};
 use magicdiv_codegen::{
-    gen_dword_div, gen_exact_div, gen_floor_div, gen_signed_div, gen_unsigned_div,
+    gen_dword_div, gen_exact_div, gen_floor_div, gen_signed_div, gen_udiv_plan, gen_unsigned_div,
 };
 use magicdiv_ir::{mask, sign_extend};
 
@@ -343,6 +344,147 @@ fn dword_boundaries_at_16_32_64() {
     check_width!(u16, 16);
     check_width!(u32, 32);
     check_width!(u64, 64);
+}
+
+#[test]
+fn tournament_width8_exhaustive_agrees_with_paper_quotients() {
+    // Whatever candidate wins the tournament, its quotients must be the
+    // paper plan's quotients — exhaustively, for every divisor and
+    // dividend at width 8.
+    for d in 1u64..=255 {
+        let sel = select_udiv(
+            d as u128,
+            8,
+            Strategy::Tournament,
+            &OpCountScorer,
+            &ArithmeticCertifier,
+        )
+        .unwrap();
+        let prog = gen_udiv_plan(&sel.plan);
+        for n in 0u64..=255 {
+            assert_eq!(prog.eval1(&[n]).unwrap(), n / d, "winner n={n} d={d}");
+        }
+        let t = sel
+            .tournament
+            .expect("Strategy::Tournament records a scoreboard");
+        assert_eq!(
+            t.winning().candidate.plan,
+            DivPlan::from(sel.plan),
+            "selection must return the scoreboard winner, d={d}"
+        );
+    }
+}
+
+#[test]
+fn tournament_boundaries_at_16_32_64_agree_with_native() {
+    // Boundary divisors and dividends at the real word widths: the
+    // tournament winner's IR must compute native quotients, and the
+    // winner must carry a non-Skipped certification.
+    for width in [16u32, 32, 64] {
+        for d in boundary_unsigned(width) {
+            let sel = select_udiv(
+                d as u128,
+                width,
+                Strategy::Tournament,
+                &OpCountScorer,
+                &ArithmeticCertifier,
+            )
+            .unwrap();
+            let prog = gen_udiv_plan(&sel.plan);
+            for n in boundary_dividends(width) {
+                let n = n & mask(width);
+                assert_eq!(prog.eval1(&[n]).unwrap(), n / d, "w={width} n={n} d={d}");
+            }
+            let t = sel.tournament.expect("scoreboard recorded");
+            assert!(
+                matches!(t.winning().certification, Certification::Passed { .. }),
+                "w={width} d={d}: winner must be certified"
+            );
+        }
+    }
+}
+
+#[test]
+fn tournament_pins_the_optimal_bounds_wins_at_width8() {
+    // Two pinned cells where the Lemire–Bartlett–Kaser generator finds a
+    // plain mul-shift the paper's fixed-precision search misses. The
+    // exact multipliers are part of the contract: a cost-model or
+    // generator change that silently alters them should fail here.
+    for (d, m, sh_post) in [(35u128, 235u128, 5u32), (44, 187, 5)] {
+        let sel = select_udiv(
+            d,
+            8,
+            Strategy::Tournament,
+            &OpCountScorer,
+            &ArithmeticCertifier,
+        )
+        .unwrap();
+        let t = sel.tournament.expect("scoreboard recorded");
+        assert!(!t.winner_is_paper(), "d={d}: paper should lose this cell");
+        assert_eq!(
+            t.winning().candidate.source,
+            CandidateSource::OptimalBounds,
+            "d={d}"
+        );
+        assert_eq!(
+            sel.plan.strategy(),
+            UdivStrategy::MulShift {
+                m,
+                sh_pre: 0,
+                sh_post
+            },
+            "d={d}: pinned winning constants"
+        );
+    }
+}
+
+#[test]
+fn tournament_beats_paper_at_certified_win_cells() {
+    // The acceptance bar for the tournament: at these (width, divisor)
+    // cells a non-paper candidate wins with *strictly* fewer simcpu
+    // cycles than the paper baseline, and the winner is certified. 18
+    // cells — comfortably past the "at least 10" requirement.
+    let cells: [(u32, u128); 18] = [
+        (8, 35),
+        (8, 44),
+        (8, 47),
+        (8, 70),
+        (8, 89),
+        (8, 90),
+        (16, 586),
+        (16, 831),
+        (16, 879),
+        (16, 950),
+        (16, 1059),
+        (16, 1172),
+        (32, 102_807),
+        (32, 205_614),
+        (32, 290_498),
+        (32, 296_795),
+        (32, 308_421),
+        (32, 411_228),
+    ];
+    for (width, d) in cells {
+        let t = run_tournament(d, width, None).unwrap();
+        assert!(!t.winner_is_paper(), "w={width} d={d}: paper should lose");
+        let winner = t.winning();
+        let won = winner.cycles.expect("winner is priced");
+        assert!(
+            matches!(winner.certification, Certification::Passed { .. }),
+            "w={width} d={d}: winner must be certified, got {:?}",
+            winner.certification
+        );
+        let paper = t
+            .scoreboard
+            .iter()
+            .find(|s| s.candidate.source == CandidateSource::PaperBaseline)
+            .expect("paper always competes");
+        let paper_cycles = paper.cycles.expect("paper plan is priceable");
+        assert!(
+            won < paper_cycles,
+            "w={width} d={d}: winner {won} cycles must beat paper {paper_cycles}"
+        );
+    }
 }
 
 #[test]
