@@ -16,11 +16,19 @@
 //! * `magic calibrate [iters] [repeats] [out.json]` — measure the host
 //!   and score every Table 1.1 cost model against it (see
 //!   `magicdiv_bench::calibrate`); defaults write
-//!   `results/calibration.json`.
+//!   `results/calibration.json`;
+//! * `magic chaos [seed] [rounds] [out.json]` — run the deterministic
+//!   fault-injection campaign against the guarded division service
+//!   (see `magicdiv_bench::chaos`): plan-constant bit flips, cache
+//!   poisoning, lock poisoning, interpreter fuel exhaustion and forced
+//!   demotions. Exits 1 if any injected fault produced a silently
+//!   wrong quotient; defaults write `results/chaos.json` and archive a
+//!   copy under `results/archive/<git_sha>/` for the `drift` bin.
 
 use magicdiv_bench::{
-    archive_explain_stream, explain, explain_jsonl, render_table, run_calibration,
-    CalibrationConfig, ExplainShape, RunLedger,
+    archive_explain_stream, archive_report_json, default_corpus_dir, explain, explain_jsonl,
+    render_table, run_calibration, run_chaos, write_entry, CalibrationConfig, ChaosConfig,
+    ExplainShape, RunLedger,
 };
 
 fn main() {
@@ -33,10 +41,15 @@ fn main() {
         calibrate_main(&args[2..]);
         return;
     }
+    if args.get(1).map(String::as_str) == Some("chaos") {
+        chaos_main(&args[2..]);
+        return;
+    }
     let d: i128 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
         eprintln!("usage: magic <divisor> [width=32]");
         eprintln!("       magic explain <width> <divisor> [shape] [--json]");
         eprintln!("       magic calibrate [iters=300] [repeats=5] [out=results/calibration.json]");
+        eprintln!("       magic chaos [seed] [rounds=8] [out=results/chaos.json]");
         std::process::exit(2)
     });
     let width: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
@@ -181,6 +194,83 @@ fn calibrate_main(args: &[String]) {
     }
 }
 
+fn chaos_main(args: &[String]) {
+    let usage = || -> ! {
+        eprintln!("usage: magic chaos [seed] [rounds=8] [out=results/chaos.json]");
+        std::process::exit(2)
+    };
+    let mut cfg = ChaosConfig::default();
+    if let Some(s) = args.first() {
+        // Accept decimal or 0x-prefixed hex seeds.
+        let parsed = s
+            .strip_prefix("0x")
+            .map_or_else(|| s.parse(), |hex| u64::from_str_radix(hex, 16));
+        match parsed {
+            Ok(n) => cfg.seed = n,
+            _ => usage(),
+        }
+    }
+    if let Some(s) = args.get(1) {
+        match s.parse() {
+            Ok(n) if n > 0 => cfg.rounds = n,
+            _ => usage(),
+        }
+    }
+    let out_path = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "results/chaos.json".to_string());
+    if args.len() > 3 {
+        usage()
+    }
+
+    let run = RunLedger::start("magic chaos");
+    // The lock-poisoning scenario panics a writer on purpose; keep the
+    // default hook's backtrace chatter out of the report.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_chaos(&cfg);
+    std::panic::set_hook(hook);
+
+    print!("{}", report.render_text());
+    let json = report.to_json();
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("error: cannot create {}: {e}", parent.display());
+                std::process::exit(1)
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1)
+    }
+    println!("wrote {out_path}");
+    match archive_report_json("chaos", &json) {
+        Ok(Some(path)) => eprintln!("archived {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: could not archive report: {e}"),
+    }
+    if let Err(e) = run.finish() {
+        eprintln!("warning: could not append ledger record: {e}");
+    }
+    if report.silent_wrong() > 0 {
+        // Persist replayable reproducers before failing the gate.
+        for entry in &report.repros {
+            match write_entry(&default_corpus_dir(), entry) {
+                Ok(path) => eprintln!("reproducer written: {}", path.display()),
+                Err(e) => eprintln!("warning: could not write reproducer: {e}"),
+            }
+        }
+        eprintln!(
+            "error: {} silently wrong quotient(s) — see {out_path}",
+            report.silent_wrong()
+        );
+        std::process::exit(1)
+    }
+}
+
 fn report<T: magicdiv::UWord>(d: i128)
 where
     T::Signed: magicdiv::SWord<Unsigned = T>,
@@ -190,6 +280,15 @@ where
         choose_multiplier, DwordDivisor, ExactSignedDivisor, FloorDivisor,
         InvariantUnsignedDivisor, SignedDivisor, UnsignedDivisor,
     };
+
+    // Constructors go through the fallible `try_new` layer: a rejected
+    // divisor surfaces as a typed fault and a clean exit, not a panic.
+    fn must<V>(what: &str, r: Result<V, magicdiv::Fault>) -> V {
+        r.unwrap_or_else(|fault| {
+            eprintln!("error: {what}: {fault}");
+            std::process::exit(1)
+        })
+    }
 
     let n = T::BITS;
     println!("== magic constants for d = {d} at N = {n} ==\n");
@@ -207,13 +306,16 @@ where
             eprintln!("divisor does not fit in {n} bits");
             std::process::exit(1);
         }
-        let ud = UnsignedDivisor::new(du).expect("nonzero");
+        let ud = must("unsigned divisor", UnsignedDivisor::try_new(du));
         rows.push(plan_row("unsigned plan (Fig 4.2)", ud.plan().into()));
         rows.push(vec![
             "unsigned (Fig 4.2)".into(),
             format!("{:?}", ud.strategy()),
         ]);
-        let inv = InvariantUnsignedDivisor::new(du).expect("nonzero");
+        let inv = must(
+            "invariant unsigned divisor",
+            InvariantUnsignedDivisor::try_new(du),
+        );
         let (m, sh1, sh2) = inv.constants();
         rows.push(vec![
             "unsigned invariant (Fig 4.1)".into(),
@@ -227,21 +329,21 @@ where
                 c.multiplier, c.sh_post, c.l
             ),
         ]);
-        let dd = DwordDivisor::new(du).expect("nonzero");
+        let dd = must("dword divisor", DwordDivisor::try_new(du));
         rows.push(plan_row("dword plan (Fig 8.1)", dd.plan().into()));
         rows.push(vec!["udword/uword (Fig 8.1)".into(), format!("{dd:?}")]);
     }
     let ds = <T::Signed as magicdiv::SWord>::from_i128_truncate(d);
     if <T::Signed as magicdiv::SWord>::to_i128(ds) == d {
-        let sd = SignedDivisor::new(ds).expect("nonzero");
+        let sd = must("signed divisor", SignedDivisor::try_new(ds));
         rows.push(plan_row("signed plan (Fig 5.2)", sd.plan().into()));
         rows.push(vec![
             "signed trunc (Fig 5.2)".into(),
             format!("{:?}", sd.strategy()),
         ]);
-        let fd = FloorDivisor::new(ds).expect("nonzero");
+        let fd = must("floor divisor", FloorDivisor::try_new(ds));
         rows.push(plan_row("floor plan (Fig 6.1)", fd.plan().into()));
-        let ed = ExactSignedDivisor::new(ds).expect("nonzero");
+        let ed = must("exact signed divisor", ExactSignedDivisor::try_new(ds));
         rows.push(plan_row("exact plan (§9)", ed.plan().into()));
         rows.push(vec!["exact / divisibility (§9)".into(), format!("{ed:?}")]);
     } else {

@@ -39,7 +39,7 @@ use magicdiv_bench::{
     Case, CorpusEntry, MutantFate, Repro, RunLedger, Shape, SplitMix,
 };
 use magicdiv_codegen::{gen_signed_div_invariant, gen_unsigned_div_invariant};
-use magicdiv_ir::{mask, mutations, sign_extend};
+use magicdiv_ir::{mask, mutations, sign_extend, EvalOptions};
 use magicdiv_trace::{install, JsonlSink};
 
 /// How many failures are echoed in full before the rest are only counted.
@@ -255,17 +255,25 @@ fn codegen_phase(c: &mut Collector, rng: &mut SplitMix, gen_iters: u64) -> u64 {
         }
         // The invariant (Fig 4.1/5.1) forms exist only at machine widths.
         if [8, 16, 32, 64].contains(&width) {
+            // Same fuel budget as the Case harness: a pathological
+            // program becomes a typed FuelExhausted fault, not a hang.
+            let opts = EvalOptions {
+                fuel: Some(magicdiv_bench::DEFAULT_EVAL_FUEL),
+                ..EvalOptions::default()
+            };
             let iprog = gen_unsigned_div_invariant(dw, width);
             let siprog = gen_signed_div_invariant(sign_extend(dw, width), width);
             for _ in 0..8 {
                 let nraw = rng.next_u64() & m;
-                c.check(iprog.eval1(&[nraw]).ok() == Some(nraw / dw), || {
-                    format!("codegen inv u{width} {nraw}/{dw}")
-                });
+                c.check(
+                    iprog.eval_with(&[nraw], &opts).ok().map(|out| out[0]) == Some(nraw / dw),
+                    || format!("codegen inv u{width} {nraw}/{dw}"),
+                );
                 let ns = sign_extend(nraw, width);
                 let ds = sign_extend(dw, width);
                 c.check(
-                    siprog.eval1(&[nraw]).ok() == Some(ns.wrapping_div(ds) as u64 & m),
+                    siprog.eval_with(&[nraw], &opts).ok().map(|out| out[0])
+                        == Some(ns.wrapping_div(ds) as u64 & m),
                     || format!("codegen inv i{width} {ns}/{ds}"),
                 );
             }

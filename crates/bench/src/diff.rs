@@ -18,7 +18,17 @@
 //!   by binary descent, producing the one-line reproducers persisted in
 //!   `tests/corpus/`.
 
-use magicdiv_ir::{apply_mutation, mask, mutations, sign_extend, Mutation, Op, Program, Reg};
+use magicdiv_ir::{
+    apply_mutation, mask, mutations, sign_extend, EvalOptions, Mutation, Op, Program, Reg,
+};
+
+/// Fuel budget for every harness evaluation of a (possibly mutated)
+/// program. Pristine kernels are straight-line and at most a few dozen
+/// instructions, so this is ~3 orders of magnitude of headroom; a
+/// pathological mutant that would otherwise spin becomes a typed
+/// `FuelExhausted` fault (folded into `None` by [`run`]) instead of a
+/// hang.
+pub const DEFAULT_EVAL_FUEL: u64 = 10_000;
 
 /// Deterministic splitmix64 generator shared by the harness binaries and
 /// tests (the repo takes no RNG dependency).
@@ -512,12 +522,17 @@ pub enum MutantFate {
 /// pair and repack the `(q, r)` result pair, mirroring
 /// [`Case::expected`]'s encoding.
 pub fn run(case: &Case, prog: &Program, n: u64) -> Option<u64> {
+    let opts = EvalOptions {
+        fuel: Some(DEFAULT_EVAL_FUEL),
+        ..EvalOptions::default()
+    };
     if case.shape == Shape::Dword {
         let w = case.width;
-        let out = prog.eval(&[n >> w, n & mask(w)]).ok()?;
+        let out = prog.eval_with(&[n >> w, n & mask(w)], &opts).ok()?;
         return Some((out[0] << w) | out[1]);
     }
-    prog.eval1(&[n]).ok()
+    let out = prog.eval_with(&[n], &opts).ok()?;
+    out.first().copied()
 }
 
 /// Exhaustive verdict over every contractual input — feasible through

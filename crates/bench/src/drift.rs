@@ -36,6 +36,9 @@ pub enum DriftKind {
     Bench,
     /// The mutation oracle got weaker (kill rate, survivors, mismatches).
     Mutation,
+    /// The chaos harness's fault accounting moved between fixed-seed
+    /// runs, or the candidate reports silently wrong quotients.
+    Chaos,
     /// Informational: files added/removed, calibration movement.
     Note,
 }
@@ -47,6 +50,7 @@ impl DriftKind {
             DriftKind::Plan => "plan",
             DriftKind::Bench => "bench",
             DriftKind::Mutation => "mutation",
+            DriftKind::Chaos => "chaos",
             DriftKind::Note => "note",
         }
     }
@@ -350,6 +354,58 @@ fn diff_calibration(report: &mut DriftReport, file: &str, a: &Json, b: &Json) {
     }
 }
 
+/// The counters a fixed-seed chaos run must reproduce exactly: the
+/// injection schedule is deterministic, so any movement means the
+/// guard/cache behaviour changed between the two revisions.
+const CHAOS_COUNTERS: [&str; 7] = [
+    "injected",
+    "detected_degraded",
+    "typed_faults",
+    "silent_wrong",
+    "guard_demotions",
+    "cache_poisoned",
+    "cache_lock_poisoned",
+];
+
+fn diff_chaos(report: &mut DriftReport, file: &str, a: &Json, b: &Json) {
+    let num = |doc: &Json, key: &str| doc.get(key).and_then(Json::as_f64);
+    // A candidate with silently wrong quotients is a regression even if
+    // the baseline was equally broken — this gate has zero tolerance.
+    if let Some(sw) = num(b, "silent_wrong") {
+        if sw > 0.0 {
+            push(
+                report,
+                DriftKind::Chaos,
+                file,
+                format!("candidate reports {sw} silently wrong quotients"),
+                true,
+            );
+        }
+    }
+    for key in CHAOS_COUNTERS {
+        if let (Some(va), Some(vb)) = (num(a, key), num(b, key)) {
+            if va != vb {
+                push(
+                    report,
+                    DriftKind::Chaos,
+                    file,
+                    format!("{key}: {va} -> {vb}"),
+                    true,
+                );
+            }
+        }
+    }
+    if num(a, "seed") != num(b, "seed") {
+        push(
+            report,
+            DriftKind::Note,
+            file,
+            "chaos runs used different seeds; counter comparison is informational".to_string(),
+            false,
+        );
+    }
+}
+
 fn diff_json_pair(report: &mut DriftReport, file: &str, a: &str, b: &str, threshold_pct: f64) {
     let (da, db) = match (parse(a), parse(b)) {
         (Ok(da), Ok(db)) => (da, db),
@@ -364,11 +420,15 @@ fn diff_json_pair(report: &mut DriftReport, file: &str, a: &str, b: &str, thresh
             return;
         }
     };
-    // Classify by shape: verify summaries carry kill_rate, calibration
-    // reports carry models+cells, anything with rows is a bench report.
+    // Classify by shape: chaos reports carry scenarios+silent_wrong,
+    // verify summaries carry kill_rate, calibration reports carry
+    // models+cells, anything with rows is a bench report.
+    let is_chaos = da.get("scenarios").is_some() && da.get("silent_wrong").is_some();
     let is_verify = da.get("kill_rate").is_some() || db.get("kill_rate").is_some();
     let is_calibration = da.get("models").is_some() && da.get("cells").is_some();
-    if is_verify {
+    if is_chaos {
+        diff_chaos(report, file, &da, &db);
+    } else if is_verify {
         diff_verify(report, file, &da, &db);
     } else if is_calibration {
         diff_calibration(report, file, &da, &db);
@@ -539,6 +599,39 @@ mod tests {
             .findings
             .iter()
             .all(|f| f.kind == DriftKind::Mutation));
+    }
+
+    #[test]
+    fn chaos_counter_movement_is_chaos_drift() {
+        let a = tmpdir("chaos_a");
+        let b = tmpdir("chaos_b");
+        let base = r#"{"version":1,"seed":7,"scenarios":[{"name":"plan-bit-flip","injected":12}],"injected":12,"detected_degraded":10,"typed_faults":2,"silent_wrong":0,"guard_demotions":10,"cache_poisoned":3,"cache_lock_poisoned":1}"#;
+        let cand = base.replace("\"guard_demotions\":10", "\"guard_demotions\":11");
+        assert_ne!(base, cand, "seeding failed");
+        std::fs::write(a.join("chaos.json"), base).expect("write");
+        std::fs::write(b.join("chaos.json"), &cand).expect("write");
+        let report = diff_snapshots(&a, &b, 10.0).expect("diff");
+        assert_eq!(report.regressions(), 1, "{report:?}");
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == DriftKind::Chaos && f.what.contains("guard_demotions")));
+    }
+
+    #[test]
+    fn silently_wrong_quotients_in_candidate_are_zero_tolerance() {
+        let a = tmpdir("silent_a");
+        let b = tmpdir("silent_b");
+        let base = r#"{"version":1,"seed":7,"scenarios":[],"injected":5,"silent_wrong":0}"#;
+        let cand = r#"{"version":1,"seed":7,"scenarios":[],"injected":5,"silent_wrong":2}"#;
+        std::fs::write(a.join("chaos.json"), base).expect("write");
+        std::fs::write(b.join("chaos.json"), cand).expect("write");
+        let report = diff_snapshots(&a, &b, 10.0).expect("diff");
+        assert!(report.regressions() >= 1, "{report:?}");
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == DriftKind::Chaos && f.what.contains("silently wrong")));
     }
 
     #[test]

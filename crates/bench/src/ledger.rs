@@ -95,6 +95,28 @@ pub fn archive_explain_stream(stem: &str, contents: &str) -> std::io::Result<Opt
     Ok(Some(path))
 }
 
+/// Archives one JSON report document as
+/// `<archive>/<git_sha>/<stem>.json`, creating directories as needed.
+/// The `.json` extension is what routes the file to the object differ
+/// (rather than the plan-stream differ) in `drift snapshot` diffs.
+///
+/// Returns the written path, or `None` when archiving is disabled via
+/// [`ARCHIVE_ENV`].
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unwritable archive directory).
+pub fn archive_report_json(stem: &str, contents: &str) -> std::io::Result<Option<PathBuf>> {
+    let Some(base) = archive_base() else {
+        return Ok(None);
+    };
+    let dir = base.join(git_sha());
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{stem}.json"));
+    std::fs::write(&path, contents)?;
+    Ok(Some(path))
+}
+
 /// A bin run being recorded: holds the run-wide [`MetricsSink`] so every
 /// traced event of the run lands in the ledger record's snapshot.
 pub struct RunLedger {
@@ -158,7 +180,15 @@ impl RunLedger {
         let Some(path) = ledger_path() else {
             return Ok(None);
         };
-        let line = self.to_record_line();
+        // Crash safety: format the whole record (newline included) into
+        // one buffer and hand it to the O_APPEND handle as a single
+        // `write_all`. `writeln!` would issue one small write per format
+        // fragment, and a process killed between fragments would leave a
+        // torn record that poisons every later `read_ledger`. A single
+        // small append is atomic in practice on local filesystems; at
+        // worst a kill loses the entire line, never half of it.
+        let mut line = self.to_record_line();
+        line.push('\n');
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
@@ -166,7 +196,7 @@ impl RunLedger {
             .create(true)
             .append(true)
             .open(&path)?;
-        writeln!(file, "{line}")?;
+        file.write_all(line.as_bytes())?;
         Ok(Some(path))
     }
 }

@@ -23,6 +23,7 @@
 
 mod asmprofile;
 pub mod calibrate;
+pub mod chaos;
 mod corpus;
 mod diff;
 pub mod drift;
@@ -37,16 +38,21 @@ pub use crate::calibrate::{
     run_calibration, score_models, CalibrationCell, CalibrationConfig, CalibrationReport,
     Inversion, ModelScore,
 };
+pub use crate::chaos::{
+    corrupt_udiv_plan, run_chaos, ChaosConfig, ChaosReport, ScenarioTally, CHAOS_WIDTHS,
+    DEFAULT_CHAOS_ROUNDS, DEFAULT_CHAOS_SEED,
+};
 pub use crate::corpus::{
     default_corpus_dir, read_corpus, write_entry, write_entry_traced, CorpusEntry,
 };
 pub use crate::diff::{
     build_repro_program, classify_mutant, run, shrink, Case, MutantFate, Repro, Shape, SplitMix,
+    DEFAULT_EVAL_FUEL,
 };
 pub use crate::drift::{diff_snapshots, DriftFinding, DriftKind, DriftReport};
 pub use crate::explain::{explain, explain_jsonl, render_tournament, ExplainShape};
 pub use crate::ledger::{
-    archive_explain_stream, ledger_path, read_ledger, LedgerRecord, RunLedger,
+    archive_explain_stream, archive_report_json, ledger_path, read_ledger, LedgerRecord, RunLedger,
 };
 pub use crate::runmeta::{git_sha, unix_time_ms};
 pub use crate::tournament::{

@@ -166,3 +166,54 @@ fn ledger_mode_compares_counters_between_revisions() {
     let out = drift(&["ledger", path_str(&ledger), "aaa111", "ccc333"]);
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn check_ledger_rejects_a_truncated_final_line() {
+    // The crash-safety contract: `RunLedger::finish` appends each
+    // record as one `O_APPEND` write of a full line, so a ledger with a
+    // torn final line means a crashed writer (or a lost write), and the
+    // checker must fail loudly rather than silently dropping it.
+    let dir = tmpdir("ledger_torn");
+    let torn = dir.join("torn.jsonl");
+    let record = r#"{"version":1,"git_sha":"abc","unix_ms":1,"bin":"bench","args":[],"duration_ms":3,"metrics":{"counters":{},"histograms":{}}}"#;
+    // Cut the second record off mid-object, as a crash mid-write would.
+    let partial = &record[..record.len() / 2];
+    std::fs::write(&torn, format!("{record}\n{partial}")).expect("write");
+    let out = drift(&["check-ledger", path_str(&torn)]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("line 2"),
+        "error names the torn line: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn chaos_reports_diff_as_chaos_drift() {
+    use magicdiv_bench::{run_chaos, ChaosConfig};
+
+    let a = tmpdir("chaos_a");
+    let b = tmpdir("chaos_b");
+    let cfg = ChaosConfig {
+        seed: 99,
+        rounds: 2,
+    };
+    let report = run_chaos(&cfg).to_json();
+
+    // Same seed, same code: byte-identical reports, zero findings.
+    std::fs::write(a.join("chaos.json"), &report).expect("write");
+    std::fs::write(b.join("chaos.json"), &report).expect("write");
+    let out = drift(&[path_str(&a), path_str(&b)]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // A candidate snapshot reporting a silently wrong quotient is a
+    // zero-tolerance regression.
+    let doctored = report.replace("\"silent_wrong\": 0,", "\"silent_wrong\": 1,");
+    assert_ne!(report, doctored);
+    std::fs::write(b.join("chaos.json"), &doctored).expect("write");
+    let out = drift(&[path_str(&a), path_str(&b)]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("chaos"), "{stdout}");
+    assert!(stdout.contains("silently wrong"), "{stdout}");
+}

@@ -79,6 +79,12 @@ pub enum FaultLayer {
     AsmInterp,
     /// The cycle-cost CPU simulator.
     SimCpu,
+    /// The guarded runtime-divisor layer (`magicdiv::guard`): probe and
+    /// cross-check failures against native division.
+    Guard,
+    /// The shared plan cache (`magicdiv::cache`): poisoned entries or
+    /// poisoned shard locks.
+    Cache,
 }
 
 impl fmt::Display for FaultLayer {
@@ -88,6 +94,8 @@ impl fmt::Display for FaultLayer {
             FaultLayer::IrInterp => write!(f, "ir-interp"),
             FaultLayer::AsmInterp => write!(f, "asm-interp"),
             FaultLayer::SimCpu => write!(f, "simcpu"),
+            FaultLayer::Guard => write!(f, "guard"),
+            FaultLayer::Cache => write!(f, "cache"),
         }
     }
 }
@@ -133,6 +141,27 @@ pub enum FaultKind {
         prec: u32,
         /// The word width `N` bounding it.
         width: u32,
+    },
+    /// A guarded divisor's self-verification (construction probe or
+    /// hardened-mode sampled cross-check) found a quotient disagreeing
+    /// with native division — the plan constants are corrupt.
+    SelfCheckFailed {
+        /// The witness dividend (bit pattern, zero-extended).
+        n: u128,
+        /// The quotient the plan produced (bit pattern).
+        got: u128,
+        /// The quotient native division produces (bit pattern).
+        want: u128,
+    },
+    /// A cached plan's stored checksum no longer matches its constants:
+    /// the entry was corrupted in place and must not be served.
+    CachePoisoned,
+    /// The process-wide [`crate::guard::FaultBudget`] is exhausted: too
+    /// many guarded divisors have demoted, and the circuit breaker now
+    /// refuses hardened construction.
+    FaultBudgetExhausted {
+        /// The demotion budget that was exceeded.
+        limit: u64,
     },
 }
 
@@ -186,6 +215,13 @@ impl fmt::Display for FaultKind {
             FaultKind::PrecisionOutOfRange { prec, width } => {
                 write!(f, "precision {prec} outside 1..={width}")
             }
+            FaultKind::SelfCheckFailed { n, got, want } => {
+                write!(f, "self-check failed at n={n}: got {got}, want {want}")
+            }
+            FaultKind::CachePoisoned => write!(f, "cached plan failed its checksum"),
+            FaultKind::FaultBudgetExhausted { limit } => {
+                write!(f, "fault budget of {limit} demotions exhausted")
+            }
         }
     }
 }
@@ -208,6 +244,22 @@ impl core::error::Error for Fault {
     /// parsing the rendered message.
     fn source(&self) -> Option<&(dyn core::error::Error + 'static)> {
         Some(&self.kind)
+    }
+}
+
+impl From<DivisorError> for Fault {
+    /// Lifts a construction error into the unified taxonomy — the
+    /// `try_new` constructors of every divisor family use this so
+    /// callers see one fault type end to end.
+    fn from(e: DivisorError) -> Fault {
+        let kind = match e {
+            DivisorError::Zero => FaultKind::DivideByZero,
+        };
+        Fault {
+            layer: FaultLayer::Plan,
+            kind,
+            at: None,
+        }
     }
 }
 

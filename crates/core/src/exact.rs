@@ -133,12 +133,41 @@ impl<T: UWord> ExactUnsignedDivisor<T> {
             T::from_u128_truncate(plan.dinv),
             mod_inverse_newton(d.shr_full(plan.e))
         );
-        Ok(ExactUnsignedDivisor {
-            d,
+        Ok(Self::from_plan(&plan))
+    }
+
+    /// Like [`new`](Self::new), reporting failure through the unified
+    /// [`Fault`](crate::Fault) taxonomy instead of [`DivisorError`] —
+    /// mirrors [`crate::try_choose_multiplier`].
+    ///
+    /// # Errors
+    ///
+    /// [`FaultKind::DivideByZero`](crate::FaultKind::DivideByZero) at
+    /// [`FaultLayer::Plan`](crate::FaultLayer::Plan) when `d == 0`.
+    pub fn try_new(d: T) -> Result<Self, crate::Fault> {
+        Self::new(d).map_err(crate::Fault::from)
+    }
+
+    /// Caches an already-selected plan at the native word type — how the
+    /// plan cache (and the guarded-execution layer) turn a stored plan
+    /// into a runnable divisor. The plan's constants are trusted as-is.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan.width() != T::BITS` or the plan is signed.
+    pub fn from_plan(plan: &ExactPlan) -> Self {
+        assert_eq!(
+            plan.width(),
+            T::BITS,
+            "plan width does not match divisor word width"
+        );
+        assert!(!plan.is_signed(), "signed exact plan for unsigned divisor");
+        ExactUnsignedDivisor {
+            d: T::from_u128_truncate(plan.d_abs),
             e: plan.e,
             dinv: T::from_u128_truncate(plan.dinv),
             qmax: T::from_u128_truncate(plan.qmax),
-        })
+        }
     }
 
     /// The divisor this inverse was computed for.
@@ -241,15 +270,49 @@ impl<S: SWord> ExactSignedDivisor<S> {
     /// Returns [`DivisorError::Zero`] when `d == 0`.
     pub fn new(d: S) -> Result<Self, DivisorError> {
         let plan = ExactPlan::new_signed(d.to_i128(), S::BITS)?;
+        Ok(Self::from_plan(&plan))
+    }
+
+    /// Like [`new`](Self::new), reporting failure through the unified
+    /// [`Fault`](crate::Fault) taxonomy instead of [`DivisorError`] —
+    /// mirrors [`crate::try_choose_multiplier`].
+    ///
+    /// # Errors
+    ///
+    /// [`FaultKind::DivideByZero`](crate::FaultKind::DivideByZero) at
+    /// [`FaultLayer::Plan`](crate::FaultLayer::Plan) when `d == 0`.
+    pub fn try_new(d: S) -> Result<Self, crate::Fault> {
+        Self::new(d).map_err(crate::Fault::from)
+    }
+
+    /// Caches an already-selected plan at the native word type — how the
+    /// plan cache (and the guarded-execution layer) turn a stored plan
+    /// into a runnable divisor. The plan's constants are trusted as-is.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan.width() != S::BITS` or the plan is unsigned.
+    pub fn from_plan(plan: &ExactPlan) -> Self {
+        assert_eq!(
+            plan.width(),
+            S::BITS,
+            "plan width does not match divisor word width"
+        );
+        assert!(plan.is_signed(), "unsigned exact plan for signed divisor");
         let word = <S::Unsigned as Limb>::from_u128_truncate;
-        Ok(ExactSignedDivisor {
-            d,
+        let d_abs = S::from_unsigned(word(plan.d_abs));
+        ExactSignedDivisor {
+            d: if plan.negate {
+                d_abs.wrapping_neg()
+            } else {
+                d_abs
+            },
             e: plan.e,
             dinv: word(plan.dinv),
             qmax_scaled: word(plan.qmax),
             low_mask: word(plan.low_mask),
             is_pow2: plan.is_pow2,
-        })
+        }
     }
 
     /// Builds the divisor through the planner-tournament entry point.

@@ -75,10 +75,38 @@ impl<S: SWord> FloorDivisor<S> {
     /// Returns [`DivisorError::Zero`] when `d == 0`.
     pub fn new(d: S) -> Result<Self, DivisorError> {
         let plan = FloorPlan::new(d.to_i128(), S::BITS)?;
+        Ok(Self::from_plan(&plan))
+    }
+
+    /// Like [`new`](Self::new), reporting failure through the unified
+    /// [`Fault`](crate::Fault) taxonomy instead of [`DivisorError`] —
+    /// mirrors [`crate::try_choose_multiplier`].
+    ///
+    /// # Errors
+    ///
+    /// [`FaultKind::DivideByZero`](crate::FaultKind::DivideByZero) at
+    /// [`FaultLayer::Plan`](crate::FaultLayer::Plan) when `d == 0`.
+    pub fn try_new(d: S) -> Result<Self, crate::Fault> {
+        Self::new(d).map_err(crate::Fault::from)
+    }
+
+    /// Caches an already-selected plan at the native word type — how the
+    /// plan cache (and the guarded-execution layer) turn a stored plan
+    /// into a runnable divisor. The plan's constants are trusted as-is.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan.width() != S::BITS`.
+    pub fn from_plan(plan: &FloorPlan) -> Self {
+        assert_eq!(
+            plan.width(),
+            S::BITS,
+            "plan width does not match divisor word width"
+        );
         let variant = match plan.strategy() {
             FloorStrategy::Identity => Variant::Identity,
-            FloorStrategy::NegativeTrunc { .. } => Variant::NegativeTrunc {
-                trunc: SignedDivisor::new(d)?,
+            FloorStrategy::NegativeTrunc { trunc } => Variant::NegativeTrunc {
+                trunc: SignedDivisor::from_plan(&trunc),
             },
             FloorStrategy::Shift { l } => Variant::Shift { l },
             FloorStrategy::MulShift { m, sh_post } => Variant::MulShift {
@@ -86,7 +114,10 @@ impl<S: SWord> FloorDivisor<S> {
                 sh_post,
             },
         };
-        Ok(FloorDivisor { d, variant })
+        FloorDivisor {
+            d: S::from_i128_truncate(plan.divisor()),
+            variant,
+        }
     }
 
     /// Builds the divisor through the planner-tournament entry point.

@@ -1,0 +1,1177 @@
+//! Guarded execution: self-verifying divisors with graceful degradation
+//! to hardware division.
+//!
+//! The planning layer is proven correct at build time (mutation-tested
+//! oracle, tournament certification), but nothing there defends the
+//! *runtime* path: a corrupted magic constant — one flipped bit in a
+//! multiplier sitting in live memory — silently yields wrong quotients,
+//! and the optimal-bounds analysis (Lemire–Bartlett–Kaser, arXiv
+//! 2012.12369) shows many winning constants sit exactly one bit from
+//! incorrectness. This module wraps every divisor family in a
+//! [`GuardedUnsignedDivisor`]-style guard with a three-state machine:
+//!
+//! * **Verified** — construction ran a self-verification probe (boundary
+//!   plus seeded-random witnesses, each checked against native
+//!   division); execution trusts the plan with zero per-call overhead;
+//! * **Hardened** — execution additionally cross-checks every
+//!   `sample_every`-th quotient against native division;
+//! * **Demoted** — a cross-check mismatched: the instance permanently
+//!   falls back to native (hardware) division, emits a
+//!   `guard.demotion` trace event and charges the process-wide
+//!   [`FaultBudget`]. The mismatching call itself already returns the
+//!   *correct* (native) quotient — a detected fault is never served.
+//!
+//! The [`FaultBudget`] is a circuit breaker: once the configured number
+//! of demotions is spent, further guarded constructions skip the probe
+//! and start out demoted (`guard.circuit_open`), on the theory that a
+//! process whose plan constants keep failing has a systemic memory
+//! problem and should serve everything through hardware division until
+//! it is recycled.
+//!
+//! # Examples
+//!
+//! ```
+//! use magicdiv::guard::{GuardPolicy, GuardState, GuardedUnsignedDivisor};
+//!
+//! let by7 = GuardedUnsignedDivisor::<u32>::new(7)?;
+//! assert_eq!(by7.state(), GuardState::Verified);
+//! assert_eq!(by7.divide(1000), 142);
+//!
+//! // A corrupted plan is caught by the construction probe: this one
+//! // claims d = 7 is a power of two.
+//! use magicdiv::plan::{UdivPlan, UdivStrategy};
+//! let bad = UdivPlan::from_raw(7, 32, UdivStrategy::Shift { sh: 3 });
+//! let err = GuardedUnsignedDivisor::<u32>::from_plan(&bad, &GuardPolicy::default());
+//! assert!(err.is_err(), "probe must reject the wrong strategy");
+//! # Ok::<(), magicdiv::Fault>(())
+//! ```
+
+use core::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use magicdiv_dword::{DWord, Limb};
+
+use crate::error::{DwordDivError, Fault, FaultKind, FaultLayer};
+use crate::exact::ExactUnsignedDivisor;
+use crate::floor::FloorDivisor;
+use crate::plan::{DwordPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan};
+use crate::signed::SignedDivisor;
+use crate::udword_div::DwordDivisor;
+use crate::unsigned::UnsignedDivisor;
+use crate::word::{SWord, UWord};
+
+/// Where a guarded divisor sits in the Verified → Hardened → Demoted
+/// state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GuardState {
+    /// The construction probe passed; execution trusts the plan.
+    Verified,
+    /// Execution cross-checks a sampled fraction of quotients.
+    Hardened,
+    /// A cross-check failed; every call now uses native division.
+    Demoted,
+}
+
+impl core::fmt::Display for GuardState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GuardState::Verified => write!(f, "verified"),
+            GuardState::Hardened => write!(f, "hardened"),
+            GuardState::Demoted => write!(f, "demoted"),
+        }
+    }
+}
+
+/// How a guarded divisor is constructed and executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardPolicy {
+    /// Seeded-random witnesses the construction probe adds to the
+    /// boundary set.
+    pub probe_witnesses: u32,
+    /// Cross-check every `sample_every`-th call in hardened mode;
+    /// `0` disables runtime checks (the divisor starts Verified),
+    /// `1` checks every call.
+    pub sample_every: u64,
+    /// Seed for the probe's witness generator (deterministic).
+    pub seed: u64,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> Self {
+        GuardPolicy {
+            probe_witnesses: 16,
+            sample_every: 0,
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl GuardPolicy {
+    /// The hardened preset: probe at construction, then cross-check
+    /// every `sample_every`-th quotient at runtime.
+    pub fn hardened(sample_every: u64) -> Self {
+        GuardPolicy {
+            sample_every: sample_every.max(1),
+            ..GuardPolicy::default()
+        }
+    }
+}
+
+/// Process-wide demotion budget — the circuit breaker for guarded
+/// execution.
+///
+/// Every demotion is recorded here; once `limit` demotions have been
+/// spent, [`FaultBudget::exhausted`] turns true and new guarded
+/// constructions start out demoted (native division) instead of probing
+/// and hardening.
+#[derive(Debug)]
+pub struct FaultBudget {
+    limit: AtomicU64,
+    demotions: AtomicU64,
+}
+
+/// Default process-wide demotion budget.
+pub const DEFAULT_FAULT_BUDGET: u64 = 1024;
+
+impl FaultBudget {
+    /// A budget allowing `limit` demotions before the circuit opens.
+    pub const fn with_limit(limit: u64) -> Self {
+        FaultBudget {
+            limit: AtomicU64::new(limit),
+            demotions: AtomicU64::new(0),
+        }
+    }
+
+    /// Demotions recorded so far.
+    pub fn demotions(&self) -> u64 {
+        self.demotions.load(Ordering::Relaxed)
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> u64 {
+        self.limit.load(Ordering::Relaxed)
+    }
+
+    /// Reconfigures the limit (e.g. for a chaos run or a test).
+    pub fn set_limit(&self, limit: u64) {
+        self.limit.store(limit, Ordering::Relaxed);
+    }
+
+    /// Whether the circuit is open (budget spent).
+    pub fn exhausted(&self) -> bool {
+        self.demotions() >= self.limit()
+    }
+
+    /// Typed check: `Err` with [`FaultKind::FaultBudgetExhausted`] when
+    /// the circuit is open.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultKind::FaultBudgetExhausted`] at [`FaultLayer::Guard`].
+    pub fn check(&self) -> Result<(), Fault> {
+        if self.exhausted() {
+            Err(Fault {
+                layer: FaultLayer::Guard,
+                kind: FaultKind::FaultBudgetExhausted {
+                    limit: self.limit(),
+                },
+                at: None,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Records one demotion, returning the new total. Emits
+    /// `guard.circuit_open` when this demotion spends the budget.
+    pub fn record_demotion(&self) -> u64 {
+        let total = self.demotions.fetch_add(1, Ordering::Relaxed) + 1;
+        if total == self.limit() {
+            magicdiv_trace::event!("guard.circuit_open", "demotions" => total);
+        }
+        total
+    }
+
+    /// Clears the demotion count (chaos scenarios and tests run many
+    /// induced demotions in one process).
+    pub fn reset(&self) {
+        self.demotions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide [`FaultBudget`] every guarded divisor charges.
+pub fn fault_budget() -> &'static FaultBudget {
+    static BUDGET: FaultBudget = FaultBudget::with_limit(DEFAULT_FAULT_BUDGET);
+    &BUDGET
+}
+
+/// splitmix64 — the same tiny deterministic generator the bench harness
+/// uses, reimplemented here so the core crate stays dependency-free.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// 128-bit witness from two splitmix draws.
+fn splitmix128(state: &mut u64) -> u128 {
+    (u128::from(splitmix(state)) << 64) | u128::from(splitmix(state))
+}
+
+const STATE_VERIFIED: u8 = 0;
+const STATE_HARDENED: u8 = 1;
+const STATE_DEMOTED: u8 = 2;
+
+/// Shared interior-mutable guard machinery: state, call counter and
+/// sampling policy.
+#[derive(Debug)]
+struct GuardCore {
+    state: AtomicU8,
+    calls: AtomicU64,
+    sample_every: u64,
+}
+
+impl GuardCore {
+    fn new(state: GuardState, sample_every: u64) -> Self {
+        GuardCore {
+            state: AtomicU8::new(match state {
+                GuardState::Verified => STATE_VERIFIED,
+                GuardState::Hardened => STATE_HARDENED,
+                GuardState::Demoted => STATE_DEMOTED,
+            }),
+            calls: AtomicU64::new(0),
+            sample_every,
+        }
+    }
+
+    /// Initial state for a fresh construction under `policy`, honouring
+    /// the circuit breaker.
+    fn initial(policy: &GuardPolicy) -> GuardState {
+        if fault_budget().exhausted() {
+            magicdiv_trace::event!("guard.circuit_bypass",
+                "demotions" => fault_budget().demotions());
+            GuardState::Demoted
+        } else if policy.sample_every > 0 {
+            GuardState::Hardened
+        } else {
+            GuardState::Verified
+        }
+    }
+
+    fn state(&self) -> GuardState {
+        match self.state.load(Ordering::Acquire) {
+            STATE_VERIFIED => GuardState::Verified,
+            STATE_HARDENED => GuardState::Hardened,
+            _ => GuardState::Demoted,
+        }
+    }
+
+    /// Whether this call should be cross-checked (hardened mode only).
+    fn should_check(&self) -> bool {
+        if self.state.load(Ordering::Acquire) != STATE_HARDENED {
+            return false;
+        }
+        let c = self.calls.fetch_add(1, Ordering::Relaxed);
+        self.sample_every == 1 || c % self.sample_every == 0
+    }
+
+    /// Transitions to Demoted, charges the budget, emits the typed
+    /// `guard.demotion` event.
+    fn demote(&self, shape: &'static str, width: u32, fault: &Fault) {
+        self.state.store(STATE_DEMOTED, Ordering::Release);
+        fault_budget().record_demotion();
+        magicdiv_trace::event!("guard.demotion",
+            "shape" => shape,
+            "width" => width,
+            "why" => format!("{fault}"));
+    }
+}
+
+/// Builds the [`Fault`] a failed self-check reports.
+fn self_check_fault(n: u128, got: u128, want: u128) -> Fault {
+    Fault {
+        layer: FaultLayer::Guard,
+        kind: FaultKind::SelfCheckFailed { n, got, want },
+        at: None,
+    }
+}
+
+/// Emits the probe-outcome event shared by every shape.
+fn probe_event(shape: &'static str, width: u32, witnesses: u32, ok: bool) {
+    magicdiv_trace::event!("guard.probe",
+        "shape" => shape,
+        "width" => width,
+        "witnesses" => witnesses,
+        "ok" => if ok { 1u32 } else { 0u32 });
+}
+
+// ---------------------------------------------------------------------------
+// Unsigned (§4)
+// ---------------------------------------------------------------------------
+
+/// [`UnsignedDivisor`] wrapped in the Verified → Hardened → Demoted
+/// guard state machine.
+#[derive(Debug)]
+pub struct GuardedUnsignedDivisor<T> {
+    inner: UnsignedDivisor<T>,
+    d: T,
+    core: GuardCore,
+}
+
+impl<T: UWord> GuardedUnsignedDivisor<T> {
+    /// Builds and probes a guarded divisor under the default policy
+    /// (probe only, no runtime sampling).
+    ///
+    /// # Errors
+    ///
+    /// `DivideByZero` for `d == 0`; [`FaultKind::SelfCheckFailed`] when
+    /// the probe catches a wrong quotient.
+    pub fn new(d: T) -> Result<Self, Fault> {
+        let plan = UdivPlan::new(d.to_u128(), T::BITS).map_err(Fault::from)?;
+        Self::from_plan(&plan, &GuardPolicy::default())
+    }
+
+    /// Builds and probes a guarded divisor under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Self::new).
+    pub fn with_policy(d: T, policy: &GuardPolicy) -> Result<Self, Fault> {
+        let plan = UdivPlan::new(d.to_u128(), T::BITS).map_err(Fault::from)?;
+        Self::from_plan(&plan, policy)
+    }
+
+    /// Wraps an existing plan (e.g. one served by the
+    /// [`crate::cache::PlanCache`]), probing its constants first.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultKind::SelfCheckFailed`] when any probe witness divides
+    /// wrongly — the typical symptom of a corrupted constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan.width() != T::BITS`.
+    pub fn from_plan(plan: &UdivPlan, policy: &GuardPolicy) -> Result<Self, Fault> {
+        let this = Self::from_plan_unprobed(plan, policy);
+        if this.core.state() == GuardState::Demoted {
+            return Ok(this); // circuit open: native division, no probe
+        }
+        let outcome = this.probe(policy);
+        probe_event("unsigned", T::BITS, policy.probe_witnesses, outcome.is_ok());
+        outcome.map(|()| this)
+    }
+
+    /// Wraps a plan *without* probing it — the entry point
+    /// fault-injection harnesses use to smuggle corrupted constants past
+    /// construction so the runtime cross-check path can be exercised.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan.width() != T::BITS`.
+    pub fn from_plan_unprobed(plan: &UdivPlan, policy: &GuardPolicy) -> Self {
+        GuardedUnsignedDivisor {
+            inner: UnsignedDivisor::from_plan(plan),
+            d: T::from_u128_truncate(plan.divisor()),
+            core: GuardCore::new(GuardCore::initial(policy), policy.sample_every),
+        }
+    }
+
+    fn native(&self, n: T) -> T {
+        n.checked_div(self.d).unwrap_or(T::ZERO) // d != 0 by construction
+    }
+
+    fn probe(&self, policy: &GuardPolicy) -> Result<(), Fault> {
+        let d = self.d;
+        let mut witnesses = vec![
+            T::ZERO,
+            T::ONE,
+            d.wrapping_sub(T::ONE),
+            d,
+            d.wrapping_add(T::ONE),
+            d.wrapping_add(d),
+            T::MAX,
+            T::MAX.wrapping_sub(T::ONE),
+            T::MAX.shr_full(1),
+            T::MAX.shr_full(1).wrapping_add(T::ONE),
+        ];
+        let mut rng = policy.seed ^ d.to_u128() as u64;
+        for _ in 0..policy.probe_witnesses {
+            witnesses.push(T::from_u128_truncate(splitmix128(&mut rng)));
+        }
+        for n in witnesses {
+            let got = self.inner.divide(n);
+            let want = self.native(n);
+            if got != want {
+                return Err(self_check_fault(n.to_u128(), got.to_u128(), want.to_u128()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The divisor this guard protects.
+    #[inline]
+    pub fn divisor(&self) -> T {
+        self.d
+    }
+
+    /// Current position in the state machine.
+    pub fn state(&self) -> GuardState {
+        self.core.state()
+    }
+
+    /// The wrapped plan-backed divisor (for introspection).
+    pub fn inner(&self) -> &UnsignedDivisor<T> {
+        &self.inner
+    }
+
+    /// Computes `⌊n / d⌋`. In hardened mode a sampled fraction of calls
+    /// is cross-checked against native division; a mismatch demotes the
+    /// instance and the *native* quotient is returned, so a detected
+    /// fault is never served.
+    pub fn divide(&self, n: T) -> T {
+        if self.core.state() == GuardState::Demoted {
+            return self.native(n);
+        }
+        let q = self.inner.divide(n);
+        if self.core.should_check() {
+            let want = self.native(n);
+            if q != want {
+                let fault = self_check_fault(n.to_u128(), q.to_u128(), want.to_u128());
+                self.core.demote("unsigned", T::BITS, &fault);
+                return want;
+            }
+        }
+        q
+    }
+
+    /// Computes `n mod d` with the same guard semantics as
+    /// [`divide`](Self::divide).
+    pub fn remainder(&self, n: T) -> T {
+        n.wrapping_sub(self.divide(n).wrapping_mul(self.d))
+    }
+
+    /// Quotient and remainder together.
+    pub fn div_rem(&self, n: T) -> (T, T) {
+        let q = self.divide(n);
+        (q, n.wrapping_sub(q.wrapping_mul(self.d)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Signed trunc (§5)
+// ---------------------------------------------------------------------------
+
+/// [`SignedDivisor`] wrapped in the guard state machine.
+#[derive(Debug)]
+pub struct GuardedSignedDivisor<S> {
+    inner: SignedDivisor<S>,
+    d: S,
+    core: GuardCore,
+}
+
+/// Native truncating division with hardware wrap on `MIN / -1`.
+fn native_trunc<S: SWord>(n: S, d: S) -> S {
+    if n == S::MIN && d == S::MINUS_ONE {
+        return S::MIN;
+    }
+    S::from_i128_truncate(n.to_i128() / d.to_i128())
+}
+
+/// Native floor division with hardware wrap on `MIN / -1`.
+fn native_floor<S: SWord>(n: S, d: S) -> S {
+    if n == S::MIN && d == S::MINUS_ONE {
+        return S::MIN;
+    }
+    let (ni, di) = (n.to_i128(), d.to_i128());
+    let q = ni / di;
+    let r = ni % di;
+    if r != 0 && (r < 0) != (di < 0) {
+        S::from_i128_truncate(q - 1)
+    } else {
+        S::from_i128_truncate(q)
+    }
+}
+
+impl<S: SWord> GuardedSignedDivisor<S> {
+    /// Builds and probes a guarded signed divisor (default policy).
+    ///
+    /// # Errors
+    ///
+    /// `DivideByZero` for `d == 0`; [`FaultKind::SelfCheckFailed`] when
+    /// the probe catches a wrong quotient.
+    pub fn new(d: S) -> Result<Self, Fault> {
+        Self::with_policy(d, &GuardPolicy::default())
+    }
+
+    /// Builds and probes under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Self::new).
+    pub fn with_policy(d: S, policy: &GuardPolicy) -> Result<Self, Fault> {
+        let plan = SdivPlan::new(d.to_i128(), S::BITS).map_err(Fault::from)?;
+        Self::from_plan(&plan, policy)
+    }
+
+    /// Wraps an existing plan, probing its constants first.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultKind::SelfCheckFailed`] when any probe witness divides
+    /// wrongly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan.width() != S::BITS`.
+    pub fn from_plan(plan: &SdivPlan, policy: &GuardPolicy) -> Result<Self, Fault> {
+        let this = Self::from_plan_unprobed(plan, policy);
+        if this.core.state() == GuardState::Demoted {
+            return Ok(this);
+        }
+        let outcome = this.probe(policy);
+        probe_event("signed", S::BITS, policy.probe_witnesses, outcome.is_ok());
+        outcome.map(|()| this)
+    }
+
+    /// Wraps a plan without probing (fault-injection entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan.width() != S::BITS`.
+    pub fn from_plan_unprobed(plan: &SdivPlan, policy: &GuardPolicy) -> Self {
+        GuardedSignedDivisor {
+            inner: SignedDivisor::from_plan(plan),
+            d: S::from_i128_truncate(plan.divisor()),
+            core: GuardCore::new(GuardCore::initial(policy), policy.sample_every),
+        }
+    }
+
+    fn probe(&self, policy: &GuardPolicy) -> Result<(), Fault> {
+        let d = self.d;
+        let mut witnesses = vec![
+            S::ZERO,
+            S::ONE,
+            S::MINUS_ONE,
+            d,
+            d.wrapping_neg(),
+            d.wrapping_add(S::ONE),
+            d.wrapping_sub(S::ONE),
+            S::MIN,
+            S::MIN.wrapping_add(S::ONE),
+            S::MAX,
+            S::MAX.wrapping_sub(S::ONE),
+        ];
+        let mut rng = policy.seed ^ d.as_unsigned().to_u128() as u64;
+        for _ in 0..policy.probe_witnesses {
+            witnesses.push(S::from_unsigned(<S::Unsigned as Limb>::from_u128_truncate(
+                splitmix128(&mut rng),
+            )));
+        }
+        for n in witnesses {
+            let got = self.inner.divide(n);
+            let want = native_trunc(n, d);
+            if got != want {
+                return Err(self_check_fault(
+                    n.as_unsigned().to_u128(),
+                    got.as_unsigned().to_u128(),
+                    want.as_unsigned().to_u128(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The divisor this guard protects.
+    #[inline]
+    pub fn divisor(&self) -> S {
+        self.d
+    }
+
+    /// Current position in the state machine.
+    pub fn state(&self) -> GuardState {
+        self.core.state()
+    }
+
+    /// Computes `TRUNC(n / d)` with guard semantics (see
+    /// [`GuardedUnsignedDivisor::divide`]).
+    pub fn divide(&self, n: S) -> S {
+        if self.core.state() == GuardState::Demoted {
+            return native_trunc(n, self.d);
+        }
+        let q = self.inner.divide(n);
+        if self.core.should_check() {
+            let want = native_trunc(n, self.d);
+            if q != want {
+                let fault = self_check_fault(
+                    n.as_unsigned().to_u128(),
+                    q.as_unsigned().to_u128(),
+                    want.as_unsigned().to_u128(),
+                );
+                self.core.demote("signed", S::BITS, &fault);
+                return want;
+            }
+        }
+        q
+    }
+
+    /// Computes the remainder (sign of the dividend) with guard
+    /// semantics.
+    pub fn remainder(&self, n: S) -> S {
+        n.wrapping_sub(self.divide(n).wrapping_mul(self.d))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Floor (§6)
+// ---------------------------------------------------------------------------
+
+/// [`FloorDivisor`] wrapped in the guard state machine.
+#[derive(Debug)]
+pub struct GuardedFloorDivisor<S: SWord> {
+    inner: FloorDivisor<S>,
+    d: S,
+    core: GuardCore,
+}
+
+impl<S: SWord> GuardedFloorDivisor<S> {
+    /// Builds and probes a guarded floor divisor (default policy).
+    ///
+    /// # Errors
+    ///
+    /// `DivideByZero` for `d == 0`; [`FaultKind::SelfCheckFailed`] when
+    /// the probe catches a wrong quotient.
+    pub fn new(d: S) -> Result<Self, Fault> {
+        Self::with_policy(d, &GuardPolicy::default())
+    }
+
+    /// Builds and probes under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Self::new).
+    pub fn with_policy(d: S, policy: &GuardPolicy) -> Result<Self, Fault> {
+        let plan = FloorPlan::new(d.to_i128(), S::BITS).map_err(Fault::from)?;
+        Self::from_plan(&plan, policy)
+    }
+
+    /// Wraps an existing plan, probing its constants first.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultKind::SelfCheckFailed`] when any probe witness divides
+    /// wrongly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan.width() != S::BITS`.
+    pub fn from_plan(plan: &FloorPlan, policy: &GuardPolicy) -> Result<Self, Fault> {
+        let this = Self::from_plan_unprobed(plan, policy);
+        if this.core.state() == GuardState::Demoted {
+            return Ok(this);
+        }
+        let outcome = this.probe(policy);
+        probe_event("floor", S::BITS, policy.probe_witnesses, outcome.is_ok());
+        outcome.map(|()| this)
+    }
+
+    /// Wraps a plan without probing (fault-injection entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan.width() != S::BITS`.
+    pub fn from_plan_unprobed(plan: &FloorPlan, policy: &GuardPolicy) -> Self {
+        GuardedFloorDivisor {
+            inner: FloorDivisor::from_plan(plan),
+            d: S::from_i128_truncate(plan.divisor()),
+            core: GuardCore::new(GuardCore::initial(policy), policy.sample_every),
+        }
+    }
+
+    fn probe(&self, policy: &GuardPolicy) -> Result<(), Fault> {
+        let d = self.d;
+        let mut witnesses = vec![
+            S::ZERO,
+            S::ONE,
+            S::MINUS_ONE,
+            d,
+            d.wrapping_neg(),
+            d.wrapping_add(S::ONE),
+            d.wrapping_sub(S::ONE),
+            S::MIN,
+            S::MIN.wrapping_add(S::ONE),
+            S::MAX,
+        ];
+        let mut rng = policy.seed ^ d.as_unsigned().to_u128() as u64;
+        for _ in 0..policy.probe_witnesses {
+            witnesses.push(S::from_unsigned(<S::Unsigned as Limb>::from_u128_truncate(
+                splitmix128(&mut rng),
+            )));
+        }
+        for n in witnesses {
+            let got = self.inner.divide(n);
+            let want = native_floor(n, d);
+            if got != want {
+                return Err(self_check_fault(
+                    n.as_unsigned().to_u128(),
+                    got.as_unsigned().to_u128(),
+                    want.as_unsigned().to_u128(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The divisor this guard protects.
+    #[inline]
+    pub fn divisor(&self) -> S {
+        self.d
+    }
+
+    /// Current position in the state machine.
+    pub fn state(&self) -> GuardState {
+        self.core.state()
+    }
+
+    /// Computes `⌊n / d⌋` (round toward `-∞`) with guard semantics.
+    pub fn divide(&self, n: S) -> S {
+        if self.core.state() == GuardState::Demoted {
+            return native_floor(n, self.d);
+        }
+        let q = self.inner.divide(n);
+        if self.core.should_check() {
+            let want = native_floor(n, self.d);
+            if q != want {
+                let fault = self_check_fault(
+                    n.as_unsigned().to_u128(),
+                    q.as_unsigned().to_u128(),
+                    want.as_unsigned().to_u128(),
+                );
+                self.core.demote("floor", S::BITS, &fault);
+                return want;
+            }
+        }
+        q
+    }
+
+    /// Computes `n mod d` (sign of the divisor) with guard semantics.
+    pub fn modulus(&self, n: S) -> S {
+        n.wrapping_sub(self.divide(n).wrapping_mul(self.d))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exact / divisibility (§9)
+// ---------------------------------------------------------------------------
+
+/// [`ExactUnsignedDivisor`] wrapped in the guard state machine.
+///
+/// The guarded contract narrows `divide_exact` slightly: its result is
+/// only meaningful when `d | n` (as before), and the cross-check only
+/// fires on such inputs.
+#[derive(Debug)]
+pub struct GuardedExactDivisor<T> {
+    inner: ExactUnsignedDivisor<T>,
+    d: T,
+    core: GuardCore,
+}
+
+impl<T: UWord> GuardedExactDivisor<T> {
+    /// Builds and probes a guarded exact divisor (default policy).
+    ///
+    /// # Errors
+    ///
+    /// `DivideByZero` for `d == 0`; [`FaultKind::SelfCheckFailed`] when
+    /// the probe catches a wrong exact quotient or divisibility verdict.
+    pub fn new(d: T) -> Result<Self, Fault> {
+        Self::with_policy(d, &GuardPolicy::default())
+    }
+
+    /// Builds and probes under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Self::new).
+    pub fn with_policy(d: T, policy: &GuardPolicy) -> Result<Self, Fault> {
+        let plan = ExactPlan::new_unsigned(d.to_u128(), T::BITS).map_err(Fault::from)?;
+        Self::from_plan(&plan, policy)
+    }
+
+    /// Wraps an existing plan, probing its constants first.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultKind::SelfCheckFailed`] when a probe witness misbehaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan.width() != T::BITS` or the plan is signed.
+    pub fn from_plan(plan: &ExactPlan, policy: &GuardPolicy) -> Result<Self, Fault> {
+        let this = Self::from_plan_unprobed(plan, policy);
+        if this.core.state() == GuardState::Demoted {
+            return Ok(this);
+        }
+        let outcome = this.probe(policy);
+        probe_event("exact", T::BITS, policy.probe_witnesses, outcome.is_ok());
+        outcome.map(|()| this)
+    }
+
+    /// Wraps a plan without probing (fault-injection entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan.width() != T::BITS` or the plan is signed.
+    pub fn from_plan_unprobed(plan: &ExactPlan, policy: &GuardPolicy) -> Self {
+        GuardedExactDivisor {
+            inner: ExactUnsignedDivisor::from_plan(plan),
+            d: T::from_u128_truncate(plan.divisor_abs()),
+            core: GuardCore::new(GuardCore::initial(policy), policy.sample_every),
+        }
+    }
+
+    fn native_rem(&self, n: T) -> T {
+        n.wrapping_sub(
+            n.checked_div(self.d)
+                .unwrap_or(T::ZERO)
+                .wrapping_mul(self.d),
+        )
+    }
+
+    fn probe(&self, policy: &GuardPolicy) -> Result<(), Fault> {
+        let d = self.d;
+        let qmax = T::MAX.checked_div(d).unwrap_or(T::ZERO);
+        let mut quotients = vec![
+            T::ZERO,
+            T::ONE,
+            qmax,
+            qmax.shr_full(1),
+            qmax.wrapping_sub(T::ONE),
+        ];
+        let mut rng = policy.seed ^ d.to_u128() as u64;
+        for _ in 0..policy.probe_witnesses {
+            let q = T::from_u128_truncate(splitmix128(&mut rng));
+            quotients.push(if qmax == T::ZERO {
+                T::ZERO
+            } else {
+                q.wrapping_sub(
+                    q.checked_div(qmax.wrapping_add(T::ONE))
+                        .unwrap_or(T::ZERO)
+                        .wrapping_mul(qmax.wrapping_add(T::ONE)),
+                )
+            });
+        }
+        for q in quotients {
+            let q = if q > qmax { qmax } else { q };
+            let n = q.wrapping_mul(d);
+            let got = self.inner.divide_exact(n);
+            if got != q {
+                return Err(self_check_fault(n.to_u128(), got.to_u128(), q.to_u128()));
+            }
+            if !self.inner.divides(n) {
+                return Err(self_check_fault(n.to_u128(), 0, 1));
+            }
+            // A non-multiple must be rejected (d == 1 divides everything).
+            let off = n.wrapping_add(T::ONE);
+            if d != T::ONE && self.native_rem(off) != T::ZERO && self.inner.divides(off) {
+                return Err(self_check_fault(off.to_u128(), 1, 0));
+            }
+        }
+        Ok(())
+    }
+
+    /// The divisor this guard protects.
+    #[inline]
+    pub fn divisor(&self) -> T {
+        self.d
+    }
+
+    /// Current position in the state machine.
+    pub fn state(&self) -> GuardState {
+        self.core.state()
+    }
+
+    /// Computes `n / d` for `n` a multiple of `d`, with guard semantics.
+    /// Inputs that are not multiples return native `n / d` (demoted) or
+    /// the inner garbage value (verified), exactly as the unguarded
+    /// contract documents.
+    pub fn divide_exact(&self, n: T) -> T {
+        if self.core.state() == GuardState::Demoted {
+            return n.checked_div(self.d).unwrap_or(T::ZERO);
+        }
+        let q = self.inner.divide_exact(n);
+        if self.core.should_check() && self.native_rem(n) == T::ZERO {
+            let want = n.checked_div(self.d).unwrap_or(T::ZERO);
+            if q != want {
+                let fault = self_check_fault(n.to_u128(), q.to_u128(), want.to_u128());
+                self.core.demote("exact", T::BITS, &fault);
+                return want;
+            }
+        }
+        q
+    }
+
+    /// Tests `d | n` with guard semantics.
+    pub fn divides(&self, n: T) -> bool {
+        if self.core.state() == GuardState::Demoted {
+            return self.native_rem(n) == T::ZERO;
+        }
+        let verdict = self.inner.divides(n);
+        if self.core.should_check() {
+            let want = self.native_rem(n) == T::ZERO;
+            if verdict != want {
+                let fault = self_check_fault(n.to_u128(), u128::from(verdict), u128::from(want));
+                self.core.demote("exact", T::BITS, &fault);
+                return want;
+            }
+        }
+        verdict
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dword (§8)
+// ---------------------------------------------------------------------------
+
+/// [`DwordDivisor`] wrapped in the guard state machine. The native
+/// reference is the portable shift-subtract division of
+/// [`magicdiv_dword`], which is independent of the Figure 8.1 constants
+/// being guarded.
+#[derive(Debug)]
+pub struct GuardedDwordDivisor<T> {
+    inner: DwordDivisor<T>,
+    d: T,
+    core: GuardCore,
+}
+
+impl<T: UWord> GuardedDwordDivisor<T> {
+    /// Builds and probes a guarded dword divisor (default policy).
+    ///
+    /// # Errors
+    ///
+    /// `DivideByZero` for `d == 0`; [`FaultKind::SelfCheckFailed`] when
+    /// the probe catches a wrong quotient or remainder.
+    pub fn new(d: T) -> Result<Self, Fault> {
+        Self::with_policy(d, &GuardPolicy::default())
+    }
+
+    /// Builds and probes under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Self::new).
+    pub fn with_policy(d: T, policy: &GuardPolicy) -> Result<Self, Fault> {
+        let plan = DwordPlan::new(d.to_u128(), T::BITS).map_err(Fault::from)?;
+        Self::from_plan(&plan, policy)
+    }
+
+    /// Wraps an existing plan, probing its constants first.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultKind::SelfCheckFailed`] when a probe witness misdivides.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan.width() != T::BITS`.
+    pub fn from_plan(plan: &DwordPlan, policy: &GuardPolicy) -> Result<Self, Fault> {
+        let this = Self::from_plan_unprobed(plan, policy);
+        if this.core.state() == GuardState::Demoted {
+            return Ok(this);
+        }
+        let outcome = this.probe(policy);
+        probe_event("dword", T::BITS, policy.probe_witnesses, outcome.is_ok());
+        outcome.map(|()| this)
+    }
+
+    /// Wraps a plan without probing (fault-injection entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan.width() != T::BITS`.
+    pub fn from_plan_unprobed(plan: &DwordPlan, policy: &GuardPolicy) -> Self {
+        GuardedDwordDivisor {
+            inner: DwordDivisor::from_plan(plan),
+            d: T::from_u128_truncate(plan.divisor()),
+            core: GuardCore::new(GuardCore::initial(policy), policy.sample_every),
+        }
+    }
+
+    /// Portable reference division (independent of the guarded
+    /// constants).
+    fn native(&self, n: DWord<T>) -> Result<(T, T), DwordDivError> {
+        if n.hi() >= self.d {
+            return Err(DwordDivError::QuotientOverflow);
+        }
+        let (q, r) = n
+            .div_rem_limb(self.d)
+            .unwrap_or((DWord::from_lo(T::ZERO), T::ZERO));
+        Ok((q.lo(), r))
+    }
+
+    fn probe(&self, policy: &GuardPolicy) -> Result<(), Fault> {
+        let d = self.d;
+        let mut his = vec![T::ZERO, T::ONE, d.shr_full(1), d.wrapping_sub(T::ONE)];
+        let los = [T::ZERO, T::ONE, T::MAX, d.wrapping_sub(T::ONE)];
+        let mut rng = policy.seed ^ d.to_u128() as u64;
+        for _ in 0..policy.probe_witnesses.div_ceil(4) {
+            his.push(T::from_u128_truncate(splitmix128(&mut rng)));
+        }
+        for hi in his {
+            if hi >= d {
+                continue;
+            }
+            for &lo in &los {
+                let n = DWord::from_parts(hi, lo);
+                let got = self.inner.div_rem(n).map_err(|_| {
+                    self_check_fault(lo.to_u128(), 0, 1) // spurious overflow
+                })?;
+                let want = self.native(n).unwrap_or((T::ZERO, T::ZERO));
+                if got != want {
+                    return Err(self_check_fault(
+                        lo.to_u128(),
+                        got.0.to_u128(),
+                        want.0.to_u128(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The divisor this guard protects.
+    #[inline]
+    pub fn divisor(&self) -> T {
+        self.d
+    }
+
+    /// Current position in the state machine.
+    pub fn state(&self) -> GuardState {
+        self.core.state()
+    }
+
+    /// Divides the doubleword `n` with guard semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`DwordDivError::QuotientOverflow`] when `HIGH(n) >= d`, exactly
+    /// as the unguarded divisor.
+    pub fn div_rem(&self, n: DWord<T>) -> Result<(T, T), DwordDivError> {
+        if self.core.state() == GuardState::Demoted {
+            return self.native(n);
+        }
+        let out = self.inner.div_rem(n)?;
+        if self.core.should_check() {
+            let want = self.native(n)?;
+            if out != want {
+                let fault = self_check_fault(n.lo().to_u128(), out.0.to_u128(), want.0.to_u128());
+                self.core.demote("dword", T::BITS, &fault);
+                return Ok(want);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verified_divisors_divide_correctly() {
+        let g = GuardedUnsignedDivisor::<u32>::new(7).expect("probe passes");
+        assert_eq!(g.state(), GuardState::Verified);
+        for n in [0u32, 1, 6, 7, 8, 700, u32::MAX] {
+            assert_eq!(g.divide(n), n / 7);
+            assert_eq!(g.remainder(n), n % 7);
+        }
+        let s = GuardedSignedDivisor::<i32>::new(-7).expect("probe passes");
+        for n in [0i32, 1, -1, 100, -100, i32::MIN, i32::MAX] {
+            assert_eq!(s.divide(n), n.wrapping_div(-7));
+        }
+        let f = GuardedFloorDivisor::<i32>::new(10).expect("probe passes");
+        assert_eq!(f.divide(-1), -1);
+        assert_eq!(f.modulus(-1), 9);
+        let e = GuardedExactDivisor::<u32>::new(12).expect("probe passes");
+        assert_eq!(e.divide_exact(144), 12);
+        assert!(e.divides(144));
+        assert!(!e.divides(145));
+        let dd = GuardedDwordDivisor::<u32>::new(10).expect("probe passes");
+        let (q, r) = dd.div_rem(DWord::from_parts(7, 6)).expect("fits");
+        assert_eq!(
+            (q as u64, r as u64),
+            (((7u64 << 32) + 6) / 10, ((7u64 << 32) + 6) % 10)
+        );
+    }
+
+    #[test]
+    fn zero_divisor_is_a_typed_fault() {
+        let err = GuardedUnsignedDivisor::<u32>::new(0).unwrap_err();
+        assert_eq!(err.layer, FaultLayer::Plan);
+        assert_eq!(err.kind, FaultKind::DivideByZero);
+    }
+
+    /// Flips one multiplier/shift bit of whatever strategy the
+    /// tournament picked, so the tests don't depend on the winner.
+    fn corrupt(plan: &UdivPlan, bit: u32) -> UdivPlan {
+        use crate::plan::UdivStrategy;
+        let strategy = match plan.strategy() {
+            UdivStrategy::Identity => UdivStrategy::Shift { sh: 1 },
+            UdivStrategy::Shift { sh } => UdivStrategy::Shift { sh: sh ^ 1 },
+            UdivStrategy::MulShift { m, sh_pre, sh_post } => UdivStrategy::MulShift {
+                m: m ^ (1 << bit),
+                sh_pre,
+                sh_post,
+            },
+            UdivStrategy::MulAddShift {
+                m_minus_pow2n,
+                sh_post,
+            } => UdivStrategy::MulAddShift {
+                m_minus_pow2n: m_minus_pow2n ^ (1 << bit),
+                sh_post,
+            },
+            UdivStrategy::MulRoundUp { m, sh_post } => UdivStrategy::MulRoundUp {
+                m: m ^ (1 << bit),
+                sh_post,
+            },
+        };
+        UdivPlan::from_raw(plan.divisor(), plan.width(), strategy)
+    }
+
+    #[test]
+    fn corrupted_plan_fails_the_probe() {
+        let bad = corrupt(&UdivPlan::new(10, 32).expect("plan"), 7);
+        let err = GuardedUnsignedDivisor::<u32>::from_plan(&bad, &GuardPolicy::default())
+            .expect_err("probe must catch the flip");
+        assert_eq!(err.layer, FaultLayer::Guard);
+        assert!(matches!(err.kind, FaultKind::SelfCheckFailed { .. }));
+    }
+
+    #[test]
+    fn hardened_demotion_returns_correct_quotients_forever() {
+        fault_budget().reset();
+        let before = fault_budget().demotions();
+        let bad = corrupt(&UdivPlan::new(10, 32).expect("plan"), 29);
+        let g = GuardedUnsignedDivisor::<u32>::from_plan_unprobed(&bad, &GuardPolicy::hardened(1));
+        assert_eq!(g.state(), GuardState::Hardened);
+        // Every call must come back correct even while the plan is bad.
+        for n in [u32::MAX, 12345, 0, 10, 99] {
+            assert_eq!(g.divide(n), n / 10, "n={n}");
+        }
+        assert_eq!(g.state(), GuardState::Demoted);
+        assert!(fault_budget().demotions() > before);
+    }
+
+    #[test]
+    fn budget_check_is_typed() {
+        let b = FaultBudget::with_limit(2);
+        assert!(b.check().is_ok());
+        b.record_demotion();
+        b.record_demotion();
+        let err = b.check().unwrap_err();
+        assert_eq!(err.layer, FaultLayer::Guard);
+        assert_eq!(err.kind, FaultKind::FaultBudgetExhausted { limit: 2 });
+        b.reset();
+        assert!(b.check().is_ok());
+    }
+}

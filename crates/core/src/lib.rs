@@ -72,6 +72,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod candidates;
 mod choose_multiplier;
 mod const_divisor;
@@ -79,6 +80,7 @@ mod error;
 mod exact;
 mod float;
 mod floor;
+pub mod guard;
 pub mod plan;
 mod signed;
 pub mod testkit;
@@ -87,6 +89,7 @@ mod udword_div;
 mod unsigned;
 mod word;
 
+pub use crate::cache::{global_plan_cache, CacheStats, PlanCache};
 pub use crate::candidates::{unsigned_generators, Candidate, CandidateGen, CandidateSource};
 pub use crate::choose_multiplier::{choose_multiplier, try_choose_multiplier, ChosenMultiplier};
 pub use crate::const_divisor::{ConstU32Divisor, ConstU64Divisor};
@@ -97,6 +100,10 @@ pub use crate::exact::{
 };
 pub use crate::float::{trunc_div_f64, unsigned_div_f64, MAX_EXACT_BITS_F64};
 pub use crate::floor::{ceil_div_via_trunc, floor_div_via_trunc, mod_positive, FloorDivisor};
+pub use crate::guard::{
+    fault_budget, FaultBudget, GuardPolicy, GuardState, GuardedDwordDivisor, GuardedExactDivisor,
+    GuardedFloorDivisor, GuardedSignedDivisor, GuardedUnsignedDivisor,
+};
 pub use crate::plan::{DivPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan};
 pub use crate::signed::{InvariantSignedDivisor, SignedDivisor, SignedStrategy};
 pub use crate::tournament::{

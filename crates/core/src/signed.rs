@@ -97,6 +97,34 @@ impl<S: SWord> SignedDivisor<S> {
     /// Returns [`DivisorError::Zero`] when `d == 0`.
     pub fn new(d: S) -> Result<Self, DivisorError> {
         let plan = SdivPlan::new(d.to_i128(), S::BITS)?;
+        Ok(Self::from_plan(&plan))
+    }
+
+    /// Like [`new`](Self::new), reporting failure through the unified
+    /// [`Fault`](crate::Fault) taxonomy instead of [`DivisorError`] —
+    /// mirrors [`crate::try_choose_multiplier`].
+    ///
+    /// # Errors
+    ///
+    /// [`FaultKind::DivideByZero`](crate::FaultKind::DivideByZero) at
+    /// [`FaultLayer::Plan`](crate::FaultLayer::Plan) when `d == 0`.
+    pub fn try_new(d: S) -> Result<Self, crate::Fault> {
+        Self::new(d).map_err(crate::Fault::from)
+    }
+
+    /// Caches an already-selected plan at the native word type — how the
+    /// plan cache (and the guarded-execution layer) turn a stored plan
+    /// into a runnable divisor. The plan's constants are trusted as-is.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan.width() != S::BITS`.
+    pub fn from_plan(plan: &SdivPlan) -> Self {
+        assert_eq!(
+            plan.width(),
+            S::BITS,
+            "plan width does not match divisor word width"
+        );
         let from_bits = |m: u128| S::from_unsigned(<S::Unsigned as Limb>::from_u128_truncate(m));
         let variant = match plan.strategy() {
             SdivStrategy::Identity => Variant::Identity,
@@ -113,11 +141,11 @@ impl<S: SWord> SignedDivisor<S> {
                 sh_post,
             },
         };
-        Ok(SignedDivisor {
-            d,
+        SignedDivisor {
+            d: S::from_i128_truncate(plan.divisor()),
             negate: plan.negate(),
             variant,
-        })
+        }
     }
 
     /// Builds the divisor through the planner-tournament entry point.
@@ -442,6 +470,17 @@ impl<S: SWord> InvariantSignedDivisor<S> {
             d_sign: d.xsign(),
             sh_post: l - 1,
         })
+    }
+
+    /// Like [`new`](Self::new), reporting failure through the unified
+    /// [`Fault`](crate::Fault) taxonomy instead of [`DivisorError`].
+    ///
+    /// # Errors
+    ///
+    /// [`FaultKind::DivideByZero`](crate::FaultKind::DivideByZero) at
+    /// [`FaultLayer::Plan`](crate::FaultLayer::Plan) when `d == 0`.
+    pub fn try_new(d: S) -> Result<Self, crate::Fault> {
+        Self::new(d).map_err(crate::Fault::from)
     }
 
     /// The divisor this reciprocal was computed for.

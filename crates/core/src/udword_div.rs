@@ -57,12 +57,40 @@ impl<T: UWord> DwordDivisor<T> {
         // computation; this runtime divisor just caches the constants at
         // its native word type.
         let plan = DwordPlan::new(d.to_u128(), T::BITS)?;
-        Ok(DwordDivisor {
-            d,
+        Ok(Self::from_plan(&plan))
+    }
+
+    /// Like [`new`](Self::new), reporting failure through the unified
+    /// [`Fault`](crate::Fault) taxonomy instead of [`DivisorError`] —
+    /// mirrors [`crate::try_choose_multiplier`].
+    ///
+    /// # Errors
+    ///
+    /// [`FaultKind::DivideByZero`](crate::FaultKind::DivideByZero) at
+    /// [`FaultLayer::Plan`](crate::FaultLayer::Plan) when `d == 0`.
+    pub fn try_new(d: T) -> Result<Self, crate::Fault> {
+        Self::new(d).map_err(crate::Fault::from)
+    }
+
+    /// Caches an already-selected plan at the native word type — how the
+    /// plan cache (and the guarded-execution layer) turn a stored plan
+    /// into a runnable divisor. The plan's constants are trusted as-is.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `plan.width() != T::BITS`.
+    pub fn from_plan(plan: &DwordPlan) -> Self {
+        assert_eq!(
+            plan.width(),
+            T::BITS,
+            "plan width does not match divisor word width"
+        );
+        DwordDivisor {
+            d: T::from_u128_truncate(plan.divisor()),
             m_prime: T::from_u128_truncate(plan.m_prime()),
             l: plan.l(),
             d_norm: T::from_u128_truncate(plan.d_norm()),
-        })
+        }
     }
 
     /// The width-erased [`DwordPlan`] this divisor caches — the same plan

@@ -114,6 +114,18 @@ impl<T: UWord> UnsignedDivisor<T> {
         Ok(Self::from_plan(&plan))
     }
 
+    /// Like [`new`](Self::new), reporting failure through the unified
+    /// [`Fault`](crate::Fault) taxonomy instead of [`DivisorError`] —
+    /// mirrors [`crate::try_choose_multiplier`].
+    ///
+    /// # Errors
+    ///
+    /// [`FaultKind::DivideByZero`](crate::FaultKind::DivideByZero) at
+    /// [`FaultLayer::Plan`](crate::FaultLayer::Plan) when `d == 0`.
+    pub fn try_new(d: T) -> Result<Self, crate::Fault> {
+        Self::new(d).map_err(crate::Fault::from)
+    }
+
     /// Caches an already-selected plan at the native word type — how the
     /// tournament machinery (and the differential harness) turn a
     /// scoreboard winner into a runnable divisor.
@@ -472,6 +484,17 @@ impl<T: UWord> InvariantUnsignedDivisor<T> {
             sh1: l.min(1),
             sh2: l.saturating_sub(1),
         })
+    }
+
+    /// Like [`new`](Self::new), reporting failure through the unified
+    /// [`Fault`](crate::Fault) taxonomy instead of [`DivisorError`].
+    ///
+    /// # Errors
+    ///
+    /// [`FaultKind::DivideByZero`](crate::FaultKind::DivideByZero) at
+    /// [`FaultLayer::Plan`](crate::FaultLayer::Plan) when `d == 0`.
+    pub fn try_new(d: T) -> Result<Self, crate::Fault> {
+        Self::new(d).map_err(crate::Fault::from)
     }
 
     /// The divisor this reciprocal was computed for.

@@ -74,6 +74,28 @@ mkdir -p target
 echo "== calibration smoke run (tiny budget; report must parse) =="
 ./target/release/magic calibrate 20 2 target/calibration_ci.json > /dev/null
 
+echo "== chaos smoke gate (fixed seed; zero silently wrong quotients) =="
+# Exit 1 from `magic chaos` means an injected fault produced a quotient
+# that was served without any error signal — the one outcome the
+# guarded service exists to prevent.
+./target/release/magic chaos 0xC4A05D1F 4 target/chaos_ci.json > /dev/null
+grep -q '"silent_wrong": 0,' target/chaos_ci.json || {
+    echo "chaos report does not pin silent_wrong to zero" >&2
+    exit 1
+}
+
+echo "== chaos drift gate (same seed, same build: guard/cache counters must agree) =="
+rm -rf target/chaos_drift_a target/chaos_drift_b
+sha="$(git rev-parse HEAD)"
+MAGICDIV_ARCHIVE="$PWD/target/chaos_drift_a" \
+    ./target/release/magic chaos 0xC4A05D1F 4 target/chaos_drift_a.json > /dev/null
+MAGICDIV_ARCHIVE="$PWD/target/chaos_drift_b" \
+    ./target/release/magic chaos 0xC4A05D1F 4 target/chaos_drift_b.json > /dev/null
+./target/release/drift "target/chaos_drift_a/$sha" "target/chaos_drift_b/$sha" || {
+    echo "chaos counters (guard demotions / cache poisonings) drifted between identical runs" >&2
+    exit 1
+}
+
 echo "== drift self-diff (two archives of the same build must report zero drift) =="
 sha="$(git rev-parse HEAD)"
 rm -rf target/drift_ci_a target/drift_ci_b

@@ -233,3 +233,77 @@ fn udword64_boundary_matches_the_u128_oracle() {
         Err(DwordDivError::QuotientOverflow)
     );
 }
+
+// --- guard & cache layers: same taxonomy, new corners ---
+
+#[test]
+fn guard_self_check_failure_is_a_typed_fault() {
+    use magicdiv::plan::{UdivPlan, UdivStrategy};
+    use magicdiv::{GuardPolicy, GuardedUnsignedDivisor};
+
+    // A plan whose strategy is flatly wrong for its divisor: d = 7
+    // claimed to be a shift by 3 (i.e. division by 8).
+    let bad = UdivPlan::from_raw(7, 32, UdivStrategy::Shift { sh: 3 });
+    let fault = GuardedUnsignedDivisor::<u32>::from_plan(&bad, &GuardPolicy::default())
+        .expect_err("probe must reject a wrong-strategy plan");
+    assert_eq!(fault.layer, FaultLayer::Guard);
+    let FaultKind::SelfCheckFailed { n, got, want } = fault.kind else {
+        panic!("expected SelfCheckFailed, got {:?}", fault.kind);
+    };
+    // The witness is a genuine counterexample, recorded exactly.
+    assert_eq!(got, n / 8);
+    assert_eq!(want, n / 7);
+    assert_ne!(got, want);
+    let msg = fault.to_string();
+    assert!(
+        msg.starts_with("guard fault: self-check failed at n="),
+        "{msg}"
+    );
+}
+
+#[test]
+fn cache_and_budget_faults_render_their_layer_and_cause() {
+    let poisoned = Fault {
+        layer: FaultLayer::Cache,
+        kind: FaultKind::CachePoisoned,
+        at: None,
+    };
+    assert_eq!(
+        poisoned.to_string(),
+        "cache fault: cached plan failed its checksum"
+    );
+
+    let tripped = Fault {
+        layer: FaultLayer::Guard,
+        kind: FaultKind::FaultBudgetExhausted { limit: 3 },
+        at: None,
+    };
+    assert_eq!(
+        tripped.to_string(),
+        "guard fault: fault budget of 3 demotions exhausted"
+    );
+
+    // source() exposes the kind, as for every other fault in the model.
+    use core::error::Error;
+    assert!(tripped.source().is_some());
+}
+
+#[test]
+fn try_new_constructors_speak_the_same_taxonomy() {
+    use magicdiv::{ExactUnsignedDivisor, FloorDivisor, InvariantUnsignedDivisor, UnsignedDivisor};
+
+    // Zero divisors come back as a typed plan-layer fault from every
+    // fallible constructor, never a panic.
+    for fault in [
+        UnsignedDivisor::<u32>::try_new(0).expect_err("zero"),
+        InvariantUnsignedDivisor::<u64>::try_new(0).expect_err("zero"),
+        SignedDivisor::<i32>::try_new(0).expect_err("zero"),
+        InvariantSignedDivisor::<i64>::try_new(0).expect_err("zero"),
+        FloorDivisor::<i16>::try_new(0).expect_err("zero"),
+        ExactUnsignedDivisor::<u16>::try_new(0).expect_err("zero"),
+        DwordDivisor::<u32>::try_new(0).expect_err("zero"),
+    ] {
+        assert_eq!(fault.layer, FaultLayer::Plan);
+        assert_eq!(fault.kind, FaultKind::DivideByZero);
+    }
+}
