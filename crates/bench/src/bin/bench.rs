@@ -11,10 +11,18 @@
 //!
 //! The JSON report is the v2 schema: a top-level object carrying run
 //! metadata (schema `version`, `git_sha`, `unix_ms` timestamp, `iters`,
-//! `duration_ms`) plus the measurement `rows` and a `metrics` section
+//! `duration_ms`) plus the measurement `rows`, a `metrics` section
 //! with per-strategy instruction/cycle histograms aggregated through
-//! `magicdiv-trace`. `bench-compare` diffs two such files (and still
-//! reads the v1 flat-array schema).
+//! `magicdiv-trace`, and an `exposition` field holding the same
+//! registry rendered as Prometheus-style text. `bench-compare` diffs
+//! two such files (and still reads the v1 flat-array schema).
+//!
+//! `bench overhead [iters] [out.json]` instead runs the tracing
+//! overhead self-profile (see `magicdiv_bench::overhead`): baseline /
+//! tracing-off / null-sink / flight-recorder cost per division, with
+//! pinned budget gates. Writes `results/overhead.json` by default and
+//! exits 1 when a gate fails, so check.sh can enforce that tracing-off
+//! stays free and the recorder stays within budget.
 
 use std::hint::black_box;
 use std::sync::Arc;
@@ -22,9 +30,13 @@ use std::time::Instant;
 
 use magicdiv::plan::{DivPlan, SdivPlan, UdivPlan};
 use magicdiv::{SignedDivisor, UnsignedDivisor};
-use magicdiv_bench::{git_sha, measure_ns_min, render_table, unix_time_ms, RunLedger};
+use magicdiv_bench::{
+    git_sha, measure_ns_min, render_table, run_overhead, unix_time_ms, RunLedger,
+};
 use magicdiv_simcpu::{table_1_1, try_cycles_for_plan};
-use magicdiv_trace::{install, CaptureSink, MetricsSink, Registry, Value};
+use magicdiv_trace::{
+    install, render_exposition, CaptureSink, ExpositionOptions, MetricsSink, Registry, Value,
+};
 
 const LEN: u64 = 1024;
 /// Timing passes per cell; the fastest wins. Jitter (migrations,
@@ -41,7 +53,9 @@ struct Row {
 }
 
 fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 fn write_json(
@@ -50,6 +64,7 @@ fn write_json(
     duration_ms: u64,
     rows: &[Row],
     metrics_json: &str,
+    exposition: &str,
 ) -> std::io::Result<()> {
     let mut out = String::from("{\n");
     out.push_str("  \"version\": 2,\n");
@@ -73,7 +88,11 @@ fn write_json(
         ));
     }
     out.push_str("  ],\n");
-    out.push_str(&format!("  \"metrics\": {metrics_json}\n"));
+    out.push_str(&format!("  \"metrics\": {metrics_json},\n"));
+    out.push_str(&format!(
+        "  \"exposition\": \"{}\"\n",
+        json_escape(exposition)
+    ));
     out.push_str("}\n");
     std::fs::write(path, out)
 }
@@ -97,7 +116,9 @@ fn benched_plans() -> Vec<DivPlan> {
 /// Prices every benched plan under every Table 1.1 model, aggregating
 /// per-strategy instruction and cycle histograms (plus the raw
 /// `simcpu.plan_cycles` event stream) into a trace [`Registry`].
-fn collect_metrics() -> String {
+/// Returns the registry snapshot twice: as the JSON `metrics` section
+/// and as Prometheus-style exposition text.
+fn collect_metrics() -> (String, String) {
     let registry = Arc::new(Registry::new());
     let capture = Arc::new(CaptureSink::new());
     {
@@ -126,7 +147,9 @@ fn collect_metrics() -> String {
                 .observe(ops);
         }
     }
-    registry.snapshot().to_json()
+    let snapshot = registry.snapshot();
+    let exposition = render_exposition(&snapshot, &ExpositionOptions::default());
+    (snapshot.to_json(), exposition)
 }
 
 /// One divisor per unsigned strategy at a width: the values the planning
@@ -227,7 +250,88 @@ macro_rules! bench_signed_at {
     }};
 }
 
+fn overhead_main(args: &[String]) {
+    let usage = || -> ! {
+        eprintln!("usage: bench overhead [iters=2000] [out=results/overhead.json]");
+        std::process::exit(2)
+    };
+    let mut iters: u64 = 2000;
+    if let Some(s) = args.first() {
+        match s.parse() {
+            Ok(n) if n > 0 => iters = n,
+            _ => usage(),
+        }
+    }
+    let out_path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "results/overhead.json".to_string());
+    if args.len() > 2 {
+        usage()
+    }
+
+    let run = RunLedger::start("bench overhead");
+    let report = run_overhead(iters, REPEATS);
+
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.shape.to_string(),
+                r.mode.to_string(),
+                format!("{:.3}", r.ns_per_div),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["shape", "mode", "ns/div"], &rows));
+    let gates: Vec<Vec<String>> = report
+        .gates
+        .iter()
+        .map(|g| {
+            vec![
+                g.name.to_string(),
+                format!("{:.3}", g.measured),
+                format!("{:.3}", g.limit),
+                if g.pass { "pass" } else { "FAIL" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["gate", "measured ns", "limit ns", "verdict"], &gates)
+    );
+
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("error: cannot create {}: {e}", parent.display());
+                std::process::exit(1)
+            }
+        }
+    }
+    match std::fs::write(&out_path, report.to_json()) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1)
+        }
+    }
+    if let Err(e) = run.finish() {
+        eprintln!("bench: warning: could not append ledger record: {e}");
+    }
+    if !report.pass() {
+        eprintln!("error: tracing overhead budget exceeded — see {out_path}");
+        std::process::exit(1)
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("overhead") {
+        overhead_main(&args[2..]);
+        return;
+    }
     let iters: u64 = match std::env::args().nth(1) {
         None => 500,
         // Reject 0 as well: zero iterations would write `inf` ns/op,
@@ -237,6 +341,7 @@ fn main() {
             _ => {
                 eprintln!("bench: iters must be a positive integer, got {s:?}");
                 eprintln!("usage: bench [iters=500] [out=BENCH_division.json]");
+                eprintln!("       bench overhead [iters=2000] [out=results/overhead.json]");
                 std::process::exit(2);
             }
         },
@@ -267,9 +372,16 @@ fn main() {
         .collect();
     println!("{}", render_table(&["bench", "strategy", "ns/op"], &table));
 
-    let metrics_json = collect_metrics();
+    let (metrics_json, exposition) = collect_metrics();
     let duration_ms = started.elapsed().as_millis() as u64;
-    match write_json(&out_path, iters, duration_ms, &rows, &metrics_json) {
+    match write_json(
+        &out_path,
+        iters,
+        duration_ms,
+        &rows,
+        &metrics_json,
+        &exposition,
+    ) {
         Ok(()) => println!("wrote {} rows to {out_path}", rows.len()),
         Err(e) => {
             eprintln!("failed to write {out_path}: {e}");

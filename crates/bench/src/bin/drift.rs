@@ -5,10 +5,12 @@
 //!
 //! * `drift <baseline_dir> <candidate_dir> [threshold_pct=10]` — diffs
 //!   two archive snapshots (e.g. `results/archive/<sha>` from two
-//!   releases): plan drift from `magic explain --json` streams, bench
-//!   drift from bench reports (threshold like `bench-compare`), and
-//!   mutation-kill-rate drift from verify summaries — one combined
-//!   report.
+//!   releases): plan drift from `magic explain --json` streams (and
+//!   black-box dump `.jsonl` files — their `guard.*`/`cache.*` events
+//!   replay as comparable keys), metric drift from `magic metrics`
+//!   `.prom` expositions, bench drift from bench reports (threshold
+//!   like `bench-compare`), and mutation-kill-rate drift from verify
+//!   summaries — one combined report.
 //! * `drift check-ledger <ledger.jsonl>` — validates every record of a
 //!   run ledger against the v1 schema.
 //! * `drift ledger <ledger.jsonl> <sha_a> <sha_b>` — compares the
@@ -33,7 +35,8 @@ fn usage() -> ! {
     die(
         "usage:\n  drift <baseline_dir> <candidate_dir> [threshold_pct=10]\n  \
          drift check-ledger <ledger.jsonl>\n  \
-         drift ledger <ledger.jsonl> <sha_a> <sha_b>",
+         drift ledger <ledger.jsonl> <sha_a> <sha_b>\n\
+         snapshot dirs may hold .jsonl streams, .prom expositions and .json reports",
     )
 }
 

@@ -23,13 +23,26 @@
 //!   poisoning, lock poisoning, interpreter fuel exhaustion and forced
 //!   demotions. Exits 1 if any injected fault produced a silently
 //!   wrong quotient; defaults write `results/chaos.json` and archive a
-//!   copy under `results/archive/<git_sha>/` for the `drift` bin.
+//!   copy under `results/archive/<git_sha>/` for the `drift` bin. A
+//!   flight recorder rides along: every demotion / poison detection
+//!   triggers a black-box dump under `results/blackbox/<git_sha>/`
+//!   (set `MAGICDIV_BLACKBOX=off` to disable);
+//! * `magic metrics [seed] [requests] [out.prom]` — drive a seeded
+//!   synthetic request mix through a private plan cache and print the
+//!   resulting Prometheus-style text exposition. The stream is a pure
+//!   function of the seed, so two same-seed runs are byte-identical —
+//!   check.sh diffs them as the exposition golden, and the `drift` bin
+//!   diffs two saved `.prom` files across releases.
 
+use std::sync::Arc;
+
+use magicdiv::{PlanCache, UnsignedDivisor};
 use magicdiv_bench::{
     archive_explain_stream, archive_report_json, default_corpus_dir, explain, explain_jsonl,
-    render_table, run_calibration, run_chaos, write_entry, CalibrationConfig, ChaosConfig,
-    ExplainShape, RunLedger,
+    render_table, run_calibration, run_chaos, write_blackbox_dumps, write_entry, CalibrationConfig,
+    ChaosConfig, ExplainShape, RunLedger, SplitMix,
 };
+use magicdiv_trace::{install, render_exposition, ExpositionOptions, FlightRecorder, Registry};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -45,11 +58,16 @@ fn main() {
         chaos_main(&args[2..]);
         return;
     }
+    if args.get(1).map(String::as_str) == Some("metrics") {
+        metrics_main(&args[2..]);
+        return;
+    }
     let d: i128 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
         eprintln!("usage: magic <divisor> [width=32]");
         eprintln!("       magic explain <width> <divisor> [shape] [--json]");
         eprintln!("       magic calibrate [iters=300] [repeats=5] [out=results/calibration.json]");
         eprintln!("       magic chaos [seed] [rounds=8] [out=results/chaos.json]");
+        eprintln!("       magic metrics [seed] [requests=2000] [out.prom]");
         std::process::exit(2)
     });
     let width: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
@@ -225,12 +243,38 @@ fn chaos_main(args: &[String]) {
     }
 
     let run = RunLedger::start("magic chaos");
+    // The flight recorder rides along for the whole campaign: any
+    // demotion / poison detection snapshots the event ring as a
+    // black-box dump. It never appears in the report JSON, so the
+    // chaos drift gate stays byte-identical.
+    let recorder = Arc::new(FlightRecorder::new());
+    let recorder_guard = install(recorder.clone());
     // The lock-poisoning scenario panics a writer on purpose; keep the
     // default hook's backtrace chatter out of the report.
     let hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     let report = run_chaos(&cfg);
     std::panic::set_hook(hook);
+    if report.silent_wrong() > 0 {
+        // A silently wrong quotient is the worst finding the campaign
+        // can make; snapshot the ring for it explicitly.
+        magicdiv_trace::event!("chaos.finding", "silent_wrong" => report.silent_wrong());
+    }
+    drop(recorder_guard);
+    match write_blackbox_dumps(&recorder.take_dumps()) {
+        Ok(paths) => {
+            for path in &paths {
+                eprintln!("black-box dump written: {}", path.display());
+            }
+            if recorder.suppressed() > 0 {
+                eprintln!(
+                    "({} further trigger(s) suppressed after the dump cap)",
+                    recorder.suppressed()
+                );
+            }
+        }
+        Err(e) => eprintln!("warning: could not write black-box dumps: {e}"),
+    }
 
     print!("{}", report.render_text());
     let json = report.to_json();
@@ -269,6 +313,87 @@ fn chaos_main(args: &[String]) {
         );
         std::process::exit(1)
     }
+}
+
+fn metrics_main(args: &[String]) {
+    let usage = || -> ! {
+        eprintln!("usage: magic metrics [seed] [requests=2000] [out.prom]");
+        std::process::exit(2)
+    };
+    let mut seed: u64 = 42;
+    if let Some(s) = args.first() {
+        // Accept decimal or 0x-prefixed hex seeds, like `magic chaos`.
+        let parsed = s
+            .strip_prefix("0x")
+            .map_or_else(|| s.parse(), |hex| u64::from_str_radix(hex, 16));
+        match parsed {
+            Ok(n) => seed = n,
+            _ => usage(),
+        }
+    }
+    let mut requests: u64 = 2000;
+    if let Some(s) = args.get(1) {
+        match s.parse() {
+            Ok(n) if n > 0 => requests = n,
+            _ => usage(),
+        }
+    }
+    let out_path = args.get(2).cloned();
+    if args.len() > 3 {
+        usage()
+    }
+
+    let run = RunLedger::start("magic metrics");
+    drive_service(seed, requests, run.registry());
+    let text = render_exposition(&run.registry().snapshot(), &ExpositionOptions::default());
+    match &out_path {
+        Some(path) => {
+            if let Some(parent) = std::path::Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    if let Err(e) = std::fs::create_dir_all(parent) {
+                        eprintln!("error: cannot create {}: {e}", parent.display());
+                        std::process::exit(1)
+                    }
+                }
+            }
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1)
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    if let Err(e) = run.finish() {
+        eprintln!("warning: could not append ledger record: {e}");
+    }
+}
+
+/// Drive a deterministic synthetic request mix through a private plan
+/// cache. Divisors follow a skewed (zipf-ish) distribution so the
+/// exposition exercises both the hot-divisor labels and the `other`
+/// overflow bucket; everything is a pure function of the seed.
+fn drive_service(seed: u64, requests: u64, registry: &Arc<Registry>) {
+    let mut rng = SplitMix(seed);
+    let cache = PlanCache::new(64);
+    let mut acc = 0u64;
+    for _ in 0..requests {
+        let z = rng.next_u64();
+        // Small spans dominate (span doubles per top-bit bucket), so a
+        // handful of small divisors take most of the traffic.
+        let span = 1u64 << (1 + (z >> 58) % 10);
+        let d = 2 + (z % span);
+        let n = rng.next_u64();
+        registry.counter(&format!("service.requests.d.{d}")).inc();
+        match cache.udiv(u128::from(d), 64) {
+            Ok(plan) => {
+                let divisor = UnsignedDivisor::<u64>::from_plan(&plan);
+                acc = acc.wrapping_add(divisor.divide(n));
+            }
+            Err(_) => registry.counter("service.faults").inc(),
+        }
+    }
+    std::hint::black_box(acc);
 }
 
 fn report<T: magicdiv::UWord>(d: i128)

@@ -467,6 +467,13 @@ fn main() {
         .map(|(class, t)| format!("\"{class}\":{}", t.to_json()))
         .collect();
     let duration_ms = started.elapsed().as_millis() as u64;
+    // The run ledger's metrics registry saw every event the phases
+    // emitted; embed it as Prometheus-style exposition text so the
+    // summary carries the same series `magic metrics` serves.
+    let exposition = magicdiv_trace::render_exposition(
+        &run.registry().snapshot(),
+        &magicdiv_trace::ExpositionOptions::default(),
+    );
     // The machine-readable summary is the last stdout line (schema v2:
     // version, git_sha and duration_ms are new; v1 consumers keyed on
     // status/checks/mutants still read it the same way).
@@ -474,7 +481,7 @@ fn main() {
         "{{\"version\":2,\"status\":\"{status}\",\"seed\":{seed},\"git_sha\":\"{}\",\
          \"duration_ms\":{duration_ms},\"checks\":{},\"cases\":{},\"mismatches\":{},\
          \"mutants\":{},\"mutants_by_class\":{{{}}},\
-         \"kill_rate\":{kill_rate:.6},\"corpus_written\":{}}}",
+         \"kill_rate\":{kill_rate:.6},\"corpus_written\":{},\"exposition\":{}}}",
         magicdiv_bench::git_sha(),
         c.checks,
         codegen_cases + mutation_cases,
@@ -482,6 +489,7 @@ fn main() {
         tally.to_json(),
         by_class.join(","),
         c.corpus_written.len(),
+        magicdiv_trace::json_string(&exposition),
     );
     if let Err(e) = run.finish() {
         eprintln!("verify: warning: could not append ledger record: {e}");

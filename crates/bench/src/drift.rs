@@ -17,7 +17,14 @@
 //! * **verify summaries** — a mutation kill-rate drop, new mismatches
 //!   or new surviving mutants are mutation drift;
 //! * **calibration reports** — rank-correlation movement beyond 0.05
-//!   is reported as a note (informational, host-dependent).
+//!   is reported as a note (informational, host-dependent);
+//! * **metric expositions** (`*.prom`, as served by `magic metrics`) —
+//!   any sample-value movement between two expositions is metrics
+//!   drift; series appearing or disappearing are notes;
+//! * **black-box dumps** (`blackbox_*.jsonl`, written by the flight
+//!   recorder) ride the `.jsonl` path: every `guard.*`/`cache.*` event
+//!   field is replayed into the same flat summary as `plan.*` events,
+//!   so two dumps of the same fixed-seed run must agree exactly.
 //!
 //! Identical snapshots (e.g. two runs of the same build) produce an
 //! empty report — `scripts/check.sh` gates on exactly that.
@@ -39,6 +46,8 @@ pub enum DriftKind {
     /// The chaos harness's fault accounting moved between fixed-seed
     /// runs, or the candidate reports silently wrong quotients.
     Chaos,
+    /// A metric exposition sample moved between two scrapes.
+    Metrics,
     /// Informational: files added/removed, calibration movement.
     Note,
 }
@@ -51,6 +60,7 @@ impl DriftKind {
             DriftKind::Bench => "bench",
             DriftKind::Mutation => "mutation",
             DriftKind::Chaos => "chaos",
+            DriftKind::Metrics => "metrics",
             DriftKind::Note => "note",
         }
     }
@@ -115,10 +125,11 @@ fn push(report: &mut DriftReport, kind: DriftKind, file: &str, what: String, reg
     });
 }
 
-/// Flattens one explain JSONL stream into `key -> rendered value`:
-/// every field of every `plan.*` event (keyed by event name, occurrence
-/// index and field key) plus every `simcpu.plan_cycles` total keyed by
-/// model name.
+/// Flattens one explain JSONL stream (or flight-recorder black-box
+/// dump) into `key -> rendered value`: every field of every `plan.*`,
+/// `guard.*` and `cache.*` event (keyed by event name, occurrence index
+/// and field key) plus every `simcpu.plan_cycles` total keyed by model
+/// name. Non-event lines — spans, the black-box header — are skipped.
 fn plan_summary(jsonl: &str) -> Result<BTreeMap<String, String>, String> {
     let mut out = BTreeMap::new();
     let mut seen: BTreeMap<String, usize> = BTreeMap::new();
@@ -147,7 +158,10 @@ fn plan_summary(jsonl: &str) -> Result<BTreeMap<String, String>, String> {
             if let Some(strategy) = fields.get("strategy").and_then(Json::as_str) {
                 out.insert("strategy".to_string(), strategy.to_string());
             }
-        } else if name.starts_with("plan.") {
+        } else if name.starts_with("plan.")
+            || name.starts_with("guard.")
+            || name.starts_with("cache.")
+        {
             let occ = seen.entry(name.to_string()).or_insert(0);
             for (key, value) in fields {
                 out.insert(format!("{name}#{occ}.{key}"), render(value));
@@ -406,6 +420,61 @@ fn diff_chaos(report: &mut DriftReport, file: &str, a: &Json, b: &Json) {
     }
 }
 
+/// Parses a Prometheus-style text exposition into `series -> value`:
+/// one entry per sample line (`name{labels} value`), comments and blank
+/// lines skipped. Values keep their rendered text so integer samples
+/// compare exactly.
+fn exposition_series(text: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((series, value)) = line.rsplit_once(' ') {
+            out.insert(series.to_string(), value.to_string());
+        }
+    }
+    out
+}
+
+/// Diffs two metric expositions (`magic metrics` output). Any value
+/// movement on a shared series is metrics drift; series appearing or
+/// disappearing are notes (new instrumentation is not a regression).
+fn diff_expositions(report: &mut DriftReport, file: &str, a: &str, b: &str) {
+    let (sa, sb) = (exposition_series(a), exposition_series(b));
+    for (series, va) in &sa {
+        match sb.get(series) {
+            Some(vb) if va == vb => {}
+            Some(vb) => push(
+                report,
+                DriftKind::Metrics,
+                file,
+                format!("{series}: {va} -> {vb}"),
+                true,
+            ),
+            None => push(
+                report,
+                DriftKind::Note,
+                file,
+                format!("{series}: {va} -> (gone)"),
+                false,
+            ),
+        }
+    }
+    for (series, vb) in &sb {
+        if !sa.contains_key(series) {
+            push(
+                report,
+                DriftKind::Note,
+                file,
+                format!("{series}: (new) -> {vb}"),
+                false,
+            );
+        }
+    }
+}
+
 fn diff_json_pair(report: &mut DriftReport, file: &str, a: &str, b: &str, threshold_pct: f64) {
     let (da, db) = match (parse(a), parse(b)) {
         (Ok(da), Ok(db)) => (da, db),
@@ -448,7 +517,7 @@ fn snapshot_files(dir: &Path) -> Result<BTreeMap<String, std::path::PathBuf>, St
             continue;
         }
         let name = entry.file_name().to_string_lossy().to_string();
-        if name.ends_with(".jsonl") || name.ends_with(".json") {
+        if name.ends_with(".jsonl") || name.ends_with(".json") || name.ends_with(".prom") {
             out.insert(name, path);
         }
     }
@@ -486,6 +555,8 @@ pub fn diff_snapshots(a: &Path, b: &Path, threshold_pct: f64) -> Result<DriftRep
         }
         if name.ends_with(".jsonl") {
             diff_plan_streams(&mut report, name, &ca, &cb);
+        } else if name.ends_with(".prom") {
+            diff_expositions(&mut report, name, &ca, &cb);
         } else {
             diff_json_pair(&mut report, name, &ca, &cb, threshold_pct);
         }
@@ -632,6 +703,59 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.kind == DriftKind::Chaos && f.what.contains("silently wrong")));
+    }
+
+    #[test]
+    fn exposition_value_movement_is_metrics_drift() {
+        let a = tmpdir("expo_a");
+        let b = tmpdir("expo_b");
+        let base = "# TYPE magicdiv_cache_hit counter\nmagicdiv_cache_hit 10\n\
+                    magicdiv_req{d=\"7\"} 3\n";
+        let cand = "# TYPE magicdiv_cache_hit counter\nmagicdiv_cache_hit 12\n\
+                    magicdiv_req{d=\"10\"} 3\n";
+        std::fs::write(a.join("metrics.prom"), base).expect("write");
+        std::fs::write(b.join("metrics.prom"), cand).expect("write");
+        let report = diff_snapshots(&a, &b, 10.0).expect("diff");
+        assert_eq!(report.regressions(), 1, "{report:?}");
+        assert!(report.findings.iter().any(
+            |f| f.kind == DriftKind::Metrics && f.what.contains("magicdiv_cache_hit: 10 -> 12")
+        ));
+        // Series churn (d="7" gone, d="10" new) is informational.
+        assert_eq!(
+            report
+                .findings
+                .iter()
+                .filter(|f| f.kind == DriftKind::Note)
+                .count(),
+            2,
+            "{report:?}"
+        );
+        // Identical expositions short-circuit to zero findings.
+        std::fs::write(b.join("metrics.prom"), base).expect("write");
+        let clean = diff_snapshots(&a, &b, 10.0).expect("diff");
+        assert!(clean.findings.is_empty(), "{clean:?}");
+    }
+
+    #[test]
+    fn blackbox_guard_events_are_replayed_as_plan_summary_keys() {
+        let a = tmpdir("bb_a");
+        let b = tmpdir("bb_b");
+        let base = "{\"type\":\"blackbox\",\"trigger\":\"guard.demotion\",\"events\":2,\"dropped\":0}\n\
+                    {\"seq\":1,\"type\":\"event\",\"depth\":0,\"thread\":1,\"name\":\"cache.hit\",\"fields\":{\"width\":32,\"d_bits\":7}}\n\
+                    {\"seq\":2,\"type\":\"event\",\"depth\":0,\"thread\":1,\"name\":\"guard.demotion\",\"fields\":{\"shape\":\"unsigned\",\"width\":32,\"d\":7,\"why\":\"x\"}}\n";
+        let cand = base.replace("\"d\":7", "\"d\":10");
+        assert_ne!(base, cand, "seeding failed");
+        std::fs::write(a.join("blackbox_0_guard_demotion.jsonl"), base).expect("write");
+        std::fs::write(b.join("blackbox_0_guard_demotion.jsonl"), &cand).expect("write");
+        let report = diff_snapshots(&a, &b, 10.0).expect("diff");
+        assert!(report.regressions() >= 1, "{report:?}");
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.kind == DriftKind::Plan && f.what.contains("guard.demotion#0.d")),
+            "{report:?}"
+        );
     }
 
     #[test]

@@ -37,11 +37,17 @@ pub const LEDGER_ENV: &str = "MAGICDIV_LEDGER";
 /// Environment variable overriding the archive base dir (`off` disables).
 pub const ARCHIVE_ENV: &str = "MAGICDIV_ARCHIVE";
 
+/// Environment variable overriding the black-box dump dir (`off` disables).
+pub const BLACKBOX_ENV: &str = "MAGICDIV_BLACKBOX";
+
 /// Default ledger location, relative to the repository root.
 pub const DEFAULT_LEDGER_PATH: &str = "results/ledger.jsonl";
 
 /// Default archive base directory, relative to the repository root.
 pub const DEFAULT_ARCHIVE_DIR: &str = "results/archive";
+
+/// Default black-box dump directory, relative to the repository root.
+pub const DEFAULT_BLACKBOX_DIR: &str = "results/blackbox";
 
 /// The repository root (via `git rev-parse --show-toplevel`), or the
 /// current directory outside a checkout.
@@ -115,6 +121,48 @@ pub fn archive_report_json(stem: &str, contents: &str) -> std::io::Result<Option
     let path = dir.join(format!("{stem}.json"));
     std::fs::write(&path, contents)?;
     Ok(Some(path))
+}
+
+/// The black-box dump base directory, or `None` when disabled via
+/// [`BLACKBOX_ENV`].
+pub fn blackbox_base() -> Option<PathBuf> {
+    path_from_env(BLACKBOX_ENV, DEFAULT_BLACKBOX_DIR)
+}
+
+/// Writes every dump a [`magicdiv_trace::FlightRecorder`] captured to
+/// `<blackbox>/<git_sha>/blackbox_<i>_<trigger>.jsonl`, one file per
+/// dump in capture order. The files use the `JsonlSink` event-line
+/// schema, so `drift` diffs two dump directories like any snapshot.
+///
+/// Returns the written paths (empty when dumping is disabled via
+/// [`BLACKBOX_ENV`] or no dumps were captured).
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unwritable dump directory).
+pub fn write_blackbox_dumps(
+    dumps: &[magicdiv_trace::BlackboxDump],
+) -> std::io::Result<Vec<PathBuf>> {
+    let Some(base) = blackbox_base() else {
+        return Ok(Vec::new());
+    };
+    if dumps.is_empty() {
+        return Ok(Vec::new());
+    }
+    let dir = base.join(git_sha());
+    std::fs::create_dir_all(&dir)?;
+    let mut written = Vec::with_capacity(dumps.len());
+    for (i, dump) in dumps.iter().enumerate() {
+        let trigger: String = dump
+            .trigger
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("blackbox_{i}_{trigger}.jsonl"));
+        std::fs::write(&path, dump.to_jsonl())?;
+        written.push(path);
+    }
+    Ok(written)
 }
 
 /// A bin run being recorded: holds the run-wide [`MetricsSink`] so every
@@ -354,6 +402,34 @@ mod tests {
         std::env::set_var(LEDGER_ENV, "off");
         let run = RunLedger::start_with_args("bench", vec![]);
         assert_eq!(run.finish().expect("ok"), None);
+    }
+
+    #[test]
+    fn blackbox_dumps_land_under_the_sha_dir() {
+        let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = tmp("blackbox");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var(BLACKBOX_ENV, &dir);
+        let rec = Arc::new(magicdiv_trace::FlightRecorder::with_capacity(8));
+        magicdiv_trace::with_sink(rec.clone(), || {
+            magicdiv_trace::event!("plan.decision", "strategy" => "mul_shift");
+            magicdiv_trace::event!("guard.demotion", "d" => 7u64, "why" => "test");
+        });
+        let written = write_blackbox_dumps(&rec.take_dumps()).expect("write");
+        std::env::set_var(BLACKBOX_ENV, "off");
+        assert_eq!(written.len(), 1);
+        let name = written[0].file_name().expect("name").to_string_lossy();
+        assert_eq!(name, "blackbox_0_guard_demotion.jsonl");
+        assert!(written[0].parent().map(|p| p.ends_with(git_sha())) == Some(true));
+        let text = std::fs::read_to_string(&written[0]).expect("read back");
+        let last = text.lines().last().expect("nonempty");
+        assert!(last.contains("\"guard.demotion\""), "{last}");
+        assert!(last.contains("\"d\":7"), "{last}");
+        assert!(
+            write_blackbox_dumps(&[]).expect("empty ok").is_empty(),
+            "no dumps, no files"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod drift;
 mod explain;
 pub mod json;
 pub mod ledger;
+pub mod overhead;
 mod runmeta;
 mod tournament;
 
@@ -52,8 +53,10 @@ pub use crate::diff::{
 pub use crate::drift::{diff_snapshots, DriftFinding, DriftKind, DriftReport};
 pub use crate::explain::{explain, explain_jsonl, render_tournament, ExplainShape};
 pub use crate::ledger::{
-    archive_explain_stream, archive_report_json, ledger_path, read_ledger, LedgerRecord, RunLedger,
+    archive_explain_stream, archive_report_json, blackbox_base, ledger_path, read_ledger,
+    write_blackbox_dumps, LedgerRecord, RunLedger,
 };
+pub use crate::overhead::{run_overhead, OverheadGate, OverheadReport, OverheadRow};
 pub use crate::runmeta::{git_sha, unix_time_ms};
 pub use crate::tournament::{
     run_tournament, OracleCertifier, SimcpuScorer, DEFAULT_TOURNAMENT_MODEL,

@@ -305,6 +305,9 @@ impl PlanCache {
         if let Some(entry) = map.get(&key) {
             if plan_checksum(&entry.plan) == entry.checksum {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                magicdiv_trace::event!("cache.hit",
+                    "width" => key.width,
+                    "d_bits" => key.d_bits);
                 return Ok(entry.plan);
             }
             // Corrupt entry: evict, count, fall through to rebuild.
@@ -315,6 +318,9 @@ impl PlanCache {
                 "d_bits" => key.d_bits);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            magicdiv_trace::event!("cache.miss",
+                "width" => key.width,
+                "d_bits" => key.d_bits);
         }
         let plan = build()?;
         if map.len() >= self.per_shard_capacity {

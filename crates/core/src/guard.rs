@@ -277,13 +277,15 @@ impl GuardCore {
     }
 
     /// Transitions to Demoted, charges the budget, emits the typed
-    /// `guard.demotion` event.
-    fn demote(&self, shape: &'static str, width: u32, fault: &Fault) {
+    /// `guard.demotion` event carrying the offending divisor key `d`
+    /// (the flight recorder's black-box dumps key on it).
+    fn demote(&self, shape: &'static str, width: u32, d: magicdiv_trace::Value, fault: &Fault) {
         self.state.store(STATE_DEMOTED, Ordering::Release);
         fault_budget().record_demotion();
         magicdiv_trace::event!("guard.demotion",
             "shape" => shape,
             "width" => width,
+            "d" => d,
             "why" => format!("{fault}"));
     }
 }
@@ -439,7 +441,8 @@ impl<T: UWord> GuardedUnsignedDivisor<T> {
             let want = self.native(n);
             if q != want {
                 let fault = self_check_fault(n.to_u128(), q.to_u128(), want.to_u128());
-                self.core.demote("unsigned", T::BITS, &fault);
+                self.core
+                    .demote("unsigned", T::BITS, self.d.to_u128().into(), &fault);
                 return want;
             }
         }
@@ -609,7 +612,8 @@ impl<S: SWord> GuardedSignedDivisor<S> {
                     q.as_unsigned().to_u128(),
                     want.as_unsigned().to_u128(),
                 );
-                self.core.demote("signed", S::BITS, &fault);
+                self.core
+                    .demote("signed", S::BITS, self.d.to_i128().into(), &fault);
                 return want;
             }
         }
@@ -748,7 +752,8 @@ impl<S: SWord> GuardedFloorDivisor<S> {
                     q.as_unsigned().to_u128(),
                     want.as_unsigned().to_u128(),
                 );
-                self.core.demote("floor", S::BITS, &fault);
+                self.core
+                    .demote("floor", S::BITS, self.d.to_i128().into(), &fault);
                 return want;
             }
         }
@@ -904,7 +909,8 @@ impl<T: UWord> GuardedExactDivisor<T> {
             let want = n.checked_div(self.d).unwrap_or(T::ZERO);
             if q != want {
                 let fault = self_check_fault(n.to_u128(), q.to_u128(), want.to_u128());
-                self.core.demote("exact", T::BITS, &fault);
+                self.core
+                    .demote("exact", T::BITS, self.d.to_u128().into(), &fault);
                 return want;
             }
         }
@@ -921,7 +927,8 @@ impl<T: UWord> GuardedExactDivisor<T> {
             let want = self.native_rem(n) == T::ZERO;
             if verdict != want {
                 let fault = self_check_fault(n.to_u128(), u128::from(verdict), u128::from(want));
-                self.core.demote("exact", T::BITS, &fault);
+                self.core
+                    .demote("exact", T::BITS, self.d.to_u128().into(), &fault);
                 return want;
             }
         }
@@ -1065,7 +1072,8 @@ impl<T: UWord> GuardedDwordDivisor<T> {
             let want = self.native(n)?;
             if out != want {
                 let fault = self_check_fault(n.lo().to_u128(), out.0.to_u128(), want.0.to_u128());
-                self.core.demote("dword", T::BITS, &fault);
+                self.core
+                    .demote("dword", T::BITS, self.d.to_u128().into(), &fault);
                 return Ok(want);
             }
         }

@@ -6,7 +6,7 @@
 //! structured records through this crate so a run can answer *why* a
 //! plan was chosen, *what* each pass did and *where* cycles go.
 //!
-//! Three pieces:
+//! Five pieces:
 //!
 //! * **Events and spans** ([`Event`], [`span`], [`event!`]) — typed
 //!   records with static names and key/value fields, nested by spans;
@@ -16,7 +16,12 @@
 //!   [`CaptureSink`] (programmatic inspection in tests), [`NullSink`];
 //! * **Metrics** ([`Counter`], [`Histogram`], [`Registry`],
 //!   [`MetricsSnapshot`]) — atomic counters and power-of-two histograms
-//!   the bench/verify bins serialize into their JSON reports.
+//!   the bench/verify bins serialize into their JSON reports;
+//! * **Flight recorder** ([`FlightRecorder`]) — a bounded per-thread
+//!   ring of recent events that snapshots a [`BlackboxDump`] when a
+//!   fault-signal event (guard demotion, cache poisoning) fires;
+//! * **Exposition** ([`render_exposition`]) — the Prometheus-style text
+//!   rendering of a registry snapshot served by `magic metrics`.
 //!
 //! Sinks are installed per-thread ([`with_sink`] / [`install`]); with
 //! none installed, [`enabled`] is `false` and instrumentation reduces to
@@ -43,12 +48,20 @@
 #![warn(missing_docs)]
 
 mod event;
+mod expo;
 mod metrics;
+mod recorder;
 mod sink;
 
 pub use crate::event::{json_string, Event, Field, Value};
+pub use crate::expo::{render_exposition, ExpositionOptions};
 pub use crate::metrics::{
     BucketCount, Counter, Histogram, HistogramSnapshot, MetricsSink, MetricsSnapshot, Registry,
+    DEFAULT_REGISTRY_CAPACITY,
+};
+pub use crate::recorder::{
+    BlackboxDump, FlightRecorder, RecordedEvent, DEFAULT_BLACKBOX_TRIGGERS,
+    DEFAULT_RECORDER_CAPACITY,
 };
 pub use crate::sink::{
     emit, enabled, install, span, with_sink, CaptureSink, InstallGuard, JsonlSink, NullSink, Sink,

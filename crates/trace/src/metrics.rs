@@ -148,10 +148,26 @@ pub struct HistogramSnapshot {
 impl HistogramSnapshot {
     /// Mean observation (0.0 when empty).
     pub fn mean(&self) -> f64 {
+        self.try_mean().unwrap_or(0.0)
+    }
+
+    /// Mean observation, or `None` for the empty histogram — the
+    /// non-lossy form for callers that must distinguish "no data" from
+    /// "observed zeros" without a NaN ever reaching a report.
+    pub fn try_mean(&self) -> Option<f64> {
         if self.count == 0 {
-            0.0
+            None
         } else {
-            self.sum as f64 / self.count as f64
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// [`quantile`](Self::quantile) as an Option: `None` when empty.
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.quantile(q))
         }
     }
 
@@ -183,6 +199,10 @@ impl HistogramSnapshot {
         if self.count == 0 {
             return 0.0;
         }
+        // NaN would sail through `clamp` (which propagates it) and turn
+        // every comparison below false; pin it to the 0th quantile so a
+        // bad caller gets a deterministic finite answer.
+        let q = if q.is_nan() { 0.0 } else { q };
         let target = q.clamp(0.0, 1.0) * self.count as f64;
         let mut cum = 0u64;
         let mut prev_le = 0u64;
@@ -206,23 +226,32 @@ impl HistogramSnapshot {
     }
 
     /// Renders as a JSON object (with interpolated p50/p90/p99).
+    /// Non-finite statistics (which no current path can produce, but
+    /// which would be invalid JSON) render as `null` rather than `NaN`.
     pub fn to_json(&self) -> String {
+        fn finite(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.4}")
+            } else {
+                "null".to_string()
+            }
+        }
         let buckets: Vec<String> = self
             .buckets
             .iter()
             .map(|b| format!("[{},{}]", b.le, b.count))
             .collect();
         format!(
-            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.4},\
-             \"p50\":{:.4},\"p90\":{:.4},\"p99\":{:.4},\"buckets\":[{}]}}",
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
+             \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
             self.count,
             self.sum,
             self.min,
             self.max,
-            self.mean(),
-            self.quantile(0.50),
-            self.quantile(0.90),
-            self.quantile(0.99),
+            finite(self.mean()),
+            finite(self.quantile(0.50)),
+            finite(self.quantile(0.90)),
+            finite(self.quantile(0.99)),
             buckets.join(",")
         )
     }
@@ -234,7 +263,21 @@ struct RegistryInner {
     histograms: BTreeMap<String, Arc<Histogram>>,
 }
 
+/// Default cap on distinct counter names (and, separately, histogram
+/// names) a [`Registry`] will register. Registrations past the cap are
+/// counted by `registry.overflow` and absorbed by the shared
+/// `registry.other` series, so a zipf divisor stream minting one name
+/// per divisor cannot grow the registry without bound.
+pub const DEFAULT_REGISTRY_CAPACITY: usize = 512;
+
 /// A named collection of counters and histograms.
+///
+/// Cardinality is bounded: at most `capacity` distinct counter names
+/// and `capacity` distinct histogram names are registered (default
+/// [`DEFAULT_REGISTRY_CAPACITY`]). A lookup of a *new* name past the
+/// cap increments the `registry.overflow` counter and returns the
+/// shared `registry.other` sink metric instead — callers keep working,
+/// updates keep being counted, memory stays fixed.
 ///
 /// # Examples
 ///
@@ -250,53 +293,105 @@ struct RegistryInner {
 /// assert_eq!(snap.histograms["cycles"].count, 2);
 /// assert_eq!(snap.histograms["cycles"].sum, 14);
 /// ```
-#[derive(Default)]
 pub struct Registry {
     inner: Mutex<RegistryInner>,
+    capacity: usize,
+    overflow: Arc<Counter>,
+    other_counter: Arc<Counter>,
+    other_histogram: Arc<Histogram>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_REGISTRY_CAPACITY)
+    }
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty registry with the default cardinality cap.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The counter named `name`, created on first use.
+    /// An empty registry capped at `capacity` distinct names per metric
+    /// kind (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Registry {
+            inner: Mutex::new(RegistryInner::default()),
+            capacity: capacity.max(1),
+            overflow: Arc::new(Counter::new()),
+            other_counter: Arc::new(Counter::new()),
+            other_histogram: Arc::new(Histogram::new()),
+        }
+    }
+
+    /// New-name registrations rejected by the cardinality cap so far.
+    pub fn overflow(&self) -> u64 {
+        self.overflow.get()
+    }
+
+    /// The counter named `name`, created on first use. Past the
+    /// cardinality cap, new names share the `registry.other` counter.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(c) = inner.counters.get(name) {
             return c.clone();
+        }
+        if inner.counters.len() >= self.capacity {
+            self.overflow.inc();
+            return self.other_counter.clone();
         }
         let c = Arc::new(Counter::new());
         inner.counters.insert(name.to_string(), c.clone());
         c
     }
 
-    /// The histogram named `name`, created on first use.
+    /// The histogram named `name`, created on first use. Past the
+    /// cardinality cap, new names share the `registry.other` histogram.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(h) = inner.histograms.get(name) {
             return h.clone();
+        }
+        if inner.histograms.len() >= self.capacity {
+            self.overflow.inc();
+            return self.other_histogram.clone();
         }
         let h = Arc::new(Histogram::new());
         inner.histograms.insert(name.to_string(), h.clone());
         h
     }
 
-    /// A point-in-time copy of every metric.
+    /// A point-in-time copy of every metric. When the cardinality cap
+    /// was hit, the snapshot carries `registry.overflow` (rejected
+    /// registrations) and the merged `registry.other` series.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut counters: BTreeMap<String, u64> = inner
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let mut histograms: BTreeMap<String, HistogramSnapshot> = inner
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        let overflow = self.overflow.get();
+        if overflow > 0 {
+            counters.insert("registry.overflow".to_string(), overflow);
+            let other = self.other_counter.get();
+            if other > 0 {
+                counters.insert("registry.other".to_string(), other);
+            }
+            let other_hist = self.other_histogram.snapshot();
+            if other_hist.count > 0 {
+                histograms.insert("registry.other".to_string(), other_hist);
+            }
+        }
         MetricsSnapshot {
-            counters: inner
-                .counters
-                .iter()
-                .map(|(k, v)| (k.clone(), v.get()))
-                .collect(),
-            histograms: inner
-                .histograms
-                .iter()
-                .map(|(k, v)| (k.clone(), v.snapshot()))
-                .collect(),
+            counters,
+            histograms,
         }
     }
 }
@@ -497,6 +592,63 @@ mod tests {
         assert!(json.contains("\"p99\":7.0000"), "{json}");
         let text = reg.snapshot().to_string();
         assert!(text.contains("p50=7.0"), "{text}");
+    }
+
+    #[test]
+    fn empty_histogram_stats_stay_finite() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.try_mean(), None);
+        assert_eq!(s.try_quantile(0.5), None);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        // NaN q is pinned, not propagated.
+        assert_eq!(s.quantile(f64::NAN), 0.0);
+        let json = s.to_json();
+        assert!(!json.contains("NaN"), "{json}");
+        assert!(json.contains("\"mean\":0.0000"), "{json}");
+    }
+
+    #[test]
+    fn nan_quantile_is_pinned_on_nonempty_histograms() {
+        let h = Histogram::new();
+        h.observe(42);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(f64::NAN), 42.0);
+        assert_eq!(s.try_quantile(0.9), Some(42.0));
+        assert_eq!(s.try_mean(), Some(42.0));
+    }
+
+    #[test]
+    fn registry_cardinality_is_capped_with_overflow_counter() {
+        let reg = Registry::with_capacity(4);
+        for d in 0..10u64 {
+            reg.counter(&format!("req.d.{d}")).add(1 + d);
+        }
+        // 4 registered, 6 rejected; rejected increments all landed in
+        // the shared `registry.other` sink: (1+4)+...+(1+9) = 45.
+        assert_eq!(reg.overflow(), 6);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["registry.overflow"], 6);
+        assert_eq!(snap.counters["registry.other"], 45);
+        assert_eq!(snap.counters["req.d.0"], 1);
+        assert!(!snap.counters.contains_key("req.d.7"));
+        // Existing names keep resolving to their own counter at the cap.
+        reg.counter("req.d.0").inc();
+        assert_eq!(reg.snapshot().counters["req.d.0"], 2);
+    }
+
+    #[test]
+    fn histogram_cardinality_is_capped_too() {
+        let reg = Registry::with_capacity(2);
+        for d in 0..5u64 {
+            reg.histogram(&format!("lat.d.{d}")).observe(d + 1);
+        }
+        assert_eq!(reg.overflow(), 3);
+        let snap = reg.snapshot();
+        // Overflowed observations merged: 3 + 4 + 5 = 12.
+        assert_eq!(snap.histograms["registry.other"].count, 3);
+        assert_eq!(snap.histograms["registry.other"].sum, 12);
+        assert_eq!(snap.histograms.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Concurrency coverage for the thread-local dispatcher: `SpanGuard`
+//! nesting stays balanced, and a single shared `CaptureSink` fed by
+//! many emitter threads neither corrupts records nor reorders any one
+//! thread's events.
+
+use std::sync::{Arc, Barrier, Mutex};
+
+use magicdiv_trace::{emit, event, span, with_sink, CaptureSink, Event, Sink};
+
+/// A sink recording `(depth, name)` for spans and events, to assert on
+/// nesting depth (CaptureSink drops the depth).
+#[derive(Default)]
+struct DepthSink {
+    records: Mutex<Vec<(u32, String)>>,
+}
+
+impl DepthSink {
+    fn records(&self) -> Vec<(u32, String)> {
+        self.records.lock().unwrap().clone()
+    }
+}
+
+impl Sink for DepthSink {
+    fn event(&self, depth: u32, event: &Event) {
+        self.records
+            .lock()
+            .unwrap()
+            .push((depth, format!("event:{}", event.name)));
+    }
+    fn span_enter(&self, depth: u32, name: &'static str) {
+        self.records
+            .lock()
+            .unwrap()
+            .push((depth, format!("enter:{name}")));
+    }
+    fn span_exit(&self, depth: u32, name: &'static str) {
+        self.records
+            .lock()
+            .unwrap()
+            .push((depth, format!("exit:{name}")));
+    }
+}
+
+#[test]
+fn span_nesting_depths_are_balanced() {
+    let sink = Arc::new(DepthSink::default());
+    with_sink(sink.clone(), || {
+        let _a = span("a");
+        {
+            let _b = span("b");
+            emit(Event::new("deep"));
+            {
+                let _c = span("c");
+                emit(Event::new("deeper"));
+            }
+        }
+        emit(Event::new("shallow"));
+    });
+    let got = sink.records();
+    let want = vec![
+        (0, "enter:a".to_string()),
+        (1, "enter:b".to_string()),
+        (2, "event:deep".to_string()),
+        (2, "enter:c".to_string()),
+        (3, "event:deeper".to_string()),
+        (2, "exit:c".to_string()),
+        (1, "exit:b".to_string()),
+        (1, "event:shallow".to_string()),
+        (0, "exit:a".to_string()),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn early_guard_drop_does_not_underflow_depth() {
+    let sink = Arc::new(DepthSink::default());
+    with_sink(sink.clone(), || {
+        let a = span("a");
+        drop(a);
+        drop(span("again"));
+        emit(Event::new("top"));
+    });
+    let got = sink.records();
+    assert_eq!(got.last(), Some(&(0, "event:top".to_string())));
+}
+
+#[test]
+fn span_depth_is_per_thread() {
+    // A deep span stack on one thread must not indent another thread's
+    // records: DEPTH is thread-local state.
+    let sink = Arc::new(DepthSink::default());
+    let barrier = Arc::new(Barrier::new(2));
+    let deep = {
+        let (sink, barrier) = (sink.clone(), barrier.clone());
+        std::thread::spawn(move || {
+            with_sink(sink, || {
+                let _a = span("deep.a");
+                let _b = span("deep.b");
+                barrier.wait(); // depth 2 held while the peer emits
+                barrier.wait();
+            });
+        })
+    };
+    let flat = {
+        let (sink, barrier) = (sink.clone(), barrier.clone());
+        std::thread::spawn(move || {
+            barrier.wait();
+            with_sink(sink, || emit(Event::new("flat")));
+            barrier.wait();
+        })
+    };
+    deep.join().unwrap();
+    flat.join().unwrap();
+    let flat_depth = sink
+        .records()
+        .iter()
+        .find(|(_, n)| n == "event:flat")
+        .map(|(d, _)| *d);
+    assert_eq!(flat_depth, Some(0));
+}
+
+#[test]
+fn shared_capture_sink_under_concurrent_emitters() {
+    const THREADS: u64 = 8;
+    const EVENTS_PER_THREAD: u64 = 500;
+
+    let sink = Arc::new(CaptureSink::new());
+    let barrier = Arc::new(Barrier::new(THREADS as usize));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let sink = sink.clone();
+        let barrier = barrier.clone();
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            with_sink(sink, || {
+                for i in 0..EVENTS_PER_THREAD {
+                    // Both fields identify the emitter, so a torn or
+                    // cross-thread-mixed record is detectable.
+                    event!("work", "t" => t, "i" => i, "tag" => t * 1_000_000 + i);
+                }
+            });
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let events = sink.events();
+    assert_eq!(events.len(), (THREADS * EVENTS_PER_THREAD) as usize);
+
+    let field = |e: &Event, key: &str| -> u64 {
+        match e.get(key) {
+            Some(v) => v.to_json().parse().unwrap(),
+            None => panic!("missing field {key} on {e}"),
+        }
+    };
+    // No interleaving corruption: every record is internally consistent.
+    for e in &events {
+        assert_eq!(e.name, "work");
+        assert_eq!(e.fields.len(), 3);
+        let (t, i, tag) = (field(e, "t"), field(e, "i"), field(e, "tag"));
+        assert_eq!(tag, t * 1_000_000 + i, "torn record: t={t} i={i} tag={tag}");
+    }
+    // Per-thread ordering holds: thread t's events appear with strictly
+    // increasing i in the shared capture order.
+    for t in 0..THREADS {
+        let seq: Vec<u64> = events
+            .iter()
+            .filter(|e| field(e, "t") == t)
+            .map(|e| field(e, "i"))
+            .collect();
+        assert_eq!(seq.len(), EVENTS_PER_THREAD as usize);
+        assert!(
+            seq.windows(2).all(|w| w[0] < w[1]),
+            "thread {t} order violated"
+        );
+    }
+}
+
+#[test]
+fn concurrent_spans_keep_sink_installation_isolated() {
+    // Each thread installs its own capture; nothing leaks across.
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        handles.push(std::thread::spawn(move || {
+            let sink = Arc::new(CaptureSink::new());
+            with_sink(sink.clone(), || {
+                let _s = span("local");
+                for i in 0..50u64 {
+                    event!("mine", "t" => t, "i" => i);
+                }
+            });
+            let events = sink.events();
+            assert_eq!(events.len(), 50);
+            assert!(events
+                .iter()
+                .all(|e| e.get("t").map(|v| v.to_json()) == Some(t.to_string())));
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}

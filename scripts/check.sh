@@ -5,11 +5,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Every harness bin appends a run record to the ledger; point it (and
-# the explain archive) at target/ so CI runs never dirty results/.
-# The accumulated ledger is schema-checked at the end of this script.
+# the explain archive and black-box dump dir) at target/ so CI runs
+# never dirty results/. The accumulated ledger is schema-checked at the
+# end of this script; the black-box smoke gate re-enables dumps with an
+# explicit target/ path.
 mkdir -p target
 export MAGICDIV_LEDGER="$PWD/target/ledger_ci.jsonl"
 export MAGICDIV_ARCHIVE=off
+export MAGICDIV_BLACKBOX=off
 rm -f "$MAGICDIV_LEDGER"
 
 echo "== cargo fmt --check =="
@@ -96,6 +99,49 @@ MAGICDIV_ARCHIVE="$PWD/target/chaos_drift_b" \
     exit 1
 }
 
+echo "== metrics exposition golden (same seed twice must be byte-identical) =="
+./target/release/magic metrics 42 2000 > target/expo_ci_a.prom
+./target/release/magic metrics 42 2000 > target/expo_ci_b.prom
+diff -u target/expo_ci_a.prom target/expo_ci_b.prom || {
+    echo "magic metrics exposition is nondeterministic between same-seed runs" >&2
+    exit 1
+}
+grep -q '^# TYPE ' target/expo_ci_a.prom || {
+    echo "exposition carries no # TYPE lines" >&2
+    exit 1
+}
+grep -q '{d="other"}' target/expo_ci_a.prom || {
+    echo "exposition lost its bounded-cardinality {d=\"other\"} bucket" >&2
+    exit 1
+}
+
+echo "== black-box dump smoke (forced demotion must snapshot the event ring) =="
+sha="$(git rev-parse HEAD)"
+rm -rf target/blackbox_ci
+MAGICDIV_BLACKBOX="$PWD/target/blackbox_ci" \
+    ./target/release/magic chaos 0xC4A05D1F 2 target/chaos_bb_ci.json > /dev/null
+dump="$(find "target/blackbox_ci/$sha" -name 'blackbox_*_guard_demotion.jsonl' 2>/dev/null | sort | head -n 1)"
+test -n "$dump" && test -s "$dump" || {
+    echo "forced-demotion chaos run produced no guard.demotion black-box dump" >&2
+    exit 1
+}
+# The trigger event must be the last ring entry and carry the offending
+# divisor key.
+tail -n 1 "$dump" | grep -q '"name":"guard.demotion"' || {
+    echo "black-box dump does not end with the guard.demotion trigger event" >&2
+    exit 1
+}
+tail -n 1 "$dump" | grep -q '"d":' || {
+    echo "black-box trigger event does not carry the offending divisor key" >&2
+    exit 1
+}
+
+echo "== tracing overhead budget gate (tracing-off free, recorder within budget) =="
+./target/release/bench overhead 2000 target/overhead_ci.json > /dev/null || {
+    echo "tracing overhead exceeded its pinned budget — see target/overhead_ci.json" >&2
+    exit 1
+}
+
 echo "== drift self-diff (two archives of the same build must report zero drift) =="
 sha="$(git rev-parse HEAD)"
 rm -rf target/drift_ci_a target/drift_ci_b
@@ -107,6 +153,10 @@ MAGICDIV_ARCHIVE="$PWD/target/drift_ci_b" \
     ./target/release/magic explain 32 7 unsigned --json > /dev/null
 MAGICDIV_ARCHIVE="$PWD/target/drift_ci_b" \
     ./target/release/magic explain 32 10 dword --json > /dev/null
+# Fold the exposition goldens in as .prom snapshots so the drift bin's
+# metrics differ runs in CI too.
+cp target/expo_ci_a.prom "target/drift_ci_a/$sha/metrics.prom"
+cp target/expo_ci_b.prom "target/drift_ci_b/$sha/metrics.prom"
 ./target/release/drift "target/drift_ci_a/$sha" "target/drift_ci_b/$sha" || {
     echo "same-build archive snapshots drifted" >&2
     exit 1
