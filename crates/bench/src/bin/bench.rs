@@ -3,9 +3,12 @@
 //!
 //! For every width (8/16/32/64) one divisor per Figure 4.2/5.2 strategy
 //! is timed (identity, shift, mul_shift, mul_add_shift), scalar and
-//! batched, against the hardware-divide baseline. The strategy labels
-//! come from the shared planning layer, so the JSON rows name exactly
-//! the code shape that ran.
+//! batched, against the hardware-divide baseline. The two remainder
+//! paths are timed head-to-head per width (`rem_direct`, the LKK Thm 1
+//! fraction, vs `rem_mulback`, §1's `n - q·d`, vs `rem_hardware`),
+//! plus a hashing-bucketing row pair (`bucket_direct` /
+//! `bucket_mulback`). The strategy labels come from the shared planning
+//! layer, so the JSON rows name exactly the code shape that ran.
 //!
 //! Usage: `cargo run --release -p magicdiv-bench --bin bench -- [iters] [out.json]`
 //!
@@ -28,7 +31,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
-use magicdiv::plan::{DivPlan, SdivPlan, UdivPlan};
+use magicdiv::plan::{DivPlan, DivisibilityPlan, SdivPlan, UdivPlan, UremPlan};
 use magicdiv::{SignedDivisor, UnsignedDivisor};
 use magicdiv_bench::{
     git_sha, measure_ns_min, render_table, run_overhead, unix_time_ms, RunLedger,
@@ -108,6 +111,14 @@ fn benched_plans() -> Vec<DivPlan> {
     for width in [32u32, 64] {
         for d in [-7i128, 3, 10] {
             plans.push(SdivPlan::new(d, width).expect("nonzero").into());
+        }
+    }
+    // The two remainder paths and the divisibility test, per width.
+    for width in [8u32, 16, 32, 64] {
+        for d in [7u128, 10] {
+            plans.push(UremPlan::new_direct(d, width).expect("nonzero").into());
+            plans.push(UremPlan::new(d, width).expect("nonzero").into());
+            plans.push(DivisibilityPlan::new(d, width).expect("nonzero").into());
         }
     }
     plans
@@ -204,6 +215,95 @@ macro_rules! bench_unsigned_at {
                 strategy,
                 ns_per_op: ns / LEN as f64,
             });
+        }
+    }};
+}
+
+macro_rules! bench_urem_at {
+    ($t:ty, $iters:expr, $rows:expr) => {{
+        let width = <$t>::BITS;
+        let inputs: Vec<$t> = (0..LEN)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) as $t)
+            .collect();
+        // d = 7 forces the add-fixup quotient under multiply-back; the
+        // prime exercises the hashing-bucketing reduction.
+        for d in [7u64, 10, 251] {
+            let back = UnsignedDivisor::new(d as $t).expect("nonzero");
+            let direct = UnsignedDivisor::new_direct_rem(d as $t).expect("nonzero");
+            let back_strategy = DivPlan::from(back.urem_plan()).strategy_name();
+            let direct_strategy = DivPlan::from(direct.urem_plan()).strategy_name();
+
+            let ns = measure_ns_min($iters, REPEATS, |_| {
+                let d = black_box(d as $t);
+                inputs.iter().map(|&n| (black_box(n) % d) as u64).sum()
+            });
+            $rows.push(Row {
+                name: format!("u{width}/rem_hardware/{d}"),
+                width,
+                divisor: d as i128,
+                strategy: "hardware",
+                ns_per_op: ns / LEN as f64,
+            });
+
+            let ns = measure_ns_min($iters, REPEATS, |_| {
+                inputs
+                    .iter()
+                    .map(|&n| back.remainder(black_box(n)) as u64)
+                    .sum()
+            });
+            $rows.push(Row {
+                name: format!("u{width}/rem_mulback/{d}"),
+                width,
+                divisor: d as i128,
+                strategy: back_strategy,
+                ns_per_op: ns / LEN as f64,
+            });
+
+            let ns = measure_ns_min($iters, REPEATS, |_| {
+                inputs
+                    .iter()
+                    .map(|&n| direct.remainder(black_box(n)) as u64)
+                    .sum()
+            });
+            $rows.push(Row {
+                name: format!("u{width}/rem_direct/{d}"),
+                width,
+                divisor: d as i128,
+                strategy: direct_strategy,
+                ns_per_op: ns / LEN as f64,
+            });
+
+            // Hashing-bucketing: the PrimeHashTable probe path — mix the
+            // key, then reduce it to a bucket with each remainder path.
+            if d == 251 {
+                let mix = |n: $t| n.wrapping_mul(0x9e37_79b9_7f4a_7c15u64 as $t);
+                let ns = measure_ns_min($iters, REPEATS, |_| {
+                    inputs
+                        .iter()
+                        .map(|&n| back.remainder(mix(black_box(n))) as u64)
+                        .sum()
+                });
+                $rows.push(Row {
+                    name: format!("u{width}/bucket_mulback/{d}"),
+                    width,
+                    divisor: d as i128,
+                    strategy: back_strategy,
+                    ns_per_op: ns / LEN as f64,
+                });
+                let ns = measure_ns_min($iters, REPEATS, |_| {
+                    inputs
+                        .iter()
+                        .map(|&n| direct.remainder(mix(black_box(n))) as u64)
+                        .sum()
+                });
+                $rows.push(Row {
+                    name: format!("u{width}/bucket_direct/{d}"),
+                    width,
+                    divisor: d as i128,
+                    strategy: direct_strategy,
+                    ns_per_op: ns / LEN as f64,
+                });
+            }
         }
     }};
 }
@@ -357,6 +457,10 @@ fn main() {
     bench_unsigned_at!(u16, iters, rows);
     bench_unsigned_at!(u32, iters, rows);
     bench_unsigned_at!(u64, iters, rows);
+    bench_urem_at!(u8, iters, rows);
+    bench_urem_at!(u16, iters, rows);
+    bench_urem_at!(u32, iters, rows);
+    bench_urem_at!(u64, iters, rows);
     bench_signed_at!(i32, iters, rows);
     bench_signed_at!(i64, iters, rows);
 

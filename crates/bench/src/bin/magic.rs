@@ -91,7 +91,7 @@ fn main() {
 fn explain_main(args: &[String]) {
     let usage = || -> ! {
         eprintln!("usage: magic explain <width> <divisor> [shape] [--json]");
-        eprintln!("       shape: unsigned | signed | floor | exact | dword");
+        eprintln!("       shape: unsigned | signed | floor | exact | dword | urem | divtest");
         std::process::exit(2)
     };
     let mut positional: Vec<&str> = Vec::new();
@@ -400,7 +400,7 @@ fn report<T: magicdiv::UWord>(d: i128)
 where
     T::Signed: magicdiv::SWord<Unsigned = T>,
 {
-    use magicdiv::plan::DivPlan;
+    use magicdiv::plan::{DivPlan, DivisibilityPlan, UremPlan};
     use magicdiv::{
         choose_multiplier, DwordDivisor, ExactSignedDivisor, FloorDivisor,
         InvariantUnsignedDivisor, SignedDivisor, UnsignedDivisor,
@@ -457,6 +457,14 @@ where
         let dd = must("dword divisor", DwordDivisor::try_new(du));
         rows.push(plan_row("dword plan (Fig 8.1)", dd.plan().into()));
         rows.push(vec!["udword/uword (Fig 8.1)".into(), format!("{dd:?}")]);
+        // Direct remainder and divisibility: first-class plan shapes,
+        // not derived from the quotient.
+        if let Ok(rp) = UremPlan::new_direct(d as u128, n) {
+            rows.push(plan_row("remainder plan (LKK Thm 1)", rp.into()));
+        }
+        if let Ok(dp) = DivisibilityPlan::new(d as u128, n) {
+            rows.push(plan_row("divisibility plan (§9 + LKK §3)", dp.into()));
+        }
     }
     let ds = <T::Signed as magicdiv::SWord>::from_i128_truncate(d);
     if <T::Signed as magicdiv::SWord>::to_i128(ds) == d {

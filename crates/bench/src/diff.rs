@@ -84,11 +84,22 @@ pub enum Shape {
     /// kill a perturbed round-up or optimal-bounds multiplier just as
     /// reliably as a perturbed Fig 4.2 magic.
     UdivTournament,
+    /// Direct remainder `n mod d` with no quotient formed (LKK Thm 1
+    /// fraction, or a mask for powers of two). The widened multiplier
+    /// `c = ⌈2^2N/d⌉` has slack — at `F = 2N` a whole interval of `c`
+    /// values computes the same remainder for every `n < 2^N`, so
+    /// upward `c` perturbations are legitimately *equivalent*, not
+    /// oracle blind spots; downward ones fail at multiples of `d`.
+    Urem,
+    /// Remainder via §1 multiply-back (`r = n - d·⌊n/d⌋`) — the
+    /// refactor's baseline, kept under differential test so the two
+    /// remainder paths stay pinned to the same oracle.
+    UremMulBack,
 }
 
 impl Shape {
     /// Every shape, in a fixed order.
-    pub const ALL: [Shape; 7] = [
+    pub const ALL: [Shape; 9] = [
         Shape::Udiv,
         Shape::Sdiv,
         Shape::Floor,
@@ -96,6 +107,8 @@ impl Shape {
         Shape::Divisibility,
         Shape::Dword,
         Shape::UdivTournament,
+        Shape::Urem,
+        Shape::UremMulBack,
     ];
 
     /// Stable lower-case name, used in corpus lines.
@@ -108,6 +121,8 @@ impl Shape {
             Shape::Divisibility => "divisibility",
             Shape::Dword => "dword",
             Shape::UdivTournament => "udiv-tournament",
+            Shape::Urem => "urem",
+            Shape::UremMulBack => "urem-mulback",
         }
     }
 
@@ -211,6 +226,8 @@ impl Case {
                 .expect("d != 0 checked above");
                 magicdiv_codegen::gen_udiv_plan(&sel.plan)
             }
+            Shape::Urem => magicdiv_codegen::gen_urem_direct(self.d, self.width),
+            Shape::UremMulBack => magicdiv_codegen::gen_unsigned_rem(self.d, self.width),
         }
     }
 
@@ -270,6 +287,7 @@ impl Case {
                 }
             }
             Shape::Divisibility => u64::from(n % self.d == 0),
+            Shape::Urem | Shape::UremMulBack => n % self.d,
             // Handled by the packed early return above.
             Shape::Dword => unreachable!("dword oracle handled before masking"),
         })
@@ -354,15 +372,21 @@ impl Case {
             let top = if self.shape.signed() { m >> 1 } else { m };
             let t = top - top % d;
             for base in [d, d.wrapping_mul(2) & m, t, t.wrapping_sub(d)] {
-                out.extend([base, base.wrapping_sub(1) & m, (base + 1) & m]);
+                out.extend([base, base.wrapping_sub(1) & m, base.wrapping_add(1) & m]);
             }
-            if self.shape == Shape::Divisibility {
+            if matches!(
+                self.shape,
+                Shape::Divisibility | Shape::Urem | Shape::UremMulBack
+            ) {
                 // The §9 test compares n·d⁻¹ against c = ⌊mask/d⌋, so a
                 // perturbed threshold c ± 2^b only misclassifies inputs
                 // whose product lands in the moved band: multiples with
                 // quotients just past c (they wrap modulo 2^N) and the
-                // walk of in-range multiples ±1.
-                out.extend([t.wrapping_add(d) & m, t.wrapping_add(2 * d) & m]);
+                // walk of in-range multiples ±1. The same walk pins the
+                // LKK fraction's band boundaries (n·c mod 2^2N is
+                // smallest at multiples of d, largest just below them),
+                // so the remainder shapes share it.
+                out.extend([t.wrapping_add(d) & m, t.wrapping_add(d.wrapping_mul(2)) & m]);
                 let qmax = m / d;
                 for j in 0..self.width {
                     let q = 1u64 << j;
@@ -370,10 +394,10 @@ impl Case {
                         break;
                     }
                     let n = q.wrapping_mul(d) & m;
-                    out.extend([n, n.wrapping_sub(1) & m, (n + 1) & m]);
+                    out.extend([n, n.wrapping_sub(1) & m, n.wrapping_add(1) & m]);
                 }
                 let mid = (qmax / 2).wrapping_mul(d) & m;
-                out.extend([mid, mid.wrapping_sub(1) & m, (mid + 1) & m]);
+                out.extend([mid, mid.wrapping_sub(1) & m, mid.wrapping_add(1) & m]);
             }
             if self.shape.signed() {
                 // Mirror everything through negation to cover the n < 0
@@ -727,6 +751,95 @@ fn small_scope_equivalent(case: &Case, m: Mutation) -> bool {
     false
 }
 
+/// Whether a perturbed LKK fraction constant `c` still computes
+/// `n mod d` for every `N`-bit `n` (Thm 1 admissibility). Writing
+/// `e = c·d − 2^2N` and `n = q·d + r`, the kernel's fraction is
+/// `(q·e + r·c) mod 2^2N` and the scaled high word is
+/// `r + ⌊e·n / 2^2N⌋`, so the plan is exact whenever
+///
+/// * `e >= 1` (c rounds *up*: `c > 2^2N / d`),
+/// * `e·(2^N − 1) < 2^2N` (the error never reaches the next residue),
+/// * `qmax·e + (d−1)·c < 2^2N` (the fraction never wraps).
+///
+/// The bounds are sufficient, not tight, which is the right polarity
+/// for a mutation certificate: a `c` this fails to certify stays
+/// [`MutantFate::Survived`]. At width 64 the `< 2^128` comparisons are
+/// exactly "the u128 checked ops did not overflow".
+fn lkk_admissible(c_hi: u128, c_lo: u128, d: u64, width: u32) -> bool {
+    let below_f = |v: u128| width == 64 || v < 1u128 << (2 * width);
+    let d = u128::from(d);
+    let n_max = u128::from(mask(width));
+    let c = (c_hi << width) | c_lo;
+    // e = c*d - 2^2N without forming c*d (which overflows u128 at
+    // width 64): split c*d into words above/below 2^width via the limbs.
+    let p_lo = c_lo * d;
+    let Some(hi_words) = c_hi
+        .checked_mul(d)
+        .and_then(|p| p.checked_add(p_lo >> width))
+    else {
+        return false;
+    };
+    let Some(e_hi) = hi_words.checked_sub(1u128 << width) else {
+        return false; // c*d < 2^2N: c rounds down, wrong at n = d
+    };
+    if e_hi > n_max {
+        return false; // e >= 2^2N / 2^N-ish: hopelessly large
+    }
+    let e = (e_hi << width) | (p_lo & n_max);
+    if e == 0 {
+        return false;
+    }
+    let no_wrap = (n_max / d)
+        .checked_mul(e)
+        .and_then(|qe| (d - 1).checked_mul(c).and_then(|rc| qe.checked_add(rc)));
+    e.checked_mul(n_max).is_some_and(below_f) && no_wrap.is_some_and(below_f)
+}
+
+/// Certifies a `ConstFlip` on a direct-remainder kernel as equivalent
+/// when the flipped fraction limb leaves `c` inside the Thm 1
+/// admissible interval (see [`lkk_admissible`]) — the interval is
+/// ~`2^N/d` wide at `F = 2N`, so most upward low-limb flips are
+/// legitimately equivalent plans no finite probe set can kill. The
+/// flipped constant is identified by *position* in the lowered kernel
+/// (`c_lo`, `c_hi`, `d` in emission order), so a numeric coincidence
+/// between `d` and a limb can never certify a perturbed divisor.
+fn urem_fraction_equivalent(case: &Case, m: Mutation) -> bool {
+    if case.shape != Shape::Urem {
+        return false;
+    }
+    let Mutation::ConstFlip { inst, bit } = m else {
+        return false;
+    };
+    let Ok(plan) = magicdiv::plan::UremPlan::new_direct(u128::from(case.d), case.width) else {
+        return false;
+    };
+    let magicdiv::plan::UremStrategy::Fraction { c_hi, c_lo } = plan.strategy() else {
+        return false;
+    };
+    let prog = case.program();
+    let consts: Vec<usize> = (0..prog.insts().len())
+        .filter(|&i| matches!(prog.insts()[i], Op::Const(_)))
+        .collect();
+    let expect = [c_lo, c_hi, u128::from(case.d)];
+    if consts.len() != 3
+        || consts
+            .iter()
+            .zip(expect)
+            .any(|(&i, want)| !matches!(prog.insts()[i], Op::Const(c) if u128::from(c) == want))
+    {
+        return false;
+    }
+    let (mut hi, mut lo) = (c_hi, c_lo);
+    if inst == consts[0] {
+        lo ^= 1u128 << bit;
+    } else if inst == consts[1] {
+        hi ^= 1u128 << bit;
+    } else {
+        return false;
+    }
+    lkk_admissible(hi, lo, case.d, case.width)
+}
+
 /// Classifies one mutation of `case`'s kernel against the differential
 /// oracle.
 ///
@@ -735,11 +848,13 @@ fn small_scope_equivalent(case: &Case, m: Mutation) -> bool {
 /// mutant is decided exhaustively — any mutant not killed is *proven*
 /// equivalent on the contractual domain. Above width 16, a mutant the
 /// probes cannot kill is declared [`MutantFate::Equivalent`] only when
-/// a certificate holds: either the interval-bound shift-sign argument
+/// a certificate holds: the interval-bound shift-sign argument
 /// (an `SRL ↔ SRA` swap whose operand provably never has its sign bit
-/// set), or the small-scope certificate (the structurally identical
+/// set), the small-scope certificate (the structurally identical
 /// width-16 kernel, with the same mutation mapped down, is exhaustively
-/// equivalent); otherwise it is reported [`MutantFate::Survived`].
+/// equivalent), or the LKK admissibility certificate (a flipped
+/// fraction limb that keeps `c` inside the Thm 1 interval); otherwise
+/// it is reported [`MutantFate::Survived`].
 ///
 /// # Examples
 ///
@@ -786,7 +901,10 @@ pub fn classify_mutant(
     if case.width <= 16 && exhaustive_ok {
         return exhaustive_fate(case, &mutant);
     }
-    if shift_sign_equivalent(&pristine, m) || small_scope_equivalent(case, m) {
+    if shift_sign_equivalent(&pristine, m)
+        || small_scope_equivalent(case, m)
+        || urem_fraction_equivalent(case, m)
+    {
         MutantFate::Equivalent
     } else {
         MutantFate::Survived
@@ -1131,6 +1249,56 @@ mod tests {
             Mutation::OpcodeSwap {
                 inst: srl,
                 to: "sra"
+            }
+        ));
+    }
+
+    #[test]
+    fn lkk_certificate_absorbs_admissible_flips_and_refuses_the_rest() {
+        // Width 32, d = 7: c = ⌈2^64/7⌉ has the repeating 0b…001001…
+        // pattern, so interior upward flips defeat the small-scope
+        // polarity check — only the Thm 1 interval argument certifies
+        // them. Every fraction-kernel mutant must end killed or
+        // equivalent, and the certified ones must be pointwise sound.
+        let mut rng = SplitMix(3);
+        for (width, d) in [(32u32, 7u64), (32, 10), (64, 7), (64, 641)] {
+            let case = Case::new(Shape::Urem, width, d);
+            let prog = case.program();
+            for m in mutations(&prog) {
+                let fate = classify_mutant(&case, m, &mut rng, 64);
+                assert!(
+                    !matches!(fate, MutantFate::Survived),
+                    "urem w={width} d={d} {m} survived"
+                );
+                if fate == MutantFate::Equivalent && urem_fraction_equivalent(&case, m) {
+                    let mutant = apply_mutation(&prog, m).unwrap();
+                    for _ in 0..2_000 {
+                        let n = rng.next_u64() & mask(width);
+                        assert_eq!(run(&case, &mutant, n), Some(n % d), "w={width} d={d} {m}");
+                    }
+                }
+            }
+        }
+        // Refusals: a downward c_lo perturbation (below the LKK
+        // minimum) and any flip of the divisor constant.
+        let plan = magicdiv::plan::UremPlan::new_direct(7, 32).unwrap();
+        let magicdiv::plan::UremStrategy::Fraction { c_hi, c_lo } = plan.strategy() else {
+            panic!("d = 7 takes the fraction path");
+        };
+        assert!(!lkk_admissible(c_hi, c_lo - 1, 7, 32));
+        assert!(lkk_admissible(c_hi, c_lo, 7, 32));
+        let case = Case::new(Shape::Urem, 32, 7);
+        let d_inst = case
+            .program()
+            .insts()
+            .iter()
+            .position(|op| matches!(op, Op::Const(7)))
+            .expect("kernel embeds the divisor");
+        assert!(!urem_fraction_equivalent(
+            &case,
+            Mutation::ConstFlip {
+                inst: d_inst,
+                bit: 3
             }
         ));
     }

@@ -13,11 +13,13 @@
 use std::str::FromStr;
 use std::sync::Arc;
 
-use magicdiv::plan::{DivPlan, DwordPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan};
+use magicdiv::plan::{
+    DivPlan, DivisibilityPlan, DwordPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan, UremPlan,
+};
 use magicdiv::{Certification, Outcome, TournamentResult};
 use magicdiv_ir::{
-    lower_dword_div, lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv, optimize, Builder,
-    Program,
+    lower_divisibility, lower_dword_div, lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv,
+    lower_urem, optimize, Builder, Program,
 };
 use magicdiv_simcpu::{cycles_for_plan, table_1_1};
 use magicdiv_trace::{install, CaptureSink, Event, JsonlSink, TextTreeSink};
@@ -35,16 +37,22 @@ pub enum ExplainShape {
     Exact,
     /// Doubleword-by-word division (Fig 8.1).
     Dword,
+    /// Direct unsigned remainder, no quotient formed (LKK Thm 1).
+    Urem,
+    /// Divisibility test via the §9 modular-inverse rotate.
+    Divtest,
 }
 
 impl ExplainShape {
     /// Every shape, in the order the paper introduces them.
-    pub const ALL: [ExplainShape; 5] = [
+    pub const ALL: [ExplainShape; 7] = [
         ExplainShape::Unsigned,
         ExplainShape::Signed,
         ExplainShape::Floor,
         ExplainShape::Exact,
         ExplainShape::Dword,
+        ExplainShape::Urem,
+        ExplainShape::Divtest,
     ];
 
     /// The CLI spelling of this shape.
@@ -55,6 +63,8 @@ impl ExplainShape {
             ExplainShape::Floor => "floor",
             ExplainShape::Exact => "exact",
             ExplainShape::Dword => "dword",
+            ExplainShape::Urem => "urem",
+            ExplainShape::Divtest => "divtest",
         }
     }
 
@@ -66,6 +76,8 @@ impl ExplainShape {
             ExplainShape::Floor => "Fig 6.1",
             ExplainShape::Exact => "§9",
             ExplainShape::Dword => "Fig 8.1",
+            ExplainShape::Urem => "LKK Thm 1",
+            ExplainShape::Divtest => "§9 + LKK §3",
         }
     }
 }
@@ -80,8 +92,10 @@ impl FromStr for ExplainShape {
             "floor" => Ok(ExplainShape::Floor),
             "exact" => Ok(ExplainShape::Exact),
             "dword" | "udword" => Ok(ExplainShape::Dword),
+            "urem" | "rem" => Ok(ExplainShape::Urem),
+            "divtest" | "divisibility" => Ok(ExplainShape::Divtest),
             other => Err(format!(
-                "unknown shape {other:?} (expected unsigned/signed/floor/exact/dword)"
+                "unknown shape {other:?} (expected unsigned/signed/floor/exact/dword/urem/divtest)"
             )),
         }
     }
@@ -121,13 +135,21 @@ fn build_plan(shape: ExplainShape, width: u32, d: i128) -> Result<DivPlan, Strin
             let du = unsigned_divisor(width, d)?;
             Ok(DwordPlan::new(du, width).map_err(err)?.into())
         }
+        ExplainShape::Urem => {
+            let du = unsigned_divisor(width, d)?;
+            Ok(UremPlan::new_direct(du, width).map_err(err)?.into())
+        }
+        ExplainShape::Divtest => {
+            let du = unsigned_divisor(width, d)?;
+            Ok(DivisibilityPlan::new(du, width).map_err(err)?.into())
+        }
     }
 }
 
 fn unsigned_divisor(width: u32, d: i128) -> Result<u128, String> {
     if d <= 0 {
         return Err(format!(
-            "shape unsigned/dword requires a positive divisor, got {d}"
+            "shape unsigned/dword/urem/divtest requires a positive divisor, got {d}"
         ));
     }
     let du = d as u128;
@@ -156,6 +178,8 @@ fn lower_plan(plan: &DivPlan, width: u32) -> Result<Program, String> {
                 DivPlan::Signed(p) => lower_sdiv(&mut b, n, p),
                 DivPlan::Floor(p) => lower_floor_div(&mut b, n, p),
                 DivPlan::Exact(p) => lower_exact_div(&mut b, n, p),
+                DivPlan::Urem(p) => lower_urem(&mut b, n, p),
+                DivPlan::Divisibility(p) => lower_divisibility(&mut b, n, p),
                 other => return Err(format!("no lowering for plan kind {other:?}")),
             };
             Ok(b.finish([q]))
@@ -324,14 +348,18 @@ pub fn explain(shape: ExplainShape, width: u32, d: i128) -> Result<String, Strin
         &rows,
     )));
 
-    // 4. The planner tournament (unsigned only): every candidate family
-    // that competed for this (d, width) cell, priced on the default
-    // tournament model and certified against the differential oracle.
-    if shape == ExplainShape::Unsigned {
-        if let Ok(t) = crate::run_tournament(d as u128, width, None) {
-            out.push_str("\n-- tournament --\n");
-            out.push_str(&render_tournament(&t));
-        }
+    // 4. The planner tournament (unsigned quotients and direct
+    // remainders): every candidate family that competed for this
+    // (d, width) cell, priced on the default tournament model and
+    // certified against the differential oracle.
+    let tournament = match shape {
+        ExplainShape::Unsigned => crate::run_tournament(d as u128, width, None).ok(),
+        ExplainShape::Urem => crate::run_urem_tournament(d as u128, width, None).ok(),
+        _ => None,
+    };
+    if let Some(t) = tournament {
+        out.push_str("\n-- tournament --\n");
+        out.push_str(&render_tournament(&t));
     }
     Ok(out)
 }
@@ -357,8 +385,14 @@ pub fn explain_jsonl(shape: ExplainShape, width: u32, d: i128) -> Result<String,
             }
             // The tournament emits one `plan.tournament` event per
             // candidate (with provenance) plus a summary event.
-            if shape == ExplainShape::Unsigned {
-                let _ = crate::run_tournament(d as u128, width, None);
+            match shape {
+                ExplainShape::Unsigned => {
+                    let _ = crate::run_tournament(d as u128, width, None);
+                }
+                ExplainShape::Urem => {
+                    let _ = crate::run_urem_tournament(d as u128, width, None);
+                }
+                _ => {}
             }
         }
     }
@@ -405,6 +439,36 @@ mod tests {
             .find(|l| l.trim_start().starts_with("paper") && l.contains("lost:"))
             .unwrap_or_else(|| panic!("no losing paper row in {report}"));
         assert!(paper_row.contains("more_cycles"), "{paper_row}");
+    }
+
+    #[test]
+    fn urem_explain_walks_the_pipeline_with_a_scoreboard() {
+        let report = explain(ExplainShape::Urem, 32, 10).unwrap();
+        assert!(report.contains("LKK Thm 1"), "{report}");
+        assert!(report.contains("plan.remainder"), "{report}");
+        assert!(report.contains("urem_fraction"), "{report}");
+        assert!(report.contains("-- lowered IR (raw) --"), "{report}");
+        assert!(report.contains("-- tournament --"), "{report}");
+        assert!(report.contains("lkk_fraction"), "{report}");
+        assert!(report.contains("Lemire-Kaser-Kurz"), "{report}");
+        // The multiply-back baseline shows up on the same scoreboard.
+        assert!(report.contains("mul-back"), "{report}");
+        // Powers of two collapse to the mask and skip the fraction.
+        let pow2 = explain(ExplainShape::Urem, 32, 64).unwrap();
+        assert!(pow2.contains("urem_mask"), "{pow2}");
+    }
+
+    #[test]
+    fn divtest_explain_cites_the_inverse_rotate() {
+        let report = explain(ExplainShape::Divtest, 32, 10).unwrap();
+        assert!(report.contains("plan.divisibility"), "{report}");
+        assert!(report.contains("divtest_inverse"), "{report}");
+        assert!(report.contains("-- lowered IR (raw) --"), "{report}");
+        assert!(report.contains("predicted cycles"), "{report}");
+        // No candidate pool for divisibility yet: no scoreboard.
+        assert!(!report.contains("-- tournament --"), "{report}");
+        let pow2 = explain(ExplainShape::Divtest, 16, 8).unwrap();
+        assert!(pow2.contains("divtest_mask"), "{pow2}");
     }
 
     #[test]

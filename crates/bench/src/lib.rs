@@ -59,7 +59,7 @@ pub use crate::ledger::{
 pub use crate::overhead::{run_overhead, OverheadGate, OverheadReport, OverheadRow};
 pub use crate::runmeta::{git_sha, unix_time_ms};
 pub use crate::tournament::{
-    run_tournament, OracleCertifier, SimcpuScorer, DEFAULT_TOURNAMENT_MODEL,
+    run_tournament, run_urem_tournament, OracleCertifier, SimcpuScorer, DEFAULT_TOURNAMENT_MODEL,
 };
 
 use std::time::Instant;

@@ -14,7 +14,7 @@ use magicdiv::plan::DivPlan;
 use magicdiv::{
     run_udiv_tournament, Certification, DivisorError, PlanCertifier, PlanScorer, TournamentResult,
 };
-use magicdiv_codegen::gen_udiv_plan;
+use magicdiv_codegen::{gen_udiv_plan, gen_urem_plan};
 use magicdiv_ir::mask;
 use magicdiv_simcpu::{find_model, TimingModel};
 
@@ -80,12 +80,12 @@ impl PlanScorer for SimcpuScorer {
 /// Random probes per candidate above the exhaustive width.
 const RANDOM_PROBES: usize = 4096;
 
-/// Certifies an unsigned candidate by executing its *lowered, optimized*
-/// IR program against native division — exhaustively through width 16,
-/// directed boundaries (word edges, powers of two, the multiples-of-`d`
-/// neighborhood at the top of the range) plus deterministic pseudorandom
-/// probes above. Non-unsigned plans are [`Certification::Skipped`] (no
-/// competing candidates exist for them yet).
+/// Certifies an unsigned or direct-remainder candidate by executing its
+/// *lowered, optimized* IR program against native division — exhaustively
+/// through width 16, directed boundaries (word edges, powers of two, the
+/// multiples-of-`d` neighborhood at the top of the range) plus
+/// deterministic pseudorandom probes above. Plans with no competing
+/// candidate pool (signed, floor, …) are [`Certification::Skipped`].
 ///
 /// This is strictly stronger than the core's arithmetic certifier: a bug
 /// in the lowering (not just the plan constants) fails certification
@@ -95,21 +95,27 @@ pub struct OracleCertifier;
 
 impl PlanCertifier for OracleCertifier {
     fn certify(&self, plan: &DivPlan) -> Certification {
-        let DivPlan::Unsigned(p) = plan else {
-            return Certification::Skipped;
+        // (divisor, lowered program, reference function) per shape under
+        // tournament. The remainder oracle is `n % d` — the same ground
+        // truth the diff harness pins `Shape::Urem` to.
+        let (width, d, prog, oracle): (u32, u64, _, fn(u64, u64) -> u64) = match plan {
+            DivPlan::Unsigned(p) => (p.width(), p.divisor() as u64, gen_udiv_plan(p), |n, d| {
+                n / d
+            }),
+            DivPlan::Urem(p) => (p.width(), p.divisor() as u64, gen_urem_plan(p), |n, d| {
+                n % d
+            }),
+            _ => return Certification::Skipped,
         };
-        let width = p.width();
         if !(1..=64).contains(&width) {
             return Certification::Skipped;
         }
-        let d = p.divisor() as u64;
-        let prog = gen_udiv_plan(p);
         let m = mask(width);
         let mut inputs = 0u64;
         let mut check = |n: u64| -> Option<Certification> {
             inputs += 1;
             let got = prog.eval1(&[n]).ok();
-            let want = n / d;
+            let want = oracle(n, d);
             (got != Some(want)).then(|| Certification::Failed {
                 n: u128::from(n),
                 got: got.map_or(u128::MAX, u128::from),
@@ -181,6 +187,27 @@ pub fn run_tournament(
     run_udiv_tournament(d, width, &scorer, &OracleCertifier)
 }
 
+/// Runs the direct-remainder tournament for `(d, width)` on the named
+/// Table 1.1 model: the LKK fraction, the mask shortcut for powers of
+/// two, and the §1 multiply-back baseline, priced by [`SimcpuScorer`]
+/// and certified on lowered IR by [`OracleCertifier`]. `None` model name
+/// means [`DEFAULT_TOURNAMENT_MODEL`].
+///
+/// # Errors
+///
+/// [`DivisorError::Zero`] when `d == 0`; unknown model names fall back
+/// to the default model, as in [`run_tournament`].
+pub fn run_urem_tournament(
+    d: u128,
+    width: u32,
+    model: Option<&str>,
+) -> Result<TournamentResult, DivisorError> {
+    let scorer = model
+        .and_then(SimcpuScorer::named)
+        .unwrap_or_else(SimcpuScorer::default_model);
+    magicdiv::run_urem_tournament(d, width, &scorer, &OracleCertifier)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +269,64 @@ mod tests {
         let paper = &t.scoreboard[0];
         assert!(t.winning().cycles.unwrap() < paper.cycles.unwrap());
         assert!(matches!(paper.outcome, Outcome::Lost(_)));
+    }
+
+    #[test]
+    fn oracle_certifier_covers_urem_plans() {
+        use magicdiv::plan::{UremPlan, UremStrategy};
+        for (d, width) in [(3u128, 8u32), (10, 16), (7, 32), (641, 64)] {
+            let plan = DivPlan::from(UremPlan::new_direct(d, width).unwrap());
+            match OracleCertifier.certify(&plan) {
+                Certification::Passed { inputs } => assert!(inputs > 0),
+                other => panic!("d={d} w={width}: {other:?}"),
+            }
+        }
+        // A fraction multiplier one below the LKK minimum fails at the
+        // directed probe n = d (upward perturbations are equivalent
+        // plans, not bugs — see the core certifier tests).
+        let good = UremPlan::new_direct(10, 32).unwrap();
+        let UremStrategy::Fraction { c_hi, c_lo } = good.strategy() else {
+            panic!("d=10 w=32 should take the fraction path");
+        };
+        let bad = UremPlan::from_raw(
+            10,
+            32,
+            UremStrategy::Fraction {
+                c_hi,
+                c_lo: c_lo.wrapping_sub(1),
+            },
+        );
+        assert!(matches!(
+            OracleCertifier.certify(&DivPlan::from(bad)),
+            Certification::Failed { .. }
+        ));
+    }
+
+    #[test]
+    fn urem_tournament_prefers_direct_remainder_on_pipelined_models() {
+        // d = 7 at width 32 on the pipelined Alpha 21064: the quotient
+        // plan needs Fig 4.2's add-fixup before the multiply-back, while
+        // the LKK fraction's three independent leading multiplies
+        // overlap in the pipelined multiplier — the direct form wins.
+        let t = run_urem_tournament(7, 32, Some("DEC Alpha 21064")).unwrap();
+        assert!(matches!(
+            t.winning().candidate.plan,
+            DivPlan::Urem(p) if matches!(p.strategy(), magicdiv::plan::UremStrategy::Fraction { .. })
+        ));
+        // On the R4000 at d = 10 the plain mul-shift quotient is cheap
+        // enough that multiply-back keeps the crown — the scoreboard is
+        // a genuine per-model decision, not a foregone conclusion.
+        let t = run_urem_tournament(10, 32, None).unwrap();
+        assert!(matches!(
+            t.winning().candidate.plan,
+            DivPlan::Urem(p) if matches!(p.strategy(), magicdiv::plan::UremStrategy::MulBack { .. })
+        ));
+        // Powers of two always collapse to the mask.
+        let t = run_urem_tournament(64, 32, None).unwrap();
+        assert!(matches!(
+            t.winning().candidate.plan,
+            DivPlan::Urem(p) if matches!(p.strategy(), magicdiv::plan::UremStrategy::Mask { .. })
+        ));
     }
 
     #[test]

@@ -46,6 +46,16 @@ const CASES: &[(ExplainShape, u32, i128)] = &[
     (ExplainShape::Dword, 32, 10),
     (ExplainShape::Dword, 32, 0xffff_ffff),
     (ExplainShape::Dword, 64, 7),
+    // Direct remainder (LKK Thm 1): the mask shortcut, the fraction at
+    // a mul_shift divisor (R4000 keeps multiply-back) and at an
+    // add-fixup divisor (where the fraction wins on pipelined models).
+    (ExplainShape::Urem, 32, 16), // urem_mask
+    (ExplainShape::Urem, 32, 10), // urem_fraction vs mul-back scoreboard
+    (ExplainShape::Urem, 64, 7),  // urem_fraction at 64
+    // Divisibility (§9 inverse-rotate as a first-class plan).
+    (ExplainShape::Divtest, 16, 8),  // divtest_mask
+    (ExplainShape::Divtest, 32, 10), // divtest_inverse (even divisor)
+    (ExplainShape::Divtest, 64, 7),  // divtest_inverse (odd, e = 0)
 ];
 
 fn golden_path(shape: ExplainShape, width: u32, d: i128) -> PathBuf {
@@ -117,6 +127,10 @@ fn every_strategy_name_is_covered() {
         "exact/exact_pow2",
         "exact/exact_inverse",
         "dword/dword",
+        "urem/urem_mask",
+        "urem/urem_fraction",
+        "divtest/divtest_mask",
+        "divtest/divtest_inverse",
     ] {
         assert!(seen.contains(want), "no case covers {want}; seen: {seen:?}");
     }

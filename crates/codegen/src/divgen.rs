@@ -16,11 +16,13 @@
 //! `magicdiv-ir`, so codegen can never pick a different code shape than
 //! the runtime divisors built from the same plan.
 
-use magicdiv::plan::{DwordPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan};
+use magicdiv::plan::{
+    DivisibilityPlan, DwordPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan, UremPlan,
+};
 use magicdiv::UWord;
 use magicdiv_ir::{
     lower_divisibility, lower_dword_div, lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv,
-    mask, optimize, Builder, Op, Program, Reg,
+    lower_urem, mask, optimize, Builder, Op, Program, Reg,
 };
 
 /// Emits Figure 4.2 — optimized unsigned `q = ⌊n/d⌋` for constant `d != 0`.
@@ -261,6 +263,43 @@ pub fn gen_unsigned_rem(d: u64, width: u32) -> Program {
     optimize(&b.finish([r]))
 }
 
+/// Lowers an already-selected remainder plan — mask, multiply-back, or
+/// the Lemire–Kaser–Kurz direct fraction — to its optimized IR program.
+///
+/// # Panics
+///
+/// Panics when the plan's width is not in `1..=64` (the IR limit).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::plan::UremPlan;
+/// use magicdiv_codegen::gen_urem_plan;
+///
+/// let prog = gen_urem_plan(&UremPlan::new_direct(10, 32).unwrap());
+/// assert_eq!(prog.eval1(&[1234]).unwrap(), 4);
+/// assert!(!prog.op_counts().uses_divide());
+/// ```
+pub fn gen_urem_plan(plan: &UremPlan) -> Program {
+    let mut b = Builder::new(plan.width(), 1);
+    let n = b.arg(0);
+    let r = lower_urem(&mut b, n, plan);
+    optimize(&b.finish([r]))
+}
+
+/// Emits the direct remainder `r = n mod d` with no quotient formed:
+/// the LKK fraction path (or a single mask for powers of two). Compare
+/// with [`gen_unsigned_rem`], the §1 multiply-back baseline.
+///
+/// # Panics
+///
+/// Panics when `d` masks to zero at `width`, or `width` is not in
+/// `1..=64`.
+pub fn gen_urem_direct(d: u64, width: u32) -> Program {
+    let plan = UremPlan::new_direct((d & mask(width)) as u128, width).expect("division by zero");
+    gen_urem_plan(&plan)
+}
+
 /// Emits signed remainder (sign of the dividend) via multiply-back.
 pub fn gen_signed_rem(d: i64, width: u32) -> Program {
     let mut b = Builder::new(width, 1);
@@ -311,6 +350,19 @@ pub fn gen_exact_div(d: i64, width: u32, signed: bool) -> Program {
     optimize(&b.finish([q]))
 }
 
+/// Lowers an already-selected divisibility plan to its optimized IR
+/// program.
+///
+/// # Panics
+///
+/// Panics when the plan's width is not in `1..=64` (the IR limit).
+pub fn gen_divisibility_plan(plan: &DivisibilityPlan) -> Program {
+    let mut b = Builder::new(plan.width(), 1);
+    let n = b.arg(0);
+    let result = lower_divisibility(&mut b, n, plan);
+    optimize(&b.finish([result]))
+}
+
 /// Emits the §9 divisibility test (`d | n`, unsigned): returns 1 or 0
 /// without computing a remainder.
 ///
@@ -318,11 +370,8 @@ pub fn gen_exact_div(d: i64, width: u32, signed: bool) -> Program {
 ///
 /// Panics when `d` masks to zero.
 pub fn gen_divisibility_test(d: u64, width: u32) -> Program {
-    let mut b = Builder::new(width, 1);
-    let n = b.arg(0);
-    let plan = ExactPlan::new_unsigned((d & mask(width)) as u128, width).expect("division by zero");
-    let result = lower_divisibility(&mut b, n, &plan);
-    optimize(&b.finish([result]))
+    let plan = DivisibilityPlan::new((d & mask(width)) as u128, width).expect("division by zero");
+    gen_divisibility_plan(&plan)
 }
 
 /// Emits Figure 8.1 — doubleword ÷ word division for constant `d != 0`:
@@ -455,8 +504,11 @@ mod tests {
     fn remainders_exhaustive_width8() {
         for d in 1u64..=255 {
             let prog = gen_unsigned_rem(d, 8);
+            let direct = gen_urem_direct(d, 8);
+            assert!(!direct.op_counts().uses_divide());
             for n in (0u64..=255).step_by(3) {
                 assert_eq!(prog.eval1(&[n]).unwrap(), n % d, "n={n} d={d}");
+                assert_eq!(direct.eval1(&[n]).unwrap(), n % d, "direct n={n} d={d}");
             }
         }
         for d in [-7i64, -1, 1, 3, 10, 127, -128] {
@@ -545,6 +597,39 @@ mod tests {
                     u64::from(n % d == 0),
                     "n={n} d={d}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn urem_direct_emits_on_every_target() {
+        use crate::targets::{emit_assembly, Target};
+        for &t in &Target::ALL {
+            for d in [3u64, 10, 641, 0xffff_ffff] {
+                let asm = emit_assembly(&gen_urem_direct(d, 32), t, "urem");
+                assert!(!asm.uses_divide(), "{t} d={d}:\n{asm}");
+                let asm = emit_assembly(&gen_divisibility_test(d, 32), t, "divtest");
+                assert!(!asm.uses_divide(), "{t} divtest d={d}:\n{asm}");
+            }
+        }
+    }
+
+    #[test]
+    fn urem_spot_checks_wider() {
+        for width in [16u32, 32, 64] {
+            let m = mask(width);
+            for d in [3u64, 7, 10, 641, 60000] {
+                let direct = gen_urem_direct(d, width);
+                let mulback = gen_unsigned_rem(d, width);
+                for n in [0u64, 1, d - 1, d, d + 1, m / 2, m - 1, m] {
+                    let n = n & m;
+                    assert_eq!(direct.eval1(&[n]).unwrap(), n % d, "w={width} n={n} d={d}");
+                    assert_eq!(
+                        mulback.eval1(&[n]).unwrap(),
+                        n % d,
+                        "mulback w={width} n={n} d={d}"
+                    );
+                }
             }
         }
     }

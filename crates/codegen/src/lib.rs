@@ -22,7 +22,8 @@
 //!   | [`gen_signed_div`] / [`emit_signed_div`] | `SdivPlan` | [`magicdiv_ir::lower_sdiv`] |
 //!   | [`gen_floor_div`] | `FloorPlan` | [`magicdiv_ir::lower_floor_div`] |
 //!   | [`gen_exact_div`] | `ExactPlan` | [`magicdiv_ir::lower_exact_div`] |
-//!   | [`gen_divisibility_test`] | `ExactPlan` | [`magicdiv_ir::lower_divisibility`] |
+//!   | [`gen_urem_direct`] / [`gen_urem_plan`] | `UremPlan` | [`magicdiv_ir::lower_urem`] |
+//!   | [`gen_divisibility_test`] / [`gen_divisibility_plan`] | `DivisibilityPlan` | [`magicdiv_ir::lower_divisibility`] |
 //!   | [`gen_dword_div`] | `DwordPlan` | [`magicdiv_ir::lower_dword_div`] |
 //! * **Multiplication by constants** — [`plan_mul_const`] /
 //!   [`emit_mul_const`], the Bernstein-style shift/add/sub expansion the
@@ -68,10 +69,11 @@ pub use crate::asmexec::{
     DEFAULT_STEP_LIMIT,
 };
 pub use crate::divgen::{
-    emit_signed_div, emit_unsigned_div, gen_divisibility_test, gen_dword_div, gen_exact_div,
-    gen_floor_div, gen_signed_div, gen_signed_div_hw, gen_signed_div_invariant, gen_signed_rem,
-    gen_udiv_plan, gen_unsigned_div, gen_unsigned_div_hw, gen_unsigned_div_invariant,
-    gen_unsigned_divrem, gen_unsigned_divrem_hw, gen_unsigned_rem,
+    emit_signed_div, emit_unsigned_div, gen_divisibility_plan, gen_divisibility_test,
+    gen_dword_div, gen_exact_div, gen_floor_div, gen_signed_div, gen_signed_div_hw,
+    gen_signed_div_invariant, gen_signed_rem, gen_udiv_plan, gen_unsigned_div, gen_unsigned_div_hw,
+    gen_unsigned_div_invariant, gen_unsigned_divrem, gen_unsigned_divrem_hw, gen_unsigned_rem,
+    gen_urem_direct, gen_urem_plan,
 };
 pub use crate::machine::{gen_unsigned_div_tuned, MachineDesc};
 pub use crate::mulconst::{

@@ -41,7 +41,9 @@ use std::sync::{Mutex, OnceLock};
 
 use crate::error::{Fault, FaultKind, FaultLayer};
 use crate::floor::FloorDivisor;
-use crate::plan::{DivPlan, DwordPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan};
+use crate::plan::{
+    DivPlan, DivisibilityPlan, DwordPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan, UremPlan,
+};
 use crate::signed::SignedDivisor;
 use crate::udword_div::DwordDivisor;
 use crate::unsigned::UnsignedDivisor;
@@ -60,6 +62,8 @@ enum PlanShape {
     ExactUnsigned,
     ExactSigned,
     Dword,
+    Urem,
+    Divisibility,
 }
 
 /// Cache key: family, width and the divisor's full bit pattern (signed
@@ -213,6 +217,47 @@ fn checksum_dword(h: &mut Fnv, p: &DwordPlan) {
     h.u128(p.d_norm);
 }
 
+fn checksum_urem(h: &mut Fnv, p: &UremPlan) {
+    use crate::plan::UremStrategy;
+    h.u64(6);
+    h.u32(p.width());
+    h.u128(p.divisor());
+    match p.strategy() {
+        UremStrategy::Mask { low_mask } => {
+            h.u64(60);
+            h.u128(low_mask);
+        }
+        UremStrategy::Fraction { c_hi, c_lo } => {
+            h.u64(61);
+            h.u128(c_hi);
+            h.u128(c_lo);
+        }
+        UremStrategy::MulBack { udiv } => {
+            h.u64(62);
+            checksum_udiv(h, &UdivPlan::from_raw(p.divisor(), p.width(), udiv));
+        }
+    }
+}
+
+fn checksum_divisibility(h: &mut Fnv, p: &DivisibilityPlan) {
+    use crate::plan::DivisibilityStrategy;
+    h.u64(7);
+    h.u32(p.width());
+    h.u128(p.divisor());
+    match p.strategy() {
+        DivisibilityStrategy::Mask { low_mask } => {
+            h.u64(70);
+            h.u128(low_mask);
+        }
+        DivisibilityStrategy::InverseRotate { e, dinv, qmax } => {
+            h.u64(71);
+            h.u32(e);
+            h.u128(dinv);
+            h.u128(qmax);
+        }
+    }
+}
+
 /// FNV-1a digest over every constant a plan carries — the integrity
 /// check cached entries are verified against on each hit.
 pub fn plan_checksum(plan: &DivPlan) -> u64 {
@@ -223,6 +268,8 @@ pub fn plan_checksum(plan: &DivPlan) -> u64 {
         DivPlan::Floor(p) => checksum_floor(&mut h, p),
         DivPlan::Exact(p) => checksum_exact(&mut h, p),
         DivPlan::Dword(p) => checksum_dword(&mut h, p),
+        DivPlan::Urem(p) => checksum_urem(&mut h, p),
+        DivPlan::Divisibility(p) => checksum_divisibility(&mut h, p),
     }
     h.0
 }
@@ -468,6 +515,51 @@ impl PlanCache {
         match self.get_or_build(key, || Ok(DivPlan::Dword(DwordPlan::new(d, width)?)))? {
             DivPlan::Dword(p) => Ok(p),
             _ => Ok(DwordPlan::new(d, width)?),
+        }
+    }
+
+    /// Cached direct-remainder [`UremPlan`] (LKK fraction, or a mask
+    /// for powers of two) for `n mod d` at `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// `DivideByZero` when `d == 0`.
+    ///
+    /// # Panics
+    ///
+    /// As [`UremPlan::new_direct`].
+    pub fn urem_direct(&self, d: u128, width: u32) -> Result<UremPlan, Fault> {
+        let key = CacheKey {
+            shape: PlanShape::Urem,
+            width,
+            d_bits: d,
+        };
+        match self.get_or_build(key, || Ok(DivPlan::Urem(UremPlan::new_direct(d, width)?)))? {
+            DivPlan::Urem(p) => Ok(p),
+            _ => Ok(UremPlan::new_direct(d, width)?),
+        }
+    }
+
+    /// Cached [`DivisibilityPlan`] for testing `d | n` at `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// `DivideByZero` when `d == 0`.
+    ///
+    /// # Panics
+    ///
+    /// As [`DivisibilityPlan::new`].
+    pub fn divisibility(&self, d: u128, width: u32) -> Result<DivisibilityPlan, Fault> {
+        let key = CacheKey {
+            shape: PlanShape::Divisibility,
+            width,
+            d_bits: d,
+        };
+        match self.get_or_build(key, || {
+            Ok(DivPlan::Divisibility(DivisibilityPlan::new(d, width)?))
+        })? {
+            DivPlan::Divisibility(p) => Ok(p),
+            _ => Ok(DivisibilityPlan::new(d, width)?),
         }
     }
 

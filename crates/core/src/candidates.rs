@@ -25,7 +25,7 @@
 use core::fmt;
 
 use crate::error::DivisorError;
-use crate::plan::{DivPlan, UdivPlan, UdivStrategy};
+use crate::plan::{DivPlan, UdivPlan, UdivStrategy, UremPlan};
 
 /// `2^width - 1` as a `u128` (widths `1..=64` here — candidate search
 /// needs `2^(2N)`-scale intermediates, which cap the erased width at 64).
@@ -44,6 +44,8 @@ pub enum CandidateSource {
     RoundUp,
     /// Optimal-bounds multiplier search (Lemire–Bartlett–Kaser).
     OptimalBounds,
+    /// Direct remainder from the fraction low bits (Lemire–Kaser–Kurz).
+    LkkFraction,
 }
 
 impl CandidateSource {
@@ -53,6 +55,7 @@ impl CandidateSource {
             CandidateSource::PaperBaseline => "paper",
             CandidateSource::RoundUp => "round_up",
             CandidateSource::OptimalBounds => "optimal_bounds",
+            CandidateSource::LkkFraction => "lkk_fraction",
         }
     }
 
@@ -62,6 +65,7 @@ impl CandidateSource {
             CandidateSource::PaperBaseline => "Granlund-Montgomery PLDI 1994, Fig 4.2",
             CandidateSource::RoundUp => "Li, arXiv 2412.03680",
             CandidateSource::OptimalBounds => "Lemire-Bartlett-Kaser, arXiv 2012.12369",
+            CandidateSource::LkkFraction => "Lemire-Kaser-Kurz, arXiv 1902.01961, Thm 1",
         }
     }
 }
@@ -280,6 +284,33 @@ pub fn unsigned_generators() -> Vec<Box<dyn CandidateGen>> {
     ]
 }
 
+/// The unsigned-remainder candidate roster: the §1 multiply-back baseline
+/// first, then the Lemire–Kaser–Kurz direct fraction path. For powers of
+/// two both constructors degenerate to the same mask, so only the
+/// baseline is emitted.
+///
+/// # Errors
+///
+/// Returns [`DivisorError::Zero`] when `d == 0`.
+pub fn urem_candidates(d: u128, width: u32) -> Result<Vec<Candidate>, DivisorError> {
+    let baseline = UremPlan::new(d, width)?;
+    let mut out = vec![Candidate {
+        plan: DivPlan::Urem(baseline),
+        source: CandidateSource::PaperBaseline,
+        why: "quotient per Fig 4.2 then r = n - q*d (§1 multiply-back)".to_string(),
+    }];
+    if !d.is_power_of_two() {
+        out.push(Candidate {
+            plan: DivPlan::Urem(UremPlan::new_direct(d, width)?),
+            source: CandidateSource::LkkFraction,
+            why: "r = HIGH_2N((n*c mod 2^2N) * d) with c = ceil(2^2N/d): \
+                  no quotient, leading multiplies independent"
+                .to_string(),
+        });
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,9 +447,25 @@ mod tests {
         assert_eq!(CandidateSource::PaperBaseline.name(), "paper");
         assert_eq!(CandidateSource::RoundUp.name(), "round_up");
         assert_eq!(CandidateSource::OptimalBounds.name(), "optimal_bounds");
+        assert_eq!(CandidateSource::LkkFraction.name(), "lkk_fraction");
         assert!(CandidateSource::RoundUp.provenance().contains("2412.03680"));
         assert!(CandidateSource::OptimalBounds
             .provenance()
             .contains("2012.12369"));
+        assert!(CandidateSource::LkkFraction
+            .provenance()
+            .contains("1902.01961"));
+    }
+
+    #[test]
+    fn urem_roster_is_baseline_plus_fraction() {
+        let cs = urem_candidates(10, 32).unwrap();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].source, CandidateSource::PaperBaseline);
+        assert_eq!(cs[1].source, CandidateSource::LkkFraction);
+        // Powers of two: one mask candidate, nothing to race.
+        let cs = urem_candidates(16, 32).unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(urem_candidates(0, 32).unwrap_err(), DivisorError::Zero);
     }
 }

@@ -15,7 +15,7 @@
 //! | §5 signed, round toward zero | [`SignedDivisor`] (Fig 5.2), [`InvariantSignedDivisor`] (Fig 5.1) |
 //! | §6 signed, round toward −∞ | [`FloorDivisor`] (Fig 6.1), [`floor_div_via_trunc`], [`ceil_div_via_trunc`], [`mod_positive`] |
 //! | §6.2 multiplier selection | [`choose_multiplier`] (Fig 6.2) |
-//! | strategy selection (all of the above) | [`plan`]: [`UdivPlan`], [`SdivPlan`], [`FloorPlan`], [`ExactPlan`], [`DivPlan`] |
+//! | strategy selection (all of the above) | [`plan`]: [`UdivPlan`], [`SdivPlan`], [`FloorPlan`], [`ExactPlan`], [`UremPlan`], [`DivisibilityPlan`], [`DivPlan`] |
 //! | planner tournament (candidate families beyond the paper) | [`candidates`], [`tournament`]: [`select_udiv`], [`Strategy`] |
 //! | §10 compile-time constants | [`ConstU32Divisor`], [`ConstU64Divisor`] (`const fn` construction) |
 //! | §7 floating point | [`trunc_div_f64`], [`unsigned_div_f64`] |
@@ -90,7 +90,9 @@ mod unsigned;
 mod word;
 
 pub use crate::cache::{global_plan_cache, CacheStats, PlanCache};
-pub use crate::candidates::{unsigned_generators, Candidate, CandidateGen, CandidateSource};
+pub use crate::candidates::{
+    unsigned_generators, urem_candidates, Candidate, CandidateGen, CandidateSource,
+};
 pub use crate::choose_multiplier::{choose_multiplier, try_choose_multiplier, ChosenMultiplier};
 pub use crate::const_divisor::{ConstU32Divisor, ConstU64Divisor};
 pub use crate::error::{DivisorError, DwordDivError, Fault, FaultKind, FaultLayer};
@@ -104,12 +106,14 @@ pub use crate::guard::{
     fault_budget, FaultBudget, GuardPolicy, GuardState, GuardedDwordDivisor, GuardedExactDivisor,
     GuardedFloorDivisor, GuardedSignedDivisor, GuardedUnsignedDivisor,
 };
-pub use crate::plan::{DivPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan};
+pub use crate::plan::{
+    DivPlan, DivisibilityPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan, UremPlan,
+};
 pub use crate::signed::{InvariantSignedDivisor, SignedDivisor, SignedStrategy};
 pub use crate::tournament::{
-    paper_only_tournament, run_udiv_tournament, select_udiv, ArithmeticCertifier, Certification,
-    LossReason, OpCountScorer, Outcome, PlanCertifier, PlanScorer, ScoredCandidate, Strategy,
-    TournamentResult, UdivSelection,
+    paper_only_tournament, run_udiv_tournament, run_urem_tournament, select_udiv, select_urem,
+    ArithmeticCertifier, Certification, LossReason, OpCountScorer, Outcome, PlanCertifier,
+    PlanScorer, ScoredCandidate, Strategy, TournamentResult, UdivSelection, UremSelection,
 };
 pub use crate::udword_div::DwordDivisor;
 pub use crate::unsigned::{InvariantUnsignedDivisor, UnsignedDivisor, UnsignedStrategy};

@@ -12,6 +12,8 @@
 //! | [`FloorPlan`] | Fig 6.1 | signed floor division |
 //! | [`ExactPlan`] | §9 | exact division / divisibility |
 //! | [`DwordPlan`] | Fig 8.1 | doubleword ÷ word division |
+//! | [`UremPlan`] | §1 / LKK Thm 1 | unsigned remainder (multiply-back or direct) |
+//! | [`DivisibilityPlan`] | §9 / LKK §3 | unsigned divisibility test |
 //!
 //! This module is the **only** place that runs the paper's selection
 //! logic (`CHOOSE_MULTIPLIER` dispatch, even-divisor pre-shift re-choose,
@@ -1022,6 +1024,338 @@ impl fmt::Display for DwordPlan {
     }
 }
 
+/// The code shape selected for a direct unsigned remainder.
+///
+/// The paper computes `n mod d` quotient-first (`r = n - q*d`, one extra
+/// `MULL` and subtract, §1). Lemire–Kaser–Kurz (arXiv 1902.01961, Thm 1)
+/// show the remainder can instead be read straight off the *low* bits of
+/// the fixed-point product: with `F = 2N` and `c = ⌈2^F/d⌉`, the fraction
+/// `(n·c) mod 2^F` scaled by `d` yields `n mod d` exactly for every
+/// `N`-bit `n`. Both paths are first-class here so the tournament can
+/// price them against each other per width/divisor cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UremStrategy {
+    /// `d == 2^e`: `r = AND(n, 2^e - 1)` — no multiplier at all.
+    Mask {
+        /// `2^e - 1`.
+        low_mask: u128,
+    },
+    /// LKK Thm 1: `r = MULUH_2N((n·c) mod 2^2N, d)` with the doubleword
+    /// fraction multiplier `c = ⌈2^2N/d⌉` split into `N`-bit limbs.
+    Fraction {
+        /// High limb of `c`: `⌊c / 2^N⌋` (always `>= 1`).
+        c_hi: u128,
+        /// Low limb of `c`: `c mod 2^N`.
+        c_lo: u128,
+    },
+    /// Quotient-then-multiply-back (§1): the embedded Figure 4.2 quotient
+    /// strategy followed by `r = n - q*d`.
+    MulBack {
+        /// The quotient plan whose result is multiplied back.
+        udiv: UdivStrategy,
+    },
+}
+
+/// A complete unsigned-remainder plan: divisor, width and selected
+/// strategy (multiply-back per §1, or the direct Lemire–Kaser–Kurz
+/// fraction path).
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::plan::{UremPlan, UremStrategy};
+///
+/// // LKK's c = ⌈2^64/10⌉ at N = 32, split into 32-bit limbs.
+/// let plan = UremPlan::new_direct(10, 32)?;
+/// let c = u64::MAX as u128 / 10 + 1;
+/// assert_eq!(
+///     plan.strategy(),
+///     UremStrategy::Fraction { c_hi: c >> 32, c_lo: c & 0xffff_ffff },
+/// );
+/// # Ok::<(), magicdiv::DivisorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UremPlan {
+    pub(crate) width: u32,
+    pub(crate) d: u128,
+    pub(crate) strategy: UremStrategy,
+}
+
+/// `c = ⌈2^2N/d⌉` for a non-power-of-two `d`, split into `N`-bit limbs
+/// `(c_hi, c_lo)`. Since `d` does not divide `2^2N`, `⌈2^2N/d⌉ =
+/// ⌊(2^2N - 1)/d⌋ + 1`, which keeps the numerator inside the available
+/// doubleword (u128 for `N <= 64`, `DWord<u128>` for `N = 128`).
+fn fraction_limbs(d: u128, width: u32) -> (u128, u128) {
+    debug_assert!(!d.is_power_of_two());
+    if width <= 64 {
+        let c = mask(2 * width) / d + 1;
+        (c >> width, c & mask(width))
+    } else {
+        let (q, _) = magicdiv_dword::DWord::from_parts(u128::MAX, u128::MAX)
+            .div_rem_limb(d)
+            .expect("nonzero divisor");
+        let c = q.wrapping_add_limb(1);
+        (c.hi(), c.lo())
+    }
+}
+
+impl UremPlan {
+    /// The paper-baseline remainder plan: a mask for powers of two,
+    /// otherwise the Figure 4.2 quotient strategy multiplied back
+    /// (`r = n - q*d`, §1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is unsupported (see the module docs) or `d`
+    /// does not fit in `width` bits.
+    pub fn new(d: u128, width: u32) -> Result<Self, DivisorError> {
+        assert_width_supported(width);
+        if d == 0 {
+            return Err(DivisorError::Zero);
+        }
+        assert!(d <= mask(width), "divisor does not fit in {width} bits");
+        let _span = magicdiv_trace::span("plan.urem");
+        magicdiv_trace::event!("plan.query",
+            "shape" => "urem", "width" => width, "d" => d);
+        if d.is_power_of_two() {
+            return Ok(Self::pow2(d, width));
+        }
+        let udiv = UdivPlan::new(d, width)?.strategy;
+        magicdiv_trace::event!("plan.remainder",
+            "strategy" => "urem_mulback", "width" => width, "d" => d,
+            "why" => "baseline r = n - q*d: one extra MULL and SUB after the quotient",
+            "paper" => "§1 (remainder by multiply-back)");
+        Ok(UremPlan {
+            width,
+            d,
+            strategy: UremStrategy::MulBack { udiv },
+        })
+    }
+
+    /// The direct-remainder plan: a mask for powers of two, otherwise the
+    /// Lemire–Kaser–Kurz fraction path — no quotient is ever formed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is unsupported (see the module docs) or `d`
+    /// does not fit in `width` bits.
+    pub fn new_direct(d: u128, width: u32) -> Result<Self, DivisorError> {
+        assert_width_supported(width);
+        if d == 0 {
+            return Err(DivisorError::Zero);
+        }
+        assert!(d <= mask(width), "divisor does not fit in {width} bits");
+        let _span = magicdiv_trace::span("plan.urem");
+        magicdiv_trace::event!("plan.query",
+            "shape" => "urem", "width" => width, "d" => d);
+        if d.is_power_of_two() {
+            return Ok(Self::pow2(d, width));
+        }
+        let (c_hi, c_lo) = fraction_limbs(d, width);
+        magicdiv_trace::event!("plan.remainder",
+            "strategy" => "urem_fraction", "width" => width, "d" => d,
+            "c_hi" => format!("{c_hi:#x}"), "c_lo" => format!("{c_lo:#x}"),
+            "why" => "c = ceil(2^2N/d); r = HIGH_2N((n*c mod 2^2N) * d) — remainder \
+                      read off the fraction low bits, no quotient formed",
+            "paper" => "Lemire-Kaser-Kurz arXiv 1902.01961 Thm 1");
+        Ok(UremPlan {
+            width,
+            d,
+            strategy: UremStrategy::Fraction { c_hi, c_lo },
+        })
+    }
+
+    fn pow2(d: u128, width: u32) -> Self {
+        let low_mask = d - 1;
+        magicdiv_trace::event!("plan.remainder",
+            "strategy" => "urem_mask", "width" => width, "d" => d,
+            "low_mask" => format!("{low_mask:#x}"),
+            "why" => "d == 2^e => r = AND(n, 2^e - 1), both paths degenerate to a mask",
+            "paper" => "Lemire-Kaser-Kurz arXiv 1902.01961 (power-of-two case)");
+        UremPlan {
+            width,
+            d,
+            strategy: UremStrategy::Mask { low_mask },
+        }
+    }
+
+    /// Assembles a plan from raw parts *without* selection — the harness
+    /// entry for pricing or certifying hypothetical plans. Nothing
+    /// validates that `strategy` actually computes `n mod d`; run such a
+    /// plan through a certifier before trusting it.
+    pub fn from_raw(d: u128, width: u32, strategy: UremStrategy) -> UremPlan {
+        UremPlan { width, d, strategy }
+    }
+
+    /// The bit width this plan was computed for.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The divisor.
+    #[inline]
+    pub fn divisor(&self) -> u128 {
+        self.d
+    }
+
+    /// The selected code shape and its constants.
+    #[inline]
+    pub fn strategy(&self) -> UremStrategy {
+        self.strategy
+    }
+}
+
+impl fmt::Display for UremPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "urem/{} d={}: ", self.width, self.d)?;
+        match self.strategy {
+            UremStrategy::Mask { low_mask } => write!(f, "mask low_mask={low_mask:#x}"),
+            UremStrategy::Fraction { c_hi, c_lo } => {
+                write!(f, "fraction c_hi={c_hi:#x} c_lo={c_lo:#x}")
+            }
+            UremStrategy::MulBack { udiv } => {
+                let q = UdivPlan {
+                    width: self.width,
+                    d: self.d,
+                    strategy: udiv,
+                };
+                write!(f, "mul-back [{q}]")
+            }
+        }
+    }
+}
+
+/// The code shape selected for an unsigned divisibility test (`d | n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DivisibilityStrategy {
+    /// `d == 2^e`: `d | n` iff `AND(n, 2^e - 1) == 0`.
+    Mask {
+        /// `2^e - 1`.
+        low_mask: u128,
+    },
+    /// §9 rotate test: `d | n` iff `ROR(MULL(dinv, n), e) <= qmax`.
+    InverseRotate {
+        /// log2 of the even part of `d` (the rotate count).
+        e: u32,
+        /// Inverse of the odd part of `d` modulo `2^width`.
+        dinv: u128,
+        /// `⌊(2^N - 1)/d⌋`.
+        qmax: u128,
+    },
+}
+
+/// A complete unsigned divisibility-test plan: the §9 modular-inverse
+/// rotate test promoted to a first-class shape (Lemire–Kaser–Kurz §3
+/// derive the same test from the fraction view; Granlund–Montgomery §9
+/// from exact division). The result of the lowered program is `1` when
+/// `d | n` and `0` otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv::plan::{DivisibilityPlan, DivisibilityStrategy};
+///
+/// let plan = DivisibilityPlan::new(10, 32)?;
+/// match plan.strategy() {
+///     DivisibilityStrategy::InverseRotate { e, qmax, .. } => {
+///         assert_eq!(e, 1);
+///         assert_eq!(qmax, u32::MAX as u128 / 10);
+///     }
+///     s => panic!("unexpected {s:?}"),
+/// }
+/// # Ok::<(), magicdiv::DivisorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DivisibilityPlan {
+    pub(crate) width: u32,
+    pub(crate) d: u128,
+    pub(crate) strategy: DivisibilityStrategy,
+}
+
+impl DivisibilityPlan {
+    /// Builds the divisibility-test constants for `d` at `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is unsupported (see the module docs) or `d`
+    /// does not fit in `width` bits.
+    pub fn new(d: u128, width: u32) -> Result<Self, DivisorError> {
+        assert_width_supported(width);
+        if d == 0 {
+            return Err(DivisorError::Zero);
+        }
+        assert!(d <= mask(width), "divisor does not fit in {width} bits");
+        let _span = magicdiv_trace::span("plan.divtest");
+        magicdiv_trace::event!("plan.query",
+            "shape" => "divtest", "width" => width, "d" => d);
+        let strategy = if d.is_power_of_two() {
+            magicdiv_trace::event!("plan.divisibility",
+                "strategy" => "divtest_mask", "width" => width, "d" => d,
+                "low_mask" => format!("{:#x}", d - 1),
+                "why" => "d == 2^e => d | n iff the low e bits vanish",
+                "paper" => "§9 (power-of-two divisors)");
+            DivisibilityStrategy::Mask { low_mask: d - 1 }
+        } else {
+            let e = d.trailing_zeros();
+            let dinv = mod_inverse(d >> e, width);
+            let qmax = mask(width) / d;
+            magicdiv_trace::event!("plan.divisibility",
+                "strategy" => "divtest_inverse", "width" => width, "d" => d,
+                "e" => e, "dinv" => format!("{dinv:#x}"), "qmax" => format!("{qmax:#x}"),
+                "why" => "d | n iff ROR(MULL(dinv, n), e) <= qmax — one MULL, \
+                          a rotate and a compare, no quotient",
+                "paper" => "§9 rotate test / Lemire-Kaser-Kurz arXiv 1902.01961 §3");
+            DivisibilityStrategy::InverseRotate { e, dinv, qmax }
+        };
+        Ok(DivisibilityPlan { width, d, strategy })
+    }
+
+    /// The bit width this plan was computed for.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The divisor.
+    #[inline]
+    pub fn divisor(&self) -> u128 {
+        self.d
+    }
+
+    /// The selected code shape and its constants.
+    #[inline]
+    pub fn strategy(&self) -> DivisibilityStrategy {
+        self.strategy
+    }
+}
+
+impl fmt::Display for DivisibilityPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "divtest/{} d={}: ", self.width, self.d)?;
+        match self.strategy {
+            DivisibilityStrategy::Mask { low_mask } => {
+                write!(f, "mask low_mask={low_mask:#x}")
+            }
+            DivisibilityStrategy::InverseRotate { e, dinv, qmax } => {
+                write!(f, "inverse-rotate dinv={dinv:#x} e={e} qmax={qmax:#x}")
+            }
+        }
+    }
+}
+
 /// Any division plan — the umbrella the tools print and the cycle
 /// estimator prices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -1037,6 +1371,10 @@ pub enum DivPlan {
     Exact(ExactPlan),
     /// Doubleword-by-word division (Fig 8.1).
     Dword(DwordPlan),
+    /// Unsigned remainder (§1 multiply-back or LKK direct fraction).
+    Urem(UremPlan),
+    /// Unsigned divisibility test (§9 rotate / LKK §3).
+    Divisibility(DivisibilityPlan),
 }
 
 impl DivPlan {
@@ -1049,6 +1387,8 @@ impl DivPlan {
             DivPlan::Floor(p) => p.width(),
             DivPlan::Exact(p) => p.width(),
             DivPlan::Dword(p) => p.width(),
+            DivPlan::Urem(p) => p.width(),
+            DivPlan::Divisibility(p) => p.width(),
         }
     }
 
@@ -1083,6 +1423,15 @@ impl DivPlan {
                 }
             }
             DivPlan::Dword(_) => "dword",
+            DivPlan::Urem(p) => match p.strategy {
+                UremStrategy::Mask { .. } => "urem_mask",
+                UremStrategy::Fraction { .. } => "urem_fraction",
+                UremStrategy::MulBack { .. } => "urem_mulback",
+            },
+            DivPlan::Divisibility(p) => match p.strategy {
+                DivisibilityStrategy::Mask { .. } => "divtest_mask",
+                DivisibilityStrategy::InverseRotate { .. } => "divtest_inverse",
+            },
         }
     }
 }
@@ -1095,6 +1444,8 @@ impl fmt::Display for DivPlan {
             DivPlan::Floor(p) => p.fmt(f),
             DivPlan::Exact(p) => p.fmt(f),
             DivPlan::Dword(p) => p.fmt(f),
+            DivPlan::Urem(p) => p.fmt(f),
+            DivPlan::Divisibility(p) => p.fmt(f),
         }
     }
 }
@@ -1126,6 +1477,18 @@ impl From<ExactPlan> for DivPlan {
 impl From<DwordPlan> for DivPlan {
     fn from(p: DwordPlan) -> Self {
         DivPlan::Dword(p)
+    }
+}
+
+impl From<UremPlan> for DivPlan {
+    fn from(p: UremPlan) -> Self {
+        DivPlan::Urem(p)
+    }
+}
+
+impl From<DivisibilityPlan> for DivPlan {
+    fn from(p: DivisibilityPlan) -> Self {
+        DivPlan::Divisibility(p)
     }
 }
 
@@ -1344,6 +1707,118 @@ mod tests {
     }
 
     #[test]
+    fn urem_plan_paper_baseline_embeds_udiv() {
+        let p = UremPlan::new(10, 32).unwrap();
+        match p.strategy() {
+            UremStrategy::MulBack { udiv } => {
+                assert_eq!(udiv, UdivPlan::new(10, 32).unwrap().strategy());
+            }
+            s => panic!("unexpected {s:?}"),
+        }
+        // Powers of two degenerate to a mask under both constructors.
+        for d in [1u128, 2, 16, 1 << 31] {
+            let p = UremPlan::new(d, 32).unwrap();
+            assert_eq!(p.strategy(), UremStrategy::Mask { low_mask: d - 1 });
+            assert_eq!(
+                p.strategy(),
+                UremPlan::new_direct(d, 32).unwrap().strategy()
+            );
+        }
+    }
+
+    #[test]
+    fn urem_fraction_constants_match_lkk() {
+        // c = ⌈2^2N/d⌉ split into N-bit limbs, at every machine width.
+        for width in [8u32, 16, 32, 64] {
+            for d in [3u128, 7, 10, 641] {
+                if d > mask(width) {
+                    continue;
+                }
+                let p = UremPlan::new_direct(d, width).unwrap();
+                match p.strategy() {
+                    UremStrategy::Fraction { c_hi, c_lo } => {
+                        let c = (c_hi << width) | c_lo;
+                        // d * c = d * ⌈2^2N/d⌉ lands in (2^2N, 2^2N + d].
+                        let f = 2 * width;
+                        let pow2f = if f == 128 { None } else { Some(1u128 << f) };
+                        match pow2f {
+                            Some(p2) => {
+                                assert!(d * c > p2 && d * c <= p2 + d, "w={width} d={d}")
+                            }
+                            None => {
+                                // 2N = 128: check via the remainder instead.
+                                assert_eq!(c, u128::MAX / d + 1, "w={width} d={d}");
+                            }
+                        }
+                        assert!(c_hi >= 1 && c_hi <= mask(width), "w={width} d={d}");
+                        assert!(c_lo <= mask(width), "w={width} d={d}");
+                    }
+                    s => panic!("unexpected {s:?}"),
+                }
+            }
+        }
+        // Width 128 routes through the DWord substrate: spot-check d = 10
+        // against ⌈2^256/10⌉ = (2^256 + 5)/10 computed limb-wise.
+        let p = UremPlan::new_direct(10, 128).unwrap();
+        match p.strategy() {
+            UremStrategy::Fraction { c_hi, c_lo } => {
+                // ⌊(2^256-1)/10⌋ + 1: hi = ⌊(2^128-1)/10⌋ rolled through.
+                assert_eq!(c_hi, u128::MAX / 10);
+                // low limb of ⌊(6·2^128 + (2^128-1))/10⌋ + 1.
+                let (q, _) = magicdiv_dword::DWord::from_parts(u128::MAX % 10, u128::MAX)
+                    .div_rem_limb(10)
+                    .unwrap();
+                assert_eq!(c_lo, q.lo().wrapping_add(1));
+            }
+            s => panic!("unexpected {s:?}"),
+        }
+    }
+
+    #[test]
+    fn divisibility_plan_matches_exact_constants() {
+        // The promoted rotate test must carry the same §9 constants the
+        // exact-division plan derives.
+        for (d, width) in [(10u128, 32u32), (12, 32), (100, 64), (7, 8), (255, 16)] {
+            let p = DivisibilityPlan::new(d, width).unwrap();
+            let x = ExactPlan::new_unsigned(d, width).unwrap();
+            match p.strategy() {
+                DivisibilityStrategy::InverseRotate { e, dinv, qmax } => {
+                    assert_eq!(e, x.pre_shift(), "d={d}");
+                    assert_eq!(dinv, x.inverse(), "d={d}");
+                    assert_eq!(qmax, x.qmax(), "d={d}");
+                }
+                s => panic!("unexpected {s:?} for d={d}"),
+            }
+        }
+        let p = DivisibilityPlan::new(64, 32).unwrap();
+        assert_eq!(p.strategy(), DivisibilityStrategy::Mask { low_mask: 63 });
+    }
+
+    #[test]
+    fn urem_divtest_strategy_names_are_stable() {
+        assert_eq!(
+            DivPlan::from(UremPlan::new(10, 32).unwrap()).strategy_name(),
+            "urem_mulback"
+        );
+        assert_eq!(
+            DivPlan::from(UremPlan::new_direct(10, 32).unwrap()).strategy_name(),
+            "urem_fraction"
+        );
+        assert_eq!(
+            DivPlan::from(UremPlan::new(8, 32).unwrap()).strategy_name(),
+            "urem_mask"
+        );
+        assert_eq!(
+            DivPlan::from(DivisibilityPlan::new(10, 32).unwrap()).strategy_name(),
+            "divtest_inverse"
+        );
+        assert_eq!(
+            DivPlan::from(DivisibilityPlan::new(16, 32).unwrap()).strategy_name(),
+            "divtest_mask"
+        );
+    }
+
+    #[test]
     fn display_renders() {
         let p = DivPlan::from(UdivPlan::new(10, 32).unwrap());
         let s = format!("{p}");
@@ -1358,6 +1833,9 @@ mod tests {
         assert!(FloorPlan::new(0, 32).is_err());
         assert!(ExactPlan::new_unsigned(0, 32).is_err());
         assert!(ExactPlan::new_signed(0, 32).is_err());
+        assert!(UremPlan::new(0, 32).is_err());
+        assert!(UremPlan::new_direct(0, 32).is_err());
+        assert!(DivisibilityPlan::new(0, 32).is_err());
     }
 
     #[test]

@@ -20,9 +20,11 @@
 
 use core::fmt;
 
-use crate::candidates::{unsigned_generators, Candidate, CandidateSource};
+use crate::candidates::{unsigned_generators, urem_candidates, Candidate, CandidateSource};
 use crate::error::DivisorError;
-use crate::plan::{DivPlan, UdivPlan, UdivStrategy};
+use crate::plan::{
+    DivPlan, DivisibilityPlan, DivisibilityStrategy, UdivPlan, UdivStrategy, UremPlan, UremStrategy,
+};
 
 /// How a public constructor selects its plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -179,19 +181,38 @@ impl TournamentResult {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OpCountScorer;
 
+/// Operation count of the lowered unsigned-quotient sequence.
+fn udiv_op_count(strategy: UdivStrategy) -> u64 {
+    match strategy {
+        UdivStrategy::Identity => 0,
+        UdivStrategy::Shift { .. } => 1,
+        UdivStrategy::MulShift {
+            sh_pre, sh_post, ..
+        } => 1 + u64::from(sh_pre > 0) + u64::from(sh_post > 0),
+        UdivStrategy::MulAddShift { sh_post, .. } => 4 + u64::from(sh_post > 1),
+        UdivStrategy::MulRoundUp { sh_post, .. } => 4 + u64::from(sh_post > 0),
+    }
+}
+
 impl PlanScorer for OpCountScorer {
     fn score(&self, plan: &DivPlan) -> Option<u64> {
-        let DivPlan::Unsigned(p) = plan else {
-            return None;
-        };
-        Some(match p.strategy() {
-            UdivStrategy::Identity => 0,
-            UdivStrategy::Shift { .. } => 1,
-            UdivStrategy::MulShift {
-                sh_pre, sh_post, ..
-            } => 1 + u64::from(sh_pre > 0) + u64::from(sh_post > 0),
-            UdivStrategy::MulAddShift { sh_post, .. } => 4 + u64::from(sh_post > 1),
-            UdivStrategy::MulRoundUp { sh_post, .. } => 4 + u64::from(sh_post > 0),
+        Some(match plan {
+            DivPlan::Unsigned(p) => udiv_op_count(p.strategy()),
+            DivPlan::Urem(p) => match p.strategy() {
+                UremStrategy::Mask { .. } => 1,
+                // MULL, MULUH, MULL, ADD to form the fraction, then
+                // MULUH, MULL, MULUH, CARRY, ADD to scale it by d.
+                UremStrategy::Fraction { .. } => 9,
+                // The quotient sequence plus MULL and SUB (§1).
+                UremStrategy::MulBack { udiv } => udiv_op_count(udiv) + 2,
+            },
+            DivPlan::Divisibility(p) => match p.strategy() {
+                // AND, then compare-to-zero via SLTU + SUB-from-1.
+                DivisibilityStrategy::Mask { .. } => 3,
+                // MULL, rotate (SRL/SLL/OR when e > 0), SLTU, SUB.
+                DivisibilityStrategy::InverseRotate { e, .. } => 3 + 3 * u64::from(e > 0),
+            },
+            _ => return None,
         })
     }
 
@@ -220,6 +241,60 @@ pub(crate) fn eval_unsigned(plan: &UdivPlan, n: u128) -> u128 {
     }
 }
 
+/// Evaluates an unsigned-remainder strategy in `u128` arithmetic, limb
+/// by limb — the same sequence `lower_urem` emits. Defined for
+/// `width <= 64`.
+pub(crate) fn eval_urem(plan: &UremPlan, n: u128) -> u128 {
+    let w = plan.width();
+    let m = if w == 64 {
+        u64::MAX as u128
+    } else {
+        (1u128 << w) - 1
+    };
+    match plan.strategy() {
+        UremStrategy::Mask { low_mask } => n & low_mask,
+        UremStrategy::Fraction { c_hi, c_lo } => {
+            let d = plan.divisor();
+            // frac = (n * c) mod 2^2N in two N-bit limbs.
+            let frac_lo = (n * c_lo) & m;
+            let frac_hi = (((n * c_lo) >> w) + n * c_hi) & m;
+            // r = ⌊frac * d / 2^2N⌋ = HI(frac_hi*d) + carry(LO(frac_hi*d)
+            //     + HI(frac_lo*d)).
+            let p = frac_hi * d;
+            let b = (frac_lo * d) >> w;
+            let carry = ((p & m) + b) >> w;
+            ((p >> w) + carry) & m
+        }
+        UremStrategy::MulBack { udiv } => {
+            let q = eval_unsigned(&UdivPlan::from_raw(plan.divisor(), w, udiv), n);
+            n.wrapping_sub(q.wrapping_mul(plan.divisor())) & m
+        }
+    }
+}
+
+/// Evaluates a divisibility-test strategy in `u128` arithmetic (result
+/// `1` when `d | n`, else `0`). Defined for `width <= 64`.
+pub(crate) fn eval_divisibility(plan: &DivisibilityPlan, n: u128) -> u128 {
+    let w = plan.width();
+    let m = if w == 64 {
+        u64::MAX as u128
+    } else {
+        (1u128 << w) - 1
+    };
+    match plan.strategy() {
+        DivisibilityStrategy::Mask { low_mask } => u128::from(n & low_mask == 0),
+        DivisibilityStrategy::InverseRotate { e, dinv, qmax } => {
+            let q0 = dinv.wrapping_mul(n) & m;
+            let rot = if e == 0 {
+                q0
+            } else {
+                ((q0 >> e) | (q0 << (w - e))) & m
+            };
+            u128::from(rot <= qmax)
+        }
+    }
+}
+
 /// SplitMix64 step — the same deterministic generator the bench harness
 /// uses, inlined here so the core certifier needs no dependency.
 fn splitmix(state: &mut u64) -> u64 {
@@ -242,69 +317,91 @@ const RANDOM_PROBES: u64 = 4096;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ArithmeticCertifier;
 
+/// The shared probe driver behind [`ArithmeticCertifier`]: exhaustive at
+/// `width <= 16`, directed boundaries plus deterministic pseudorandom
+/// probes above. `eval_want` returns `(got, want)` for one dividend.
+fn certify_by_probes(
+    w: u32,
+    d: u128,
+    mut eval_want: impl FnMut(u128) -> (u128, u128),
+) -> Certification {
+    let nmax = if w == 64 {
+        u64::MAX as u128
+    } else {
+        (1u128 << w) - 1
+    };
+    let mut inputs = 0u64;
+    let mut check = |n: u128| -> Option<Certification> {
+        inputs += 1;
+        let (got, want) = eval_want(n);
+        (got != want).then_some(Certification::Failed { n, got, want })
+    };
+    if w <= 16 {
+        for n in 0..=nmax {
+            if let Some(fail) = check(n) {
+                return fail;
+            }
+        }
+        return Certification::Passed { inputs };
+    }
+    // Directed boundaries: around 0, d, the largest multiple of d,
+    // every power of two, and the top of the range.
+    let q_top = nmax / d;
+    let mut probes: Vec<u128> = vec![
+        0,
+        1,
+        2,
+        d - 1,
+        d,
+        d + 1,
+        (2 * d).min(nmax),
+        q_top * d - 1,
+        q_top * d,
+        (q_top * d + 1).min(nmax),
+        nmax - 1,
+        nmax,
+    ];
+    for j in 1..w {
+        let p2 = 1u128 << j;
+        probes.extend([p2 - 1, p2, (p2 + 1).min(nmax)]);
+    }
+    for n in probes {
+        if let Some(fail) = check(n) {
+            return fail;
+        }
+    }
+    let mut state = 0x5eed_0000_0000_0000u64 ^ (d as u64).rotate_left(w);
+    for _ in 0..RANDOM_PROBES {
+        let n = (splitmix(&mut state) as u128) & nmax;
+        if let Some(fail) = check(n) {
+            return fail;
+        }
+    }
+    Certification::Passed { inputs }
+}
+
 impl PlanCertifier for ArithmeticCertifier {
     fn certify(&self, plan: &DivPlan) -> Certification {
-        let DivPlan::Unsigned(p) = plan else {
-            return Certification::Skipped;
-        };
-        let (w, d) = (p.width(), p.divisor());
-        if w > 64 {
+        if plan.width() > 64 {
             return Certification::Skipped;
         }
-        let nmax = if w == 64 {
-            u64::MAX as u128
-        } else {
-            (1u128 << w) - 1
-        };
-        let mut inputs = 0u64;
-        let mut check = |n: u128| -> Option<Certification> {
-            inputs += 1;
-            let got = eval_unsigned(p, n);
-            let want = n / d;
-            (got != want).then_some(Certification::Failed { n, got, want })
-        };
-        if w <= 16 {
-            for n in 0..=nmax {
-                if let Some(fail) = check(n) {
-                    return fail;
-                }
+        match plan {
+            DivPlan::Unsigned(p) => {
+                let d = p.divisor();
+                certify_by_probes(p.width(), d, |n| (eval_unsigned(p, n), n / d))
             }
-            return Certification::Passed { inputs };
-        }
-        // Directed boundaries: around 0, d, the largest multiple of d,
-        // every power of two, and the top of the range.
-        let q_top = nmax / d;
-        let mut probes: Vec<u128> = vec![
-            0,
-            1,
-            2,
-            d - 1,
-            d,
-            d + 1,
-            (2 * d).min(nmax),
-            q_top * d - 1,
-            q_top * d,
-            (q_top * d + 1).min(nmax),
-            nmax - 1,
-            nmax,
-        ];
-        for j in 1..w {
-            let p2 = 1u128 << j;
-            probes.extend([p2 - 1, p2, (p2 + 1).min(nmax)]);
-        }
-        for n in probes {
-            if let Some(fail) = check(n) {
-                return fail;
+            DivPlan::Urem(p) => {
+                let d = p.divisor();
+                certify_by_probes(p.width(), d, |n| (eval_urem(p, n), n % d))
             }
-        }
-        let mut state = 0x5eed_0000_0000_0000u64 ^ (d as u64).rotate_left(w);
-        for _ in 0..RANDOM_PROBES {
-            let n = (splitmix(&mut state) as u128) & nmax;
-            if let Some(fail) = check(n) {
-                return fail;
+            DivPlan::Divisibility(p) => {
+                let d = p.divisor();
+                certify_by_probes(p.width(), d, |n| {
+                    (eval_divisibility(p, n), u128::from(n % d == 0))
+                })
             }
+            _ => Certification::Skipped,
         }
-        Certification::Passed { inputs }
     }
 }
 
@@ -369,22 +466,61 @@ pub fn run_udiv_tournament(
     certifier: &dyn PlanCertifier,
 ) -> Result<TournamentResult, DivisorError> {
     let _span = magicdiv_trace::span("plan.tournament");
+    let mut candidates = Vec::new();
+    for gen in unsigned_generators() {
+        candidates.extend(gen.generate(d, width)?);
+    }
+    Ok(rank_candidates(d, width, candidates, scorer, certifier))
+}
+
+/// Runs the unsigned-remainder tournament: §1 multiply-back vs the
+/// Lemire–Kaser–Kurz direct fraction path, priced and certified like any
+/// other candidate pool. Same ranking and default-to-paper rules as
+/// [`run_udiv_tournament`].
+///
+/// # Errors
+///
+/// Returns [`DivisorError::Zero`] when `d == 0`.
+///
+/// # Panics
+///
+/// Panics when `width` is unsupported (see [`crate::plan`]) or `d` does
+/// not fit in `width` bits (both via [`UremPlan::new`]).
+pub fn run_urem_tournament(
+    d: u128,
+    width: u32,
+    scorer: &dyn PlanScorer,
+    certifier: &dyn PlanCertifier,
+) -> Result<TournamentResult, DivisorError> {
+    let _span = magicdiv_trace::span("plan.tournament");
+    let candidates = urem_candidates(d, width)?;
+    Ok(rank_candidates(d, width, candidates, scorer, certifier))
+}
+
+/// Prices, certifies and ranks a candidate pool: the cheapest
+/// certified-or-skipped priced candidate wins; if no candidate is both
+/// priceable and uncontradicted, the paper baseline wins by default.
+fn rank_candidates(
+    d: u128,
+    width: u32,
+    candidates: Vec<Candidate>,
+    scorer: &dyn PlanScorer,
+    certifier: &dyn PlanCertifier,
+) -> TournamentResult {
     let mut rows: Vec<ScoredCandidate> = Vec::new();
     let mut paper_idx = 0usize;
-    for gen in unsigned_generators() {
-        for candidate in gen.generate(d, width)? {
-            if candidate.source == CandidateSource::PaperBaseline {
-                paper_idx = rows.len();
-            }
-            let cycles = scorer.score(&candidate.plan);
-            let certification = certifier.certify(&candidate.plan);
-            rows.push(ScoredCandidate {
-                candidate,
-                cycles,
-                certification,
-                outcome: Outcome::Lost(LossReason::LostTieBreak), // assigned below
-            });
+    for candidate in candidates {
+        if candidate.source == CandidateSource::PaperBaseline {
+            paper_idx = rows.len();
         }
+        let cycles = scorer.score(&candidate.plan);
+        let certification = certifier.certify(&candidate.plan);
+        rows.push(ScoredCandidate {
+            candidate,
+            cycles,
+            certification,
+            outcome: Outcome::Lost(LossReason::LostTieBreak), // assigned below
+        });
     }
     // Rank: cheapest certified-or-skipped priced candidate wins.
     let winner = rows
@@ -424,7 +560,7 @@ pub fn run_udiv_tournament(
         winner,
     };
     emit_events(&result);
-    Ok(result)
+    result
 }
 
 /// Emits the `plan.tournament` per-candidate events and the `tournament`
@@ -501,6 +637,60 @@ pub fn select_udiv(
     }
 }
 
+/// What [`select_urem`] hands back: the remainder plan to cache, plus the
+/// full scoreboard when a tournament actually ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UremSelection {
+    /// The selected plan.
+    pub plan: UremPlan,
+    /// The tournament record (`None` under [`Strategy::PaperOnly`]).
+    pub tournament: Option<TournamentResult>,
+}
+
+/// The selection entry for the remainder path.
+///
+/// [`Strategy::PaperOnly`] short-circuits to [`UremPlan::new`] — the §1
+/// multiply-back baseline (or a mask for powers of two), bit-compatible
+/// with what `div_rem` always computed. [`Strategy::Tournament`] runs
+/// [`run_urem_tournament`] and returns its certified winner, which may be
+/// the Lemire–Kaser–Kurz direct fraction plan.
+///
+/// # Errors
+///
+/// Returns [`DivisorError::Zero`] when `d == 0`.
+///
+/// # Panics
+///
+/// Panics when `width` is unsupported or `d` does not fit in `width`
+/// bits.
+pub fn select_urem(
+    d: u128,
+    width: u32,
+    strategy: Strategy,
+    scorer: &dyn PlanScorer,
+    certifier: &dyn PlanCertifier,
+) -> Result<UremSelection, DivisorError> {
+    match strategy {
+        Strategy::PaperOnly => Ok(UremSelection {
+            plan: UremPlan::new(d, width)?,
+            tournament: None,
+        }),
+        Strategy::Tournament => {
+            let t = run_urem_tournament(d, width, scorer, certifier)?;
+            let plan = match t.winning().candidate.plan {
+                DivPlan::Urem(p) => p,
+                // The urem roster only fields urem plans; fall back to
+                // the baseline should that ever change.
+                _ => UremPlan::new(d, width)?,
+            };
+            Ok(UremSelection {
+                plan,
+                tournament: Some(t),
+            })
+        }
+    }
+}
+
 /// Wraps an already-selected plan of any shape as a one-candidate
 /// "tournament" scoreboard — how the signed/floor/exact constructors
 /// surface their (currently uncontested) paper baseline through the same
@@ -516,6 +706,8 @@ pub fn paper_only_tournament(
         DivPlan::Floor(p) => p.divisor().unsigned_abs(),
         DivPlan::Exact(p) => p.divisor_abs(),
         DivPlan::Dword(p) => p.divisor(),
+        DivPlan::Urem(p) => p.divisor(),
+        DivPlan::Divisibility(p) => p.divisor(),
     };
     let width = plan.width();
     let cycles = scorer.score(&plan);
@@ -642,6 +834,128 @@ mod tests {
             let b = run_udiv_tournament(d, 32, &OpCountScorer, &ArithmeticCertifier).unwrap();
             assert_eq!(a, b, "d={d}");
         }
+    }
+
+    #[test]
+    fn urem_fraction_and_mulback_agree_w8_exhaustive() {
+        for d in 1u128..=255 {
+            for c in urem_candidates(d, 8).unwrap() {
+                let DivPlan::Urem(p) = c.plan else {
+                    panic!("urem roster fielded {}", c.plan);
+                };
+                for n in 0u128..=255 {
+                    assert_eq!(eval_urem(&p, n), n % d, "d={d} n={n} [{p}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn urem_fraction_boundary_dividends_w32_w64() {
+        for (w, dmax) in [(32u32, u32::MAX as u128), (64, u64::MAX as u128)] {
+            for d in [3u128, 7, 10, 641, 274177, dmax - 1, dmax] {
+                let p = UremPlan::new_direct(d, w).unwrap();
+                let q_top = dmax / d;
+                for n in [
+                    0,
+                    1,
+                    d - 1,
+                    d,
+                    d + 1,
+                    q_top * d - 1,
+                    q_top * d,
+                    dmax - 1,
+                    dmax,
+                ] {
+                    assert_eq!(eval_urem(&p, n), n % d, "w={w} d={d} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn divisibility_eval_w8_exhaustive() {
+        for d in 1u128..=255 {
+            let p = DivisibilityPlan::new(d, 8).unwrap();
+            for n in 0u128..=255 {
+                assert_eq!(
+                    eval_divisibility(&p, n),
+                    u128::from(n % d == 0),
+                    "d={d} n={n} [{p}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn urem_tournament_winner_is_certified_w8_exhaustive() {
+        for d in 1u128..=255 {
+            let sel = select_urem(
+                d,
+                8,
+                Strategy::Tournament,
+                &OpCountScorer,
+                &ArithmeticCertifier,
+            )
+            .unwrap();
+            let t = sel.tournament.expect("tournament ran");
+            match t.winning().certification {
+                Certification::Passed { inputs } => assert_eq!(inputs, 256, "d={d}"),
+                other => panic!("d={d}: winner not certified: {other:?}"),
+            }
+            for n in 0u128..=255 {
+                assert_eq!(eval_urem(&sel.plan, n), n % d, "d={d} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn urem_paper_only_is_mulback_or_mask() {
+        for d in [3u128, 7, 10, 16, 641] {
+            let sel = select_urem(
+                d,
+                32,
+                Strategy::PaperOnly,
+                &OpCountScorer,
+                &ArithmeticCertifier,
+            )
+            .unwrap();
+            assert!(sel.tournament.is_none());
+            assert_eq!(sel.plan, UremPlan::new(d, 32).unwrap(), "d={d}");
+            assert!(!matches!(
+                sel.plan.strategy(),
+                UremStrategy::Fraction { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn urem_certifier_kills_corrupted_fraction() {
+        // Drop c to c - 1 = ⌊(2^2N - 1)/d⌋: one below the LKK minimum,
+        // so the fraction underestimates and n = d itself (a directed
+        // probe) reads back r = d - 1 instead of 0. Note +1 corruptions
+        // are NOT killable — at F = 2N the admissible interval for c is
+        // ~2^N/d wide, so c + 1 is an equally-correct plan.
+        let good = UremPlan::new_direct(10, 32).unwrap();
+        let UremStrategy::Fraction { c_hi, c_lo } = good.strategy() else {
+            panic!("expected fraction");
+        };
+        let bad = UremPlan::from_raw(
+            10,
+            32,
+            UremStrategy::Fraction {
+                c_hi,
+                c_lo: c_lo.wrapping_sub(1),
+            },
+        );
+        match ArithmeticCertifier.certify(&DivPlan::Urem(bad)) {
+            Certification::Failed { .. } => {}
+            other => panic!("corrupted fraction not refuted: {other:?}"),
+        }
+        assert!(matches!(
+            ArithmeticCertifier.certify(&DivPlan::Urem(good)),
+            Certification::Passed { .. }
+        ));
     }
 
     #[test]

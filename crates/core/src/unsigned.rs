@@ -19,10 +19,10 @@ use core::ops::{Div, Rem};
 use magicdiv_dword::DWord;
 
 use crate::error::DivisorError;
-use crate::plan::{UdivPlan, UdivStrategy};
+use crate::plan::{UdivPlan, UdivStrategy, UremPlan, UremStrategy};
 use crate::tournament::{
-    select_udiv, ArithmeticCertifier, OpCountScorer, PlanCertifier, PlanScorer, Strategy,
-    TournamentResult,
+    select_udiv, select_urem, ArithmeticCertifier, OpCountScorer, PlanCertifier, PlanScorer,
+    Strategy, TournamentResult,
 };
 use crate::word::UWord;
 
@@ -79,6 +79,34 @@ enum Variant<T> {
     MulRoundUp { m: T, sh_post: u32 },
 }
 
+/// How `remainder` / the `r` half of `div_rem_slice` is computed — the
+/// native-word cache of a [`UremPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RemVariant<T> {
+    /// `d == 2^e`: `r = AND(n, 2^e - 1)`.
+    Mask { low_mask: T },
+    /// Lemire–Kaser–Kurz direct fraction: `r` from the low bits of
+    /// `n * c`, never forming the quotient.
+    Fraction { c_hi: T, c_lo: T },
+    /// §1 multiply-back: `r = n - divide(n) * d`.
+    MulBack,
+}
+
+impl<T: UWord> RemVariant<T> {
+    fn from_plan(plan: &UremPlan) -> Self {
+        match plan.strategy() {
+            UremStrategy::Mask { low_mask } => RemVariant::Mask {
+                low_mask: T::from_u128_truncate(low_mask),
+            },
+            UremStrategy::Fraction { c_hi, c_lo } => RemVariant::Fraction {
+                c_hi: T::from_u128_truncate(c_hi),
+                c_lo: T::from_u128_truncate(c_lo),
+            },
+            UremStrategy::MulBack { .. } => RemVariant::MulBack,
+        }
+    }
+}
+
 /// A precomputed unsigned divisor following the Figure 4.2 constant-divisor
 /// strategy.
 ///
@@ -97,6 +125,7 @@ enum Variant<T> {
 pub struct UnsignedDivisor<T> {
     d: T,
     variant: Variant<T>,
+    rem: RemVariant<T>,
 }
 
 impl<T: UWord> UnsignedDivisor<T> {
@@ -159,10 +188,33 @@ impl<T: UWord> UnsignedDivisor<T> {
                 sh_post,
             },
         };
+        let rem = match variant {
+            // Powers of two (and d == 1): the remainder is a bare mask,
+            // bit-identical to multiply-back but one op.
+            Variant::Identity | Variant::Shift { .. } => RemVariant::Mask {
+                low_mask: T::from_u128_truncate(plan.divisor() - 1),
+            },
+            _ => RemVariant::MulBack,
+        };
         UnsignedDivisor {
             d: T::from_u128_truncate(plan.divisor()),
             variant,
+            rem,
         }
+    }
+
+    /// Like [`new`](Self::new), but the remainder path uses the direct
+    /// Lemire–Kaser–Kurz fraction plan ([`UremPlan::new_direct`]) instead
+    /// of §1 multiply-back: `remainder` never forms the quotient. The
+    /// quotient path is unchanged (Fig 4.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    pub fn new_direct_rem(d: T) -> Result<Self, DivisorError> {
+        let mut div = Self::new(d)?;
+        div.rem = RemVariant::from_plan(&UremPlan::new_direct(d.to_u128(), T::BITS)?);
+        Ok(div)
     }
 
     /// Like [`new`](Self::new), but the plan is chosen by the given
@@ -196,6 +248,40 @@ impl<T: UWord> UnsignedDivisor<T> {
     ) -> Result<(Self, Option<TournamentResult>), DivisorError> {
         let selection = select_udiv(d.to_u128(), T::BITS, strategy, scorer, certifier)?;
         Ok((Self::from_plan(&selection.plan), selection.tournament))
+    }
+
+    /// Like [`new`](Self::new), but the *remainder* strategy is chosen by
+    /// the urem tournament (§1 multiply-back vs the Lemire–Kaser–Kurz
+    /// direct fraction, per [`crate::tournament::select_urem`]) under the
+    /// injected scorer and certifier. [`Strategy::PaperOnly`] reproduces
+    /// `new` exactly. The quotient path is always Fig 4.2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    pub fn with_urem_selection(
+        d: T,
+        strategy: Strategy,
+        scorer: &dyn PlanScorer,
+        certifier: &dyn PlanCertifier,
+    ) -> Result<(Self, Option<TournamentResult>), DivisorError> {
+        let selection = select_urem(d.to_u128(), T::BITS, strategy, scorer, certifier)?;
+        let mut div = Self::new(d)?;
+        div.rem = RemVariant::from_plan(&selection.plan);
+        Ok((div, selection.tournament))
+    }
+
+    /// [`with_urem_selection`](Self::with_urem_selection) under the
+    /// core's op-count scorer and arithmetic certifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DivisorError::Zero`] when `d == 0`.
+    pub fn with_urem_strategy(
+        d: T,
+        strategy: Strategy,
+    ) -> Result<(Self, Option<TournamentResult>), DivisorError> {
+        Self::with_urem_selection(d, strategy, &OpCountScorer, &ArithmeticCertifier)
     }
 
     /// The divisor this reciprocal was computed for.
@@ -253,6 +339,56 @@ impl<T: UWord> UnsignedDivisor<T> {
         }
     }
 
+    /// The width-erased [`UremPlan`] this divisor caches for its
+    /// remainder path — multiply-back (or a mask) from [`new`](Self::new),
+    /// the LKK fraction from [`new_direct_rem`](Self::new_direct_rem) or
+    /// a tournament win.
+    pub fn urem_plan(&self) -> UremPlan {
+        let strategy = match self.rem {
+            RemVariant::Mask { low_mask } => UremStrategy::Mask {
+                low_mask: low_mask.to_u128(),
+            },
+            RemVariant::Fraction { c_hi, c_lo } => UremStrategy::Fraction {
+                c_hi: c_hi.to_u128(),
+                c_lo: c_lo.to_u128(),
+            },
+            RemVariant::MulBack => UremStrategy::MulBack {
+                udiv: self.plan().strategy(),
+            },
+        };
+        UremPlan::from_raw(self.d.to_u128(), T::BITS, strategy)
+    }
+
+    /// The LKK fraction remainder at the native word: two multiplies to
+    /// form the low `2N` fraction bits, two more (plus a carry) to scale
+    /// them by `d`. The three leading multiplies are independent.
+    ///
+    /// Through `N = 32` the whole fraction fits one `u64`, so instead of
+    /// limb arithmetic the plan's `c = ⌈2^2N/d⌉` is rescaled to
+    /// `F = 64` (`c · 2^(64-2N)` stays admissible because the scaled
+    /// rounding error `e · 2^(64-2N) < 2^(64-N)` is still under the
+    /// Thm 1 slack) and the remainder is two host multiplies:
+    /// `r = HI64(LOW64(n · c64) · d)`.
+    #[inline]
+    fn rem_fraction(&self, n: T, c_hi: T, c_lo: T) -> T {
+        if T::BITS <= 32 {
+            let k = 64 - 2 * T::BITS;
+            let c64 = (((c_hi.to_u128() as u64) << T::BITS) | (c_lo.to_u128() as u64)) << k;
+            let frac = (n.to_u128() as u64).wrapping_mul(c64);
+            let r = (u128::from(frac) * self.d.to_u128()) >> 64;
+            return T::from_u128_truncate(r);
+        }
+        // frac = (n * c) mod 2^2N in two N-bit limbs.
+        let frac_lo = n.wrapping_mul(c_lo);
+        let frac_hi = n.muluh(c_lo).wrapping_add(n.wrapping_mul(c_hi));
+        // r = ⌊frac * d / 2^2N⌋.
+        let b = frac_lo.muluh(self.d);
+        let (_, carry) = frac_hi.wrapping_mul(self.d).overflowing_add(b);
+        frac_hi
+            .muluh(self.d)
+            .wrapping_add(if carry { T::ONE } else { T::ZERO })
+    }
+
     /// Computes `⌊n / d⌋` without a division instruction.
     #[inline]
     pub fn divide(&self, n: T) -> T {
@@ -285,11 +421,21 @@ impl<T: UWord> UnsignedDivisor<T> {
         }
     }
 
-    /// Computes `n mod d` by multiplying the quotient back
-    /// (`r = n - q * d`, one extra `MULL` and subtract as in §1).
+    /// Computes `n mod d` without computing the quotient first when a
+    /// direct plan is cached.
+    ///
+    /// From [`new`](Self::new) this multiplies the quotient back
+    /// (`r = n - q * d`, one extra `MULL` and subtract as in §1) — or
+    /// masks the low bits for power-of-two divisors. From
+    /// [`new_direct_rem`](Self::new_direct_rem) or a remainder
+    /// tournament it evaluates the Lemire–Kaser–Kurz fraction instead.
     #[inline]
     pub fn remainder(&self, n: T) -> T {
-        n.wrapping_sub(self.divide(n).wrapping_mul(self.d))
+        match self.rem {
+            RemVariant::Mask { low_mask } => n & low_mask,
+            RemVariant::Fraction { c_hi, c_lo } => self.rem_fraction(n, c_hi, c_lo),
+            RemVariant::MulBack => n.wrapping_sub(self.divide(n).wrapping_mul(self.d)),
+        }
     }
 
     /// Computes quotient and remainder together.
@@ -404,15 +550,96 @@ impl<T: UWord> UnsignedDivisor<T> {
     /// Batch quotient and remainder: `q[i] = ns[i] / d`,
     /// `r[i] = ns[i] % d`.
     ///
+    /// One fused loop per strategy variant, with the plan constants
+    /// hoisted: the quotient is computed once per element and the
+    /// remainder reuses it (`r = n - q * d`) instead of replanning or
+    /// re-deriving `n mod d` from scratch. Power-of-two divisors mask
+    /// instead of multiplying back.
+    ///
     /// # Panics
     ///
     /// Panics when the three slices have different lengths.
     pub fn div_rem_slice(&self, ns: &[T], q: &mut [T], r: &mut [T]) {
         assert_eq!(ns.len(), q.len(), "div_rem_slice: length mismatch");
         assert_eq!(ns.len(), r.len(), "div_rem_slice: length mismatch");
-        self.div_slice(ns, q);
-        for ((r, &n), &q) in r.iter_mut().zip(ns).zip(q.iter()) {
-            *r = n.wrapping_sub(q.wrapping_mul(self.d));
+        let d = self.d;
+        if matches!(self.variant, Variant::Identity) {
+            q.copy_from_slice(ns);
+            for r in r.iter_mut() {
+                *r = T::ZERO;
+            }
+            return;
+        }
+        let pairs = q.iter_mut().zip(r.iter_mut()).zip(ns);
+        match self.variant {
+            Variant::Identity => {}
+            Variant::Shift { sh } => {
+                let low_mask = d.wrapping_sub(T::ONE);
+                for ((q, r), &n) in pairs {
+                    *q = n.shr_full(sh);
+                    *r = n & low_mask;
+                }
+            }
+            Variant::MulShift { m, sh_pre, sh_post } => {
+                for ((q, r), &n) in pairs {
+                    let quot = m.muluh(n.shr_full(sh_pre)).shr_full(sh_post);
+                    *q = quot;
+                    *r = n.wrapping_sub(quot.wrapping_mul(d));
+                }
+            }
+            Variant::MulAddShift {
+                m_minus_pow2n,
+                sh_post,
+            } => {
+                for ((q, r), &n) in pairs {
+                    let t1 = m_minus_pow2n.muluh(n);
+                    let quot = t1
+                        .wrapping_add(n.wrapping_sub(t1).shr_full(1))
+                        .shr_full(sh_post - 1);
+                    *q = quot;
+                    *r = n.wrapping_sub(quot.wrapping_mul(d));
+                }
+            }
+            Variant::MulRoundUp { m, sh_post } => {
+                for ((q, r), &n) in pairs {
+                    let t_lo = m.wrapping_mul(n);
+                    let (_, carry) = t_lo.overflowing_add(m);
+                    let quot = m
+                        .muluh(n)
+                        .wrapping_add(if carry { T::ONE } else { T::ZERO })
+                        .shr_full(sh_post);
+                    *q = quot;
+                    *r = n.wrapping_sub(quot.wrapping_mul(d));
+                }
+            }
+        }
+    }
+
+    /// Batch remainder only: `r[i] = ns[i] % d`, via whichever remainder
+    /// plan this divisor caches (mask, direct fraction, or multiply-back)
+    /// with its constants hoisted out of the loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ns` and `r` have different lengths.
+    pub fn rem_slice(&self, ns: &[T], r: &mut [T]) {
+        assert_eq!(ns.len(), r.len(), "rem_slice: length mismatch");
+        match self.rem {
+            RemVariant::Mask { low_mask } => {
+                for (r, &n) in r.iter_mut().zip(ns) {
+                    *r = n & low_mask;
+                }
+            }
+            RemVariant::Fraction { c_hi, c_lo } => {
+                for (r, &n) in r.iter_mut().zip(ns) {
+                    *r = self.rem_fraction(n, c_hi, c_lo);
+                }
+            }
+            RemVariant::MulBack => {
+                for (r, &n) in r.iter_mut().zip(ns) {
+                    *r = n.wrapping_sub(self.divide(n).wrapping_mul(self.d));
+                }
+            }
         }
     }
 }
@@ -868,6 +1095,81 @@ mod rounding_tests {
             cd.div_rem_slice(&ns, &mut q, &mut r);
             for (i, &n) in ns.iter().enumerate() {
                 assert_eq!((q[i], r[i]), (n / d, n % d), "n={n} d={d}");
+            }
+            let mut r2 = vec![0u32; ns.len()];
+            cd.rem_slice(&ns, &mut r2);
+            assert_eq!(r, r2, "rem_slice agrees with div_rem_slice d={d}");
+        }
+    }
+
+    #[test]
+    fn direct_rem_exhaustive_u8() {
+        for d in 1u8..=u8::MAX {
+            let dd = UnsignedDivisor::new_direct_rem(d).unwrap();
+            for n in 0u8..=u8::MAX {
+                assert_eq!(dd.remainder(n), n % d, "direct rem n={n} d={d}");
+                assert_eq!(dd.divide(n), n / d, "quotient unchanged n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_rem_boundary_dividends_wide() {
+        for d in [3u32, 7, 10, 641, 1_000_000_007, u32::MAX] {
+            let dd = UnsignedDivisor::new_direct_rem(d).unwrap();
+            for n in [0u32, 1, d - 1, d, d.wrapping_add(1), u32::MAX - 1, u32::MAX] {
+                assert_eq!(dd.remainder(n), n % d, "n={n} d={d}");
+            }
+        }
+        for d in [3u64, 10, (1 << 32) + 1, u64::MAX - 1, u64::MAX] {
+            let dd = UnsignedDivisor::new_direct_rem(d).unwrap();
+            for n in [0u64, 1, d - 1, d.wrapping_add(1), u64::MAX - 1, u64::MAX] {
+                assert_eq!(dd.remainder(n), n % d, "n={n} d={d}");
+            }
+        }
+        for d in [3u128, 10, (1 << 100) + 1, u128::MAX] {
+            let dd = UnsignedDivisor::new_direct_rem(d).unwrap();
+            for n in [0u128, 1, d - 1, d.wrapping_add(1), u128::MAX - 1, u128::MAX] {
+                assert_eq!(dd.remainder(n), n % d, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_rem_pow2_is_mask_and_plan_roundtrips() {
+        use crate::plan::UremStrategy;
+        let dd = UnsignedDivisor::<u32>::new_direct_rem(16).unwrap();
+        assert!(
+            matches!(
+                dd.urem_plan().strategy(),
+                UremStrategy::Mask { low_mask: 15 }
+            ),
+            "pow2 direct rem is a mask"
+        );
+        let dd = UnsignedDivisor::<u32>::new_direct_rem(10).unwrap();
+        assert!(
+            matches!(dd.urem_plan().strategy(), UremStrategy::Fraction { .. }),
+            "non-pow2 direct rem is the LKK fraction"
+        );
+        let base = UnsignedDivisor::<u32>::new(10).unwrap();
+        assert!(
+            matches!(base.urem_plan().strategy(), UremStrategy::MulBack { .. }),
+            "paper baseline rem is multiply-back"
+        );
+        assert_eq!(
+            base.urem_plan(),
+            crate::plan::UremPlan::new(10, 32).unwrap(),
+            "baseline urem plan matches UremPlan::new"
+        );
+    }
+
+    #[test]
+    fn urem_strategy_selection_agrees_with_oracle_u8() {
+        use crate::tournament::Strategy;
+        for d in 1u8..=u8::MAX {
+            let (td, _) = UnsignedDivisor::with_urem_strategy(d, Strategy::Tournament).unwrap();
+            for n in 0u8..=u8::MAX {
+                assert_eq!(td.remainder(n), n % d, "n={n} d={d}");
             }
         }
     }

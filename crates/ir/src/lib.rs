@@ -53,6 +53,7 @@ pub use crate::interp::{mask, sign_extend, EvalError, EvalOptions};
 pub use crate::legalize::{legalize, TargetCaps};
 pub use crate::lower::{
     lower_divisibility, lower_dword_div, lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv,
+    lower_urem,
 };
 pub use crate::mutate::{apply_mutation, mutations, Mutation};
 pub use crate::opt::optimize;

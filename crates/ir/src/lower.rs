@@ -27,7 +27,8 @@
 
 use magicdiv::plan::FloorStrategy;
 use magicdiv::plan::{
-    DwordPlan, ExactPlan, FloorPlan, SdivPlan, SdivStrategy, UdivPlan, UdivStrategy,
+    DivisibilityPlan, DivisibilityStrategy, DwordPlan, ExactPlan, FloorPlan, SdivPlan,
+    SdivStrategy, UdivPlan, UdivStrategy, UremPlan, UremStrategy,
 };
 
 use crate::program::{Builder, Op, Reg};
@@ -291,38 +292,84 @@ pub fn lower_dword_div(b: &mut Builder, hi: Reg, lo: Reg, plan: &DwordPlan) -> (
     (q, r)
 }
 
-/// Lowers the §9 divisibility test for an unsigned plan: the result
-/// register holds 1 when `d | n`, else 0, with no remainder computed.
-pub fn lower_divisibility(b: &mut Builder, n: Reg, plan: &ExactPlan) -> Reg {
+/// Lowers a remainder plan: `r = n mod d`.
+///
+/// The mask and multiply-back arms reuse the quotient lowering; the
+/// Lemire–Kaser–Kurz fraction arm forms the low `2N` bits of `n·c` over
+/// two limbs and scales them by `d`, propagating between halves with
+/// [`Op::Carry`] exactly as the Fig 8.1 doubleword lowering does. Its
+/// three leading multiplies are mutually independent, so they overlap
+/// on pipelined multipliers.
+pub fn lower_urem(b: &mut Builder, n: Reg, plan: &UremPlan) -> Reg {
     check_width(b, plan.width());
-    assert!(!plan.is_signed(), "divisibility lowering is unsigned");
+    match plan.strategy() {
+        UremStrategy::Mask { low_mask } => {
+            let m = b.constant(low_mask as u64);
+            b.push(Op::And(n, m))
+        }
+        UremStrategy::Fraction { c_hi, c_lo } => {
+            // frac = (n * c) mod 2^2N, two N-bit limbs.
+            let c_lo_reg = b.constant(c_lo as u64);
+            let c_hi_reg = b.constant(c_hi as u64);
+            let d = b.constant(plan.divisor() as u64);
+            let frac_lo = b.push(Op::MulL(c_lo_reg, n));
+            let t_hi = b.push(Op::MulUH(c_lo_reg, n));
+            let t2 = b.push(Op::MulL(c_hi_reg, n));
+            let frac_hi = b.push(Op::Add(t_hi, t2));
+            // r = ⌊frac * d / 2^2N⌋ = HIGH(frac_hi * d) plus the carry
+            // out of LOW(frac_hi * d) + HIGH(frac_lo * d).
+            let borrow = b.push(Op::MulUH(frac_lo, d));
+            let p_lo = b.push(Op::MulL(frac_hi, d));
+            let p_hi = b.push(Op::MulUH(frac_hi, d));
+            let carry = b.push(Op::Carry(p_lo, borrow));
+            b.push(Op::Add(p_hi, carry))
+        }
+        UremStrategy::MulBack { udiv } => {
+            let q = lower_udiv(
+                b,
+                n,
+                &UdivPlan::from_raw(plan.divisor(), plan.width(), udiv),
+            );
+            let d = b.constant(plan.divisor() as u64);
+            let prod = b.push(Op::MulL(q, d));
+            b.push(Op::Sub(n, prod))
+        }
+    }
+}
+
+/// Lowers a divisibility-test plan: the result register holds 1 when
+/// `d | n`, else 0, with no remainder computed (§9 rotate test / LKK §3).
+pub fn lower_divisibility(b: &mut Builder, n: Reg, plan: &DivisibilityPlan) -> Reg {
+    check_width(b, plan.width());
     let width = b.width();
-    let e = plan.pre_shift();
-    if plan.is_pow2() {
-        // Power of two: test the low bits.
-        let m = b.constant(plan.low_mask() as u64);
-        let low = b.push(Op::And(n, m));
-        let zero = b.constant(0);
-        // low == 0  <=>  !(0 < low)
-        let ne = b.push(Op::SltU(zero, low));
-        let one = b.constant(1);
-        b.push(Op::Sub(one, ne))
-    } else {
-        let inv = b.constant(plan.inverse() as u64);
-        let q0 = b.push(Op::MulL(inv, n));
-        // Rotate right by e: OR(SRL(q0, e), SLL(q0, N - e)).
-        let rotated = if e == 0 {
-            q0
-        } else {
-            let lo = b.push(Op::Srl(q0, e));
-            let hi = b.push(Op::Sll(q0, width - e));
-            b.push(Op::Or(lo, hi))
-        };
-        let qmax = b.constant(plan.qmax() as u64);
-        // divisible <=> rotated <= qmax <=> !(qmax < rotated)
-        let gt = b.push(Op::SltU(qmax, rotated));
-        let one = b.constant(1);
-        b.push(Op::Sub(one, gt))
+    match plan.strategy() {
+        DivisibilityStrategy::Mask { low_mask } => {
+            // Power of two: test the low bits.
+            let m = b.constant(low_mask as u64);
+            let low = b.push(Op::And(n, m));
+            let zero = b.constant(0);
+            // low == 0  <=>  !(0 < low)
+            let ne = b.push(Op::SltU(zero, low));
+            let one = b.constant(1);
+            b.push(Op::Sub(one, ne))
+        }
+        DivisibilityStrategy::InverseRotate { e, dinv, qmax } => {
+            let inv = b.constant(dinv as u64);
+            let q0 = b.push(Op::MulL(inv, n));
+            // Rotate right by e: OR(SRL(q0, e), SLL(q0, N - e)).
+            let rotated = if e == 0 {
+                q0
+            } else {
+                let lo = b.push(Op::Srl(q0, e));
+                let hi = b.push(Op::Sll(q0, width - e));
+                b.push(Op::Or(lo, hi))
+            };
+            let qmax = b.constant(qmax as u64);
+            // divisible <=> rotated <= qmax <=> !(qmax < rotated)
+            let gt = b.push(Op::SltU(qmax, rotated));
+            let one = b.constant(1);
+            b.push(Op::Sub(one, gt))
+        }
     }
 }
 
@@ -375,12 +422,69 @@ mod tests {
         let prog = optimize(&b.finish([q]));
         assert_eq!(prog.eval1(&[144]).unwrap(), 12);
 
+        let plan = DivisibilityPlan::new(12, 32).unwrap();
         let mut b = Builder::new(32, 1);
         let n = b.arg(0);
         let ok = lower_divisibility(&mut b, n, &plan);
         let prog = optimize(&b.finish([ok]));
         assert_eq!(prog.eval1(&[144]).unwrap(), 1);
         assert_eq!(prog.eval1(&[145]).unwrap(), 0);
+    }
+
+    fn urem_prog(plan: &UremPlan, width: u32) -> crate::program::Program {
+        let mut b = Builder::new(width, 1);
+        let n = b.arg(0);
+        let r = lower_urem(&mut b, n, plan);
+        optimize(&b.finish([r]))
+    }
+
+    #[test]
+    fn lowered_urem_exhaustive_width8_both_paths() {
+        for d in 1u64..=255 {
+            let mulback = urem_prog(&UremPlan::new(d as u128, 8).unwrap(), 8);
+            let direct = urem_prog(&UremPlan::new_direct(d as u128, 8).unwrap(), 8);
+            for n in 0u64..=255 {
+                assert_eq!(mulback.eval1(&[n]).unwrap(), n % d, "mulback n={n} d={d}");
+                assert_eq!(direct.eval1(&[n]).unwrap(), n % d, "direct n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn lowered_urem_spot_checks_width32() {
+        for d in [3u64, 7, 10, 641, 1_000_000_007, u32::MAX as u64] {
+            let direct = urem_prog(&UremPlan::new_direct(d as u128, 32).unwrap(), 32);
+            for n in [
+                0u64,
+                1,
+                d - 1,
+                d,
+                d + 1,
+                u32::MAX as u64 - 1,
+                u32::MAX as u64,
+            ] {
+                let n = n & 0xffff_ffff;
+                assert_eq!(direct.eval1(&[n]).unwrap(), n % d, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn lowered_divisibility_exhaustive_width8() {
+        for d in 1u64..=255 {
+            let plan = DivisibilityPlan::new(d as u128, 8).unwrap();
+            let mut b = Builder::new(8, 1);
+            let n = b.arg(0);
+            let ok = lower_divisibility(&mut b, n, &plan);
+            let prog = optimize(&b.finish([ok]));
+            for n in 0u64..=255 {
+                assert_eq!(
+                    prog.eval1(&[n]).unwrap(),
+                    u64::from(n % d == 0),
+                    "n={n} d={d}"
+                );
+            }
+        }
     }
 
     fn dword_prog(d: u64, width: u32) -> crate::program::Program {

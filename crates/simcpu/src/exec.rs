@@ -18,8 +18,8 @@
 use magicdiv::plan::DivPlan;
 use magicdiv::{Fault, FaultKind, FaultLayer};
 use magicdiv_ir::{
-    lower_dword_div, lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv, optimize, Builder,
-    Op, OpClass, Program,
+    lower_divisibility, lower_dword_div, lower_exact_div, lower_floor_div, lower_sdiv, lower_udiv,
+    lower_urem, optimize, Builder, Op, OpClass, Program,
 };
 
 use crate::models::TimingModel;
@@ -137,6 +137,8 @@ pub fn try_cycles_for_plan(plan: &DivPlan, model: &TimingModel) -> Result<u64, F
                 DivPlan::Signed(p) => lower_sdiv(&mut b, n, p),
                 DivPlan::Floor(p) => lower_floor_div(&mut b, n, p),
                 DivPlan::Exact(p) => lower_exact_div(&mut b, n, p),
+                DivPlan::Urem(p) => lower_urem(&mut b, n, p),
+                DivPlan::Divisibility(p) => lower_divisibility(&mut b, n, p),
                 other => {
                     return Err(fault(FaultKind::BadProgram(format!(
                         "unknown plan kind {other:?}"
@@ -444,6 +446,37 @@ mod tests {
                     "{} d={d}",
                     model.name
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn urem_and_divisibility_price_on_every_table_row() {
+        // Both new shapes must be priceable on every Table 1.1 model,
+        // agreeing with the code generated for the same plan, and both
+        // must beat the hardware remainder/divide path.
+        for model in crate::models::table_1_1() {
+            for d in [3u64, 10, 641, 60000] {
+                let direct = magicdiv::plan::UremPlan::new_direct(d as u128, 32).unwrap();
+                let mulback = magicdiv::plan::UremPlan::new(d as u128, 32).unwrap();
+                for p in [&direct, &mulback] {
+                    assert_eq!(
+                        cycles_for_plan(&magicdiv::plan::DivPlan::Urem(*p), &model),
+                        cycles_for_program(&magicdiv_codegen::gen_urem_plan(p), &model),
+                        "{} d={d}",
+                        model.name
+                    );
+                }
+                let divtest = magicdiv::plan::DivisibilityPlan::new(d as u128, 32).unwrap();
+                let dc = cycles_for_plan(&magicdiv::plan::DivPlan::Divisibility(divtest), &model);
+                assert_eq!(
+                    dc,
+                    cycles_for_program(&magicdiv_codegen::gen_divisibility_plan(&divtest), &model),
+                    "{} divtest d={d}",
+                    model.name
+                );
+                let hw = cycles_for_program(&gen_unsigned_div_hw(32), &model);
+                assert!(dc < hw, "{}: divtest {dc} >= divide {hw}", model.name);
             }
         }
     }

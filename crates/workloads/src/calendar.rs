@@ -7,7 +7,7 @@
 //! (public-domain algorithm), written once with hardware division and
 //! once with precomputed divisors.
 
-use magicdiv::{FloorDivisor, UnsignedDivisor};
+use magicdiv::{ExactUnsignedDivisor, FloorDivisor, UnsignedDivisor};
 
 /// A civil (proleptic Gregorian) date.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -129,6 +129,56 @@ pub fn civil_from_days_baseline(days_since_epoch: i64) -> CivilDate {
     }
 }
 
+/// `true` when `year` is a Gregorian leap year, with every divisibility
+/// test strength-reduced to the §9 inverse-rotate — no remainder is ever
+/// computed on this path.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_workloads::is_leap_year;
+///
+/// assert!(is_leap_year(2000));
+/// assert!(!is_leap_year(1900));
+/// assert!(is_leap_year(2024));
+/// assert!(!is_leap_year(2025));
+/// ```
+pub fn is_leap_year(year: u64) -> bool {
+    struct Divs {
+        by4: ExactUnsignedDivisor<u64>,
+        by100: ExactUnsignedDivisor<u64>,
+        by400: ExactUnsignedDivisor<u64>,
+    }
+    static DIVS: std::sync::OnceLock<Divs> = std::sync::OnceLock::new();
+    let dv = DIVS.get_or_init(|| Divs {
+        by4: ExactUnsignedDivisor::new(4).expect("nonzero"),
+        by100: ExactUnsignedDivisor::new(100).expect("nonzero"),
+        by400: ExactUnsignedDivisor::new(400).expect("nonzero"),
+    });
+    dv.by4.divides(year) && (!dv.by100.divides(year) || dv.by400.divides(year))
+}
+
+/// Baseline [`is_leap_year`] with hardware remainders.
+pub fn is_leap_year_baseline(year: u64) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// Bench kernel: counts leap years in `start..start + count`, with the
+/// divisibility tests either strength-reduced (`magic`) or as hardware
+/// remainders.
+pub fn leap_year_kernel(start: u64, count: u64, magic: bool) -> u64 {
+    let mut leaps = 0u64;
+    for year in start..start.saturating_add(count) {
+        let leap = if magic {
+            is_leap_year(year)
+        } else {
+            is_leap_year_baseline(year)
+        };
+        leaps += u64::from(leap);
+    }
+    leaps
+}
+
 /// Bench kernel: converts `count` consecutive days, returning a checksum.
 pub fn calendar_kernel(start_day: i64, count: i64, magic: bool) -> i64 {
     let mut sum = 0i64;
@@ -230,6 +280,19 @@ mod tests {
         assert_eq!(
             calendar_kernel(-10_000, 5_000, true),
             calendar_kernel(-10_000, 5_000, false)
+        );
+    }
+
+    #[test]
+    fn leap_year_rules_agree_exhaustively_for_four_centuries() {
+        for year in 1600..2000 {
+            assert_eq!(is_leap_year(year), is_leap_year_baseline(year), "{year}");
+        }
+        // 97 leap years per 400-year Gregorian cycle.
+        assert_eq!(leap_year_kernel(1600, 400, true), 97);
+        assert_eq!(
+            leap_year_kernel(1600, 400, true),
+            leap_year_kernel(1600, 400, false)
         );
     }
 }

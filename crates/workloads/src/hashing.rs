@@ -6,7 +6,7 @@
 //! a textbook run-time invariant divisor. [`PrimeHashTable`] hoists the
 //! reciprocal into the table header.
 
-use magicdiv::{DivisorError, InvariantUnsignedDivisor};
+use magicdiv::{DivisorError, InvariantUnsignedDivisor, UnsignedDivisor};
 
 /// Reduction strategy for bucket indices (the benched design choice).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -15,6 +15,9 @@ pub enum Reduction {
     HardwareRemainder,
     /// Magic-multiplier remainder via the hoisted invariant divisor.
     MagicRemainder,
+    /// Direct remainder from the fraction's low bits (LKK Thm 1): no
+    /// quotient is ever formed on the probe path.
+    DirectRemainder,
 }
 
 /// An open-addressing (linear probing) hash table with a prime bucket
@@ -37,6 +40,7 @@ pub struct PrimeHashTable {
     slots: Vec<Option<(u64, u64)>>,
     prime: u64,
     divisor: InvariantUnsignedDivisor<u64>,
+    direct: UnsignedDivisor<u64>,
     reduction: Reduction,
     len: usize,
 }
@@ -52,6 +56,7 @@ impl PrimeHashTable {
             slots: vec![None; prime as usize],
             prime,
             divisor: InvariantUnsignedDivisor::new(prime)?,
+            direct: UnsignedDivisor::new_direct_rem(prime)?,
             reduction,
             len: 0,
         })
@@ -78,6 +83,7 @@ impl PrimeHashTable {
         let r = match self.reduction {
             Reduction::HardwareRemainder => h % self.prime,
             Reduction::MagicRemainder => self.divisor.remainder(h),
+            Reduction::DirectRemainder => self.direct.remainder(h),
         };
         r as usize
     }
@@ -188,7 +194,21 @@ mod tests {
     fn kernel_checksums_match_across_reductions() {
         let a = hashing_kernel(4093, 2000, 5000, Reduction::MagicRemainder);
         let b = hashing_kernel(4093, 2000, 5000, Reduction::HardwareRemainder);
+        let c = hashing_kernel(4093, 2000, 5000, Reduction::DirectRemainder);
         assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn direct_reduction_matches_hardware_bucketing() {
+        let mut direct = PrimeHashTable::new(257, Reduction::DirectRemainder).unwrap();
+        let mut hw = PrimeHashTable::new(257, Reduction::HardwareRemainder).unwrap();
+        for k in 0..150u64 {
+            assert_eq!(direct.insert(k * 11, k), hw.insert(k * 11, k));
+        }
+        for k in 0..300u64 {
+            assert_eq!(direct.get(k * 11), hw.get(k * 11), "k={k}");
+        }
     }
 
     #[test]

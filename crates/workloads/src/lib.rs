@@ -47,13 +47,17 @@ pub use crate::batch::{
 };
 pub use crate::bignum::{bignum_kernel, BigUint};
 pub use crate::calendar::{
-    calendar_kernel, civil_from_days, civil_from_days_baseline, hms, hms_baseline, CivilDate,
+    calendar_kernel, civil_from_days, civil_from_days_baseline, hms, hms_baseline, is_leap_year,
+    is_leap_year_baseline, leap_year_kernel, CivilDate,
 };
 pub use crate::graphics::{
     blend_buffers, blend_channel, blend_channel_baseline, graphics_kernel, PerspectiveDivider,
 };
 pub use crate::hashing::{hashing_kernel, PrimeHashTable, Reduction};
-pub use crate::loops::{count_multiples, count_multiples_baseline, trip_count, trip_count_signed};
+pub use crate::loops::{
+    count_divisible, count_divisible_baseline, count_multiples, count_multiples_baseline,
+    trip_count, trip_count_signed,
+};
 pub use crate::numtheory::{
     count_primes, gcd, gcd_with_per_iteration_reciprocal, mod_pow, mod_pow_baseline, TrialDivider,
 };

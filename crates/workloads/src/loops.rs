@@ -2,7 +2,9 @@
 //! compute loop counts", plus the §9 strength-reduced divisibility loop
 //! ("if ((i % 100) == 0)" with no multiply or divide).
 
-use magicdiv::{ceil_div_via_trunc, DivisibilityScanner, DivisorError, UnsignedDivisor};
+use magicdiv::{
+    ceil_div_via_trunc, DivisibilityScanner, DivisorError, ExactUnsignedDivisor, UnsignedDivisor,
+};
 
 /// Trip count of `for (i = start; i < end; i += step)` for a run-time
 /// invariant `step` — the division a compiler emits for loop
@@ -81,6 +83,35 @@ pub fn count_multiples_baseline(imax: i32, d: i32) -> u64 {
     (0..imax.max(0)).filter(|i| i % d == 0).count() as u64
 }
 
+/// Counts the elements of `ns` divisible by `d`, one §9 inverse-rotate
+/// test per element — the loop body a compiler emits after
+/// strength-reducing `if (n % d == 0)` against an invariant divisor.
+/// Unlike [`count_multiples`] the inputs are arbitrary, so the additive
+/// scanner does not apply; this is the first-class divisibility *plan*
+/// at work.
+///
+/// # Errors
+///
+/// Returns [`DivisorError::Zero`] when `d == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use magicdiv_workloads::count_divisible;
+///
+/// assert_eq!(count_divisible(&[0, 30, 31, 60, 90], 30)?, 4);
+/// # Ok::<(), magicdiv::DivisorError>(())
+/// ```
+pub fn count_divisible(ns: &[u64], d: u64) -> Result<u64, DivisorError> {
+    let div = ExactUnsignedDivisor::new(d)?;
+    Ok(ns.iter().filter(|&&n| div.divides(n)).count() as u64)
+}
+
+/// Baseline for [`count_divisible`] with hardware `%`.
+pub fn count_divisible_baseline(ns: &[u64], d: u64) -> u64 {
+    ns.iter().filter(|&&n| n % d == 0).count() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,9 +172,25 @@ mod tests {
     }
 
     #[test]
+    fn count_divisible_matches_baseline() {
+        let ns: Vec<u64> = (0..4096u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .chain([0, 1, u64::MAX, u64::MAX - 1])
+            .collect();
+        for d in [1u64, 2, 3, 7, 60, 100, 641, 1 << 20] {
+            assert_eq!(
+                count_divisible(&ns, d).unwrap(),
+                count_divisible_baseline(&ns, d),
+                "d={d}"
+            );
+        }
+    }
+
+    #[test]
     fn zero_step_rejected() {
         assert!(trip_count(0, 10, 0).is_err());
         assert!(trip_count_signed(0, 10, 0).is_err());
         assert!(count_multiples(10, 0).is_err());
+        assert!(count_divisible(&[1, 2, 3], 0).is_err());
     }
 }

@@ -60,12 +60,37 @@ for g in dword_8_10 dword_16_255 dword_32_10 dword_32_4294967295 dword_64_7; do
     }
 done
 
+echo "== remainder & divisibility explain snapshots present =="
+for g in urem_32_16 urem_32_10 urem_64_7 divtest_16_8 divtest_32_10 divtest_64_7; do
+    test -s "crates/bench/tests/golden/$g.txt" || {
+        echo "missing golden crates/bench/tests/golden/$g.txt" >&2
+        echo "regenerate: UPDATE_GOLDEN=1 cargo test -p magicdiv-bench --test explain_golden" >&2
+        exit 1
+    }
+done
+
 echo "== explain-plan JSON drift gate (two runs must agree byte-for-byte) =="
 mkdir -p target
 ./target/release/magic explain 32 10 dword --json > target/explain_drift_a.jsonl
 ./target/release/magic explain 32 10 dword --json > target/explain_drift_b.jsonl
 diff -u target/explain_drift_a.jsonl target/explain_drift_b.jsonl || {
     echo "magic explain --json is nondeterministic between runs" >&2
+    exit 1
+}
+
+echo "== urem tournament drift gate (remainder scoreboard must be deterministic) =="
+./target/release/magic explain 32 10 urem --json > target/urem_drift_a.jsonl
+./target/release/magic explain 32 10 urem --json > target/urem_drift_b.jsonl
+diff -u target/urem_drift_a.jsonl target/urem_drift_b.jsonl || {
+    echo "magic explain urem --json is nondeterministic between runs" >&2
+    exit 1
+}
+grep -q '"name":"plan.remainder"' target/urem_drift_a.jsonl || {
+    echo "urem explain stream lost its plan.remainder event" >&2
+    exit 1
+}
+grep -q '"name":"plan.tournament"' target/urem_drift_a.jsonl || {
+    echo "urem explain stream carries no remainder-tournament scoreboard" >&2
     exit 1
 }
 
@@ -149,10 +174,14 @@ MAGICDIV_ARCHIVE="$PWD/target/drift_ci_a" \
     ./target/release/magic explain 32 7 unsigned --json > /dev/null
 MAGICDIV_ARCHIVE="$PWD/target/drift_ci_a" \
     ./target/release/magic explain 32 10 dword --json > /dev/null
+MAGICDIV_ARCHIVE="$PWD/target/drift_ci_a" \
+    ./target/release/magic explain 32 10 urem --json > /dev/null
 MAGICDIV_ARCHIVE="$PWD/target/drift_ci_b" \
     ./target/release/magic explain 32 7 unsigned --json > /dev/null
 MAGICDIV_ARCHIVE="$PWD/target/drift_ci_b" \
     ./target/release/magic explain 32 10 dword --json > /dev/null
+MAGICDIV_ARCHIVE="$PWD/target/drift_ci_b" \
+    ./target/release/magic explain 32 10 urem --json > /dev/null
 # Fold the exposition goldens in as .prom snapshots so the drift bin's
 # metrics differ runs in CI too.
 cp target/expo_ci_a.prom "target/drift_ci_a/$sha/metrics.prom"

@@ -13,14 +13,19 @@
 //! and 64 cover the boundary divisors (1, 2, even, `2^k ± 1`, `2^(N-1)`,
 //! `MAX`) over boundary dividends.
 
-use magicdiv::plan::{DivPlan, DwordPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan, UdivStrategy};
+use magicdiv::plan::{
+    DivPlan, DivisibilityPlan, DwordPlan, ExactPlan, FloorPlan, SdivPlan, UdivPlan, UdivStrategy,
+    UremPlan,
+};
 use magicdiv::{
-    select_udiv, ArithmeticCertifier, CandidateSource, Certification, DWord, DwordDivisor,
-    ExactUnsignedDivisor, FloorDivisor, OpCountScorer, SignedDivisor, Strategy, UnsignedDivisor,
+    select_udiv, select_urem, ArithmeticCertifier, CandidateSource, Certification, DWord,
+    DwordDivisor, ExactUnsignedDivisor, FloorDivisor, OpCountScorer, SignedDivisor, Strategy,
+    UnsignedDivisor,
 };
 use magicdiv_bench::{run_tournament, SplitMix};
 use magicdiv_codegen::{
-    gen_dword_div, gen_exact_div, gen_floor_div, gen_signed_div, gen_udiv_plan, gen_unsigned_div,
+    gen_divisibility_plan, gen_dword_div, gen_exact_div, gen_floor_div, gen_signed_div,
+    gen_udiv_plan, gen_unsigned_div, gen_urem_plan,
 };
 use magicdiv_ir::{mask, sign_extend};
 
@@ -109,6 +114,46 @@ fn exact_width8_exhaustive() {
     }
 }
 
+#[test]
+fn urem_width8_exhaustive() {
+    // Both remainder paths — the LKK fraction and §1 multiply-back — at
+    // every divisor and dividend: the runtime divisor, the plan layer
+    // and the plan-lowered IR must all agree with native `%`.
+    for d in 1u64..=255 {
+        let rt = UnsignedDivisor::new_direct_rem(d as u8).unwrap();
+        let direct = UremPlan::new_direct(d as u128, 8).unwrap();
+        assert_eq!(rt.urem_plan(), direct, "d={d}: runtime/plan disagree");
+        let back = UremPlan::new(d as u128, 8).unwrap();
+        let prog_direct = gen_urem_plan(&direct);
+        let prog_back = gen_urem_plan(&back);
+        for n in 0u64..=255 {
+            assert_eq!(rt.remainder(n as u8) as u64, n % d, "runtime n={n} d={d}");
+            assert_eq!(
+                prog_direct.eval1(&[n]).unwrap(),
+                n % d,
+                "direct n={n} d={d}"
+            );
+            assert_eq!(prog_back.eval1(&[n]).unwrap(), n % d, "mulback n={n} d={d}");
+        }
+    }
+}
+
+#[test]
+fn divisibility_width8_exhaustive() {
+    // The divisibility plan's inverse-rotate test at every divisor and
+    // dividend: runtime, plan and lowered IR against native `% == 0`.
+    for d in 1u64..=255 {
+        let rt = ExactUnsignedDivisor::new(d as u8).unwrap();
+        let plan = DivisibilityPlan::new(d as u128, 8).unwrap();
+        let prog = gen_divisibility_plan(&plan);
+        for n in 0u64..=255 {
+            let want = n % d == 0;
+            assert_eq!(rt.divides(n as u8), want, "runtime n={n} d={d}");
+            assert_eq!(prog.eval1(&[n]).unwrap(), u64::from(want), "ir n={n} d={d}");
+        }
+    }
+}
+
 /// Boundary divisors for an unsigned width: 1, 2, a small even, `2^k ± 1`
 /// around the middle, `2^(N-1)` and `MAX`.
 fn boundary_unsigned(width: u32) -> Vec<u64> {
@@ -179,6 +224,79 @@ fn unsigned_boundaries_at_16_32_64() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn urem_boundaries_at_16_32_64_and_128() {
+    // One typed check per width: the LKK fraction remainder at the
+    // native word (including the narrow-word u64 fast path and the
+    // 128-bit limb path) against native `%`, and the plan-lowered IR
+    // where an IR form exists (width <= 64).
+    fn rem_of(n: u64, d: u64, width: u32) -> u64 {
+        match width {
+            16 => UnsignedDivisor::new_direct_rem(d as u16)
+                .unwrap()
+                .remainder(n as u16) as u64,
+            32 => UnsignedDivisor::new_direct_rem(d as u32)
+                .unwrap()
+                .remainder(n as u32) as u64,
+            64 => UnsignedDivisor::new_direct_rem(d).unwrap().remainder(n),
+            _ => unreachable!(),
+        }
+    }
+    for width in [16u32, 32, 64] {
+        for d in boundary_unsigned(width) {
+            let plan = UremPlan::new_direct(d as u128, width).unwrap();
+            assert_eq!(DivPlan::from(plan).width(), width, "umbrella w={width}");
+            let prog = gen_urem_plan(&plan);
+            for n in boundary_dividends(width) {
+                let native = (n & mask(width)) % d;
+                assert_eq!(rem_of(n, d, width), native, "runtime w={width} n={n} d={d}");
+                assert_eq!(
+                    prog.eval1(&[n]).unwrap(),
+                    native,
+                    "ir w={width} n={n} d={d}"
+                );
+            }
+        }
+    }
+    // Width 128 has no IR form; the runtime fraction must still agree.
+    let m = u128::MAX;
+    for d in [3u128, 10, 641, (1 << 64) + 1, m - 1] {
+        let rt = UnsignedDivisor::new_direct_rem(d).unwrap();
+        for n in [0u128, 1, d - 1, d, d + 1, m / 3, m / 2, m - 1, m] {
+            assert_eq!(rt.remainder(n), n % d, "u128 n={n} d={d}");
+        }
+    }
+}
+
+#[test]
+fn urem_tournament_width8_exhaustive_agrees_with_native() {
+    // Whatever remainder candidate wins — mask, fraction or
+    // multiply-back — its lowered program must compute native `n % d`
+    // exhaustively, and the selection must return the scoreboard winner.
+    for d in 1u64..=255 {
+        let sel = select_urem(
+            d as u128,
+            8,
+            Strategy::Tournament,
+            &OpCountScorer,
+            &ArithmeticCertifier,
+        )
+        .unwrap();
+        let prog = gen_urem_plan(&sel.plan);
+        for n in 0u64..=255 {
+            assert_eq!(prog.eval1(&[n]).unwrap(), n % d, "winner n={n} d={d}");
+        }
+        let t = sel
+            .tournament
+            .expect("Strategy::Tournament records a scoreboard");
+        assert_eq!(
+            t.winning().candidate.plan,
+            DivPlan::from(sel.plan),
+            "selection must return the scoreboard winner, d={d}"
+        );
     }
 }
 
